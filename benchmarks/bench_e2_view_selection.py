@@ -1,0 +1,168 @@
+"""E2 — choosing what to materialize under drift and bad cost estimates.
+
+Paper claim (section 3.3): deciding which data to materialize is an
+open problem, complicated by (1) autonomous, overlapping sources,
+(2) "we may need to adjust the set of materialized views over time
+depending on the query load", (3) "we do not have good cost estimates
+for querying over remote data sources".
+
+The bench runs a 400-query Zipf workload whose hot set drifts, under a
+storage budget, comparing:
+
+* ``no-cache``  — every query virtual;
+* ``static``    — views selected once from the first window, frozen
+  (the "warehouse schema designed up front" analogue);
+* ``adaptive``  — greedy re-selection every 50 queries;
+* ``oracle``    — adaptive with perfect cost estimates (noise = 0).
+
+Then the adaptive strategy is swept over cost-estimate noise.
+
+Expected shape: adaptive ≈ oracle << static < no-cache in total virtual
+time; adaptive degrades toward static as estimate noise grows.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro import (
+    Catalog,
+    CostModel,
+    MaterializationManager,
+    NetworkModel,
+    NimbleEngine,
+    RefreshPolicy,
+    RelationalSource,
+    SimClock,
+    SourceRegistry,
+)
+from repro.workloads import QueryWorkload, WorkloadSpec, make_customer_universe
+
+TEMPLATES = [
+    'WHERE <c><first_name>$f</first_name><city>$c</city></c> '
+    f'IN "crm_customers", $c = "{city}" CONSTRUCT <r>$f</r>'
+    for city in ("seattle", "portland", "boise", "tacoma")
+] + [
+    'WHERE <a><name>$n</name><balance>$b</balance></a> '
+    f'IN "billing_accounts", $b > {threshold} CONSTRUCT <r>$n</r>'
+    for threshold in (1000, 2500, 4000)
+] + [
+    'WHERE <u><fullname>$n</fullname><open_tickets>$t</open_tickets></u> '
+    'IN "support_users", $t > 1 CONSTRUCT <r>$n</r>',
+]
+
+BUDGET_ROWS = 70
+N_QUERIES = 400
+ADAPT_EVERY = 40
+
+
+def build_engine(noise: float):
+    universe = make_customer_universe(200, seed=5)
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    latencies = {"crm": 40.0, "billing": 160.0, "support": 80.0}
+    for name, db in universe.as_databases().items():
+        registry.register(
+            RelationalSource(name, db,
+                             network=NetworkModel(latency_ms=latencies[name],
+                                                  per_row_ms=0.5))
+        )
+    catalog = Catalog(registry)
+    catalog.map_relation("crm_customers", "crm", "customers")
+    catalog.map_relation("billing_accounts", "billing", "accounts")
+    catalog.map_relation("support_users", "support", "tickets_users")
+    cost_model = CostModel(noise=noise)
+    manager = MaterializationManager(
+        clock, cost_model=cost_model,
+        default_policy=RefreshPolicy.ttl(120_000.0),
+    )
+    return NimbleEngine(catalog, cost_model=cost_model, materializer=manager)
+
+
+def run_strategy(strategy: str, noise: float = 0.0) -> float:
+    """Total virtual milliseconds spent answering the workload."""
+    engine = build_engine(noise if strategy != "oracle" else 0.0)
+    manager = engine.materializer
+    clock = engine.clock
+    workload = QueryWorkload(
+        list(TEMPLATES), WorkloadSpec(zipf_s=1.4, drift_every=100,
+                                      drift_step=3, seed=17),
+    )
+
+    def fetcher(fragment):
+        return engine.catalog.registry.get(fragment.source).execute(fragment)
+
+    total = 0.0
+    for index, query in enumerate(workload.draw_many(N_QUERIES)):
+        if strategy in ("adaptive", "oracle") and index and index % ADAPT_EVERY == 0:
+            manager.adapt(BUDGET_ROWS, fetcher)
+        if strategy == "static" and index == ADAPT_EVERY:
+            manager.adapt(BUDGET_ROWS, fetcher)  # once, then frozen
+        before = clock.now
+        engine.query(query)
+        total += clock.now - before
+    return total
+
+
+def run_experiment() -> tuple[list[list], list[list]]:
+    strategies = []
+    for strategy in ("no-cache", "static", "adaptive", "oracle"):
+        if strategy == "no-cache":
+            engine = build_engine(0.0)
+            engine.materializer = None
+            workload = QueryWorkload(
+                list(TEMPLATES), WorkloadSpec(zipf_s=1.4, drift_every=100,
+                                              drift_step=3, seed=17),
+            )
+            total = 0.0
+            for query in workload.draw_many(N_QUERIES):
+                before = engine.clock.now
+                engine.query(query)
+                total += engine.clock.now - before
+        else:
+            total = run_strategy(strategy, noise=0.5)
+        strategies.append([strategy, total, total / N_QUERIES])
+
+    noise_rows = []
+    for noise in (0.0, 0.5, 1.0, 2.0):
+        total = run_strategy("adaptive", noise=noise)
+        noise_rows.append([noise, total, total / N_QUERIES])
+    return strategies, noise_rows
+
+
+def report():
+    strategies, noise_rows = run_experiment()
+    print_table(
+        "E2a: view-selection strategies, 400-query drifting workload "
+        f"(budget {BUDGET_ROWS} rows)",
+        ["strategy", "total virtual ms", "mean per query (ms)"],
+        strategies,
+    )
+    print_table(
+        "E2b: adaptive selection vs cost-estimate noise (lognormal sigma)",
+        ["noise sigma", "total virtual ms", "mean per query (ms)"],
+        noise_rows,
+    )
+    return strategies, noise_rows
+
+
+def test_e2_view_selection(benchmark):
+    strategies, noise_rows = benchmark.pedantic(run_experiment, rounds=1,
+                                                iterations=1)
+    totals = {row[0]: row[1] for row in strategies}
+    # who wins: any caching beats none; adapting beats a frozen choice
+    assert totals["adaptive"] < totals["no-cache"] * 0.75
+    assert totals["adaptive"] < totals["static"]
+    assert totals["oracle"] <= totals["adaptive"] * 1.1
+    # noise hurts (monotone-ish: extremes ordered)
+    assert noise_rows[0][1] <= noise_rows[-1][1]
+    report()
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,103 @@
+"""E6 — load balancing across engine instances.
+
+Paper claim (section 2.1): "Load balancing is provided; multiple
+instances of the integration engine can be run simultaneously on one or
+more servers" — the mechanism behind "high-performance, scalable query
+processing".
+
+The bench drives a bursty arrival schedule of mediated-view queries at
+clusters of 1..8 instances and reports throughput and latency
+percentiles per dispatch strategy.
+
+Expected shape: throughput scales near-linearly until arrival rate is
+absorbed; p95 latency collapses going 1 -> 2 -> 4 instances;
+least-loaded dispatch beats random under skewed service times.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import percentile, print_table
+
+from repro import EngineCluster, NimbleEngine
+from repro.workloads import make_website_workload
+
+N_QUERIES = 48
+
+#: a mix of cheap (stock-only) and expensive (view join) page queries
+QUERY_MIX = [
+    'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+    "CONSTRUCT <r>$p</r>",
+    'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+    'IN "product_page" CONSTRUCT <row><n>$n</n><p>$p</p></row>',
+]
+
+
+def schedule(seed: int = 9) -> list[tuple[float, str]]:
+    rng = random.Random(seed)
+    arrivals = []
+    t = 0.0
+    for i in range(N_QUERIES):
+        t += rng.expovariate(1 / 30.0)  # ~1 arrival / 30 ms
+        arrivals.append((t, QUERY_MIX[i % len(QUERY_MIX)]))
+    return arrivals
+
+
+def run_point(instances: int, strategy: str) -> list:
+    workload = make_website_workload(30, seed=44)
+    engine = NimbleEngine(workload.catalog)
+    cluster = EngineCluster(engine, instances=instances, strategy=strategy)
+    cluster.run_schedule(schedule())
+    latencies = cluster.latencies()
+    return [
+        instances,
+        strategy,
+        cluster.throughput_qps(),
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.95),
+    ]
+
+
+def run_experiment() -> list[list]:
+    rows = []
+    for instances in (1, 2, 4, 8):
+        rows.append(run_point(instances, "least_loaded"))
+    for strategy in ("round_robin", "random"):
+        rows.append(run_point(4, strategy))
+    return rows
+
+
+def report():
+    rows = run_experiment()
+    print_table(
+        "E6: engine instances vs throughput and latency (paper section 2.1)",
+        ["instances", "dispatch", "throughput (q/s)", "p50 latency (ms)",
+         "p95 latency (ms)"],
+        rows,
+    )
+    return rows
+
+
+def test_e6_load_balancing(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    least = {row[0]: row for row in rows if row[1] == "least_loaded"}
+    # scaling: more instances -> strictly better tail latency until
+    # arrivals are absorbed
+    assert least[2][4] < least[1][4]
+    assert least[4][4] < least[2][4]
+    assert least[8][4] <= least[4][4]
+    # throughput improves with instances
+    assert least[4][2] > least[1][2]
+    # least-loaded beats random at the tail with 4 instances
+    random_row = next(row for row in rows if row[1] == "random")
+    assert least[4][4] <= random_row[4]
+    report()
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,101 @@
+"""E8 — the Figure 1 pipeline, timed stage by stage.
+
+The paper's only figure is the architecture diagram: front end (lenses)
+-> integration engine (parse, compile against the metadata server,
+execute over wrappers) -> data sources, with the data administrator /
+materialization subsystem on the side.  This bench walks one lens
+invocation of the web-site workload through every stage and reports the
+per-stage cost — wall-clock microseconds for the engine-local stages
+and virtual milliseconds for the remote work.
+
+Expected shape: remote execution dominates end-to-end virtual latency;
+parsing/compilation are microseconds — the architecture's premise that
+the wire, not the mediator, is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro import NimbleEngine, format_result
+from repro.optimizer.decomposer import decompose
+from repro.query.binder import bind_query
+from repro.query.parser import parse_query
+from repro.workloads import make_website_workload
+
+QUERY = (
+    'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+    'IN "product_page", $p < 250 '
+    "CONSTRUCT <row sku=$s><name>$n</name><price>$p</price></row> "
+    "ORDER BY $p"
+)
+
+
+def run_experiment() -> list[list]:
+    workload = make_website_workload(50, seed=23)
+    engine = NimbleEngine(workload.catalog)
+
+    def wall(fn):
+        started = time.perf_counter()
+        value = fn()
+        return value, (time.perf_counter() - started) * 1e6
+
+    query, parse_us = wall(lambda: parse_query(QUERY))
+    bound, bind_us = wall(lambda: bind_query(query))
+    decomposed, decompose_us = wall(
+        lambda: decompose(bound, engine.catalog, engine.pushdown)
+    )
+
+    before_virtual = engine.clock.now
+    result, execute_us = wall(lambda: engine.query(query))
+    execute_virtual = engine.clock.now - before_virtual
+
+    rendered, format_us = wall(
+        lambda: format_result(result.elements, "web")
+    )
+
+    rows = [
+        ["parse (query language)", round(parse_us), 0.0],
+        ["bind (semantic analysis)", round(bind_us), 0.0],
+        ["compile (metadata server + decompose)", round(decompose_us), 0.0],
+        ["execute (wrappers + algebra)", round(execute_us),
+         execute_virtual],
+        ["format (lens device rendering)", round(format_us), 0.0],
+    ]
+    rows.append([
+        "TOTAL",
+        round(parse_us + bind_us + decompose_us + execute_us + format_us),
+        execute_virtual,
+    ])
+    rows.append(["(result elements)", len(result.elements), 0.0])
+    return rows
+
+
+def report():
+    rows = run_experiment()
+    print_table(
+        "E8: Figure 1 pipeline, per-stage cost (web-site workload)",
+        ["stage", "wall us", "virtual ms (remote)"],
+        rows,
+    )
+    return rows
+
+
+def test_e8_end_to_end(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    stages = {row[0]: row for row in rows}
+    # remote work dominates virtual latency; local compilation is cheap
+    assert stages["execute (wrappers + algebra)"][2] > 0
+    assert stages["parse (query language)"][1] < stages["TOTAL"][1]
+    assert stages["(result elements)"][1] > 0
+    report()
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` module reproduces one experiment from DESIGN.md's
+index: a ``run_experiment()`` returning rows, a table printer, a
+pytest-benchmark hook, and a ``__main__`` entry so the table can be
+produced with ``python benchmarks/bench_eN_*.py`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Format and print an experiment table; returns the text."""
+    widths = [len(str(h)) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [_cell(value) for value in row]
+        rendered_rows.append(rendered)
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered))
+        )
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]

@@ -1,0 +1,131 @@
+"""System administration: monitoring, replication, the management console.
+
+Section 2.1's compound architecture includes "offline data manipulation
+and replication as well, using our data administrator sub-system", and
+section 4 requires "configuration and management tools that make it
+possible for administrators to set up, monitor, and understand, the
+system".  This example plays a day in the life of the administrator:
+
+1. watch source health while one source flaps;
+2. set up an offline replication job (with a cleaning transform) so the
+   flaky source's data stays queryable;
+3. register the replica as a source of its own and query it — first in
+   XML-QL, then in the FLWOR dialect;
+4. print the management console's system report.
+
+Run:  python examples/administration.py
+"""
+
+from repro import (
+    AvailabilityModel,
+    Catalog,
+    FlakySource,
+    NetworkModel,
+    NimbleEngine,
+    RelationalSource,
+    SimClock,
+    SourceRegistry,
+    XMLSource,
+)
+from repro.admin import DataAdministrator, HealthMonitor, ManagementConsole
+from repro.algebra import TreePattern
+from repro.sources.base import Access, Fragment
+
+
+def main() -> None:
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    catalog = Catalog(registry)
+
+    # a stable CRM and a flaky partner feed
+    from repro.sql import Database
+
+    crm = Database("crm")
+    crm.execute_script(
+        """
+        CREATE TABLE customers (id INTEGER PRIMARY KEY, name TEXT, city TEXT);
+        INSERT INTO customers VALUES (1,'Ann','Seattle'),(2,'Bob','Portland');
+        """
+    )
+    registry.register(RelationalSource(
+        "crm", crm, network=NetworkModel(latency_ms=30, per_row_ms=0.3)))
+    catalog.map_relation("customers", "crm", "customers")
+
+    partner = FlakySource(
+        XMLSource("partner", {"leads": (
+            "<leads>"
+            "<lead><email>ann@x.com</email><score>81</score></lead>"
+            "<lead><email>bob@y.com</email><score>45</score></lead>"
+            "<lead><email>cam@z.com</email><score>92</score></lead>"
+            "</leads>"
+        )}, network=NetworkModel(latency_ms=80, per_row_ms=0.5)),
+        AvailabilityModel(availability=0.6, mean_outage_ms=4_000, seed=5),
+    )
+    registry.register(partner)
+
+    # --- 1. watch health ----------------------------------------------------
+    monitor = HealthMonitor(registry, clock)
+    monitor.watch(duration_ms=60_000, interval_ms=1_000)
+    print("== source health after 60 s of probes ==")
+    for name, health in monitor.health.items():
+        print(f"  {name}: uptime {health.uptime_fraction:.0%}")
+    for record in monitor.unhealthy(threshold=0.9):
+        print(f"  ⚠ {record.name} is below the 90% uptime SLO")
+
+    # --- 2. replicate the flaky feed offline ----------------------------------
+    admin = DataAdministrator(clock)
+    lead_pattern = TreePattern("lead", children=(
+        TreePattern("email", text_var="email"),
+        TreePattern("score", text_var="score"),
+    ))
+
+    def qualify(record):
+        """Offline data manipulation: keep only qualified leads."""
+        return record if float(record["score"]) >= 50 else None
+
+    admin.add_job(
+        "lead_sync", partner,
+        Fragment("partner", (Access("leads", lead_pattern),)),
+        target_table="leads", period_ms=10_000, transform=qualify,
+    )
+    print("\n== replication (10 s cadence, retrying through outages) ==")
+    replicated = 0
+    for _ in range(12):
+        clock.advance(10_000)
+        outcome = admin.run_due()
+        replicated += sum(outcome.values())
+    job = admin.jobs["lead_sync"]
+    print(f"  runs: {job.runs}, failures during outages: {job.failures}, "
+          f"rows in replica: "
+          f"{admin.store.execute('SELECT COUNT(*) FROM leads').scalar()}")
+
+    # --- 3. the replica is just another source ----------------------------------
+    registry.register(RelationalSource("replica", admin.store, clock))
+    catalog.map_relation("qualified_leads", "replica", "leads")
+    engine = NimbleEngine(catalog)
+
+    print("\n== querying the replica (XML-QL) ==")
+    result = engine.query(
+        'WHERE <l><email>$e</email><score>$s</score></l> '
+        'IN "qualified_leads" CONSTRUCT <lead><e>$e</e></lead> ORDER BY $s DESC'
+    )
+    for element in result.elements:
+        print("  " + element.text_content())
+
+    print("\n== the same, in the FLWOR dialect ==")
+    result = engine.flwor_query(
+        'FOR $l IN "qualified_leads" WHERE $l/score > 80 '
+        "ORDER BY $l/score DESCENDING "
+        'RETURN <hot email="{$l/email}">{$l/score}</hot>'
+    )
+    for element in result.elements:
+        print(f"  {element.attributes['email']} -> {element.text_content()}")
+
+    # --- 4. the management console --------------------------------------------------
+    print("\n== management console ==")
+    console = ManagementConsole(engine, monitor=monitor, administrator=admin)
+    print(console.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The data-mining phase: interactive profiling before extraction.
+
+Section 3.2's "human-centered tools for interactively analyzing data,
+testing transforms, resolving ambiguities, looking for duplicates and
+anomalies, finding legacy data encoded in text fields".  A data steward
+pointed at the freshly-acquired billing system would run exactly this
+session.
+
+Run:  python examples/data_mining_phase.py
+"""
+
+from repro.cleaning import (
+    FieldRule,
+    NormalizerRegistry,
+    RecordMatcher,
+    jaro_winkler,
+)
+from repro.cleaning.mining import (
+    duplicate_report,
+    find_anomalies,
+    find_legacy_codes,
+    profile_dataset,
+)
+from repro.workloads import make_customer_universe
+
+
+def main() -> None:
+    universe = make_customer_universe(150, overlap=0.6, dirt=0.25,
+                                      duplicate_rate=0.15, seed=31)
+    billing = universe.records["billing"]
+    print(f"profiling the acquired billing system: {len(billing)} accounts\n")
+
+    print("== field profiles ==")
+    print(f"  {'field':<10} {'fill':>6} {'distinct':>9}  top formats")
+    for profile in profile_dataset(billing):
+        formats = ", ".join(
+            f"{pattern}({count})" for pattern, count in profile.top_patterns
+        )
+        print(f"  {profile.name:<10} {profile.fill_rate:>5.0%} "
+              f"{profile.distinct:>9}  {formats[:50]}")
+
+    print("\n== anomalies worth a human look ==")
+    for anomaly in find_anomalies(billing, min_fill_rate=0.95):
+        print(f"  [{anomaly.kind:<14}] {anomaly.field}: {anomaly.detail}")
+
+    print("\n== legacy identifiers hiding in free text ==")
+    findings = find_legacy_codes(billing, "notes")
+    print(f"  {len(findings)} legacy account codes found in 'notes'")
+    for index, code in findings[:5]:
+        print(f"    record {billing[index]['id']}: {code!r}")
+
+    print("\n== testing a normalization transform interactively ==")
+    registry = NormalizerRegistry()
+    sample = billing[0]["name"]
+    print(f"  raw:        {sample!r}")
+    print(f"  name-norm:  {registry.apply('name', sample)!r}")
+
+    print("\n== candidate duplicates inside billing (merge/purge) ==")
+    matcher = RecordMatcher(
+        [FieldRule("name", metric=jaro_winkler, normalizer=registry.get("name"))],
+        match_threshold=0.97,
+        possible_threshold=0.82,
+    )
+    report = duplicate_report(billing, matcher, key_field="name",
+                              window=9, limit=8)
+    print(f"  {'score':>6}  candidate pair")
+    for i, j, score in report:
+        print(f"  {score:>6.3f}  {billing[i]['name']!r} ~ {billing[j]['name']!r}")
+    print("\nnext step: feed these decisions into a CleaningFlow in MINING")
+    print("mode (see examples/customer_360.py) so extraction can replay them.")
+
+
+if __name__ == "__main__":
+    main()

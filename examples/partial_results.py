@@ -1,0 +1,126 @@
+"""Partial results when sources go dark (paper, section 3.4).
+
+"In many applications, it's never the case that all sources are
+available ... In the worst case, there may be so many data sources that
+the probability that they are all available simultaneously is nearly
+zero."  This example federates six flaky regional inventory feeds and
+shows the three answer policies: FAIL, SKIP (annotated partial answers,
+the system default) and REQUIRE.
+
+Run:  python examples/partial_results.py
+"""
+
+from repro import (
+    AvailabilityModel,
+    Catalog,
+    FlakySource,
+    NetworkModel,
+    NimbleEngine,
+    PartialResultPolicy,
+    SimClock,
+    SourceRegistry,
+    XMLSource,
+)
+from repro.errors import SourceUnavailableError
+
+REGIONS = ("us-east", "us-west", "europe", "apac", "latam", "africa")
+
+
+def build_engine(availability: float) -> NimbleEngine:
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    catalog = Catalog(registry)
+    for index, region in enumerate(REGIONS):
+        feed = XMLSource(
+            region,
+            {
+                "inventory": (
+                    f"<feed><item><sku>SKU-{index}</sku>"
+                    f"<region>{region}</region><qty>{10 * (index + 1)}</qty>"
+                    "</item></feed>"
+                )
+            },
+            network=NetworkModel(latency_ms=30, per_row_ms=0.5),
+        )
+        registry.register(
+            FlakySource(
+                feed,
+                AvailabilityModel(availability=availability,
+                                  mean_outage_ms=2_000, seed=100 + index),
+            )
+        )
+        catalog.map_relation(f"inv_{region}", region, "inventory")
+    return NimbleEngine(catalog)
+
+
+UNION_QUERY = " ".join(
+    ["WHERE"]
+    + [
+        ", ".join(
+            f'<item><sku>$s{i}</sku><qty>$q{i}</qty></item> IN "inv_{region}"'
+            for i, region in enumerate(REGIONS)
+        )
+    ]
+    + [
+        "CONSTRUCT <stock>"
+        + "".join(f"<r{i}>$q{i}</r{i}>" for i in range(len(REGIONS)))
+        + "</stock>"
+    ]
+)
+
+
+def main() -> None:
+    engine = build_engine(availability=0.80)
+
+    # Walk virtual time forward so the availability processes evolve, and
+    # watch how often all six feeds are up simultaneously.
+    print("== how often are all six sources up at once? (80% each) ==")
+    all_up = 0
+    trials = 200
+    for _ in range(trials):
+        engine.clock.advance(500.0)
+        if len(engine.catalog.registry.available_sources()) == len(REGIONS):
+            all_up += 1
+    print(f"  all-available probability: {all_up / trials:.2f} "
+          f"(0.8^6 = {0.8 ** 6:.2f})")
+
+    print("\n== policy FAIL: classical behaviour ==")
+    failures = 0
+    for _ in range(20):
+        engine.clock.advance(500.0)
+        try:
+            engine.query(UNION_QUERY, policy=PartialResultPolicy.FAIL)
+        except SourceUnavailableError as error:
+            failures += 1
+            last_error = error
+    print(f"  {failures}/20 queries failed outright "
+          f"(e.g. {last_error})" if failures else "  all 20 succeeded")
+
+    print("\n== policy SKIP (default): partial answers, annotated ==")
+    incomplete = 0
+    for _ in range(20):
+        engine.clock.advance(500.0)
+        result = engine.query(UNION_QUERY)
+        if not result.completeness.complete:
+            incomplete += 1
+            sample = result.completeness
+    print(f"  {incomplete}/20 answers were partial")
+    if incomplete:
+        print(f"  sample annotation: {sample.describe()}")
+
+    print("\n== policy REQUIRE: only name the sources you cannot lose ==")
+    engine2 = build_engine(availability=0.80)
+    ok = refused = 0
+    for _ in range(20):
+        engine2.clock.advance(500.0)
+        try:
+            engine2.query(UNION_QUERY, required_sources={"us-east"})
+            ok += 1
+        except SourceUnavailableError:
+            refused += 1
+    print(f"  {ok} answered (possibly partial), "
+          f"{refused} refused because us-east itself was down")
+
+
+if __name__ == "__main__":
+    main()

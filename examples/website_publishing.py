@@ -1,0 +1,119 @@
+"""Web-site publishing: integrated views, lenses, caching, clustering.
+
+The paper's second application class (section 2): "companies who need to
+build large-scale web sites which serve information from multiple
+internal sources ... provide the designers of the web site an already
+integrated view of their data sources."
+
+The web team gets one mediated view (``product_page``) over the content
+team's XML catalog, the ERP's stock table and a partner review service —
+then serves it through lenses with device formatting, accelerates it
+with materialized views, and scales it with engine instances.
+
+Run:  python examples/website_publishing.py
+"""
+
+from repro import (
+    EngineCluster,
+    Lens,
+    MaterializationManager,
+    NimbleEngine,
+    RefreshPolicy,
+)
+from repro.core.lens import LensParameter, LensServer
+from repro.workloads import make_website_workload
+
+
+def main() -> None:
+    workload = make_website_workload(n_products=40, seed=77)
+    manager = MaterializationManager(workload.clock)
+    engine = NimbleEngine(workload.catalog, materializer=manager)
+
+    # -- the integrated view, straight from the mediated schema ------------
+    print("== product_page view (XML catalog x relational stock) ==")
+    result = engine.query(
+        'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+        'IN "product_page", $p < 50 '
+        "CONSTRUCT <bargain sku=$s><name>$n</name><price>$p</price></bargain> "
+        "ORDER BY $p"
+    )
+    print(f"  bargains under $50: {len(result.elements)}")
+    print(f"  cold latency: {result.stats.elapsed_virtual_ms:.1f} ms "
+          f"({result.stats.remote_calls} remote calls)")
+
+    # -- lens front end with device targeting ---------------------------------
+    server = LensServer(engine)
+    server.access.add_user("storefront", "pw", {"public"})
+    server.register(
+        Lens(
+            name="product_search",
+            queries={
+                "under_price": (
+                    'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+                    'IN "product_page", $p < {max_price} '
+                    "CONSTRUCT <hit sku=$s><name>$n</name><price>$p</price></hit> "
+                    "ORDER BY $p"
+                )
+            },
+            parameters=(LensParameter("max_price", required=False, default=100),),
+            default_device="web",
+            required_roles=frozenset({"public"}),
+        )
+    )
+    print("\n== lens rendering, per device ==")
+    for device in ("web", "wireless", "text"):
+        invocation = server.login_and_invoke(
+            "product_search", "under_price", "storefront", "pw",
+            params={"max_price": 80}, device=device,
+        )
+        first_line = (invocation.rendered.splitlines() or ["<no hits>"])[0]
+        print(f"  [{device:8}] {first_line[:70]}")
+
+    # -- materialize the hot fragments ------------------------------------------
+    hot_query = (
+        'WHERE <s><sku>$s</sku><price>$p</price><quantity>$q</quantity></s> '
+        'IN "stock" CONSTRUCT <row><s>$s</s><p>$p</p><q>$q</q></row>'
+    )
+    cold = engine.query(hot_query).stats.elapsed_virtual_ms
+    engine.materialize_query_fragments(hot_query, RefreshPolicy.ttl(60_000))
+    warm = engine.query(hot_query).stats.elapsed_virtual_ms
+    print("\n== caching the stock fragment ==")
+    print(f"  virtual query:      {cold:8.2f} ms")
+    print(f"  from local store:   {warm:8.2f} ms  "
+          f"({cold / max(warm, 1e-9):.0f}x faster, data refreshed on demand)")
+    print(f"  store: {manager.summary()}")
+
+    # -- aggregates: the merchandising dashboard -----------------------------------
+    print("\n== category dashboard (aggregates in CONSTRUCT) ==")
+    dashboard = engine.query(
+        'WHERE <page sku=$s><category>$cat</category><price>$p</price>'
+        '<in_stock>$q</in_stock></page> IN "product_page" '
+        "CONSTRUCT <category name=$cat>"
+        "<products>count($s)</products>"
+        "<avg_price>avg($p)</avg_price>"
+        "<units>sum($q)</units>"
+        "</category>"
+    )
+    for element in dashboard.elements:
+        name = element.attributes["name"]
+        products = element.first_child("products").text_content()
+        avg_price = float(element.first_child("avg_price").text_content())
+        print(f"  {name:<12} {products} products, avg ${avg_price:.2f}")
+
+    # -- scale out with engine instances --------------------------------------------
+    print("\n== load balancing a burst of page loads ==")
+    page_query = (
+        'WHERE <page sku=$s><name>$n</name></page> IN "product_page" '
+        "CONSTRUCT <row>$n</row>"
+    )
+    for instances in (1, 4):
+        cluster = EngineCluster(engine, instances=instances,
+                                strategy="least_loaded")
+        cluster.run_schedule([(0.0, page_query)] * 8)
+        print(f"  {instances} instance(s): p95 latency "
+              f"{cluster.percentile_latency(0.95):8.1f} ms, "
+              f"throughput {cluster.throughput_qps():6.1f} q/s")
+
+
+if __name__ == "__main__":
+    main()

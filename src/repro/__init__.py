@@ -1,0 +1,90 @@
+"""repro: a reproduction of the Nimble XML data integration system.
+
+Draper, Halevy, Weld — "The Nimble XML Data Integration System",
+ICDE 2001.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the reproduced experiments.
+
+Quickstart::
+
+    from repro import (
+        Catalog, NimbleEngine, RelationalSource, SourceRegistry, SimClock,
+    )
+
+    registry = SourceRegistry()
+    registry.register(RelationalSource("crm", crm_database))
+    catalog = Catalog(registry)
+    catalog.map_relation("customers", "crm", "customers")
+    engine = NimbleEngine(catalog)
+    result = engine.query('''
+        WHERE <c><name>$n</name><city>$city</city></c> IN "customers",
+              $city = "Seattle"
+        CONSTRUCT <customer><name>$n</name></customer>
+    ''')
+"""
+
+from repro.core import (
+    AccessController,
+    Completeness,
+    EngineCluster,
+    Lens,
+    LensServer,
+    NimbleEngine,
+    PartialResultPolicy,
+    QueryResult,
+    User,
+    format_result,
+)
+from repro.materialize import MaterializationManager, RefreshPolicy
+from repro.mediator import Catalog, MediatedSchema, RelationMapping, ViewDef
+from repro.optimizer import CostModel
+from repro.simtime import SimClock
+from repro.sources import (
+    AvailabilityModel,
+    FlakySource,
+    HierarchicalSource,
+    NetworkModel,
+    RelationalSource,
+    SourceRegistry,
+    WebServiceSource,
+    XMLSource,
+)
+from repro.sql import Database
+from repro.xmldm import Document, Element, Record, parse_document, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessController",
+    "AvailabilityModel",
+    "Catalog",
+    "Completeness",
+    "CostModel",
+    "Database",
+    "Document",
+    "Element",
+    "EngineCluster",
+    "FlakySource",
+    "HierarchicalSource",
+    "Lens",
+    "LensServer",
+    "MaterializationManager",
+    "MediatedSchema",
+    "NetworkModel",
+    "NimbleEngine",
+    "PartialResultPolicy",
+    "QueryResult",
+    "Record",
+    "RefreshPolicy",
+    "RelationMapping",
+    "RelationalSource",
+    "SimClock",
+    "SourceRegistry",
+    "User",
+    "ViewDef",
+    "WebServiceSource",
+    "XMLSource",
+    "format_result",
+    "parse_document",
+    "serialize",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""The data administrator subsystem and management tools.
+
+Section 2.1: "Even though our main architecture is built on a federated
+integration model, this alone is not always sufficient for all needs.
+Thus we support a compound architecture that includes offline data
+manipulation and replication as well, using our data administrator
+sub-system."  And section 4 requires "configuration and management
+tools that make it possible for administrators to set up, monitor, and
+understand, the system."
+
+* :mod:`replication` — scheduled offline replication jobs: copy (and
+  optionally transform) source fragments into a local relational store
+  on a virtual-clock cadence;
+* :mod:`monitor` — source health probes with uptime bookkeeping;
+* :mod:`console` — the management console: one structured report of
+  sources, mediated names, materialized views, replication jobs and
+  engine statistics.
+"""
+
+from repro.admin.console import ManagementConsole
+from repro.admin.monitor import HealthMonitor, SourceHealth
+from repro.admin.replication import DataAdministrator, ReplicationJob
+
+__all__ = [
+    "DataAdministrator",
+    "HealthMonitor",
+    "ManagementConsole",
+    "ReplicationJob",
+    "SourceHealth",
+]

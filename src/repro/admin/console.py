@@ -1,0 +1,179 @@
+"""The management console: one structured view of the whole deployment.
+
+Section 4's closing requirement: "configuration and management tools
+that make it possible for administrators to set up, monitor, and
+understand, the system."  The console reports — as data and as text —
+the sources (type, capabilities, health, traffic), the mediated names,
+the materialization store, replication jobs and engine counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.admin.monitor import HealthMonitor
+from repro.admin.replication import DataAdministrator
+from repro.core.engine import NimbleEngine
+from repro.mediator.catalog import DocumentTarget
+from repro.mediator.mapping import RelationMapping
+from repro.mediator.schema import ViewDef
+
+
+class ManagementConsole:
+    """Read-only administrative view over an engine and its periphery."""
+
+    def __init__(
+        self,
+        engine: NimbleEngine,
+        monitor: HealthMonitor | None = None,
+        administrator: DataAdministrator | None = None,
+    ):
+        self.engine = engine
+        self.monitor = monitor
+        self.administrator = administrator
+
+    # -- structured report ---------------------------------------------------
+
+    def system_report(self) -> dict[str, Any]:
+        catalog = self.engine.catalog
+        registry = catalog.registry
+        sources = []
+        for source in registry:
+            profile = source.capabilities
+            entry: dict[str, Any] = {
+                "name": source.name,
+                "type": type(getattr(source, "inner", source)).__name__,
+                "available": source.available(),
+                "capabilities": {
+                    "selections": profile.selections,
+                    "joins": profile.joins,
+                    "parameterized": profile.parameterized,
+                },
+                "network": {
+                    "latency_ms": source.network.latency_ms,
+                    "calls": source.network.calls,
+                    "rows_transferred": source.network.rows_transferred,
+                },
+                "relations": {
+                    name: source.cardinality(name)
+                    for name in source.relations()
+                },
+            }
+            if self.monitor is not None:
+                health = self.monitor.health.get(source.name)
+                if health is not None:
+                    entry["uptime_fraction"] = health.uptime_fraction
+            sources.append(entry)
+
+        mediated = []
+        for name in catalog.known_names():
+            resolved = catalog.resolve(name)
+            if isinstance(resolved, ViewDef):
+                kind = "view"
+                target = ", ".join(resolved.referenced_names())
+            elif isinstance(resolved, RelationMapping):
+                kind = "mapping"
+                target = f"{resolved.source_name}.{resolved.source_relation}"
+            else:
+                assert isinstance(resolved, DocumentTarget)
+                kind = "document"
+                target = f"{resolved.source_name}.{resolved.relation}"
+            mediated.append({"name": name, "kind": kind, "target": target})
+
+        report: dict[str, Any] = {
+            "clock_ms": self.engine.clock.now,
+            "engine": {
+                "name": self.engine.name,
+                "queries_run": self.engine.queries_run,
+                "default_policy": self.engine.default_policy.value,
+                "pushdown": self.engine.pushdown,
+            },
+            "sources": sources,
+            "mediated_names": mediated,
+        }
+        if self.engine.materializer is not None:
+            manager = self.engine.materializer
+            report["materialization"] = {
+                **manager.summary(),
+                "views_detail": [
+                    {
+                        "source": view.fragment.source,
+                        "rows": view.row_count,
+                        "fresh": view.is_fresh(self.engine.clock.now),
+                        "hits": view.hits,
+                        "policy": view.policy.kind,
+                    }
+                    for view in manager.store
+                ],
+            }
+        if self.administrator is not None:
+            report["replication"] = [
+                {
+                    "name": job.name,
+                    "source": job.source.name,
+                    "target": job.target_table,
+                    "period_ms": job.period_ms,
+                    "runs": job.runs,
+                    "rows": job.rows_replicated,
+                    "failures": job.failures,
+                }
+                for job in self.administrator.jobs.values()
+            ]
+        return report
+
+    # -- text rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """The report as indented text for a terminal."""
+        report = self.system_report()
+        lines = [
+            f"=== {report['engine']['name']} @ {report['clock_ms']:.0f} ms ===",
+            f"queries run: {report['engine']['queries_run']}, "
+            f"policy: {report['engine']['default_policy']}, "
+            f"pushdown: {report['engine']['pushdown']}",
+            "",
+            "sources:",
+        ]
+        for source in report["sources"]:
+            status = "UP" if source["available"] else "DOWN"
+            uptime = (
+                f", uptime {source['uptime_fraction']:.0%}"
+                if "uptime_fraction" in source
+                else ""
+            )
+            lines.append(
+                f"  [{status:4}] {source['name']} ({source['type']}) "
+                f"calls={source['network']['calls']} "
+                f"rows={source['network']['rows_transferred']}{uptime}"
+            )
+            for relation, cardinality in source["relations"].items():
+                lines.append(f"          {relation}: ~{cardinality} rows")
+        lines.append("")
+        lines.append("mediated names:")
+        for item in report["mediated_names"]:
+            lines.append(f"  {item['name']} [{item['kind']}] -> {item['target']}")
+        if "materialization" in report:
+            info = report["materialization"]
+            lines.append("")
+            lines.append(
+                f"materialized views: {info['views']} "
+                f"({info['rows']} rows; {info['hits']} hits / "
+                f"{info['misses']} misses)"
+            )
+            for view in info["views_detail"]:
+                freshness = "fresh" if view["fresh"] else "STALE"
+                lines.append(
+                    f"  {view['source']}: {view['rows']} rows, "
+                    f"{view['policy']}, {freshness}, {view['hits']} hits"
+                )
+        if "replication" in report:
+            lines.append("")
+            lines.append("replication jobs:")
+            for job in report["replication"]:
+                lines.append(
+                    f"  {job['name']}: {job['source']} -> {job['target']} "
+                    f"every {job['period_ms']:.0f} ms "
+                    f"({job['runs']} runs, {job['rows']} rows, "
+                    f"{job['failures']} failures)"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Source health monitoring for the management tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simtime import SimClock
+from repro.sources.registry import SourceRegistry
+
+
+@dataclass
+class SourceHealth:
+    """Probe history of one source."""
+
+    name: str
+    probes: int = 0
+    up_probes: int = 0
+    last_up_ms: float | None = None
+    last_down_ms: float | None = None
+    currently_up: bool = True
+
+    @property
+    def uptime_fraction(self) -> float:
+        return self.up_probes / self.probes if self.probes else 1.0
+
+
+class HealthMonitor:
+    """Periodically probes every registered source's availability.
+
+    Probes are explicit (``probe_all``) so tests and the console control
+    when virtual time advances; real deployments would run this on a
+    timer.
+    """
+
+    def __init__(self, registry: SourceRegistry, clock: SimClock | None = None):
+        self.registry = registry
+        self.clock = clock or registry.clock
+        self.health: dict[str, SourceHealth] = {}
+
+    def probe_all(self) -> dict[str, bool]:
+        """Probe every source once; returns name -> up?."""
+        outcome = {}
+        now = self.clock.now
+        for source in self.registry:
+            record = self.health.setdefault(source.name, SourceHealth(source.name))
+            up = source.available()
+            record.probes += 1
+            record.currently_up = up
+            if up:
+                record.up_probes += 1
+                record.last_up_ms = now
+            else:
+                record.last_down_ms = now
+            outcome[source.name] = up
+        return outcome
+
+    def watch(self, duration_ms: float, interval_ms: float = 1_000.0) -> None:
+        """Advance virtual time, probing on an interval."""
+        elapsed = 0.0
+        while elapsed < duration_ms:
+            self.clock.advance(interval_ms)
+            elapsed += interval_ms
+            self.probe_all()
+
+    def unhealthy(self, threshold: float = 0.9) -> list[SourceHealth]:
+        """Sources whose observed uptime is below ``threshold``."""
+        return [
+            record
+            for record in self.health.values()
+            if record.uptime_fraction < threshold
+        ]

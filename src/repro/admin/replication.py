@@ -1,0 +1,146 @@
+"""Offline replication: scheduled copies of source data, with transforms.
+
+A :class:`ReplicationJob` names a fragment of one source, an optional
+record transform (the "offline data manipulation" hook — e.g. a
+normalization from :mod:`repro.cleaning`), a destination table in a
+local relational store, and a period.  The :class:`DataAdministrator`
+runs due jobs against the virtual clock; the replicated tables can then
+be registered as just another :class:`RelationalSource`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError, SourceUnavailableError
+from repro.simtime import SimClock
+from repro.sources.base import DataSource, Fragment
+from repro.sql.database import Database
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import SQLType
+from repro.xmldm.values import Null, Record
+
+Transform = Callable[[Record], "Record | None"]
+
+_MODEL_TO_SQL = {
+    "number": SQLType.REAL,
+    "string": SQLType.TEXT,
+    "boolean": SQLType.BOOLEAN,
+    "date": SQLType.DATE,
+    "datetime": SQLType.TEXT,
+    "null": SQLType.TEXT,
+}
+
+
+@dataclass
+class ReplicationJob:
+    """One scheduled copy: fragment -> (transform) -> local table."""
+
+    name: str
+    source: DataSource
+    fragment: Fragment
+    target_table: str
+    period_ms: float
+    transform: Transform | None = None
+    last_run_ms: float = float("-inf")
+    runs: int = 0
+    rows_replicated: int = 0
+    failures: int = 0
+
+    def due(self, now_ms: float) -> bool:
+        return now_ms - self.last_run_ms >= self.period_ms
+
+
+class DataAdministrator:
+    """Runs replication jobs into one local relational store."""
+
+    def __init__(self, clock: SimClock, store: Database | None = None):
+        self.clock = clock
+        self.store = store or Database("replica_store")
+        self.jobs: dict[str, ReplicationJob] = {}
+
+    def add_job(
+        self,
+        name: str,
+        source: DataSource,
+        fragment: Fragment,
+        target_table: str,
+        period_ms: float,
+        transform: Transform | None = None,
+    ) -> ReplicationJob:
+        if name in self.jobs:
+            raise ReproError(f"replication job {name!r} already exists")
+        job = ReplicationJob(name, source, fragment, target_table, period_ms,
+                             transform)
+        self.jobs[name] = job
+        return job
+
+    def run_job(self, name: str) -> int:
+        """Run one job now; returns rows written (0 on source outage)."""
+        job = self.jobs.get(name)
+        if job is None:
+            raise ReproError(f"unknown replication job {name!r}")
+        job.last_run_ms = self.clock.now
+        try:
+            records = job.source.execute(job.fragment)
+        except SourceUnavailableError:
+            job.failures += 1
+            return 0
+        if job.transform is not None:
+            transformed = []
+            for record in records:
+                result = job.transform(record)
+                if result is not None:  # None = filtered out offline
+                    transformed.append(result)
+            records = transformed
+        self._load(job.target_table, records)
+        job.runs += 1
+        job.rows_replicated += len(records)
+        return len(records)
+
+    def run_due(self) -> dict[str, int]:
+        """Run every due job; returns job name -> rows written."""
+        outcome = {}
+        for name, job in self.jobs.items():
+            if job.due(self.clock.now):
+                outcome[name] = self.run_job(name)
+        return outcome
+
+    # -- loading ------------------------------------------------------------
+
+    def _load(self, table_name: str, records: list[Record]) -> None:
+        """(Re)load records into the local table, inferring a schema."""
+        if not records:
+            if table_name in self.store.tables:
+                self.store.table(table_name).truncate()
+            return
+        fields = list(records[0].fields)
+        if table_name not in self.store.tables:
+            columns = tuple(
+                Column(name, _infer_type(records, name)) for name in fields
+            )
+            self.store.create_table(TableSchema(table_name, columns))
+        table = self.store.table(table_name)
+        table.truncate()
+        for record in records:
+            table.insert(
+                [_to_sql_value(record.get(name)) for name in fields]
+            )
+
+
+def _infer_type(records: list[Record], field_name: str) -> SQLType:
+    from repro.xmldm.values import typename
+
+    for record in records:
+        value = record.get(field_name)
+        if value is None or isinstance(value, Null):
+            continue
+        return _MODEL_TO_SQL.get(typename(value), SQLType.TEXT)
+    return SQLType.TEXT
+
+
+def _to_sql_value(value: Any) -> Any:
+    if value is None or isinstance(value, Null):
+        return None
+    return value

@@ -1,0 +1,75 @@
+"""The physical algebra: executable operators over binding tuples.
+
+Following section 3.1 of the paper, this is deliberately a *physical*
+algebra — "a set of physical operators that are implemented by the query
+processor" — not a logical one: XML-QL queries are translated to an
+internal representation and "from there directly to query execution plans
+in the physical algebra".
+
+Operators are Python iterators over :class:`BindingTuple` (variable ->
+model value maps).  The operator set covers both relational shapes
+(scan/select/project/join/group) and the XML-specific features the
+paper's conclusion lists: document order (Sort over document positions),
+tree-pattern navigation (:class:`PatternMatch`, :class:`Navigate`),
+element construction with grouping (:class:`Construct`) and recursion
+(:class:`FixPoint`).
+"""
+
+from repro.algebra.construct import (
+    Construct,
+    ConstructTemplate,
+    TemplateText,
+    TemplateVar,
+    build_elements,
+)
+from repro.algebra.joins import DependentJoin, HashJoin, NestedLoopJoin
+from repro.algebra.operators import (
+    Compute,
+    Distinct,
+    Limit,
+    Operator,
+    Project,
+    Select,
+    Sort,
+    Union,
+)
+from repro.algebra.grouping import Aggregate, AggregateSpec, GroupBy
+from repro.algebra.pattern import AttributePattern, TreePattern
+from repro.algebra.navigate import Navigate, PatternMatch
+from repro.algebra.plan import Plan
+from repro.algebra.recursion import FixPoint
+from repro.algebra.scans import BindingsSource, CallbackScan, CollectionScan
+from repro.algebra.tuples import BindingTuple, EMPTY_TUPLE
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "AttributePattern",
+    "BindingTuple",
+    "BindingsSource",
+    "CallbackScan",
+    "CollectionScan",
+    "Compute",
+    "Construct",
+    "ConstructTemplate",
+    "DependentJoin",
+    "Distinct",
+    "EMPTY_TUPLE",
+    "FixPoint",
+    "GroupBy",
+    "HashJoin",
+    "Limit",
+    "Navigate",
+    "NestedLoopJoin",
+    "Operator",
+    "PatternMatch",
+    "Plan",
+    "Project",
+    "Select",
+    "Sort",
+    "TemplateText",
+    "TemplateVar",
+    "TreePattern",
+    "Union",
+    "build_elements",
+]

@@ -1,0 +1,205 @@
+"""Element construction with XML-QL-style grouping.
+
+A CONSTRUCT template builds one element per *distinct combination of the
+variables it uses directly*; nested templates repeat within their parent
+group.  That is the practical reading of XML-QL's Skolem-function
+grouping: in
+
+    CONSTRUCT <result><owner>$o</owner> <car>$c</car></result>
+
+each (o, c) pair makes a result, while
+
+    CONSTRUCT <owner name=$o> <car>$c</car> </owner>
+
+makes one ``owner`` per distinct $o containing all of that owner's cars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Union
+
+from repro.algebra.operators import Operator
+from repro.algebra.tuples import BindingTuple
+from repro.xmldm.nodes import Element, Text
+from repro.algebra.grouping import _aggregate
+from repro.xmldm.schema import atomic_to_text
+from repro.xmldm.values import NULL, Collection, Null, Record, _comparison_key
+
+
+@dataclass(frozen=True)
+class TemplateText:
+    """Literal text content inside a template."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class TemplateVar:
+    """A ``$var`` reference inside a template."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class TemplateAggregate:
+    """``kind($var)`` content: aggregate the variable over the element's
+    group.  Aggregated variables never contribute to grouping identity —
+    they are what grouping summarizes."""
+
+    kind: str  # count | sum | avg | min | max
+    var: str
+
+
+TemplateItem = Union[TemplateText, TemplateVar, TemplateAggregate, "ConstructTemplate"]
+
+
+@dataclass(frozen=True)
+class ConstructTemplate:
+    """An element template: tag, attributes, ordered content items.
+
+    Attribute values are either literal strings or :class:`TemplateVar`.
+    """
+
+    tag: str
+    attributes: tuple[tuple[str, "str | TemplateVar"], ...] = ()
+    children: tuple[TemplateItem, ...] = ()
+
+    def direct_vars(self) -> tuple[str, ...]:
+        """Grouping variables: used directly, excluding aggregated ones."""
+        names: list[str] = []
+        for _, value in self.attributes:
+            if isinstance(value, TemplateVar):
+                names.append(value.var)
+        for item in self.children:
+            if isinstance(item, TemplateVar):
+                names.append(item.var)
+        return tuple(dict.fromkeys(names))
+
+    def all_vars(self) -> tuple[str, ...]:
+        """Non-aggregated variables of the whole subtree."""
+        names = list(self.direct_vars())
+        for item in self.children:
+            if isinstance(item, ConstructTemplate):
+                names.extend(item.all_vars())
+        return tuple(dict.fromkeys(names))
+
+    def has_aggregates(self) -> bool:
+        return any(
+            isinstance(item, TemplateAggregate)
+            or (isinstance(item, ConstructTemplate) and item.has_aggregates())
+            for item in self.children
+        )
+
+    def describe(self) -> str:
+        return f"<{self.tag}>...({len(self.children)} items)"
+
+
+def build_elements(
+    template: ConstructTemplate, rows: list[BindingTuple]
+) -> list[Element]:
+    """Instantiate ``template`` over ``rows`` with grouped nesting.
+
+    Grouping key: the template's *direct* variables when it has any —
+    they determine the element's identity, the practical reading of
+    XML-QL's implicit Skolem functions — otherwise all variables in its
+    subtree (one element per distinct binding, duplicates collapsed).
+    """
+    group_vars = template.direct_vars() or template.all_vars()
+    groups: dict[tuple, list[BindingTuple]] = {}
+    order: list[tuple] = []
+    for row in rows:
+        key = tuple(_comparison_key(row.get(var, NULL)) for var in group_vars)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    elements: list[Element] = []
+    for key in order:
+        members = groups[key]
+        representative = members[0]
+        element = Element(template.tag)
+        for name, value in template.attributes:
+            if isinstance(value, TemplateVar):
+                bound = representative.get(value.var, NULL)
+                element.attributes[name] = (
+                    "" if isinstance(bound, Null) else atomic_to_text(bound)
+                    if not isinstance(bound, (Element, Record, Collection))
+                    else str(bound)
+                )
+            else:
+                element.attributes[name] = value
+        for item in template.children:
+            if isinstance(item, TemplateText):
+                if item.text:
+                    element.append(Text(item.text))
+            elif isinstance(item, TemplateVar):
+                _append_value(element, representative.get(item.var, NULL))
+            elif isinstance(item, TemplateAggregate):
+                values = [member.get(item.var, NULL) for member in members]
+                if item.kind != "count":
+                    # XML content is text: coerce numeric-looking strings
+                    # so sum/avg/min/max behave like their SQL namesakes
+                    values = [_numeric_or_self(v) for v in values]
+                _append_value(element, _aggregate(item.kind, values))
+            else:
+                for child in build_elements(item, members):
+                    element.append(child)
+        elements.append(element)
+    return elements
+
+
+def _numeric_or_self(value: Any) -> Any:
+    if isinstance(value, str):
+        try:
+            number = float(value)
+        except ValueError:
+            return value
+        return int(number) if number.is_integer() else number
+    return value
+
+
+def _append_value(element: Element, value: Any) -> None:
+    """Render a bound value as element content."""
+    if isinstance(value, Null):
+        return
+    if isinstance(value, Element):
+        element.append(value.copy())
+        return
+    if isinstance(value, Record):
+        for name, field_value in value.items():
+            wrapper = Element(name)
+            _append_value(wrapper, field_value)
+            element.append(wrapper)
+        return
+    if isinstance(value, Collection):
+        for item in value:
+            _append_value(element, item)
+        return
+    text = atomic_to_text(value)
+    if text:
+        element.append(Text(text))
+
+
+class Construct(Operator):
+    """Materialize the input and build result elements from a template.
+
+    Yields one tuple per constructed top-level element, bound to
+    ``out_var``.  Construct is a pipeline breaker (grouping requires the
+    full input), mirroring the physical reality the paper's engine faced.
+    """
+
+    def __init__(self, child: Operator, template: ConstructTemplate, out_var: str = "result"):
+        super().__init__(child)
+        self.template = template
+        self.out_var = out_var
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        rows = list(self.children[0])
+        if not rows:
+            return
+        for element in build_elements(self.template, rows):
+            yield BindingTuple({self.out_var: element})
+
+    def describe(self) -> str:
+        return f"Construct({self.template.describe()} -> ${self.out_var})"

@@ -1,0 +1,105 @@
+"""Join operators: hash (natural), nested-loop (theta) and dependent."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.algebra.operators import Operator, Predicate
+from repro.algebra.tuples import BindingTuple
+from repro.xmldm.values import _comparison_key  # stable hashable key for any value
+
+
+def _key_for(row: BindingTuple, variables: tuple[str, ...]) -> tuple | None:
+    parts = []
+    for var in variables:
+        if var not in row:
+            return None
+        parts.append(_comparison_key(row[var]))
+    return tuple(parts)
+
+
+class HashJoin(Operator):
+    """Natural join on explicitly named shared variables.
+
+    Builds a hash table over the right child keyed by the join variables'
+    values, then probes with the left.  Tuples lacking a join variable
+    never match (NULL-like semantics).
+    """
+
+    def __init__(self, left: Operator, right: Operator, join_vars: tuple[str, ...] | list[str]):
+        super().__init__(left, right)
+        self.join_vars = tuple(join_vars)
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        left, right = self.children
+        buckets: dict[tuple, list[BindingTuple]] = {}
+        for row in right:
+            key = _key_for(row, self.join_vars)
+            if key is not None:
+                buckets.setdefault(key, []).append(row)
+        for row in left:
+            key = _key_for(row, self.join_vars)
+            if key is None:
+                continue
+            for partner in buckets.get(key, ()):
+                merged = row.merge(partner)
+                if merged is not None:
+                    yield merged
+
+    def describe(self) -> str:
+        return f"HashJoin({', '.join('$' + v for v in self.join_vars)})"
+
+
+class NestedLoopJoin(Operator):
+    """Theta join: cross product filtered by an optional predicate.
+
+    Tuples that share variables must agree on them (merge unification);
+    an extra predicate can express non-equi conditions.
+    """
+
+    def __init__(self, left: Operator, right: Operator, predicate: Predicate | None = None):
+        super().__init__(left, right)
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        left, right = self.children
+        right_rows = list(right)
+        for row in left:
+            for partner in right_rows:
+                merged = row.merge(partner)
+                if merged is None:
+                    continue
+                if self.predicate is None or self.predicate(merged):
+                    yield merged
+
+    def describe(self) -> str:
+        return "NestedLoopJoin" + ("(θ)" if self.predicate else "")
+
+
+class DependentJoin(Operator):
+    """For each left tuple, run a right plan built from its bindings.
+
+    This is the operator behind binding-pattern sources (web services
+    that require input parameters): the optimizer places the dependent
+    side so its required variables are bound by the time it runs.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right_factory: Callable[[BindingTuple], Operator],
+        label: str = "",
+    ):
+        super().__init__(left)
+        self.right_factory = right_factory
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for row in self.children[0]:
+            for partner in self.right_factory(row):
+                merged = row.merge(partner)
+                if merged is not None:
+                    yield merged
+
+    def describe(self) -> str:
+        return f"DependentJoin({self.label or 'parameterized'})"

@@ -1,0 +1,68 @@
+"""Navigation operators: tree-pattern matching and path evaluation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.operators import Operator
+from repro.algebra.pattern import TreePattern, match_pattern
+from repro.algebra.tuples import BindingTuple
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Element
+from repro.xmldm.path import Path
+
+
+class PatternMatch(Operator):
+    """Match a tree pattern against the value bound to ``context_var``.
+
+    For each input tuple and each way the pattern matches the context
+    value, an extended tuple is produced.  Elements are searched at any
+    depth below (and including) the context element, so a pattern rooted
+    at ``<book>`` finds books wherever they live in the document — the
+    convenient XML-QL behaviour.
+    """
+
+    def __init__(self, child: Operator, context_var: str, pattern: TreePattern):
+        super().__init__(child)
+        self.context_var = context_var
+        self.pattern = pattern
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for row in self.children[0]:
+            context = row.get(self.context_var)
+            if context is None:
+                continue
+            if isinstance(context, Document):
+                context = context.root
+            if isinstance(context, Element):
+                tag = None if self.pattern.tag == "*" else self.pattern.tag
+                for candidate in context.descendants_or_self(tag):
+                    yield from match_pattern(self.pattern, candidate, row)
+            else:
+                yield from match_pattern(self.pattern, context, row)
+
+    def describe(self) -> str:
+        return f"PatternMatch(${self.context_var} ~ {self.pattern.describe()})"
+
+
+class Navigate(Operator):
+    """Bind ``out_var`` to each result of a path from ``context_var``."""
+
+    def __init__(self, child: Operator, context_var: str, path: Path | str, out_var: str):
+        super().__init__(child)
+        self.context_var = context_var
+        self.path = Path.parse(path) if isinstance(path, str) else path
+        self.out_var = out_var
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for row in self.children[0]:
+            context = row.get(self.context_var)
+            if context is None:
+                continue
+            for result in self.path.evaluate(context):
+                extended = row.extend(self.out_var, result)
+                if extended is not None:
+                    yield extended
+
+    def describe(self) -> str:
+        return f"Navigate(${self.context_var} {self.path.text} -> ${self.out_var})"

@@ -1,0 +1,193 @@
+"""Core tuple-at-a-time operators: select, project, compute, sort, union."""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.algebra.tuples import BindingTuple
+from repro.xmldm.values import compare_values
+
+Predicate = Callable[[BindingTuple], bool]
+ValueFn = Callable[[BindingTuple], Any]
+
+
+class Operator:
+    """Base class: an iterable of binding tuples with explain support.
+
+    ``rows_out`` counts tuples produced across all iterations; the
+    engine resets counters per query to report per-operator cardinality.
+    """
+
+    def __init__(self, *children: "Operator"):
+        self.children: tuple[Operator, ...] = children
+        self.rows_out = 0
+
+    def __iter__(self) -> Iterator[BindingTuple]:
+        for row in self._produce():
+            self.rows_out += 1
+            yield row
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def explain(self, depth: int = 0) -> str:
+        lines = ["  " * depth + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def reset_counters(self) -> None:
+        self.rows_out = 0
+        for child in self.children:
+            child.reset_counters()
+
+    def walk(self) -> Iterator["Operator"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Select(Operator):
+    """Keep tuples satisfying a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate, label: str = ""):
+        super().__init__(child)
+        self.predicate = predicate
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for row in self.children[0]:
+            if self.predicate(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Select({self.label})" if self.label else "Select"
+
+
+class Project(Operator):
+    """Keep only the named variables."""
+
+    def __init__(self, child: Operator, variables: Sequence[str]):
+        super().__init__(child)
+        self.variables = tuple(variables)
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for row in self.children[0]:
+            yield row.project(self.variables)
+
+    def describe(self) -> str:
+        return f"Project({', '.join('$' + v for v in self.variables)})"
+
+
+class Compute(Operator):
+    """Bind a new variable to a computed value."""
+
+    def __init__(self, child: Operator, var: str, fn: ValueFn, label: str = ""):
+        super().__init__(child)
+        self.var = var
+        self.fn = fn
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for row in self.children[0]:
+            extended = row.extend(self.var, self.fn(row))
+            if extended is not None:
+                yield extended
+
+    def describe(self) -> str:
+        suffix = f" = {self.label}" if self.label else ""
+        return f"Compute(${self.var}{suffix})"
+
+
+class Distinct(Operator):
+    """Remove duplicate tuples over the named variables (default: all)."""
+
+    def __init__(self, child: Operator, variables: Sequence[str] | None = None):
+        super().__init__(child)
+        self.variables = tuple(variables) if variables is not None else None
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        seen: list[BindingTuple] = []
+        seen_keys: set[str] = set()
+        for row in self.children[0]:
+            view = row if self.variables is None else row.project(self.variables)
+            key = repr(sorted(view.as_dict().items()))
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            yield row
+
+    def describe(self) -> str:
+        if self.variables is None:
+            return "Distinct"
+        return f"Distinct({', '.join('$' + v for v in self.variables)})"
+
+
+class Union(Operator):
+    """Concatenate the outputs of several children (bag union)."""
+
+    def __init__(self, *children: Operator):
+        super().__init__(*children)
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for child in self.children:
+            yield from child
+
+    def describe(self) -> str:
+        return f"Union({len(self.children)})"
+
+
+class Sort(Operator):
+    """Sort by key expressions using the model's total value order."""
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[tuple[ValueFn, bool]],
+        label: str = "",
+    ):
+        """``keys`` is a list of (value function, descending?) pairs."""
+        super().__init__(child)
+        self.keys = list(keys)
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        rows = list(self.children[0])
+
+        def compare(a: BindingTuple, b: BindingTuple) -> int:
+            for fn, descending in self.keys:
+                result = compare_values(fn(a), fn(b))
+                if result != 0:
+                    return -result if descending else result
+            return 0
+
+        rows.sort(key=cmp_to_key(compare))
+        yield from rows
+
+    def describe(self) -> str:
+        return f"Sort({self.label or len(self.keys)})"
+
+
+class Limit(Operator):
+    """Pass through at most ``count`` tuples (after any ordering)."""
+
+    def __init__(self, child: Operator, count: int):
+        super().__init__(child)
+        if count < 0:
+            raise ValueError("limit must be non-negative")
+        self.count = count
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        produced = 0
+        for row in self.children[0]:
+            if produced >= self.count:
+                return
+            produced += 1
+            yield row
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"

@@ -1,0 +1,70 @@
+"""Recursion: a semi-naive fixpoint operator.
+
+XML documents and views can be recursive ("recursion" is on the paper's
+section-4 feature list); FixPoint computes the transitive expansion of a
+seed set of tuples under a step function until no new tuples appear.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.algebra.operators import Operator
+from repro.algebra.tuples import BindingTuple
+from repro.errors import ExecutionError
+from repro.xmldm.values import _comparison_key
+
+
+def _tuple_key(row: BindingTuple) -> tuple:
+    return tuple(
+        sorted((var, _comparison_key(row[var])) for var in row.variables)
+    )
+
+
+class FixPoint(Operator):
+    """Semi-naive least fixpoint.
+
+    ``step`` maps the *delta* (newly discovered tuples) to candidate new
+    tuples; iteration stops when a round adds nothing.  ``max_rounds``
+    guards against non-terminating steps (raises ExecutionError).
+    """
+
+    def __init__(
+        self,
+        seed: Operator,
+        step: Callable[[list[BindingTuple]], "Iterator[BindingTuple] | list[BindingTuple]"],
+        label: str = "",
+        max_rounds: int = 10_000,
+    ):
+        super().__init__(seed)
+        self.step = step
+        self.label = label
+        self.max_rounds = max_rounds
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        seen: set[tuple] = set()
+        delta: list[BindingTuple] = []
+        for row in self.children[0]:
+            key = _tuple_key(row)
+            if key not in seen:
+                seen.add(key)
+                delta.append(row)
+                yield row
+        rounds = 0
+        while delta:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise ExecutionError(
+                    f"FixPoint({self.label}) exceeded {self.max_rounds} rounds"
+                )
+            next_delta: list[BindingTuple] = []
+            for row in self.step(delta):
+                key = _tuple_key(row)
+                if key not in seen:
+                    seen.add(key)
+                    next_delta.append(row)
+                    yield row
+            delta = next_delta
+
+    def describe(self) -> str:
+        return f"FixPoint({self.label or 'recursive'})"

@@ -1,0 +1,62 @@
+"""Leaf operators: the places tuples enter a plan."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.algebra.operators import Operator
+from repro.algebra.tuples import BindingTuple
+
+
+class BindingsSource(Operator):
+    """Replays a fixed list of binding tuples (constants, cached results)."""
+
+    def __init__(self, tuples: Iterable[BindingTuple], label: str = "bindings"):
+        super().__init__()
+        self.tuples = list(tuples)
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        yield from self.tuples
+
+    def describe(self) -> str:
+        return f"BindingsSource({self.label}, {len(self.tuples)})"
+
+
+class CollectionScan(Operator):
+    """Binds each item of an in-memory iterable to a variable."""
+
+    def __init__(self, var: str, items: Iterable[Any], label: str = ""):
+        super().__init__()
+        self.var = var
+        self.items = items
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for item in self.items:
+            yield BindingTuple({self.var: item})
+
+    def describe(self) -> str:
+        return f"CollectionScan(${self.var}{', ' + self.label if self.label else ''})"
+
+
+class CallbackScan(Operator):
+    """Binds items produced by a zero-argument callable at execution time.
+
+    This is the seam between the algebra and the wrapper layer: the engine
+    installs a callback that performs the (simulated) remote fetch when —
+    and only when — the plan actually runs.
+    """
+
+    def __init__(self, var: str, fetch: Callable[[], Iterable[Any]], label: str = ""):
+        super().__init__()
+        self.var = var
+        self.fetch = fetch
+        self.label = label
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for item in self.fetch():
+            yield BindingTuple({self.var: item})
+
+    def describe(self) -> str:
+        return f"CallbackScan(${self.var}, {self.label or 'callback'})"

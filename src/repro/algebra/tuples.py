@@ -1,0 +1,83 @@
+"""Binding tuples: the rows of the physical algebra."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.xmldm.values import values_equal
+
+
+class BindingTuple:
+    """An immutable map from variable name to model value.
+
+    Variables are written without the XML-QL ``$`` sigil internally.
+    ``extend`` produces a new tuple; attempting to rebind an existing
+    variable to a *different* value fails the extension (returns None),
+    which is exactly the unification behaviour tree-pattern matching
+    needs.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Any] | Iterable[tuple[str, Any]] = ()):
+        self._bindings: dict[str, Any] = dict(bindings)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._bindings)
+
+    def get(self, var: str, default: Any = None) -> Any:
+        return self._bindings.get(var, default)
+
+    def extend(self, var: str, value: Any) -> "BindingTuple | None":
+        """Bind ``var``; None when it is already bound to a different value."""
+        if var in self._bindings:
+            if values_equal(self._bindings[var], value):
+                return self
+            return None
+        bindings = dict(self._bindings)
+        bindings[var] = value
+        return BindingTuple(bindings)
+
+    def merge(self, other: "BindingTuple") -> "BindingTuple | None":
+        """Union of two tuples; None when any shared variable disagrees."""
+        bindings = dict(self._bindings)
+        for var, value in other._bindings.items():
+            if var in bindings:
+                if not values_equal(bindings[var], value):
+                    return None
+            else:
+                bindings[var] = value
+        return BindingTuple(bindings)
+
+    def project(self, variables: Iterable[str]) -> "BindingTuple":
+        return BindingTuple(
+            {var: self._bindings[var] for var in variables if var in self._bindings}
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._bindings)
+
+    def __getitem__(self, var: str) -> Any:
+        return self._bindings[var]
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BindingTuple):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"${k}={v!r}" for k, v in self._bindings.items())
+        return f"BindingTuple({inner})"
+
+
+EMPTY_TUPLE = BindingTuple()

@@ -1,0 +1,87 @@
+"""Dynamic data cleaning (paper, section 3.2).
+
+The cleaning subsystem covers the anomaly classes the paper enumerates
+— the object identity problem, the translation problem,
+representational inadequacy, drift over time — with:
+
+* extensible normalization functions (:mod:`normalize`) — "domain-
+  specific and customer-provided normalization and matching functions
+  are supported";
+* string similarity metrics and weighted record matchers
+  (:mod:`similarity`, :mod:`matchers`);
+* blocking: naive all-pairs and the sorted-neighborhood method of
+  Hernandez & Stolfo, the merge/purge baseline the paper cites
+  (:mod:`sortedneighborhood`);
+* a concordance database recording match decisions for replay
+  (:mod:`concordance`) — "a separate data store ... created to serve to
+  match records from two or more different original data sources";
+* two-phase operation (:mod:`flows`): MINING (interactive, human input
+  for disambiguation) and EXTRACTION (decisions replayed, exceptions
+  trapped "to allow extraction to continue with cleanup applied post-hoc
+  when a human is available");
+* data lineage with rollback (:mod:`lineage`);
+* interactive profiling tools for the mining phase (:mod:`mining`).
+"""
+
+from repro.cleaning.concordance import ConcordanceDB, Decision
+from repro.cleaning.flows import (
+    CleaningFlow,
+    FlowMode,
+    FlowResult,
+    LinkStep,
+    MatchStep,
+    NormalizeStep,
+)
+from repro.cleaning.lineage import LineageLog
+from repro.cleaning.matchers import FieldRule, MatchDecision, RecordMatcher
+from repro.cleaning.normalize import (
+    NormalizerRegistry,
+    normalize_city,
+    normalize_name,
+    normalize_phone,
+    normalize_street,
+    normalize_whitespace,
+)
+from repro.cleaning.sortedneighborhood import (
+    multi_pass_neighborhood,
+    naive_pairs,
+    sorted_neighborhood,
+)
+from repro.cleaning.similarity import (
+    jaccard_tokens,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    ngram_similarity,
+    string_similarity,
+)
+
+__all__ = [
+    "CleaningFlow",
+    "ConcordanceDB",
+    "Decision",
+    "FieldRule",
+    "FlowMode",
+    "FlowResult",
+    "LineageLog",
+    "LinkStep",
+    "MatchDecision",
+    "MatchStep",
+    "NormalizeStep",
+    "NormalizerRegistry",
+    "RecordMatcher",
+    "jaccard_tokens",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "multi_pass_neighborhood",
+    "naive_pairs",
+    "ngram_similarity",
+    "normalize_city",
+    "normalize_name",
+    "normalize_phone",
+    "normalize_street",
+    "normalize_whitespace",
+    "sorted_neighborhood",
+    "string_similarity",
+]

@@ -1,0 +1,126 @@
+"""The concordance database: remembered match decisions.
+
+"One of the features we have found essential in most practical
+situations is a separate data store that is created to serve to match
+records from two or more different original data sources.  We call this
+a concordance database" (section 3.2).  Decisions — automatic or human —
+are recorded once and replayed during extraction, so "past human
+decisions are reapplied via a concordance database".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.cleaning.matchers import MatchDecision
+from repro.errors import CleaningError
+
+#: A record is globally identified by (source name, record id).
+RecordRef = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded determination about a record pair."""
+
+    ref_a: RecordRef
+    ref_b: RecordRef
+    decision: MatchDecision
+    decided_by: str  # 'auto' or a human reviewer's name
+    score: float = 0.0
+    at_ms: float = 0.0
+
+    def key(self) -> tuple[RecordRef, RecordRef]:
+        return _pair_key(self.ref_a, self.ref_b)
+
+
+def _pair_key(a: RecordRef, b: RecordRef) -> tuple[RecordRef, RecordRef]:
+    return (a, b) if a <= b else (b, a)
+
+
+class ConcordanceDB:
+    """Decision store with lookup, recording, persistence and stats."""
+
+    def __init__(self) -> None:
+        self._decisions: dict[tuple[RecordRef, RecordRef], Decision] = {}
+        self.replays = 0
+
+    def record(self, decision: Decision, overwrite: bool = False) -> None:
+        key = decision.key()
+        if key in self._decisions and not overwrite:
+            existing = self._decisions[key]
+            if existing.decision != decision.decision:
+                raise CleaningError(
+                    f"conflicting concordance decision for {key}: "
+                    f"{existing.decision.value} vs {decision.decision.value}"
+                )
+            return
+        self._decisions[key] = decision
+
+    def lookup(self, a: RecordRef, b: RecordRef) -> Decision | None:
+        """Return the remembered decision for a pair, counting a replay."""
+        decision = self._decisions.get(_pair_key(a, b))
+        if decision is not None:
+            self.replays += 1
+        return decision
+
+    def matches_of(self, ref: RecordRef) -> list[RecordRef]:
+        """All records recorded as matching ``ref``."""
+        partners = []
+        for (a, b), decision in self._decisions.items():
+            if decision.decision is not MatchDecision.MATCH:
+                continue
+            if a == ref:
+                partners.append(b)
+            elif b == ref:
+                partners.append(a)
+        return partners
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._decisions.values())
+
+    def counts(self) -> dict[str, int]:
+        tally = {d.value: 0 for d in MatchDecision}
+        for decision in self._decisions.values():
+            tally[decision.decision.value] += 1
+        return tally
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write decisions to a JSON file."""
+        payload = [
+            {
+                "ref_a": list(d.ref_a),
+                "ref_b": list(d.ref_b),
+                "decision": d.decision.value,
+                "decided_by": d.decided_by,
+                "score": d.score,
+                "at_ms": d.at_ms,
+            }
+            for d in self._decisions.values()
+        ]
+        Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ConcordanceDB":
+        db = cls()
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        for item in payload:
+            db.record(
+                Decision(
+                    ref_a=(item["ref_a"][0], item["ref_a"][1]),
+                    ref_b=(item["ref_b"][0], item["ref_b"][1]),
+                    decision=MatchDecision(item["decision"]),
+                    decided_by=item["decided_by"],
+                    score=item.get("score", 0.0),
+                    at_ms=item.get("at_ms", 0.0),
+                )
+            )
+        return db

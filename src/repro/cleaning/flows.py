@@ -1,0 +1,339 @@
+"""Declarative cleaning flows with two-phase execution.
+
+"We use a declarative representation of the flow" (section 3.2, citing
+Galhardas et al.): a flow is an ordered list of steps — normalize,
+match, link — executed over named datasets.  Execution has two modes:
+
+* **MINING** — the interactive phase: ambiguous pairs are routed to a
+  reviewer callback and the human's verdicts are recorded in the
+  concordance database;
+* **EXTRACTION** — the autonomous phase: recorded decisions replay from
+  the concordance database, and ambiguous pairs that have no recorded
+  decision are *trapped as exceptions* so "extraction [can] continue
+  with cleanup applied post-hoc when a human is available".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.cleaning.concordance import ConcordanceDB, Decision, RecordRef
+from repro.cleaning.lineage import LineageLog
+from repro.cleaning.matchers import MatchDecision, RecordMatcher
+from repro.cleaning.normalize import NormalizerRegistry
+from repro.cleaning.sortedneighborhood import (
+    first_letters_key,
+    multi_pass_neighborhood,
+    naive_pairs,
+    reversed_field_key,
+    sorted_neighborhood,
+)
+from repro.errors import CleaningError
+from repro.xmldm.values import Null, Record
+
+Reviewer = Callable[[Record, Record, float], MatchDecision]
+
+
+class FlowMode(enum.Enum):
+    MINING = "mining"
+    EXTRACTION = "extraction"
+
+
+@dataclass(frozen=True)
+class NormalizeStep:
+    """Standardize one field in place with a named normalizer."""
+
+    field: str
+    normalizer: str
+
+
+@dataclass(frozen=True)
+class MatchStep:
+    """Generate candidate pairs and score them.
+
+    ``blocking`` is 'naive', 'snm' or 'multipass'; ``key_field`` feeds
+    the blocking key(s); ``window`` is the SNM neighbourhood size.
+    """
+
+    matcher: RecordMatcher
+    blocking: str = "snm"
+    key_field: str = "name"
+    window: int = 7
+    #: also record scored NONMATCH pairs in the concordance database, so
+    #: a later extraction run replays every determination instead of
+    #: re-scoring candidates (storage for speed)
+    record_nonmatches: bool = False
+
+    _BLOCKINGS = ("naive", "snm", "multipass")
+
+    def __post_init__(self) -> None:
+        if self.blocking not in self._BLOCKINGS:
+            raise CleaningError(f"unknown blocking {self.blocking!r}")
+
+
+@dataclass(frozen=True)
+class LinkStep:
+    """Cluster matched records and emit one golden record per cluster.
+
+    ``source_priority`` orders sources by trust: golden-record fields
+    take the first non-empty value in priority order.
+    """
+
+    source_priority: tuple[str, ...] = ()
+
+
+@dataclass
+class TrappedException:
+    """An ambiguous pair deferred during extraction."""
+
+    ref_a: RecordRef
+    ref_b: RecordRef
+    score: float
+
+
+@dataclass
+class FlowResult:
+    """Everything a flow run produces."""
+
+    matched_pairs: list[tuple[RecordRef, RecordRef]] = field(default_factory=list)
+    clusters: list[list[RecordRef]] = field(default_factory=list)
+    golden_records: list[Record] = field(default_factory=list)
+    exceptions: list[TrappedException] = field(default_factory=list)
+    pairs_compared: int = 0
+    pairs_replayed: int = 0
+    auto_decisions: int = 0
+    human_decisions: int = 0
+
+    def cluster_of(self, ref: RecordRef) -> list[RecordRef] | None:
+        for cluster in self.clusters:
+            if ref in cluster:
+                return cluster
+        return None
+
+
+class CleaningFlow:
+    """An ordered, reusable cleaning pipeline over named datasets."""
+
+    def __init__(
+        self,
+        name: str,
+        steps: Sequence[NormalizeStep | MatchStep | LinkStep],
+        registry: NormalizerRegistry | None = None,
+        concordance: ConcordanceDB | None = None,
+        lineage: LineageLog | None = None,
+    ):
+        self.name = name
+        self.steps = list(steps)
+        # `is None` checks matter here: an empty ConcordanceDB/LineageLog
+        # is falsy (len 0) but is still the caller's store to fill
+        self.registry = registry if registry is not None else NormalizerRegistry()
+        self.concordance = concordance if concordance is not None else ConcordanceDB()
+        self.lineage = lineage if lineage is not None else LineageLog()
+
+    def add_source(self, *args, **kwargs):  # pragma: no cover - guidance
+        raise CleaningError(
+            "datasets are passed to run(); flows are dataset-independent "
+            "so it is 'easy to add new data sources to an existing flow'"
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        datasets: dict[str, Sequence[Record]],
+        mode: FlowMode = FlowMode.EXTRACTION,
+        id_field: str = "id",
+        reviewer: Reviewer | None = None,
+        now_ms: float = 0.0,
+    ) -> FlowResult:
+        """Execute the flow over ``datasets`` (source name -> records)."""
+        if mode is FlowMode.MINING and reviewer is None:
+            raise CleaningError("MINING mode needs a reviewer callback")
+        refs: list[RecordRef] = []
+        working: list[Record] = []
+        for source_name, records in datasets.items():
+            for record in records:
+                identity = record.get(id_field)
+                if identity is None or isinstance(identity, Null):
+                    raise CleaningError(
+                        f"record in {source_name!r} lacks id field {id_field!r}"
+                    )
+                refs.append((source_name, str(identity)))
+                working.append(record)
+        result = FlowResult()
+        for step in self.steps:
+            if isinstance(step, NormalizeStep):
+                working = self._run_normalize(step, refs, working, now_ms)
+            elif isinstance(step, MatchStep):
+                self._run_match(step, refs, working, mode, reviewer, result, now_ms)
+            elif isinstance(step, LinkStep):
+                self._run_link(step, refs, working, result, now_ms)
+            else:  # pragma: no cover - defensive
+                raise CleaningError(f"unknown step {step!r}")
+        return result
+
+    # -- steps ---------------------------------------------------------------------
+
+    def _run_normalize(
+        self,
+        step: NormalizeStep,
+        refs: list[RecordRef],
+        working: list[Record],
+        now_ms: float,
+    ) -> list[Record]:
+        normalized: list[Record] = []
+        for ref, record in zip(refs, working):
+            value = record.get(step.field)
+            if value is None or isinstance(value, Null):
+                normalized.append(record)
+                continue
+            cleaned = self.registry.apply(step.normalizer, value)
+            if cleaned != value:
+                output_id = f"{ref[0]}:{ref[1]}#{step.field}~{step.normalizer}"
+                if self.lineage.entry_for(output_id) is None:
+                    self.lineage.record(
+                        output_id,
+                        [f"{ref[0]}:{ref[1]}"],
+                        operation=f"normalize:{step.normalizer}",
+                        at_ms=now_ms,
+                    )
+            normalized.append(record.with_field(step.field, cleaned))
+        return normalized
+
+    def _candidate_pairs(
+        self, step: MatchStep, working: list[Record]
+    ) -> Iterable[tuple[int, int]]:
+        if step.blocking == "naive":
+            return naive_pairs(working)
+        if step.blocking == "snm":
+            return sorted_neighborhood(
+                working, first_letters_key(step.key_field), step.window
+            )
+        return multi_pass_neighborhood(
+            working,
+            [first_letters_key(step.key_field), reversed_field_key(step.key_field)],
+            step.window,
+        )
+
+    def _run_match(
+        self,
+        step: MatchStep,
+        refs: list[RecordRef],
+        working: list[Record],
+        mode: FlowMode,
+        reviewer: Reviewer | None,
+        result: FlowResult,
+        now_ms: float,
+    ) -> None:
+        for i, j in self._candidate_pairs(step, working):
+            ref_a, ref_b = refs[i], refs[j]
+            if ref_a[0] == ref_b[0] and ref_a[1] == ref_b[1]:
+                continue
+            remembered = self.concordance.lookup(ref_a, ref_b)
+            if remembered is not None:
+                result.pairs_replayed += 1
+                if remembered.decision is MatchDecision.MATCH:
+                    result.matched_pairs.append((ref_a, ref_b))
+                continue
+            result.pairs_compared += 1
+            scored = step.matcher.score(working[i], working[j])
+            if scored.decision is MatchDecision.MATCH:
+                result.auto_decisions += 1
+                result.matched_pairs.append((ref_a, ref_b))
+                self.concordance.record(
+                    Decision(ref_a, ref_b, MatchDecision.MATCH, "auto",
+                             scored.score, now_ms)
+                )
+            elif scored.decision is MatchDecision.POSSIBLE:
+                if mode is FlowMode.MINING:
+                    assert reviewer is not None
+                    verdict = reviewer(working[i], working[j], scored.score)
+                    result.human_decisions += 1
+                    self.concordance.record(
+                        Decision(ref_a, ref_b, verdict, "reviewer",
+                                 scored.score, now_ms)
+                    )
+                    if verdict is MatchDecision.MATCH:
+                        result.matched_pairs.append((ref_a, ref_b))
+                else:
+                    # Trap the exception; extraction continues without it.
+                    result.exceptions.append(
+                        TrappedException(ref_a, ref_b, scored.score)
+                    )
+            elif step.record_nonmatches:
+                self.concordance.record(
+                    Decision(ref_a, ref_b, MatchDecision.NONMATCH, "auto",
+                             scored.score, now_ms)
+                )
+            # plain NONMATCH: not recorded by default — the concordance
+            # stores determinations, not quadratically many negatives.
+
+    def _run_link(
+        self,
+        step: LinkStep,
+        refs: list[RecordRef],
+        working: list[Record],
+        result: FlowResult,
+        now_ms: float,
+    ) -> None:
+        index_of = {ref: i for i, ref in enumerate(refs)}
+        parent = list(range(len(refs)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x: int, y: int) -> None:
+            root_x, root_y = find(x), find(y)
+            if root_x != root_y:
+                parent[root_y] = root_x
+
+        for ref_a, ref_b in result.matched_pairs:
+            union(index_of[ref_a], index_of[ref_b])
+        clusters: dict[int, list[int]] = {}
+        for i in range(len(refs)):
+            clusters.setdefault(find(i), []).append(i)
+        priority = {name: rank for rank, name in enumerate(step.source_priority)}
+        result.clusters = []
+        result.golden_records = []
+        for members in clusters.values():
+            member_refs = [refs[i] for i in members]
+            result.clusters.append(member_refs)
+            golden = self._merge(members, refs, working, priority)
+            result.golden_records.append(golden)
+            if len(members) > 1:
+                output_id = "golden:" + "+".join(
+                    f"{s}:{r}" for s, r in sorted(member_refs)
+                )
+                if self.lineage.entry_for(output_id) is None:
+                    self.lineage.record(
+                        output_id,
+                        [f"{s}:{r}" for s, r in member_refs],
+                        operation="merge",
+                        at_ms=now_ms,
+                    )
+
+    def _merge(
+        self,
+        members: list[int],
+        refs: list[RecordRef],
+        working: list[Record],
+        priority: dict[str, int],
+    ) -> Record:
+        ordered = sorted(
+            members, key=lambda i: priority.get(refs[i][0], len(priority))
+        )
+        merged: dict[str, Any] = {}
+        for i in ordered:
+            for name, value in working[i].items():
+                if name in merged:
+                    continue
+                if value is None or isinstance(value, Null) or value == "":
+                    continue
+                merged[name] = value
+        merged["__sources"] = ",".join(sorted({refs[i][0] for i in members}))
+        return Record(merged)

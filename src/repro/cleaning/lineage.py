@@ -1,0 +1,135 @@
+"""Data lineage: ancestry of every cleaning output, with rollback.
+
+"The system supports a data lineage mechanism, recording data ancestry,
+human decisions, and supporting roll-back whenever possible"
+(section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LineageError
+
+
+@dataclass(frozen=True)
+class LineageEntry:
+    """One derivation: output produced from inputs by an operation."""
+
+    output_id: str
+    input_ids: tuple[str, ...]
+    operation: str          # e.g. 'normalize', 'merge', 'link'
+    decided_by: str = "auto"
+    at_ms: float = 0.0
+    note: str = ""
+
+
+class LineageLog:
+    """Append-only derivation log with ancestry queries and rollback."""
+
+    def __init__(self) -> None:
+        self._entries: list[LineageEntry] = []
+        self._by_output: dict[str, LineageEntry] = {}
+        self._rolled_back: set[str] = set()
+
+    def record(
+        self,
+        output_id: str,
+        input_ids: tuple[str, ...] | list[str],
+        operation: str,
+        decided_by: str = "auto",
+        at_ms: float = 0.0,
+        note: str = "",
+    ) -> LineageEntry:
+        if output_id in self._by_output:
+            raise LineageError(f"output {output_id!r} already has lineage")
+        entry = LineageEntry(
+            output_id, tuple(input_ids), operation, decided_by, at_ms, note
+        )
+        self._entries.append(entry)
+        self._by_output[output_id] = entry
+        return entry
+
+    def entry_for(self, output_id: str) -> LineageEntry | None:
+        return self._by_output.get(output_id)
+
+    def ancestry(self, output_id: str) -> list[LineageEntry]:
+        """The full derivation tree above an output (depth-first)."""
+        result: list[LineageEntry] = []
+        stack = [output_id]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = self._by_output.get(current)
+            if entry is None:
+                continue
+            result.append(entry)
+            stack.extend(entry.input_ids)
+        return result
+
+    def leaves(self, output_id: str) -> list[str]:
+        """Original (source) record ids an output derives from."""
+        leaves: list[str] = []
+        stack = [output_id]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = self._by_output.get(current)
+            if entry is None:
+                leaves.append(current)
+            else:
+                stack.extend(entry.input_ids)
+        return sorted(leaves)
+
+    def descendants(self, record_id: str) -> list[str]:
+        """Every output that (transitively) derives from ``record_id``."""
+        found: list[str] = []
+        frontier = {record_id}
+        while frontier:
+            next_frontier: set[str] = set()
+            for entry in self._entries:
+                if entry.output_id in found:
+                    continue
+                if frontier & set(entry.input_ids):
+                    found.append(entry.output_id)
+                    next_frontier.add(entry.output_id)
+            frontier = next_frontier
+        return found
+
+    # -- rollback ------------------------------------------------------------
+
+    def rollback(self, output_id: str) -> list[str]:
+        """Invalidate an output and everything derived from it.
+
+        Returns the ids invalidated (the output plus its descendants).
+        Rolled-back outputs stay in the log (audit trail) but are
+        reported invalid.
+        """
+        if output_id not in self._by_output:
+            raise LineageError(f"no lineage for output {output_id!r}")
+        invalidated = [output_id] + self.descendants(output_id)
+        self._rolled_back.update(invalidated)
+        return invalidated
+
+    def is_valid(self, output_id: str) -> bool:
+        return output_id not in self._rolled_back
+
+    def valid_outputs(self) -> list[str]:
+        return [
+            entry.output_id
+            for entry in self._entries
+            if entry.output_id not in self._rolled_back
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LineageEntry]:
+        return iter(self._entries)

@@ -1,0 +1,106 @@
+"""Record matchers: weighted field comparison with a three-way verdict."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cleaning.similarity import string_similarity
+from repro.errors import CleaningError
+from repro.xmldm.values import Null, Record
+
+Metric = Callable[[str, str], float]
+Normalizer = Callable[[str], str]
+
+
+class MatchDecision(enum.Enum):
+    """The matcher's verdict on a record pair."""
+
+    MATCH = "match"
+    POSSIBLE = "possible"  # ambiguous: needs human disambiguation
+    NONMATCH = "nonmatch"
+
+
+@dataclass(frozen=True)
+class FieldRule:
+    """Compare one field pair with a metric, a weight and a normalizer."""
+
+    field_a: str
+    field_b: str | None = None  # defaults to field_a
+    metric: Metric = string_similarity
+    weight: float = 1.0
+    normalizer: Normalizer | None = None
+
+    @property
+    def right_field(self) -> str:
+        return self.field_b if self.field_b is not None else self.field_a
+
+
+@dataclass
+class MatchScore:
+    """The scored comparison of one record pair."""
+
+    score: float
+    decision: MatchDecision
+    per_field: dict[str, float] = field(default_factory=dict)
+
+
+class RecordMatcher:
+    """Weighted-average field similarity with match/possible thresholds.
+
+    Fields missing (or NULL) on either side are excluded from the
+    average rather than counted as mismatches — absent data is absent
+    evidence.
+    """
+
+    def __init__(
+        self,
+        rules: list[FieldRule],
+        match_threshold: float = 0.85,
+        possible_threshold: float = 0.65,
+    ):
+        if not rules:
+            raise CleaningError("a matcher needs at least one field rule")
+        if not 0.0 <= possible_threshold <= match_threshold <= 1.0:
+            raise CleaningError(
+                "thresholds must satisfy 0 <= possible <= match <= 1"
+            )
+        self.rules = list(rules)
+        self.match_threshold = match_threshold
+        self.possible_threshold = possible_threshold
+
+    def score(self, a: Record, b: Record) -> MatchScore:
+        total = 0.0
+        weight_sum = 0.0
+        per_field: dict[str, float] = {}
+        for rule in self.rules:
+            value_a = _text(a.get(rule.field_a))
+            value_b = _text(b.get(rule.right_field))
+            if value_a is None or value_b is None:
+                continue
+            if rule.normalizer is not None:
+                value_a = rule.normalizer(value_a)
+                value_b = rule.normalizer(value_b)
+            similarity = rule.metric(value_a, value_b)
+            per_field[rule.field_a] = similarity
+            total += rule.weight * similarity
+            weight_sum += rule.weight
+        score = total / weight_sum if weight_sum else 0.0
+        if score >= self.match_threshold:
+            decision = MatchDecision.MATCH
+        elif score >= self.possible_threshold:
+            decision = MatchDecision.POSSIBLE
+        else:
+            decision = MatchDecision.NONMATCH
+        return MatchScore(score, decision, per_field)
+
+    def decide(self, a: Record, b: Record) -> MatchDecision:
+        return self.score(a, b).decision
+
+
+def _text(value) -> str | None:
+    if value is None or isinstance(value, Null):
+        return None
+    text = str(value).strip()
+    return text if text else None

@@ -1,0 +1,179 @@
+"""Data-mining phase tools: interactive profiling and anomaly hunting.
+
+"Support for the datamining phase involves human-centered tools for
+interactively analyzing data, testing transforms, resolving
+ambiguities, looking for duplicates and anomalies, finding legacy data
+encoded in text fields, etc." (section 3.2).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cleaning.matchers import MatchDecision, RecordMatcher
+from repro.cleaning.sortedneighborhood import first_letters_key, sorted_neighborhood
+from repro.xmldm.values import Null, Record
+
+
+@dataclass
+class FieldProfile:
+    """Summary statistics of one field across a dataset."""
+
+    name: str
+    total: int
+    filled: int
+    distinct: int
+    top_patterns: list[tuple[str, int]]
+    min_length: int
+    max_length: int
+
+    @property
+    def fill_rate(self) -> float:
+        return self.filled / self.total if self.total else 0.0
+
+
+def value_pattern(value: str) -> str:
+    """Abstract a value's format: digits -> 9, letters -> A, else kept.
+
+    Runs are collapsed, so '206-555-0100' -> '9-9-9' and
+    'Seattle' -> 'A'.
+    """
+    out: list[str] = []
+    for ch in value:
+        if ch.isdigit():
+            symbol = "9"
+        elif ch.isalpha():
+            symbol = "A"
+        else:
+            symbol = ch
+        if not out or out[-1] != symbol:
+            out.append(symbol)
+    return "".join(out)
+
+
+def profile_dataset(records: Sequence[Record], top: int = 3) -> list[FieldProfile]:
+    """Per-field profiles over a dataset (field order of first record)."""
+    if not records:
+        return []
+    fields: list[str] = []
+    for record in records:
+        for name in record.fields:
+            if name not in fields:
+                fields.append(name)
+    profiles: list[FieldProfile] = []
+    for name in fields:
+        values: list[str] = []
+        filled = 0
+        for record in records:
+            value = record.get(name)
+            if value is None or isinstance(value, Null) or value == "":
+                continue
+            filled += 1
+            values.append(str(value))
+        patterns = Counter(value_pattern(v) for v in values)
+        profiles.append(
+            FieldProfile(
+                name=name,
+                total=len(records),
+                filled=filled,
+                distinct=len(set(values)),
+                top_patterns=patterns.most_common(top),
+                min_length=min((len(v) for v in values), default=0),
+                max_length=max((len(v) for v in values), default=0),
+            )
+        )
+    return profiles
+
+
+@dataclass
+class Anomaly:
+    """One suspicious finding for a human to review."""
+
+    field: str
+    kind: str  # 'mixed-format', 'low-fill', 'outlier-length'
+    detail: str
+
+
+def find_anomalies(
+    records: Sequence[Record],
+    min_fill_rate: float = 0.9,
+    dominant_pattern_share: float = 0.8,
+) -> list[Anomaly]:
+    """Flag fields with missing data, mixed formats or length outliers."""
+    anomalies: list[Anomaly] = []
+    for profile in profile_dataset(records):
+        if profile.fill_rate < min_fill_rate:
+            anomalies.append(
+                Anomaly(
+                    profile.name,
+                    "low-fill",
+                    f"only {profile.fill_rate:.0%} of records have a value",
+                )
+            )
+        if profile.top_patterns:
+            dominant = profile.top_patterns[0][1]
+            if profile.filled and dominant / profile.filled < dominant_pattern_share:
+                patterns = ", ".join(p for p, _ in profile.top_patterns)
+                anomalies.append(
+                    Anomaly(
+                        profile.name,
+                        "mixed-format",
+                        f"no dominant format (top: {patterns})",
+                    )
+                )
+        if profile.max_length > 0 and profile.max_length > 4 * max(profile.min_length, 1):
+            anomalies.append(
+                Anomaly(
+                    profile.name,
+                    "outlier-length",
+                    f"lengths range {profile.min_length}..{profile.max_length}",
+                )
+            )
+    return anomalies
+
+
+_LEGACY_CODE = re.compile(r"\b[A-Z]{2,}[-_/]\d{2,}\b")
+
+
+def find_legacy_codes(
+    records: Sequence[Record], text_field: str, pattern: re.Pattern | None = None
+) -> list[tuple[int, str]]:
+    """Find legacy identifiers hiding in free-text fields.
+
+    Returns (record index, matched code) pairs — e.g. old account
+    numbers like 'ACCT-0042' pasted into a notes column, the
+    "representational inadequacy" example of section 3.2.
+    """
+    regex = pattern or _LEGACY_CODE
+    findings: list[tuple[int, str]] = []
+    for index, record in enumerate(records):
+        value = record.get(text_field)
+        if value is None or isinstance(value, Null):
+            continue
+        for match in regex.findall(str(value)):
+            findings.append((index, match))
+    return findings
+
+
+def duplicate_report(
+    records: Sequence[Record],
+    matcher: RecordMatcher,
+    key_field: str,
+    window: int = 7,
+    limit: int = 50,
+) -> list[tuple[int, int, float]]:
+    """Candidate duplicates for interactive review, best-first.
+
+    Pairs scoring at least the matcher's POSSIBLE threshold, as
+    (index_a, index_b, score), highest score first.
+    """
+    scored: list[tuple[int, int, float]] = []
+    for i, j in sorted_neighborhood(records, first_letters_key(key_field), window):
+        result = matcher.score(records[i], records[j])
+        if result.decision is not MatchDecision.NONMATCH:
+            scored.append((i, j, result.score))
+    scored.sort(key=lambda item: item[2], reverse=True)
+    return scored[:limit]

@@ -1,0 +1,161 @@
+"""Normalization functions: the extensible standardization layer.
+
+"The framework is extensible, handling immediate needs (e.g., name and
+address standardization) and allowing for future enhancements ...
+Domain-specific and customer-provided normalization and matching
+functions are supported" (section 3.2).  Built-ins cover the immediate
+needs; :class:`NormalizerRegistry` is the extension point.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import CleaningError
+from repro.xmldm.values import Null
+
+Normalizer = Callable[[str], str]
+
+_STREET_ABBREVIATIONS = {
+    "st": "street",
+    "st.": "street",
+    "str": "street",
+    "ave": "avenue",
+    "ave.": "avenue",
+    "av": "avenue",
+    "blvd": "boulevard",
+    "blvd.": "boulevard",
+    "rd": "road",
+    "rd.": "road",
+    "dr": "drive",
+    "dr.": "drive",
+    "ln": "lane",
+    "ln.": "lane",
+    "ct": "court",
+    "ct.": "court",
+    "hwy": "highway",
+    "pkwy": "parkway",
+    "apt": "apartment",
+    "apt.": "apartment",
+    "ste": "suite",
+    "ste.": "suite",
+    "n": "north",
+    "n.": "north",
+    "s": "south",
+    "s.": "south",
+    "e": "east",
+    "e.": "east",
+    "w": "west",
+    "w.": "west",
+}
+
+_NAME_TITLES = {"mr", "mr.", "mrs", "mrs.", "ms", "ms.", "dr", "dr.", "prof",
+                "prof.", "sir", "jr", "jr.", "sr", "sr.", "ii", "iii", "iv"}
+
+
+def normalize_whitespace(value: str) -> str:
+    """Collapse runs of whitespace and trim."""
+    return " ".join(value.split())
+
+
+def normalize_case(value: str) -> str:
+    """Lower-case after whitespace normalization."""
+    return normalize_whitespace(value).lower()
+
+
+def strip_punctuation(value: str) -> str:
+    """Remove punctuation except intra-word hyphens/apostrophes."""
+    cleaned = re.sub(r"[^\w\s'\-]", " ", value)
+    return normalize_whitespace(cleaned)
+
+
+def normalize_name(value: str) -> str:
+    """Person-name standardization: case, titles, 'Last, First' order."""
+    text = normalize_case(value)
+    if "," in text:
+        last, _, first = text.partition(",")
+        text = f"{first.strip()} {last.strip()}"
+    text = strip_punctuation(text)
+    tokens = [token for token in text.split() if token not in _NAME_TITLES]
+    return " ".join(tokens)
+
+
+def normalize_street(value: str) -> str:
+    """Street standardization: case, punctuation, abbreviation expansion."""
+    text = strip_punctuation(normalize_case(value))
+    tokens = [_STREET_ABBREVIATIONS.get(token, token) for token in text.split()]
+    return " ".join(tokens)
+
+
+def normalize_city(value: str) -> str:
+    """City standardization: case and punctuation only."""
+    return strip_punctuation(normalize_case(value))
+
+
+def normalize_phone(value: str) -> str:
+    """Keep digits only; drop a leading country '1' on 11-digit numbers."""
+    digits = re.sub(r"\D", "", value)
+    if len(digits) == 11 and digits.startswith("1"):
+        digits = digits[1:]
+    return digits
+
+
+def normalize_email(value: str) -> str:
+    """Lower-case; strip '+tag' suffixes in the local part."""
+    text = normalize_case(value)
+    if "@" not in text:
+        return text
+    local, _, domain = text.partition("@")
+    local = local.partition("+")[0]
+    return f"{local}@{domain}"
+
+
+class NormalizerRegistry:
+    """The extension point: named normalizers, built-ins preloaded."""
+
+    def __init__(self) -> None:
+        self._normalizers: dict[str, Normalizer] = {
+            "whitespace": normalize_whitespace,
+            "case": normalize_case,
+            "punctuation": strip_punctuation,
+            "name": normalize_name,
+            "street": normalize_street,
+            "city": normalize_city,
+            "phone": normalize_phone,
+            "email": normalize_email,
+        }
+
+    def register(self, name: str, normalizer: Normalizer) -> None:
+        """Add a customer-provided normalizer (overriding is an error)."""
+        if name in self._normalizers:
+            raise CleaningError(f"normalizer {name!r} already registered")
+        self._normalizers[name] = normalizer
+
+    def get(self, name: str) -> Normalizer:
+        normalizer = self._normalizers.get(name)
+        if normalizer is None:
+            raise CleaningError(
+                f"unknown normalizer {name!r} (have {sorted(self._normalizers)})"
+            )
+        return normalizer
+
+    def chain(self, *names: str) -> Normalizer:
+        """Compose normalizers left to right."""
+        normalizers = [self.get(name) for name in names]
+
+        def composed(value: str) -> str:
+            for normalizer in normalizers:
+                value = normalizer(value)
+            return value
+
+        return composed
+
+    def apply(self, name: str, value) -> str:
+        """Apply by name; NULL and None pass through as empty string."""
+        if value is None or isinstance(value, Null):
+            return ""
+        return self.get(name)(str(value))
+
+    def names(self) -> list[str]:
+        return sorted(self._normalizers)

@@ -1,0 +1,31 @@
+"""The integration engine: the paper's primary contribution, assembled.
+
+:class:`NimbleEngine` wires the pieces together along Figure 1's path:
+parse (query language) -> resolve (metadata server/catalog) ->
+decompose + optimize (per-source fragments, capability- and cost-aware)
+-> execute (physical algebra over wrappers, with materialization and
+partial-results handling) -> construct (XML results) -> format (lenses).
+"""
+
+from repro.core.engine import EngineStats, NimbleEngine, QueryResult
+from repro.core.partial import Completeness, PartialResultPolicy
+from repro.core.loadbalance import EngineCluster, EngineInstance
+from repro.core.lens import Lens, LensServer
+from repro.core.auth import AccessController, User
+from repro.core.formatting import DeviceFormatter, format_result
+
+__all__ = [
+    "AccessController",
+    "Completeness",
+    "DeviceFormatter",
+    "EngineCluster",
+    "EngineInstance",
+    "EngineStats",
+    "Lens",
+    "LensServer",
+    "NimbleEngine",
+    "PartialResultPolicy",
+    "QueryResult",
+    "User",
+    "format_result",
+]

@@ -1,0 +1,61 @@
+"""Authentication/authorization for the lens front end."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import AuthError
+
+
+@dataclass
+class User:
+    """A front-end principal with roles."""
+
+    name: str
+    roles: frozenset[str] = frozenset()
+    password_hash: str = ""
+
+    @staticmethod
+    def hash_password(password: str) -> str:
+        return hashlib.sha256(password.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def create(cls, name: str, password: str, roles: set[str] | None = None) -> "User":
+        return cls(name, frozenset(roles or ()), cls.hash_password(password))
+
+    def check_password(self, password: str) -> bool:
+        return self.password_hash == self.hash_password(password)
+
+
+class AccessController:
+    """Users and per-lens role requirements.
+
+    A lens "contains ... authentication information" (section 2.1): the
+    lens names the roles allowed to invoke it; the controller verifies
+    credentials and role membership.
+    """
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+
+    def add_user(self, name: str, password: str, roles: set[str] | None = None) -> User:
+        if name in self._users:
+            raise AuthError(f"user {name!r} already exists")
+        user = User.create(name, password, roles)
+        self._users[name] = user
+        return user
+
+    def authenticate(self, name: str, password: str) -> User:
+        user = self._users.get(name)
+        if user is None or not user.check_password(password):
+            raise AuthError("invalid credentials")
+        return user
+
+    def authorize(self, user: User, required_roles: frozenset[str]) -> None:
+        """Raise unless the user holds at least one required role."""
+        if required_roles and not (user.roles & required_roles):
+            raise AuthError(
+                f"user {user.name!r} lacks required roles "
+                f"{sorted(required_roles)}"
+            )

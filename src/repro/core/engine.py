@@ -1,0 +1,323 @@
+"""The integration engine: end-to-end XML-QL query service."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.partial import Completeness, PartialResultPolicy
+from repro.errors import MediationError, SourceUnavailableError
+from repro.materialize.manager import MaterializationManager
+from repro.mediator.catalog import Catalog
+from repro.mediator.schema import ViewDef
+from repro.optimizer.costs import CostModel
+from repro.optimizer.decomposer import FragmentUnit, decompose
+from repro.optimizer.planner import PlanBuilder
+from repro.query import ast as qast
+from repro.query.binder import bind_query
+from repro.query.parser import parse_query
+from repro.simtime import SimClock
+from repro.sources.base import Fragment
+from repro.xmldm.nodes import Element
+from repro.xmldm.values import Record
+
+
+@dataclass
+class EngineStats:
+    """Per-query execution accounting."""
+
+    elapsed_virtual_ms: float = 0.0
+    elapsed_wall_ms: float = 0.0
+    fragments_executed: int = 0
+    fragments_from_cache: int = 0
+    fragments_skipped: int = 0
+    rows_transferred: int = 0
+    remote_calls: int = 0
+    plan_text: str = ""
+
+
+@dataclass
+class QueryResult:
+    """What a query returns: elements, completeness, accounting."""
+
+    elements: list[Element]
+    completeness: Completeness
+    stats: EngineStats
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def first(self) -> Element | None:
+        return self.elements[0] if self.elements else None
+
+
+class _ExecutionContext:
+    """One query execution: policy, completeness, view memo, accounting."""
+
+    def __init__(self, engine: "NimbleEngine", policy: PartialResultPolicy,
+                 required_sources: frozenset[str]):
+        self.engine = engine
+        self.policy = policy
+        self.required_sources = required_sources
+        self.completeness = Completeness()
+        self.stats = EngineStats()
+        self._view_memo: dict[str, list[Element]] = {}
+
+    # -- the two calls FragmentScan / view scans make ------------------------
+
+    def fetch_fragment(
+        self, unit: FragmentUnit, params: dict[str, Any] | None = None
+    ) -> list[Record]:
+        engine = self.engine
+        fragment = unit.fragment
+        if params is None and engine.materializer is not None:
+            served = engine.materializer.serve(fragment)
+            if served is not None:
+                self.stats.fragments_from_cache += 1
+                return served
+        started = engine.clock.now
+        try:
+            records = unit.source.execute(fragment, params)
+        except SourceUnavailableError:
+            if self.policy is PartialResultPolicy.FAIL:
+                raise
+            if (
+                self.policy is PartialResultPolicy.REQUIRE
+                and unit.source.name in self.required_sources
+            ):
+                raise
+            self.completeness.record_skip(unit.source.name)
+            self.stats.fragments_skipped += 1
+            return []
+        cost = engine.clock.now - started
+        self.stats.fragments_executed += 1
+        self.stats.remote_calls += 1
+        self.stats.rows_transferred += len(records)
+        if engine.materializer is not None and params is None:
+            engine.materializer.record_remote(fragment, unit.source, cost, len(records))
+        return records
+
+    def fetch_view(self, view: ViewDef) -> list[Element]:
+        if view.name in self._view_memo:
+            return self._view_memo[view.name]
+        if self.engine.materializer is not None:
+            served = self.engine.materializer.serve_view(view.name)
+            if served is not None:
+                self.stats.fragments_from_cache += 1
+                self._view_memo[view.name] = served
+                return served
+        result = self.engine._execute(view.query, self.policy,
+                                      self.required_sources, parent=self)
+        self._view_memo[view.name] = result.elements
+        return result.elements
+
+
+class NimbleEngine:
+    """The query service over a catalog of sources and mediated schemas.
+
+    >>> engine = NimbleEngine(catalog)                      # doctest: +SKIP
+    >>> result = engine.query('WHERE ... CONSTRUCT ...')    # doctest: +SKIP
+    >>> result.completeness.complete                        # doctest: +SKIP
+
+    ``default_policy`` answers the paper's open question about defaults:
+    SKIP with annotation, overridable per query.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        materializer: MaterializationManager | None = None,
+        default_policy: PartialResultPolicy = PartialResultPolicy.SKIP,
+        pushdown: bool = True,
+        name: str = "engine",
+    ):
+        self.catalog = catalog
+        self.clock: SimClock = catalog.registry.clock
+        self.cost_model = cost_model or CostModel()
+        self.materializer = materializer
+        self.default_policy = default_policy
+        self.pushdown = pushdown
+        self.name = name
+        self.builder = PlanBuilder(self.cost_model)
+        self.queries_run = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def query(
+        self,
+        text: str | qast.Query,
+        policy: PartialResultPolicy | None = None,
+        required_sources: set[str] | None = None,
+    ) -> QueryResult:
+        """Run one XML-QL query and return annotated results."""
+        query = parse_query(text) if isinstance(text, str) else text
+        effective = policy or self.default_policy
+        if required_sources and effective is not PartialResultPolicy.FAIL:
+            effective = PartialResultPolicy.REQUIRE
+        return self._execute(query, effective,
+                             frozenset(required_sources or ()))
+
+    def flwor_query(
+        self,
+        text: str,
+        policy: PartialResultPolicy | None = None,
+    ) -> QueryResult:
+        """Run a FLWOR (XQuery-style) query over the same catalog.
+
+        The paper planned to "adopt the standard query language
+        recommended by the W3C Query Working Group"; because only a
+        physical algebra was built, swapping the language is a front-end
+        change.  FLWOR sources are fetched wholesale (no pushdown) —
+        the unoptimized access path — with the same partial-results
+        policies.
+        """
+        from repro.mediator.mapping import RelationMapping
+        from repro.mediator.schema import ViewDef
+        from repro.query.flwor import translate_flwor
+
+        effective = policy or self.default_policy
+        self.queries_run += 1
+        context = _ExecutionContext(self, effective, frozenset())
+
+        def resolver(name: str):
+            resolved = self.catalog.resolve(name)
+            if isinstance(resolved, ViewDef):
+                return context.fetch_view(resolved)
+            if isinstance(resolved, RelationMapping):
+                source = self.catalog.registry.get(resolved.source_name)
+                relation = resolved.source_relation
+            else:
+                source = self.catalog.registry.get(resolved.source_name)
+                relation = resolved.relation
+            try:
+                items = source.fetch_all(relation)
+            except SourceUnavailableError:
+                if effective is PartialResultPolicy.FAIL:
+                    raise
+                context.completeness.record_skip(source.name)
+                context.stats.fragments_skipped += 1
+                return []
+            context.stats.fragments_executed += 1
+            context.stats.remote_calls += 1
+            context.stats.rows_transferred += len(items)
+            return items
+
+        plan = translate_flwor(text, resolver)
+        started_virtual = self.clock.now
+        started_wall = time.perf_counter()
+        elements = plan.results()
+        context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
+        context.stats.elapsed_wall_ms = (time.perf_counter() - started_wall) * 1000
+        context.stats.plan_text = plan.explain()
+        return QueryResult(elements, context.completeness, context.stats)
+
+    def explain(self, text: str | qast.Query) -> str:
+        """The physical plan the engine would run, as indented text."""
+        query = parse_query(text) if isinstance(text, str) else text
+        bound = bind_query(query)
+        decomposed = decompose(bound, self.catalog, self.pushdown)
+        context = _ExecutionContext(self, self.default_policy, frozenset())
+        plan = self.builder.build(decomposed, context)
+        return plan.explain()
+
+    def materialize_query_fragments(self, text: str | qast.Query,
+                                    policy=None) -> int:
+        """Materialize every remote fragment a query would execute.
+
+        The management-tools path: "enable specification of which data
+        sources (or queries over data sources) should be materialized in
+        a local store".  Returns the number of fragments materialized.
+        """
+        if self.materializer is None:
+            raise MediationError("engine has no materialization manager")
+        query = parse_query(text) if isinstance(text, str) else text
+        bound = bind_query(query)
+        decomposed = decompose(bound, self.catalog, self.pushdown)
+        count = 0
+        for unit in decomposed.units:
+            if not isinstance(unit, FragmentUnit) or unit.dependent:
+                continue
+            if self.materializer.store.get(
+                _fragment_store_key(unit.fragment)
+            ) is not None:
+                continue
+            self.materializer.materialize(
+                unit.fragment, lambda f, u=unit: u.source.execute(f), policy
+            )
+            count += 1
+        return count
+
+    def materialize_view(self, name: str, policy=None):
+        """Materialize a mediated view's result elements in the local store.
+
+        This is the paper's headline materialization unit: "one does not
+        design a warehouse schema.  Instead, one materializes views over
+        the mediated schema."  The view stays fresh per its policy; the
+        engine transparently serves it on later queries.
+        """
+        if self.materializer is None:
+            raise MediationError("engine has no materialization manager")
+        resolved = self.catalog.resolve(name)
+        if not isinstance(resolved, ViewDef):
+            raise MediationError(f"{name!r} is not a mediated view")
+
+        def fetch() -> list[Element]:
+            return self._execute(
+                resolved.query, PartialResultPolicy.FAIL, frozenset()
+            ).elements
+
+        return self.materializer.materialize_view(name, fetch, policy)
+
+    def refresh_materialized_views(self) -> int:
+        """Re-execute every stale materialized mediated view."""
+        if self.materializer is None:
+            return 0
+
+        def fetch(name: str) -> list[Element]:
+            resolved = self.catalog.resolve(name)
+            assert isinstance(resolved, ViewDef)
+            return self._execute(
+                resolved.query, PartialResultPolicy.FAIL, frozenset()
+            ).elements
+
+        return self.materializer.refresh_stale_views(fetch)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _execute(
+        self,
+        query: qast.Query,
+        policy: PartialResultPolicy,
+        required_sources: frozenset[str],
+        parent: _ExecutionContext | None = None,
+    ) -> QueryResult:
+        self.queries_run += 1
+        context = _ExecutionContext(self, policy, required_sources)
+        bound = bind_query(query)
+        decomposed = decompose(bound, self.catalog, self.pushdown)
+        plan = self.builder.build(decomposed, context)
+        started_virtual = self.clock.now
+        started_wall = time.perf_counter()
+        elements = plan.results()
+        context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
+        context.stats.elapsed_wall_ms = (time.perf_counter() - started_wall) * 1000
+        context.stats.plan_text = plan.explain()
+        if parent is not None:
+            parent.completeness.merge(context.completeness)
+            parent.stats.fragments_executed += context.stats.fragments_executed
+            parent.stats.fragments_from_cache += context.stats.fragments_from_cache
+            parent.stats.fragments_skipped += context.stats.fragments_skipped
+            parent.stats.rows_transferred += context.stats.rows_transferred
+            parent.stats.remote_calls += context.stats.remote_calls
+        return QueryResult(elements, context.completeness, context.stats)
+
+
+def _fragment_store_key(fragment: Fragment) -> str:
+    from repro.materialize.matching import fragment_key
+
+    return fragment_key(fragment)

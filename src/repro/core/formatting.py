@@ -1,0 +1,113 @@
+"""Device-targeted result formatting for lenses.
+
+"Result formatting can be targeted to specific devices (e.g., web
+interface, wireless device)" (section 2.1).  In place of XSL, a small
+set of renderers turns result elements into device-appropriate text:
+
+* ``xml``      — canonical serialization (the lower-level interface);
+* ``web``      — nested HTML definition lists;
+* ``wireless`` — terse WML-era card text, hard-capped line width;
+* ``text``     — indented plain text for terminals/logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import LensError
+from repro.xmldm.nodes import Element, Text
+from repro.xmldm.serializer import escape_text, serialize
+
+DEVICES = ("xml", "web", "wireless", "text")
+
+
+def format_result(elements: Iterable[Element], device: str = "xml") -> str:
+    """Render result elements for a device."""
+    elements = list(elements)
+    if device == "xml":
+        return "\n".join(serialize(element) for element in elements)
+    if device == "web":
+        return _format_web(elements)
+    if device == "wireless":
+        return _format_wireless(elements)
+    if device == "text":
+        return "\n".join(_format_text(element, 0) for element in elements)
+    raise LensError(f"unknown device {device!r} (choose from {DEVICES})")
+
+
+class DeviceFormatter:
+    """A reusable formatter bound to one device."""
+
+    def __init__(self, device: str = "xml"):
+        if device not in DEVICES:
+            raise LensError(f"unknown device {device!r} (choose from {DEVICES})")
+        self.device = device
+
+    def render(self, elements: Iterable[Element]) -> str:
+        return format_result(elements, self.device)
+
+
+def _format_web(elements: list[Element]) -> str:
+    parts = ["<div class=\"results\">"]
+    for element in elements:
+        parts.append(_web_element(element))
+    parts.append("</div>")
+    return "\n".join(parts)
+
+
+def _web_element(element: Element) -> str:
+    children = [c for c in element.children if isinstance(c, Element)]
+    title_bits = [f"<dt>{escape_text(element.tag)}"]
+    for name, value in element.attributes.items():
+        title_bits.append(f" <em>{escape_text(name)}={escape_text(value)}</em>")
+    title_bits.append("</dt>")
+    if not children:
+        body = escape_text(element.text_content().strip())
+        return f"<dl>{''.join(title_bits)}<dd>{body}</dd></dl>"
+    inner = "".join(_web_element(child) for child in children)
+    return f"<dl>{''.join(title_bits)}<dd>{inner}</dd></dl>"
+
+
+_WIRELESS_WIDTH = 40
+
+
+def _format_wireless(elements: list[Element]) -> str:
+    lines: list[str] = []
+    for element in elements:
+        lines.append(_truncate(_flatten(element)))
+    return "\n".join(lines)
+
+
+def _flatten(element: Element) -> str:
+    bits: list[str] = []
+    for name, value in element.attributes.items():
+        bits.append(f"{name}:{value}")
+    for child in element.children:
+        if isinstance(child, Element):
+            text = child.text_content().strip()
+            if text:
+                bits.append(f"{child.tag}:{text}")
+            else:
+                bits.append(_flatten(child))
+        elif isinstance(child, Text) and child.value.strip():
+            bits.append(child.value.strip())
+    return " | ".join(bit for bit in bits if bit)
+
+
+def _truncate(line: str) -> str:
+    if len(line) <= _WIRELESS_WIDTH:
+        return line
+    return line[: _WIRELESS_WIDTH - 1] + "…"
+
+
+def _format_text(element: Element, depth: int) -> str:
+    pad = "  " * depth
+    lines = [f"{pad}{element.tag}"]
+    for name, value in element.attributes.items():
+        lines.append(f"{pad}  @{name}: {value}")
+    for child in element.children:
+        if isinstance(child, Element):
+            lines.append(_format_text(child, depth + 1))
+        elif isinstance(child, Text) and child.value.strip():
+            lines.append(f"{pad}  {child.value.strip()}")
+    return "\n".join(lines)

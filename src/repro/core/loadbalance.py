@@ -1,0 +1,136 @@
+"""Load balancing: multiple engine instances on one or more servers.
+
+"Load balancing is provided; multiple instances of the integration
+engine can be run simultaneously on one or more servers" (section 2.1).
+The cluster is a discrete-event queueing simulation over virtual time:
+each instance serves one query at a time, dispatch strategies choose the
+instance, and benchmark E6 measures throughput and tail latency as the
+instance count grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.engine import NimbleEngine, QueryResult
+from repro.core.partial import PartialResultPolicy
+from repro.errors import PlanningError
+
+
+@dataclass
+class EngineInstance:
+    """One engine process in the cluster."""
+
+    name: str
+    free_at_ms: float = 0.0
+    queries_served: int = 0
+    busy_ms: float = 0.0
+
+
+@dataclass
+class CompletedQuery:
+    """Timing of one dispatched query."""
+
+    instance: str
+    arrival_ms: float
+    start_ms: float
+    completion_ms: float
+    result: QueryResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completion_ms - self.arrival_ms
+
+    @property
+    def queue_ms(self) -> float:
+        return self.start_ms - self.arrival_ms
+
+
+class EngineCluster:
+    """Dispatches queries across engine instances.
+
+    All instances share one :class:`NimbleEngine` for actual evaluation
+    (they are processes over the same catalog); what differs per
+    instance is queueing.  Service time for a query is its measured
+    virtual execution time on the shared engine.
+    """
+
+    STRATEGIES = ("round_robin", "least_loaded", "random")
+
+    def __init__(self, engine: NimbleEngine, instances: int = 1,
+                 strategy: str = "least_loaded", seed: int = 11):
+        if instances < 1:
+            raise PlanningError("a cluster needs at least one instance")
+        if strategy not in self.STRATEGIES:
+            raise PlanningError(f"unknown dispatch strategy {strategy!r}")
+        self.engine = engine
+        self.instances = [EngineInstance(f"{engine.name}-{i}") for i in range(instances)]
+        self.strategy = strategy
+        self._next = 0
+        import random
+
+        self._rng = random.Random(seed)
+        self.completed: list[CompletedQuery] = []
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _choose(self) -> EngineInstance:
+        if self.strategy == "round_robin":
+            instance = self.instances[self._next % len(self.instances)]
+            self._next += 1
+            return instance
+        if self.strategy == "random":
+            return self._rng.choice(self.instances)
+        return min(self.instances, key=lambda i: (i.free_at_ms, i.name))
+
+    def submit(
+        self,
+        query_text: str,
+        arrival_ms: float,
+        policy: PartialResultPolicy | None = None,
+    ) -> CompletedQuery:
+        """Dispatch one query arriving at ``arrival_ms`` (virtual time)."""
+        instance = self._choose()
+        start = max(arrival_ms, instance.free_at_ms)
+        result = self.engine.query(query_text, policy=policy)
+        service = result.stats.elapsed_virtual_ms
+        completion = start + service
+        instance.free_at_ms = completion
+        instance.queries_served += 1
+        instance.busy_ms += service
+        record = CompletedQuery(instance.name, arrival_ms, start, completion, result)
+        self.completed.append(record)
+        return record
+
+    def run_schedule(
+        self, queries: list[tuple[float, str]], policy=None
+    ) -> list[CompletedQuery]:
+        """Dispatch a (arrival_ms, query_text) schedule in arrival order."""
+        return [
+            self.submit(text, arrival, policy)
+            for arrival, text in sorted(queries, key=lambda q: q[0])
+        ]
+
+    # -- reporting -----------------------------------------------------------------
+
+    def latencies(self) -> list[float]:
+        return [record.latency_ms for record in self.completed]
+
+    def percentile_latency(self, fraction: float) -> float:
+        values = sorted(self.latencies())
+        if not values:
+            return 0.0
+        index = min(int(fraction * len(values)), len(values) - 1)
+        return values[index]
+
+    def makespan_ms(self) -> float:
+        if not self.completed:
+            return 0.0
+        start = min(record.arrival_ms for record in self.completed)
+        end = max(record.completion_ms for record in self.completed)
+        return end - start
+
+    def throughput_qps(self) -> float:
+        span = self.makespan_ms()
+        if span <= 0:
+            return 0.0
+        return len(self.completed) / (span / 1000.0)

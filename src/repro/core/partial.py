@@ -1,0 +1,67 @@
+"""Partial results under source unavailability (paper, section 3.4).
+
+"It is often not acceptable in this situation to simply return an error
+or an empty result ... We are designing our system to behave
+intelligently in this situation by providing partial results, and
+indicating to the user that the results were not complete."
+
+The section's open question — "whether and how to allow the query to
+specify behavior when data sources are unavailable, and what the default
+behavior should be" — is answered here with a per-query
+:class:`PartialResultPolicy`; the system default is SKIP (answer with
+what is reachable, annotated).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PartialResultPolicy(enum.Enum):
+    """What to do when a source is unavailable mid-query."""
+
+    #: raise — the query fails (classical behaviour)
+    FAIL = "fail"
+    #: treat the source's contribution as empty and annotate the result
+    SKIP = "skip"
+    #: skip, unless the source is in the query's required set
+    REQUIRE = "require"
+
+
+@dataclass
+class Completeness:
+    """The annotation returned with every answer.
+
+    ``complete`` is True only when no fragment was skipped.  A SKIP'd
+    source makes the answer a *lower bound*: every returned element is
+    correct, but elements may be missing (our queries are monotone —
+    no negation/aggregation across sources — so lower-bound is sound).
+    """
+
+    complete: bool = True
+    missing_sources: list[str] = field(default_factory=list)
+    skipped_fragments: int = 0
+
+    def record_skip(self, source_name: str) -> None:
+        self.complete = False
+        self.skipped_fragments += 1
+        if source_name not in self.missing_sources:
+            self.missing_sources.append(source_name)
+
+    def merge(self, other: "Completeness") -> None:
+        """Fold a sub-execution's completeness into this one."""
+        if not other.complete:
+            self.complete = False
+        self.skipped_fragments += other.skipped_fragments
+        for name in other.missing_sources:
+            if name not in self.missing_sources:
+                self.missing_sources.append(name)
+
+    def describe(self) -> str:
+        if self.complete:
+            return "complete"
+        return (
+            "INCOMPLETE (lower bound): missing "
+            + ", ".join(self.missing_sources)
+        )

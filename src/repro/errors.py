@@ -1,0 +1,110 @@
+"""Exception hierarchy shared by every subsystem of the integration engine.
+
+All errors raised by the library derive from :class:`ReproError` so that
+applications can catch one base class at an API boundary.  Subsystems
+define narrower classes here rather than locally so that cross-module
+code (the engine, the tests) can name them without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when a document is not well-formed XML (subset)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class PathSyntaxError(ReproError):
+    """Raised for malformed navigation path expressions."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised when an XML-QL query fails to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class BindingError(ReproError):
+    """Raised during semantic analysis (unbound/misused variables)."""
+
+
+class SQLError(ReproError):
+    """Base class for the embedded relational engine's errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """Raised when a SQL statement fails to lex or parse."""
+
+
+class SQLSchemaError(SQLError):
+    """Raised for unknown tables/columns or DDL conflicts."""
+
+
+class SQLTypeError(SQLError):
+    """Raised when a value cannot be coerced to a column's type."""
+
+
+class SQLIntegrityError(SQLError):
+    """Raised on primary-key or NOT NULL violations."""
+
+
+class SourceError(ReproError):
+    """Base class for data-source wrapper failures."""
+
+
+class SourceUnavailableError(SourceError):
+    """Raised when a source is offline or unreachable."""
+
+    def __init__(self, source_name: str, reason: str = "offline"):
+        super().__init__(f"source {source_name!r} unavailable: {reason}")
+        self.source_name = source_name
+        self.reason = reason
+
+
+class CapabilityError(SourceError):
+    """Raised when a fragment exceeds a source's query capabilities."""
+
+
+class MediationError(ReproError):
+    """Raised for bad mappings, unknown mediated relations, or view cycles."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised for runtime failures inside a physical plan."""
+
+
+class CleaningError(ReproError):
+    """Raised by the data-cleaning subsystem."""
+
+
+class LineageError(CleaningError):
+    """Raised on inconsistent lineage operations (bad rollback, etc.)."""
+
+
+class MaterializationError(ReproError):
+    """Raised by the materialization/caching subsystem."""
+
+
+class AuthError(ReproError):
+    """Raised when a lens invocation fails authentication or authorization."""
+
+
+class LensError(ReproError):
+    """Raised for misconfigured or misused lenses."""

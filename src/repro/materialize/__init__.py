@@ -1,0 +1,34 @@
+"""Materialization and caching: the compound architecture of section 3.3.
+
+"A cornerstone of our architecture is that the system should be
+configurable to query on demand as well as materialize some data
+locally ... one does not design a warehouse schema.  Instead, one
+materializes views over the mediated schema."
+
+* :mod:`store` — the local store of materialized fragment results;
+* :mod:`policy` — freshness policies (TTL / manual / always-refresh);
+* :mod:`matching` — the containment test deciding when a materialized
+  copy answers a new fragment (with residual local filtering);
+* :mod:`manager` — the runtime: serve-or-fetch, refresh, accounting;
+* :mod:`statistics` — the observed workload the selector learns from;
+* :mod:`selection` — greedy benefit/cost view selection under a storage
+  budget and noisy cost estimates (the open problem the paper poses).
+"""
+
+from repro.materialize.manager import MaterializationManager
+from repro.materialize.matching import fragment_key
+from repro.materialize.policy import RefreshPolicy
+from repro.materialize.selection import SelectionResult, greedy_select
+from repro.materialize.statistics import WorkloadStats
+from repro.materialize.store import LocalStore, MaterializedView
+
+__all__ = [
+    "LocalStore",
+    "MaterializationManager",
+    "MaterializedView",
+    "RefreshPolicy",
+    "SelectionResult",
+    "WorkloadStats",
+    "fragment_key",
+    "greedy_select",
+]

@@ -1,0 +1,224 @@
+"""The materialization runtime: serve-or-fetch, refresh, adaptation."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MaterializationError
+from repro.materialize.matching import fragment_key, matches
+from repro.materialize.policy import RefreshPolicy
+from repro.materialize.selection import SelectionResult, greedy_select
+from repro.materialize.statistics import WorkloadStats
+from repro.materialize.store import LocalStore, MaterializedView
+from repro.optimizer.costs import CostModel
+from repro.query.exprs import compile_predicate
+from repro.algebra.tuples import BindingTuple
+from repro.simtime import SimClock
+from repro.sources.base import DataSource, Fragment
+from repro.xmldm.values import Record
+
+Fetcher = Callable[[Fragment], list[Record]]
+
+
+class MaterializedViewResult:
+    """A materialized *mediated view*: its constructed elements.
+
+    Fragments cache source-side data; this caches the other unit the
+    paper names — "one materializes views over the mediated schema" —
+    whole view results, constructed elements and all.
+    """
+
+    def __init__(self, name: str, elements: list, loaded_at: float,
+                 policy: RefreshPolicy):
+        self.name = name
+        self.elements = elements
+        self.loaded_at = loaded_at
+        self.policy = policy
+        self.invalidated = False
+        self.hits = 0
+        self.refreshes = 0
+
+    def is_fresh(self, now_ms: float) -> bool:
+        return self.policy.is_fresh(now_ms - self.loaded_at, self.invalidated)
+
+    def reload(self, elements: list, now_ms: float) -> None:
+        self.elements = elements
+        self.loaded_at = now_ms
+        self.invalidated = False
+        self.refreshes += 1
+
+
+class MaterializationManager:
+    """Owns the local store, serving decisions, refresh and selection.
+
+    The engine asks :meth:`serve` before every remote fragment; a fresh
+    matching view answers locally (charging only local processing time
+    to the clock).  :meth:`record_remote` feeds the workload stats that
+    :meth:`adapt` turns into a new set of materialized views.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        store: LocalStore | None = None,
+        stats: WorkloadStats | None = None,
+        cost_model: CostModel | None = None,
+        default_policy: RefreshPolicy | None = None,
+    ):
+        self.clock = clock
+        # an empty LocalStore is falsy (len 0) but still the caller's store
+        self.store = store if store is not None else LocalStore()
+        self.stats = stats if stats is not None else WorkloadStats()
+        self.cost_model = cost_model or CostModel()
+        self.default_policy = default_policy or RefreshPolicy.ttl(60_000.0)
+        self.hits = 0
+        self.misses = 0
+        #: materialized mediated views, by view name
+        self.views: dict[str, MaterializedViewResult] = {}
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(self, fragment: Fragment) -> list[Record] | None:
+        """Answer ``fragment`` from the store, or None on miss/stale."""
+        for view in self.store:
+            if view.fragment.source != fragment.source:
+                continue
+            answers, residual = matches(view.fragment, fragment)
+            if not answers:
+                continue
+            if not view.is_fresh(self.clock.now):
+                continue
+            self.hits += 1
+            view.hits += 1
+            records = view.records
+            if residual:
+                predicates = [compile_predicate(c) for c in residual]
+                records = [
+                    record
+                    for record in records
+                    if all(p(BindingTuple(record.as_dict())) for p in predicates)
+                ]
+            self.clock.advance(self.cost_model.local_cost(len(records)))
+            return list(records)
+        self.misses += 1
+        return None
+
+    def serve_view(self, name: str) -> list | None:
+        """Answer a mediated view from its materialized elements."""
+        cached = self.views.get(name)
+        if cached is None or not cached.is_fresh(self.clock.now):
+            return None
+        cached.hits += 1
+        self.hits += 1
+        self.clock.advance(self.cost_model.local_cost(len(cached.elements)))
+        return cached.elements
+
+    def materialize_view(
+        self,
+        name: str,
+        fetch: Callable[[], list],
+        policy: RefreshPolicy | None = None,
+    ) -> MaterializedViewResult:
+        """Load (or reload) one mediated view's elements into the cache."""
+        elements = list(fetch())
+        cached = self.views.get(name)
+        if cached is None:
+            cached = MaterializedViewResult(
+                name, elements, self.clock.now, policy or self.default_policy
+            )
+            self.views[name] = cached
+        else:
+            cached.reload(elements, self.clock.now)
+            if policy is not None:
+                cached.policy = policy
+        return cached
+
+    def drop_view(self, name: str) -> None:
+        if name not in self.views:
+            raise MaterializationError(f"view {name!r} is not materialized")
+        del self.views[name]
+
+    def refresh_stale_views(self, fetch: Callable[[str], list]) -> int:
+        """Re-execute every stale materialized view; returns the count."""
+        refreshed = 0
+        for cached in self.views.values():
+            if not cached.is_fresh(self.clock.now):
+                cached.reload(list(fetch(cached.name)), self.clock.now)
+                refreshed += 1
+        return refreshed
+
+    # -- learning ----------------------------------------------------------------
+
+    def record_remote(self, fragment: Fragment, source: DataSource,
+                      cost_ms: float, rows: int) -> None:
+        """Observe one remote execution for the selector."""
+        self.stats.record(
+            fragment_key(fragment), fragment, source.name, cost_ms, rows,
+            self.clock.now,
+        )
+
+    # -- management ------------------------------------------------------------------
+
+    def materialize(
+        self,
+        fragment: Fragment,
+        fetcher: Fetcher,
+        policy: RefreshPolicy | None = None,
+    ) -> MaterializedView:
+        """Load a fragment's result into the store."""
+        records = fetcher(fragment)
+        view = MaterializedView(
+            fragment=fragment,
+            records=list(records),
+            loaded_at=self.clock.now,
+            policy=policy or self.default_policy,
+        )
+        return self.store.add(view)
+
+    def drop(self, fragment: Fragment) -> None:
+        self.store.remove(fragment_key(fragment))
+
+    def refresh_stale(self, fetcher: Fetcher) -> int:
+        """Re-fetch every stale view; returns how many were refreshed."""
+        refreshed = 0
+        for view in self.store:
+            if not view.is_fresh(self.clock.now):
+                view.reload(list(fetcher(view.fragment)), self.clock.now)
+                refreshed += 1
+        return refreshed
+
+    def adapt(
+        self,
+        budget_rows: int,
+        fetcher: Fetcher,
+        policy: RefreshPolicy | None = None,
+        min_uses: int = 2,
+    ) -> SelectionResult:
+        """Re-run view selection over the observed workload.
+
+        Views that fall out of the selection are dropped; newly chosen
+        fragments are loaded.  This is the "adjust the set of
+        materialized views over time depending on the query load" loop.
+        """
+        selection = greedy_select(
+            self.stats.profiles(), budget_rows, self.cost_model, min_uses
+        )
+        chosen = selection.chosen_keys
+        for view in list(self.store):
+            if view.key not in chosen:
+                self.store.remove(view.key)
+        for candidate in selection.chosen:
+            if self.store.get(candidate.profile.key) is None:
+                self.materialize(candidate.profile.fragment, fetcher, policy)
+        return selection
+
+    # -- reporting --------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "views": len(self.store),
+            "rows": self.store.total_rows,
+            "hits": self.hits,
+            "misses": self.misses,
+            "mediated_views": len(self.views),
+        }

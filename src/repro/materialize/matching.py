@@ -1,0 +1,128 @@
+"""Fragment canonicalization and the containment test.
+
+A materialized view MV answers a fragment F when
+
+* MV and F read the same accesses of the same source (same relations,
+  same variable->field bindings, same pattern literals), and
+* every condition of MV is implied by the conditions of F — i.e. MV is
+  *at most as restrictive*, so its stored rows are a superset of F's.
+
+The implication check is sound but incomplete: syntactic containment of
+canonicalized condition strings, extended with one-sided range
+implication (``x > 10`` implies ``x > 5``).  Conditions of F that MV did
+not apply become residual local filters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.pattern import TreePattern
+from repro.query import ast as qast
+from repro.sources.base import Fragment
+
+
+def condition_text(expr: qast.Expr) -> str:
+    """Canonical string form of a condition (stable across parses)."""
+    if isinstance(expr, qast.Var):
+        return f"${expr.name}"
+    if isinstance(expr, qast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, qast.BinOp):
+        left, right = condition_text(expr.left), condition_text(expr.right)
+        if expr.op in ("=", "!=", "AND", "OR", "+", "*") and right < left:
+            left, right = right, left  # commutative: normalize order
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, qast.Not):
+        return f"(NOT {condition_text(expr.operand)})"
+    if isinstance(expr, qast.Call):
+        return f"{expr.name}({', '.join(condition_text(a) for a in expr.args)})"
+    return repr(expr)
+
+
+def _pattern_text(pattern: TreePattern) -> str:
+    return pattern.describe()
+
+
+def fragment_key(fragment: Fragment) -> str:
+    """Canonical identity of a fragment, conditions included."""
+    accesses = ";".join(
+        f"{access.relation}:{_pattern_text(access.pattern)}"
+        for access in fragment.accesses
+    )
+    conditions = "&".join(sorted(condition_text(c) for c in fragment.conditions))
+    inputs = ",".join(fragment.input_vars)
+    return f"{fragment.source}|{accesses}|{conditions}|{inputs}"
+
+
+def access_key(fragment: Fragment) -> str:
+    """Identity of the accesses alone (conditions excluded)."""
+    accesses = ";".join(
+        f"{access.relation}:{_pattern_text(access.pattern)}"
+        for access in fragment.accesses
+    )
+    return f"{fragment.source}|{accesses}"
+
+
+def _range_bound(expr: qast.Expr) -> tuple[str, str, float] | None:
+    """Decompose ``$v OP number`` to (var, op, bound) when possible."""
+    if not isinstance(expr, qast.BinOp) or expr.op not in ("<", "<=", ">", ">="):
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    if isinstance(right, qast.Var) and isinstance(left, qast.Literal):
+        left, right, op = right, left, flipped[op]
+    if isinstance(left, qast.Var) and isinstance(right, qast.Literal):
+        if isinstance(right.value, (int, float)) and not isinstance(right.value, bool):
+            return left.name, op, float(right.value)
+    return None
+
+
+def implies(stronger: qast.Expr, weaker: qast.Expr) -> bool:
+    """Sound check: does ``stronger`` imply ``weaker``?"""
+    if condition_text(stronger) == condition_text(weaker):
+        return True
+    strong = _range_bound(stronger)
+    weak = _range_bound(weaker)
+    if strong is None or weak is None:
+        return False
+    var_s, op_s, bound_s = strong
+    var_w, op_w, bound_w = weak
+    if var_s != var_w:
+        return False
+    if op_s in (">", ">=") and op_w in (">", ">="):
+        if bound_s > bound_w:
+            return True
+        return bound_s == bound_w and not (op_s == ">=" and op_w == ">")
+    if op_s in ("<", "<=") and op_w in ("<", "<="):
+        if bound_s < bound_w:
+            return True
+        return bound_s == bound_w and not (op_s == "<=" and op_w == "<")
+    return False
+
+
+def conditions_subsumed(
+    view_conditions: Iterable[qast.Expr], query_conditions: Iterable[qast.Expr]
+) -> tuple[bool, list[qast.Expr]]:
+    """Is every view condition implied by the query's?  Returns residual.
+
+    Residual = the query conditions not textually identical to a view
+    condition (they must be re-applied locally; re-applying an implied
+    condition is harmless).
+    """
+    query_list = list(query_conditions)
+    for view_condition in view_conditions:
+        if not any(implies(qc, view_condition) for qc in query_list):
+            return False, []
+    view_texts = {condition_text(vc) for vc in view_conditions}
+    residual = [qc for qc in query_list if condition_text(qc) not in view_texts]
+    return True, residual
+
+
+def matches(view_fragment: Fragment, query_fragment: Fragment) -> tuple[bool, list[qast.Expr]]:
+    """Full containment test; returns (answers?, residual conditions)."""
+    if view_fragment.input_vars or query_fragment.input_vars:
+        return False, []  # parameterized fragments are not materialized
+    if access_key(view_fragment) != access_key(query_fragment):
+        return False, []
+    return conditions_subsumed(view_fragment.conditions, query_fragment.conditions)

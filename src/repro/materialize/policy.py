@@ -1,0 +1,47 @@
+"""Freshness policies for materialized views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When a materialized copy is still acceptable.
+
+    * ``ttl``    — fresh for ``ttl_ms`` of virtual time after (re)load;
+    * ``manual`` — fresh until explicitly invalidated ("refreshed on
+      demand", as the management tools in the paper allow);
+    * ``always`` — never fresh: every use re-fetches (useful as a
+      baseline: materialization bookkeeping without its benefit).
+    """
+
+    kind: str = "ttl"
+    ttl_ms: float = 60_000.0
+
+    _KINDS = ("ttl", "manual", "always")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown refresh policy {self.kind!r}")
+
+    def is_fresh(self, age_ms: float, invalidated: bool) -> bool:
+        if invalidated:
+            return False
+        if self.kind == "always":
+            return False
+        if self.kind == "manual":
+            return True
+        return age_ms <= self.ttl_ms
+
+    @classmethod
+    def ttl(cls, ttl_ms: float) -> "RefreshPolicy":
+        return cls("ttl", ttl_ms)
+
+    @classmethod
+    def manual(cls) -> "RefreshPolicy":
+        return cls("manual", 0.0)
+
+    @classmethod
+    def always_refresh(cls) -> "RefreshPolicy":
+        return cls("always", 0.0)

@@ -1,0 +1,89 @@
+"""Greedy benefit/cost view selection under a storage budget.
+
+The paper poses this as the open research problem of its architecture:
+"there is a need for algorithms that decide which data (and over which
+sources) need to be materialized", complicated by (1) source autonomy
+and overlap, (2) drifting query load, (3) bad remote cost estimates.
+The algorithm here is the classical greedy knapsack over observed
+workload profiles — benefit per stored row — evaluated in benchmark E2
+against an oracle and against no caching, with the cost-estimate noise
+knob of :class:`repro.optimizer.costs.CostModel` exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.materialize.statistics import FragmentProfile
+from repro.optimizer.costs import CostModel
+
+
+@dataclass
+class Candidate:
+    """One candidate view with its estimated economics."""
+
+    profile: FragmentProfile
+    benefit_ms: float  # saved virtual time per window if materialized
+    size_rows: float
+
+    @property
+    def density(self) -> float:
+        """Benefit per stored row — the greedy ranking key."""
+        return self.benefit_ms / max(self.size_rows, 1.0)
+
+
+@dataclass
+class SelectionResult:
+    """The selector's decision."""
+
+    chosen: list[Candidate] = field(default_factory=list)
+    rejected: list[Candidate] = field(default_factory=list)
+    budget_rows: int = 0
+
+    @property
+    def chosen_keys(self) -> set[str]:
+        return {candidate.profile.key for candidate in self.chosen}
+
+    @property
+    def used_rows(self) -> float:
+        return sum(candidate.size_rows for candidate in self.chosen)
+
+
+def greedy_select(
+    profiles: list[FragmentProfile],
+    budget_rows: int,
+    cost_model: CostModel | None = None,
+    min_uses: int = 2,
+) -> SelectionResult:
+    """Pick fragments to materialize.
+
+    Benefit of materializing a fragment = (observed uses in the window)
+    x (estimated remote cost - local cost).  The cost model's noise
+    perturbs the remote-cost estimate, modelling the paper's "no good
+    cost estimates" complaint; observed mean cost anchors the estimate
+    when available, so noise matters most for cold candidates.
+    """
+    cost_model = cost_model or CostModel()
+    candidates: list[Candidate] = []
+    for profile in profiles:
+        if profile.uses < min_uses:
+            continue
+        if profile.fragment.input_vars:
+            continue  # parameterized fragments cannot be materialized
+        rows = profile.mean_rows
+        remote = cost_model._perturb(profile.mean_cost_ms, profile.fragment)
+        local = cost_model.local_cost(rows)
+        benefit = profile.uses * max(remote - local, 0.0)
+        if benefit <= 0:
+            continue
+        candidates.append(Candidate(profile, benefit, rows))
+    candidates.sort(key=lambda c: c.density, reverse=True)
+    result = SelectionResult(budget_rows=budget_rows)
+    used = 0.0
+    for candidate in candidates:
+        if used + candidate.size_rows <= budget_rows:
+            result.chosen.append(candidate)
+            used += candidate.size_rows
+        else:
+            result.rejected.append(candidate)
+    return result

@@ -1,0 +1,82 @@
+"""Workload statistics: what the view selector learns from.
+
+Section 3.3 lists "we may need to adjust the set of materialized views
+over time depending on the query load" among the open problems; the
+stats here keep a sliding window so the selector tracks drift.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterator
+
+from repro.sources.base import Fragment
+
+
+@dataclass
+class FragmentObservation:
+    """One remote execution of a fragment."""
+
+    key: str
+    cost_ms: float
+    rows: int
+    at_ms: float
+
+
+@dataclass
+class FragmentProfile:
+    """Aggregated view of one fragment across the window."""
+
+    key: str
+    fragment: Fragment
+    source_name: str
+    uses: int = 0
+    total_cost_ms: float = 0.0
+    total_rows: int = 0
+
+    @property
+    def mean_cost_ms(self) -> float:
+        return self.total_cost_ms / self.uses if self.uses else 0.0
+
+    @property
+    def mean_rows(self) -> float:
+        return self.total_rows / self.uses if self.uses else 0.0
+
+
+class WorkloadStats:
+    """Sliding-window record of fragment executions."""
+
+    def __init__(self, window: int = 500):
+        self.window = window
+        self._observations: Deque[FragmentObservation] = deque()
+        self._fragments: dict[str, tuple[Fragment, str]] = {}
+
+    def record(
+        self, key: str, fragment: Fragment, source_name: str,
+        cost_ms: float, rows: int, at_ms: float,
+    ) -> None:
+        self._fragments[key] = (fragment, source_name)
+        self._observations.append(FragmentObservation(key, cost_ms, rows, at_ms))
+        while len(self._observations) > self.window:
+            self._observations.popleft()
+
+    def profiles(self) -> list[FragmentProfile]:
+        """Aggregate the current window, most-used first."""
+        by_key: dict[str, FragmentProfile] = {}
+        for observation in self._observations:
+            fragment, source_name = self._fragments[observation.key]
+            profile = by_key.get(observation.key)
+            if profile is None:
+                profile = FragmentProfile(observation.key, fragment, source_name)
+                by_key[observation.key] = profile
+            profile.uses += 1
+            profile.total_cost_ms += observation.cost_ms
+            profile.total_rows += observation.rows
+        return sorted(by_key.values(), key=lambda p: p.uses, reverse=True)
+
+    def total_observations(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[FragmentObservation]:
+        return iter(self._observations)

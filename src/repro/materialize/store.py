@@ -1,0 +1,93 @@
+"""The local store of materialized fragment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import MaterializationError
+from repro.materialize.matching import fragment_key
+from repro.materialize.policy import RefreshPolicy
+from repro.sources.base import Fragment
+from repro.xmldm.values import Record
+
+
+@dataclass
+class MaterializedView:
+    """One materialized fragment: definition, rows, freshness state."""
+
+    fragment: Fragment
+    records: list[Record]
+    loaded_at: float
+    policy: RefreshPolicy
+    invalidated: bool = False
+    hits: int = 0
+    refreshes: int = 0
+
+    @property
+    def key(self) -> str:
+        return fragment_key(self.fragment)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.records)
+
+    def is_fresh(self, now_ms: float) -> bool:
+        return self.policy.is_fresh(now_ms - self.loaded_at, self.invalidated)
+
+    def reload(self, records: list[Record], now_ms: float) -> None:
+        self.records = records
+        self.loaded_at = now_ms
+        self.invalidated = False
+        self.refreshes += 1
+
+
+class LocalStore:
+    """Holds materialized views under an optional row budget."""
+
+    def __init__(self, budget_rows: int | None = None):
+        self.budget_rows = budget_rows
+        self._views: dict[str, MaterializedView] = {}
+
+    def add(self, view: MaterializedView) -> MaterializedView:
+        key = view.key
+        if key in self._views:
+            raise MaterializationError(f"fragment already materialized: {key}")
+        if self.budget_rows is not None:
+            if self.total_rows + view.row_count > self.budget_rows:
+                raise MaterializationError(
+                    f"storage budget exceeded: {self.total_rows} + "
+                    f"{view.row_count} > {self.budget_rows} rows"
+                )
+        self._views[key] = view
+        return view
+
+    def remove(self, key: str) -> None:
+        if key not in self._views:
+            raise MaterializationError(f"no materialized view {key!r}")
+        del self._views[key]
+
+    def get(self, key: str) -> MaterializedView | None:
+        return self._views.get(key)
+
+    def clear(self) -> None:
+        self._views.clear()
+
+    def invalidate_source(self, source_name: str) -> int:
+        """Mark every view over a source stale (data changed upstream)."""
+        count = 0
+        for view in self._views.values():
+            if view.fragment.source == source_name:
+                view.invalidated = True
+                count += 1
+        return count
+
+    @property
+    def total_rows(self) -> int:
+        return sum(view.row_count for view in self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __iter__(self) -> Iterator[MaterializedView]:
+        return iter(self._views.values())

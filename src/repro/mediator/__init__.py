@@ -1,0 +1,27 @@
+"""Mediation: mediated schemas as hierarchical GAV views (section 2.1).
+
+"Users and applications interact with the system using a set of mediated
+schemas.  These schemas are essentially definitions of views over the
+schemas of the data sources (similar to the global-as-view approach) ...
+these schemas can be built in a hierarchical fashion ... we can define
+successive schemas as views over other underlying schemas."
+
+Two kinds of mediated relation:
+
+* a **mapping** (:class:`RelationMapping`) binds a mediated name directly
+  to one source relation, with field renaming — the GAV base case the
+  decomposer can push fragments through;
+* a **view** (:class:`ViewDef`) defines a mediated name by an XML-QL
+  query over *other* mediated names — composed incrementally, possibly
+  across organizational layers.
+
+The :class:`Catalog` is the paper's metadata server: it owns the source
+registry, the mappings and views, cycle checking and the statistics the
+optimizer's cost model reads.
+"""
+
+from repro.mediator.catalog import Catalog
+from repro.mediator.mapping import RelationMapping
+from repro.mediator.schema import MediatedSchema, ViewDef
+
+__all__ = ["Catalog", "MediatedSchema", "RelationMapping", "ViewDef"]

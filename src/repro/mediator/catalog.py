@@ -1,0 +1,159 @@
+"""The metadata server: names, mappings, views, statistics.
+
+"The metadata server contains the mappings that allow XML-QL to be split
+apart and translated appropriately; mappings are set via the management
+tools" (section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import MediationError
+from repro.mediator.mapping import RelationMapping
+from repro.mediator.schema import MediatedSchema, ViewDef
+from repro.sources.base import DataSource
+from repro.sources.registry import SourceRegistry
+
+
+@dataclass(frozen=True)
+class DocumentTarget:
+    """A name resolving to a raw document/collection on a source."""
+
+    source_name: str
+    relation: str
+
+
+Resolution = Union[RelationMapping, ViewDef, DocumentTarget]
+
+
+class Catalog:
+    """Name resolution plus the statistics the cost model consumes.
+
+    A query's ``IN "name"`` resolves, in order, to: a view in one of the
+    registered mediated schemas (later schemas shadow earlier — the
+    hierarchy), a direct relation mapping, or a ``source.relation``
+    document target.
+    """
+
+    def __init__(self, registry: SourceRegistry):
+        self.registry = registry
+        self.mappings: dict[str, RelationMapping] = {}
+        self.schemas: list[MediatedSchema] = []
+
+    # -- registration -------------------------------------------------------
+
+    def add_mapping(self, mapping: RelationMapping) -> RelationMapping:
+        if mapping.source_name not in self.registry:
+            raise MediationError(
+                f"mapping {mapping.mediated_name!r} targets unknown source "
+                f"{mapping.source_name!r}"
+            )
+        if mapping.mediated_name in self.mappings:
+            raise MediationError(
+                f"mediated relation {mapping.mediated_name!r} already mapped"
+            )
+        self.mappings[mapping.mediated_name] = mapping
+        return mapping
+
+    def map_relation(
+        self,
+        mediated_name: str,
+        source_name: str,
+        source_relation: str,
+        field_map: dict[str, str] | None = None,
+    ) -> RelationMapping:
+        return self.add_mapping(
+            RelationMapping(mediated_name, source_name, source_relation,
+                            dict(field_map or {}))
+        )
+
+    def add_schema(self, schema: MediatedSchema) -> MediatedSchema:
+        self.schemas.append(schema)
+        self._check_cycles()
+        return schema
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, name: str) -> Resolution:
+        for schema in reversed(self.schemas):
+            if name in schema.views:
+                return schema.views[name]
+        if name in self.mappings:
+            return self.mappings[name]
+        if "." in name:
+            source_name, _, relation = name.partition(".")
+            if source_name in self.registry:
+                return DocumentTarget(source_name, relation)
+        raise MediationError(f"unknown mediated name {name!r}")
+
+    def source_for(self, name: str) -> DataSource:
+        resolved = self.resolve(name)
+        if isinstance(resolved, RelationMapping):
+            return self.registry.get(resolved.source_name)
+        if isinstance(resolved, DocumentTarget):
+            return self.registry.get(resolved.source_name)
+        raise MediationError(f"{name!r} is a view, not a source-backed relation")
+
+    def is_view(self, name: str) -> bool:
+        try:
+            return isinstance(self.resolve(name), ViewDef)
+        except MediationError:
+            return False
+
+    def known_names(self) -> list[str]:
+        names = set(self.mappings)
+        for schema in self.schemas:
+            names.update(schema.views)
+        return sorted(names)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def cardinality(self, name: str) -> int:
+        """Estimated cardinality of a mediated relation (views: crude sum)."""
+        resolved = self.resolve(name)
+        if isinstance(resolved, RelationMapping):
+            return self.registry.get(resolved.source_name).cardinality(
+                resolved.source_relation
+            )
+        if isinstance(resolved, DocumentTarget):
+            return self.registry.get(resolved.source_name).cardinality(
+                resolved.relation
+            )
+        total = 0
+        for referenced in resolved.referenced_names():
+            try:
+                total += self.cardinality(referenced)
+            except MediationError:
+                total += 100  # unknowable reference: a guess, as the paper laments
+        return max(total, 1)
+
+    # -- hygiene ----------------------------------------------------------------------
+
+    def _check_cycles(self) -> None:
+        """Reject view definitions that reference themselves (even via others)."""
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise MediationError(f"cyclic view definition through {name!r}")
+            try:
+                resolved = self.resolve(name)
+            except MediationError:
+                return  # dangling names surface at query time
+            if not isinstance(resolved, ViewDef):
+                done.add(name)
+                return
+            visiting.add(name)
+            for referenced in resolved.referenced_names():
+                visit(referenced)
+            visiting.discard(name)
+            done.add(name)
+
+        for schema in self.schemas:
+            for view_name in schema.views:
+                visit(view_name)

@@ -1,0 +1,62 @@
+"""Direct GAV mappings: mediated relation -> source relation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.pattern import AttributePattern, TreePattern
+from repro.errors import MediationError
+from repro.query import ast as qast
+
+
+@dataclass(frozen=True)
+class RelationMapping:
+    """Binds a mediated relation name to one relation of one source.
+
+    ``field_map`` renames mediated field names to source field names
+    (identity for unlisted fields), absorbing per-source schema
+    variation — the mundane half of semantic heterogeneity.
+    """
+
+    mediated_name: str
+    source_name: str
+    source_relation: str
+    field_map: dict[str, str] = field(default_factory=dict)
+
+    def source_field(self, mediated_field: str) -> str:
+        return self.field_map.get(mediated_field, mediated_field)
+
+    def rewrite_pattern(self, pattern: qast.PatternElement) -> TreePattern:
+        """Rewrite a query pattern into source-field terms.
+
+        The pattern's root tag is ignored (the access names the
+        relation); its children name mediated fields, renamed here.
+        Nested children are rejected for mapped relations — mapped
+        sources export flat records.
+        """
+        children: list[TreePattern] = []
+        for child in pattern.children:
+            if child.children:
+                raise MediationError(
+                    f"mapped relation {self.mediated_name!r} has flat fields; "
+                    f"nested pattern under <{child.tag}> is not answerable"
+                )
+            children.append(
+                TreePattern(
+                    tag=self.source_field(child.tag),
+                    text_var=child.text_var,
+                    text_literal=child.text_literal,
+                )
+            )
+        attributes = tuple(
+            AttributePattern(self.source_field(a.name), var=a.var, literal=a.literal)
+            for a in pattern.attributes
+        )
+        return TreePattern(
+            tag=self.source_relation,
+            attributes=attributes,
+            children=tuple(children),
+            text_var=pattern.text_var,
+            text_literal=pattern.text_literal,
+            element_var=pattern.element_var,
+        )

@@ -1,0 +1,103 @@
+"""The cost model: fragment cardinality and latency estimation.
+
+Estimates are deliberately humble.  Section 3.3: "we do not have good
+cost estimates for querying over remote data sources (and therefore it's
+hard to compare the costs with the alternative of materialization)".
+:class:`CostModel` exposes that honesty as ``noise``: a deterministic
+multiplicative error applied to every remote estimate, which experiment
+E2 sweeps to measure how materialized-view selection degrades as
+estimates get worse.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.query import ast as qast
+from repro.sources.base import DataSource, Fragment
+
+#: selectivity guesses per condition operator (classical folklore values)
+_SELECTIVITY = {
+    "=": 0.1,
+    "!=": 0.9,
+    "<": 0.3,
+    "<=": 0.3,
+    ">": 0.3,
+    ">=": 0.3,
+    "LIKE": 0.25,
+}
+
+
+def condition_selectivity(expr: qast.Expr) -> float:
+    """Estimated fraction of rows a condition keeps."""
+    if isinstance(expr, qast.BinOp):
+        if expr.op == "AND":
+            return condition_selectivity(expr.left) * condition_selectivity(expr.right)
+        if expr.op == "OR":
+            left = condition_selectivity(expr.left)
+            right = condition_selectivity(expr.right)
+            return min(1.0, left + right - left * right)
+        return _SELECTIVITY.get(expr.op, 0.5)
+    if isinstance(expr, qast.Not):
+        return max(0.05, 1.0 - condition_selectivity(expr.operand))
+    return 0.5
+
+
+@dataclass(frozen=True)
+class FragmentEstimate:
+    """Estimated rows and virtual-time cost of executing one fragment."""
+
+    rows: float
+    cost_ms: float
+
+
+class CostModel:
+    """Estimates fragment costs from catalog statistics.
+
+    ``noise`` > 0 turns on deterministic lognormal estimation error with
+    standard deviation ``noise`` (in log space), seeded per fragment key
+    so repeated estimates of the same fragment are consistently wrong —
+    the realistic failure mode for remote sources.
+    """
+
+    #: per-row processing cost at the integration engine (local work)
+    LOCAL_ROW_MS = 0.001
+
+    def __init__(self, noise: float = 0.0, seed: int = 13):
+        self.noise = noise
+        self.seed = seed
+
+    def estimate_rows(self, fragment: Fragment, source: DataSource) -> float:
+        cardinalities = [
+            max(1, source.cardinality(access.relation))
+            for access in fragment.accesses
+        ]
+        if len(cardinalities) == 1:
+            rows = float(cardinalities[0])
+        else:
+            # Equi-joined accesses: assume key joins — the largest relation
+            # bounds the result.
+            rows = float(max(cardinalities))
+        for condition in fragment.conditions:
+            rows *= condition_selectivity(condition)
+        if fragment.input_vars:
+            rows = max(1.0, rows * 0.01)  # parameterized calls are selective
+        return max(rows, 0.01)
+
+    def estimate(self, fragment: Fragment, source: DataSource) -> FragmentEstimate:
+        rows = self.estimate_rows(fragment, source)
+        cost = source.network.latency_ms + rows * source.network.per_row_ms
+        return FragmentEstimate(rows, self._perturb(cost, fragment))
+
+    def local_cost(self, rows: float) -> float:
+        """Cost of processing ``rows`` locally (materialized data)."""
+        return rows * self.LOCAL_ROW_MS
+
+    def _perturb(self, cost: float, fragment: Fragment) -> float:
+        if self.noise <= 0:
+            return cost
+        rng = random.Random((self.seed, fragment.describe()).__repr__())
+        factor = math.exp(rng.gauss(0.0, self.noise))
+        return cost * factor

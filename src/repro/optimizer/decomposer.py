@@ -1,0 +1,215 @@
+"""Query decomposition: split a query into per-source fragments.
+
+"When an XML-QL query is posed to the integration engine it is parsed
+and broken into multiple fragments based on the target data sources"
+(section 2.1).  The decomposer resolves every pattern clause through the
+catalog, groups clauses that one source can answer together (when its
+profile allows joins and the clauses share variables), pushes each
+condition into the unique fragment that can evaluate it, and leaves the
+rest as residual work for the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+from repro.errors import PlanningError
+from repro.mediator.catalog import Catalog, DocumentTarget
+from repro.mediator.mapping import RelationMapping
+from repro.mediator.schema import ViewDef
+from repro.query import ast as qast
+from repro.query.binder import BoundQuery
+from repro.query.translate import pattern_to_tree
+from repro.sources.base import Access, DataSource, Fragment
+from repro.sources.webservice import WebServiceSource
+
+
+@dataclass
+class FragmentUnit:
+    """One remote fragment plus planning metadata."""
+
+    fragment: Fragment
+    source: DataSource
+    variables: tuple[str, ...]
+    dependent: bool = False
+
+    def describe(self) -> str:
+        marker = " (dependent)" if self.dependent else ""
+        return self.fragment.describe() + marker
+
+
+@dataclass
+class ViewUnit:
+    """A pattern over a mediated view — answered by recursive execution."""
+
+    clause: qast.PatternClause
+    view: ViewDef
+    variables: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"View({self.view.name}; vars={','.join(self.variables)})"
+
+
+Unit = Union[FragmentUnit, ViewUnit]
+
+
+@dataclass
+class DecomposedQuery:
+    """The decomposition result handed to the plan builder."""
+
+    bound: BoundQuery
+    units: list[Unit]
+    residual_conditions: list[qast.Expr]
+    pushed_conditions: list[qast.Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [unit.describe() for unit in self.units]
+        for condition in self.residual_conditions:
+            lines.append(f"Residual({condition})")
+        return "\n".join(lines)
+
+
+def decompose(bound: BoundQuery, catalog: Catalog, pushdown: bool = True) -> DecomposedQuery:
+    """Decompose ``bound`` against ``catalog``.
+
+    ``pushdown=False`` disables both condition pushdown and same-source
+    fragment merging — the naive-compilation baseline benchmark E5
+    measures against.
+    """
+    query = bound.query
+    raw_units: list[Unit] = []
+    for index, clause in enumerate(query.pattern_clauses):
+        resolved = catalog.resolve(clause.source)
+        variables = bound.clause_vars[index]
+        if isinstance(resolved, ViewDef):
+            raw_units.append(ViewUnit(clause, resolved, variables))
+            continue
+        if isinstance(resolved, RelationMapping):
+            source = catalog.registry.get(resolved.source_name)
+            access = Access(resolved.source_relation, resolved.rewrite_pattern(clause.pattern))
+        else:
+            assert isinstance(resolved, DocumentTarget)
+            source = catalog.registry.get(resolved.source_name)
+            access = Access(resolved.relation, pattern_to_tree(clause.pattern))
+        fragment = Fragment(source.name, (access,))
+        unit = FragmentUnit(fragment, source, variables)
+        _mark_dependent(unit)
+        raw_units.append(unit)
+
+    units = _merge_same_source(raw_units) if pushdown else raw_units
+    residual = [c.expr for c in query.condition_clauses]
+    pushed: list[qast.Expr] = []
+    if pushdown:
+        residual = _push_conditions(units, residual, pushed)
+    _check_dependencies(units, bound)
+    return DecomposedQuery(bound, units, residual, pushed)
+
+
+def _mark_dependent(unit: FragmentUnit) -> None:
+    """Set input variables for call-only (binding-pattern) sources."""
+    source = unit.source
+    inner = getattr(source, "inner", source)  # unwrap FlakySource
+    if not source.capabilities.requires_parameters:
+        return
+    if not isinstance(inner, WebServiceSource):
+        raise PlanningError(
+            f"source {source.name!r} requires parameters but is not an "
+            "endpoint source"
+        )
+    access = unit.fragment.accesses[0]
+    required_fields = inner.required_inputs(access.relation)
+    field_to_var = {
+        child.tag: child.text_var
+        for child in access.pattern.children
+        if child.text_var is not None
+    }
+    input_vars = []
+    for field_name in required_fields:
+        var = field_to_var.get(field_name)
+        if var is None:
+            raise PlanningError(
+                f"endpoint {access.relation!r} requires input field "
+                f"{field_name!r}, but the pattern does not bind it"
+            )
+        input_vars.append(var)
+    unit.fragment = replace(unit.fragment, input_vars=tuple(input_vars))
+    unit.dependent = True
+
+
+def _merge_same_source(units: list[Unit]) -> list[Unit]:
+    """Merge var-connected fragments of one join-capable source."""
+    merged: list[Unit] = []
+    for unit in units:
+        if not isinstance(unit, FragmentUnit):
+            merged.append(unit)
+            continue
+        if unit.dependent or not unit.source.capabilities.joins:
+            merged.append(unit)
+            continue
+        target = None
+        for candidate in merged:
+            if (
+                isinstance(candidate, FragmentUnit)
+                and not candidate.dependent
+                and candidate.source is unit.source
+                and set(candidate.variables) & set(unit.variables)
+            ):
+                target = candidate
+                break
+        if target is None:
+            merged.append(unit)
+        else:
+            target.fragment = replace(
+                target.fragment,
+                accesses=target.fragment.accesses + unit.fragment.accesses,
+            )
+            target.variables = tuple(
+                dict.fromkeys(target.variables + unit.variables)
+            )
+    return merged
+
+
+def _push_conditions(
+    units: list[Unit], conditions: list[qast.Expr], pushed_out: list[qast.Expr]
+) -> list[qast.Expr]:
+    """Push each condition into the one fragment that can take it."""
+    residual: list[qast.Expr] = []
+    for condition in conditions:
+        needed = qast.expr_variables(condition)
+        home = None
+        for unit in units:
+            if not isinstance(unit, FragmentUnit):
+                continue
+            if unit.dependent:
+                continue  # parameterized endpoints take no selections
+            if needed <= set(unit.variables) and unit.source.capabilities.accepts_condition(condition):
+                home = unit
+                break
+        if home is None:
+            residual.append(condition)
+        else:
+            home.fragment = replace(
+                home.fragment,
+                conditions=home.fragment.conditions + (condition,),
+            )
+            pushed_out.append(condition)
+    return residual
+
+
+def _check_dependencies(units: list[Unit], bound: BoundQuery) -> None:
+    """Every dependent fragment's inputs must come from some other unit."""
+    for unit in units:
+        if not isinstance(unit, FragmentUnit) or not unit.dependent:
+            continue
+        providers: set[str] = set()
+        for other in units:
+            if other is unit:
+                continue
+            providers.update(other.variables)
+        missing = set(unit.fragment.input_vars) - providers
+        if missing:
+            raise PlanningError(
+                f"dependent fragment on {unit.source.name!r} needs "
+                f"{sorted('$' + v for v in missing)} from another clause"
+            )

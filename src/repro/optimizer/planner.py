@@ -1,0 +1,214 @@
+"""Building executable plans from decomposed queries."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol
+
+from repro.algebra import (
+    CallbackScan,
+    Construct,
+    HashJoin,
+    NestedLoopJoin,
+    Operator,
+    PatternMatch,
+    Plan,
+    Select,
+    Sort,
+)
+from repro.algebra.joins import DependentJoin
+from repro.algebra.operators import Limit
+from repro.algebra.tuples import BindingTuple
+from repro.errors import PlanningError
+from repro.mediator.schema import ViewDef
+from repro.optimizer.costs import CostModel
+from repro.optimizer.decomposer import DecomposedQuery, FragmentUnit, Unit
+from repro.query import ast as qast
+from repro.query.exprs import compile_predicate, compile_sort_key
+from repro.query.translate import pattern_to_tree, template_to_construct
+from repro.xmldm.values import Null, Record
+
+
+class ExecutionContext(Protocol):
+    """What the plan needs from the engine at run time."""
+
+    def fetch_fragment(
+        self, unit: FragmentUnit, params: dict[str, Any] | None = None
+    ) -> list[Record]: ...
+
+    def fetch_view(self, view: ViewDef) -> list[Any]: ...
+
+
+class FragmentScan(Operator):
+    """Leaf operator running one remote fragment through the context.
+
+    The context decides whether the fragment is served from a
+    materialized copy, from the live source, or skipped under the
+    partial-results policy.
+    """
+
+    def __init__(
+        self,
+        unit: FragmentUnit,
+        context: ExecutionContext,
+        params: dict[str, Any] | None = None,
+    ):
+        super().__init__()
+        self.unit = unit
+        self.context = context
+        self.params = params
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        for record in self.context.fetch_fragment(self.unit, self.params):
+            yield BindingTuple(record.as_dict())
+
+    def describe(self) -> str:
+        return f"FragmentScan({self.unit.describe()})"
+
+
+class PlanBuilder:
+    """Greedy, capability- and cost-aware physical plan construction."""
+
+    def __init__(self, cost_model: CostModel | None = None):
+        self.cost_model = cost_model or CostModel()
+
+    def build(
+        self,
+        decomposed: DecomposedQuery,
+        context: ExecutionContext,
+        output_var: str = "result",
+    ) -> Plan:
+        query = decomposed.bound.query
+        root = self.build_binding_tree(decomposed, context)
+        if query.order_by:
+            keys = [
+                (compile_sort_key(spec.expr), spec.descending)
+                for spec in query.order_by
+            ]
+            root = Sort(root, keys, label=", ".join(str(s.expr) for s in query.order_by))
+        root = Construct(root, template_to_construct(query.construct), output_var)
+        if query.limit is not None:
+            root = Limit(root, query.limit)
+        return Plan(root, output_var)
+
+    def build_binding_tree(
+        self, decomposed: DecomposedQuery, context: ExecutionContext
+    ) -> Operator:
+        """Joins of all units plus residual conditions (no construct)."""
+        ordered = self._order_units(decomposed.units)
+        pending = [
+            (condition, frozenset(qast.expr_variables(condition)))
+            for condition in decomposed.residual_conditions
+        ]
+        root: Operator | None = None
+        bound_vars: set[str] = set()
+        for unit in ordered:
+            if isinstance(unit, FragmentUnit) and unit.dependent:
+                missing = set(unit.fragment.input_vars) - bound_vars
+                if missing:
+                    raise PlanningError(
+                        f"dependent fragment inputs {sorted(missing)} not bound "
+                        "by preceding units"
+                    )
+                assert root is not None
+                root = DependentJoin(
+                    root,
+                    self._dependent_factory(unit, context),
+                    label=unit.source.name,
+                )
+            else:
+                step = self._unit_operator(unit, context)
+                if root is None:
+                    root = step
+                else:
+                    shared = tuple(sorted(bound_vars & set(unit.variables)))
+                    if shared:
+                        root = HashJoin(root, step, shared)
+                    else:
+                        root = NestedLoopJoin(root, step)
+            bound_vars |= set(unit.variables)
+            root = self._apply_ready(root, pending, bound_vars)
+        if root is None:
+            raise PlanningError("query decomposed to zero units")
+        for condition, _ in pending:
+            root = Select(root, compile_predicate(condition), label=str(condition))
+        return root
+
+    # -- helpers -------------------------------------------------------------
+
+    def _order_units(self, units: list[Unit]) -> list[Unit]:
+        """Cheapest-first among independent units; dependents after inputs.
+
+        A simple greedy order: independent units ascending by estimated
+        result rows (small inputs make cheap hash joins), then each
+        dependent unit at the earliest point its inputs are bound.
+        """
+        independent = [
+            u for u in units if not (isinstance(u, FragmentUnit) and u.dependent)
+        ]
+        dependent = [
+            u for u in units if isinstance(u, FragmentUnit) and u.dependent
+        ]
+
+        def estimate(unit: Unit) -> float:
+            if isinstance(unit, FragmentUnit):
+                return self.cost_model.estimate_rows(unit.fragment, unit.source)
+            return 1000.0  # views: unknown, assume large
+
+        independent.sort(key=estimate)
+        ordered: list[Unit] = list(independent)
+        remaining = list(dependent)
+        bound: set[str] = set()
+        result: list[Unit] = []
+        for unit in ordered:
+            result.append(unit)
+            bound |= set(unit.variables)
+            placed = [
+                d
+                for d in remaining
+                if set(d.fragment.input_vars) <= bound  # type: ignore[union-attr]
+            ]
+            for d in placed:
+                remaining.remove(d)
+                result.append(d)
+                bound |= set(d.variables)
+        if remaining:
+            result.extend(remaining)  # will fail with a clear error later
+        return result
+
+    def _unit_operator(self, unit: Unit, context: ExecutionContext) -> Operator:
+        if isinstance(unit, FragmentUnit):
+            return FragmentScan(unit, context)
+        context_var = f"__view_{unit.view.name}"
+        scan = CallbackScan(
+            context_var,
+            lambda view=unit.view: context.fetch_view(view),
+            label=unit.view.name,
+        )
+        return PatternMatch(scan, context_var, pattern_to_tree(unit.clause.pattern))
+
+    def _dependent_factory(self, unit: FragmentUnit, context: ExecutionContext):
+        input_vars = unit.fragment.input_vars
+
+        def factory(row: BindingTuple) -> Operator:
+            params: dict[str, Any] = {}
+            for var in input_vars:
+                value = row.get(var)
+                if value is None or isinstance(value, Null):
+                    return CallbackScan(var, lambda: (), label="null-input")
+                params[var] = value
+            return FragmentScan(unit, context, params)
+
+        return factory
+
+    def _apply_ready(
+        self,
+        root: Operator,
+        pending: list[tuple[qast.Expr, frozenset[str]]],
+        bound_vars: set[str],
+    ) -> Operator:
+        ready = [item for item in pending if item[1] <= bound_vars]
+        for item in ready:
+            pending.remove(item)
+            condition, _ = item
+            root = Select(root, compile_predicate(condition), label=str(condition))
+        return root

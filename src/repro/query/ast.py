@@ -1,0 +1,202 @@
+"""Abstract syntax for the XML-QL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+# -- expressions (conditions) -------------------------------------------------
+
+
+class Expr:
+    """Base class for condition expressions."""
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # '=', '!=', '<', '<=', '>', '>=', 'AND', 'OR', 'LIKE', '+', '-', '*', '/', '%'
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+def expr_variables(expr: Expr) -> set[str]:
+    """All variables referenced by an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, BinOp):
+        return expr_variables(expr.left) | expr_variables(expr.right)
+    if isinstance(expr, Not):
+        return expr_variables(expr.operand)
+    if isinstance(expr, Call):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= expr_variables(arg)
+        return out
+    return set()
+
+
+# -- patterns ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttrMatch:
+    """attribute=$var or attribute="literal" in a pattern."""
+
+    name: str
+    var: str | None = None
+    literal: str | None = None
+
+
+@dataclass(frozen=True)
+class PatternElement:
+    """One element pattern in a WHERE clause."""
+
+    tag: str
+    attributes: tuple[AttrMatch, ...] = ()
+    children: tuple["PatternElement", ...] = ()
+    text_var: str | None = None
+    text_literal: str | None = None
+    element_var: str | None = None  # ELEMENT_AS $e
+    #: written <//tag ...>: matches at any depth below its parent pattern
+    descendant: bool = False
+
+    def variables(self) -> list[str]:
+        names: list[str] = []
+        for attribute in self.attributes:
+            if attribute.var is not None:
+                names.append(attribute.var)
+        if self.element_var is not None:
+            names.append(self.element_var)
+        if self.text_var is not None:
+            names.append(self.text_var)
+        for child in self.children:
+            names.extend(child.variables())
+        return list(dict.fromkeys(names))
+
+
+# -- clauses --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PatternClause:
+    """``pattern IN source``."""
+
+    pattern: PatternElement
+    source: str
+
+
+@dataclass(frozen=True)
+class ConditionClause:
+    """A boolean condition over bound variables."""
+
+    expr: Expr
+
+
+Clause = Union[PatternClause, ConditionClause]
+
+
+# -- templates --------------------------------------------------------------------
+
+
+AGGREGATE_KINDS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateRef:
+    """``kind($var)`` inside a CONSTRUCT template: aggregate over the
+    enclosing element's group (SQL-equivalent query features, paper §4)."""
+
+    kind: str
+    var: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in AGGREGATE_KINDS:
+            raise ValueError(f"unknown aggregate {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class TemplateElement:
+    """One CONSTRUCT template element."""
+
+    tag: str
+    attributes: tuple[tuple[str, "str | Var"], ...] = ()
+    children: tuple["TemplateElement | Var | str | AggregateRef", ...] = ()
+
+    def variables(self) -> list[str]:
+        names: list[str] = []
+        for _, value in self.attributes:
+            if isinstance(value, Var):
+                names.append(value.name)
+        for child in self.children:
+            if isinstance(child, Var):
+                names.append(child.name)
+            elif isinstance(child, AggregateRef):
+                names.append(child.var)
+            elif isinstance(child, TemplateElement):
+                names.extend(child.variables())
+        return list(dict.fromkeys(names))
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete XML-QL query."""
+
+    clauses: tuple[Clause, ...]
+    construct: TemplateElement
+    order_by: tuple[OrderSpec, ...] = ()
+    limit: int | None = None
+
+    @property
+    def pattern_clauses(self) -> tuple[PatternClause, ...]:
+        return tuple(c for c in self.clauses if isinstance(c, PatternClause))
+
+    @property
+    def condition_clauses(self) -> tuple[ConditionClause, ...]:
+        return tuple(c for c in self.clauses if isinstance(c, ConditionClause))
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(c.source for c in self.pattern_clauses))

@@ -1,0 +1,77 @@
+"""Semantic analysis: variable binding and safety checks.
+
+A query is *safe* when every variable used in a condition, in the
+CONSTRUCT template or in ORDER BY is bound by at least one pattern
+clause.  The binder also records which variables each clause binds —
+the decomposer and optimizer consume that map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BindingError
+from repro.query import ast
+
+
+@dataclass
+class BoundQuery:
+    """A query plus its variable-binding analysis."""
+
+    query: ast.Query
+    #: variables bound by each pattern clause, in clause order
+    clause_vars: list[tuple[str, ...]]
+    #: union of all bound variables
+    bound_vars: frozenset[str]
+    #: variables each condition clause needs, in condition order
+    condition_vars: list[frozenset[str]]
+    #: variables the construct template uses
+    output_vars: frozenset[str]
+
+
+def bind_query(query: ast.Query) -> BoundQuery:
+    """Check safety and build the binding analysis for ``query``."""
+    if not query.pattern_clauses:
+        raise BindingError("a query needs at least one pattern clause")
+    clause_vars: list[tuple[str, ...]] = []
+    bound: set[str] = set()
+    for clause in query.pattern_clauses:
+        variables = tuple(clause.pattern.variables())
+        clause_vars.append(variables)
+        bound.update(variables)
+
+    condition_vars: list[frozenset[str]] = []
+    for condition in query.condition_clauses:
+        needed = frozenset(ast.expr_variables(condition.expr))
+        missing = needed - bound
+        if missing:
+            raise BindingError(
+                f"condition {condition.expr} uses unbound variables: "
+                f"{', '.join('$' + v for v in sorted(missing))}"
+            )
+        condition_vars.append(needed)
+
+    output_vars = frozenset(query.construct.variables())
+    missing = output_vars - bound
+    if missing:
+        raise BindingError(
+            "CONSTRUCT uses unbound variables: "
+            + ", ".join("$" + v for v in sorted(missing))
+        )
+
+    for spec in query.order_by:
+        needed = frozenset(ast.expr_variables(spec.expr))
+        missing = needed - bound
+        if missing:
+            raise BindingError(
+                "ORDER BY uses unbound variables: "
+                + ", ".join("$" + v for v in sorted(missing))
+            )
+
+    return BoundQuery(
+        query=query,
+        clause_vars=clause_vars,
+        bound_vars=frozenset(bound),
+        condition_vars=condition_vars,
+        output_vars=output_vars,
+    )

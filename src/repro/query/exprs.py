@@ -1,0 +1,183 @@
+"""Compilation of XML-QL condition expressions to Python closures.
+
+XML content is text, so comparisons coerce sympathetically: when one
+side is a number and the other a numeric-looking string, the comparison
+is numeric.  Node values atomize to their text content first.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.errors import BindingError
+from repro.algebra.tuples import BindingTuple
+from repro.query import ast
+from repro.xmldm.values import NULL, Null, atomize, compare_values
+
+ValueFn = Callable[[BindingTuple], Any]
+PredicateFn = Callable[[BindingTuple], bool]
+
+
+def flex_compare(a: Any, b: Any) -> int | None:
+    """Comparison with node atomization and numeric string coercion.
+
+    Returns None when either side is NULL (condition then fails), else
+    -1/0/1.
+    """
+    a = atomize(a)
+    b = atomize(b)
+    if isinstance(a, Null) or isinstance(b, Null) or a is None or b is None:
+        return None
+    if isinstance(a, (int, float)) and isinstance(b, str):
+        try:
+            b = float(b)
+        except ValueError:
+            pass
+    elif isinstance(b, (int, float)) and isinstance(a, str):
+        try:
+            a = float(a)
+        except ValueError:
+            pass
+    return compare_values(a, b)
+
+
+def _like(value: Any, pattern: Any) -> bool:
+    value = atomize(value)
+    pattern = atomize(pattern)
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        return False
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+    )
+    return re.fullmatch(regex, value, flags=re.DOTALL) is not None
+
+
+def _as_number(value: Any) -> float | None:
+    value = atomize(value)
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def _as_text(value: Any) -> str:
+    value = atomize(value)
+    if isinstance(value, Null) or value is None:
+        return ""
+    return str(value)
+
+
+_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "text": lambda v: _as_text(v),
+    "number": lambda v: _as_number(v),
+    "length": lambda v: len(_as_text(v)),
+    "upper": lambda v: _as_text(v).upper(),
+    "lower": lambda v: _as_text(v).lower(),
+    "trim": lambda v: _as_text(v).strip(),
+    "contains": lambda v, s: _as_text(s) in _as_text(v),
+    "starts-with": lambda v, s: _as_text(v).startswith(_as_text(s)),
+    "ends-with": lambda v, s: _as_text(v).endswith(_as_text(s)),
+}
+
+
+def compile_value(expr: ast.Expr) -> ValueFn:
+    """Compile an expression to a function over binding tuples."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.Var):
+        name = expr.name
+        return lambda row: row.get(name, NULL)
+    if isinstance(expr, ast.Not):
+        inner = compile_predicate(expr.operand)
+        return lambda row: not inner(row)
+    if isinstance(expr, ast.Call):
+        function = _FUNCTIONS.get(expr.name)
+        if function is None:
+            raise BindingError(f"unknown function {expr.name!r}")
+        arg_fns = [compile_value(arg) for arg in expr.args]
+        return lambda row: function(*(fn(row) for fn in arg_fns))
+    if isinstance(expr, ast.BinOp):
+        return _compile_binop_value(expr)
+    raise BindingError(f"cannot compile expression {expr!r}")
+
+
+def _compile_binop_value(expr: ast.BinOp) -> ValueFn:
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = compile_predicate(expr.left)
+        right = compile_predicate(expr.right)
+        if op == "AND":
+            return lambda row: left(row) and right(row)
+        return lambda row: left(row) or right(row)
+    left_fn = compile_value(expr.left)
+    right_fn = compile_value(expr.right)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+
+        def comparison(row: BindingTuple) -> bool:
+            result = flex_compare(left_fn(row), right_fn(row))
+            if result is None:
+                return False
+            return {
+                "=": result == 0,
+                "!=": result != 0,
+                "<": result < 0,
+                "<=": result <= 0,
+                ">": result > 0,
+                ">=": result >= 0,
+            }[op]
+
+        return comparison
+    if op == "LIKE":
+        return lambda row: _like(left_fn(row), right_fn(row))
+    if op in ("+", "-", "*", "/", "%"):
+
+        def arithmetic(row: BindingTuple) -> Any:
+            a = _as_number(left_fn(row))
+            b = _as_number(right_fn(row))
+            if a is None or b is None:
+                return NULL
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                return NULL if b == 0 else a / b
+            return NULL if b == 0 else a % b
+
+        return arithmetic
+    raise BindingError(f"unknown operator {op!r}")
+
+
+def compile_predicate(expr: ast.Expr) -> PredicateFn:
+    """Compile an expression as a boolean condition."""
+    value_fn = compile_value(expr)
+
+    def predicate(row: BindingTuple) -> bool:
+        result = value_fn(row)
+        if isinstance(result, Null) or result is None:
+            return False
+        return bool(result)
+
+    return predicate
+
+
+def compile_sort_key(expr: ast.Expr) -> ValueFn:
+    """Compile an ORDER BY key: atomize and numerically coerce text."""
+    value_fn = compile_value(expr)
+
+    def key(row: BindingTuple) -> Any:
+        value = atomize(value_fn(row))
+        number = _as_number(value)
+        return value if number is None else number
+
+    return key

@@ -1,0 +1,607 @@
+"""A FLWOR (XQuery-style) front end over the same physical algebra.
+
+Section 2.1: "XML-QL was the only existing expressive query language for
+XML when we started designing our system.  Ultimately, we plan to adopt
+the standard query language recommended by the W3C Query Working Group."
+This module implements that plan: a FOR / LET / WHERE / ORDER BY /
+RETURN dialect compiled onto the identical operator set, demonstrating
+the payoff of the paper's physical-algebra design — "we expect the query
+language we support to be a moving target for a while", so the algebra,
+not the language, is the stable interface.
+
+Supported shape::
+
+    FOR $b IN "books", $s IN "stock"
+    LET $title := $b/title
+    WHERE $b/@year > 1995 AND $s/sku = $b/@sku
+    ORDER BY $s/price DESCENDING
+    RETURN <hit sku="{$b/@sku}">{$title}<price>{$s/price}</price></hit>
+
+FOR iterates the items of a source (a Document's top-level elements, or
+records); path expressions navigate elements (``/tag``, ``/@attr``,
+deeper paths via the path language) and records (field access); RETURN
+builds one element per binding with ``{expr}`` splices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.algebra import (
+    CallbackScan,
+    Compute,
+    NestedLoopJoin,
+    Operator,
+    Plan,
+    Select,
+    Sort,
+)
+from repro.algebra.tuples import BindingTuple
+from repro.errors import QuerySyntaxError
+from repro.query.exprs import flex_compare
+from repro.query.translate import SourceResolver
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Element, Text
+from repro.xmldm.path import Path
+from repro.xmldm.schema import atomic_to_text
+from repro.xmldm.values import NULL, Collection, Null, Record
+
+# -- path evaluation over the hybrid model -----------------------------------
+
+
+def eval_steps(value: Any, steps: tuple[str, ...]) -> list[Any]:
+    """Evaluate path steps against an element, record or atomic value."""
+    current = [value]
+    for step in steps:
+        next_values: list[Any] = []
+        for item in current:
+            if isinstance(item, Element):
+                next_values.extend(Path.parse(step).evaluate(item))
+            elif isinstance(item, Record):
+                name = step.lstrip("@")
+                if name in item:
+                    bound = item[name]
+                    if isinstance(bound, Collection):
+                        next_values.extend(bound)
+                    else:
+                        next_values.append(bound)
+            # atomic values have no children: path dead-ends
+        current = next_values
+    return current
+
+
+def atomize_first(values: list[Any]) -> Any:
+    """First path result, atomized (node -> text), or NULL."""
+    if not values:
+        return NULL
+    first = values[0]
+    if isinstance(first, Element):
+        return first.text_content()
+    return first
+
+
+# -- expression AST ------------------------------------------------------------
+
+
+class FExpr:
+    """Base class for FLWOR expressions."""
+
+
+@dataclass(frozen=True)
+class FPath(FExpr):
+    var: str
+    steps: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FLiteral(FExpr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class FBinOp(FExpr):
+    op: str
+    left: FExpr
+    right: FExpr
+
+
+@dataclass(frozen=True)
+class FNot(FExpr):
+    operand: FExpr
+
+
+def compile_fexpr(expr: FExpr) -> Callable[[BindingTuple], Any]:
+    if isinstance(expr, FLiteral):
+        return lambda row: expr.value
+    if isinstance(expr, FPath):
+        var, steps = expr.var, expr.steps
+
+        def path_value(row: BindingTuple) -> Any:
+            base = row.get(var, NULL)
+            if isinstance(base, Null):
+                return NULL
+            if not steps:
+                return base
+            return atomize_first(eval_steps(base, steps))
+
+        return path_value
+    if isinstance(expr, FNot):
+        inner = compile_fexpr(expr.operand)
+
+        def negate(row: BindingTuple) -> Any:
+            value = inner(row)
+            return not bool(value) if not isinstance(value, Null) else False
+
+        return negate
+    if isinstance(expr, FBinOp):
+        left = compile_fexpr(expr.left)
+        right = compile_fexpr(expr.right)
+        op = expr.op
+        if op in ("AND", "OR"):
+            if op == "AND":
+                return lambda row: bool(left(row)) and bool(right(row))
+            return lambda row: bool(left(row)) or bool(right(row))
+
+        def compare(row: BindingTuple) -> bool:
+            result = flex_compare(left(row), right(row))
+            if result is None:
+                return False
+            return {
+                "=": result == 0,
+                "!=": result != 0,
+                "<": result < 0,
+                "<=": result <= 0,
+                ">": result > 0,
+                ">=": result >= 0,
+            }[op]
+
+        return compare
+    raise QuerySyntaxError(f"cannot compile {expr!r}")
+
+
+# -- RETURN templates -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RText:
+    text: str
+
+
+@dataclass(frozen=True)
+class RSplice:
+    expr: FExpr
+
+
+@dataclass(frozen=True)
+class RElement:
+    tag: str
+    attributes: tuple[tuple[str, "str | FExpr"], ...]
+    children: tuple["RText | RSplice | RElement", ...]
+
+
+def build_return(template: RElement, row: BindingTuple) -> Element:
+    element = Element(template.tag)
+    for name, value in template.attributes:
+        if isinstance(value, str):
+            element.attributes[name] = value
+        else:
+            result = compile_fexpr(value)(row)
+            element.attributes[name] = (
+                "" if isinstance(result, Null) else atomic_to_text(result)
+                if not isinstance(result, Element)
+                else result.text_content()
+            )
+    for child in template.children:
+        if isinstance(child, RText):
+            if child.text:
+                element.append(Text(child.text))
+        elif isinstance(child, RSplice):
+            _splice(element, child.expr, row)
+        else:
+            element.append(build_return(child, row))
+    return element
+
+
+def _splice(element: Element, expr: FExpr, row: BindingTuple) -> None:
+    if isinstance(expr, FPath):
+        base = row.get(expr.var, NULL)
+        if isinstance(base, Null):
+            return
+        values = eval_steps(base, expr.steps) if expr.steps else [base]
+        for value in values:
+            _append(element, value)
+        return
+    _append(element, compile_fexpr(expr)(row))
+
+
+def _append(element: Element, value: Any) -> None:
+    if isinstance(value, Null):
+        return
+    if isinstance(value, Element):
+        element.append(value.copy())
+    elif isinstance(value, Record):
+        for name, field_value in value.items():
+            wrapper = Element(name)
+            _append(wrapper, field_value)
+            element.append(wrapper)
+    elif isinstance(value, Collection):
+        for item in value:
+            _append(element, item)
+    else:
+        text = atomic_to_text(value)
+        if text:
+            element.append(Text(text))
+
+
+# -- query structure ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForBinding:
+    var: str
+    source: str
+
+
+@dataclass(frozen=True)
+class LetBinding:
+    var: str
+    expr: FExpr
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    expr: FExpr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class FlworQuery:
+    fors: tuple[ForBinding, ...]
+    lets: tuple[LetBinding, ...]
+    where: FExpr | None
+    order: tuple[OrderKey, ...]
+    construct: RElement
+
+
+# -- compilation --------------------------------------------------------------------
+
+
+def _items_of(source_items: Iterable[Any]) -> Iterable[Any]:
+    """FOR semantics: documents contribute their top-level elements."""
+    for item in source_items:
+        if isinstance(item, Document):
+            yield from item.root.child_elements()
+        elif isinstance(item, Collection):
+            yield from item
+        else:
+            yield item
+
+
+def translate_flwor(
+    query: "FlworQuery | str",
+    resolver: SourceResolver,
+    output_var: str = "result",
+) -> Plan:
+    """Compile a FLWOR query onto the physical algebra."""
+    if isinstance(query, str):
+        query = parse_flwor(query)
+    root: Operator | None = None
+    for binding in query.fors:
+        scan = CallbackScan(
+            binding.var,
+            lambda name=binding.source: _items_of(resolver(name)),
+            label=binding.source,
+        )
+        root = scan if root is None else NestedLoopJoin(root, scan)
+    assert root is not None
+    for let in query.lets:
+        root = Compute(root, let.var, compile_fexpr(let.expr),
+                       label=f"let ${let.var}")
+    if query.where is not None:
+        predicate = compile_fexpr(query.where)
+        root = Select(root, lambda row: bool(predicate(row)), label="where")
+    if query.order:
+        keys = [
+            (compile_fexpr(key.expr), key.descending) for key in query.order
+        ]
+        root = Sort(root, keys, label="order by")
+    template = query.construct
+    root = Compute(root, output_var, lambda row: build_return(template, row),
+                   label="return")
+    return Plan(root, output_var)
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+def parse_flwor(text: str) -> FlworQuery:
+    return _FlworParser(text).parse()
+
+
+class _FlworParser:
+    """A compact scanner-based parser for the FLWOR dialect."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # scanning helpers ------------------------------------------------------
+
+    def error(self, message: str) -> QuerySyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        column = self.pos - self.text.rfind("\n", 0, self.pos)
+        return QuerySyntaxError(message, line, column)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek_word(self) -> str:
+        self.skip_ws()
+        end = self.pos
+        while end < len(self.text) and (self.text[end].isalpha() or self.text[end] == "_"):
+            end += 1
+        return self.text[self.pos : end].upper()
+
+    def accept_word(self, word: str) -> bool:
+        if self.peek_word() == word:
+            self.skip_ws()
+            self.pos += len(word)
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            raise self.error(f"expected {word}")
+
+    def accept(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-."
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+    def read_var(self) -> str:
+        self.expect("$")
+        return self.read_name()
+
+    def read_string(self) -> str:
+        self.skip_ws()
+        quote = self.text[self.pos : self.pos + 1]
+        if quote not in ("'", '"'):
+            raise self.error("expected a string literal")
+        end = self.text.find(quote, self.pos + 1)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return value
+
+    # grammar ------------------------------------------------------------------
+
+    def parse(self) -> FlworQuery:
+        fors: list[ForBinding] = []
+        self.expect_word("FOR")
+        fors.append(self._parse_for_binding())
+        while self.accept(","):
+            fors.append(self._parse_for_binding())
+        while self.peek_word() == "FOR":
+            self.expect_word("FOR")
+            fors.append(self._parse_for_binding())
+        lets: list[LetBinding] = []
+        while self.peek_word() == "LET":
+            self.expect_word("LET")
+            var = self.read_var()
+            self.expect(":=")
+            lets.append(LetBinding(var, self._parse_or()))
+        where = None
+        if self.accept_word("WHERE"):
+            where = self._parse_or()
+        order: list[OrderKey] = []
+        if self.accept_word("ORDER"):
+            self.expect_word("BY")
+            order.append(self._parse_order_key())
+            while self.accept(","):
+                order.append(self._parse_order_key())
+        self.expect_word("RETURN")
+        construct = self._parse_element()
+        self.skip_ws()
+        if self.pos < len(self.text):
+            raise self.error("unexpected trailing input")
+        bound = {binding.var for binding in fors} | {let.var for let in lets}
+        for expr_holder in ([where] if where else []) + [k.expr for k in order]:
+            for var in _expr_vars(expr_holder):
+                if var not in bound:
+                    raise self.error(f"unbound variable ${var}")
+        for var in _template_vars(construct):
+            if var not in bound:
+                raise self.error(f"unbound variable ${var}")
+        return FlworQuery(tuple(fors), tuple(lets), where, tuple(order), construct)
+
+    def _parse_for_binding(self) -> ForBinding:
+        var = self.read_var()
+        self.expect_word("IN")
+        self.skip_ws()
+        if self.text[self.pos : self.pos + 1] in ("'", '"'):
+            source = self.read_string()
+        else:
+            source = self.read_name()
+        return ForBinding(var, source)
+
+    def _parse_order_key(self) -> OrderKey:
+        expr = self._parse_or()
+        if self.accept_word("DESCENDING"):
+            return OrderKey(expr, True)
+        self.accept_word("ASCENDING")
+        return OrderKey(expr, False)
+
+    # expressions -----------------------------------------------------------------
+
+    def _parse_or(self) -> FExpr:
+        left = self._parse_and()
+        while self.accept_word("OR"):
+            left = FBinOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> FExpr:
+        left = self._parse_not()
+        while self.accept_word("AND"):
+            left = FBinOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> FExpr:
+        if self.accept_word("NOT"):
+            return FNot(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> FExpr:
+        left = self._parse_primary()
+        self.skip_ws()
+        for op in ("!=", "<=", ">=", "=", "<", ">"):
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                return FBinOp(op, left, self._parse_primary())
+        return left
+
+    def _parse_primary(self) -> FExpr:
+        self.skip_ws()
+        ch = self.text[self.pos : self.pos + 1]
+        if ch == "$":
+            return self._parse_path()
+        if ch in ("'", '"'):
+            return FLiteral(self.read_string())
+        if ch.isdigit() or (ch == "-" and self.text[self.pos + 1 : self.pos + 2].isdigit()):
+            start = self.pos
+            self.pos += 1
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isdigit() or self.text[self.pos] == "."
+            ):
+                self.pos += 1
+            raw = self.text[start : self.pos]
+            return FLiteral(float(raw) if "." in raw else int(raw))
+        if ch == "(":
+            self.pos += 1
+            expr = self._parse_or()
+            self.expect(")")
+            return expr
+        raise self.error("expected an expression")
+
+    def _parse_path(self) -> FPath:
+        var = self.read_var()
+        steps: list[str] = []
+        while self.text.startswith("/", self.pos):
+            self.pos += 1
+            if self.text.startswith("@", self.pos):
+                self.pos += 1
+                steps.append("@" + self.read_name())
+            elif self.text.startswith("text()", self.pos):
+                self.pos += len("text()")
+                steps.append("text()")
+            else:
+                steps.append(self.read_name())
+        return FPath(var, tuple(steps))
+
+    # RETURN templates -----------------------------------------------------------------
+
+    def _parse_element(self) -> RElement:
+        self.expect("<")
+        tag = self.read_name()
+        attributes: list[tuple[str, str | FExpr]] = []
+        while True:
+            self.skip_ws()
+            ch = self.text[self.pos : self.pos + 1]
+            if ch in (">", "/"):
+                break
+            name = self.read_name()
+            self.expect("=")
+            self.skip_ws()
+            if self.text.startswith('"{', self.pos) or self.text.startswith("'{", self.pos):
+                quote = self.text[self.pos]
+                self.pos += 2
+                expr = self._parse_or()
+                self.expect("}")
+                self.expect(quote)
+                attributes.append((name, expr))
+            elif self.text.startswith("{", self.pos):
+                self.pos += 1
+                expr = self._parse_or()
+                self.expect("}")
+                attributes.append((name, expr))
+            else:
+                attributes.append((name, self.read_string()))
+        if self.accept("/>"):
+            return RElement(tag, tuple(attributes), ())
+        self.expect(">")
+        children: list[RText | RSplice | RElement] = []
+        buffer: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error(f"unterminated element <{tag}>")
+            ch = self.text[self.pos]
+            if ch == "<":
+                if buffer:
+                    text = "".join(buffer)
+                    if text.strip():
+                        children.append(RText(text))
+                    buffer = []
+                if self.text.startswith("</", self.pos):
+                    self.pos += 2
+                    closing = self.read_name()
+                    if closing != tag:
+                        raise self.error(
+                            f"mismatched closing tag </{closing}> for <{tag}>"
+                        )
+                    self.expect(">")
+                    return RElement(tag, tuple(attributes), tuple(children))
+                children.append(self._parse_element())
+            elif ch == "{":
+                if buffer:
+                    text = "".join(buffer)
+                    if text.strip():
+                        children.append(RText(text))
+                    buffer = []
+                self.pos += 1
+                children.append(RSplice(self._parse_or()))
+                self.expect("}")
+            else:
+                buffer.append(ch)
+                self.pos += 1
+
+
+def _expr_vars(expr: FExpr) -> set[str]:
+    if isinstance(expr, FPath):
+        return {expr.var}
+    if isinstance(expr, FBinOp):
+        return _expr_vars(expr.left) | _expr_vars(expr.right)
+    if isinstance(expr, FNot):
+        return _expr_vars(expr.operand)
+    return set()
+
+
+def _template_vars(template: RElement) -> set[str]:
+    out: set[str] = set()
+    for _, value in template.attributes:
+        if isinstance(value, FExpr):
+            out |= _expr_vars(value)
+    for child in template.children:
+        if isinstance(child, RSplice):
+            out |= _expr_vars(child.expr)
+        elif isinstance(child, RElement):
+            out |= _template_vars(child)
+    return out

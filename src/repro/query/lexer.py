@@ -1,0 +1,164 @@
+"""Tokenizer for the XML-QL dialect.
+
+The tricky part of lexing XML-QL is that ``<`` opens both tags and
+comparisons.  The lexer resolves it locally: ``<`` directly followed by a
+name character or ``/`` is tag punctuation; otherwise it is the less-than
+operator.  (Write ``< ident`` with a space to force a comparison against
+a variable-free identifier — in practice comparisons involve ``$vars``
+and literals, so the ambiguity never bites.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = {
+    "WHERE",
+    "CONSTRUCT",
+    "IN",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "AND",
+    "OR",
+    "NOT",
+    "ELEMENT_AS",
+    "LIMIT",
+    "CONTENT_AS",
+    "LIKE",
+}
+
+#: token kinds: TAGOPEN '<', TAGCLOSE '</', GT '>', SELFCLOSE '/>',
+#: VAR, IDENT, KEYWORD, STRING, NUMBER, OP, PUNCT, EOF
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "+", "-", "*", "/", "%")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+    #: for KEYWORD tokens, the original (case-preserved) spelling —
+    #: needed because keywords double as tag names in patterns/templates
+    original: str = ""
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    line, line_start = 1, 0
+
+    def location(pos: int) -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if text.startswith("#", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        ln, col = location(i)
+        if ch == "<":
+            nxt = text[i + 1] if i + 1 < n else ""
+            if nxt == "/" and text[i + 2 : i + 3] == "/":
+                # <//tag opens a descendant pattern (matches at any depth)
+                tokens.append(Token("TAGDESC", "<//", ln, col))
+                i += 3
+            elif nxt == "/":
+                tokens.append(Token("TAGCLOSE", "</", ln, col))
+                i += 2
+            elif nxt.isalpha() or nxt in "_*":
+                tokens.append(Token("TAGOPEN", "<", ln, col))
+                i += 1
+            elif nxt == "=":
+                tokens.append(Token("OP", "<=", ln, col))
+                i += 2
+            elif nxt == ">":
+                tokens.append(Token("OP", "<>", ln, col))
+                i += 2
+            else:
+                tokens.append(Token("OP", "<", ln, col))
+                i += 1
+            continue
+        if ch == ">":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token("OP", ">=", ln, col))
+                i += 2
+            else:
+                tokens.append(Token("GT", ">", ln, col))
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == ">":
+            tokens.append(Token("SELFCLOSE", "/>", ln, col))
+            i += 2
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise QuerySyntaxError("'$' must introduce a variable name", ln, col)
+            tokens.append(Token("VAR", text[i + 1 : j], ln, col))
+            i = j
+            continue
+        if ch in "\"'":
+            j = i + 1
+            parts: list[str] = []
+            while j < n and text[j] != ch:
+                if text[j] == "\\" and j + 1 < n:
+                    parts.append(text[j + 1])
+                    j += 2
+                else:
+                    parts.append(text[j])
+                    j += 1
+            if j >= n:
+                raise QuerySyntaxError("unterminated string literal", ln, col)
+            tokens.append(Token("STRING", "".join(parts), ln, col))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], ln, col))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_-."):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), ln, col, original=word))
+            else:
+                tokens.append(Token("IDENT", word, ln, col))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, ln, col))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in "(),*=@":
+            tokens.append(Token("PUNCT", ch, ln, col))
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", ln, col)
+    tokens.append(Token("EOF", "", line, n - line_start + 1))
+    return tokens

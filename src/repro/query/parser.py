@@ -1,0 +1,350 @@
+"""Recursive-descent parser for the XML-QL dialect."""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast
+from repro.query.lexer import Token, tokenize
+
+
+def parse_query(text: str) -> ast.Query:
+    """Parse a WHERE ... CONSTRUCT ... [ORDER BY ...] query."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+def parse_pattern(text: str) -> ast.PatternElement:
+    """Parse a standalone element pattern (used by tests and mappings)."""
+    parser = _Parser(tokenize(text))
+    pattern = parser.parse_pattern_element()
+    parser.expect_eof()
+    return pattern
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> QuerySyntaxError:
+        token = self.peek()
+        shown = token.value or token.kind
+        return QuerySyntaxError(f"{message}, found {shown!r}", token.line, token.column)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            raise self.error(f"expected {value or kind}")
+        return token
+
+    def expect_eof(self) -> None:
+        if self.peek().kind != "EOF":
+            raise self.error("unexpected trailing input")
+
+    # -- query -----------------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        self.expect("KEYWORD", "WHERE")
+        clauses = [self._parse_clause()]
+        while self.accept("PUNCT", ","):
+            clauses.append(self._parse_clause())
+        self.expect("KEYWORD", "CONSTRUCT")
+        construct = self.parse_template_element()
+        order_by: list[ast.OrderSpec] = []
+        if self.accept("KEYWORD", "ORDER"):
+            self.expect("KEYWORD", "BY")
+            order_by.append(self._parse_order_spec())
+            while self.accept("PUNCT", ","):
+                order_by.append(self._parse_order_spec())
+        limit = None
+        if self.accept("KEYWORD", "LIMIT"):
+            token = self.peek()
+            if token.kind != "NUMBER" or "." in token.value:
+                raise self.error("LIMIT expects an integer")
+            self.advance()
+            limit = int(token.value)
+        return ast.Query(tuple(clauses), construct, tuple(order_by), limit)
+
+    def _parse_order_spec(self) -> ast.OrderSpec:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept("KEYWORD", "DESC"):
+            descending = True
+        else:
+            self.accept("KEYWORD", "ASC")
+        return ast.OrderSpec(expr, descending)
+
+    def _parse_clause(self) -> ast.Clause:
+        if self.peek().kind in ("TAGOPEN", "TAGDESC"):
+            pattern = self.parse_pattern_element()
+            self.expect("KEYWORD", "IN")
+            token = self.peek()
+            if token.kind == "STRING" or token.kind == "IDENT":
+                self.advance()
+                return ast.PatternClause(pattern, token.value)
+            raise self.error("expected a source name after IN")
+        return ast.ConditionClause(self.parse_expr())
+
+    # -- patterns ----------------------------------------------------------------
+
+    def parse_pattern_element(self) -> ast.PatternElement:
+        descendant = False
+        if self.accept("TAGDESC"):
+            descendant = True
+        else:
+            self.expect("TAGOPEN")
+        tag = self._parse_tag_name()
+        attributes = self._parse_attr_matches()
+        if self.accept("SELFCLOSE"):
+            return self._with_element_as(
+                ast.PatternElement(tag, tuple(attributes),
+                                   descendant=descendant)
+            )
+        self.expect("GT")
+        children: list[ast.PatternElement] = []
+        text_var: str | None = None
+        text_literal: str | None = None
+        while True:
+            token = self.peek()
+            if token.kind == "TAGCLOSE":
+                self.advance()
+                if self.peek().kind in ("IDENT", "KEYWORD"):
+                    token = self.advance()
+                    closing = token.original or token.value
+                    if closing != tag:
+                        raise self.error(
+                            f"mismatched closing tag </{closing}> for <{tag}>"
+                        )
+                self.expect("GT")
+                break
+            if token.kind in ("TAGOPEN", "TAGDESC"):
+                children.append(self.parse_pattern_element())
+                continue
+            if token.kind == "VAR":
+                if text_var is not None:
+                    raise self.error(f"element <{tag}> binds text twice")
+                text_var = self.advance().value
+                continue
+            if token.kind == "STRING":
+                text_literal = self.advance().value
+                continue
+            if token.kind in ("IDENT", "NUMBER"):
+                # Bare words/numbers act as literal text content.
+                text_literal = self.advance().value
+                continue
+            raise self.error(f"unexpected content in pattern <{tag}>")
+        element = ast.PatternElement(
+            tag, tuple(attributes), tuple(children), text_var, text_literal,
+            descendant=descendant,
+        )
+        return self._with_element_as(element)
+
+    def _with_element_as(self, element: ast.PatternElement) -> ast.PatternElement:
+        if self.accept("KEYWORD", "ELEMENT_AS") or self.accept("KEYWORD", "CONTENT_AS"):
+            var = self.expect("VAR").value
+            return ast.PatternElement(
+                element.tag,
+                element.attributes,
+                element.children,
+                element.text_var,
+                element.text_literal,
+                element_var=var,
+                descendant=element.descendant,
+            )
+        return element
+
+    def _parse_tag_name(self) -> str:
+        token = self.peek()
+        if token.kind in ("IDENT", "KEYWORD"):
+            self.advance()
+            return token.original or token.value
+        if token.kind == "PUNCT" and token.value == "*":
+            self.advance()
+            return "*"
+        raise self.error("expected a tag name")
+
+    def _parse_attr_matches(self) -> list[ast.AttrMatch]:
+        attributes: list[ast.AttrMatch] = []
+        while self.peek().kind == "IDENT":
+            name = self.advance().value
+            self.expect("OP", "=")
+            token = self.peek()
+            if token.kind == "VAR":
+                self.advance()
+                attributes.append(ast.AttrMatch(name, var=token.value))
+            elif token.kind == "STRING":
+                self.advance()
+                attributes.append(ast.AttrMatch(name, literal=token.value))
+            else:
+                raise self.error("attribute pattern needs $var or a string")
+        return attributes
+
+    # -- templates ---------------------------------------------------------------
+
+    def parse_template_element(self) -> ast.TemplateElement:
+        self.expect("TAGOPEN")
+        tag = self._parse_tag_name()
+        attributes: list[tuple[str, str | ast.Var]] = []
+        while self.peek().kind == "IDENT":
+            name = self.advance().value
+            self.expect("OP", "=")
+            token = self.peek()
+            if token.kind == "VAR":
+                self.advance()
+                attributes.append((name, ast.Var(token.value)))
+            elif token.kind == "STRING":
+                self.advance()
+                attributes.append((name, token.value))
+            else:
+                raise self.error("template attribute needs $var or a string")
+        if self.accept("SELFCLOSE"):
+            return ast.TemplateElement(tag, tuple(attributes))
+        self.expect("GT")
+        children: list[ast.TemplateElement | ast.Var | str] = []
+        while True:
+            token = self.peek()
+            if token.kind == "TAGCLOSE":
+                self.advance()
+                if self.peek().kind in ("IDENT", "KEYWORD"):
+                    token = self.advance()
+                    closing = token.original or token.value
+                    if closing != tag:
+                        raise self.error(
+                            f"mismatched closing tag </{closing}> for <{tag}>"
+                        )
+                self.expect("GT")
+                break
+            if token.kind == "TAGOPEN":
+                children.append(self.parse_template_element())
+                continue
+            if token.kind == "VAR":
+                children.append(ast.Var(self.advance().value))
+                continue
+            if token.kind == "IDENT" and (
+                self.peek(1).kind == "PUNCT" and self.peek(1).value == "("
+            ):
+                name = self.advance().value.lower()
+                if name not in ast.AGGREGATE_KINDS:
+                    raise self.error(f"unknown aggregate {name!r}")
+                self.expect("PUNCT", "(")
+                var = self.expect("VAR").value
+                self.expect("PUNCT", ")")
+                children.append(ast.AggregateRef(name, var))
+                continue
+            if token.kind in ("STRING", "IDENT", "NUMBER"):
+                children.append(self.advance().value)
+                continue
+            raise self.error(f"unexpected content in template <{tag}>")
+        return ast.TemplateElement(tag, tuple(attributes), tuple(children))
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept("KEYWORD", "OR"):
+            left = ast.BinOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.accept("KEYWORD", "AND"):
+            left = ast.BinOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept("KEYWORD", "NOT"):
+            return ast.Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            op = "!=" if token.value == "<>" else token.value
+            return ast.BinOp(op, left, self._parse_additive())
+        if token.kind == "GT":
+            self.advance()
+            return ast.BinOp(">", left, self._parse_additive())
+        if token.kind == "KEYWORD" and token.value == "LIKE":
+            self.advance()
+            return ast.BinOp("LIKE", left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self.advance()
+                left = ast.BinOp(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("*", "/", "%"):
+                self.advance()
+                left = ast.BinOp(token.value, left, self._parse_primary())
+            elif token.kind == "PUNCT" and token.value == "*":
+                self.advance()
+                left = ast.BinOp("*", left, self._parse_primary())
+            else:
+                return left
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return ast.Var(token.value)
+        if token.kind == "NUMBER":
+            self.advance()
+            if "." in token.value:
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("PUNCT", ")")
+            return expr
+        if token.kind == "IDENT":
+            name = self.advance().value
+            if self.accept("PUNCT", "("):
+                args: list[ast.Expr] = []
+                if not (self.peek().kind == "PUNCT" and self.peek().value == ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("PUNCT", ","):
+                        args.append(self.parse_expr())
+                self.expect("PUNCT", ")")
+                return ast.Call(name.lower(), tuple(args))
+            if name.lower() in ("true", "false"):
+                return ast.Literal(name.lower() == "true")
+            raise self.error(f"unknown identifier {name!r} in expression")
+        raise self.error("expected an expression")

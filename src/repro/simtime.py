@@ -1,0 +1,56 @@
+"""A deterministic virtual clock for the simulated distributed system.
+
+All "remote" behaviour in the reproduction — source latency, transfer
+time, engine service time, outage windows — advances a :class:`SimClock`
+instead of sleeping.  Benchmarks therefore measure the *modelled* cost
+(milliseconds of virtual time) deterministically and instantly, which is
+what makes the latency experiments (E1, E4, E6) reproducible run to run.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Virtual time in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = float(start_ms)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards ({delta_ms} ms)")
+        self._now += delta_ms
+        return self._now
+
+    def advance_to(self, timestamp_ms: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if passed)."""
+        if timestamp_ms > self._now:
+            self._now = timestamp_ms
+        return self._now
+
+    def elapsed_since(self, timestamp_ms: float) -> float:
+        return self._now - timestamp_ms
+
+    def __repr__(self) -> str:
+        return f"SimClock({self._now:.3f} ms)"
+
+
+class Stopwatch:
+    """Measures spans of virtual time on a clock."""
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._start = clock.now
+
+    def restart(self) -> None:
+        self._start = self.clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now - self._start

@@ -1,0 +1,46 @@
+"""Source wrappers: uniform access to heterogeneous data sources.
+
+The paper's engine provides "robust and reasonably efficient access to a
+wide variety of data source systems" (section 4).  Every wrapper here
+
+* exports a set of named relations/collections with record types;
+* advertises a :class:`CapabilityProfile` describing which query
+  fragments it can evaluate natively (selections? joins? parameterized
+  access?), which the optimizer uses to decide what to push;
+* executes :class:`Fragment` objects, charging a simulated network model
+  (per-call latency + per-row transfer) against the shared
+  :class:`~repro.simtime.SimClock`;
+* can be offline — the availability machinery behind the paper's
+  partial-results design (section 3.4) lives in
+  :class:`~repro.sources.flaky.FlakySource`.
+"""
+
+from repro.sources.base import (
+    Access,
+    CapabilityProfile,
+    DataSource,
+    Fragment,
+    NetworkModel,
+)
+from repro.sources.hierarchical import DirectoryEntry, HierarchicalSource
+from repro.sources.flaky import AvailabilityModel, FlakySource
+from repro.sources.registry import SourceRegistry
+from repro.sources.relational import RelationalSource
+from repro.sources.webservice import WebServiceSource
+from repro.sources.xmlfile import XMLSource
+
+__all__ = [
+    "Access",
+    "AvailabilityModel",
+    "CapabilityProfile",
+    "DataSource",
+    "DirectoryEntry",
+    "FlakySource",
+    "Fragment",
+    "HierarchicalSource",
+    "NetworkModel",
+    "RelationalSource",
+    "SourceRegistry",
+    "WebServiceSource",
+    "XMLSource",
+]

@@ -1,0 +1,237 @@
+"""The wrapper contract: fragments, capabilities, the network model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+from repro.algebra.pattern import TreePattern
+from repro.errors import CapabilityError, SourceUnavailableError
+from repro.query import ast as qast
+from repro.simtime import SimClock
+from repro.xmldm.schema import RecordType
+from repro.xmldm.values import Record
+
+
+@dataclass(frozen=True)
+class Access:
+    """One relation/collection access inside a fragment.
+
+    ``pattern`` doubles as the projection list: its variables name the
+    fields the source must return (for a relational source the pattern's
+    flat children are column bindings).
+    """
+
+    relation: str
+    pattern: TreePattern
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A single-source query fragment the compiler pushes to a wrapper.
+
+    * ``accesses`` — relations to read; variables shared between two
+      accesses denote an equi-join evaluated *at the source*;
+    * ``conditions`` — pushed selections over the fragment's variables;
+    * ``input_vars`` — variables that will be supplied as parameters at
+      execution time (dependent/parameterized access).
+    """
+
+    source: str
+    accesses: tuple[Access, ...]
+    conditions: tuple[qast.Expr, ...] = ()
+    input_vars: tuple[str, ...] = ()
+
+    def variables(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for access in self.accesses:
+            names.extend(access.pattern.variables())
+        return tuple(dict.fromkeys(names))
+
+    def with_conditions(self, conditions: Iterable[qast.Expr]) -> "Fragment":
+        return replace(self, conditions=tuple(conditions))
+
+    def describe(self) -> str:
+        accesses = ", ".join(a.relation for a in self.accesses)
+        return (
+            f"Fragment({self.source}: {accesses}; "
+            f"{len(self.conditions)} conds; vars={','.join(self.variables())})"
+        )
+
+
+@dataclass(frozen=True)
+class CapabilityProfile:
+    """What a source can evaluate natively (paper sections 2.1, 4).
+
+    The optimizer never sends a wrapper more than its profile admits;
+    anything beyond becomes residual work at the integration engine.
+    """
+
+    selections: bool = False        # can apply condition expressions
+    projections: bool = False       # can return a subset of fields
+    joins: bool = False             # can join relations within one fragment
+    aggregates: bool = False        # reserved for future aggregate pushdown
+    parameterized: bool = False     # supports input_vars (dependent access)
+    requires_parameters: bool = False  # *only* answers parameterized calls
+    #: condition operators the source accepts when ``selections`` is true
+    condition_ops: frozenset[str] = frozenset(
+        {"=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"}
+    )
+
+    def accepts_condition(self, expr: qast.Expr) -> bool:
+        """Conservative test: only operator trees over vars and literals."""
+        if not self.selections:
+            return False
+        if isinstance(expr, (qast.Var, qast.Literal)):
+            return True
+        if isinstance(expr, qast.BinOp):
+            return (
+                expr.op in self.condition_ops
+                and self.accepts_condition(expr.left)
+                and self.accepts_condition(expr.right)
+            )
+        if isinstance(expr, qast.Not):
+            return self.accepts_condition(expr.operand)
+        return False  # function calls stay at the engine
+
+
+@dataclass
+class NetworkModel:
+    """Per-source network cost model, charged to the shared clock.
+
+    ``latency_ms`` is paid once per remote call; ``per_row_ms`` per
+    transferred row.  ``calls``/``rows_transferred`` accumulate for the
+    benchmarks.
+    """
+
+    latency_ms: float = 0.0
+    per_row_ms: float = 0.0
+    calls: int = 0
+    rows_transferred: int = 0
+
+    def charge_call(self, clock: SimClock) -> None:
+        self.calls += 1
+        clock.advance(self.latency_ms)
+
+    def charge_rows(self, clock: SimClock, count: int) -> None:
+        self.rows_transferred += count
+        clock.advance(self.per_row_ms * count)
+
+    def reset_counters(self) -> None:
+        self.calls = 0
+        self.rows_transferred = 0
+
+
+class DataSource:
+    """Base class for source wrappers.
+
+    Subclasses implement :meth:`_execute` (fragment evaluation against
+    local data) and :meth:`relations`.  The base class handles network
+    accounting and availability.
+    """
+
+    capabilities = CapabilityProfile()
+
+    def __init__(self, name: str, clock: SimClock | None = None,
+                 network: NetworkModel | None = None):
+        self.name = name
+        self.clock = clock or SimClock()
+        self.network = network or NetworkModel()
+
+    # -- metadata ---------------------------------------------------------
+
+    def relations(self) -> dict[str, RecordType]:
+        """Exported relation name -> record type."""
+        raise NotImplementedError
+
+    def cardinality(self, relation: str) -> int:
+        """Estimated row count of a relation (for the cost model)."""
+        raise NotImplementedError
+
+    # -- availability --------------------------------------------------------
+
+    def available(self) -> bool:
+        """Whether the source is reachable right now."""
+        return True
+
+    def check_available(self) -> None:
+        if not self.available():
+            raise SourceUnavailableError(self.name)
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(
+        self, fragment: Fragment, params: Mapping[str, Any] | None = None
+    ) -> list[Record]:
+        """Run a fragment remotely; returns records keyed by variable.
+
+        Charges one call latency plus per-row transfer to the clock.
+        Raises :class:`SourceUnavailableError` when offline and
+        :class:`CapabilityError` when the fragment exceeds the profile.
+        """
+        self.check_available()
+        self.validate_fragment(fragment)
+        if fragment.input_vars and not params:
+            raise CapabilityError(
+                f"fragment for {self.name!r} needs parameters "
+                f"{fragment.input_vars} but none were supplied"
+            )
+        self.network.charge_call(self.clock)
+        rows = list(self._execute(fragment, dict(params or {})))
+        self.network.charge_rows(self.clock, len(rows))
+        return rows
+
+    def validate_fragment(self, fragment: Fragment) -> None:
+        profile = self.capabilities
+        if len(fragment.accesses) > 1 and not profile.joins:
+            raise CapabilityError(
+                f"source {self.name!r} cannot join within a fragment"
+            )
+        if fragment.conditions and not profile.selections:
+            raise CapabilityError(
+                f"source {self.name!r} cannot evaluate selections"
+            )
+        for condition in fragment.conditions:
+            if not profile.accepts_condition(condition):
+                raise CapabilityError(
+                    f"source {self.name!r} rejects condition {condition}"
+                )
+        if fragment.input_vars and not profile.parameterized:
+            raise CapabilityError(
+                f"source {self.name!r} does not accept parameters"
+            )
+        if profile.requires_parameters and not fragment.input_vars:
+            raise CapabilityError(
+                f"source {self.name!r} answers only parameterized calls"
+            )
+        known = self.relations()
+        for access in fragment.accesses:
+            if access.relation not in known:
+                raise CapabilityError(
+                    f"source {self.name!r} exports no relation "
+                    f"{access.relation!r}"
+                )
+
+    def _execute(self, fragment: Fragment, params: dict[str, Any]) -> Iterable[Record]:
+        raise NotImplementedError
+
+    def fetch_all(self, relation: str) -> list[Any]:
+        """Fetch a relation wholesale (documents or records).
+
+        The unoptimized access path used by front ends that do their own
+        navigation (the FLWOR dialect); charges the network model like
+        any other call.
+        """
+        self.check_available()
+        self.network.charge_call(self.clock)
+        items = list(self._fetch_all(relation))
+        self.network.charge_rows(self.clock, len(items))
+        return items
+
+    def _fetch_all(self, relation: str) -> Iterable[Any]:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support wholesale access"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,164 @@
+"""Wrapper for hierarchical (directory-style) sources.
+
+Models the LDAP/registry class of legacy systems the paper's data model
+was shaped to accommodate: entries live in a tree of named nodes, each
+entry carries a flat attribute map, and the native query capability is
+subtree search with attribute *equality* filters only — a deliberately
+weaker profile than the relational wrapper, so the optimizer has real
+capability variance to plan around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import CapabilityError
+from repro.query import ast as qast
+from repro.sources.base import CapabilityProfile, DataSource, Fragment, NetworkModel
+from repro.simtime import SimClock
+from repro.xmldm.schema import RecordType
+from repro.xmldm.values import Record
+
+
+@dataclass
+class DirectoryEntry:
+    """One node of the directory tree."""
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["DirectoryEntry"] = field(default_factory=list)
+
+    def add_child(self, name: str, **attributes: Any) -> "DirectoryEntry":
+        child = DirectoryEntry(name, dict(attributes))
+        self.children.append(child)
+        return child
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, "DirectoryEntry"]]:
+        """Yield (path, entry) pairs for this subtree."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        yield path, self
+        for child in self.children:
+            yield from child.walk(path)
+
+
+class HierarchicalSource(DataSource):
+    """A directory-tree source with equality-only native filtering."""
+
+    capabilities = CapabilityProfile(
+        selections=True,
+        projections=True,
+        joins=False,
+        condition_ops=frozenset({"=", "AND"}),
+    )
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock | None = None,
+        network: NetworkModel | None = None,
+    ):
+        super().__init__(name, clock, network)
+        #: exported relation name -> (root entry, entry tag)
+        self._trees: dict[str, tuple[DirectoryEntry, str]] = {}
+
+    def add_tree(self, relation: str, root: DirectoryEntry, entry_tag: str) -> None:
+        """Export the entries of ``root`` tagged ``entry_tag`` as a relation.
+
+        Every entry in the subtree whose name equals ``entry_tag`` becomes
+        one record (attributes plus ``path``/``name`` pseudo-fields).
+        """
+        self._trees[relation] = (root, entry_tag)
+
+    def relations(self) -> dict[str, RecordType]:
+        return {name: RecordType(name) for name in self._trees}
+
+    def cardinality(self, relation: str) -> int:
+        if relation not in self._trees:
+            return 0
+        root, entry_tag = self._trees[relation]
+        return sum(1 for _, entry in root.walk() if entry.name == entry_tag)
+
+    def _entries(self, relation: str) -> Iterator[tuple[str, DirectoryEntry]]:
+        root, entry_tag = self._trees[relation]
+        for path, entry in root.walk():
+            if entry.name == entry_tag:
+                yield path, entry
+
+    def _fetch_all(self, relation: str):
+        if relation not in self._trees:
+            raise CapabilityError(
+                f"source {self.name!r} exports no tree {relation!r}"
+            )
+        for path, entry in self._entries(relation):
+            values = dict(entry.attributes)
+            values["path"] = path
+            values["name"] = entry.name
+            yield Record(values)
+
+    def _execute(self, fragment: Fragment, params: dict[str, Any]) -> Iterable[Record]:
+        if len(fragment.accesses) != 1:
+            raise CapabilityError("hierarchical fragments access one tree")
+        access = fragment.accesses[0]
+        if access.relation not in self._trees:
+            raise CapabilityError(
+                f"source {self.name!r} exports no tree {access.relation!r}"
+            )
+        bindings = _pattern_bindings(access.pattern)
+        filters = []
+        for condition in fragment.conditions:
+            var, wanted = _equality_filter(condition, params)
+            if var not in bindings:
+                raise CapabilityError(
+                    f"condition variable ${var} is not bound by the pattern"
+                )
+            filters.append((bindings[var], wanted))
+        for path, entry in self._entries(access.relation):
+            values = dict(entry.attributes)
+            values["path"] = path
+            values["name"] = entry.name
+            if any(values.get(attr) != wanted for attr, wanted in filters):
+                continue
+            record: dict[str, Any] = {}
+            satisfied = True
+            for var, attr in bindings.items():
+                if attr in values:
+                    record[var] = values[attr]
+                else:
+                    satisfied = False
+                    break
+            if satisfied:
+                yield Record(record)
+
+
+def _pattern_bindings(pattern) -> dict[str, str]:
+    """var -> attribute name bindings from a flat access pattern."""
+    bindings: dict[str, str] = {}
+    for attribute in pattern.attributes:
+        if attribute.var is not None:
+            bindings[attribute.var] = attribute.name
+    for child in pattern.children:
+        if child.children or child.attributes:
+            raise CapabilityError("hierarchical patterns must be flat")
+        if child.text_var is not None:
+            bindings[child.text_var] = child.tag
+    return bindings
+
+
+def _equality_filter(
+    condition: qast.Expr, params: dict[str, Any]
+) -> tuple[str, Any]:
+    """Decompose ``$var = literal`` into (attribute, value) — via bindings.
+
+    The decomposer only pushes conditions the capability profile admits,
+    so by the time a condition reaches the wrapper it is an equality
+    between a bound variable and a literal (or a parameter).
+    """
+    if not isinstance(condition, qast.BinOp) or condition.op != "=":
+        raise CapabilityError(f"hierarchical source accepts only equality, got {condition}")
+    left, right = condition.left, condition.right
+    if isinstance(left, qast.Var) and isinstance(right, qast.Literal):
+        return left.name, right.value
+    if isinstance(right, qast.Var) and isinstance(left, qast.Literal):
+        return right.name, left.value
+    raise CapabilityError(f"unsupported hierarchical condition {condition}")

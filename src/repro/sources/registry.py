@@ -1,0 +1,56 @@
+"""The source registry: name -> wrapper, shared clock, fleet stats."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SourceError
+from repro.simtime import SimClock
+from repro.sources.base import DataSource
+
+
+class SourceRegistry:
+    """All wrappers known to one deployment, sharing one clock."""
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock or SimClock()
+        self._sources: dict[str, DataSource] = {}
+
+    def register(self, source: DataSource) -> DataSource:
+        """Add a wrapper; it is re-pointed at the registry's clock."""
+        if source.name in self._sources:
+            raise SourceError(f"source {source.name!r} already registered")
+        source.clock = self.clock
+        inner = getattr(source, "inner", None)
+        if inner is not None:
+            inner.clock = self.clock
+        self._sources[source.name] = source
+        return source
+
+    def get(self, name: str) -> DataSource:
+        source = self._sources.get(name)
+        if source is None:
+            raise SourceError(f"unknown source {name!r}")
+        return source
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __iter__(self) -> Iterator[DataSource]:
+        return iter(self._sources.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def available_sources(self) -> list[str]:
+        return [name for name, s in self._sources.items() if s.available()]
+
+    def reset_network_counters(self) -> None:
+        for source in self._sources.values():
+            source.network.reset_counters()
+
+    def network_totals(self) -> dict[str, int]:
+        """Aggregate calls and rows transferred across the fleet."""
+        calls = sum(s.network.calls for s in self._sources.values())
+        rows = sum(s.network.rows_transferred for s in self._sources.values())
+        return {"calls": calls, "rows_transferred": rows}

@@ -1,0 +1,89 @@
+"""Wrapper for relational sources backed by the embedded SQL engine."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.sources.base import CapabilityProfile, DataSource, Fragment, NetworkModel
+from repro.sources.sqlgen import generate_sql
+from repro.simtime import SimClock
+from repro.sql.database import Database
+from repro.sql.types import SQLType
+from repro.xmldm.schema import Field, RecordType
+from repro.xmldm.values import NULL, Record
+
+_SQL_TO_MODEL = {
+    SQLType.INTEGER: "number",
+    SQLType.REAL: "number",
+    SQLType.TEXT: "string",
+    SQLType.BOOLEAN: "boolean",
+    SQLType.DATE: "date",
+}
+
+
+class RelationalSource(DataSource):
+    """A remote RDB: full pushdown capabilities, SQL on the wire.
+
+    The wrapper compiles each fragment to SQL with
+    :func:`repro.sources.sqlgen.generate_sql`, runs it on the embedded
+    engine, and returns records keyed by the fragment's variables.  The
+    last statement sent is kept on ``last_sql`` so tests and benchmarks
+    can assert what was pushed.
+    """
+
+    capabilities = CapabilityProfile(
+        selections=True,
+        projections=True,
+        joins=True,
+        aggregates=True,
+        parameterized=True,
+    )
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        clock: SimClock | None = None,
+        network: NetworkModel | None = None,
+    ):
+        super().__init__(name, clock, network)
+        self.database = database
+        self.last_sql: str | None = None
+
+    def relations(self) -> dict[str, RecordType]:
+        exported: dict[str, RecordType] = {}
+        for table_name in self.database.table_names():
+            schema = self.database.table(table_name).schema
+            exported[table_name] = RecordType(
+                table_name,
+                tuple(
+                    Field(column.name, _SQL_TO_MODEL[column.type], column.nullable)
+                    for column in schema.columns
+                ),
+            )
+        return exported
+
+    def cardinality(self, relation: str) -> int:
+        return self.database.row_count(relation)
+
+    def _fetch_all(self, relation: str):
+        result = self.database.execute(f"SELECT * FROM {relation}")
+        for row in result.rows:
+            yield Record(
+                {
+                    name: (NULL if value is None else value)
+                    for name, value in zip(result.columns, row)
+                }
+            )
+
+    def _execute(self, fragment: Fragment, params: dict[str, Any]) -> Iterable[Record]:
+        generated = generate_sql(fragment)
+        self.last_sql = generated.text
+        result = self.database.execute(generated.text, generated.bind(params))
+        for row in result.rows:
+            yield Record(
+                {
+                    name: (NULL if value is None else value)
+                    for name, value in zip(result.columns, row)
+                }
+            )

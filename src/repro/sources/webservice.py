@@ -1,0 +1,122 @@
+"""Wrapper for parameterized web-service endpoints.
+
+Models the class of sources with *binding patterns*: the source answers
+only when certain inputs are supplied (a lookup API, a partner's quote
+service).  The optimizer must place such a source on the inner side of a
+dependent join, which is exactly the "varying query capabilities of
+different data sources" problem the paper's conclusion highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import CapabilityError
+from repro.sources.base import CapabilityProfile, DataSource, Fragment, NetworkModel
+from repro.simtime import SimClock
+from repro.xmldm.schema import RecordType
+from repro.xmldm.values import Record
+
+
+@dataclass
+class Endpoint:
+    """One operation: required inputs, output record type, handler."""
+
+    name: str
+    required_inputs: tuple[str, ...]
+    record_type: RecordType
+    handler: Callable[[Mapping[str, Any]], Iterable[Mapping[str, Any]]]
+    estimated_rows: int = 10
+
+
+class WebServiceSource(DataSource):
+    """A source exposing call-only endpoints (binding patterns)."""
+
+    capabilities = CapabilityProfile(
+        selections=False,
+        projections=False,
+        joins=False,
+        parameterized=True,
+        requires_parameters=True,
+    )
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock | None = None,
+        network: NetworkModel | None = None,
+    ):
+        super().__init__(name, clock, network)
+        self.endpoints: dict[str, Endpoint] = {}
+
+    def add_endpoint(
+        self,
+        name: str,
+        required_inputs: Iterable[str],
+        record_type: RecordType,
+        handler: Callable[[Mapping[str, Any]], Iterable[Mapping[str, Any]]],
+        estimated_rows: int = 10,
+    ) -> None:
+        self.endpoints[name] = Endpoint(
+            name, tuple(required_inputs), record_type, handler, estimated_rows
+        )
+
+    def relations(self) -> dict[str, RecordType]:
+        return {name: ep.record_type for name, ep in self.endpoints.items()}
+
+    def required_inputs(self, relation: str) -> tuple[str, ...]:
+        endpoint = self.endpoints.get(relation)
+        if endpoint is None:
+            raise CapabilityError(f"no endpoint {relation!r} on {self.name!r}")
+        return endpoint.required_inputs
+
+    def cardinality(self, relation: str) -> int:
+        endpoint = self.endpoints.get(relation)
+        return endpoint.estimated_rows if endpoint else 0
+
+    def _execute(self, fragment: Fragment, params: dict[str, Any]) -> Iterable[Record]:
+        if len(fragment.accesses) != 1:
+            raise CapabilityError("web-service fragments call one endpoint")
+        access = fragment.accesses[0]
+        endpoint = self.endpoints.get(access.relation)
+        if endpoint is None:
+            raise CapabilityError(
+                f"no endpoint {access.relation!r} on {self.name!r}"
+            )
+        # Inputs arrive keyed by *endpoint field name* via the pattern's
+        # bindings: a pattern child <field>$v</field> where $v is an
+        # input variable supplies field=params[v].
+        field_values: dict[str, Any] = {}
+        output_bindings: dict[str, str] = {}
+        for child in access.pattern.children:
+            if child.text_var is None:
+                continue
+            if child.text_var in fragment.input_vars:
+                if child.text_var not in params:
+                    raise CapabilityError(
+                        f"missing input ${child.text_var} for {endpoint.name}"
+                    )
+                field_values[child.tag] = params[child.text_var]
+            else:
+                output_bindings[child.text_var] = child.tag
+        missing = [f for f in endpoint.required_inputs if f not in field_values]
+        if missing:
+            raise CapabilityError(
+                f"endpoint {endpoint.name!r} requires inputs {missing}"
+            )
+        for result in endpoint.handler(field_values):
+            record = dict(field_values)
+            record.update(result)
+            yield Record(
+                {
+                    var: record[field]
+                    for var, field in output_bindings.items()
+                    if field in record
+                }
+                | {
+                    var: params[var]
+                    for var in fragment.input_vars
+                    if var in params
+                }
+            )

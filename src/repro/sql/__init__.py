@@ -1,0 +1,25 @@
+"""An embedded, from-scratch relational engine with a SQL subset.
+
+The paper's integration engine compiles query fragments into "the
+appropriate query language for the destination source; for example, if an
+RDB is being queried, then the compiler generates SQL" (section 2.1).
+This package is that destination: a small but real SQL engine with
+
+* typed tables, NOT NULL / primary-key enforcement (:mod:`storage`);
+* hash and sorted (range-capable) secondary indexes (:mod:`index`);
+* a recursive-descent parser for SELECT / INSERT / UPDATE / DELETE /
+  CREATE TABLE / CREATE INDEX / DROP TABLE (:mod:`parser`);
+* a planner that picks index scans and hash joins (:mod:`planner`);
+* an iterator executor with per-statement row-scan accounting
+  (:mod:`executor`) — the accounting is what lets benchmark E5 measure
+  how much work predicate pushdown saves.
+
+The dialect accepted here is a superset of what the fragment compiler in
+:mod:`repro.core.sqlgen` emits.
+"""
+
+from repro.sql.database import Database, ResultSet
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import SQLType
+
+__all__ = ["Column", "Database", "ResultSet", "SQLType", "TableSchema"]

@@ -1,0 +1,181 @@
+"""Abstract syntax trees for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+# -- expressions --------------------------------------------------------------
+
+
+class Expr:
+    """Base class for SQL expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int, float, str, bool or None
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional ``?`` parameter."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # '=', '<>', '<', '<=', '>', '>=', '+', '-', '*', '/', '%', '||', 'AND', 'OR'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'NOT', '-'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # normalized upper-case
+    args: tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+# -- statements ----------------------------------------------------------------
+
+
+class Statement:
+    """Base class for SQL statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+    star: bool = False  # SELECT * or SELECT t.*
+    star_table: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: TableRef
+    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    condition: Expr | None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    items: tuple[SelectItem, ...]
+    table: TableRef | None
+    joins: tuple[JoinClause, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    table: str
+    columns: tuple[str, ...]  # empty means full-width
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Expr | None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableStmt(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Statement):
+    name: str
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropTableStmt(Statement):
+    table: str

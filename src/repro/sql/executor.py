@@ -1,0 +1,554 @@
+"""Expression evaluation and physical plan nodes for the SQL engine.
+
+Rows flow between nodes as *environments*: a mapping from table binding
+(alias) to a column->value dict, optionally paired with a map of computed
+aggregate values.  The final Project node turns environments into output
+tuples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ExecutionError, SQLError
+from repro.sql import ast
+from repro.sql.functions import AGGREGATE_NAMES, SCALAR_FUNCTIONS, Aggregator
+from repro.sql.index import SortedIndex
+from repro.sql.storage import Table
+from repro.sql.types import is_truthy, sort_key, sql_compare
+
+Env = dict[str, dict[str, Any]]
+AggMap = dict[ast.Expr, Any]
+
+
+@dataclass
+class Row:
+    """One row in flight: bindings plus (for grouped queries) aggregates."""
+
+    env: Env
+    aggregates: AggMap | None = None
+
+
+class Evaluator:
+    """Evaluates SQL expressions against a row environment."""
+
+    def __init__(self, params: tuple[Any, ...] = ()):
+        self.params = params
+
+    def evaluate(self, expr: ast.Expr, row: Row) -> Any:
+        if row.aggregates is not None and expr in row.aggregates:
+            return row.aggregates[expr]
+        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise ExecutionError(f"cannot evaluate {expr!r}")
+        return method(expr, row)
+
+    def truth(self, expr: ast.Expr, row: Row) -> bool:
+        return is_truthy(self.evaluate(expr, row))
+
+    # -- expression cases ----------------------------------------------------
+
+    def _eval_literal(self, expr: ast.Literal, row: Row) -> Any:
+        return expr.value
+
+    def _eval_param(self, expr: ast.Param, row: Row) -> Any:
+        try:
+            return self.params[expr.index]
+        except IndexError:
+            raise ExecutionError(
+                f"statement uses parameter {expr.index + 1} but only "
+                f"{len(self.params)} supplied"
+            ) from None
+
+    def _eval_columnref(self, expr: ast.ColumnRef, row: Row) -> Any:
+        env = row.env
+        if expr.table is not None:
+            binding = env.get(expr.table)
+            if binding is None:
+                raise ExecutionError(f"unknown table binding {expr.table!r}")
+            if expr.column not in binding:
+                raise ExecutionError(f"no column {expr.column!r} in {expr.table!r}")
+            return binding[expr.column]
+        hits = [b for b in env.values() if expr.column in b]
+        if not hits:
+            raise ExecutionError(f"unknown column {expr.column!r}")
+        if len(hits) > 1:
+            raise ExecutionError(f"ambiguous column {expr.column!r}")
+        return hits[0][expr.column]
+
+    def _eval_binaryop(self, expr: ast.BinaryOp, row: Row) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self.evaluate(expr.left, row)
+            if left is False:
+                return False
+            right = self.evaluate(expr.right, row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.evaluate(expr.left, row)
+            if left is True:
+                return True
+            right = self.evaluate(expr.right, row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            cmp = sql_compare(left, right)
+            if cmp is None:
+                return None
+            return {
+                "=": cmp == 0,
+                "<>": cmp != 0,
+                "<": cmp < 0,
+                "<=": cmp <= 0,
+                ">": cmp > 0,
+                ">=": cmp >= 0,
+            }[op]
+        if left is None or right is None:
+            return None
+        if op == "||":
+            return str(left) + str(right)
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    return None  # SQL-style: division by zero yields NULL
+                result = left / right
+                if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                    return left // right
+                return result
+            if op == "%":
+                if right == 0:
+                    return None
+                return left % right
+        except TypeError as exc:
+            raise ExecutionError(f"bad operands for {op!r}: {left!r}, {right!r}") from exc
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _eval_unaryop(self, expr: ast.UnaryOp, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return not value
+        if expr.op == "-":
+            return None if value is None else -value
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_funccall(self, expr: ast.FuncCall, row: Row) -> Any:
+        if expr.name in AGGREGATE_NAMES:
+            raise ExecutionError(
+                f"aggregate {expr.name} used outside GROUP BY context"
+            )
+        function = SCALAR_FUNCTIONS.get(expr.name)
+        if function is None:
+            raise SQLError(f"unknown function {expr.name!r}")
+        args = [self.evaluate(arg, row) for arg in expr.args]
+        return function(*args)
+
+    def _eval_inlist(self, expr: ast.InList, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = self.evaluate(item, row)
+            if candidate is None:
+                saw_null = True
+                continue
+            cmp = sql_compare(value, candidate)
+            if cmp == 0:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _eval_between(self, expr: ast.Between, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        low = self.evaluate(expr.low, row)
+        high = self.evaluate(expr.high, row)
+        if value is None or low is None or high is None:
+            return None
+        inside = sql_compare(value, low) >= 0 and sql_compare(value, high) <= 0
+        return inside != expr.negated
+
+    def _eval_like(self, expr: ast.Like, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        pattern = self.evaluate(expr.pattern, row)
+        if value is None or pattern is None:
+            return None
+        matched = like_match(str(value), str(pattern))
+        return matched != expr.negated
+
+    def _eval_isnull(self, expr: ast.IsNull, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        return (value is None) != expr.negated
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE: ``%`` matches any run, ``_`` any single character."""
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+    )
+    return re.fullmatch(regex, value, flags=re.DOTALL) is not None
+
+
+# -- physical plan nodes --------------------------------------------------------
+
+
+class PlanNode:
+    """Base class for executable plan nodes."""
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+
+class SeqScanNode(PlanNode):
+    """Full scan of a table; counts rows for the engine's statistics."""
+
+    def __init__(self, table: Table, binding: str, counters: dict[str, int]):
+        self.table = table
+        self.binding = binding
+        self.counters = counters
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        names = self.table.schema.column_names
+        for _, values in self.table.scan():
+            self.counters["rows_scanned"] += 1
+            yield Row({self.binding: dict(zip(names, values))})
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.name} AS {self.binding})"
+
+
+class IndexScanNode(PlanNode):
+    """Index lookup (equality) or range scan over a sorted index."""
+
+    def __init__(
+        self,
+        table: Table,
+        binding: str,
+        index_name: str,
+        counters: dict[str, int],
+        equals: ast.Expr | None = None,
+        low: ast.Expr | None = None,
+        high: ast.Expr | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ):
+        self.table = table
+        self.binding = binding
+        self.index_name = index_name
+        self.counters = counters
+        self.equals = equals
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        index = self.table.indexes[self.index_name]
+        empty = Row({})
+        if self.equals is not None:
+            key = evaluator.evaluate(self.equals, empty)
+            rowids = index.lookup(key)
+        else:
+            assert isinstance(index, SortedIndex)
+            low = None if self.low is None else evaluator.evaluate(self.low, empty)
+            high = None if self.high is None else evaluator.evaluate(self.high, empty)
+            rowids = index.range_scan(low, high, self.low_inclusive, self.high_inclusive)
+        names = self.table.schema.column_names
+        for rowid in rowids:
+            values = self.table.get(rowid)
+            if values is None:
+                continue
+            self.counters["rows_scanned"] += 1
+            yield Row({self.binding: dict(zip(names, values))})
+
+    def describe(self) -> str:
+        kind = "eq" if self.equals is not None else "range"
+        return (
+            f"IndexScan({self.table.name} AS {self.binding} "
+            f"USING {self.index_name} [{kind}])"
+        )
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, predicate: ast.Expr):
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        for row in self.child.rows(evaluator):
+            if evaluator.truth(self.predicate, row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+class NestedLoopJoinNode(PlanNode):
+    """General join; supports INNER and LEFT outer with any condition."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        condition: ast.Expr | None,
+        kind: str,
+        right_bindings: tuple[str, ...],
+        right_columns: dict[str, tuple[str, ...]],
+    ):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.right_bindings = right_bindings
+        self.right_columns = right_columns
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        right_rows = list(self.right.rows(evaluator))
+        for left_row in self.left.rows(evaluator):
+            matched = False
+            for right_row in right_rows:
+                merged = Row({**left_row.env, **right_row.env})
+                if self.condition is None or evaluator.truth(self.condition, merged):
+                    matched = True
+                    yield merged
+            if not matched and self.kind == "LEFT":
+                yield Row({**left_row.env, **self._null_side()})
+
+    def _null_side(self) -> Env:
+        return {
+            binding: {column: None for column in self.right_columns[binding]}
+            for binding in self.right_bindings
+        }
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.kind} ON {self.condition})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+class HashJoinNode(PlanNode):
+    """Equi-join: builds a hash table on the right input."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: ast.Expr,
+        right_key: ast.Expr,
+        residual: ast.Expr | None,
+        kind: str,
+        right_bindings: tuple[str, ...],
+        right_columns: dict[str, tuple[str, ...]],
+    ):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self.kind = kind
+        self.right_bindings = right_bindings
+        self.right_columns = right_columns
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        buckets: dict[Any, list[Row]] = {}
+        for right_row in self.right.rows(evaluator):
+            key = evaluator.evaluate(self.right_key, right_row)
+            if key is None:
+                continue  # NULL never joins
+            buckets.setdefault(_hash_key(key), []).append(right_row)
+        for left_row in self.left.rows(evaluator):
+            key = evaluator.evaluate(self.left_key, left_row)
+            matched = False
+            if key is not None:
+                for right_row in buckets.get(_hash_key(key), ()):
+                    merged = Row({**left_row.env, **right_row.env})
+                    if self.residual is None or evaluator.truth(self.residual, merged):
+                        matched = True
+                        yield merged
+            if not matched and self.kind == "LEFT":
+                yield Row({**left_row.env, **self._null_side()})
+
+    def _null_side(self) -> Env:
+        return {
+            binding: {column: None for column in self.right_columns[binding]}
+            for binding in self.right_bindings
+        }
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind} {self.left_key} = {self.right_key})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+def _hash_key(value: Any) -> Any:
+    """Normalize join keys so 1 and 1.0 land in the same bucket."""
+    if isinstance(value, bool):
+        return ("num", float(value))
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return value
+
+
+class AggregateNode(PlanNode):
+    """GROUP BY + aggregate evaluation (also handles global aggregates)."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: tuple[ast.Expr, ...],
+        aggregate_calls: tuple[ast.FuncCall, ...],
+        having: ast.Expr | None,
+    ):
+        self.child = child
+        self.group_exprs = group_exprs
+        self.aggregate_calls = aggregate_calls
+        self.having = having
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        groups: dict[tuple, tuple[Row, list[Aggregator]]] = {}
+        order: list[tuple] = []
+        for row in self.child.rows(evaluator):
+            key = tuple(
+                sort_key(evaluator.evaluate(expr, row)) for expr in self.group_exprs
+            )
+            if key not in groups:
+                aggregators = [
+                    Aggregator(call.name, call.distinct, call.star)
+                    for call in self.aggregate_calls
+                ]
+                groups[key] = (row, aggregators)
+                order.append(key)
+            _, aggregators = groups[key]
+            for call, aggregator in zip(self.aggregate_calls, aggregators):
+                if call.star:
+                    aggregator.add(None)
+                else:
+                    aggregator.add(evaluator.evaluate(call.args[0], row))
+        if not groups and not self.group_exprs:
+            # Global aggregate over an empty input still yields one row.
+            aggregators = [
+                Aggregator(call.name, call.distinct, call.star)
+                for call in self.aggregate_calls
+            ]
+            groups[()] = (Row({}), aggregators)
+            order.append(())
+        for key in order:
+            representative, aggregators = groups[key]
+            aggmap: AggMap = {
+                call: aggregator.result()
+                for call, aggregator in zip(self.aggregate_calls, aggregators)
+            }
+            out = Row(representative.env, aggmap)
+            if self.having is None or evaluator.truth(self.having, out):
+                yield out
+
+    def describe(self) -> str:
+        return (
+            f"Aggregate(groups={len(self.group_exprs)}, "
+            f"aggs={[c.name for c in self.aggregate_calls]})"
+        )
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+class SortNode(PlanNode):
+    def __init__(self, child: PlanNode, order_by: tuple[ast.OrderItem, ...]):
+        self.child = child
+        self.order_by = order_by
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        materialized = list(self.child.rows(evaluator))
+
+        def key(row: Row) -> tuple:
+            parts = []
+            for item in self.order_by:
+                value = sort_key(evaluator.evaluate(item.expr, row))
+                parts.append(_Reversed(value) if item.descending else value)
+            return tuple(parts)
+
+        materialized.sort(key=key)
+        yield from materialized
+
+    def describe(self) -> str:
+        return f"Sort({len(self.order_by)} keys)"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+class _Reversed:
+    """Wrapper inverting comparison, for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+class LimitNode(PlanNode):
+    def __init__(self, child: PlanNode, limit: int | None, offset: int | None):
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+
+    def rows(self, evaluator: Evaluator) -> Iterator[Row]:
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(evaluator):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def describe(self) -> str:
+        return f"Limit({self.limit} OFFSET {self.offset})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)

@@ -1,0 +1,146 @@
+"""Scalar and aggregate functions for the SQL engine."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Callable
+
+from repro.errors import SQLError
+
+# -- scalar functions ---------------------------------------------------------
+
+
+def _upper(value: Any) -> Any:
+    return None if value is None else str(value).upper()
+
+
+def _lower(value: Any) -> Any:
+    return None if value is None else str(value).lower()
+
+
+def _length(value: Any) -> Any:
+    return None if value is None else len(str(value))
+
+
+def _trim(value: Any) -> Any:
+    return None if value is None else str(value).strip()
+
+
+def _substr(value: Any, start: Any, length: Any = None) -> Any:
+    if value is None or start is None:
+        return None
+    text = str(value)
+    begin = max(int(start) - 1, 0)  # SQL SUBSTR is 1-based
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+def _abs(value: Any) -> Any:
+    return None if value is None else abs(value)
+
+
+def _round(value: Any, digits: Any = 0) -> Any:
+    if value is None:
+        return None
+    return round(value, int(digits or 0))
+
+
+def _coalesce(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _nullif(a: Any, b: Any) -> Any:
+    return None if a == b else a
+
+
+def _replace(value: Any, old: Any, new: Any) -> Any:
+    if value is None or old is None or new is None:
+        return None
+    return str(value).replace(str(old), str(new))
+
+
+def _date(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, datetime.date):
+        return value
+    return datetime.date.fromisoformat(str(value))
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "UPPER": _upper,
+    "LOWER": _lower,
+    "LENGTH": _length,
+    "TRIM": _trim,
+    "SUBSTR": _substr,
+    "SUBSTRING": _substr,
+    "ABS": _abs,
+    "ROUND": _round,
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "REPLACE": _replace,
+    "DATE": _date,
+}
+
+# -- aggregates ----------------------------------------------------------------
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class Aggregator:
+    """Accumulates one aggregate over the rows of a group.
+
+    SQL semantics: NULL inputs are skipped by every aggregate; ``COUNT(*)``
+    counts rows; SUM/AVG over no (non-NULL) inputs yield NULL while COUNT
+    yields 0.
+    """
+
+    def __init__(self, name: str, distinct: bool, star: bool):
+        if name not in AGGREGATE_NAMES:
+            raise SQLError(f"unknown aggregate {name!r}")
+        self.name = name
+        self.distinct = distinct
+        self.star = star
+        self._count = 0
+        self._sum: float | int = 0
+        self._min: Any = None
+        self._max: Any = None
+        self._seen: set[Any] | None = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if self.star:
+            self._count += 1
+            return
+        if value is None:
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._count += 1
+        if self.name in ("SUM", "AVG"):
+            self._sum += value
+        if self.name == "MIN":
+            self._min = value if self._min is None else min(self._min, value)
+        if self.name == "MAX":
+            self._max = value if self._max is None else max(self._max, value)
+
+    def result(self) -> Any:
+        if self.name == "COUNT":
+            return self._count
+        if self._count == 0:
+            return None
+        if self.name == "SUM":
+            return self._sum
+        if self.name == "AVG":
+            return self._sum / self._count
+        if self.name == "MIN":
+            return self._min
+        return self._max
+
+
+def is_aggregate_call(name: str) -> bool:
+    return name in AGGREGATE_NAMES

@@ -1,0 +1,110 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "OFFSET", "AS", "JOIN", "INNER", "LEFT", "OUTER",
+    "ON", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE",
+    "INDEX", "DROP", "PRIMARY", "KEY", "UNIQUE", "TRUE", "FALSE",
+    "CROSS", "USING",
+}
+
+OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+PUNCT = "(),.;?"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is KEYWORD, IDENT, NUMBER, STRING, OP, PUNCT or EOF."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise SQLSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("IDENT", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            if i < n and text[i] in "eE":
+                i += 1
+                if i < n and text[i] in "+-":
+                    i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            tokens.append(Token("NUMBER", text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCT:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' as the escape for a quote."""
+    parts: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError(f"unterminated string literal at offset {start}")

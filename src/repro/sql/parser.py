@@ -1,0 +1,476 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal):
+
+    select   := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                [GROUP BY expr_list [HAVING expr]] [ORDER BY order_list]
+                [LIMIT n [OFFSET n]]
+    join     := [INNER | LEFT [OUTER] | CROSS] JOIN table_ref [ON expr]
+    expr     := or_expr with standard precedence
+                (OR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < add < mul < unary)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ';' is allowed)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a ';'-separated sequence of statements."""
+    parser = _Parser(tokenize(text))
+    statements: list[ast.Statement] = []
+    while not parser.at_eof():
+        statements.append(parser.parse_statement())
+        if not parser.accept_punct(";"):
+            break
+    parser.expect_eof()
+    return statements
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone SQL expression (used in tests and the compiler)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self._param_count = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.peek()
+        return SQLSyntaxError(f"{message}, found {token.value!r} at offset {token.position}")
+
+    def accept_keyword(self, *words: str) -> str | None:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in words:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def accept_punct(self, punct: str) -> bool:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == punct:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        if not self.accept_punct(punct):
+            raise self.error(f"expected {punct!r}")
+
+    def accept_op(self, *ops: str) -> str | None:
+        token = self.peek()
+        if token.kind == "OP" and token.value in ops:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind == "IDENT":
+            self.advance()
+            return token.value
+        raise self.error("expected an identifier")
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            raise self.error("unexpected trailing input")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self.accept_keyword("SELECT"):
+            return self._parse_select()
+        if self.accept_keyword("INSERT"):
+            return self._parse_insert()
+        if self.accept_keyword("UPDATE"):
+            return self._parse_update()
+        if self.accept_keyword("DELETE"):
+            return self._parse_delete()
+        if self.accept_keyword("CREATE"):
+            return self._parse_create()
+        if self.accept_keyword("DROP"):
+            self.expect_keyword("TABLE")
+            return ast.DropTableStmt(self.expect_ident())
+        raise self.error("expected a statement")
+
+    def _parse_select(self) -> ast.SelectStmt:
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self._parse_select_item())
+        table = None
+        joins: list[ast.JoinClause] = []
+        if self.accept_keyword("FROM"):
+            table = self._parse_table_ref()
+            while True:
+                join = self._parse_join()
+                if join is None:
+                    break
+                joins.append(join)
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            exprs = [self.parse_expr()]
+            while self.accept_punct(","):
+                exprs.append(self.parse_expr())
+            group_by = tuple(exprs)
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expr()
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            orders = [self._parse_order_item()]
+            while self.accept_punct(","):
+                orders.append(self._parse_order_item())
+            order_by = tuple(orders)
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._parse_int()
+            if self.accept_keyword("OFFSET"):
+                offset = self._parse_int()
+        return ast.SelectStmt(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        if token.kind == "OP" and token.value == "*":
+            self.advance()
+            return ast.SelectItem(ast.Literal(None), star=True)
+        # t.* form
+        if (
+            token.kind == "IDENT"
+            and self.tokens[self.pos + 1].kind == "PUNCT"
+            and self.tokens[self.pos + 1].value == "."
+            and self.tokens[self.pos + 2].kind == "OP"
+            and self.tokens[self.pos + 2].value == "*"
+        ):
+            table = self.expect_ident()
+            self.advance()  # '.'
+            self.advance()  # '*'
+            return ast.SelectItem(ast.Literal(None), star=True, star_table=table)
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias=alias)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.expect_ident()
+        return ast.TableRef(name, alias)
+
+    def _parse_join(self) -> ast.JoinClause | None:
+        kind = None
+        if self.accept_keyword("JOIN") or self.accept_keyword("INNER"):
+            if self.peek().kind == "KEYWORD" and self.peek().value == "JOIN":
+                self.advance()
+            kind = "INNER"
+        elif self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            kind = "LEFT"
+        elif self.accept_keyword("CROSS"):
+            self.expect_keyword("JOIN")
+            kind = "CROSS"
+        elif self.accept_punct(","):
+            kind = "CROSS"
+        if kind is None:
+            return None
+        table = self._parse_table_ref()
+        condition = None
+        if kind != "CROSS":
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+        return ast.JoinClause(table, kind, condition)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _parse_int(self) -> int:
+        token = self.peek()
+        if token.kind != "NUMBER":
+            raise self.error("expected an integer")
+        self.advance()
+        try:
+            return int(token.value)
+        except ValueError:
+            raise self.error("expected an integer") from None
+
+    def _parse_insert(self) -> ast.InsertStmt:
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_ident()]
+            while self.accept_punct(","):
+                names.append(self.expect_ident())
+            self.expect_punct(")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows = [self._parse_value_row()]
+        while self.accept_punct(","):
+            rows.append(self._parse_value_row())
+        return ast.InsertStmt(table, columns, tuple(rows))
+
+    def _parse_value_row(self) -> tuple[ast.Expr, ...]:
+        self.expect_punct("(")
+        values = [self.parse_expr()]
+        while self.accept_punct(","):
+            values.append(self.parse_expr())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def _parse_update(self) -> ast.UpdateStmt:
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.UpdateStmt(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self.expect_ident()
+        if not self.accept_op("="):
+            raise self.error("expected '='")
+        return column, self.parse_expr()
+
+    def _parse_delete(self) -> ast.DeleteStmt:
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.DeleteStmt(table, where)
+
+    def _parse_create(self) -> ast.Statement:
+        if self.accept_keyword("TABLE"):
+            table = self.expect_ident()
+            self.expect_punct("(")
+            columns = [self._parse_column_def()]
+            while self.accept_punct(","):
+                columns.append(self._parse_column_def())
+            self.expect_punct(")")
+            return ast.CreateTableStmt(table, tuple(columns))
+        if self.accept_keyword("INDEX"):
+            name = self.expect_ident()
+            self.expect_keyword("ON")
+            table = self.expect_ident()
+            self.expect_punct("(")
+            column = self.expect_ident()
+            self.expect_punct(")")
+            return ast.CreateIndexStmt(name, table, column)
+        raise self.error("expected TABLE or INDEX after CREATE")
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        token = self.peek()
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise self.error("expected a column type")
+        self.advance()
+        type_name = token.value
+        # Swallow optional (n) / (p, s) length specs.
+        if self.accept_punct("("):
+            self._parse_int()
+            if self.accept_punct(","):
+                self._parse_int()
+            self.expect_punct(")")
+        nullable = True
+        primary_key = False
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+                nullable = False
+            elif self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                nullable = False
+            elif self.accept_keyword("UNIQUE"):
+                pass  # accepted and ignored (documented subset)
+            else:
+                break
+        return ast.ColumnDef(name, type_name, nullable, primary_key)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        op = self.accept_op("=", "<>", "!=", "<=", ">=", "<", ">")
+        if op is not None:
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._parse_additive())
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            items = [self.parse_expr()]
+            while self.accept_punct(","):
+                items.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(left, self._parse_additive(), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("IS"):
+            inner_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated or inner_negated)
+        if negated:
+            raise self.error("expected IN, LIKE, BETWEEN or IS after NOT")
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            op = self.accept_op("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self.accept_op("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept_op("-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        if self.accept_op("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            if any(ch in token.value for ch in ".eE"):
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return ast.Literal(token.value == "TRUE")
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if token.kind == "PUNCT" and token.value == "?":
+            self.advance()
+            param = ast.Param(self._param_count)
+            self._param_count += 1
+            return param
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind == "IDENT":
+            name = self.expect_ident()
+            if self.accept_punct("("):
+                return self._parse_call(name)
+            if self.accept_punct("."):
+                column = self.expect_ident()
+                return ast.ColumnRef(column, table=name)
+            return ast.ColumnRef(name)
+        raise self.error("expected an expression")
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        star = False
+        distinct = False
+        args: list[ast.Expr] = []
+        token = self.peek()
+        if token.kind == "OP" and token.value == "*":
+            self.advance()
+            star = True
+        elif not (token.kind == "PUNCT" and token.value == ")"):
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.FuncCall(name.upper(), tuple(args), distinct=distinct, star=star)

@@ -1,0 +1,61 @@
+"""Table schemas for the embedded relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSchemaError
+from repro.sql.types import SQLType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition."""
+
+    name: str
+    type: SQLType
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass
+class TableSchema:
+    """A named, ordered list of columns with at most one primary key."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SQLSchemaError(f"duplicate column in table {self.name!r}")
+        if sum(1 for c in self.columns if c.primary_key) > 1:
+            raise SQLSchemaError(
+                f"table {self.name!r}: composite primary keys are not supported"
+            )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def primary_key(self) -> Column | None:
+        for column in self.columns:
+            if column.primary_key:
+                return column
+        return None
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SQLSchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def column_index(self, name: str) -> int:
+        for i, column in enumerate(self.columns):
+            if column.name == name:
+                return i
+        raise SQLSchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)

@@ -1,0 +1,163 @@
+"""Row storage with constraint enforcement and index maintenance."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SQLIntegrityError, SQLSchemaError
+from repro.sql.index import HashIndex, Index, SortedIndex
+from repro.sql.schema import TableSchema
+from repro.sql.types import coerce
+
+
+class Table:
+    """An in-memory heap table: rows are tuples addressed by row id.
+
+    Deleted slots hold ``None`` so row ids stay stable for the indexes;
+    iteration skips them.  The primary key (if any) is backed by an
+    implicit hash index used for constraint checking and fast lookup.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[tuple | None] = []
+        self._live = 0
+        self.indexes: dict[str, Index] = {}
+        self._pk_index: HashIndex | None = None
+        pk = schema.primary_key
+        if pk is not None:
+            self._pk_index = HashIndex(f"__pk_{schema.name}", pk.name)
+            self.indexes[self._pk_index.name] = self._pk_index
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return self._live
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, name: str, column: str, ordered: bool = True) -> Index:
+        """Create a secondary index and backfill it from existing rows."""
+        if name in self.indexes:
+            raise SQLSchemaError(f"index {name!r} already exists")
+        self.schema.column(column)  # validates column exists
+        index: Index = (
+            SortedIndex(name, column) if ordered else HashIndex(name, column)
+        )
+        position = self.schema.column_index(column)
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(row[position], rowid)
+        self.indexes[name] = index
+        return index
+
+    def indexes_on(self, column: str) -> list[Index]:
+        """All indexes (including the PK's) over ``column``."""
+        return [index for index in self.indexes.values() if index.column == column]
+
+    # -- row operations ------------------------------------------------------
+
+    def insert(self, values: Iterable[Any]) -> int:
+        """Insert a full-width row; returns its row id."""
+        row = self._check_row(tuple(values))
+        rowid = len(self._rows)
+        self._rows.append(row)
+        self._live += 1
+        for index in self.indexes.values():
+            position = self.schema.column_index(index.column)
+            index.insert(row[position], rowid)
+        return rowid
+
+    def insert_named(self, values: dict[str, Any]) -> int:
+        """Insert from a column-name mapping; missing columns get NULL."""
+        unknown = set(values) - set(self.schema.column_names)
+        if unknown:
+            raise SQLSchemaError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        row = [values.get(column.name) for column in self.schema.columns]
+        return self.insert(row)
+
+    def get(self, rowid: int) -> tuple | None:
+        if 0 <= rowid < len(self._rows):
+            return self._rows[rowid]
+        return None
+
+    def delete(self, rowid: int) -> None:
+        row = self._rows[rowid]
+        if row is None:
+            return
+        for index in self.indexes.values():
+            position = self.schema.column_index(index.column)
+            index.delete(row[position], rowid)
+        self._rows[rowid] = None
+        self._live -= 1
+
+    def update(self, rowid: int, changes: dict[str, Any]) -> None:
+        old = self._rows[rowid]
+        if old is None:
+            return
+        new = list(old)
+        for name, value in changes.items():
+            position = self.schema.column_index(name)
+            new[position] = value
+        checked = self._check_row(tuple(new), replacing_rowid=rowid)
+        for index in self.indexes.values():
+            position = self.schema.column_index(index.column)
+            if old[position] != checked[position]:
+                index.delete(old[position], rowid)
+                index.insert(checked[position], rowid)
+        self._rows[rowid] = checked
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) for every live row."""
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                yield rowid, row
+
+    def truncate(self) -> None:
+        """Remove every row but keep the schema and (empty) indexes."""
+        self._rows.clear()
+        self._live = 0
+        for name, index in list(self.indexes.items()):
+            fresh: Index = (
+                SortedIndex(name, index.column)
+                if index.supports_ranges
+                else HashIndex(name, index.column)
+            )
+            self.indexes[name] = fresh
+        if self._pk_index is not None:
+            self._pk_index = self.indexes[self._pk_index.name]  # type: ignore[assignment]
+
+    # -- constraints ----------------------------------------------------------
+
+    def _check_row(self, row: tuple, replacing_rowid: int | None = None) -> tuple:
+        if len(row) != len(self.schema.columns):
+            raise SQLSchemaError(
+                f"table {self.name!r} expects {len(self.schema.columns)} values, "
+                f"got {len(row)}"
+            )
+        coerced = tuple(
+            coerce(value, column.type)
+            for value, column in zip(row, self.schema.columns)
+        )
+        for value, column in zip(coerced, self.schema.columns):
+            if value is None and (not column.nullable or column.primary_key):
+                raise SQLIntegrityError(
+                    f"column {column.name!r} of {self.name!r} may not be NULL"
+                )
+        pk = self.schema.primary_key
+        if pk is not None and self._pk_index is not None:
+            position = self.schema.column_index(pk.name)
+            for existing in self._pk_index.lookup(coerced[position]):
+                if existing != replacing_rowid and self._rows[existing] is not None:
+                    raise SQLIntegrityError(
+                        f"duplicate primary key {coerced[position]!r} "
+                        f"in table {self.name!r}"
+                    )
+        return coerced

@@ -1,0 +1,157 @@
+"""SQL value types, coercion and three-valued comparison semantics.
+
+NULL is represented by Python ``None`` inside the SQL engine (the model
+layer converts to/from :data:`repro.xmldm.values.NULL` at the wrapper
+boundary).  Comparisons involving NULL return ``None`` — UNKNOWN — which
+WHERE treats as false, per standard SQL.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+from repro.errors import SQLTypeError
+
+
+class SQLType(enum.Enum):
+    """Column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SQLType":
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+            "DATE": cls.DATE,
+        }
+        if normalized not in aliases:
+            raise SQLTypeError(f"unknown SQL type {name!r}")
+        return aliases[normalized]
+
+
+def coerce(value: Any, sql_type: SQLType) -> Any:
+    """Coerce ``value`` to ``sql_type``; NULL passes through.
+
+    Raises :class:`SQLTypeError` when the value cannot represent the type
+    (e.g. TEXT into INTEGER).
+    """
+    if value is None:
+        return None
+    try:
+        if sql_type is SQLType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str):
+                return int(value)
+        elif sql_type is SQLType.REAL:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value)
+        elif sql_type is SQLType.TEXT:
+            if isinstance(value, str):
+                return value
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            if isinstance(value, (int, float)):
+                return str(value)
+            if isinstance(value, datetime.date):
+                return value.isoformat()
+        elif sql_type is SQLType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, int) and value in (0, 1):
+                return bool(value)
+            if isinstance(value, str) and value.lower() in ("true", "false"):
+                return value.lower() == "true"
+        elif sql_type is SQLType.DATE:
+            if isinstance(value, datetime.datetime):
+                return value.date()
+            if isinstance(value, datetime.date):
+                return value
+            if isinstance(value, str):
+                return datetime.date.fromisoformat(value)
+    except (ValueError, TypeError) as exc:
+        raise SQLTypeError(f"cannot coerce {value!r} to {sql_type.value}") from exc
+    raise SQLTypeError(f"cannot coerce {value!r} to {sql_type.value}")
+
+
+def sql_compare(a: Any, b: Any) -> int | None:
+    """Three-valued comparison: -1/0/1, or None when either side is NULL.
+
+    Numbers compare numerically (booleans count as 0/1); strings and
+    dates compare naturally; comparing incompatible types raises.
+    """
+    if a is None or b is None:
+        return None
+    if isinstance(a, bool):
+        a = int(a)
+    if isinstance(b, bool):
+        b = int(b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return (a > b) - (a < b)
+    if isinstance(a, str) and isinstance(b, str):
+        return (a > b) - (a < b)
+    if isinstance(a, datetime.date) and isinstance(b, datetime.date):
+        return (a > b) - (a < b)
+    # Cross-type comparison via text, so 'DATE' columns compare to strings.
+    if isinstance(a, datetime.date) and isinstance(b, str):
+        return sql_compare(a.isoformat(), b)
+    if isinstance(a, str) and isinstance(b, datetime.date):
+        return sql_compare(a, b.isoformat())
+    raise SQLTypeError(f"cannot compare {a!r} with {b!r}")
+
+
+def sql_equal(a: Any, b: Any) -> bool | None:
+    """Three-valued equality."""
+    result = sql_compare(a, b)
+    if result is None:
+        return None
+    return result == 0
+
+
+def is_truthy(value: Any) -> bool:
+    """WHERE-clause truth: UNKNOWN (None) and false are both rejected."""
+    return value is True
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order key placing NULLs first, then by type family."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, float(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    if isinstance(value, datetime.date):
+        return (3, value.isoformat())
+    return (4, repr(value))

@@ -1,0 +1,31 @@
+"""Synthetic workloads standing in for the paper's customer deployments.
+
+The paper's motivating scenarios (section 2): customer data "scattered
+across multiple databases in the organization" after mergers and
+acquisitions, and large web sites serving "information from multiple
+internal sources".  Generators here produce deterministic, seeded
+equivalents:
+
+* :mod:`customers` — overlapping CRM/billing/support sources with known
+  ground-truth identity, schema variation and injected dirt;
+* :mod:`dirty` — the error injectors (typos, abbreviations, swaps,
+  legacy codes);
+* :mod:`websites` — a product catalog (XML), inventory (relational) and
+  pricing service (parameterized endpoint) for the publishing scenario;
+* :mod:`queries` — Zipf-weighted query workloads with hot-set drift.
+"""
+
+from repro.workloads.customers import CustomerUniverse, make_customer_universe
+from repro.workloads.dirty import DirtMachine
+from repro.workloads.queries import QueryWorkload, WorkloadSpec
+from repro.workloads.websites import WebSiteWorkload, make_website_workload
+
+__all__ = [
+    "CustomerUniverse",
+    "DirtMachine",
+    "QueryWorkload",
+    "WebSiteWorkload",
+    "WorkloadSpec",
+    "make_customer_universe",
+    "make_website_workload",
+]

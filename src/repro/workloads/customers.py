@@ -1,0 +1,249 @@
+"""The customer-360 universe: overlapping, dirty multi-source data.
+
+Simulates the paper's flagship scenario: "information about the
+customers of a company is scattered across multiple databases in the
+organization ... In some cases, the data sources have existed for a
+long time, and in others they have resulted from continuous activities
+of mergers and acquisitions."
+
+Three sources with deliberately different shapes:
+
+* **crm**      — ``customers(id, first_name, last_name, street, city,
+  phone, email, tier)`` — the well-kept system of record;
+* **billing**  — ``accounts(acct_no, name, address, balance, notes)`` —
+  an acquired company's system: full name in one field ("translation
+  problem"), street+city merged, legacy codes pasted into notes
+  ("representational inadequacy");
+* **support**  — ``tickets_users(uid, fullname, city, open_tickets)`` —
+  a newer SaaS export with its own ids.
+
+Ground truth — which records denote the same person — is returned with
+the data, so cleaning precision/recall is measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sql.database import Database
+from repro.workloads.dirty import DirtMachine
+from repro.xmldm.values import Record
+
+_FIRST_NAMES = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "yuki",
+    "wei", "ahmed", "fatima", "carlos", "maria", "ivan", "olga", "raj",
+    "priya",
+)
+_LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "tanaka", "chen", "hassan", "silva", "petrov", "kumar", "novak",
+    "fischer", "rossi", "kim",
+)
+_STREETS = (
+    "fairview avenue", "pine street", "oak boulevard", "maple drive",
+    "cedar lane", "elm street", "lake road", "hill street", "park avenue",
+    "river road", "sunset boulevard", "broadway", "main street",
+    "second avenue", "union street",
+)
+_CITIES = (
+    "seattle", "portland", "boise", "tacoma", "spokane", "eugene",
+    "bellevue", "olympia", "salem", "vancouver",
+)
+
+
+@dataclass
+class TrueCustomer:
+    """Ground truth for one person."""
+
+    key: int
+    first_name: str
+    last_name: str
+    street: str
+    city: str
+    phone: str
+    email: str
+    tier: int
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.first_name} {self.last_name}"
+
+
+@dataclass
+class CustomerUniverse:
+    """The generated universe: truth, per-source records, truth pairs."""
+
+    truth: list[TrueCustomer]
+    #: source name -> records (each has an 'id' field unique per source)
+    records: dict[str, list[Record]]
+    #: (source, id) -> truth key — the oracle the matcher is scored against
+    identity: dict[tuple[str, str], int]
+
+    def true_match_pairs(self) -> set[tuple[tuple[str, str], tuple[str, str]]]:
+        """All cross-source pairs denoting the same person (canonical order)."""
+        by_key: dict[int, list[tuple[str, str]]] = {}
+        for ref, key in self.identity.items():
+            by_key.setdefault(key, []).append(ref)
+        pairs: set[tuple[tuple[str, str], tuple[str, str]]] = set()
+        for refs in by_key.values():
+            ordered = sorted(refs)
+            for i in range(len(ordered)):
+                for j in range(i + 1, len(ordered)):
+                    pairs.add((ordered[i], ordered[j]))
+        return pairs
+
+    def as_databases(self) -> dict[str, Database]:
+        """Load the three sources into embedded SQL databases."""
+        crm = Database("crm")
+        crm.execute(
+            "CREATE TABLE customers (id INTEGER PRIMARY KEY, first_name TEXT,"
+            " last_name TEXT, street TEXT, city TEXT, phone TEXT, email TEXT,"
+            " tier INTEGER)"
+        )
+        crm.insert_rows(
+            "customers",
+            [
+                [int(r["id"]), r["first_name"], r["last_name"], r["street"],
+                 r["city"], r["phone"], r["email"], int(r["tier"])]
+                for r in self.records["crm"]
+            ],
+        )
+        billing = Database("billing")
+        billing.execute(
+            "CREATE TABLE accounts (acct_no INTEGER PRIMARY KEY, name TEXT,"
+            " address TEXT, balance REAL, notes TEXT)"
+        )
+        billing.insert_rows(
+            "accounts",
+            [
+                [int(r["id"]), r["name"], r["address"], float(r["balance"]),
+                 r["notes"]]
+                for r in self.records["billing"]
+            ],
+        )
+        support = Database("support")
+        support.execute(
+            "CREATE TABLE tickets_users (uid INTEGER PRIMARY KEY, fullname TEXT,"
+            " city TEXT, open_tickets INTEGER)"
+        )
+        support.insert_rows(
+            "tickets_users",
+            [
+                [int(r["id"]), r["fullname"], r["city"], int(r["open_tickets"])]
+                for r in self.records["support"]
+            ],
+        )
+        return {"crm": crm, "billing": billing, "support": support}
+
+
+def make_customer_universe(
+    n_customers: int = 500,
+    overlap: float = 0.6,
+    dirt: float = 0.15,
+    seed: int = 42,
+    duplicate_rate: float = 0.05,
+) -> CustomerUniverse:
+    """Generate the universe.
+
+    ``overlap``         fraction of customers present in billing/support too;
+    ``dirt``            corruption intensity on non-CRM copies;
+    ``duplicate_rate``  chance of a second (dirty) copy inside billing —
+                        the merge/purge case.
+    """
+    rng = random.Random(seed)
+    dirt_machine = DirtMachine(seed + 1)
+    truth: list[TrueCustomer] = []
+    for key in range(n_customers):
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        truth.append(
+            TrueCustomer(
+                key=key,
+                first_name=first,
+                last_name=last,
+                street=f"{rng.randrange(1, 9999)} {rng.choice(_STREETS)}",
+                city=rng.choice(_CITIES),
+                phone=f"206{rng.randrange(1000000, 9999999)}",
+                email=f"{first}.{last}{key}@example.com",
+                tier=rng.randrange(1, 4),
+            )
+        )
+
+    records: dict[str, list[Record]] = {"crm": [], "billing": [], "support": []}
+    identity: dict[tuple[str, str], int] = {}
+
+    for customer in truth:
+        crm_id = str(10_000 + customer.key)
+        records["crm"].append(
+            Record(
+                {
+                    "id": crm_id,
+                    "first_name": customer.first_name,
+                    "last_name": customer.last_name,
+                    "street": customer.street,
+                    "city": customer.city,
+                    "phone": customer.phone,
+                    "email": customer.email,
+                    "tier": customer.tier,
+                }
+            )
+        )
+        identity[("crm", crm_id)] = customer.key
+
+    billing_no = 50_000
+    for customer in truth:
+        if rng.random() >= overlap:
+            continue
+        copies = 2 if rng.random() < duplicate_rate else 1
+        for _ in range(copies):
+            billing_no += 1
+            name = customer.full_name
+            if dirt_machine.maybe(0.4):
+                name = dirt_machine.swap_name_order(name)
+            name = dirt_machine.corrupt(name, dirt)
+            address = dirt_machine.corrupt(
+                f"{customer.street}, {customer.city}", dirt
+            )
+            notes = ""
+            if dirt_machine.maybe(0.3):
+                notes = (
+                    f"migrated from legacy system {dirt_machine.legacy_code()}"
+                )
+            billing_id = str(billing_no)
+            records["billing"].append(
+                Record(
+                    {
+                        "id": billing_id,
+                        "name": name,
+                        "address": address,
+                        "balance": round(rng.uniform(0, 5000), 2),
+                        "notes": notes,
+                    }
+                )
+            )
+            identity[("billing", billing_id)] = customer.key
+
+    support_no = 90_000
+    for customer in truth:
+        if rng.random() >= overlap:
+            continue
+        support_no += 1
+        support_id = str(support_no)
+        records["support"].append(
+            Record(
+                {
+                    "id": support_id,
+                    "fullname": dirt_machine.corrupt(customer.full_name, dirt),
+                    "city": dirt_machine.corrupt(customer.city, dirt / 2),
+                    "open_tickets": rng.randrange(0, 6),
+                }
+            )
+        )
+        identity[("support", support_id)] = customer.key
+
+    return CustomerUniverse(truth, records, identity)

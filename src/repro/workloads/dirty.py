@@ -1,0 +1,106 @@
+"""Error injection: the anomaly classes of section 3.2, on demand.
+
+"Values may be truncated, abbreviated, incorrect or missing" — the
+:class:`DirtMachine` injects exactly those, deterministically from a
+seed, so cleaning experiments know the ground truth they are measured
+against.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_ABBREVIATIONS = {
+    "street": "St.",
+    "avenue": "Ave",
+    "boulevard": "Blvd",
+    "road": "Rd.",
+    "drive": "Dr",
+    "north": "N",
+    "south": "S",
+    "east": "E",
+    "west": "W",
+    "apartment": "Apt",
+    "suite": "Ste",
+}
+
+
+class DirtMachine:
+    """Seeded injector of realistic data anomalies."""
+
+    def __init__(self, seed: int = 42):
+        self.rng = random.Random(seed)
+
+    # -- single-string corruptions ---------------------------------------
+
+    def typo(self, value: str) -> str:
+        """One random edit: substitution, deletion, insertion or swap."""
+        if not value:
+            return value
+        kind = self.rng.choice(("substitute", "delete", "insert", "swap"))
+        position = self.rng.randrange(len(value))
+        letters = string.ascii_lowercase
+        if kind == "substitute":
+            return value[:position] + self.rng.choice(letters) + value[position + 1 :]
+        if kind == "delete":
+            return value[:position] + value[position + 1 :]
+        if kind == "insert":
+            return value[:position] + self.rng.choice(letters) + value[position:]
+        if position == len(value) - 1:
+            position -= 1
+        if position < 0:
+            return value
+        return (
+            value[:position]
+            + value[position + 1]
+            + value[position]
+            + value[position + 2 :]
+        )
+
+    def truncate(self, value: str, keep_at_least: int = 3) -> str:
+        """Chop the tail off a value (legacy field-width limits)."""
+        if len(value) <= keep_at_least:
+            return value
+        cut = self.rng.randrange(keep_at_least, len(value))
+        return value[:cut]
+
+    def abbreviate(self, value: str) -> str:
+        """Replace expandable words with their legacy abbreviations."""
+        tokens = value.split()
+        replaced = [
+            _ABBREVIATIONS.get(token.lower(), token) for token in tokens
+        ]
+        return " ".join(replaced)
+
+    def case_mangle(self, value: str) -> str:
+        """ALL CAPS or all lower — legacy mainframe style."""
+        return value.upper() if self.rng.random() < 0.5 else value.lower()
+
+    def maybe(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+    def corrupt(self, value: str, intensity: float) -> str:
+        """Apply each corruption independently with probability ``intensity``."""
+        if self.maybe(intensity):
+            value = self.typo(value)
+        if self.maybe(intensity / 2):
+            value = self.abbreviate(value)
+        if self.maybe(intensity / 3):
+            value = self.case_mangle(value)
+        if self.maybe(intensity / 4):
+            value = self.truncate(value)
+        return value
+
+    # -- structural corruptions --------------------------------------------
+
+    def legacy_code(self, prefix: str = "ACCT") -> str:
+        """A legacy identifier of the kind that hides in text fields."""
+        return f"{prefix}-{self.rng.randrange(1000, 9999)}"
+
+    def swap_name_order(self, full_name: str) -> str:
+        """'First Last' -> 'Last, First' (the translation problem)."""
+        parts = full_name.split()
+        if len(parts) < 2:
+            return full_name
+        return f"{parts[-1]}, {' '.join(parts[:-1])}"

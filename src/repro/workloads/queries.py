@@ -1,0 +1,67 @@
+"""Query workloads: Zipf-weighted templates with hot-set drift.
+
+Experiment E2 needs a query load whose popular queries *change over
+time* — the paper's "adjust the set of materialized views over time
+depending on the query load".  A workload is a set of query templates;
+draws follow a Zipf distribution over a template ordering that rotates
+every ``drift_every`` queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a drifting Zipf workload."""
+
+    zipf_s: float = 1.2       # Zipf exponent: higher = more skew
+    drift_every: int = 100    # queries between hot-set rotations
+    drift_step: int = 3       # how many positions the ranking rotates
+    seed: int = 21
+
+
+@dataclass
+class QueryWorkload:
+    """Draws query texts from templates under a drifting Zipf law."""
+
+    templates: list[str]
+    spec: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError("a workload needs at least one template")
+        self._rng = random.Random(self.spec.seed)
+        self._drawn = 0
+        self._rotation = 0
+        weights = [
+            1.0 / (rank ** self.spec.zipf_s)
+            for rank in range(1, len(self.templates) + 1)
+        ]
+        total = sum(weights)
+        self._weights = [w / total for w in weights]
+
+    def _current_order(self) -> list[int]:
+        n = len(self.templates)
+        shift = self._rotation % n
+        return [(i + shift) % n for i in range(n)]
+
+    def draw(self) -> str:
+        """Draw the next query text."""
+        if self._drawn and self._drawn % self.spec.drift_every == 0:
+            self._rotation += self.spec.drift_step
+        self._drawn += 1
+        order = self._current_order()
+        index = self._rng.choices(range(len(order)), weights=self._weights)[0]
+        return self.templates[order[index]]
+
+    def draw_many(self, count: int) -> Iterator[str]:
+        for _ in range(count):
+            yield self.draw()
+
+    @property
+    def drawn(self) -> int:
+        return self._drawn

@@ -1,0 +1,156 @@
+"""The web-site publishing workload (paper, section 2).
+
+"Another class of applications ... companies who need to build
+large-scale web sites which serve information from multiple internal
+sources ... they would like to provide the designers of the web site an
+already integrated view of their data sources."
+
+Three sources feed a product page:
+
+* **catalog**   — an XML document of products with descriptions (the
+  content team's export);
+* **inventory** — a relational stock/pricing table (the ERP);
+* **reviews**   — a parameterized endpoint returning review summaries
+  per SKU (a partner service with a binding pattern).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mediator.catalog import Catalog
+from repro.mediator.schema import MediatedSchema
+from repro.simtime import SimClock
+from repro.sources.base import NetworkModel
+from repro.sources.registry import SourceRegistry
+from repro.sources.relational import RelationalSource
+from repro.sources.webservice import WebServiceSource
+from repro.sources.xmlfile import XMLSource
+from repro.sql.database import Database
+from repro.xmldm.schema import RecordType
+
+_ADJECTIVES = ("compact", "rugged", "wireless", "ergonomic", "modular",
+               "solar", "portable", "industrial")
+_NOUNS = ("router", "sensor", "keyboard", "camera", "scanner", "charger",
+          "drone", "speaker")
+_CATEGORIES = ("networking", "peripherals", "imaging", "power")
+
+
+@dataclass
+class WebSiteWorkload:
+    """Everything the publishing scenario needs, wired together."""
+
+    registry: SourceRegistry
+    catalog: Catalog
+    clock: SimClock
+    skus: list[str]
+
+
+def make_website_workload(
+    n_products: int = 60,
+    seed: int = 7,
+    catalog_latency_ms: float = 25.0,
+    inventory_latency_ms: float = 40.0,
+    reviews_latency_ms: float = 80.0,
+) -> WebSiteWorkload:
+    """Build registry + catalog + mediated schema for the web site."""
+    rng = random.Random(seed)
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+
+    skus = [f"SKU-{1000 + i}" for i in range(n_products)]
+
+    # -- catalog: XML document ------------------------------------------------
+    product_elements = []
+    for i, sku in enumerate(skus):
+        name = f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)}"
+        category = _CATEGORIES[i % len(_CATEGORIES)]
+        product_elements.append(
+            f'<product sku="{sku}" category="{category}">'
+            f"<name>{name}</name>"
+            f"<description>The {name} for {category} workloads.</description>"
+            "</product>"
+        )
+    catalog_xml = "<catalog>" + "".join(product_elements) + "</catalog>"
+    xml_source = XMLSource(
+        "content",
+        {"products": catalog_xml},
+        network=NetworkModel(latency_ms=catalog_latency_ms, per_row_ms=0.2),
+    )
+    registry.register(xml_source)
+
+    # -- inventory: relational -------------------------------------------------
+    inventory_db = Database("erp")
+    inventory_db.execute(
+        "CREATE TABLE stock (sku TEXT PRIMARY KEY, price REAL, quantity INTEGER,"
+        " warehouse TEXT)"
+    )
+    warehouses = ("SEA", "PDX", "BOI")
+    inventory_db.insert_rows(
+        "stock",
+        [
+            [sku, round(rng.uniform(9, 499), 2), rng.randrange(0, 500),
+             rng.choice(warehouses)]
+            for sku in skus
+        ],
+    )
+    inventory = RelationalSource(
+        "erp",
+        inventory_db,
+        network=NetworkModel(latency_ms=inventory_latency_ms, per_row_ms=0.5),
+    )
+    registry.register(inventory)
+
+    # -- reviews: parameterized endpoint ------------------------------------------
+    review_stats = {
+        sku: (round(rng.uniform(2.0, 5.0), 1), rng.randrange(0, 900))
+        for sku in skus
+    }
+
+    def review_handler(inputs):
+        sku = inputs["sku"]
+        rating, count = review_stats.get(sku, (0.0, 0))
+        return [{"rating": rating, "review_count": count}]
+
+    reviews = WebServiceSource(
+        "reviews",
+        network=NetworkModel(latency_ms=reviews_latency_ms, per_row_ms=0.1),
+    )
+    reviews.add_endpoint(
+        "summary",
+        ["sku"],
+        RecordType.of("summary", sku="string", rating="number",
+                      review_count="number"),
+        review_handler,
+        estimated_rows=1,
+    )
+    registry.register(reviews)
+
+    # -- mediation ---------------------------------------------------------------------
+    catalog = Catalog(registry)
+    catalog.map_relation("stock", "erp", "stock")
+    catalog.map_relation("review_summary", "reviews", "summary")
+
+    site = MediatedSchema("site", description="The web team's integrated view")
+    site.define_view(
+        "product_page",
+        """
+        WHERE <product sku=$sku category=$cat>
+                <name>$name</name>
+                <description>$desc</description>
+              </product> IN "content.products",
+              <s><sku>$sku</sku><price>$price</price>
+                 <quantity>$qty</quantity></s> IN "stock"
+        CONSTRUCT <page sku=$sku>
+                    <name>$name</name>
+                    <category>$cat</category>
+                    <description>$desc</description>
+                    <price>$price</price>
+                    <in_stock>$qty</in_stock>
+                  </page>
+        """,
+        description="catalog + inventory join, one page element per SKU",
+    )
+    catalog.add_schema(site)
+    return WebSiteWorkload(registry, catalog, clock, skus)

@@ -1,0 +1,58 @@
+"""The hybrid XML data model at the core of the integration system.
+
+The paper (section 3.1) describes a data model that "allows for the
+semi-structured aspects of XML, but is slightly more structured than
+models described for XML, thus accommodating relational and hierarchical
+data more naturally".  This package provides exactly that hybrid:
+
+* ordered, attribute-bearing element trees with global document order
+  (:mod:`repro.xmldm.nodes`, :mod:`repro.xmldm.document`);
+* a from-scratch XML 1.0 (subset) parser and serializer
+  (:mod:`repro.xmldm.parser`, :mod:`repro.xmldm.serializer`);
+* structured values — :class:`Record` and :class:`Collection` — that map
+  relational rows and tables into the model without element-wrapping
+  overhead (:mod:`repro.xmldm.values`, :mod:`repro.xmldm.schema`);
+* navigation along the up/down/sideways axes the paper calls out
+  (:mod:`repro.xmldm.path`).
+"""
+
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Comment, Element, Node, ProcessingInstruction, Text
+from repro.xmldm.parser import parse_document, parse_element
+from repro.xmldm.path import Path, evaluate_path
+from repro.xmldm.schema import Field, RecordType, element_to_record, record_to_element
+from repro.xmldm.serializer import serialize
+from repro.xmldm.values import (
+    NULL,
+    Collection,
+    Null,
+    Record,
+    compare_values,
+    typename,
+    values_equal,
+)
+
+__all__ = [
+    "Collection",
+    "Comment",
+    "Document",
+    "Element",
+    "Field",
+    "NULL",
+    "Node",
+    "Null",
+    "Path",
+    "ProcessingInstruction",
+    "Record",
+    "RecordType",
+    "Text",
+    "compare_values",
+    "element_to_record",
+    "evaluate_path",
+    "parse_document",
+    "parse_element",
+    "record_to_element",
+    "serialize",
+    "typename",
+    "values_equal",
+]

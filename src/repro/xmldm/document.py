@@ -1,0 +1,51 @@
+"""Documents: a root element plus global document-order numbering."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmldm.nodes import Element, Node
+
+
+class Document:
+    """An XML document: prolog nodes, one root element, and numbering.
+
+    XML documents are intrinsically ordered (paper, section 4); the
+    document assigns every node a pre-order ``document_order`` integer so
+    operators can sort and compare positions in O(1).
+    """
+
+    def __init__(self, root: Element, name: str = ""):
+        self.root = root
+        self.name = name
+        self.prolog: list[Node] = []
+        self.renumber()
+
+    def renumber(self) -> int:
+        """(Re)assign pre-order document-order numbers; returns node count.
+
+        Must be called after structural mutation if document order is to
+        be relied upon again.
+        """
+        counter = 0
+        for node in self.root.walk():
+            node.document_order = counter
+            counter += 1
+        return counter
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes in document order."""
+        return self.root.walk()
+
+    def elements(self, tag: str | None = None) -> Iterator[Element]:
+        """All elements in document order, optionally filtered by tag."""
+        return self.root.descendants_or_self(tag)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return self.root == other.root
+
+    def __repr__(self) -> str:
+        label = self.name or self.root.tag
+        return f"<Document {label!r}>"

@@ -1,0 +1,265 @@
+"""Ordered element trees with document order and full navigation.
+
+Nodes keep parent pointers and per-document pre-order numbers so the
+algebra can implement the navigation features the paper's conclusion
+requires: document order, and "navigating the XML document structure up,
+down and sideways" (section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+class Node:
+    """Base class for all tree nodes.
+
+    ``document_order`` is the node's pre-order position in its document;
+    it is assigned by :meth:`repro.xmldm.document.Document.renumber` and
+    is ``-1`` for nodes not (yet) attached to a document.
+    """
+
+    __slots__ = ("parent", "document_order")
+
+    def __init__(self) -> None:
+        self.parent: Element | None = None
+        self.document_order: int = -1
+
+    # -- navigation -------------------------------------------------------
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield the parent chain from nearest to root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Return the topmost node of this tree."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def following_siblings(self) -> Iterator["Node"]:
+        """Yield siblings after this node, in document order."""
+        if self.parent is None:
+            return
+        seen_self = False
+        for child in self.parent.children:
+            if seen_self:
+                yield child
+            elif child is self:
+                seen_self = True
+
+    def preceding_siblings(self) -> Iterator["Node"]:
+        """Yield siblings before this node, nearest first."""
+        if self.parent is None:
+            return
+        before: list[Node] = []
+        for child in self.parent.children:
+            if child is self:
+                break
+            before.append(child)
+        yield from reversed(before)
+
+    def text_content(self) -> str:
+        """Concatenated text of this node and its descendants."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """A text node."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def text_content(self) -> str:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Text):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("text", self.value))
+
+    def __repr__(self) -> str:
+        return f"Text({self.value!r})"
+
+
+class Comment(Node):
+    """An XML comment; preserved through parse/serialize but inert."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def text_content(self) -> str:
+        return ""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Comment):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("comment", self.value))
+
+    def __repr__(self) -> str:
+        return f"Comment({self.value!r})"
+
+
+class ProcessingInstruction(Node):
+    """An XML processing instruction; parsed, carried, not interpreted."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: str = ""):
+        super().__init__()
+        self.target = target
+        self.value = value
+
+    def text_content(self) -> str:
+        return ""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessingInstruction):
+            return NotImplemented
+        return (self.target, self.value) == (other.target, other.value)
+
+    def __hash__(self) -> int:
+        return hash(("pi", self.target, self.value))
+
+    def __repr__(self) -> str:
+        return f"ProcessingInstruction({self.target!r}, {self.value!r})"
+
+
+class Element(Node):
+    """An element with a tag, ordered attributes and ordered children."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: dict[str, str] | None = None,
+        children: Iterable[Node | str] | None = None,
+    ):
+        super().__init__()
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = []
+        for child in children or ():
+            self.append(child)
+
+    # -- mutation ---------------------------------------------------------
+
+    def append(self, child: "Node | str") -> "Node":
+        """Append a child (a bare string becomes a Text node)."""
+        node = Text(child) if isinstance(child, str) else child
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def insert(self, index: int, child: "Node | str") -> "Node":
+        node = Text(child) if isinstance(child, str) else child
+        node.parent = self
+        self.children.insert(index, node)
+        return node
+
+    def remove(self, child: "Node") -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    # -- navigation -------------------------------------------------------
+
+    def child_elements(self, tag: str | None = None) -> Iterator["Element"]:
+        """Yield element children, optionally filtered by tag."""
+        for child in self.children:
+            if isinstance(child, Element) and (tag is None or child.tag == tag):
+                yield child
+
+    def first_child(self, tag: str) -> "Element | None":
+        """Return the first element child with ``tag``, or None."""
+        for child in self.child_elements(tag):
+            return child
+        return None
+
+    def descendants(self, tag: str | None = None) -> Iterator["Element"]:
+        """Yield descendant elements in document order (self excluded)."""
+        for child in self.children:
+            if isinstance(child, Element):
+                if tag is None or child.tag == tag:
+                    yield child
+                yield from child.descendants(tag)
+
+    def descendants_or_self(self, tag: str | None = None) -> Iterator["Element"]:
+        if tag is None or self.tag == tag:
+            yield self
+        yield from self.descendants(tag)
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of all nodes, self included."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.walk()
+            else:
+                yield child
+
+    # -- content ----------------------------------------------------------
+
+    def text_content(self) -> str:
+        return "".join(child.text_content() for child in self.children)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default``."""
+        return self.attributes.get(name, default)
+
+    def copy(self) -> "Element":
+        """Deep-copy this subtree (detached: no parent, no document order)."""
+        clone = Element(self.tag, dict(self.attributes))
+        for child in self.children:
+            if isinstance(child, Element):
+                clone.append(child.copy())
+            elif isinstance(child, Text):
+                clone.append(Text(child.value))
+            elif isinstance(child, Comment):
+                clone.append(Comment(child.value))
+            elif isinstance(child, ProcessingInstruction):
+                clone.append(ProcessingInstruction(child.target, child.value))
+        return clone
+
+    # -- equality (structural, ignores parent/document order) -------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self.attributes == other.attributes
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.tag,
+                tuple(sorted(self.attributes.items())),
+                tuple(
+                    child if not isinstance(child, Element) else ("elem", child.tag)
+                    for child in self.children
+                ),
+            )
+        )
+
+    def __repr__(self) -> str:
+        attrs = "".join(f" {k}={v!r}" for k, v in self.attributes.items())
+        return f"<Element {self.tag}{attrs} children={len(self.children)}>"

@@ -1,0 +1,265 @@
+"""A from-scratch XML 1.0 (subset) parser.
+
+Supports elements, attributes (single- or double-quoted), character data,
+the five predefined entities plus numeric character references, CDATA
+sections, comments, processing instructions and an optional XML
+declaration.  DTDs are not supported (a DOCTYPE declaration is skipped).
+Errors carry line/column positions.
+
+The parser is a straightforward recursive-descent scanner over the input
+string — deliberately dependency-free so the whole system is
+self-contained.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Comment, Element, Node, ProcessingInstruction, Text
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character scanner with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        pos = self.pos if pos is None else pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        column = pos - last_nl
+        return line, column
+
+    def error(self, message: str) -> XMLParseError:
+        line, column = self.location()
+        return XMLParseError(message, line, column)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, width: int = 1) -> str:
+        return self.text[self.pos : self.pos + width]
+
+    def advance(self, width: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + width]
+        self.pos += width
+        return chunk
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        if self.eof() or not _is_name_start(self.text[self.pos]):
+            raise self.error("expected a name")
+        start = self.pos
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_until(self, literal: str, what: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+
+def _decode_entities(scanner: _Scanner, raw: str) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference")
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};") from None
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};") from None
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise scanner.error(f"unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote, "attribute value")
+        if "<" in raw:
+            raise scanner.error("'<' not allowed in attribute value")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attributes[name] = _decode_entities(scanner, raw)
+
+
+def _parse_element(scanner: _Scanner) -> Element:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attributes = _parse_attributes(scanner)
+    element = Element(tag, attributes)
+    if scanner.peek(2) == "/>":
+        scanner.advance(2)
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element)
+    # _parse_content consumed "</"; match the closing tag.
+    closing = scanner.read_name()
+    if closing != tag:
+        raise scanner.error(f"mismatched closing tag </{closing}> for <{tag}>")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return element
+
+
+def _parse_content(scanner: _Scanner, parent: Element) -> None:
+    """Parse children of ``parent`` up to (and including) the next '</'."""
+    text_start = scanner.pos
+    while True:
+        if scanner.eof():
+            raise scanner.error(f"unexpected end of input inside <{parent.tag}>")
+        lt = scanner.text.find("<", scanner.pos)
+        if lt < 0:
+            raise scanner.error(f"missing closing tag for <{parent.tag}>")
+        if lt > scanner.pos:
+            raw = scanner.text[scanner.pos : lt]
+            scanner.pos = lt
+            parent.append(Text(_decode_entities(scanner, raw)))
+        if scanner.peek(2) == "</":
+            scanner.advance(2)
+            return
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            body = scanner.read_until("-->", "comment")
+            parent.append(Comment(body))
+        elif scanner.peek(9) == "<![CDATA[":
+            scanner.advance(9)
+            body = scanner.read_until("]]>", "CDATA section")
+            parent.append(Text(body))
+        elif scanner.peek(2) == "<?":
+            scanner.advance(2)
+            target = scanner.read_name()
+            body = scanner.read_until("?>", "processing instruction").strip()
+            parent.append(ProcessingInstruction(target, body))
+        else:
+            parent.append(_parse_element(scanner))
+        text_start = scanner.pos
+
+
+def _parse_prolog(scanner: _Scanner) -> list[Node]:
+    """Consume declaration/comments/PIs/DOCTYPE before the root element."""
+    prolog: list[Node] = []
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek(5) == "<?xml":
+            scanner.advance(5)
+            scanner.read_until("?>", "XML declaration")
+        elif scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            prolog.append(Comment(scanner.read_until("-->", "comment")))
+        elif scanner.peek(2) == "<?":
+            scanner.advance(2)
+            target = scanner.read_name()
+            body = scanner.read_until("?>", "processing instruction").strip()
+            prolog.append(ProcessingInstruction(target, body))
+        elif scanner.peek(9) == "<!DOCTYPE":
+            scanner.advance(9)
+            depth = 1
+            while depth > 0:
+                ch = scanner.advance()
+                if not ch:
+                    raise scanner.error("unterminated DOCTYPE")
+                if ch == "<":
+                    depth += 1
+                elif ch == ">":
+                    depth -= 1
+        else:
+            return prolog
+
+
+def parse_document(text: str, name: str = "") -> Document:
+    """Parse a complete XML document string into a :class:`Document`."""
+    scanner = _Scanner(text)
+    prolog = _parse_prolog(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise scanner.error("expected root element")
+    root = _parse_element(scanner)
+    scanner.skip_whitespace()
+    while scanner.peek(4) == "<!--":
+        scanner.advance(4)
+        scanner.read_until("-->", "comment")
+        scanner.skip_whitespace()
+    if not scanner.eof():
+        raise scanner.error("content after root element")
+    document = Document(root, name=name)
+    document.prolog = prolog
+    return document
+
+
+def parse_element(text: str) -> Element:
+    """Parse a single element (fragment) without document bookkeeping."""
+    scanner = _Scanner(text)
+    scanner.skip_whitespace()
+    element = _parse_element(scanner)
+    scanner.skip_whitespace()
+    if not scanner.eof():
+        raise scanner.error("content after element")
+    return element

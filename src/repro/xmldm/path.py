@@ -1,0 +1,346 @@
+"""Navigation paths: an XPath-like language over the data model.
+
+The paper's conclusion (section 4) names "navigation-style access (which
+includes navigating the XML document structure up, down and sideways)" as
+a required feature.  This module provides it as a small path language:
+
+* steps separated by ``/``; a leading ``/`` starts at the tree root and
+  ``//`` means descendant-or-self;
+* name tests (``book``), wildcard (``*``), attribute access (``@year``,
+  ``@*``), ``text()``, ``.`` and ``..``;
+* explicit axes for sideways/upward motion:
+  ``ancestor::``, ``parent::``, ``self::``, ``child::``, ``descendant::``,
+  ``following-sibling::``, ``preceding-sibling::``;
+* predicates: ``[3]`` (1-based position), ``[@id='x']``, ``[title]``,
+  ``[price=10]``, ``[tag='value']``.
+
+Results come back in document order with duplicates removed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import PathSyntaxError
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Element, Node, Text
+
+_AXES = (
+    "ancestor-or-self",
+    "ancestor",
+    "descendant-or-self",
+    "descendant",
+    "following-sibling",
+    "preceding-sibling",
+    "parent",
+    "child",
+    "self",
+    "attribute",
+)
+
+
+class _Predicate:
+    """A step predicate: position, existence, or comparison."""
+
+    def __init__(
+        self,
+        position: int | None = None,
+        test_path: "Path | None" = None,
+        value: str | float | None = None,
+    ):
+        self.position = position
+        self.test_path = test_path
+        self.value = value
+
+    def matches(self, node: Node, position: int) -> bool:
+        if self.position is not None:
+            return position == self.position
+        assert self.test_path is not None
+        results = self.test_path.evaluate(node)
+        if self.value is None:
+            return bool(results)
+        for result in results:
+            text = result.text_content() if isinstance(result, Node) else str(result)
+            if isinstance(self.value, float):
+                try:
+                    if float(text) == self.value:
+                        return True
+                except ValueError:
+                    continue
+            elif text == self.value:
+                return True
+        return False
+
+
+class _Step:
+    """One navigation step: axis + name test + predicates."""
+
+    def __init__(self, axis: str, name: str, predicates: list[_Predicate]):
+        self.axis = axis
+        self.name = name  # tag name, '*', or attribute name
+        self.predicates = predicates
+
+    def apply(self, node: Node) -> Iterator[Any]:
+        candidates = self._axis_nodes(node)
+        if not self.predicates:
+            yield from candidates
+            return
+        matched: Iterable[Any] = list(candidates)
+        for predicate in self.predicates:
+            matched = [
+                item
+                for position, item in enumerate(matched, start=1)
+                if isinstance(item, Node) and predicate.matches(item, position)
+            ]
+        yield from matched
+
+    def _axis_nodes(self, node: Node) -> Iterator[Any]:
+        axis, name = self.axis, self.name
+        if axis == "attribute":
+            if isinstance(node, Element):
+                if name == "*":
+                    yield from node.attributes.values()
+                elif name in node.attributes:
+                    yield node.attributes[name]
+            return
+        if axis == "text":
+            if isinstance(node, Element):
+                for child in node.children:
+                    if isinstance(child, Text):
+                        yield child.value
+            return
+        if axis == "self":
+            if self._name_matches(node):
+                yield node
+            return
+        if axis == "parent":
+            if node.parent is not None and self._name_matches(node.parent):
+                yield node.parent
+            return
+        if axis == "ancestor":
+            for ancestor in node.ancestors():
+                if self._name_matches(ancestor):
+                    yield ancestor
+            return
+        if axis == "ancestor-or-self":
+            if self._name_matches(node):
+                yield node
+            for ancestor in node.ancestors():
+                if self._name_matches(ancestor):
+                    yield ancestor
+            return
+        if axis == "child":
+            if isinstance(node, Element):
+                for child in node.children:
+                    if self._name_matches(child):
+                        yield child
+            return
+        if axis == "descendant":
+            if isinstance(node, Element):
+                for child in node.children:
+                    if self._name_matches(child):
+                        yield child
+                    if isinstance(child, Element):
+                        yield from _descendants_matching(child, self._name_matches)
+            return
+        if axis == "descendant-or-self":
+            if self._name_matches(node):
+                yield node
+            if isinstance(node, Element):
+                yield from _descendants_matching(node, self._name_matches)
+            return
+        if axis == "following-sibling":
+            for sibling in node.following_siblings():
+                if self._name_matches(sibling):
+                    yield sibling
+            return
+        if axis == "preceding-sibling":
+            siblings = list(node.preceding_siblings())
+            for sibling in reversed(siblings):  # document order
+                if self._name_matches(sibling):
+                    yield sibling
+            return
+        raise PathSyntaxError(f"unknown axis {axis!r}")
+
+    def _name_matches(self, node: Node) -> bool:
+        if self.name == "*":
+            return isinstance(node, Element)
+        return isinstance(node, Element) and node.tag == self.name
+
+    def __repr__(self) -> str:
+        return f"_Step({self.axis}::{self.name}, {len(self.predicates)} preds)"
+
+
+def _descendants_matching(element: Element, matches) -> Iterator[Node]:
+    for child in element.children:
+        if matches(child):
+            yield child
+        if isinstance(child, Element):
+            yield from _descendants_matching(child, matches)
+
+
+class Path:
+    """A compiled navigation path.
+
+    >>> path = Path.parse("//book[@lang='en']/title")
+    >>> [t.text_content() for t in path.evaluate(doc)]   # doctest: +SKIP
+    """
+
+    def __init__(self, steps: list[_Step], absolute: bool, text: str):
+        self._steps = steps
+        self._absolute = absolute
+        self.text = text
+
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        return _PathParser(text).parse()
+
+    def evaluate(self, context: Node | Document) -> list[Any]:
+        """Evaluate against ``context``; nodes return in document order."""
+        if isinstance(context, Document):
+            start: Node = context.root
+            absolute_root = context.root
+        else:
+            start = context
+            absolute_root = context.root() if self._absolute else context  # type: ignore[assignment]
+        current: list[Any] = [absolute_root if self._absolute else start]
+        steps = self._steps
+        if self._absolute and steps:
+            # An absolute path's first step names the root element itself
+            # (we evaluate from the root element, not a document node).
+            first = steps[0]
+            if first.axis == "child":
+                steps = [_Step("self", first.name, first.predicates)] + steps[1:]
+            elif first.axis == "descendant":
+                steps = [
+                    _Step("descendant-or-self", first.name, first.predicates)
+                ] + steps[1:]
+        for step in steps:
+            next_items: list[Any] = []
+            seen: set[int] = set()
+            for item in current:
+                if not isinstance(item, Node):
+                    continue  # cannot navigate below an attribute string
+                for result in step.apply(item):
+                    key = id(result)
+                    if isinstance(result, Node):
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    next_items.append(result)
+            current = next_items
+        current.sort(
+            key=lambda item: item.document_order
+            if isinstance(item, Node) and item.document_order >= 0
+            else -1
+        )
+        return current
+
+    def __repr__(self) -> str:
+        return f"Path({self.text!r})"
+
+
+def evaluate_path(text: str, context: Node | Document) -> list[Any]:
+    """Parse and evaluate ``text`` against ``context`` in one call."""
+    return Path.parse(text).evaluate(context)
+
+
+class _PathParser:
+    def __init__(self, text: str):
+        self.text = text.strip()
+        self.pos = 0
+
+    def error(self, message: str) -> PathSyntaxError:
+        return PathSyntaxError(f"{message} at offset {self.pos} in {self.text!r}")
+
+    def parse(self) -> Path:
+        if not self.text:
+            raise self.error("empty path")
+        steps: list[_Step] = []
+        absolute = False
+        if self.text.startswith("//"):
+            absolute = True
+            self.pos = 2
+            steps.append(self._parse_step(descendant=True))
+        elif self.text.startswith("/"):
+            absolute = True
+            self.pos = 1
+            if self.pos < len(self.text):
+                steps.append(self._parse_step(descendant=False))
+        else:
+            steps.append(self._parse_step(descendant=False))
+        while self.pos < len(self.text):
+            if self.text.startswith("//", self.pos):
+                self.pos += 2
+                steps.append(self._parse_step(descendant=True))
+            elif self.text.startswith("/", self.pos):
+                self.pos += 1
+                steps.append(self._parse_step(descendant=False))
+            else:
+                raise self.error("expected '/'")
+        return Path(steps, absolute, self.text)
+
+    def _parse_step(self, descendant: bool) -> _Step:
+        if self.text.startswith("..", self.pos):
+            self.pos += 2
+            return _Step("parent", "*", [])
+        if self.text.startswith(".", self.pos):
+            self.pos += 1
+            return _Step("self", "*", [])
+        if self.text.startswith("@", self.pos):
+            self.pos += 1
+            name = self._read_name(allow_star=True)
+            return _Step("attribute", name, [])
+        if self.text.startswith("text()", self.pos):
+            self.pos += len("text()")
+            return _Step("text", "*", [])
+        axis = "descendant" if descendant else "child"
+        for candidate in _AXES:
+            prefix = candidate + "::"
+            if self.text.startswith(prefix, self.pos):
+                axis = candidate
+                self.pos += len(prefix)
+                break
+        name = self._read_name(allow_star=True)
+        predicates = []
+        while self.pos < len(self.text) and self.text[self.pos] == "[":
+            predicates.append(self._parse_predicate())
+        return _Step(axis, name, predicates)
+
+    def _read_name(self, allow_star: bool) -> str:
+        if allow_star and self.text.startswith("*", self.pos):
+            self.pos += 1
+            return "*"
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+    def _parse_predicate(self) -> _Predicate:
+        assert self.text[self.pos] == "["
+        end = self.text.find("]", self.pos)
+        if end < 0:
+            raise self.error("unterminated predicate")
+        body = self.text[self.pos + 1 : end].strip()
+        self.pos = end + 1
+        if not body:
+            raise self.error("empty predicate")
+        if body.isdigit():
+            return _Predicate(position=int(body))
+        if "=" in body:
+            left, right = body.split("=", 1)
+            left, right = left.strip(), right.strip()
+            value: str | float
+            if right.startswith(("'", '"')) and right.endswith(right[0]) and len(right) >= 2:
+                value = right[1:-1]
+            else:
+                try:
+                    value = float(right)
+                except ValueError:
+                    raise self.error(f"bad predicate literal {right!r}") from None
+            return _Predicate(test_path=Path.parse(left), value=value)
+        return _Predicate(test_path=Path.parse(body))

@@ -1,0 +1,209 @@
+"""The structured-schema layer: record types and the element bridge.
+
+Relational and hierarchical sources describe their data with
+:class:`RecordType`; the functions here convert losslessly between the
+structured representation (:class:`~repro.xmldm.values.Record`,
+:class:`~repro.xmldm.values.Collection`) and element trees, so the same
+physical algebra processes both shapes (paper, section 3.1).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.xmldm.nodes import Element, Text
+from repro.xmldm.values import NULL, Collection, Null, Record
+
+#: Names of atomic field types understood by :class:`Field`.
+ATOMIC_TYPE_NAMES = ("string", "number", "boolean", "date", "datetime", "any")
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of a record type."""
+
+    name: str
+    type: str = "any"
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.type not in ATOMIC_TYPE_NAMES:
+            raise ValueError(f"unknown field type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class RecordType:
+    """A named, ordered set of fields (a relation schema in model terms)."""
+
+    name: str
+    fields: tuple[Field, ...] = ()
+
+    @classmethod
+    def of(cls, type_name: str, /, **field_types: str) -> "RecordType":
+        """Shorthand: ``RecordType.of('customer', id='number', name='string')``.
+
+        The positional-only first argument keeps ``name`` free for use as
+        a field name.
+        """
+        return cls(
+            type_name,
+            tuple(Field(fname, ftype) for fname, ftype in field_types.items()),
+        )
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def validate(self, record: Record) -> list[str]:
+        """Return a list of violations (empty when the record conforms)."""
+        problems: list[str] = []
+        for f in self.fields:
+            value = record.get(f.name, NULL)
+            if isinstance(value, Null):
+                if not f.nullable:
+                    problems.append(f"field {f.name!r} is not nullable")
+                continue
+            if f.type != "any" and _atomic_typename(value) != f.type:
+                problems.append(
+                    f"field {f.name!r}: expected {f.type}, got {_atomic_typename(value)}"
+                )
+        extra = set(record.fields) - set(self.field_names)
+        for name in sorted(extra):
+            problems.append(f"unexpected field {name!r}")
+        return problems
+
+
+def _atomic_typename(value: Any) -> str:
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, datetime.datetime):
+        return "datetime"
+    if isinstance(value, datetime.date):
+        return "date"
+    return "other"
+
+
+# -- element bridge ---------------------------------------------------------
+
+
+def atomic_to_text(value: Any) -> str:
+    """Canonical text form of an atomic value (dates in ISO form)."""
+    if isinstance(value, Null):
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def text_to_atomic(text: str, type_name: str) -> Any:
+    """Parse canonical text back into an atomic of ``type_name``."""
+    if type_name == "string" or type_name == "any":
+        return text
+    if text == "":
+        return NULL
+    if type_name == "number":
+        number = float(text)
+        return int(number) if number.is_integer() else number
+    if type_name == "boolean":
+        return text == "true"
+    if type_name == "date":
+        return datetime.date.fromisoformat(text)
+    if type_name == "datetime":
+        return datetime.datetime.fromisoformat(text)
+    raise ValueError(f"unknown type {type_name!r}")
+
+
+def record_to_element(record: Record, tag: str = "record") -> Element:
+    """Render a record as ``<tag><field>value</field>...</tag>``.
+
+    Nested records and collections recurse; NULL fields become empty
+    elements with a ``null="true"`` attribute so the reverse direction
+    can distinguish NULL from empty string.
+    """
+    element = Element(tag)
+    for name, value in record.items():
+        element.append(_value_to_element(value, name))
+    return element
+
+
+def collection_to_element(collection: Collection, tag: str = "collection", item_tag: str = "record") -> Element:
+    """Render a collection as ``<tag><item/>...</tag>``."""
+    element = Element(tag)
+    for item in collection:
+        element.append(_value_to_element(item, item_tag))
+    return element
+
+
+def _value_to_element(value: Any, tag: str) -> Element:
+    if isinstance(value, Record):
+        return record_to_element(value, tag)
+    if isinstance(value, Collection):
+        return collection_to_element(value, tag)
+    if isinstance(value, Element):
+        wrapper = Element(tag)
+        wrapper.append(value.copy())
+        return wrapper
+    child = Element(tag)
+    if isinstance(value, Null):
+        child.attributes["null"] = "true"
+    else:
+        text = atomic_to_text(value)
+        if text:
+            child.append(Text(text))
+    return child
+
+
+def element_to_record(element: Element, record_type: RecordType | None = None) -> Record:
+    """Inverse of :func:`record_to_element`.
+
+    With a ``record_type``, field text is parsed back to typed atomics;
+    without one, every field comes back as a string (or NULL).
+    """
+    fields: dict[str, Any] = {}
+    for child in element.child_elements():
+        if child.attributes.get("null") == "true":
+            fields[child.tag] = NULL
+            continue
+        if any(True for _ in child.child_elements()):
+            fields[child.tag] = element_to_record(child)
+            continue
+        text = child.text_content()
+        if record_type is not None:
+            try:
+                fields[child.tag] = text_to_atomic(text, record_type.field(child.tag).type)
+                continue
+            except KeyError:
+                pass
+        fields[child.tag] = text
+    return Record(fields)
+
+
+def records_from_rows(
+    rows: Iterable[Iterable[Any]], record_type: RecordType
+) -> Collection:
+    """Build a typed Collection of Records from positional rows."""
+    names = record_type.field_names
+    collection = Collection(record_type=record_type)
+    for row in rows:
+        values = tuple(row)
+        if len(values) != len(names):
+            raise ValueError(
+                f"row width {len(values)} does not match {record_type.name} "
+                f"({len(names)} fields)"
+            )
+        collection.append(Record(zip(names, values)))
+    return collection

@@ -1,0 +1,76 @@
+"""Serialize node trees back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Comment, Element, Node, ProcessingInstruction, Text
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def serialize(node: Node | Document, indent: int | None = None) -> str:
+    """Serialize a node or document to XML text.
+
+    With ``indent=None`` (the default) the output is byte-faithful to the
+    tree: text nodes appear exactly as stored, so
+    ``parse -> serialize -> parse`` is the identity.  With an integer
+    ``indent``, element-only content is pretty-printed (this changes
+    whitespace and is for human consumption).
+    """
+    parts: list[str] = []
+    if isinstance(node, Document):
+        for item in node.prolog:
+            _write(item, parts, indent, 0)
+            if indent is not None:
+                parts.append("\n")
+        node = node.root
+    _write(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    if isinstance(node, Text):
+        parts.append(escape_text(node.value))
+    elif isinstance(node, Comment):
+        parts.append(f"{pad}<!--{node.value}-->")
+    elif isinstance(node, ProcessingInstruction):
+        body = f" {node.value}" if node.value else ""
+        parts.append(f"{pad}<?{node.target}{body}?>")
+    elif isinstance(node, Element):
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"'
+            for name, value in node.attributes.items()
+        )
+        if not node.children:
+            parts.append(f"{pad}<{node.tag}{attrs}/>")
+            return
+        element_only = indent is not None and all(
+            isinstance(child, (Element, Comment, ProcessingInstruction))
+            for child in node.children
+        )
+        parts.append(f"{pad}<{node.tag}{attrs}>")
+        if element_only:
+            for child in node.children:
+                parts.append("\n")
+                _write(child, parts, indent, depth + 1)
+            parts.append(f"\n{pad}</{node.tag}>")
+        else:
+            for child in node.children:
+                _write(child, parts, None, 0)
+            parts.append(f"</{node.tag}>")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot serialize {node!r}")

@@ -1,0 +1,189 @@
+"""Unit tests for the data administrator subsystem and management tools."""
+
+import pytest
+
+from repro.admin import (
+    DataAdministrator,
+    HealthMonitor,
+    ManagementConsole,
+)
+from repro.algebra import TreePattern
+from repro.core import NimbleEngine
+from repro.errors import ReproError
+from repro.materialize import MaterializationManager
+from repro.sources import AvailabilityModel, FlakySource, XMLSource
+from repro.sources.base import Access, Fragment
+from repro.sources.relational import RelationalSource
+from repro.xmldm.values import Record
+
+from .conftest import build_crm_database
+
+
+def customers_fragment():
+    pattern = TreePattern(
+        "customers",
+        children=(
+            TreePattern("id", text_var="id"),
+            TreePattern("name", text_var="name"),
+            TreePattern("city", text_var="city"),
+        ),
+    )
+    return Fragment("crm", (Access("customers", pattern),))
+
+
+class TestReplication:
+    def test_job_copies_rows(self, registry, clock):
+        admin = DataAdministrator(clock)
+        source = registry.get("crm")
+        admin.add_job("crm_copy", source, customers_fragment(),
+                      "customers_replica", period_ms=10_000)
+        written = admin.run_job("crm_copy")
+        assert written == 4
+        result = admin.store.execute(
+            "SELECT COUNT(*) FROM customers_replica"
+        )
+        assert result.scalar() == 4
+
+    def test_transform_hook(self, registry, clock):
+        admin = DataAdministrator(clock)
+        source = registry.get("crm")
+
+        def uppercase_names(record: Record):
+            if record["city"] == "Boise":
+                return None  # offline filtering
+            return record.with_field("name", str(record["name"]).upper())
+
+        admin.add_job("clean_copy", source, customers_fragment(),
+                      "clean_customers", period_ms=10_000,
+                      transform=uppercase_names)
+        assert admin.run_job("clean_copy") == 3
+        names = {
+            row[0]
+            for row in admin.store.execute(
+                "SELECT name FROM clean_customers"
+            ).rows
+        }
+        assert names == {"ANN", "BOB", "CAM"}
+
+    def test_run_due_respects_period(self, registry, clock):
+        admin = DataAdministrator(clock)
+        admin.add_job("j", registry.get("crm"), customers_fragment(),
+                      "t", period_ms=5_000)
+        assert admin.run_due() == {"j": 4}
+        clock.advance(1_000)
+        assert admin.run_due() == {}  # not due yet
+        clock.advance(5_000)
+        assert admin.run_due() == {"j": 4}
+
+    def test_reload_replaces_rows(self, registry, clock):
+        admin = DataAdministrator(clock)
+        source = registry.get("crm")
+        admin.add_job("j", source, customers_fragment(), "t", period_ms=1)
+        admin.run_job("j")
+        source.database.execute("DELETE FROM customers WHERE id = 4")
+        admin.run_job("j")
+        assert admin.store.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_outage_counts_failure(self, clock, registry):
+        flaky = FlakySource(
+            XMLSource("arch", {"d": "<r><x><v>1</v></x></r>"}),
+            AvailabilityModel(availability=0.99),
+        )
+        registry.register(flaky)
+        flaky.force_offline()
+        admin = DataAdministrator(clock)
+        fragment = Fragment(
+            "arch",
+            (Access("d", TreePattern("x", children=(
+                TreePattern("v", text_var="v"),))),),
+        )
+        admin.add_job("j", flaky, fragment, "t", period_ms=1)
+        assert admin.run_job("j") == 0
+        assert admin.jobs["j"].failures == 1
+
+    def test_duplicate_job_rejected(self, registry, clock):
+        admin = DataAdministrator(clock)
+        admin.add_job("j", registry.get("crm"), customers_fragment(), "t", 1)
+        with pytest.raises(ReproError):
+            admin.add_job("j", registry.get("crm"), customers_fragment(), "t2", 1)
+
+    def test_replica_queryable_as_source(self, registry, clock):
+        """The replicated store becomes just another relational source."""
+        admin = DataAdministrator(clock)
+        admin.add_job("j", registry.get("crm"), customers_fragment(),
+                      "customers", period_ms=1)
+        admin.run_job("j")
+        replica = RelationalSource("replica", admin.store, clock)
+        assert replica.cardinality("customers") == 4
+
+
+class TestHealthMonitor:
+    def test_probe_records_state(self, registry, clock):
+        monitor = HealthMonitor(registry, clock)
+        outcome = monitor.probe_all()
+        assert all(outcome.values())
+        assert monitor.health["crm"].uptime_fraction == 1.0
+
+    def test_watch_tracks_outages(self, registry, clock):
+        flaky = FlakySource(
+            XMLSource("blinky", {}),
+            AvailabilityModel(availability=0.5, mean_outage_ms=2_000, seed=2),
+        )
+        registry.register(flaky)
+        monitor = HealthMonitor(registry, clock)
+        monitor.watch(duration_ms=60_000, interval_ms=500)
+        health = monitor.health["blinky"]
+        assert 0.2 < health.uptime_fraction < 0.8
+        assert health.last_down_ms is not None
+        assert monitor.unhealthy(threshold=0.9)
+
+
+class TestManagementConsole:
+    def test_system_report_structure(self, catalog, clock):
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        engine.materialize_query_fragments(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        console = ManagementConsole(engine)
+        report = console.system_report()
+        assert report["engine"]["queries_run"] == 1
+        crm = next(s for s in report["sources"] if s["name"] == "crm")
+        assert crm["relations"]["customers"] == 4
+        assert crm["capabilities"]["joins"] is True
+        names = {m["name"]: m for m in report["mediated_names"]}
+        assert names["customers"]["kind"] == "mapping"
+        assert report["materialization"]["views"] == 1
+
+    def test_render_text(self, catalog, clock):
+        engine = NimbleEngine(catalog)
+        monitor = HealthMonitor(catalog.registry, clock)
+        monitor.probe_all()
+        admin = DataAdministrator(clock)
+        admin.add_job("j", catalog.registry.get("crm"), customers_fragment(),
+                      "t", period_ms=1_000)
+        admin.run_job("j")
+        console = ManagementConsole(engine, monitor=monitor,
+                                    administrator=admin)
+        text = console.render()
+        assert "sources:" in text
+        assert "[UP  ] crm" in text
+        assert "replication jobs:" in text
+        assert "uptime 100%" in text
+
+    def test_report_shows_views(self, catalog, clock):
+        from repro.mediator.schema import MediatedSchema
+
+        schema = MediatedSchema("s")
+        schema.define_view(
+            "v", 'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <x>$n</x>'
+        )
+        catalog.add_schema(schema)
+        console = ManagementConsole(NimbleEngine(catalog))
+        report = console.system_report()
+        view = next(m for m in report["mediated_names"] if m["name"] == "v")
+        assert view["kind"] == "view"
+        assert view["target"] == "customers"

@@ -1,0 +1,233 @@
+"""Unit tests for binding tuples and core algebra operators."""
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    AggregateSpec,
+    BindingTuple,
+    BindingsSource,
+    CallbackScan,
+    CollectionScan,
+    Compute,
+    Distinct,
+    GroupBy,
+    HashJoin,
+    NestedLoopJoin,
+    Plan,
+    Project,
+    Select,
+    Sort,
+    Union,
+)
+from repro.algebra.joins import DependentJoin
+from repro.xmldm.values import NULL, Record
+
+
+def tuples(*dicts):
+    return [BindingTuple(d) for d in dicts]
+
+
+class TestBindingTuple:
+    def test_extend_new_variable(self):
+        row = BindingTuple({"a": 1})
+        extended = row.extend("b", 2)
+        assert extended["b"] == 2
+        assert "b" not in row
+
+    def test_extend_same_value_is_noop(self):
+        row = BindingTuple({"a": 1})
+        assert row.extend("a", 1) is row
+
+    def test_extend_conflict_fails(self):
+        assert BindingTuple({"a": 1}).extend("a", 2) is None
+
+    def test_extend_numeric_equivalence(self):
+        # 1 == 1.0 in the model, so rebinding is consistent
+        assert BindingTuple({"a": 1}).extend("a", 1.0) is not None
+
+    def test_merge_disjoint(self):
+        merged = BindingTuple({"a": 1}).merge(BindingTuple({"b": 2}))
+        assert merged.as_dict() == {"a": 1, "b": 2}
+
+    def test_merge_conflicting(self):
+        assert BindingTuple({"a": 1}).merge(BindingTuple({"a": 2})) is None
+
+    def test_project(self):
+        row = BindingTuple({"a": 1, "b": 2, "c": 3})
+        assert row.project(["a", "c", "zz"]).as_dict() == {"a": 1, "c": 3}
+
+    def test_contains_and_get(self):
+        row = BindingTuple({"a": 1})
+        assert "a" in row
+        assert row.get("missing") is None
+
+
+class TestScans:
+    def test_collection_scan(self):
+        rows = list(CollectionScan("x", [1, 2, 3]))
+        assert [r["x"] for r in rows] == [1, 2, 3]
+
+    def test_callback_scan_lazy(self):
+        calls = []
+
+        def fetch():
+            calls.append(1)
+            return ["a"]
+
+        scan = CallbackScan("v", fetch)
+        assert not calls
+        assert [r["v"] for r in scan] == ["a"]
+        assert calls == [1]
+
+    def test_bindings_source_replays(self):
+        source = BindingsSource(tuples({"a": 1}))
+        assert len(list(source)) == 1
+        assert len(list(source)) == 1
+
+
+class TestBasicOperators:
+    def test_select(self):
+        out = list(Select(CollectionScan("x", range(5)), lambda r: r["x"] % 2 == 0))
+        assert [r["x"] for r in out] == [0, 2, 4]
+
+    def test_project(self):
+        src = BindingsSource(tuples({"a": 1, "b": 2}))
+        out = list(Project(src, ["a"]))
+        assert out[0].as_dict() == {"a": 1}
+
+    def test_compute(self):
+        out = list(Compute(CollectionScan("x", [2]), "y", lambda r: r["x"] * 10))
+        assert out[0]["y"] == 20
+
+    def test_distinct_all_vars(self):
+        src = BindingsSource(tuples({"a": 1}, {"a": 1}, {"a": 2}))
+        assert len(list(Distinct(src))) == 2
+
+    def test_distinct_on_subset(self):
+        src = BindingsSource(tuples({"a": 1, "b": 1}, {"a": 1, "b": 2}))
+        assert len(list(Distinct(src, ["a"]))) == 1
+
+    def test_union_concatenates(self):
+        union = Union(CollectionScan("x", [1]), CollectionScan("x", [2]))
+        assert [r["x"] for r in union] == [1, 2]
+
+    def test_sort_asc_desc(self):
+        src = BindingsSource(tuples({"a": 2, "b": "x"}, {"a": 1, "b": "y"},
+                                    {"a": 2, "b": "a"}))
+        out = list(Sort(src, [(lambda r: r["a"], True), (lambda r: r["b"], False)]))
+        assert [(r["a"], r["b"]) for r in out] == [(2, "a"), (2, "x"), (1, "y")]
+
+    def test_rows_out_counter(self):
+        scan = CollectionScan("x", [1, 2, 3])
+        select = Select(scan, lambda r: r["x"] > 1)
+        list(select)
+        assert scan.rows_out == 3
+        assert select.rows_out == 2
+        select.reset_counters()
+        assert scan.rows_out == 0
+
+    def test_explain_tree(self):
+        plan = Select(CollectionScan("x", []), lambda r: True, label="x>1")
+        text = plan.explain()
+        assert "Select(x>1)" in text
+        assert "CollectionScan" in text
+
+
+class TestJoins:
+    def test_hash_join_natural(self):
+        left = BindingsSource(tuples({"k": 1, "l": "a"}, {"k": 2, "l": "b"}))
+        right = BindingsSource(tuples({"k": 2, "r": "x"}, {"k": 3, "r": "y"}))
+        out = list(HashJoin(left, right, ("k",)))
+        assert len(out) == 1
+        assert out[0].as_dict() == {"k": 2, "l": "b", "r": "x"}
+
+    def test_hash_join_missing_var_never_matches(self):
+        left = BindingsSource(tuples({"l": "a"}))
+        right = BindingsSource(tuples({"k": 1}))
+        assert list(HashJoin(left, right, ("k",))) == []
+
+    def test_hash_join_numeric_key_equivalence(self):
+        left = BindingsSource(tuples({"k": 1}))
+        right = BindingsSource(tuples({"k": 1.0, "r": "x"}))
+        assert len(list(HashJoin(left, right, ("k",)))) == 1
+
+    def test_nested_loop_cross_product(self):
+        left = CollectionScan("a", [1, 2])
+        right = CollectionScan("b", [10, 20])
+        assert len(list(NestedLoopJoin(left, right))) == 4
+
+    def test_nested_loop_with_predicate(self):
+        left = CollectionScan("a", [1, 2])
+        right = CollectionScan("b", [1, 2])
+        out = list(NestedLoopJoin(left, right, lambda r: r["a"] < r["b"]))
+        assert [(r["a"], r["b"]) for r in out] == [(1, 2)]
+
+    def test_nested_loop_unifies_shared_vars(self):
+        left = BindingsSource(tuples({"k": 1}))
+        right = BindingsSource(tuples({"k": 1}, {"k": 2}))
+        assert len(list(NestedLoopJoin(left, right))) == 1
+
+    def test_dependent_join(self):
+        left = CollectionScan("a", [1, 2])
+
+        def factory(row):
+            return BindingsSource(tuples({"b": row["a"] * 10}))
+
+        out = list(DependentJoin(left, factory))
+        assert [(r["a"], r["b"]) for r in out] == [(1, 10), (2, 20)]
+
+
+class TestGrouping:
+    def test_group_by_count(self):
+        src = BindingsSource(tuples({"g": "x"}, {"g": "x"}, {"g": "y"}))
+        out = list(GroupBy(src, ["g"], [AggregateSpec("n", "count")]))
+        assert {(r["g"], r["n"]) for r in out} == {("x", 2), ("y", 1)}
+
+    def test_group_by_sum_avg_min_max(self):
+        src = BindingsSource(tuples({"g": 1, "v": 10}, {"g": 1, "v": 20}))
+        out = list(
+            GroupBy(
+                src,
+                ["g"],
+                [
+                    AggregateSpec("s", "sum", lambda r: r["v"]),
+                    AggregateSpec("a", "avg", lambda r: r["v"]),
+                    AggregateSpec("lo", "min", lambda r: r["v"]),
+                    AggregateSpec("hi", "max", lambda r: r["v"]),
+                ],
+            )
+        )
+        assert (out[0]["s"], out[0]["a"], out[0]["lo"], out[0]["hi"]) == (30, 15, 10, 20)
+
+    def test_aggregates_skip_null(self):
+        src = BindingsSource(tuples({"g": 1, "v": NULL}, {"g": 1, "v": 5}))
+        out = list(GroupBy(src, ["g"], [AggregateSpec("s", "sum", lambda r: r["v"])]))
+        assert out[0]["s"] == 5
+
+    def test_group_nesting_collects_records(self):
+        src = BindingsSource(tuples({"g": "x", "v": 1}, {"g": "x", "v": 2}))
+        out = list(GroupBy(src, ["g"], collect_var="items", collect_fields=("v",)))
+        items = out[0]["items"]
+        assert [record["v"] for record in items] == [1, 2]
+        assert isinstance(items[0], Record)
+
+    def test_global_aggregate_on_empty(self):
+        out = list(Aggregate(BindingsSource([]), [AggregateSpec("n", "count")]))
+        assert out[0]["n"] == 0
+
+    def test_bad_aggregate_kind(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("x", "median")
+
+
+class TestPlan:
+    def test_results_with_output_var(self):
+        plan = Plan(CollectionScan("x", [1, 2]), "x")
+        assert plan.results() == [1, 2]
+
+    def test_operator_stats(self):
+        plan = Plan(Select(CollectionScan("x", [1, 2, 3]), lambda r: r["x"] > 2))
+        plan.execute()
+        stats = dict(plan.operator_stats())
+        assert stats["CollectionScan($x)"] == 3

@@ -1,0 +1,185 @@
+"""Unit tests for similarity metrics, normalizers and matchers."""
+
+import pytest
+
+from repro.cleaning import (
+    FieldRule,
+    MatchDecision,
+    NormalizerRegistry,
+    RecordMatcher,
+    jaccard_tokens,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    ngram_similarity,
+    string_similarity,
+)
+from repro.cleaning.normalize import (
+    normalize_email,
+    normalize_name,
+    normalize_phone,
+    normalize_street,
+    normalize_whitespace,
+    strip_punctuation,
+)
+from repro.errors import CleaningError
+from repro.xmldm.values import NULL, Record
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,distance",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("abc", "xabc", 1),
+            ("kitten", "sitting", 3),
+            ("", "abc", 3),
+        ],
+    )
+    def test_distances(self, a, b, distance):
+        assert levenshtein(a, b) == distance
+
+    def test_similarity_range(self):
+        assert string_similarity("abc", "abc") == 1.0
+        assert string_similarity("abc", "xyz") == 0.0
+        assert 0 < string_similarity("smith", "smyth") < 1
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_winkler_no_boost_without_prefix(self):
+        assert jaro_winkler("xmartha", "ymarhta") == pytest.approx(
+            jaro("xmartha", "ymarhta")
+        )
+
+
+class TestTokenMetrics:
+    def test_jaccard(self):
+        assert jaccard_tokens("a b c", "b c d") == pytest.approx(0.5)
+        assert jaccard_tokens("", "") == 1.0
+
+    def test_ngram(self):
+        assert ngram_similarity("night", "nacht") > 0.2
+        assert ngram_similarity("same", "same") == 1.0
+        assert ngram_similarity("", "x") == 0.0
+
+
+class TestNormalizers:
+    def test_whitespace(self):
+        assert normalize_whitespace("  a \t b\nc ") == "a b c"
+
+    def test_punctuation_keeps_hyphens(self):
+        assert strip_punctuation("o'brien-smith, jr.") == "o'brien-smith jr"
+
+    def test_name_title_and_order(self):
+        assert normalize_name("Dr. Smith, John") == "john smith"
+        assert normalize_name("JOHN   SMITH JR.") == "john smith"
+
+    def test_street_abbreviations(self):
+        assert normalize_street("1938 Fairview Ave. E") == "1938 fairview avenue east"
+        assert normalize_street("12 N Main St") == "12 north main street"
+
+    def test_phone_digits_only(self):
+        assert normalize_phone("(206) 555-0100") == "2065550100"
+        assert normalize_phone("1-206-555-0100") == "2065550100"
+
+    def test_email(self):
+        assert normalize_email("John.Doe+spam@Example.COM") == "john.doe@example.com"
+
+    def test_registry_chain(self):
+        registry = NormalizerRegistry()
+        chain = registry.chain("case", "whitespace")
+        assert chain("  A  B ") == "a b"
+
+    def test_registry_extension(self):
+        registry = NormalizerRegistry()
+        registry.register("reverse", lambda v: v[::-1])
+        assert registry.apply("reverse", "abc") == "cba"
+
+    def test_registry_duplicate_rejected(self):
+        registry = NormalizerRegistry()
+        with pytest.raises(CleaningError):
+            registry.register("name", str)
+
+    def test_registry_unknown(self):
+        with pytest.raises(CleaningError):
+            NormalizerRegistry().get("nope")
+
+    def test_apply_null_gives_empty(self):
+        assert NormalizerRegistry().apply("case", NULL) == ""
+
+
+class TestRecordMatcher:
+    def matcher(self, **kwargs):
+        return RecordMatcher(
+            [
+                FieldRule("name", metric=jaro_winkler, weight=2.0),
+                FieldRule("city", weight=1.0),
+            ],
+            **kwargs,
+        )
+
+    def test_identical_records_match(self):
+        matcher = self.matcher()
+        a = Record({"name": "john smith", "city": "seattle"})
+        assert matcher.decide(a, a) is MatchDecision.MATCH
+
+    def test_different_records_nonmatch(self):
+        matcher = self.matcher()
+        a = Record({"name": "john smith", "city": "seattle"})
+        b = Record({"name": "rosa garcia", "city": "boise"})
+        assert matcher.decide(a, b) is MatchDecision.NONMATCH
+
+    def test_close_records_possible(self):
+        matcher = self.matcher(match_threshold=0.97, possible_threshold=0.65)
+        a = Record({"name": "john smith", "city": "seattle"})
+        b = Record({"name": "jon smith", "city": "tacoma"})
+        assert matcher.decide(a, b) is MatchDecision.POSSIBLE
+
+    def test_missing_fields_excluded(self):
+        matcher = self.matcher()
+        a = Record({"name": "john smith", "city": NULL})
+        b = Record({"name": "john smith"})
+        score = matcher.score(a, b)
+        assert score.score == pytest.approx(1.0)
+        assert "city" not in score.per_field
+
+    def test_cross_field_rule(self):
+        matcher = RecordMatcher([FieldRule("name", field_b="fullname")])
+        a = Record({"name": "ann lee"})
+        b = Record({"fullname": "ann lee"})
+        assert matcher.decide(a, b) is MatchDecision.MATCH
+
+    def test_normalizer_applied_in_rule(self):
+        matcher = RecordMatcher(
+            [FieldRule("name", normalizer=normalize_name)], match_threshold=0.99
+        )
+        a = Record({"name": "Smith, John"})
+        b = Record({"name": "john smith"})
+        assert matcher.decide(a, b) is MatchDecision.MATCH
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(CleaningError):
+            RecordMatcher([])
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(CleaningError):
+            self.matcher(match_threshold=0.5, possible_threshold=0.8)
+
+    def test_all_fields_missing_scores_zero(self):
+        matcher = self.matcher()
+        assert matcher.score(Record({}), Record({})).score == 0.0

@@ -1,0 +1,320 @@
+"""Unit tests for blocking, concordance, lineage, flows and mining."""
+
+import pytest
+
+from repro.cleaning import (
+    CleaningFlow,
+    ConcordanceDB,
+    Decision,
+    FieldRule,
+    FlowMode,
+    LineageLog,
+    LinkStep,
+    MatchDecision,
+    MatchStep,
+    NormalizeStep,
+    RecordMatcher,
+    jaro_winkler,
+    multi_pass_neighborhood,
+    naive_pairs,
+    sorted_neighborhood,
+)
+from repro.cleaning.mining import (
+    duplicate_report,
+    find_anomalies,
+    find_legacy_codes,
+    profile_dataset,
+    value_pattern,
+)
+from repro.cleaning.sortedneighborhood import first_letters_key, reversed_field_key
+from repro.errors import CleaningError, LineageError
+from repro.xmldm.values import Record
+
+
+def records_named(*names):
+    return [Record({"id": str(i), "name": name}) for i, name in enumerate(names)]
+
+
+class TestBlocking:
+    def test_naive_pair_count(self):
+        records = records_named("a", "b", "c", "d")
+        assert len(list(naive_pairs(records))) == 6
+
+    def test_snm_window_bounds_pairs(self):
+        records = records_named(*[f"name{i:03d}" for i in range(100)])
+        pairs = list(sorted_neighborhood(records, first_letters_key("name", 7), 3))
+        assert len(pairs) < 250  # far below the 4950 naive pairs
+
+    def test_snm_finds_adjacent_keys(self):
+        records = records_named("smith john", "smith jon", "zzz zzz")
+        pairs = set(sorted_neighborhood(records, first_letters_key("name"), 2))
+        assert (0, 1) in pairs
+
+    def test_snm_window_validation(self):
+        with pytest.raises(CleaningError):
+            list(sorted_neighborhood(records_named("a"), first_letters_key("name"), 1))
+
+    def test_multipass_union_dedups(self):
+        records = records_named("abcd", "abce", "xbcd")
+        single = set(sorted_neighborhood(records, first_letters_key("name"), 2))
+        multi = set(
+            multi_pass_neighborhood(
+                records,
+                [first_letters_key("name"), reversed_field_key("name")],
+                2,
+            )
+        )
+        assert single <= multi
+        # reversed key pairs 'abcd' with 'xbcd' (same tail) which the
+        # prefix key cannot see with window 2
+        assert (0, 2) in multi
+
+    def test_pairs_canonical_order(self):
+        records = records_named("b", "a")
+        for i, j in sorted_neighborhood(records, first_letters_key("name"), 2):
+            assert i < j
+
+
+class TestConcordance:
+    def ref(self, source, identity):
+        return (source, identity)
+
+    def test_record_and_lookup_symmetric(self):
+        db = ConcordanceDB()
+        decision = Decision(("a", "1"), ("b", "2"), MatchDecision.MATCH, "auto")
+        db.record(decision)
+        assert db.lookup(("b", "2"), ("a", "1")).decision is MatchDecision.MATCH
+        assert db.replays == 1
+
+    def test_conflicting_decision_rejected(self):
+        db = ConcordanceDB()
+        db.record(Decision(("a", "1"), ("b", "2"), MatchDecision.MATCH, "auto"))
+        with pytest.raises(CleaningError):
+            db.record(
+                Decision(("a", "1"), ("b", "2"), MatchDecision.NONMATCH, "human")
+            )
+
+    def test_overwrite_allowed_explicitly(self):
+        db = ConcordanceDB()
+        db.record(Decision(("a", "1"), ("b", "2"), MatchDecision.POSSIBLE, "auto"))
+        db.record(
+            Decision(("a", "1"), ("b", "2"), MatchDecision.MATCH, "human"),
+            overwrite=True,
+        )
+        assert db.lookup(("a", "1"), ("b", "2")).decided_by == "human"
+
+    def test_matches_of(self):
+        db = ConcordanceDB()
+        db.record(Decision(("a", "1"), ("b", "2"), MatchDecision.MATCH, "auto"))
+        db.record(Decision(("a", "1"), ("c", "3"), MatchDecision.NONMATCH, "auto"))
+        assert db.matches_of(("a", "1")) == [("b", "2")]
+
+    def test_persistence_roundtrip(self, tmp_path):
+        db = ConcordanceDB()
+        db.record(
+            Decision(("a", "1"), ("b", "2"), MatchDecision.MATCH, "ann", 0.9, 5.0)
+        )
+        path = tmp_path / "concordance.json"
+        db.save(path)
+        loaded = ConcordanceDB.load(path)
+        decision = loaded.lookup(("a", "1"), ("b", "2"))
+        assert decision.decided_by == "ann"
+        assert decision.score == 0.9
+
+    def test_counts(self):
+        db = ConcordanceDB()
+        db.record(Decision(("a", "1"), ("b", "2"), MatchDecision.MATCH, "auto"))
+        assert db.counts()["match"] == 1
+
+
+class TestLineage:
+    def test_ancestry_and_leaves(self):
+        log = LineageLog()
+        log.record("n1", ["src:1"], "normalize")
+        log.record("g1", ["n1", "src:2"], "merge")
+        assert {e.output_id for e in log.ancestry("g1")} == {"g1", "n1"}
+        assert log.leaves("g1") == ["src:1", "src:2"]
+
+    def test_duplicate_output_rejected(self):
+        log = LineageLog()
+        log.record("x", ["a"], "op")
+        with pytest.raises(LineageError):
+            log.record("x", ["b"], "op")
+
+    def test_descendants(self):
+        log = LineageLog()
+        log.record("n1", ["src:1"], "normalize")
+        log.record("g1", ["n1"], "merge")
+        assert log.descendants("src:1") == ["n1", "g1"]
+
+    def test_rollback_cascades(self):
+        log = LineageLog()
+        log.record("n1", ["src:1"], "normalize")
+        log.record("g1", ["n1"], "merge")
+        invalidated = log.rollback("n1")
+        assert set(invalidated) == {"n1", "g1"}
+        assert not log.is_valid("g1")
+        assert log.valid_outputs() == []
+
+    def test_rollback_unknown_rejected(self):
+        with pytest.raises(LineageError):
+            LineageLog().rollback("ghost")
+
+
+def build_flow(blocking="naive", thresholds=(0.90, 0.70), concordance=None):
+    matcher = RecordMatcher(
+        [FieldRule("name", metric=jaro_winkler)],
+        match_threshold=thresholds[0],
+        possible_threshold=thresholds[1],
+    )
+    return CleaningFlow(
+        "test",
+        [
+            NormalizeStep("name", "name"),
+            MatchStep(matcher, blocking=blocking, key_field="name", window=4),
+            LinkStep(source_priority=("a", "b")),
+        ],
+        concordance=concordance,
+    )
+
+
+DATASETS = {
+    "a": [
+        Record({"id": "1", "name": "John Smith", "tier": 1}),
+        Record({"id": "2", "name": "Rosa Garcia"}),
+    ],
+    "b": [
+        Record({"id": "10", "name": "Smith, John", "balance": 42}),
+        Record({"id": "11", "name": "Katherine Johnson"}),
+        # scores ~0.89 against Rosa Garcia: ambiguous on tight thresholds
+        Record({"id": "12", "name": "Rose Garcia"}),
+    ],
+}
+
+
+class TestFlows:
+    def test_extraction_matches_and_links(self):
+        result = build_flow().run(DATASETS, FlowMode.EXTRACTION)
+        assert (("a", "1"), ("b", "10")) in [
+            tuple(sorted(p)) for p in result.matched_pairs
+        ]
+        cluster = result.cluster_of(("a", "1"))
+        assert ("b", "10") in cluster
+
+    def test_golden_record_merges_by_priority(self):
+        result = build_flow().run(DATASETS, FlowMode.EXTRACTION)
+        golden = next(
+            g for g in result.golden_records if g.get("tier") == 1
+        )
+        assert golden["balance"] == 42  # filled from source b
+        assert golden["__sources"] == "a,b"
+
+    def test_mining_routes_possibles_to_reviewer(self):
+        reviewed = []
+
+        def reviewer(a, b, score):
+            reviewed.append((a["name"], b["name"]))
+            return MatchDecision.MATCH
+
+        flow = build_flow(thresholds=(0.99, 0.60))
+        result = flow.run(DATASETS, FlowMode.MINING, reviewer=reviewer)
+        assert result.human_decisions == len(reviewed) > 0
+        assert not result.exceptions
+
+    def test_extraction_traps_exceptions(self):
+        flow = build_flow(thresholds=(0.99, 0.60))
+        result = flow.run(DATASETS, FlowMode.EXTRACTION)
+        assert result.exceptions
+        assert result.human_decisions == 0
+
+    def test_concordance_replay_skips_scoring(self):
+        concordance = ConcordanceDB()
+        flow = build_flow(concordance=concordance)
+        first = flow.run(DATASETS, FlowMode.EXTRACTION)
+        assert first.pairs_compared > 0
+        second = flow.run(DATASETS, FlowMode.EXTRACTION)
+        assert second.pairs_replayed > 0
+        assert second.pairs_compared < first.pairs_compared
+        # matches still reported on replay
+        assert second.matched_pairs
+
+    def test_mining_decisions_survive_to_extraction(self):
+        concordance = ConcordanceDB()
+        flow = build_flow(thresholds=(0.99, 0.60), concordance=concordance)
+        flow.run(DATASETS, FlowMode.MINING,
+                 reviewer=lambda a, b, s: MatchDecision.MATCH)
+        replay = flow.run(DATASETS, FlowMode.EXTRACTION)
+        assert not replay.exceptions  # human decisions replayed
+        assert replay.matched_pairs
+
+    def test_mining_requires_reviewer(self):
+        with pytest.raises(CleaningError):
+            build_flow().run(DATASETS, FlowMode.MINING)
+
+    def test_missing_id_field_rejected(self):
+        with pytest.raises(CleaningError):
+            build_flow().run({"a": [Record({"name": "x"})]})
+
+    def test_normalize_step_records_lineage(self):
+        flow = build_flow()
+        flow.run(DATASETS, FlowMode.EXTRACTION)
+        assert any(
+            entry.operation.startswith("normalize") for entry in flow.lineage
+        )
+
+    def test_merge_recorded_in_lineage(self):
+        flow = build_flow()
+        flow.run(DATASETS, FlowMode.EXTRACTION)
+        merges = [e for e in flow.lineage if e.operation == "merge"]
+        assert merges
+        assert len(merges[0].input_ids) == 2
+
+
+class TestMining:
+    def test_value_pattern(self):
+        assert value_pattern("206-555-0100") == "9-9-9"
+        assert value_pattern("Seattle") == "A"
+        assert value_pattern("AB12cd") == "A9A"
+
+    def test_profile_dataset(self):
+        records = [
+            Record({"id": "1", "phone": "206-555-0100"}),
+            Record({"id": "2", "phone": "2065550100"}),
+            Record({"id": "3", "phone": ""}),
+        ]
+        profiles = {p.name: p for p in profile_dataset(records)}
+        assert profiles["phone"].filled == 2
+        assert profiles["phone"].fill_rate == pytest.approx(2 / 3)
+        assert profiles["id"].distinct == 3
+
+    def test_find_anomalies_mixed_format(self):
+        records = [Record({"id": str(i), "phone": v}) for i, v in enumerate(
+            ["206-555-0100", "2065550100", "(206) 555 0100", "206.555.0100"]
+        )]
+        anomalies = find_anomalies(records)
+        assert any(a.kind == "mixed-format" and a.field == "phone" for a in anomalies)
+
+    def test_find_anomalies_low_fill(self):
+        records = [Record({"a": "x", "b": ""}), Record({"a": "y", "b": ""})]
+        anomalies = find_anomalies(records)
+        assert any(a.kind == "low-fill" and a.field == "b" for a in anomalies)
+
+    def test_find_legacy_codes(self):
+        records = [
+            Record({"notes": "migrated from ACCT-1234 in 1997"}),
+            Record({"notes": "clean"}),
+        ]
+        findings = find_legacy_codes(records, "notes")
+        assert findings == [(0, "ACCT-1234")]
+
+    def test_duplicate_report_sorted(self):
+        records = records_named("john smith", "jon smith", "rosa garcia")
+        matcher = RecordMatcher(
+            [FieldRule("name", metric=jaro_winkler)],
+            match_threshold=0.99,
+            possible_threshold=0.6,
+        )
+        report = duplicate_report(records, matcher, "name", window=3)
+        assert report[0][:2] == (0, 1)
+        scores = [score for _, _, score in report]
+        assert scores == sorted(scores, reverse=True)

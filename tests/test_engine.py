@@ -1,0 +1,265 @@
+"""End-to-end tests of the integration engine."""
+
+import pytest
+
+from repro.core import NimbleEngine, PartialResultPolicy
+from repro.errors import SourceUnavailableError
+from repro.materialize import MaterializationManager, RefreshPolicy
+from repro.mediator.schema import MediatedSchema
+from repro.sources import AvailabilityModel, FlakySource, XMLSource
+from repro.xmldm import serialize
+
+
+@pytest.fixture
+def engine(catalog):
+    return NimbleEngine(catalog)
+
+
+class TestBasicQueries:
+    def test_relational_query(self, engine):
+        result = engine.query(
+            'WHERE <c><name>$n</name><city>$c</city></c> IN "customers", '
+            '$c = "Seattle" CONSTRUCT <hit>$n</hit> ORDER BY $n'
+        )
+        assert [e.text_content() for e in result.elements] == ["Ann", "Cam"]
+        assert result.completeness.complete
+
+    def test_xml_document_query(self, engine):
+        result = engine.query(
+            'WHERE <book year=$y><title>$t</title></book> IN "library.books", '
+            "$y > 1995 CONSTRUCT <r>$t</r> ORDER BY $t"
+        )
+        assert [e.text_content() for e in result.elements] == [
+            "Data on the Web",
+            "XML Handbook",
+        ]
+
+    def test_cross_source_join(self, engine):
+        result = engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers", '
+            '<book><author>$n</author><title>$t</title></book> '
+            'IN "library.books" CONSTRUCT <match><n>$n</n></match>'
+        )
+        # no author shares a name with a CRM customer
+        assert result.elements == []
+
+    def test_same_source_join_is_one_fragment(self, engine):
+        result = engine.query(
+            'WHERE <c><id>$i</id><name>$n</name></c> IN "customers", '
+            '<o><cust_id>$i</cust_id><total>$t</total></o> IN "orders", '
+            "$t > 50 CONSTRUCT <big><name>$n</name></big>"
+        )
+        assert [e.text_content() for e in result.elements] == ["Ann"]
+        assert result.stats.fragments_executed == 1
+        assert result.stats.rows_transferred == 1  # pushdown did its job
+
+    def test_dependent_join_through_endpoint(self, engine):
+        result = engine.query(
+            'WHERE <c><name>$n</name><tier>$t</tier></c> IN "customers", '
+            '<s><name>$n</name><score>$sc</score></s> IN "credit_scores", '
+            "$t = 1 CONSTRUCT <r name=$n><score>$sc</score></r>"
+        )
+        assert len(result.elements) == 2
+        assert result.stats.remote_calls == 3  # 1 fragment + 2 endpoint calls
+
+    def test_explain_shows_fragments(self, engine):
+        plan = engine.explain(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        assert "FragmentScan" in plan
+
+    def test_limit_through_engine(self, engine):
+        result = engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" '
+            "CONSTRUCT <r>$n</r> ORDER BY $n LIMIT 2"
+        )
+        assert [e.text_content() for e in result.elements] == ["Ann", "Bob"]
+
+    def test_aggregates_through_engine(self, engine):
+        result = engine.query(
+            'WHERE <c><city>$c</city><tier>$t</tier></c> IN "customers" '
+            "CONSTRUCT <city name=$c><n>count($t)</n><best>min($t)</best></city>"
+        )
+        by_city = {e.attributes["name"]: e for e in result.elements}
+        assert by_city["Seattle"].first_child("n").text_content() == "2"
+        assert by_city["Seattle"].first_child("best").text_content() == "1"
+
+    def test_stats_track_virtual_time(self, engine):
+        result = engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        assert result.stats.elapsed_virtual_ms >= 40.0  # crm latency
+
+
+class TestHierarchicalSchemas:
+    def test_view_over_view(self, engine, catalog):
+        base = MediatedSchema("base")
+        base.define_view(
+            "seattle",
+            'WHERE <c><id>$i</id><name>$n</name><city>$c</city></c> '
+            'IN "customers", $c = "Seattle" '
+            "CONSTRUCT <s><id>$i</id><name>$n</name></s>",
+        )
+        catalog.add_schema(base)
+        top = MediatedSchema("top")
+        top.define_view(
+            "seattle_names",
+            'WHERE <s><name>$n</name></s> IN "seattle" CONSTRUCT <n>$n</n>',
+        )
+        catalog.add_schema(top)
+        result = engine.query(
+            'WHERE <n>$x</n> IN "seattle_names" CONSTRUCT <out>$x</out> '
+            "ORDER BY $x"
+        )
+        assert [e.text_content() for e in result.elements] == ["Ann", "Cam"]
+
+    def test_view_memoized_within_query(self, engine, catalog):
+        schema = MediatedSchema("m")
+        schema.define_view(
+            "v", 'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <x>$n</x>'
+        )
+        catalog.add_schema(schema)
+        result = engine.query(
+            'WHERE <x>$a</x> IN "v", <x>$b</x> IN "v" '
+            "CONSTRUCT <pair><a>$a</a><b>$b</b></pair>"
+        )
+        # the view executed once (one fragment), not twice
+        assert result.stats.fragments_executed == 1
+        assert len(result.elements) == 16
+
+
+class TestPartialResults:
+    @pytest.fixture
+    def flaky_catalog(self, catalog):
+        registry = catalog.registry
+        offline = FlakySource(
+            XMLSource("archive", {"old": "<r><item><v>1</v></item></r>"}),
+            AvailabilityModel(availability=0.99),
+        )
+        registry.register(offline)
+        offline.force_offline()
+        catalog.map_relation("archive_items", "archive", "old")
+        return catalog
+
+    def union_query(self):
+        return (
+            'WHERE <c><name>$n</name></c> IN "customers", '
+            '<item><v>$v</v></item> IN "archive_items" '
+            "CONSTRUCT <r><n>$n</n><v>$v</v></r>"
+        )
+
+    def test_fail_policy_raises(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog,
+                              default_policy=PartialResultPolicy.FAIL)
+        with pytest.raises(SourceUnavailableError):
+            engine.query(self.union_query())
+
+    def test_skip_policy_annotates(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        result = engine.query(self.union_query())
+        assert not result.completeness.complete
+        assert result.completeness.missing_sources == ["archive"]
+        assert result.stats.fragments_skipped == 1
+
+    def test_skip_keeps_reachable_data(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        result = engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        assert len(result.elements) == 4
+        assert result.completeness.complete
+
+    def test_require_policy(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        with pytest.raises(SourceUnavailableError):
+            engine.query(self.union_query(), required_sources={"archive"})
+        # requiring a healthy source is fine
+        result = engine.query(self.union_query(), required_sources={"crm"})
+        assert not result.completeness.complete
+
+    def test_completeness_describe(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        result = engine.query(self.union_query())
+        assert "archive" in result.completeness.describe()
+        assert "INCOMPLETE" in result.completeness.describe()
+
+
+class TestMaterializationIntegration:
+    def test_cache_hit_avoids_remote_call(self, catalog, clock):
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        query = (
+            'WHERE <c><name>$n</name><city>$c</city></c> IN "customers", '
+            '$c = "Seattle" CONSTRUCT <r>$n</r>'
+        )
+        first = engine.query(query)
+        assert first.stats.fragments_executed == 1
+        engine.materialize_query_fragments(query)
+        second = engine.query(query)
+        assert second.stats.fragments_from_cache == 1
+        assert second.stats.fragments_executed == 0
+        assert [e.text_content() for e in second.elements] == [
+            e.text_content() for e in first.elements
+        ]
+
+    def test_materialized_is_faster(self, catalog, clock):
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        query = (
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        virtual = engine.query(query).stats.elapsed_virtual_ms
+        engine.materialize_query_fragments(query)
+        cached = engine.query(query).stats.elapsed_virtual_ms
+        assert cached < virtual / 10
+
+    def test_ttl_expiry_goes_remote_again(self, catalog, clock):
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        query = 'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        engine.materialize_query_fragments(query, RefreshPolicy.ttl(1000.0))
+        assert engine.query(query).stats.fragments_from_cache == 1
+        clock.advance(2000.0)
+        assert engine.query(query).stats.fragments_executed == 1
+
+    def test_materialized_mediated_view(self, catalog, clock):
+        from repro.errors import MediationError
+
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        schema = MediatedSchema("m")
+        schema.define_view(
+            "seattle",
+            'WHERE <c><name>$n</name><city>$c</city></c> IN "customers", '
+            '$c = "Seattle" CONSTRUCT <s><name>$n</name></s>',
+        )
+        catalog.add_schema(schema)
+        query = 'WHERE <s><name>$n</name></s> IN "seattle" CONSTRUCT <r>$n</r>'
+        cold = engine.query(query)
+        assert cold.stats.fragments_executed == 1
+        engine.materialize_view("seattle")
+        warm = engine.query(query)
+        assert warm.stats.fragments_executed == 0
+        assert warm.stats.fragments_from_cache == 1
+        assert [e.text_content() for e in warm.elements] == [
+            e.text_content() for e in cold.elements
+        ]
+        # refresh path: expire and re-execute
+        manager.views["seattle"].policy = RefreshPolicy.ttl(10.0)
+        clock.advance(100.0)
+        assert engine.refresh_materialized_views() == 1
+        with pytest.raises(MediationError):
+            engine.materialize_view("customers")  # a mapping, not a view
+
+    def test_subsumption_serves_narrower_query(self, catalog, clock):
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        broad = 'WHERE <c><name>$n</name><tier>$t</tier></c> IN "customers" CONSTRUCT <r>$n</r>'
+        engine.materialize_query_fragments(broad)
+        narrow = (
+            'WHERE <c><name>$n</name><tier>$t</tier></c> IN "customers", '
+            "$t = 1 CONSTRUCT <r>$n</r>"
+        )
+        result = engine.query(narrow)
+        assert result.stats.fragments_from_cache == 1
+        assert {e.text_content() for e in result.elements} == {"Ann", "Cam"}

@@ -1,0 +1,194 @@
+"""Tests for the extension features: wholesale access, full-replay
+concordance mode, cross-language agreement, misc engine surfaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cleaning import (
+    CleaningFlow,
+    ConcordanceDB,
+    FieldRule,
+    FlowMode,
+    LinkStep,
+    MatchStep,
+    RecordMatcher,
+    jaro_winkler,
+)
+from repro.cleaning.sortedneighborhood import first_letters_key, reversed_field_key
+from repro.core import NimbleEngine
+from repro.errors import CapabilityError, SourceUnavailableError
+from repro.sources import DirectoryEntry, HierarchicalSource, XMLSource
+from repro.sources.base import DataSource
+from repro.xmldm import Document
+from repro.xmldm.values import Record
+
+
+class TestFetchAll:
+    def test_relational_returns_records(self, registry):
+        items = registry.get("crm").fetch_all("customers")
+        assert len(items) == 4
+        assert isinstance(items[0], Record)
+        assert set(items[0].fields) == {"id", "name", "city", "tier"}
+
+    def test_xml_returns_document(self, registry):
+        items = registry.get("library").fetch_all("books")
+        assert len(items) == 1
+        assert isinstance(items[0], Document)
+
+    def test_hierarchical_returns_entries(self, clock):
+        source = HierarchicalSource("dir", clock)
+        root = DirectoryEntry("org")
+        root.add_child("person", uid="u1")
+        source.add_tree("people", root, "person")
+        items = source.fetch_all("people")
+        assert items[0]["uid"] == "u1"
+        assert items[0]["path"] == "org/person"
+
+    def test_charges_network(self, registry, clock):
+        source = registry.get("crm")
+        before = clock.now
+        source.fetch_all("customers")
+        assert clock.now > before
+        assert source.network.rows_transferred >= 4
+
+    def test_unavailable_source_raises(self, clock):
+        class Down(XMLSource):
+            def available(self):
+                return False
+
+        source = Down("down", {"d": "<r/>"}, clock)
+        with pytest.raises(SourceUnavailableError):
+            source.fetch_all("d")
+
+    def test_unknown_relation(self, registry):
+        with pytest.raises(CapabilityError):
+            registry.get("library").fetch_all("ghost")
+
+    def test_base_class_declines(self, clock):
+        source = DataSource("raw", clock)
+        with pytest.raises(NotImplementedError):
+            source._fetch_all("x")
+
+
+class TestFullReplayConcordance:
+    def datasets(self):
+        return {
+            "a": [Record({"id": "1", "name": "john smith"}),
+                  Record({"id": "2", "name": "rosa garcia"})],
+            "b": [Record({"id": "9", "name": "john smith"}),
+                  Record({"id": "8", "name": "zelda fitz"})],
+        }
+
+    def flow(self, concordance, record_nonmatches):
+        # possible threshold above the ~0.5 scores of the cross pairs,
+        # so unrelated names are clean NONMATCHes
+        matcher = RecordMatcher([FieldRule("name", metric=jaro_winkler)],
+                                match_threshold=0.9, possible_threshold=0.7)
+        return CleaningFlow(
+            "t",
+            [MatchStep(matcher, blocking="naive",
+                       record_nonmatches=record_nonmatches), LinkStep()],
+            concordance=concordance,
+        )
+
+    def test_nonmatches_recorded_when_enabled(self):
+        concordance = ConcordanceDB()
+        self.flow(concordance, True).run(self.datasets())
+        counts = concordance.counts()
+        assert counts["nonmatch"] > 0
+        assert counts["match"] >= 1
+
+    def test_warm_run_scores_nothing(self):
+        concordance = ConcordanceDB()
+        flow = self.flow(concordance, True)
+        cold = flow.run(self.datasets())
+        warm = flow.run(self.datasets())
+        assert warm.pairs_compared == 0
+        assert warm.pairs_replayed > 0
+        assert sorted(map(sorted, warm.matched_pairs)) == sorted(
+            map(sorted, cold.matched_pairs)
+        )
+
+    def test_default_keeps_concordance_small(self):
+        concordance = ConcordanceDB()
+        self.flow(concordance, False).run(self.datasets())
+        assert concordance.counts()["nonmatch"] == 0
+
+
+class TestBlockingKeys:
+    def test_letters_parameter(self):
+        key = first_letters_key("name", letters=2)
+        assert key(Record({"name": "abcdef"})) == "ab"
+
+    def test_reversed_key(self):
+        key = reversed_field_key("name", letters=3)
+        assert key(Record({"name": "abcdef"})) == "fed"
+
+    def test_missing_field_empty_key(self):
+        assert first_letters_key("name")(Record({})) == ""
+
+
+class TestCrossLanguageAgreement:
+    """XML-QL and FLWOR compile to the same algebra: answers must agree."""
+
+    @given(st.integers(min_value=0, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_tier_filters_agree(self, threshold):
+        # hypothesis can't use fixtures: build a deployment inline
+        from .conftest import build_crm_database
+        from repro.mediator.catalog import Catalog
+        from repro.simtime import SimClock
+        from repro.sources.registry import SourceRegistry
+        from repro.sources.relational import RelationalSource
+
+        registry = SourceRegistry(SimClock())
+        registry.register(RelationalSource("crm", build_crm_database()))
+        catalog = Catalog(registry)
+        catalog.map_relation("customers", "crm", "customers")
+        engine = NimbleEngine(catalog)
+        xmlql = engine.query(
+            'WHERE <c><name>$n</name><tier>$t</tier></c> IN "customers", '
+            f"$t >= {threshold} CONSTRUCT <r>$n</r> ORDER BY $n"
+        )
+        flwor = engine.flwor_query(
+            f'FOR $c IN "customers" WHERE $c/tier >= {threshold} '
+            "ORDER BY $c/name RETURN <r>{$c/name}</r>"
+        )
+        assert [e.text_content() for e in xmlql.elements] == [
+            e.text_content() for e in flwor.elements
+        ]
+
+
+class TestEngineSurfaces:
+    def test_explain_flwor_plan_text(self, catalog):
+        engine = NimbleEngine(catalog)
+        result = engine.flwor_query(
+            'FOR $c IN "customers" RETURN <r>{$c/name}</r>'
+        )
+        assert "CallbackScan" in result.stats.plan_text
+        assert "Compute($result" in result.stats.plan_text
+
+    def test_materialize_without_manager_raises(self, catalog):
+        from repro.errors import MediationError
+
+        engine = NimbleEngine(catalog)
+        with pytest.raises(MediationError):
+            engine.materialize_query_fragments(
+                'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+            )
+
+    def test_materialize_is_idempotent(self, catalog, clock):
+        from repro.materialize import MaterializationManager
+
+        engine = NimbleEngine(
+            catalog, materializer=MaterializationManager(clock)
+        )
+        query = 'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        assert engine.materialize_query_fragments(query) == 1
+        assert engine.materialize_query_fragments(query) == 0  # already there
+
+    def test_queries_run_counter(self, catalog):
+        engine = NimbleEngine(catalog)
+        engine.query('WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>')
+        engine.flwor_query('FOR $c IN "customers" RETURN <r>{$c/name}</r>')
+        assert engine.queries_run == 2

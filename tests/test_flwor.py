@@ -1,0 +1,215 @@
+"""Unit tests for the FLWOR (XQuery-style) front end."""
+
+import pytest
+
+from repro.core import NimbleEngine, PartialResultPolicy
+from repro.errors import QuerySyntaxError
+from repro.query.flwor import (
+    FlworQuery,
+    eval_steps,
+    parse_flwor,
+    translate_flwor,
+)
+from repro.sources import AvailabilityModel, FlakySource, XMLSource
+from repro.xmldm import parse_document, serialize
+from repro.xmldm.values import Collection, Record
+
+BOOKS = parse_document(
+    '<catalog>'
+    '<book year="1994" sku="A1"><title>TCP</title></book>'
+    '<book year="2000" sku="B2"><title>Web Data</title></book>'
+    '<book year="2001" sku="C3"><title>Mediators</title></book>'
+    "</catalog>"
+)
+STOCK = [
+    Record({"sku": "A1", "price": 65.95}),
+    Record({"sku": "B2", "price": 39.95}),
+    Record({"sku": "C3", "price": 55.0}),
+]
+
+
+def resolver(name):
+    return {"books": [BOOKS], "stock": STOCK}[name]
+
+
+class TestPathEvaluation:
+    def test_element_child_step(self):
+        book = BOOKS.root.first_child("book")
+        results = eval_steps(book, ("title",))
+        assert results[0].text_content() == "TCP"
+
+    def test_element_attribute_step(self):
+        book = BOOKS.root.first_child("book")
+        assert eval_steps(book, ("@year",)) == ["1994"]
+
+    def test_record_field_step(self):
+        assert eval_steps(STOCK[0], ("price",)) == [65.95]
+
+    def test_record_collection_field_flattens(self):
+        record = Record({"tags": Collection(["a", "b"])})
+        assert eval_steps(record, ("tags",)) == ["a", "b"]
+
+    def test_dead_end_path(self):
+        assert eval_steps(STOCK[0], ("nope", "deeper")) == []
+
+
+class TestParser:
+    def test_full_query_shape(self):
+        query = parse_flwor(
+            'FOR $b IN "books" LET $t := $b/title '
+            "WHERE $b/@year > 1995 ORDER BY $t DESCENDING "
+            "RETURN <r>{$t}</r>"
+        )
+        assert isinstance(query, FlworQuery)
+        assert query.fors[0].var == "b"
+        assert query.lets[0].var == "t"
+        assert query.order[0].descending
+        assert query.construct.tag == "r"
+
+    def test_multiple_for_bindings(self):
+        query = parse_flwor(
+            'FOR $a IN "books", $b IN "stock" RETURN <r>{$a/title}</r>'
+        )
+        assert len(query.fors) == 2
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_flwor('FOR $a IN "books" RETURN <r>{$zz}</r>')
+
+    def test_mismatched_return_tag(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_flwor('FOR $a IN "books" RETURN <r>{$a}</x>')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_flwor('FOR $a IN "books" RETURN <r/> extra')
+
+    def test_attribute_splice_forms(self):
+        query = parse_flwor(
+            'FOR $b IN "books" RETURN <r a="{$b/@sku}" b="lit"/>'
+        )
+        assert not isinstance(query.construct.attributes[1][1], object.__class__)
+
+
+class TestExecution:
+    def test_filter_and_order(self):
+        plan = translate_flwor(
+            'FOR $b IN "books" WHERE $b/@year > 1995 '
+            "ORDER BY $b/@year DESCENDING RETURN <t>{$b/title}</t>",
+            resolver,
+        )
+        assert [e.text_content() for e in plan.results()] == [
+            "Mediators",
+            "Web Data",
+        ]
+
+    def test_join_across_models(self):
+        plan = translate_flwor(
+            'FOR $b IN "books", $s IN "stock" '
+            "WHERE $b/@sku = $s/sku AND $s/price < 60 "
+            "ORDER BY $s/price "
+            'RETURN <hit sku="{$b/@sku}"><p>{$s/price}</p></hit>',
+            resolver,
+        )
+        results = plan.results()
+        assert [e.attributes["sku"] for e in results] == ["B2", "C3"]
+
+    def test_let_binding(self):
+        plan = translate_flwor(
+            'FOR $b IN "books" LET $y := $b/@year '
+            "WHERE $y = 2000 RETURN <r>{$y}</r>",
+            resolver,
+        )
+        assert [e.text_content() for e in plan.results()] == ["2000"]
+
+    def test_splice_element_copies_node(self):
+        plan = translate_flwor(
+            'FOR $b IN "books" WHERE $b/@sku = "A1" '
+            "RETURN <wrap>{$b/title}</wrap>",
+            resolver,
+        )
+        assert serialize(plan.results()[0]) == "<wrap><title>TCP</title></wrap>"
+
+    def test_per_binding_no_grouping(self):
+        # FLWOR is per-binding: three books -> three results
+        plan = translate_flwor(
+            'FOR $b IN "books" RETURN <r>{$b/title}</r>', resolver
+        )
+        assert len(plan.results()) == 3
+
+    def test_nested_return_elements(self):
+        plan = translate_flwor(
+            'FOR $s IN "stock" WHERE $s/sku = "B2" '
+            "RETURN <o><inner><p>{$s/price}</p></inner></o>",
+            resolver,
+        )
+        assert serialize(plan.results()[0]) == (
+            "<o><inner><p>39.95</p></inner></o>"
+        )
+
+    def test_literal_text_in_return(self):
+        plan = translate_flwor(
+            'FOR $s IN "stock" WHERE $s/sku = "B2" '
+            "RETURN <r>price: {$s/price}</r>",
+            resolver,
+        )
+        assert plan.results()[0].text_content() == "price: 39.95"
+
+
+class TestEngineIntegration:
+    def test_flwor_over_catalog(self, catalog):
+        engine = NimbleEngine(catalog)
+        result = engine.flwor_query(
+            'FOR $c IN "customers" WHERE $c/city = "Seattle" '
+            "ORDER BY $c/name RETURN <hit>{$c/name}</hit>"
+        )
+        assert [e.text_content() for e in result.elements] == ["Ann", "Cam"]
+        assert result.completeness.complete
+        assert result.stats.rows_transferred == 4  # wholesale fetch
+
+    def test_flwor_over_view(self, catalog):
+        from repro.mediator.schema import MediatedSchema
+
+        schema = MediatedSchema("s")
+        schema.define_view(
+            "tier_one",
+            'WHERE <c><name>$n</name><tier>$t</tier></c> IN "customers", '
+            "$t = 1 CONSTRUCT <cust><name>$n</name></cust>",
+        )
+        catalog.add_schema(schema)
+        engine = NimbleEngine(catalog)
+        result = engine.flwor_query(
+            'FOR $c IN "tier_one" ORDER BY $c/name RETURN <x>{$c/name}</x>'
+        )
+        assert [e.text_content() for e in result.elements] == ["Ann", "Cam"]
+
+    def test_flwor_partial_results(self, catalog):
+        registry = catalog.registry
+        flaky = FlakySource(
+            XMLSource("gone", {"d": "<r><i><v>1</v></i></r>"}),
+            AvailabilityModel(availability=0.99),
+        )
+        registry.register(flaky)
+        flaky.force_offline()
+        catalog.map_relation("gone_items", "gone", "d")
+        engine = NimbleEngine(catalog)
+        result = engine.flwor_query(
+            'FOR $c IN "customers", $g IN "gone_items" '
+            "RETURN <r>{$c/name}</r>"
+        )
+        assert not result.completeness.complete
+        assert "gone" in result.completeness.missing_sources
+
+    def test_flwor_and_xmlql_agree(self, catalog):
+        engine = NimbleEngine(catalog)
+        xmlql = engine.query(
+            'WHERE <c><name>$n</name><tier>$t</tier></c> IN "customers", '
+            "$t = 1 CONSTRUCT <r>$n</r> ORDER BY $n"
+        )
+        flwor = engine.flwor_query(
+            'FOR $c IN "customers" WHERE $c/tier = 1 '
+            "ORDER BY $c/name RETURN <r>{$c/name}</r>"
+        )
+        assert [e.text_content() for e in xmlql.elements] == [
+            e.text_content() for e in flwor.elements
+        ]

@@ -1,0 +1,211 @@
+"""Integration tests: full scenarios across subsystems."""
+
+import pytest
+
+from repro.cleaning import (
+    CleaningFlow,
+    FieldRule,
+    FlowMode,
+    LinkStep,
+    MatchStep,
+    NormalizeStep,
+    RecordMatcher,
+    jaro_winkler,
+)
+from repro.cleaning.normalize import NormalizerRegistry
+from repro.core import (
+    EngineCluster,
+    Lens,
+    LensServer,
+    NimbleEngine,
+    PartialResultPolicy,
+)
+from repro.core.lens import LensParameter
+from repro.materialize import MaterializationManager
+from repro.mediator import Catalog, MediatedSchema
+from repro.simtime import SimClock
+from repro.sources import (
+    AvailabilityModel,
+    FlakySource,
+    NetworkModel,
+    RelationalSource,
+    SourceRegistry,
+)
+from repro.workloads import make_customer_universe, make_website_workload
+from repro.xmldm import serialize
+from repro.xmldm.values import Record
+
+
+class TestCustomer360Scenario:
+    """The paper's flagship scenario end to end: merge-and-acquire data,
+    integrate it behind a mediated schema, clean it, query it."""
+
+    @pytest.fixture
+    def universe(self):
+        return make_customer_universe(60, overlap=0.5, dirt=0.1, seed=11)
+
+    @pytest.fixture
+    def engine(self, universe):
+        clock = SimClock()
+        registry = SourceRegistry(clock)
+        for name, db in universe.as_databases().items():
+            registry.register(
+                RelationalSource(name, db, network=NetworkModel(latency_ms=30.0,
+                                                                per_row_ms=0.2))
+            )
+        catalog = Catalog(registry)
+        catalog.map_relation("crm_customers", "crm", "customers")
+        catalog.map_relation("billing_accounts", "billing", "accounts")
+        catalog.map_relation("support_users", "support", "tickets_users")
+        return NimbleEngine(catalog)
+
+    def test_federated_counts(self, engine, universe):
+        result = engine.query(
+            'WHERE <c><id>$i</id></c> IN "crm_customers" CONSTRUCT <r>$i</r>'
+        )
+        assert len(result.elements) == 60
+
+    def test_selective_query_pushes_conditions(self, engine):
+        result = engine.query(
+            'WHERE <c><first_name>$f</first_name><tier>$t</tier></c> '
+            'IN "crm_customers", $t = 1 CONSTRUCT <r>$f</r>'
+        )
+        # the tier condition ran at the source: far fewer rows than the
+        # 60 customers came over the wire (construct dedups names, so
+        # the element count is a lower bound on transferred rows)
+        assert len(result.elements) <= result.stats.rows_transferred < 40
+
+    def test_cleaning_produces_golden_records(self, universe):
+        registry = NormalizerRegistry()
+
+        def unify(source, record):
+            if source == "crm":
+                name = f"{record['first_name']} {record['last_name']}"
+                city = record["city"]
+            elif source == "billing":
+                name = record["name"]
+                city = record["address"].rpartition(",")[2]
+            else:
+                name = record["fullname"]
+                city = record["city"]
+            return Record({
+                "id": record["id"],
+                "name": registry.apply("name", name),
+                "city": registry.apply("city", city),
+            })
+
+        datasets = {
+            source: [unify(source, r) for r in records]
+            for source, records in universe.records.items()
+        }
+        matcher = RecordMatcher(
+            [
+                FieldRule("name", metric=jaro_winkler, weight=2.0),
+                FieldRule("city", metric=jaro_winkler, weight=1.0),
+            ],
+            match_threshold=0.95,
+            possible_threshold=0.75,
+        )
+        flow = CleaningFlow(
+            "c360",
+            [
+                NormalizeStep("name", "whitespace"),
+                MatchStep(matcher, blocking="multipass", key_field="name",
+                          window=9),
+                LinkStep(source_priority=("crm", "billing", "support")),
+            ],
+        )
+        result = flow.run(datasets, FlowMode.EXTRACTION)
+        truth = universe.true_match_pairs()
+        found = {tuple(sorted(pair)) for pair in result.matched_pairs}
+        true_positives = len(found & truth)
+        precision = true_positives / max(len(found), 1)
+        recall = true_positives / len(truth)
+        assert precision > 0.95
+        assert recall > 0.75
+
+    def test_lens_over_integrated_view(self, engine):
+        catalog = engine.catalog
+        schema = MediatedSchema("c360")
+        schema.define_view(
+            "customer_summary",
+            'WHERE <c><id>$i</id><first_name>$f</first_name>'
+            '<city>$city</city></c> IN "crm_customers" '
+            "CONSTRUCT <cust><id>$i</id><name>$f</name>"
+            "<city>$city</city></cust>",
+        )
+        catalog.add_schema(schema)
+        server = LensServer(engine)
+        server.access.add_user("site", "pw", {"web"})
+        server.register(
+            Lens(
+                name="by_city",
+                queries={"q": (
+                    'WHERE <cust><name>$n</name><city>$c</city></cust> '
+                    'IN "customer_summary", $c = {city} '
+                    "CONSTRUCT <hit>$n</hit>"
+                )},
+                parameters=(LensParameter("city"),),
+                required_roles=frozenset({"web"}),
+                default_device="web",
+            )
+        )
+        invocation = server.login_and_invoke(
+            "by_city", "q", "site", "pw", params={"city": "seattle"}
+        )
+        assert invocation.rendered.startswith('<div class="results">')
+
+
+class TestWebsiteScenario:
+    def test_product_page_view_and_reviews(self):
+        workload = make_website_workload(20, seed=5)
+        engine = NimbleEngine(workload.catalog)
+        result = engine.query(
+            'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+            'IN "product_page", $p < 100 '
+            "CONSTRUCT <cheap sku=$s><name>$n</name></cheap>"
+        )
+        assert 0 < len(result.elements) < 20
+        assert result.completeness.complete
+
+    def test_cluster_serves_page_load(self):
+        workload = make_website_workload(10, seed=5)
+        engine = NimbleEngine(workload.catalog)
+        cluster = EngineCluster(engine, instances=3)
+        query = (
+            'WHERE <page sku=$s><name>$n</name></page> IN "product_page" '
+            "CONSTRUCT <row>$n</row>"
+        )
+        completed = cluster.run_schedule([(float(i), query) for i in range(6)])
+        assert len(completed) == 6
+        assert all(c.result.elements for c in completed)
+
+    def test_materialization_accelerates_site(self):
+        workload = make_website_workload(15, seed=5)
+        manager = MaterializationManager(workload.clock)
+        engine = NimbleEngine(workload.catalog, materializer=manager)
+        query = (
+            'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+            "CONSTRUCT <r><s>$s</s><p>$p</p></r>"
+        )
+        cold = engine.query(query).stats.elapsed_virtual_ms
+        engine.materialize_query_fragments(query)
+        warm = engine.query(query).stats.elapsed_virtual_ms
+        assert warm < cold
+
+    def test_partial_results_on_review_outage(self):
+        workload = make_website_workload(5, seed=5)
+        registry = workload.registry
+        reviews = registry.get("reviews")
+        flaky = FlakySource(reviews, AvailabilityModel(availability=0.99))
+        flaky.force_offline()
+        registry._sources["reviews"] = flaky  # swap in the outage wrapper
+        engine = NimbleEngine(workload.catalog)
+        result = engine.query(
+            'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock", '
+            '<r><sku>$s</sku><rating>$rate</rating></r> IN "review_summary" '
+            "CONSTRUCT <row><s>$s</s><rate>$rate</rate></row>",
+            policy=PartialResultPolicy.SKIP,
+        )
+        assert not result.completeness.complete
+        assert "reviews" in result.completeness.missing_sources

@@ -1,0 +1,297 @@
+"""Unit tests for materialization: matching, store, manager, selection."""
+
+import pytest
+
+from repro.algebra import TreePattern
+from repro.errors import MaterializationError
+from repro.materialize import (
+    LocalStore,
+    MaterializationManager,
+    MaterializedView,
+    RefreshPolicy,
+    WorkloadStats,
+    fragment_key,
+    greedy_select,
+)
+from repro.materialize.matching import (
+    access_key,
+    condition_text,
+    conditions_subsumed,
+    implies,
+    matches,
+)
+from repro.optimizer.costs import CostModel
+from repro.query import ast as qast
+from repro.simtime import SimClock
+from repro.sources.base import Access, Fragment
+from repro.xmldm.values import Record
+
+
+def cond(op, var, value):
+    return qast.BinOp(op, qast.Var(var), qast.Literal(value))
+
+
+def fragment(conditions=(), relation="t", source="s"):
+    pattern = TreePattern(
+        relation, children=(TreePattern("a", text_var="a"),
+                            TreePattern("b", text_var="b"))
+    )
+    return Fragment(source, (Access(relation, pattern),), tuple(conditions))
+
+
+class TestMatching:
+    def test_condition_text_normalizes_commutative(self):
+        left = qast.BinOp("=", qast.Var("x"), qast.Literal(1))
+        right = qast.BinOp("=", qast.Literal(1), qast.Var("x"))
+        assert condition_text(left) == condition_text(right)
+
+    def test_fragment_key_stable(self):
+        assert fragment_key(fragment()) == fragment_key(fragment())
+        assert fragment_key(fragment()) != fragment_key(fragment(source="other"))
+
+    def test_access_key_ignores_conditions(self):
+        assert access_key(fragment([cond("=", "a", 1)])) == access_key(fragment())
+
+    def test_implies_identity(self):
+        assert implies(cond("=", "a", 1), cond("=", "a", 1))
+
+    def test_implies_range(self):
+        assert implies(cond(">", "a", 10), cond(">", "a", 5))
+        assert implies(cond(">=", "a", 10), cond(">", "a", 5))
+        assert not implies(cond(">", "a", 5), cond(">", "a", 10))
+        assert not implies(cond(">", "a", 5), cond("<", "a", 10))
+        assert implies(cond("<", "a", 3), cond("<=", "a", 3))
+        assert not implies(cond("<=", "a", 3), cond("<", "a", 3))
+
+    def test_implies_different_vars(self):
+        assert not implies(cond(">", "a", 10), cond(">", "b", 5))
+
+    def test_subsumption_residual(self):
+        view_conditions = [cond(">", "a", 5)]
+        query_conditions = [cond(">", "a", 5), cond("=", "b", "x")]
+        ok, residual = conditions_subsumed(view_conditions, query_conditions)
+        assert ok
+        assert [condition_text(c) for c in residual] == [
+            condition_text(cond("=", "b", "x"))
+        ]
+
+    def test_view_more_restrictive_rejected(self):
+        ok, _ = conditions_subsumed([cond("=", "a", 1)], [])
+        assert not ok
+
+    def test_matches_full(self):
+        view = fragment([cond(">", "a", 5)])
+        query = fragment([cond(">", "a", 10)])
+        ok, residual = matches(view, query)
+        assert ok
+        assert len(residual) == 1  # re-apply the tighter bound locally
+
+    def test_matches_rejects_different_access(self):
+        ok, _ = matches(fragment(relation="t"), fragment(relation="u"))
+        assert not ok
+
+    def test_parameterized_never_matches(self):
+        parameterized = Fragment(
+            "s", fragment().accesses, (), input_vars=("p",)
+        )
+        assert matches(parameterized, fragment()) == (False, [])
+
+
+class TestStoreAndPolicy:
+    def view(self, rows=3, policy=None, loaded_at=0.0):
+        return MaterializedView(
+            fragment(),
+            [Record({"a": i, "b": i}) for i in range(rows)],
+            loaded_at,
+            policy or RefreshPolicy.ttl(100.0),
+        )
+
+    def test_ttl_freshness(self):
+        view = self.view()
+        assert view.is_fresh(50.0)
+        assert not view.is_fresh(150.0)
+
+    def test_manual_policy(self):
+        view = self.view(policy=RefreshPolicy.manual())
+        assert view.is_fresh(1e9)
+        view.invalidated = True
+        assert not view.is_fresh(0.0)
+
+    def test_always_refresh_never_fresh(self):
+        view = self.view(policy=RefreshPolicy.always_refresh())
+        assert not view.is_fresh(0.0)
+
+    def test_unknown_policy_kind(self):
+        with pytest.raises(ValueError):
+            RefreshPolicy("sometimes")
+
+    def test_reload_resets(self):
+        view = self.view()
+        view.invalidated = True
+        view.reload([Record({"a": 9, "b": 9})], 200.0)
+        assert view.is_fresh(250.0)
+        assert view.row_count == 1
+        assert view.refreshes == 1
+
+    def test_store_budget(self):
+        store = LocalStore(budget_rows=5)
+        store.add(self.view(rows=3))
+        with pytest.raises(MaterializationError):
+            store.add(
+                MaterializedView(
+                    fragment(source="other"),
+                    [Record({"a": i, "b": i}) for i in range(3)],
+                    0.0,
+                    RefreshPolicy.ttl(10.0),
+                )
+            )
+
+    def test_store_duplicate_rejected(self):
+        store = LocalStore()
+        store.add(self.view())
+        with pytest.raises(MaterializationError):
+            store.add(self.view())
+
+    def test_invalidate_source(self):
+        store = LocalStore()
+        store.add(self.view())
+        assert store.invalidate_source("s") == 1
+        assert next(iter(store)).invalidated
+
+
+class TestManager:
+    def records(self, count=4):
+        return [Record({"a": i, "b": i * 2}) for i in range(count)]
+
+    def test_serve_hit_and_residual_filter(self):
+        clock = SimClock()
+        manager = MaterializationManager(clock)
+        broad = fragment()
+        manager.materialize(broad, lambda f: self.records())
+        narrow = fragment([cond(">", "a", 1)])
+        served = manager.serve(narrow)
+        assert [r["a"] for r in served] == [2, 3]
+        assert manager.hits == 1
+
+    def test_serve_miss(self):
+        manager = MaterializationManager(SimClock())
+        assert manager.serve(fragment()) is None
+        assert manager.misses == 1
+
+    def test_stale_view_not_served(self):
+        clock = SimClock()
+        manager = MaterializationManager(
+            clock, default_policy=RefreshPolicy.ttl(10.0)
+        )
+        manager.materialize(fragment(), lambda f: self.records())
+        clock.advance(50.0)
+        assert manager.serve(fragment()) is None
+
+    def test_refresh_stale(self):
+        clock = SimClock()
+        manager = MaterializationManager(
+            clock, default_policy=RefreshPolicy.ttl(10.0)
+        )
+        manager.materialize(fragment(), lambda f: self.records(2))
+        clock.advance(50.0)
+        refreshed = manager.refresh_stale(lambda f: self.records(6))
+        assert refreshed == 1
+        assert manager.serve(fragment()) is not None
+
+    def test_adapt_drops_and_loads(self):
+        clock = SimClock()
+        manager = MaterializationManager(clock)
+        hot = fragment([cond("=", "a", 1)])
+        cold = fragment([cond("=", "a", 2)])
+
+        class Source:
+            name = "s"
+
+        for _ in range(10):
+            manager.record_remote(hot, Source(), cost_ms=100.0, rows=4)
+        manager.record_remote(cold, Source(), cost_ms=100.0, rows=4)
+        selection = manager.adapt(100, lambda f: self.records())
+        assert fragment_key(hot) in selection.chosen_keys
+        assert fragment_key(cold) not in selection.chosen_keys
+        assert manager.store.get(fragment_key(hot)) is not None
+
+
+class TestMediatedViewCache:
+    def elements(self, count=3):
+        from repro.xmldm.nodes import Element
+
+        return [Element("x", {"i": str(i)}) for i in range(count)]
+
+    def test_serve_after_materialize(self):
+        manager = MaterializationManager(SimClock())
+        manager.materialize_view("v", lambda: self.elements())
+        served = manager.serve_view("v")
+        assert len(served) == 3
+        assert manager.views["v"].hits == 1
+
+    def test_miss_when_not_materialized(self):
+        manager = MaterializationManager(SimClock())
+        assert manager.serve_view("ghost") is None
+
+    def test_stale_view_not_served_then_refreshed(self):
+        clock = SimClock()
+        manager = MaterializationManager(
+            clock, default_policy=RefreshPolicy.ttl(10.0)
+        )
+        manager.materialize_view("v", lambda: self.elements(2))
+        clock.advance(50.0)
+        assert manager.serve_view("v") is None
+        refreshed = manager.refresh_stale_views(lambda name: self.elements(5))
+        assert refreshed == 1
+        assert len(manager.serve_view("v")) == 5
+
+    def test_drop_view(self):
+        manager = MaterializationManager(SimClock())
+        manager.materialize_view("v", lambda: self.elements())
+        manager.drop_view("v")
+        assert manager.serve_view("v") is None
+        with pytest.raises(MaterializationError):
+            manager.drop_view("v")
+
+    def test_rematerialize_reloads(self):
+        manager = MaterializationManager(SimClock())
+        manager.materialize_view("v", lambda: self.elements(1))
+        manager.materialize_view("v", lambda: self.elements(4))
+        assert len(manager.serve_view("v")) == 4
+        assert manager.views["v"].refreshes == 1
+
+
+class TestSelection:
+    def make_stats(self, usage):
+        stats = WorkloadStats()
+
+        for key_suffix, (uses, cost, rows) in usage.items():
+            frag = fragment([cond("=", "a", key_suffix)])
+            for _ in range(uses):
+                stats.record(fragment_key(frag), frag, "s", cost, rows, 0.0)
+        return stats
+
+    def test_greedy_prefers_high_density(self):
+        stats = self.make_stats({1: (10, 100.0, 10), 2: (2, 100.0, 10)})
+        result = greedy_select(stats.profiles(), budget_rows=10, min_uses=2)
+        assert len(result.chosen) == 1
+        assert result.chosen[0].profile.uses == 10
+        assert result.rejected
+
+    def test_budget_respected(self):
+        stats = self.make_stats({1: (10, 100.0, 60), 2: (9, 100.0, 60)})
+        result = greedy_select(stats.profiles(), budget_rows=100)
+        assert result.used_rows <= 100
+
+    def test_min_uses_filter(self):
+        stats = self.make_stats({1: (1, 100.0, 5)})
+        result = greedy_select(stats.profiles(), budget_rows=100, min_uses=2)
+        assert not result.chosen
+
+    def test_sliding_window(self):
+        stats = WorkloadStats(window=5)
+        frag = fragment()
+        for i in range(10):
+            stats.record(fragment_key(frag), frag, "s", 1.0, 1, float(i))
+        assert stats.total_observations() == 5
+        assert stats.profiles()[0].uses == 5

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cleaning.similarity import (
+    jaccard_tokens,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    ngram_similarity,
+    string_similarity,
+)
+from repro.materialize.matching import conditions_subsumed, implies
+from repro.query import ast as qast
+from repro.sql.database import Database
+from repro.xmldm.nodes import Element, Text
+from repro.xmldm.parser import parse_document
+from repro.xmldm.serializer import serialize
+from repro.xmldm.values import Record, compare_values
+
+# -- strategies ----------------------------------------------------------------
+
+tag_names = st.text(string.ascii_lowercase, min_size=1, max_size=8)
+xml_text = st.text(
+    st.characters(blacklist_categories=("Cs", "Cc")), max_size=30
+)
+attr_values = st.text(
+    st.characters(blacklist_categories=("Cs", "Cc")), max_size=20
+)
+
+
+@st.composite
+def elements(draw, depth=2):
+    tag = draw(tag_names)
+    attrs = draw(
+        st.dictionaries(tag_names, attr_values, max_size=3)
+    )
+    element = Element(tag, attrs)
+    if depth > 0:
+        children = draw(
+            st.lists(
+                st.one_of(
+                    xml_text.map(Text),
+                    elements(depth=depth - 1),
+                ),
+                max_size=3,
+            )
+        )
+        for child in children:
+            element.append(child)
+    return element
+
+
+simple_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+
+
+def normalized(element: Element) -> Element:
+    """Merge adjacent text nodes and drop empty ones.
+
+    XML text cannot represent the distinction between ``Text("a"),
+    Text("b")`` and ``Text("ab")``, nor an empty text node — round-trips
+    are identity up to this normalization.
+    """
+    out = Element(element.tag, dict(element.attributes))
+    pending = ""
+    for child in element.children:
+        if isinstance(child, Text):
+            pending += child.value
+            continue
+        if pending:
+            out.append(Text(pending))
+            pending = ""
+        if isinstance(child, Element):
+            out.append(normalized(child))
+        else:
+            out.append(child)
+    if pending:
+        out.append(Text(pending))
+    return out
+
+
+class TestXMLRoundTrip:
+    @given(elements())
+    @settings(max_examples=120, deadline=None)
+    def test_serialize_parse_identity(self, element):
+        text = serialize(element)
+        reparsed = parse_document(text)
+        assert reparsed.root == normalized(element)
+
+    @given(xml_text)
+    @settings(max_examples=80, deadline=None)
+    def test_text_escaping_roundtrip(self, value):
+        element = Element("t", children=[Text(value)])
+        assert parse_document(serialize(element)).root.text_content() == value
+
+    @given(attr_values)
+    @settings(max_examples=80, deadline=None)
+    def test_attribute_escaping_roundtrip(self, value):
+        element = Element("t", {"a": value})
+        assert parse_document(serialize(element)).root.attributes["a"] == value
+
+
+class TestValueOrder:
+    @given(simple_values, simple_values)
+    @settings(max_examples=120, deadline=None)
+    def test_antisymmetry(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(simple_values, simple_values, simple_values)
+    @settings(max_examples=120, deadline=None)
+    def test_transitivity(self, a, b, c):
+        if compare_values(a, b) <= 0 and compare_values(b, c) <= 0:
+            assert compare_values(a, c) <= 0
+
+    @given(simple_values)
+    def test_reflexive(self, a):
+        assert compare_values(a, a) == 0
+
+
+short_strings = st.text(string.ascii_lowercase + " ", max_size=12)
+
+
+class TestSimilarityAxioms:
+    @given(short_strings, short_strings)
+    @settings(max_examples=150, deadline=None)
+    def test_levenshtein_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_strings)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_strings, short_strings, short_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_levenshtein_triangle(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_strings, short_strings)
+    @settings(max_examples=150, deadline=None)
+    def test_metrics_in_unit_range(self, a, b):
+        for metric in (string_similarity, jaro, jaro_winkler, jaccard_tokens,
+                       ngram_similarity):
+            value = metric(a, b)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(short_strings)
+    def test_metrics_identity(self, a):
+        for metric in (string_similarity, jaro_winkler, ngram_similarity):
+            assert metric(a, a) == 1.0
+
+    @given(short_strings, short_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_jaro_symmetric(self, a, b):
+        assert abs(jaro(a, b) - jaro(b, a)) < 1e-12
+
+
+bounds = st.integers(min_value=-50, max_value=50)
+range_ops = st.sampled_from([">", ">=", "<", "<="])
+
+
+def make_range(var, op, bound):
+    return qast.BinOp(op, qast.Var(var), qast.Literal(bound))
+
+
+class TestContainmentSoundness:
+    @given(range_ops, bounds, range_ops, bounds, st.integers(-60, 60))
+    @settings(max_examples=300, deadline=None)
+    def test_implies_is_sound_on_ranges(self, op_s, bound_s, op_w, bound_w, x):
+        """If implies(strong, weak), every x satisfying strong satisfies weak."""
+        strong = make_range("v", op_s, bound_s)
+        weak = make_range("v", op_w, bound_w)
+        if not implies(strong, weak):
+            return
+
+        def holds(op, bound):
+            return {"<": x < bound, "<=": x <= bound,
+                    ">": x > bound, ">=": x >= bound}[op]
+
+        if holds(op_s, bound_s):
+            assert holds(op_w, bound_w)
+
+    @given(st.lists(st.tuples(range_ops, bounds), max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_subsumed_by_itself(self, specs):
+        conditions = [make_range("v", op, b) for op, b in specs]
+        ok, residual = conditions_subsumed(conditions, conditions)
+        assert ok
+        assert residual == []
+
+
+rows = st.lists(
+    st.tuples(st.integers(0, 50), st.text(string.ascii_lowercase, max_size=5)),
+    max_size=25,
+)
+
+
+class TestSQLAgainstReference:
+    @given(rows, st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_filter_matches_python(self, data, threshold):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", data)
+        got = sorted(db.execute(f"SELECT a FROM t WHERE a > {threshold}").rows)
+        expected = sorted((a,) for a, _ in data if a > threshold)
+        assert got == expected
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_aggregates_match_python(self, data):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", data)
+        count, total = db.execute("SELECT COUNT(*), SUM(a) FROM t").rows[0]
+        assert count == len(data)
+        assert total == (sum(a for a, _ in data) if data else None)
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_order_by_sorted(self, data):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", data)
+        got = [r[0] for r in db.execute("SELECT a FROM t ORDER BY a").rows]
+        assert got == sorted(a for a, _ in data)
+
+    @given(rows)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_is_set(self, data):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", data)
+        got = db.execute("SELECT DISTINCT a FROM t").rows
+        assert len(got) == len({a for a, _ in data})
+
+
+class TestRecordInvariants:
+    @given(st.dictionaries(tag_names, simple_values, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_record_equality_hash_consistent(self, fields):
+        a = Record(fields)
+        b = Record(dict(reversed(list(fields.items()))))
+        assert a == b
+        assert hash(a) == hash(b)

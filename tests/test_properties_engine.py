@@ -1,0 +1,176 @@
+"""Property-based tests over the SQL engine and the integration engine."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.errors import MediationError, QuerySyntaxError
+from repro.mediator.catalog import Catalog
+from repro.core import NimbleEngine
+from repro.simtime import SimClock
+from repro.sources.registry import SourceRegistry
+from repro.sources.relational import RelationalSource
+from repro.sql import Database
+
+# -- SQL joins vs a brute-force Python reference ------------------------------
+
+left_rows = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 100)), max_size=15
+)
+right_rows = st.lists(
+    st.tuples(st.integers(0, 8), st.text(string.ascii_lowercase, max_size=4)),
+    max_size=15,
+)
+
+
+def load(left, right):
+    db = Database()
+    db.execute("CREATE TABLE l (k INTEGER, v INTEGER)")
+    db.execute("CREATE TABLE r (k INTEGER, w TEXT)")
+    db.insert_rows("l", left)
+    db.insert_rows("r", right)
+    return db
+
+
+class TestJoinSemantics:
+    @given(left_rows, right_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_inner_join_matches_reference(self, left, right):
+        db = load(left, right)
+        got = sorted(
+            db.execute(
+                "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k"
+            ).rows
+        )
+        expected = sorted(
+            (v, w) for k1, v in left for k2, w in right if k1 == k2
+        )
+        assert got == expected
+
+    @given(left_rows, right_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_left_join_preserves_left_rows(self, left, right):
+        db = load(left, right)
+        rows = db.execute(
+            "SELECT l.k, r.w FROM l LEFT JOIN r ON l.k = r.k"
+        ).rows
+        right_keys = {k for k, _ in right}
+        expected_count = sum(
+            max(1, sum(1 for k2, _ in right if k2 == k1))
+            if k1 in right_keys
+            else 1
+            for k1, _ in left
+        )
+        assert len(rows) == expected_count
+        unmatched = [row for row in rows if row[1] is None]
+        assert all(row[0] not in right_keys for row in unmatched)
+
+    @given(left_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_partitions_input(self, left):
+        db = load(left, [])
+        rows = db.execute(
+            "SELECT k, COUNT(*), SUM(v) FROM l GROUP BY k"
+        ).rows
+        assert sum(row[1] for row in rows) == len(left)
+        totals = {row[0]: row[2] for row in rows}
+        for key in {k for k, _ in left}:
+            assert totals[key] == sum(v for k, v in left if k == key)
+
+
+# -- index equivalence: plans differ, answers must not -------------------------
+
+
+class TestIndexTransparency:
+    @given(
+        st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=30),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_indexed_and_unindexed_agree(self, rows, probe):
+        plain = Database()
+        plain.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        plain.insert_rows("t", rows)
+        indexed = Database()
+        indexed.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        indexed.execute("CREATE INDEX ix ON t (a)")
+        indexed.insert_rows("t", rows)
+        for condition in (f"a = {probe}", f"a > {probe}", f"a <= {probe}"):
+            sql = f"SELECT a, b FROM t WHERE {condition} ORDER BY a, b"
+            assert plain.execute(sql).rows == indexed.execute(sql).rows
+
+
+# -- engine: pushdown on/off must agree on answers -------------------------------
+
+
+def build_engine(rows, pushdown):
+    db = Database()
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, grp INTEGER, v INTEGER)")
+    db.insert_rows("t", rows)
+    registry = SourceRegistry(SimClock())
+    registry.register(RelationalSource("s", db))
+    catalog = Catalog(registry)
+    catalog.map_relation("items", "s", "t")
+    return NimbleEngine(catalog, pushdown=pushdown)
+
+
+unique_rows = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 5), st.integers(0, 50)),
+    max_size=20,
+    unique_by=lambda row: row[0],
+)
+
+
+class TestPushdownTransparency:
+    @given(unique_rows, st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_pushdown_does_not_change_answers(self, rows, threshold):
+        query = (
+            'WHERE <i><k>$k</k><v>$v</v></i> IN "items", '
+            f"$v > {threshold} CONSTRUCT <r>$k</r> ORDER BY $k"
+        )
+        fast = build_engine(rows, True).query(query)
+        slow = build_engine(rows, False).query(query)
+        assert [e.text_content() for e in fast.elements] == [
+            e.text_content() for e in slow.elements
+        ]
+
+    @given(unique_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_aggregates_match_sql(self, rows):
+        engine = build_engine(rows, True)
+        result = engine.query(
+            'WHERE <i><grp>$g</grp><v>$v</v></i> IN "items" '
+            "CONSTRUCT <g k=$g><total>sum($v)</total></g>"
+        )
+        got = {
+            e.attributes["k"]: float(e.first_child("total").text_content())
+            for e in result.elements
+            if e.first_child("total").text_content()
+        }
+        expected = {}
+        for _, group, value in rows:
+            expected[str(group)] = expected.get(str(group), 0) + value
+        assert got == {k: float(v) for k, v in expected.items()}
+
+
+# -- negative paths ------------------------------------------------------------------
+
+
+class TestNegativePaths:
+    def test_query_syntax_error_surfaces(self, catalog):
+        engine = NimbleEngine(catalog)
+        with pytest.raises(QuerySyntaxError):
+            engine.query("WHERE oops CONSTRUCT <r/>")
+
+    def test_unknown_mediated_name(self, catalog):
+        engine = NimbleEngine(catalog)
+        with pytest.raises(MediationError):
+            engine.query('WHERE <a>$x</a> IN "ghost" CONSTRUCT <r>$x</r>')
+
+    def test_flwor_unknown_name(self, catalog):
+        engine = NimbleEngine(catalog)
+        with pytest.raises(MediationError):
+            engine.flwor_query('FOR $x IN "ghost" RETURN <r>{$x}</r>')

@@ -1,0 +1,200 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_expression, parse_script, parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+        assert tokens[0].value == "SELECT"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "1e3"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment\n1")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD", "NUMBER"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"order"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "order"
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("<> <= >= != ||")[:-1]]
+        assert values == ["<>", "<=", ">=", "!=", "||"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'open")
+
+    def test_bad_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT ^")
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.items) == 2
+        assert stmt.table.name == "t"
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.items[0].star
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].star_table == "t"
+
+    def test_alias_with_and_without_as(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t z")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.table.alias == "z"
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        assert [j.kind for j in stmt.joins] == ["INNER", "LEFT"]
+
+    def test_cross_join_comma(self):
+        stmt = parse_statement("SELECT * FROM a, b")
+        assert stmt.joins[0].kind == "CROSS"
+        assert stmt.joins[0].condition is None
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_parsed(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > 1 AND b = 'x'")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+
+
+class TestOtherStatements:
+    def test_insert_full(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.InsertStmt)
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ()
+
+    def test_insert_named_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(stmt, ast.UpdateStmt)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, ast.DeleteStmt)
+
+    def test_create_table_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(40) NOT NULL,"
+            " age INT)"
+        )
+        assert stmt.columns[0].primary_key
+        assert not stmt.columns[1].nullable
+        assert stmt.columns[2].nullable
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX ix ON t (a)")
+        assert isinstance(stmt, ast.CreateIndexStmt)
+        assert (stmt.name, stmt.table, stmt.column) == ("ix", "t", "a")
+
+    def test_drop_table(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTableStmt)
+
+    def test_script(self):
+        statements = parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);")
+        assert len(statements) == 2
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_boolean(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_between(self):
+        expr = parse_expression("a NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+        assert expr.negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_is_not_null(self):
+        expr = parse_expression("a IS NOT NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert expr.negated
+
+    def test_function_call_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        assert parse_expression("COUNT(*)").star
+
+    def test_params(self):
+        expr = parse_expression("a = ? AND b = ?")
+        assert expr.left.right.index == 0
+        assert expr.right.right.index == 1
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.UnaryOp)
+
+    @pytest.mark.parametrize(
+        "text", ["SELECT", "SELECT FROM t", "INSERT t", "SELECT a FROM t WHERE",
+                 "UPDATE t SET", "CREATE TABLE t ()"]
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(text)

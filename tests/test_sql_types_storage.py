@@ -1,0 +1,224 @@
+"""Unit tests for SQL types, storage and indexes."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SQLIntegrityError, SQLSchemaError, SQLTypeError
+from repro.sql.index import HashIndex, SortedIndex
+from repro.sql.schema import Column, TableSchema
+from repro.sql.storage import Table
+from repro.sql.types import SQLType, coerce, is_truthy, sql_compare, sql_equal
+
+
+class TestTypes:
+    def test_type_aliases(self):
+        assert SQLType.from_name("varchar") is SQLType.TEXT
+        assert SQLType.from_name("INT") is SQLType.INTEGER
+        assert SQLType.from_name("double") is SQLType.REAL
+
+    def test_unknown_type(self):
+        with pytest.raises(SQLTypeError):
+            SQLType.from_name("blob")
+
+    def test_coerce_integer(self):
+        assert coerce("42", SQLType.INTEGER) == 42
+        assert coerce(42.0, SQLType.INTEGER) == 42
+        assert coerce(True, SQLType.INTEGER) == 1
+
+    def test_coerce_integer_rejects_fraction(self):
+        with pytest.raises(SQLTypeError):
+            coerce(1.5, SQLType.INTEGER)
+
+    def test_coerce_null_passthrough(self):
+        assert coerce(None, SQLType.TEXT) is None
+
+    def test_coerce_date(self):
+        assert coerce("2001-04-02", SQLType.DATE) == datetime.date(2001, 4, 2)
+
+    def test_coerce_boolean(self):
+        assert coerce("true", SQLType.BOOLEAN) is True
+        assert coerce(0, SQLType.BOOLEAN) is False
+
+    def test_compare_null_is_unknown(self):
+        assert sql_compare(None, 1) is None
+        assert sql_equal(None, None) is None
+
+    def test_compare_numeric_cross_type(self):
+        assert sql_compare(1, 1.0) == 0
+        assert sql_compare(True, 0) == 1
+
+    def test_compare_date_with_string(self):
+        assert sql_compare(datetime.date(2001, 1, 1), "2000-12-31") == 1
+
+    def test_incompatible_comparison_raises(self):
+        with pytest.raises(SQLTypeError):
+            sql_compare(1, "abc")
+
+    def test_is_truthy_only_true(self):
+        assert is_truthy(True)
+        assert not is_truthy(None)
+        assert not is_truthy(False)
+        assert not is_truthy(1)
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SQLSchemaError):
+            TableSchema("t", (Column("a", SQLType.TEXT), Column("a", SQLType.TEXT)))
+
+    def test_composite_pk_rejected(self):
+        with pytest.raises(SQLSchemaError):
+            TableSchema(
+                "t",
+                (
+                    Column("a", SQLType.INTEGER, primary_key=True),
+                    Column("b", SQLType.INTEGER, primary_key=True),
+                ),
+            )
+
+    def test_column_lookup(self):
+        schema = TableSchema("t", (Column("a", SQLType.TEXT),))
+        assert schema.column_index("a") == 0
+        with pytest.raises(SQLSchemaError):
+            schema.column("missing")
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        "people",
+        (
+            Column("id", SQLType.INTEGER, primary_key=True),
+            Column("name", SQLType.TEXT, nullable=False),
+            Column("age", SQLType.INTEGER),
+        ),
+    )
+    return Table(schema)
+
+
+class TestTable:
+    def test_insert_and_scan(self, table):
+        table.insert([1, "Ann", 30])
+        table.insert([2, "Bob", None])
+        assert table.row_count == 2
+        assert [row for _, row in table.scan()] == [(1, "Ann", 30), (2, "Bob", None)]
+
+    def test_insert_coerces(self, table):
+        table.insert(["3", "Cam", "40"])
+        assert table.get(0) == (3, "Cam", 40)
+
+    def test_pk_uniqueness(self, table):
+        table.insert([1, "Ann", 30])
+        with pytest.raises(SQLIntegrityError):
+            table.insert([1, "Dup", 1])
+
+    def test_not_null_enforced(self, table):
+        with pytest.raises(SQLIntegrityError):
+            table.insert([1, None, 30])
+
+    def test_wrong_width_rejected(self, table):
+        with pytest.raises(SQLSchemaError):
+            table.insert([1, "Ann"])
+
+    def test_insert_named_fills_null(self, table):
+        table.insert_named({"id": 1, "name": "Ann"})
+        assert table.get(0) == (1, "Ann", None)
+
+    def test_insert_named_unknown_column(self, table):
+        with pytest.raises(SQLSchemaError):
+            table.insert_named({"id": 1, "name": "A", "oops": 2})
+
+    def test_delete_keeps_rowids_stable(self, table):
+        table.insert([1, "Ann", 30])
+        table.insert([2, "Bob", 20])
+        table.delete(0)
+        assert table.row_count == 1
+        assert table.get(0) is None
+        assert table.get(1) == (2, "Bob", 20)
+
+    def test_update(self, table):
+        rowid = table.insert([1, "Ann", 30])
+        table.update(rowid, {"age": 31})
+        assert table.get(rowid) == (1, "Ann", 31)
+
+    def test_update_pk_conflict(self, table):
+        table.insert([1, "Ann", 30])
+        rowid = table.insert([2, "Bob", 20])
+        with pytest.raises(SQLIntegrityError):
+            table.update(rowid, {"id": 1})
+
+    def test_update_pk_to_itself_allowed(self, table):
+        rowid = table.insert([1, "Ann", 30])
+        table.update(rowid, {"id": 1, "age": 99})
+        assert table.get(rowid) == (1, "Ann", 99)
+
+    def test_truncate(self, table):
+        table.insert([1, "Ann", 30])
+        table.create_index("ix_age", "age")
+        table.truncate()
+        assert table.row_count == 0
+        assert len(table.indexes["ix_age"]) == 0
+        table.insert([1, "Ann", 30])  # PK index was rebuilt too
+        assert table.row_count == 1
+
+
+class TestIndexes:
+    def test_hash_index_lookup(self):
+        index = HashIndex("ix", "c")
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        assert list(index.lookup("a")) == [1, 2]
+        assert list(index.lookup("missing")) == []
+
+    def test_hash_index_delete(self):
+        index = HashIndex("ix", "c")
+        index.insert("a", 1)
+        index.delete("a", 1)
+        assert list(index.lookup("a")) == []
+
+    def test_null_keys_not_indexed(self):
+        index = HashIndex("ix", "c")
+        index.insert(None, 1)
+        assert len(index) == 0
+
+    def test_sorted_index_range(self):
+        index = SortedIndex("ix", "c")
+        for rowid, key in enumerate([5, 1, 3, 9, 7]):
+            index.insert(key, rowid)
+        assert list(index.range_scan(3, 7)) == [2, 0, 4]
+        assert list(index.range_scan(3, 7, low_inclusive=False)) == [0, 4]
+        assert list(index.range_scan(None, 3)) == [1, 2]
+        assert list(index.range_scan(7, None, high_inclusive=False)) == [4, 3]
+
+    def test_sorted_index_lookup_and_delete(self):
+        index = SortedIndex("ix", "c")
+        index.insert("x", 1)
+        index.insert("x", 2)
+        assert list(index.lookup("x")) == [1, 2]
+        index.delete("x", 1)
+        assert list(index.lookup("x")) == [2]
+
+    def test_table_index_maintenance_on_update(self, table):
+        table.create_index("ix_age", "age")
+        rowid = table.insert([1, "Ann", 30])
+        table.update(rowid, {"age": 35})
+        index = table.indexes["ix_age"]
+        assert list(index.lookup(30)) == []
+        assert list(index.lookup(35)) == [rowid]
+
+    def test_create_index_backfills(self, table):
+        table.insert([1, "Ann", 30])
+        index = table.create_index("ix_age", "age")
+        assert list(index.lookup(30)) == [0]
+
+    def test_duplicate_index_name(self, table):
+        table.create_index("ix", "age")
+        with pytest.raises(SQLSchemaError):
+            table.create_index("ix", "name")
+
+    def test_indexes_on(self, table):
+        table.create_index("ix_age", "age")
+        assert [ix.name for ix in table.indexes_on("age")] == ["ix_age"]
+        assert [ix.name for ix in table.indexes_on("id")] == ["__pk_people"]

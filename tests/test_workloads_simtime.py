@@ -1,0 +1,153 @@
+"""Unit tests for workload generators and the virtual clock."""
+
+import pytest
+
+from repro.simtime import SimClock, Stopwatch
+from repro.workloads import (
+    DirtMachine,
+    QueryWorkload,
+    WorkloadSpec,
+    make_customer_universe,
+    make_website_workload,
+)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)  # already passed: no-op
+        assert clock.now == 10.0
+        clock.advance_to(20.0)
+        assert clock.now == 20.0
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        assert watch.elapsed == 3.0
+        watch.restart()
+        assert watch.elapsed == 0.0
+
+
+class TestDirtMachine:
+    def test_typo_changes_string(self):
+        machine = DirtMachine(seed=1)
+        value = "jonathan"
+        mutated = machine.typo(value)
+        assert mutated != value or len(mutated) != len(value)
+
+    def test_deterministic_per_seed(self):
+        a = DirtMachine(seed=5)
+        b = DirtMachine(seed=5)
+        assert [a.typo("hello") for _ in range(5)] == [
+            b.typo("hello") for _ in range(5)
+        ]
+
+    def test_truncate_keeps_minimum(self):
+        machine = DirtMachine(seed=2)
+        assert len(machine.truncate("abcdefgh", keep_at_least=3)) >= 3
+        assert machine.truncate("ab") == "ab"
+
+    def test_abbreviate(self):
+        machine = DirtMachine()
+        assert machine.abbreviate("fairview avenue north") == "fairview Ave N"
+
+    def test_swap_name_order(self):
+        machine = DirtMachine()
+        assert machine.swap_name_order("john smith") == "smith, john"
+        assert machine.swap_name_order("cher") == "cher"
+
+    def test_legacy_code_shape(self):
+        code = DirtMachine(seed=3).legacy_code("ACCT")
+        assert code.startswith("ACCT-")
+        assert code.split("-")[1].isdigit()
+
+
+class TestCustomerUniverse:
+    def test_deterministic(self):
+        a = make_customer_universe(40, seed=9)
+        b = make_customer_universe(40, seed=9)
+        assert a.records["billing"] == b.records["billing"]
+        assert a.identity == b.identity
+
+    def test_overlap_controls_sizes(self):
+        low = make_customer_universe(100, overlap=0.1, seed=1)
+        high = make_customer_universe(100, overlap=0.9, seed=1)
+        assert len(low.records["billing"]) < len(high.records["billing"])
+
+    def test_identity_covers_all_records(self):
+        universe = make_customer_universe(30, seed=2)
+        for source, records in universe.records.items():
+            for record in records:
+                assert (source, record["id"]) in universe.identity
+
+    def test_true_pairs_cross_source(self):
+        universe = make_customer_universe(30, seed=2)
+        for ref_a, ref_b in universe.true_match_pairs():
+            assert universe.identity[ref_a] == universe.identity[ref_b]
+
+    def test_as_databases_loads_rows(self):
+        universe = make_customer_universe(25, seed=4)
+        dbs = universe.as_databases()
+        assert dbs["crm"].row_count("customers") == 25
+        assert dbs["billing"].row_count("accounts") == len(
+            universe.records["billing"]
+        )
+
+    def test_duplicates_inside_billing(self):
+        universe = make_customer_universe(200, duplicate_rate=0.5, seed=6)
+        keys = [universe.identity[("billing", r["id"])]
+                for r in universe.records["billing"]]
+        assert len(keys) > len(set(keys))  # some customer appears twice
+
+
+class TestWebsiteWorkload:
+    def test_structure(self):
+        workload = make_website_workload(12)
+        assert len(workload.skus) == 12
+        assert set(workload.registry.names()) == {"content", "erp", "reviews"}
+        assert workload.catalog.is_view("product_page")
+
+    def test_inventory_loaded(self):
+        workload = make_website_workload(8)
+        erp = workload.registry.get("erp")
+        assert erp.cardinality("stock") == 8
+
+
+class TestQueryWorkload:
+    def test_zipf_skew(self):
+        workload = QueryWorkload(
+            ["hot", "warm", "cold", "frozen"],
+            WorkloadSpec(zipf_s=1.5, drift_every=10_000, seed=3),
+        )
+        draws = list(workload.draw_many(2000))
+        assert draws.count("hot") > draws.count("frozen") * 2
+
+    def test_drift_rotates_hot_set(self):
+        workload = QueryWorkload(
+            ["a", "b", "c", "d"],
+            WorkloadSpec(zipf_s=2.0, drift_every=200, drift_step=1, seed=3),
+        )
+        first = list(workload.draw_many(200))
+        second = list(workload.draw_many(200))
+        assert max(set(first), key=first.count) != max(set(second), key=second.count)
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(seed=8)
+        a = QueryWorkload(["x", "y"], spec)
+        b = QueryWorkload(["x", "y"], spec)
+        assert list(a.draw_many(50)) == list(b.draw_many(50))
+
+    def test_empty_templates_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkload([])

@@ -1,0 +1,139 @@
+"""Unit tests for element trees: navigation, order, content."""
+
+import pytest
+
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Comment, Element, ProcessingInstruction, Text
+
+
+@pytest.fixture
+def tree():
+    root = Element("library")
+    shelf_a = Element("shelf", {"label": "a"})
+    shelf_b = Element("shelf", {"label": "b"})
+    root.append(shelf_a)
+    root.append(shelf_b)
+    shelf_a.append(Element("book", children=["Alpha"]))
+    shelf_a.append(Element("book", children=["Beta"]))
+    shelf_b.append(Element("book", children=["Gamma"]))
+    return Document(root)
+
+
+class TestStructure:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.parent is parent
+
+    def test_append_string_becomes_text(self):
+        parent = Element("p")
+        node = parent.append("hello")
+        assert isinstance(node, Text)
+        assert node.value == "hello"
+
+    def test_insert(self):
+        parent = Element("p", children=[Element("b")])
+        parent.insert(0, Element("a"))
+        assert [c.tag for c in parent.child_elements()] == ["a", "b"]
+
+    def test_remove_clears_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        parent.remove(child)
+        assert child.parent is None
+        assert not parent.children
+
+    def test_text_content_concatenates(self):
+        element = Element("p", children=["a", Element("b", children=["c"]), "d"])
+        assert element.text_content() == "acd"
+
+    def test_get_attribute(self):
+        element = Element("a", {"x": "1"})
+        assert element.get("x") == "1"
+        assert element.get("y", "dflt") == "dflt"
+
+
+class TestNavigation:
+    def test_child_elements_filter(self, tree):
+        shelves = list(tree.root.child_elements("shelf"))
+        assert len(shelves) == 2
+
+    def test_first_child(self, tree):
+        assert tree.root.first_child("shelf").attributes["label"] == "a"
+        assert tree.root.first_child("nope") is None
+
+    def test_descendants_in_document_order(self, tree):
+        books = [b.text_content() for b in tree.root.descendants("book")]
+        assert books == ["Alpha", "Beta", "Gamma"]
+
+    def test_descendants_or_self_includes_self(self, tree):
+        tags = [e.tag for e in tree.root.descendants_or_self()]
+        assert tags[0] == "library"
+        assert tags.count("book") == 3
+
+    def test_ancestors(self, tree):
+        book = next(tree.root.descendants("book"))
+        assert [a.tag for a in book.ancestors()] == ["shelf", "library"]
+
+    def test_root(self, tree):
+        book = next(tree.root.descendants("book"))
+        assert book.root() is tree.root
+
+    def test_following_siblings(self, tree):
+        shelf_a = tree.root.first_child("shelf")
+        following = list(shelf_a.following_siblings())
+        assert len(following) == 1
+        assert following[0].attributes["label"] == "b"
+
+    def test_preceding_siblings_nearest_first(self):
+        parent = Element("p", children=[Element("a"), Element("b"), Element("c")])
+        c = parent.children[2]
+        assert [s.tag for s in c.preceding_siblings()] == ["b", "a"]
+
+    def test_siblings_of_root_are_empty(self, tree):
+        assert list(tree.root.following_siblings()) == []
+        assert list(tree.root.preceding_siblings()) == []
+
+
+class TestDocumentOrder:
+    def test_preorder_numbering(self, tree):
+        orders = [node.document_order for node in tree.root.walk()]
+        assert orders == sorted(orders)
+        assert orders[0] == 0
+
+    def test_renumber_after_mutation(self, tree):
+        tree.root.append(Element("annex"))
+        count = tree.renumber()
+        orders = [node.document_order for node in tree.root.walk()]
+        assert len(orders) == count
+        assert orders == list(range(count))
+
+    def test_detached_node_is_unnumbered(self):
+        assert Element("x").document_order == -1
+
+
+class TestEqualityAndCopy:
+    def test_structural_equality(self):
+        a = Element("x", {"k": "v"}, children=["t", Element("y")])
+        b = Element("x", {"k": "v"}, children=["t", Element("y")])
+        assert a == b
+
+    def test_inequality_on_attributes(self):
+        assert Element("x", {"k": "1"}) != Element("x", {"k": "2"})
+
+    def test_copy_is_deep_and_detached(self, tree):
+        clone = tree.root.copy()
+        assert clone == tree.root
+        assert clone.parent is None
+        clone.first_child("shelf").attributes["label"] = "changed"
+        assert tree.root.first_child("shelf").attributes["label"] == "a"
+
+    def test_copy_preserves_comments_and_pis(self):
+        element = Element("x")
+        element.append(Comment("note"))
+        element.append(ProcessingInstruction("target", "data"))
+        clone = element.copy()
+        assert clone == element
+
+    def test_comment_has_no_text_content(self):
+        assert Comment("hi").text_content() == ""

@@ -1,0 +1,141 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmldm.nodes import Comment, Element, ProcessingInstruction, Text
+from repro.xmldm.parser import parse_document, parse_element
+from repro.xmldm.serializer import serialize
+
+
+class TestBasics:
+    def test_simple_element(self):
+        doc = parse_document("<a/>")
+        assert doc.root.tag == "a"
+        assert not doc.root.children
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        assert doc.root.first_child("b").first_child("c") is not None
+
+    def test_text_content(self):
+        doc = parse_document("<a>hello</a>")
+        assert doc.root.text_content() == "hello"
+
+    def test_mixed_content_order(self):
+        doc = parse_document("<a>x<b/>y</a>")
+        kinds = [type(c).__name__ for c in doc.root.children]
+        assert kinds == ["Text", "Element", "Text"]
+
+    def test_attributes_double_and_single_quotes(self):
+        doc = parse_document("<a x=\"1\" y='2'/>")
+        assert doc.root.attributes == {"x": "1", "y": "2"}
+
+    def test_whitespace_in_tags(self):
+        doc = parse_document('<a  x = "1" ><b /></a >')
+        assert doc.root.attributes["x"] == "1"
+
+    def test_xml_declaration_skipped(self):
+        doc = parse_document('<?xml version="1.0" encoding="utf-8"?><a/>')
+        assert doc.root.tag == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse_document('<!DOCTYPE html><a/>')
+        assert doc.root.tag == "a"
+
+    def test_document_order_assigned(self):
+        doc = parse_document("<a><b/><c/></a>")
+        b = doc.root.first_child("b")
+        c = doc.root.first_child("c")
+        assert b.document_order < c.document_order
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        doc = parse_document("<a>&lt;&amp;&gt;&quot;&apos;</a>")
+        assert doc.root.text_content() == "<&>\"'"
+
+    def test_numeric_character_references(self):
+        doc = parse_document("<a>&#65;&#x42;</a>")
+        assert doc.root.text_content() == "AB"
+
+    def test_entity_in_attribute(self):
+        doc = parse_document('<a t="&amp;x"/>')
+        assert doc.root.attributes["t"] == "&x"
+
+    def test_cdata(self):
+        doc = parse_document("<a><![CDATA[<not-a-tag> & stuff]]></a>")
+        assert doc.root.text_content() == "<not-a-tag> & stuff"
+
+    def test_comment_preserved(self):
+        doc = parse_document("<a><!-- note --></a>")
+        assert isinstance(doc.root.children[0], Comment)
+        assert doc.root.children[0].value == " note "
+
+    def test_processing_instruction(self):
+        doc = parse_document('<a><?php echo "x"?></a>')
+        pi = doc.root.children[0]
+        assert isinstance(pi, ProcessingInstruction)
+        assert pi.target == "php"
+
+    def test_prolog_comment(self):
+        doc = parse_document("<!-- head --><a/>")
+        assert len(doc.prolog) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a>&unknown;</a>",
+            "<a>&#xZZ;</a>",
+            "<a/><b/>",
+            "<a>text",
+            "<a><!-- unterminated </a>",
+            '<a x="<"/>',
+        ],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+    def test_error_reports_location(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a>\n<b></c>\n</a>")
+        assert info.value.line == 2
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a/>trailing")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            "<a>text</a>",
+            '<a x="1"><b>inner</b>tail</a>',
+            "<a>&amp;&lt;</a>",
+            "<a><b/><b/><c><d>deep</d></c></a>",
+        ],
+    )
+    def test_parse_serialize_parse_identity(self, text):
+        first = parse_document(text)
+        second = parse_document(serialize(first))
+        assert first.root == second.root
+
+    def test_parse_element_fragment(self):
+        element = parse_element("  <x a='1'>hi</x>  ")
+        assert isinstance(element, Element)
+        assert element.attributes["a"] == "1"
+
+    def test_parse_element_rejects_trailing(self):
+        with pytest.raises(XMLParseError):
+            parse_element("<x/><y/>")

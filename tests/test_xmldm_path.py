@@ -1,0 +1,131 @@
+"""Unit tests for the navigation path language."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.xmldm.parser import parse_document
+from repro.xmldm.path import Path, evaluate_path
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        """<bib>
+          <book lang="en" id="b1"><title>Data</title><year>2000</year>
+            <author>Abiteboul</author><author>Buneman</author></book>
+          <book lang="fr" id="b2"><title>Deux</title><year>1999</year>
+            <author>Cluet</author></book>
+          <journal><title>TODS</title></journal>
+        </bib>"""
+    )
+
+
+def texts(results):
+    return [r.text_content() if hasattr(r, "text_content") else r for r in results]
+
+
+class TestSteps:
+    def test_child_step(self, doc):
+        assert len(evaluate_path("book", doc.root)) == 2
+
+    def test_chained_children(self, doc):
+        assert texts(evaluate_path("book/title", doc)) == ["Data", "Deux"]
+
+    def test_descendant_double_slash(self, doc):
+        assert texts(evaluate_path("//title", doc)) == ["Data", "Deux", "TODS"]
+
+    def test_wildcard(self, doc):
+        children = evaluate_path("*", doc.root)
+        assert [e.tag for e in children] == ["book", "book", "journal"]
+
+    def test_attribute_access(self, doc):
+        assert evaluate_path("//book/@lang", doc) == ["en", "fr"]
+
+    def test_attribute_wildcard(self, doc):
+        values = evaluate_path("book[1]/@*", doc.root)
+        assert set(values) == {"en", "b1"}
+
+    def test_text_function(self, doc):
+        assert evaluate_path("//title/text()", doc) == ["Data", "Deux", "TODS"]
+
+    def test_parent_dotdot(self, doc):
+        parents = evaluate_path("//year/..", doc)
+        assert [p.tag for p in parents] == ["book", "book"]
+
+    def test_self_dot(self, doc):
+        assert evaluate_path(".", doc.root) == [doc.root]
+
+    def test_absolute_path(self, doc):
+        book = doc.root.first_child("book")
+        assert texts(evaluate_path("/bib/journal/title", book)) == ["TODS"]
+
+    def test_absolute_descendant(self, doc):
+        book = doc.root.first_child("book")
+        assert len(evaluate_path("//book", book)) == 2
+
+
+class TestAxes:
+    def test_following_sibling(self, doc):
+        siblings = evaluate_path("book[1]/following-sibling::*", doc.root)
+        assert [e.tag for e in siblings] == ["book", "journal"]
+
+    def test_preceding_sibling_in_document_order(self, doc):
+        prior = evaluate_path("journal/preceding-sibling::book", doc.root)
+        assert [e.attributes["id"] for e in prior] == ["b1", "b2"]
+
+    def test_ancestor(self, doc):
+        ancestors = evaluate_path("//author/ancestor::bib", doc)
+        assert len(ancestors) == 1
+
+    def test_ancestor_or_self(self, doc):
+        results = evaluate_path("//book[1]/ancestor-or-self::*", doc)
+        assert {e.tag for e in results} == {"bib", "book"}
+
+    def test_descendant_axis_explicit(self, doc):
+        assert len(evaluate_path("descendant::author", doc.root)) == 3
+
+    def test_parent_axis_named(self, doc):
+        assert evaluate_path("//title/parent::journal", doc)[0].tag == "journal"
+
+
+class TestPredicates:
+    def test_position(self, doc):
+        assert texts(evaluate_path("book[2]/title", doc.root)) == ["Deux"]
+
+    def test_attribute_equality(self, doc):
+        assert texts(evaluate_path("//book[@lang='en']/title", doc)) == ["Data"]
+
+    def test_child_value_equality(self, doc):
+        assert evaluate_path("//book[year='1999']", doc)[0].attributes["id"] == "b2"
+
+    def test_numeric_comparison_literal(self, doc):
+        assert evaluate_path("//book[year=2000]", doc)[0].attributes["id"] == "b1"
+
+    def test_existence(self, doc):
+        assert len(evaluate_path("//book[author]", doc)) == 2
+        assert len(evaluate_path("//journal[author]", doc)) == 0
+
+    def test_stacked_predicates(self, doc):
+        results = evaluate_path("//book[author][1]", doc)
+        assert len(results) == 1
+
+
+class TestResultProperties:
+    def test_document_order_and_dedup(self, doc):
+        # author appears under both books; union via two path heads
+        results = evaluate_path("//book/author", doc)
+        orders = [r.document_order for r in results]
+        assert orders == sorted(orders)
+        assert len(set(id(r) for r in results)) == len(results)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", ["", "//", "a//", "a[", "a[]", "a[@]", "a[x=]" ])
+    def test_bad_paths(self, text):
+        with pytest.raises(PathSyntaxError):
+            Path.parse(text)
+
+    def test_parse_is_reusable(self, doc):
+        path = Path.parse("//title")
+        assert len(path.evaluate(doc)) == 3
+        assert len(path.evaluate(doc)) == 3

@@ -1,0 +1,141 @@
+"""Unit tests for record types, the element bridge and serialization."""
+
+import datetime
+
+import pytest
+
+from repro.xmldm.nodes import Element, Text
+from repro.xmldm.parser import parse_document
+from repro.xmldm.schema import (
+    Field,
+    RecordType,
+    atomic_to_text,
+    collection_to_element,
+    element_to_record,
+    record_to_element,
+    records_from_rows,
+    text_to_atomic,
+)
+from repro.xmldm.serializer import escape_attribute, escape_text, serialize
+from repro.xmldm.values import NULL, Collection, Record
+
+
+class TestRecordType:
+    def test_of_shorthand(self):
+        rt = RecordType.of("customer", id="number", name="string")
+        assert rt.field_names == ("id", "name")
+        assert rt.field("id").type == "number"
+
+    def test_name_usable_as_field(self):
+        rt = RecordType.of("t", name="string")
+        assert rt.name == "t"
+        assert rt.field("name").type == "string"
+
+    def test_unknown_field_type_rejected(self):
+        with pytest.raises(ValueError):
+            Field("x", "blob")
+
+    def test_validate_conforming(self):
+        rt = RecordType.of("t", id="number", name="string")
+        assert rt.validate(Record({"id": 1, "name": "a"})) == []
+
+    def test_validate_type_mismatch(self):
+        rt = RecordType.of("t", id="number")
+        problems = rt.validate(Record({"id": "oops"}))
+        assert any("expected number" in p for p in problems)
+
+    def test_validate_not_nullable(self):
+        rt = RecordType("t", (Field("id", "number", nullable=False),))
+        assert rt.validate(Record({"id": NULL}))
+
+    def test_validate_extra_field(self):
+        rt = RecordType.of("t", id="number")
+        assert any("unexpected" in p for p in rt.validate(Record({"id": 1, "x": 2})))
+
+
+class TestAtomicText:
+    @pytest.mark.parametrize(
+        "value,text",
+        [
+            (True, "true"),
+            (False, "false"),
+            (5, "5"),
+            (2.5, "2.5"),
+            (datetime.date(2001, 4, 2), "2001-04-02"),
+            (NULL, ""),
+        ],
+    )
+    def test_atomic_to_text(self, value, text):
+        assert atomic_to_text(value) == text
+
+    def test_text_to_atomic_roundtrip(self):
+        assert text_to_atomic("5", "number") == 5
+        assert text_to_atomic("2.5", "number") == 2.5
+        assert text_to_atomic("true", "boolean") is True
+        assert text_to_atomic("2001-04-02", "date") == datetime.date(2001, 4, 2)
+        assert text_to_atomic("x", "string") == "x"
+        assert text_to_atomic("", "number") is NULL
+
+
+class TestElementBridge:
+    def test_record_roundtrip_with_type(self):
+        rt = RecordType.of("c", id="number", name="string", active="boolean")
+        record = Record({"id": 7, "name": "Ann", "active": True})
+        element = record_to_element(record, "c")
+        assert element_to_record(element, rt) == record
+
+    def test_null_distinguished_from_empty(self):
+        record = Record({"a": NULL, "b": ""})
+        element = record_to_element(record)
+        back = element_to_record(element)
+        assert back["a"] is NULL
+        assert back["b"] == ""
+
+    def test_nested_record(self):
+        record = Record({"who": Record({"name": "Ann"})})
+        element = record_to_element(record)
+        assert element_to_record(element)["who"]["name"] == "Ann"
+
+    def test_collection_to_element(self):
+        collection = Collection([Record({"x": 1}), Record({"x": 2})])
+        element = collection_to_element(collection, "rows", "row")
+        assert [c.tag for c in element.child_elements()] == ["row", "row"]
+
+    def test_records_from_rows(self):
+        rt = RecordType.of("t", a="number", b="string")
+        collection = records_from_rows([(1, "x"), (2, "y")], rt)
+        assert len(collection) == 2
+        assert collection[1]["b"] == "y"
+
+    def test_records_from_rows_width_mismatch(self):
+        rt = RecordType.of("t", a="number")
+        with pytest.raises(ValueError):
+            records_from_rows([(1, 2)], rt)
+
+
+class TestSerializer:
+    def test_escape_text(self):
+        assert escape_text("a<b&c>d") == "a&lt;b&amp;c&gt;d"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_attribute_order_preserved(self):
+        element = Element("a", {"z": "1", "a": "2"})
+        assert serialize(element) == '<a z="1" a="2"/>'
+
+    def test_pretty_print_element_only(self):
+        doc = parse_document("<a><b/><c/></a>")
+        pretty = serialize(doc, indent=2)
+        assert "\n  <b/>" in pretty
+
+    def test_pretty_print_keeps_mixed_content_inline(self):
+        doc = parse_document("<a>text<b/>more</a>")
+        assert serialize(doc, indent=2) == "<a>text<b/>more</a>"
+
+    def test_faithful_mode_preserves_whitespace(self):
+        text = "<a>  spaced  <b> x </b></a>"
+        assert serialize(parse_document(text)) == text

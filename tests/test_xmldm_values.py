@@ -1,0 +1,169 @@
+"""Unit tests for the structured value layer."""
+
+import datetime
+
+import pytest
+
+from repro.xmldm.nodes import Element
+from repro.xmldm.values import (
+    NULL,
+    Collection,
+    Null,
+    Record,
+    atomize,
+    compare_values,
+    is_atomic,
+    typename,
+    values_equal,
+)
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_equal_only_to_itself(self):
+        assert NULL == Null()
+        assert not values_equal(NULL, 0)
+        assert not values_equal(NULL, "")
+
+    def test_hashable(self):
+        assert {NULL: 1}[Null()] == 1
+
+
+class TestRecord:
+    def test_field_access(self):
+        record = Record({"id": 1, "name": "Ann"})
+        assert record["id"] == 1
+        assert record.get("missing") is NULL
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Record([("a", 1), ("a", 2)])
+
+    def test_with_field_is_pure(self):
+        original = Record({"a": 1})
+        updated = original.with_field("b", 2)
+        assert "b" not in original
+        assert updated["b"] == 2
+
+    def test_without_field(self):
+        record = Record({"a": 1, "b": 2}).without_field("a")
+        assert "a" not in record
+        assert record["b"] == 2
+
+    def test_project_fills_missing_with_null(self):
+        projected = Record({"a": 1}).project(["a", "b"])
+        assert projected["a"] == 1
+        assert projected["b"] is NULL
+
+    def test_equality_and_hash_by_content(self):
+        assert Record({"a": 1, "b": 2}) == Record({"b": 2, "a": 1})
+        assert hash(Record({"a": 1})) == hash(Record({"a": 1}))
+
+    def test_len_and_iteration(self):
+        record = Record({"a": 1, "b": 2})
+        assert len(record) == 2
+        assert list(record) == ["a", "b"]
+
+    def test_fields_preserve_order(self):
+        assert Record({"z": 1, "a": 2}).fields == ("z", "a")
+
+
+class TestCollection:
+    def test_append_and_len(self):
+        collection = Collection([1, 2])
+        collection.append(3)
+        assert len(collection) == 3
+        assert collection[2] == 3
+
+    def test_equality_by_items(self):
+        assert Collection([1, 2]) == Collection([1, 2])
+        assert Collection([1]) != Collection([2])
+
+    def test_extend(self):
+        collection = Collection()
+        collection.extend([1, 2])
+        assert list(collection) == [1, 2]
+
+
+class TestTypename:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (NULL, "null"),
+            (None, "null"),
+            (True, "boolean"),
+            (3, "number"),
+            (3.5, "number"),
+            ("x", "string"),
+            (datetime.date(2001, 4, 2), "date"),
+            (datetime.datetime(2001, 4, 2, 10, 0), "datetime"),
+            (Record({}), "record"),
+            (Collection(), "collection"),
+        ],
+    )
+    def test_types(self, value, expected):
+        assert typename(value) == expected
+
+    def test_element_is_node(self):
+        assert typename(Element("a")) == "node"
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError):
+            typename(object())
+
+
+class TestCompare:
+    def test_numbers_cross_int_float(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 2.5) == -1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+    def test_type_rank_orders_heterogeneous(self):
+        # null < boolean < number < string
+        assert compare_values(NULL, False) == -1
+        assert compare_values(True, 0) == -1
+        assert compare_values(5, "5") == -1
+
+    def test_records_compare_by_sorted_fields(self):
+        assert compare_values(Record({"a": 1}), Record({"a": 2})) == -1
+        assert compare_values(Record({"a": 1}), Record({"a": 1})) == 0
+
+    def test_collections_lexicographic(self):
+        assert compare_values(Collection([1, 2]), Collection([1, 3])) == -1
+
+    def test_total_order_is_consistent(self):
+        values = [NULL, True, 2, "z", Record({"a": 1}), Collection([1])]
+        for a in values:
+            for b in values:
+                assert compare_values(a, b) == -compare_values(b, a)
+
+
+class TestAtomize:
+    def test_atomic_passthrough(self):
+        assert atomize(5) == 5
+
+    def test_node_atomizes_to_text(self):
+        element = Element("a", children=["hi"])
+        assert atomize(element) == "hi"
+
+    def test_singleton_record(self):
+        assert atomize(Record({"only": 7})) == 7
+
+    def test_singleton_collection(self):
+        assert atomize(Collection(["x"])) == "x"
+
+    def test_wide_record_not_atomized(self):
+        record = Record({"a": 1, "b": 2})
+        assert atomize(record) is record
+
+    def test_is_atomic(self):
+        assert is_atomic(5)
+        assert is_atomic(NULL)
+        assert not is_atomic(Record({}))
