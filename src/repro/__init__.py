@@ -37,6 +37,14 @@ from repro.core import (
 from repro.materialize import MaterializationManager, RefreshPolicy
 from repro.mediator import Catalog, MediatedSchema, RelationMapping, ViewDef
 from repro.optimizer import CostModel
+from repro.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    FallbackRegistry,
+    FaultModel,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.simtime import SimClock
 from repro.sources import (
     AvailabilityModel,
@@ -56,10 +64,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessController",
     "AvailabilityModel",
+    "BreakerConfig",
     "Catalog",
+    "CircuitBreaker",
     "Completeness",
     "CostModel",
     "Database",
+    "FallbackRegistry",
+    "FaultModel",
     "Document",
     "Element",
     "EngineCluster",
@@ -77,6 +89,8 @@ __all__ = [
     "RefreshPolicy",
     "RelationMapping",
     "RelationalSource",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "SimClock",
     "SourceRegistry",
     "User",

@@ -107,6 +107,44 @@ class DataAdministrator:
                 outcome[name] = self.run_job(name)
         return outcome
 
+    # -- degraded reads ------------------------------------------------------
+
+    def replica_records(self, job_name: str) -> list[Record] | None:
+        """The replica table of one job, as records keyed like the source.
+
+        Returns None when the job has never produced a table (so a
+        fallback lookup can keep searching); values round-trip through
+        the local SQL store, so numeric fields come back as floats.
+        """
+        job = self.jobs.get(job_name)
+        if job is None:
+            raise ReproError(f"unknown replication job {job_name!r}")
+        if job.target_table not in self.store.tables:
+            return None
+        table = self.store.table(job.target_table)
+        fields = [column.name for column in table.schema.columns]
+        return [
+            Record({
+                name: (Null() if value is None else value)
+                for name, value in zip(fields, row)
+            })
+            for _, row in table.scan()
+        ]
+
+    def register_fallbacks(self, registry) -> int:
+        """Offer every job's replica table as a degraded-read fallback.
+
+        ``registry`` is a :class:`repro.resilience.fallback.FallbackRegistry`
+        (duck-typed to avoid the import cycle through the source layer);
+        returns the number of jobs registered.
+        """
+        for job in self.jobs.values():
+            registry.register(
+                job.fragment,
+                lambda name=job.name: self.replica_records(name),
+            )
+        return len(self.jobs)
+
     # -- loading ------------------------------------------------------------
 
     def _load(self, table_name: str, records: list[Record]) -> None:

@@ -17,8 +17,10 @@ from repro.optimizer.planner import PlanBuilder
 from repro.query import ast as qast
 from repro.query.binder import bind_query
 from repro.query.parser import parse_query
+from repro.resilience.executor import ResiliencePolicy, ResilientExecutor
+from repro.resilience.fallback import FallbackRegistry
 from repro.simtime import SimClock
-from repro.sources.base import Fragment
+from repro.sources.base import DataSource, Fragment, NetworkModel
 from repro.xmldm.nodes import Element
 from repro.xmldm.values import Record
 
@@ -34,7 +36,28 @@ class EngineStats:
     fragments_skipped: int = 0
     rows_transferred: int = 0
     remote_calls: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    stale_served: int = 0
+    deadline_misses: int = 0
     plan_text: str = ""
+
+    #: integer counters folded into a parent query's stats (sub-queries
+    #: for views) — the single place the counter list is spelled out
+    _COUNTERS = (
+        "fragments_executed", "fragments_from_cache", "fragments_skipped",
+        "rows_transferred", "remote_calls", "retries", "breaker_trips",
+        "stale_served", "deadline_misses",
+    )
+
+    def absorb(self, other: "EngineStats") -> None:
+        """Fold a sub-execution's counters into this one."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a dict (determinism checks, reports)."""
+        return {name: getattr(self, name) for name in self._COUNTERS}
 
 
 @dataclass
@@ -59,13 +82,79 @@ class _ExecutionContext:
     """One query execution: policy, completeness, view memo, accounting."""
 
     def __init__(self, engine: "NimbleEngine", policy: PartialResultPolicy,
-                 required_sources: frozenset[str]):
+                 required_sources: frozenset[str],
+                 deadline_at: float | None = None):
         self.engine = engine
         self.policy = policy
         self.required_sources = required_sources
         self.completeness = Completeness()
         self.stats = EngineStats()
         self._view_memo: dict[str, list[Element]] = {}
+        resilience = engine.resilience
+        if deadline_at is not None:
+            self.deadline_at = deadline_at
+        elif resilience is not None and resilience.query_deadline_ms is not None:
+            self.deadline_at = engine.clock.now + resilience.query_deadline_ms
+        else:
+            self.deadline_at = None
+
+    # -- the resilient call path ---------------------------------------------
+
+    def call_source(self, source: DataSource, attempt_fn) -> Any:
+        """One logical source call under the engine's resilience policy."""
+        if self.engine.resilient is None:
+            return attempt_fn()
+        return self.engine.resilient.call(
+            source.name, attempt_fn, self.stats, self.deadline_at
+        )
+
+    def charge_network(self, network: NetworkModel,
+                       calls_before: int, rows_before: int) -> None:
+        """Derive remote-call accounting from the network model's counters.
+
+        This is the one place ``remote_calls``/``rows_transferred`` are
+        computed, as deltas of the source's :class:`NetworkModel` — so
+        retried attempts and partially transferred (dropped) streams are
+        each counted exactly once, never re-derived at the call sites.
+        """
+        self.stats.remote_calls += network.calls - calls_before
+        self.stats.rows_transferred += network.rows_transferred - rows_before
+
+    def give_up(self, fragment: Fragment | None, source_name: str,
+                error: SourceUnavailableError,
+                params: dict[str, Any] | None = None) -> list:
+        """Terminal failure: degraded read if possible, else skip/raise."""
+        if self.policy is not PartialResultPolicy.FAIL and params is None:
+            fallback = self._degraded_read(fragment)
+            if fallback is not None:
+                self.stats.stale_served += 1
+                self.completeness.record_stale(source_name)
+                return fallback
+        if self.policy is PartialResultPolicy.FAIL:
+            raise error
+        if (
+            self.policy is PartialResultPolicy.REQUIRE
+            and source_name in self.required_sources
+        ):
+            raise error
+        self.completeness.record_skip(source_name)
+        self.stats.fragments_skipped += 1
+        return []
+
+    def _degraded_read(self, fragment: Fragment | None) -> list[Record] | None:
+        """Stale materialized fragment, then registered replica, or None."""
+        engine = self.engine
+        if fragment is None:
+            return None
+        if engine.resilience is not None and not engine.resilience.allow_stale:
+            return None
+        if engine.materializer is not None:
+            served = engine.materializer.serve(fragment, allow_stale=True)
+            if served is not None:
+                return served
+        if engine.fallbacks is not None:
+            return engine.fallbacks.resolve(fragment)
+        return None
 
     # -- the two calls FragmentScan / view scans make ------------------------
 
@@ -74,31 +163,27 @@ class _ExecutionContext:
     ) -> list[Record]:
         engine = self.engine
         fragment = unit.fragment
+        source = unit.source
         if params is None and engine.materializer is not None:
             served = engine.materializer.serve(fragment)
             if served is not None:
                 self.stats.fragments_from_cache += 1
                 return served
+        network = source.network
+        calls_before, rows_before = network.calls, network.rows_transferred
         started = engine.clock.now
         try:
-            records = unit.source.execute(fragment, params)
-        except SourceUnavailableError:
-            if self.policy is PartialResultPolicy.FAIL:
-                raise
-            if (
-                self.policy is PartialResultPolicy.REQUIRE
-                and unit.source.name in self.required_sources
-            ):
-                raise
-            self.completeness.record_skip(unit.source.name)
-            self.stats.fragments_skipped += 1
-            return []
+            records = self.call_source(
+                source, lambda: source.execute(fragment, params)
+            )
+        except SourceUnavailableError as error:
+            self.charge_network(network, calls_before, rows_before)
+            return self.give_up(fragment, source.name, error, params)
+        self.charge_network(network, calls_before, rows_before)
         cost = engine.clock.now - started
         self.stats.fragments_executed += 1
-        self.stats.remote_calls += 1
-        self.stats.rows_transferred += len(records)
         if engine.materializer is not None and params is None:
-            engine.materializer.record_remote(fragment, unit.source, cost, len(records))
+            engine.materializer.record_remote(fragment, source, cost, len(records))
         return records
 
     def fetch_view(self, view: ViewDef) -> list[Element]:
@@ -135,6 +220,8 @@ class NimbleEngine:
         default_policy: PartialResultPolicy = PartialResultPolicy.SKIP,
         pushdown: bool = True,
         name: str = "engine",
+        resilience: ResiliencePolicy | None = None,
+        fallbacks: FallbackRegistry | None = None,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -143,6 +230,12 @@ class NimbleEngine:
         self.default_policy = default_policy
         self.pushdown = pushdown
         self.name = name
+        self.resilience = resilience
+        self.resilient = (
+            ResilientExecutor(self.clock, resilience)
+            if resilience is not None else None
+        )
+        self.fallbacks = fallbacks
         self.builder = PlanBuilder(self.cost_model)
         self.queries_run = 0
 
@@ -166,6 +259,7 @@ class NimbleEngine:
         self,
         text: str,
         policy: PartialResultPolicy | None = None,
+        required_sources: set[str] | None = None,
     ) -> QueryResult:
         """Run a FLWOR (XQuery-style) query over the same catalog.
 
@@ -174,15 +268,18 @@ class NimbleEngine:
         physical algebra was built, swapping the language is a front-end
         change.  FLWOR sources are fetched wholesale (no pushdown) —
         the unoptimized access path — with the same partial-results
-        policies.
+        policies, including REQUIRE over ``required_sources``.
         """
         from repro.mediator.mapping import RelationMapping
         from repro.mediator.schema import ViewDef
         from repro.query.flwor import translate_flwor
 
         effective = policy or self.default_policy
+        if required_sources and effective is not PartialResultPolicy.FAIL:
+            effective = PartialResultPolicy.REQUIRE
         self.queries_run += 1
-        context = _ExecutionContext(self, effective, frozenset())
+        context = _ExecutionContext(self, effective,
+                                    frozenset(required_sources or ()))
 
         def resolver(name: str):
             resolved = self.catalog.resolve(name)
@@ -194,17 +291,20 @@ class NimbleEngine:
             else:
                 source = self.catalog.registry.get(resolved.source_name)
                 relation = resolved.relation
+            network = source.network
+            calls_before = network.calls
+            rows_before = network.rows_transferred
             try:
-                items = source.fetch_all(relation)
-            except SourceUnavailableError:
-                if effective is PartialResultPolicy.FAIL:
-                    raise
-                context.completeness.record_skip(source.name)
-                context.stats.fragments_skipped += 1
-                return []
+                items = context.call_source(
+                    source, lambda: source.fetch_all(relation)
+                )
+            except SourceUnavailableError as error:
+                context.charge_network(network, calls_before, rows_before)
+                # wholesale fetches are not fragment-keyed, so there is
+                # no stale fallback here — skip or raise per policy
+                return context.give_up(None, source.name, error)
+            context.charge_network(network, calls_before, rows_before)
             context.stats.fragments_executed += 1
-            context.stats.remote_calls += 1
-            context.stats.rows_transferred += len(items)
             return items
 
         plan = translate_flwor(text, resolver)
@@ -297,7 +397,10 @@ class NimbleEngine:
         parent: _ExecutionContext | None = None,
     ) -> QueryResult:
         self.queries_run += 1
-        context = _ExecutionContext(self, policy, required_sources)
+        context = _ExecutionContext(
+            self, policy, required_sources,
+            deadline_at=parent.deadline_at if parent is not None else None,
+        )
         bound = bind_query(query)
         decomposed = decompose(bound, self.catalog, self.pushdown)
         plan = self.builder.build(decomposed, context)
@@ -309,11 +412,7 @@ class NimbleEngine:
         context.stats.plan_text = plan.explain()
         if parent is not None:
             parent.completeness.merge(context.completeness)
-            parent.stats.fragments_executed += context.stats.fragments_executed
-            parent.stats.fragments_from_cache += context.stats.fragments_from_cache
-            parent.stats.fragments_skipped += context.stats.fragments_skipped
-            parent.stats.rows_transferred += context.stats.rows_transferred
-            parent.stats.remote_calls += context.stats.remote_calls
+            parent.stats.absorb(context.stats)
         return QueryResult(elements, context.completeness, context.stats)
 
 

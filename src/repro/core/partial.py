@@ -41,6 +41,10 @@ class Completeness:
 
     complete: bool = True
     missing_sources: list[str] = field(default_factory=list)
+    #: sources answered from a stale cache or replica (degraded reads);
+    #: their rows are present, so ``complete`` stays True — but the data
+    #: may be out of date, which callers see separately from "missing"
+    stale_sources: list[str] = field(default_factory=list)
     skipped_fragments: int = 0
 
     def record_skip(self, source_name: str) -> None:
@@ -48,6 +52,16 @@ class Completeness:
         self.skipped_fragments += 1
         if source_name not in self.missing_sources:
             self.missing_sources.append(source_name)
+
+    def record_stale(self, source_name: str) -> None:
+        """A source was served from stale/replica data, not skipped."""
+        if source_name not in self.stale_sources:
+            self.stale_sources.append(source_name)
+
+    @property
+    def degraded(self) -> bool:
+        """Anything short of a fully fresh, fully complete answer."""
+        return not self.complete or bool(self.stale_sources)
 
     def merge(self, other: "Completeness") -> None:
         """Fold a sub-execution's completeness into this one."""
@@ -57,11 +71,18 @@ class Completeness:
         for name in other.missing_sources:
             if name not in self.missing_sources:
                 self.missing_sources.append(name)
+        for name in other.stale_sources:
+            if name not in self.stale_sources:
+                self.stale_sources.append(name)
 
     def describe(self) -> str:
+        stale = ""
+        if self.stale_sources:
+            stale = " (stale: " + ", ".join(self.stale_sources) + ")"
         if self.complete:
-            return "complete"
+            return "complete" + stale
         return (
             "INCOMPLETE (lower bound): missing "
             + ", ".join(self.missing_sources)
+            + stale
         )

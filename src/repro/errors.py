@@ -74,6 +74,35 @@ class SourceUnavailableError(SourceError):
         self.reason = reason
 
 
+class TransientSourceError(SourceUnavailableError):
+    """Raised for a per-call transient fault (timeout-class, retryable).
+
+    Subclasses :class:`SourceUnavailableError` so existing partial-result
+    policy handling treats an unretried transient fault like an outage.
+    """
+
+    def __init__(self, source_name: str, reason: str = "transient fault"):
+        super().__init__(source_name, reason)
+
+
+class SourceTimeoutError(SourceUnavailableError):
+    """Raised when a call or query exceeds its deadline budget."""
+
+    def __init__(self, source_name: str, reason: str = "deadline exceeded"):
+        super().__init__(source_name, reason)
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """Raised when a source's circuit breaker is open (fail fast)."""
+
+    def __init__(self, source_name: str, cooldown_remaining_ms: float = 0.0):
+        super().__init__(
+            source_name,
+            f"circuit open ({cooldown_remaining_ms:.0f} ms until probe)",
+        )
+        self.cooldown_remaining_ms = cooldown_remaining_ms
+
+
 class CapabilityError(SourceError):
     """Raised when a fragment exceeds a source's query capabilities."""
 

@@ -73,13 +73,23 @@ class MaterializationManager:
         self.default_policy = default_policy or RefreshPolicy.ttl(60_000.0)
         self.hits = 0
         self.misses = 0
+        #: times a *stale* view answered a degraded read (allow_stale)
+        self.stale_hits = 0
         #: materialized mediated views, by view name
         self.views: dict[str, MaterializedViewResult] = {}
 
     # -- serving -------------------------------------------------------------
 
-    def serve(self, fragment: Fragment) -> list[Record] | None:
-        """Answer ``fragment`` from the store, or None on miss/stale."""
+    def serve(self, fragment: Fragment,
+              allow_stale: bool = False) -> list[Record] | None:
+        """Answer ``fragment`` from the store, or None on miss/stale.
+
+        ``allow_stale=True`` is the degraded-read mode: when no fresh
+        view matches, a matching *stale* view still answers (the engine
+        uses this as a last resort when the source itself is gone,
+        annotating the result as served-stale).
+        """
+        stale_match: tuple[MaterializedView, list] | None = None
         for view in self.store:
             if view.fragment.source != fragment.source:
                 continue
@@ -87,29 +97,43 @@ class MaterializationManager:
             if not answers:
                 continue
             if not view.is_fresh(self.clock.now):
+                if allow_stale and stale_match is None:
+                    stale_match = (view, residual)
                 continue
             self.hits += 1
             view.hits += 1
-            records = view.records
-            if residual:
-                predicates = [compile_predicate(c) for c in residual]
-                records = [
-                    record
-                    for record in records
-                    if all(p(BindingTuple(record.as_dict())) for p in predicates)
-                ]
-            self.clock.advance(self.cost_model.local_cost(len(records)))
-            return list(records)
+            return self._filtered(view.records, residual)
+        if stale_match is not None:
+            view, residual = stale_match
+            self.stale_hits += 1
+            view.hits += 1
+            return self._filtered(view.records, residual)
         self.misses += 1
         return None
 
-    def serve_view(self, name: str) -> list | None:
+    def _filtered(self, records: list[Record], residual: list) -> list[Record]:
+        if residual:
+            predicates = [compile_predicate(c) for c in residual]
+            records = [
+                record
+                for record in records
+                if all(p(BindingTuple(record.as_dict())) for p in predicates)
+            ]
+        self.clock.advance(self.cost_model.local_cost(len(records)))
+        return list(records)
+
+    def serve_view(self, name: str, allow_stale: bool = False) -> list | None:
         """Answer a mediated view from its materialized elements."""
         cached = self.views.get(name)
-        if cached is None or not cached.is_fresh(self.clock.now):
+        if cached is None:
             return None
+        if not cached.is_fresh(self.clock.now):
+            if not allow_stale:
+                return None
+            self.stale_hits += 1
+        else:
+            self.hits += 1
         cached.hits += 1
-        self.hits += 1
         self.clock.advance(self.cost_model.local_cost(len(cached.elements)))
         return cached.elements
 
@@ -220,5 +244,6 @@ class MaterializationManager:
             "rows": self.store.total_rows,
             "hits": self.hits,
             "misses": self.misses,
+            "stale_hits": self.stale_hits,
             "mediated_views": len(self.views),
         }

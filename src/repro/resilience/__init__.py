@@ -1,0 +1,38 @@
+"""Resilience: fault injection, retries, breakers, degraded reads.
+
+The paper observes that with enough sources "the probability that they
+are all available simultaneously is nearly zero" (section 3.4) and
+answers with partial results.  This package supplies the machinery in
+front of that last resort:
+
+* :class:`FaultModel` — seeded per-call transient faults (failures,
+  slow calls, mid-stream drops) charged to the virtual clock;
+* :class:`RetryPolicy` — bounded retries with deterministic
+  exponential backoff;
+* :class:`CircuitBreaker` — per-source closed/open/half-open gate that
+  fails fast under sustained failure;
+* :class:`ResiliencePolicy` / :class:`ResilientExecutor` — the call
+  path combining the above with per-call and per-query deadlines;
+* :class:`FallbackRegistry` — replica fragments served as degraded
+  reads when everything else has given up.
+
+The engine's ladder per failing fragment: retry -> breaker fail-fast ->
+stale materialized fragment -> registered replica -> SKIP (annotated).
+"""
+
+from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.resilience.executor import ResiliencePolicy, ResilientExecutor
+from repro.resilience.fallback import FallbackRegistry
+from repro.resilience.faults import FaultModel
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "FallbackRegistry",
+    "FaultModel",
+    "ResiliencePolicy",
+    "ResilientExecutor",
+    "RetryPolicy",
+]

@@ -1,0 +1,127 @@
+"""Per-source circuit breakers over the virtual clock.
+
+A breaker protects the engine from hammering a failing source: once the
+recent failure rate crosses a threshold the breaker *opens* and calls
+fail fast (no network charge, no retry storm).  After a cooldown of
+virtual time it *half-opens* and lets probe calls through; enough probe
+successes close it again, a probe failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import CircuitOpenError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one circuit breaker."""
+
+    #: how many recent calls the failure rate is computed over
+    window: int = 10
+    #: failure fraction within the window that trips the breaker
+    failure_threshold: float = 0.5
+    #: minimum calls in the window before the breaker may trip
+    min_calls: int = 4
+    #: virtual ms the breaker stays open before probing
+    cooldown_ms: float = 10_000.0
+    #: consecutive probe successes needed to close from half-open
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_calls < 1 or self.half_open_probes < 1:
+            raise ValueError("window, min_calls, half_open_probes must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open state machine for one source."""
+
+    def __init__(self, config: BreakerConfig | None = None,
+                 source_name: str = ""):
+        self.config = config or BreakerConfig()
+        self.source_name = source_name
+        self.state = BreakerState.CLOSED
+        self.opened_at_ms: float | None = None
+        self.times_opened = 0
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._probe_successes = 0
+
+    # -- gate ---------------------------------------------------------------
+
+    def allow(self, now_ms: float) -> bool:
+        """May a call proceed right now?  (May move open -> half-open.)"""
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at_ms is not None
+            if now_ms - self.opened_at_ms >= self.config.cooldown_ms:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_successes = 0
+                return True
+            return False
+        return True
+
+    def check(self, now_ms: float) -> None:
+        """Raise :class:`CircuitOpenError` when calls must fail fast."""
+        if not self.allow(now_ms):
+            assert self.opened_at_ms is not None
+            remaining = self.config.cooldown_ms - (now_ms - self.opened_at_ms)
+            raise CircuitOpenError(self.source_name, remaining)
+
+    # -- outcomes -----------------------------------------------------------
+
+    def record_success(self, now_ms: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_probes:
+                self._close()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self, now_ms: float) -> bool:
+        """Record one failed call; returns True when the breaker trips."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip(now_ms)
+            return True
+        self._outcomes.append(False)
+        if self.state is BreakerState.CLOSED:
+            if len(self._outcomes) >= self.config.min_calls:
+                if self.failure_rate() >= self.config.failure_threshold:
+                    self._trip(now_ms)
+                    return True
+        return False
+
+    # -- introspection ------------------------------------------------------
+
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / len(self._outcomes)
+
+    def _trip(self, now_ms: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at_ms = now_ms
+        self.times_opened += 1
+        self._outcomes.clear()
+
+    def _close(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.opened_at_ms = None
+        self._outcomes.clear()
+        self._probe_successes = 0
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.source_name!r} {self.state.value} "
+                f"rate={self.failure_rate():.2f}>")

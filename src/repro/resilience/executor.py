@@ -1,0 +1,145 @@
+"""The resilient call path: retry -> breaker -> deadline accounting.
+
+:class:`ResilientExecutor` wraps every remote source call the engine
+makes.  One executor lives on the engine (breakers persist *across*
+queries — that is what makes failing fast useful); per-query counters
+are charged to the query's ``EngineStats`` by the caller passing it in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SourceTimeoutError, SourceUnavailableError
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.resilience.retry import RetryPolicy
+from repro.simtime import SimClock
+
+
+@dataclass
+class ResiliencePolicy:
+    """Everything the engine needs to survive a misbehaving source.
+
+    The degraded-read ladder is: retry (``retry``) -> fail fast once the
+    breaker opens (``breaker``) -> serve a stale materialized fragment
+    or registered replica (``allow_stale``) -> SKIP with annotation.
+    ``call_deadline_ms`` bounds one source call; ``query_deadline_ms``
+    bounds the whole query's remote budget — overruns surface as
+    :class:`~repro.errors.SourceTimeoutError`.
+    """
+
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig | None = field(default_factory=BreakerConfig)
+    call_deadline_ms: float | None = None
+    query_deadline_ms: float | None = None
+    allow_stale: bool = True
+
+
+class ResilientExecutor:
+    """Applies a :class:`ResiliencePolicy` to individual source calls."""
+
+    def __init__(self, clock: SimClock, policy: ResiliencePolicy):
+        self.clock = clock
+        self.policy = policy
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.total_retries = 0
+        self.total_deadline_misses = 0
+
+    def breaker_for(self, source_name: str) -> CircuitBreaker | None:
+        if self.policy.breaker is None:
+            return None
+        breaker = self.breakers.get(source_name)
+        if breaker is None:
+            breaker = CircuitBreaker(self.policy.breaker, source_name)
+            self.breakers[source_name] = breaker
+        return breaker
+
+    def call(
+        self,
+        source_name: str,
+        attempt_fn: Callable[[], Any],
+        stats: Any = None,
+        deadline_at_ms: float | None = None,
+    ) -> Any:
+        """Run one logical source call under the policy.
+
+        ``stats`` is the query's ``EngineStats`` (duck-typed: ``retries``,
+        ``breaker_trips``, ``deadline_misses`` counters); ``deadline_at_ms``
+        is the absolute virtual time at which the query's budget runs out.
+        """
+        policy = self.policy
+        breaker = self.breaker_for(source_name)
+        attempts = policy.retry.max_attempts if policy.retry is not None else 1
+        for attempt in range(attempts):
+            if deadline_at_ms is not None and self.clock.now >= deadline_at_ms:
+                self._count_deadline_miss(stats)
+                raise SourceTimeoutError(source_name, "query deadline exhausted")
+            if breaker is not None:
+                breaker.check(self.clock.now)
+            started = self.clock.now
+            try:
+                result = attempt_fn()
+            except SourceUnavailableError:
+                self._record_failure(breaker, stats)
+                if not self._backoff(attempt, attempts, deadline_at_ms, stats):
+                    raise
+                continue
+            elapsed = self.clock.now - started
+            if (policy.call_deadline_ms is not None
+                    and elapsed > policy.call_deadline_ms):
+                # the call "timed out": the result arrived past its budget
+                self._count_deadline_miss(stats)
+                self._record_failure(breaker, stats)
+                if not self._backoff(attempt, attempts, deadline_at_ms, stats):
+                    raise SourceTimeoutError(
+                        source_name,
+                        f"call took {elapsed:.0f} ms "
+                        f"(budget {policy.call_deadline_ms:.0f} ms)",
+                    )
+                continue
+            if breaker is not None:
+                breaker.record_success(self.clock.now)
+            return result
+        raise AssertionError("unreachable: retry loop must raise or return")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _backoff(self, attempt: int, attempts: int,
+                 deadline_at_ms: float | None, stats: Any) -> bool:
+        """Charge backoff and report whether another attempt follows."""
+        if attempt + 1 >= attempts or self.policy.retry is None:
+            return False
+        wait = self.policy.retry.backoff_ms(attempt)
+        if deadline_at_ms is not None:
+            # never sleep past the query deadline; the next loop
+            # iteration converts an exhausted budget into a timeout
+            wait = min(wait, max(0.0, deadline_at_ms - self.clock.now))
+        self.clock.advance(wait)
+        self.total_retries += 1
+        if stats is not None:
+            stats.retries += 1
+        return True
+
+    def _record_failure(self, breaker: CircuitBreaker | None,
+                        stats: Any) -> None:
+        if breaker is not None and breaker.record_failure(self.clock.now):
+            if stats is not None:
+                stats.breaker_trips += 1
+
+    def _count_deadline_miss(self, stats: Any) -> None:
+        self.total_deadline_misses += 1
+        if stats is not None:
+            stats.deadline_misses += 1
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "retries": self.total_retries,
+            "deadline_misses": self.total_deadline_misses,
+            "breakers_open": sum(
+                1 for b in self.breakers.values() if b.opened_at_ms is not None
+            ),
+            "breaker_trips": sum(
+                b.times_opened for b in self.breakers.values()
+            ),
+        }

@@ -1,0 +1,61 @@
+"""Degraded reads: serve a registered replica when the source is gone.
+
+The paper's availability story ends at partial results; production
+mediators keep one more rung on the ladder — a *replica* of the source
+data, maintained offline (see :mod:`repro.admin.replication`), served
+when retries and the circuit breaker have given up.  The registry uses
+the same containment test as the materialization store, so a replica of
+a broader fragment answers narrower queries with residual conditions
+re-applied locally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.algebra.tuples import BindingTuple
+from repro.materialize.matching import matches
+from repro.query.exprs import compile_predicate
+from repro.sources.base import Fragment
+from repro.xmldm.values import Record
+
+ReplicaProvider = Callable[[], "Iterable[Record] | None"]
+
+
+class FallbackRegistry:
+    """Fragment -> replica provider, consulted on terminal source failure."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[Fragment, ReplicaProvider]] = []
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, fragment: Fragment, provider: ReplicaProvider) -> None:
+        """Offer ``provider``'s records as a stand-in for ``fragment``."""
+        self._entries.append((fragment, provider))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resolve(self, fragment: Fragment) -> list[Record] | None:
+        """Records answering ``fragment`` from a replica, or None."""
+        for registered, provider in self._entries:
+            if registered.source != fragment.source:
+                continue
+            answers, residual = matches(registered, fragment)
+            if not answers:
+                continue
+            records = provider()
+            if records is None:
+                continue
+            rows = list(records)
+            if residual:
+                predicates = [compile_predicate(c) for c in residual]
+                rows = [
+                    record for record in rows
+                    if all(p(BindingTuple(record.as_dict())) for p in predicates)
+                ]
+            self.hits += 1
+            return rows
+        self.misses += 1
+        return None

@@ -1,0 +1,88 @@
+"""Transient fault injection for source wrappers.
+
+The availability process in :mod:`repro.sources.flaky` models *outages*:
+a source is down for a window of virtual time and every call in that
+window fails.  Real mediators also see *transient* faults — an
+individual call times out, runs slow, or drops its result stream
+halfway — and recover from them with retries rather than by waiting out
+an outage.  :class:`FaultModel` injects exactly those per-call faults,
+driven by a seeded RNG so that two runs over the same call schedule see
+the same faults, and charging all injected delay to the shared
+:class:`~repro.simtime.SimClock` so the latency experiments stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import random
+
+from repro.errors import TransientSourceError
+from repro.simtime import SimClock
+
+
+@dataclass
+class FaultModel:
+    """Per-call transient faults: failures, slow calls, mid-stream drops.
+
+    * ``failure_rate`` — probability that a call fails outright with a
+      :class:`TransientSourceError` after the call latency is paid;
+    * ``slow_rate`` / ``slow_factor`` — probability that a call's
+      latency is inflated to ``slow_factor`` times the source's normal
+      call latency (``slow_penalty_ms`` charges a flat penalty instead
+      when set, which is useful for zero-latency test sources);
+    * ``drop_rate`` — probability that the result stream is cut at a
+      random row: the rows transferred before the cut are still charged
+      to the network model, then the call fails.
+
+    All draws come from one ``random.Random(seed)``, so a fresh model
+    replayed over the same call sequence injects the same faults.
+    """
+
+    failure_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_factor: float = 5.0
+    slow_penalty_ms: float | None = None
+    drop_rate: float = 0.0
+    seed: int = 11
+    injected_failures: int = field(default=0, init=False)
+    injected_slow_calls: int = field(default=0, init=False)
+    injected_drops: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "slow_rate", "drop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def reset(self) -> None:
+        """Re-seed the RNG and zero the counters (fresh replay)."""
+        self._rng = random.Random(self.seed)
+        self.injected_failures = 0
+        self.injected_slow_calls = 0
+        self.injected_drops = 0
+
+    def inject_call(self, source_name: str, clock: SimClock,
+                    latency_ms: float) -> None:
+        """Fault decision for one call: may raise or inflate latency."""
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.injected_failures += 1
+            raise TransientSourceError(source_name, "injected transient fault")
+        if self.slow_rate and self._rng.random() < self.slow_rate:
+            self.injected_slow_calls += 1
+            if self.slow_penalty_ms is not None:
+                clock.advance(self.slow_penalty_ms)
+            else:
+                clock.advance(latency_ms * (self.slow_factor - 1.0))
+
+    def drop_point(self, n_rows: int) -> int | None:
+        """Row index at which the stream drops, or None for no drop."""
+        if not self.drop_rate or n_rows <= 0:
+            return None
+        if self._rng.random() < self.drop_rate:
+            self.injected_drops += 1
+            return self._rng.randrange(n_rows)
+        return None

@@ -1,0 +1,51 @@
+"""Retry with exponential backoff over the virtual clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import random
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry a failed source call, and how to wait.
+
+    Backoff after the ``attempt``-th failure (0-based) is
+    ``base_backoff_ms * multiplier ** attempt`` capped at
+    ``max_backoff_ms``, scaled by a deterministic jitter of up to
+    ``±jitter`` drawn from a seeded RNG.  The executor charges the wait
+    to the virtual clock, so retried queries *pay* for their patience in
+    the latency benchmarks.
+    """
+
+    max_attempts: int = 3
+    base_backoff_ms: float = 50.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 5_000.0
+    jitter: float = 0.1
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def reset(self) -> None:
+        """Re-seed the jitter RNG (fresh deterministic replay)."""
+        self._rng = random.Random(self.seed)
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Wait before retry number ``attempt + 1`` (attempt is 0-based)."""
+        raw = min(
+            self.base_backoff_ms * self.multiplier ** attempt,
+            self.max_backoff_ms,
+        )
+        if self.jitter:
+            raw *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return raw

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.algebra.pattern import TreePattern
-from repro.errors import CapabilityError, SourceUnavailableError
+from repro.errors import CapabilityError, SourceUnavailableError, TransientSourceError
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.resilience
+    from repro.resilience.faults import FaultModel
 from repro.query import ast as qast
 from repro.simtime import SimClock
 from repro.xmldm.schema import RecordType
@@ -133,10 +136,13 @@ class DataSource:
     capabilities = CapabilityProfile()
 
     def __init__(self, name: str, clock: SimClock | None = None,
-                 network: NetworkModel | None = None):
+                 network: NetworkModel | None = None,
+                 faults: "FaultModel | None" = None):
         self.name = name
         self.clock = clock or SimClock()
         self.network = network or NetworkModel()
+        #: optional transient-fault injector consulted on every call
+        self.faults = faults
 
     # -- metadata ---------------------------------------------------------
 
@@ -177,9 +183,29 @@ class DataSource:
                 f"{fragment.input_vars} but none were supplied"
             )
         self.network.charge_call(self.clock)
+        if self.faults is not None:
+            self.faults.inject_call(self.name, self.clock,
+                                    self.network.latency_ms)
         rows = list(self._execute(fragment, dict(params or {})))
-        self.network.charge_rows(self.clock, len(rows))
+        self._charge_result_rows(rows)
         return rows
+
+    def _charge_result_rows(self, rows: list) -> None:
+        """Charge transfer for a result, honoring injected stream drops.
+
+        A mid-stream drop still pays for the rows delivered before the
+        cut — the caller's retry re-transfers them, which is exactly the
+        cost profile retries have against real flaky sources.
+        """
+        if self.faults is not None:
+            cut = self.faults.drop_point(len(rows))
+            if cut is not None:
+                self.network.charge_rows(self.clock, cut)
+                raise TransientSourceError(
+                    self.name,
+                    f"stream dropped after {cut} of {len(rows)} rows",
+                )
+        self.network.charge_rows(self.clock, len(rows))
 
     def validate_fragment(self, fragment: Fragment) -> None:
         profile = self.capabilities
@@ -224,8 +250,11 @@ class DataSource:
         """
         self.check_available()
         self.network.charge_call(self.clock)
+        if self.faults is not None:
+            self.faults.inject_call(self.name, self.clock,
+                                    self.network.latency_ms)
         items = list(self._fetch_all(relation))
-        self.network.charge_rows(self.clock, len(items))
+        self._charge_result_rows(items)
         return items
 
     def _fetch_all(self, relation: str) -> Iterable[Any]:

@@ -55,7 +55,9 @@ class AvailabilityModel:
     def _advance_state(self, now_ms: float) -> None:
         # The current state ends at the boundary; cross boundaries one at
         # a time, flipping state and drawing the new state's duration.
-        while self._boundary_ms <= now_ms:
+        # An infinite boundary (availability=1.0) never ends — without
+        # this guard, is_up(inf) would flip states forever.
+        while self._boundary_ms <= now_ms and self._boundary_ms != float("inf"):
             self._up = not self._up
             self._boundary_ms += self._draw_duration(self._up)
 
@@ -65,10 +67,18 @@ class AvailabilityModel:
 
 
 class FlakySource(DataSource):
-    """Decorates any source with an availability process."""
+    """Decorates any source with an availability process.
 
-    def __init__(self, inner: DataSource, model: AvailabilityModel | None = None):
-        super().__init__(inner.name, inner.clock, inner.network)
+    ``faults`` additionally injects per-call transient failures, slow
+    calls, and mid-stream drops (see
+    :class:`repro.resilience.faults.FaultModel`) — outages model *down
+    windows*, faults model *bad individual calls*.
+    """
+
+    def __init__(self, inner: DataSource, model: AvailabilityModel | None = None,
+                 faults=None):
+        super().__init__(inner.name, inner.clock, inner.network,
+                         faults=faults or inner.faults)
         self.inner = inner
         self.model = model or AvailabilityModel()
         self.capabilities = inner.capabilities

@@ -1,0 +1,504 @@
+"""Tests for the resilience layer: faults, retries, breakers, fallbacks."""
+
+import pytest
+
+from repro.core import NimbleEngine, PartialResultPolicy
+from repro.core.partial import Completeness
+from repro.admin.replication import DataAdministrator
+from repro.errors import (
+    CircuitOpenError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from repro.materialize import MaterializationManager, RefreshPolicy
+from repro.mediator.catalog import Catalog
+from repro.optimizer.decomposer import decompose
+from repro.query.binder import bind_query
+from repro.query.parser import parse_query
+from repro.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    FallbackRegistry,
+    FaultModel,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.simtime import SimClock
+from repro.sources import (
+    AvailabilityModel,
+    FlakySource,
+    NetworkModel,
+    SourceRegistry,
+    XMLSource,
+)
+
+ITEMS_XML = (
+    "<r><item><v>a</v></item><item><v>b</v></item><item><v>c</v></item></r>"
+)
+# dotted source.document addressing: the XML idiom that preserves the
+# pattern root (mapped relation names rewrite it for relational sources)
+ITEMS_QUERY = (
+    'WHERE <item><v>$v</v></item> IN "feed.data" CONSTRUCT <out>$v</out>'
+)
+
+
+def build_feed(faults=None, availability=1.0, latency_ms=10.0):
+    """One-source deployment: clock, registry, catalog, flaky source."""
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    catalog = Catalog(registry)
+    source = FlakySource(
+        XMLSource("feed", {"data": ITEMS_XML},
+                  network=NetworkModel(latency_ms=latency_ms, per_row_ms=0.1)),
+        AvailabilityModel(availability=availability, seed=3),
+        faults=faults,
+    )
+    registry.register(source)
+    return clock, catalog, source
+
+
+def items_fragment(catalog):
+    bound = bind_query(parse_query(ITEMS_QUERY))
+    return decompose(bound, catalog).units[0].fragment
+
+
+class TestFaultModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultModel(failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(slow_factor=0.5)
+
+    def test_failure_injection_raises_transient(self):
+        clock = SimClock()
+        model = FaultModel(failure_rate=1.0, seed=1)
+        with pytest.raises(TransientSourceError):
+            model.inject_call("s", clock, 10.0)
+        assert model.injected_failures == 1
+
+    def test_slow_call_inflates_clock(self):
+        clock = SimClock()
+        model = FaultModel(slow_rate=1.0, slow_factor=5.0, seed=1)
+        model.inject_call("s", clock, 10.0)
+        assert clock.now == pytest.approx(40.0)  # 4x extra latency
+        assert model.injected_slow_calls == 1
+
+    def test_flat_slow_penalty(self):
+        clock = SimClock()
+        model = FaultModel(slow_rate=1.0, slow_penalty_ms=99.0, seed=1)
+        model.inject_call("s", clock, 0.0)
+        assert clock.now == pytest.approx(99.0)
+
+    def test_deterministic_replay(self):
+        a = FaultModel(failure_rate=0.3, slow_rate=0.2, drop_rate=0.2, seed=42)
+        b = FaultModel(failure_rate=0.3, slow_rate=0.2, drop_rate=0.2, seed=42)
+
+        def trace(model):
+            events = []
+            for _ in range(50):
+                clock = SimClock()
+                try:
+                    model.inject_call("s", clock, 10.0)
+                    events.append(("ok", clock.now, model.drop_point(5)))
+                except TransientSourceError:
+                    events.append(("fail", clock.now, None))
+            return events
+
+        expected = trace(a)
+        assert trace(b) == expected
+        a.reset()
+        assert a.injected_failures == 0
+        assert trace(a) == expected
+
+    def test_midstream_drop_charges_partial_rows(self):
+        clock, catalog, source = build_feed(
+            faults=FaultModel(drop_rate=1.0, seed=5)
+        )
+        with pytest.raises(TransientSourceError) as excinfo:
+            source.fetch_all("data")
+        assert "stream dropped" in str(excinfo.value)
+        # the call latency was paid and some rows may have transferred
+        assert source.network.calls == 1
+        assert source.network.rows_transferred < 3
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff_ms=100.0, multiplier=2.0,
+                             max_backoff_ms=300.0, jitter=0.0)
+        assert policy.backoff_ms(0) == pytest.approx(100.0)
+        assert policy.backoff_ms(1) == pytest.approx(200.0)
+        assert policy.backoff_ms(2) == pytest.approx(300.0)  # capped
+        assert policy.backoff_ms(9) == pytest.approx(300.0)
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(jitter=0.5, seed=9)
+        b = RetryPolicy(jitter=0.5, seed=9)
+        seq_a = [a.backoff_ms(i) for i in range(10)]
+        seq_b = [b.backoff_ms(i) for i in range(10)]
+        assert seq_a == seq_b
+        a.reset()
+        assert [a.backoff_ms(i) for i in range(10)] == seq_a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestCircuitBreaker:
+    def config(self, **overrides):
+        base = dict(window=4, failure_threshold=0.5, min_calls=2,
+                    cooldown_ms=1_000.0, half_open_probes=1)
+        base.update(overrides)
+        return BreakerConfig(**base)
+
+    def test_opens_under_sustained_failure(self):
+        breaker = CircuitBreaker(self.config(), "s")
+        assert not breaker.record_failure(0.0)  # below min_calls
+        assert breaker.record_failure(1.0)      # 2/2 failures -> trips
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(2.0)
+        with pytest.raises(CircuitOpenError):
+            breaker.check(2.0)
+
+    def test_half_open_after_cooldown_then_closes(self):
+        breaker = CircuitBreaker(self.config(), "s")
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow(1_200.0)  # cooldown elapsed -> probe allowed
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(1_210.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(self.config(), "s")
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.allow(1_500.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.record_failure(1_510.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        assert not breaker.allow(1_600.0)  # cooldown restarted
+
+    def test_successes_keep_it_closed(self):
+        breaker = CircuitBreaker(self.config(), "s")
+        for t in range(10):
+            breaker.record_success(float(t))
+        breaker.record_failure(10.0)
+        assert breaker.state is BreakerState.CLOSED  # 1/4 < threshold
+
+
+class TestResilientEngine:
+    def test_retries_recover_transient_faults(self):
+        # 60% per-call failure: without retries most queries skip, with
+        # 4 attempts nearly all succeed.
+        faults = FaultModel(failure_rate=0.6, seed=17)
+        clock, catalog, source = build_feed(faults=faults)
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=4, base_backoff_ms=5.0),
+                breaker=None,
+            ),
+        )
+        complete = 0
+        for _ in range(20):
+            result = engine.query(ITEMS_QUERY)
+            if result.completeness.complete:
+                complete += 1
+        assert complete >= 18
+        assert engine.resilient.total_retries > 0
+
+    def test_retry_is_charged_to_the_clock(self):
+        faults = FaultModel(failure_rate=1.0, seed=1)
+        clock, catalog, source = build_feed(faults=faults)
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=3, base_backoff_ms=100.0,
+                                  jitter=0.0),
+                breaker=None,
+            ),
+        )
+        result = engine.query(ITEMS_QUERY)
+        assert not result.completeness.complete
+        assert result.stats.retries == 2
+        # 3 call latencies + backoffs of 100 and 200 ms
+        assert result.stats.elapsed_virtual_ms >= 330.0
+        # satellite: remote_calls derives from the network model, so
+        # every retried attempt is counted exactly once
+        assert result.stats.remote_calls == 3
+
+    def test_breaker_opens_and_fails_fast(self):
+        clock, catalog, source = build_feed()
+        source.force_offline()
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=2, base_backoff_ms=10.0),
+                breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                      min_calls=2, cooldown_ms=60_000.0),
+            ),
+        )
+        first = engine.query(ITEMS_QUERY)
+        assert first.stats.breaker_trips == 1
+        assert not first.completeness.complete
+        # breaker now open: the next query must not touch the wire
+        calls_before = source.network.calls
+        second = engine.query(ITEMS_QUERY)
+        assert source.network.calls == calls_before
+        assert second.stats.remote_calls == 0
+        assert second.stats.fragments_skipped == 1
+
+    def test_breaker_half_opens_and_recovers(self):
+        clock, catalog, source = build_feed()
+        source.force_offline()
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=None,
+                breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                      min_calls=2, cooldown_ms=1_000.0),
+            ),
+        )
+        engine.query(ITEMS_QUERY)
+        engine.query(ITEMS_QUERY)
+        breaker = engine.resilient.breakers["feed"]
+        assert breaker.state is BreakerState.OPEN
+        # source comes back; after the cooldown a probe call closes it
+        source.force_offline(False)
+        clock.advance(2_000.0)
+        result = engine.query(ITEMS_QUERY)
+        assert result.completeness.complete
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_call_deadline_converts_slow_calls_to_timeouts(self):
+        # every call is slow (500 ms against a 100 ms budget)
+        faults = FaultModel(slow_rate=1.0, slow_penalty_ms=500.0, seed=2)
+        clock, catalog, source = build_feed(faults=faults, latency_ms=10.0)
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=2, base_backoff_ms=10.0),
+                breaker=None,
+                call_deadline_ms=100.0,
+            ),
+        )
+        result = engine.query(ITEMS_QUERY)
+        assert not result.completeness.complete
+        assert result.stats.deadline_misses == 2
+
+    def test_query_deadline_stops_retrying(self):
+        faults = FaultModel(failure_rate=1.0, seed=3)
+        clock, catalog, source = build_feed(faults=faults, latency_ms=50.0)
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=10, base_backoff_ms=200.0,
+                                  jitter=0.0),
+                breaker=None,
+                query_deadline_ms=300.0,
+            ),
+        )
+        result = engine.query(ITEMS_QUERY)
+        assert not result.completeness.complete
+        assert result.stats.deadline_misses >= 1
+        assert result.stats.retries < 9  # budget cut the retry loop short
+        with pytest.raises(SourceTimeoutError):
+            engine.query(ITEMS_QUERY, policy=PartialResultPolicy.FAIL)
+
+    def test_deterministic_across_runs(self):
+        def run():
+            faults = FaultModel(failure_rate=0.4, slow_rate=0.2,
+                                drop_rate=0.1, seed=77)
+            clock, catalog, source = build_feed(faults=faults)
+            engine = NimbleEngine(
+                catalog,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=3, seed=5),
+                    breaker=BreakerConfig(cooldown_ms=500.0),
+                ),
+            )
+            totals = {}
+            for index in range(30):
+                stats = engine.query(ITEMS_QUERY).stats
+                for key, value in stats.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            totals["clock"] = clock.now
+            return totals
+
+        assert run() == run()
+
+
+class TestDegradedReads:
+    def test_stale_materialized_fragment_serves_offline_source(self):
+        clock, catalog, source = build_feed()
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        engine.materialize_query_fragments(ITEMS_QUERY,
+                                           RefreshPolicy.ttl(100.0))
+        clock.advance(10_000.0)  # cache is now stale
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert [e.text_content() for e in result.elements] == ["a", "b", "c"]
+        assert result.stats.stale_served == 1
+        assert result.stats.fragments_skipped == 0
+        assert result.completeness.complete  # present, just stale
+        assert result.completeness.stale_sources == ["feed"]
+        assert result.completeness.degraded
+        assert "stale: feed" in result.completeness.describe()
+        assert manager.stale_hits == 1
+
+    def test_fresh_cache_still_preferred_over_stale(self):
+        clock, catalog, source = build_feed()
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        engine.materialize_query_fragments(ITEMS_QUERY,
+                                           RefreshPolicy.ttl(1e9))
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.fragments_from_cache == 1
+        assert result.stats.stale_served == 0
+        assert not result.completeness.stale_sources
+
+    def test_fail_policy_never_serves_stale(self):
+        clock, catalog, source = build_feed()
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager,
+                              default_policy=PartialResultPolicy.FAIL)
+        engine.materialize_query_fragments(ITEMS_QUERY,
+                                           RefreshPolicy.ttl(100.0))
+        clock.advance(10_000.0)
+        source.force_offline()
+        with pytest.raises(SourceUnavailableError):
+            engine.query(ITEMS_QUERY)
+
+    def test_replica_fallback_after_replication_job(self):
+        clock, catalog, source = build_feed()
+        fragment = items_fragment(catalog)
+        admin = DataAdministrator(clock)
+        admin.add_job("copy_items", source, fragment, "replica_items",
+                      period_ms=60_000.0)
+        assert admin.run_job("copy_items") == 3
+        fallbacks = FallbackRegistry()
+        assert admin.register_fallbacks(fallbacks) == 1
+        engine = NimbleEngine(catalog, fallbacks=fallbacks)
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert sorted(e.text_content() for e in result.elements) == [
+            "a", "b", "c",
+        ]
+        assert result.stats.stale_served == 1
+        assert result.completeness.stale_sources == ["feed"]
+        assert fallbacks.hits == 1
+
+    def test_replica_records_none_before_first_run(self):
+        clock, catalog, source = build_feed()
+        admin = DataAdministrator(clock)
+        admin.add_job("copy_items", source, items_fragment(catalog),
+                      "replica_items", period_ms=60_000.0)
+        assert admin.replica_records("copy_items") is None
+        fallbacks = FallbackRegistry()
+        admin.register_fallbacks(fallbacks)
+        engine = NimbleEngine(catalog, fallbacks=fallbacks)
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)  # no replica yet -> plain skip
+        assert result.stats.fragments_skipped == 1
+        assert result.completeness.missing_sources == ["feed"]
+
+    def test_allow_stale_false_disables_degraded_reads(self):
+        clock, catalog, source = build_feed()
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(
+            catalog, materializer=manager,
+            resilience=ResiliencePolicy(retry=None, breaker=None,
+                                        allow_stale=False),
+        )
+        engine.materialize_query_fragments(ITEMS_QUERY,
+                                           RefreshPolicy.ttl(100.0))
+        clock.advance(10_000.0)
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.stale_served == 0
+        assert result.stats.fragments_skipped == 1
+
+
+class TestFlworRequiredSources:
+    @pytest.fixture
+    def flaky_catalog(self, catalog):
+        offline = FlakySource(
+            XMLSource("archive", {"old": "<r><item><v>1</v></item></r>"}),
+            AvailabilityModel(availability=0.99),
+        )
+        catalog.registry.register(offline)
+        offline.force_offline()
+        catalog.map_relation("archive_items", "archive", "old")
+        return catalog
+
+    def test_flwor_honors_required_sources(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        query = 'FOR $i IN "archive_items" RETURN <r>{$i}</r>'
+        with pytest.raises(SourceUnavailableError):
+            engine.flwor_query(query, required_sources={"archive"})
+
+    def test_flwor_skips_unrequired_offline_source(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        result = engine.flwor_query(
+            'FOR $i IN "archive_items" RETURN <r>{$i}</r>',
+            required_sources={"crm"},
+        )
+        assert result.elements == []
+        assert result.completeness.missing_sources == ["archive"]
+
+    def test_flwor_requiring_healthy_source_succeeds(self, flaky_catalog):
+        engine = NimbleEngine(flaky_catalog)
+        result = engine.flwor_query(
+            'FOR $c IN "customers" RETURN <r>{$c/name}</r>',
+            required_sources={"crm"},
+        )
+        assert len(result.elements) == 4
+        assert result.completeness.complete
+
+
+class TestCompletenessMerge:
+    def test_merge_overlapping_missing_and_stale(self):
+        left = Completeness()
+        left.record_skip("a")
+        left.record_stale("b")
+        right = Completeness()
+        right.record_skip("a")
+        right.record_skip("c")
+        right.record_stale("b")
+        right.record_stale("d")
+        left.merge(right)
+        assert left.missing_sources == ["a", "c"]
+        assert left.stale_sources == ["b", "d"]
+        assert left.skipped_fragments == 3
+        assert not left.complete
+
+    def test_merge_complete_with_stale_only(self):
+        left = Completeness()
+        right = Completeness()
+        right.record_stale("s")
+        left.merge(right)
+        assert left.complete
+        assert left.degraded
+        assert left.stale_sources == ["s"]
+        assert left.describe() == "complete (stale: s)"
+
+    def test_source_both_stale_and_missing(self):
+        # one fragment served stale, another fragment of the same source
+        # skipped outright: both annotations stand
+        note = Completeness()
+        note.record_stale("s")
+        note.record_skip("s")
+        assert note.stale_sources == ["s"]
+        assert note.missing_sources == ["s"]
+        assert "INCOMPLETE" in note.describe()
+        assert "stale: s" in note.describe()

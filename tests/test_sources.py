@@ -291,9 +291,40 @@ class TestFlakySource:
         model = AvailabilityModel(availability=1.0)
         assert all(model.is_up(t * 1000.0) for t in range(100))
 
+    def test_availability_one_survives_extreme_times(self):
+        # infinite uptime: the state boundary is +inf, so no amount of
+        # virtual time ever flips the process or loops on boundaries
+        model = AvailabilityModel(availability=1.0)
+        assert model.is_up(0.0)
+        assert model.is_up(1e15)
+        assert model.is_up(float("inf"))
+
+    def test_very_low_availability_is_mostly_down(self):
+        model = AvailabilityModel(availability=0.01, mean_outage_ms=100.0,
+                                  seed=11)
+        samples = 20_000
+        ups = sum(model.is_up(t * 10.0) for t in range(samples))
+        assert ups / samples < 0.05
+
+    def test_state_advance_across_many_boundaries(self):
+        # one giant leap must land in the same state as many small steps
+        stepping = AvailabilityModel(availability=0.5, mean_outage_ms=20.0,
+                                     seed=13)
+        leaping = AvailabilityModel(availability=0.5, mean_outage_ms=20.0,
+                                    seed=13)
+        final_ms = 500_000.0  # ~12 500 expected up/down periods
+        for t in range(0, int(final_ms), 50):
+            stepping.is_up(float(t))
+        assert stepping.is_up(final_ms) == leaping.is_up(final_ms)
+        assert leaping._boundary_ms > final_ms
+
     def test_invalid_availability(self):
         with pytest.raises(ValueError):
             AvailabilityModel(availability=0.0)
+        with pytest.raises(ValueError):
+            AvailabilityModel(availability=1.5)
+        with pytest.raises(ValueError):
+            AvailabilityModel(availability=-0.2)
 
     def test_delegates_capabilities(self, clock):
         inner = XMLSource("x", {"d": "<r/>"}, clock)
