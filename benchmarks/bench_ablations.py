@@ -24,7 +24,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -279,6 +279,21 @@ def report():
         "A5: compiled (XML-QL pushdown) vs wholesale (FLWOR) front end",
         ["front end", "rows transferred", "virtual ms", "results"],
         frontends,
+    )
+    write_bench_json(
+        "ablations",
+        ["plan", "fragments", "rows transferred", "virtual ms", "results"],
+        merging,
+        headline={"merged_virtual_ms": merging[0][3]},
+        extra_tables={
+            "memoization": (["mode", "fragments executed", "virtual ms",
+                             "results"], memo),
+            "window": (["window", "pairs compared", "wall ms", "recall"],
+                       window),
+            "construct": (["mode", "elements built", "wall ms"], construct),
+            "frontends": (["front end", "rows transferred", "virtual ms",
+                           "results"], frontends),
+        },
     )
     return merging, memo, window, construct, frontends
 

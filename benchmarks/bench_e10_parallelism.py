@@ -1,0 +1,192 @@
+"""E10 — parallel fetches, dependent-join batching, plan caching.
+
+The paper's engine "included facilities for parallel execution of query
+operators" (section 3.1); a query over a mediated view fans out to many
+autonomous sources, so a serial engine pays the *sum* of their
+latencies where a fetch pool pays the *max* per wave.  This experiment
+measures the three parallel-execution features on the extended web-site
+workload (four independent sources plus the parameterized reviews
+endpoint):
+
+* **fan-out sweep** — ``max_parallel_fetches`` in {1, 2, 4, 8} over the
+  four-source page query: virtual latency drops to the slowest wave
+  while results and every stats counter stay identical;
+* **batch sweep** — ``batch_size`` in {1, 8, 32} over the dependent
+  reviews join: one remote call per batch instead of per row (the N+1
+  fix), collapsing ``remote_calls`` by ~batch_size;
+* **plan cache** — repeated query text skips parse/bind/decompose,
+  cutting real wall microseconds per query.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table, write_bench_json
+
+from repro import NimbleEngine
+from repro.workloads import make_website_workload
+
+N_PRODUCTS = 50
+
+#: four independent sources: content catalog, ERP, logistics, marketing
+FANOUT_QUERY = (
+    'WHERE <product sku=$s category=$c><name>$n</name></product> '
+    'IN "content.products", '
+    '<t><sku>$s</sku><price>$p</price></t> IN "stock", '
+    '<t><sku>$s</sku><ship_days>$d</ship_days></t> IN "shipping_estimate", '
+    '<t><sku>$s</sku><discount>$disc</discount></t> IN "promo" '
+    "CONSTRUCT <row sku=$s><price>$p</price><ship>$d</ship>"
+    "<disc>$disc</disc></row> ORDER BY $s"
+)
+
+#: dependent join against the parameterized reviews endpoint (N+1 shape)
+BATCH_QUERY = (
+    'WHERE <page sku=$s><name>$n</name></page> IN "product_page", '
+    '<r><sku>$s</sku><rating>$rt</rating></r> IN "review_summary" '
+    "CONSTRUCT <row sku=$s><rating>$rt</rating></row> ORDER BY $s"
+)
+
+
+def _signature(result) -> list[str]:
+    from repro.xmldm.serializer import serialize
+
+    return [serialize(element) for element in result.elements]
+
+
+def run_experiment():
+    fanout_rows, batch_rows, cache_rows = [], [], []
+
+    # -- fan-out sweep ----------------------------------------------------
+    serial_ms = None
+    fanout_signatures = set()
+    for fan_out in (1, 2, 4, 8):
+        workload = make_website_workload(N_PRODUCTS, seed=23, extended=True)
+        engine = NimbleEngine(workload.catalog, max_parallel_fetches=fan_out)
+        result = engine.query(FANOUT_QUERY)
+        if serial_ms is None:
+            serial_ms = result.stats.elapsed_virtual_ms
+        fanout_signatures.add(tuple(_signature(result)))
+        fanout_rows.append([
+            fan_out,
+            result.stats.elapsed_virtual_ms,
+            round(serial_ms / result.stats.elapsed_virtual_ms, 2),
+            result.stats.parallel_waves,
+            result.stats.remote_calls,
+            len(result.elements),
+        ])
+
+    # -- batch sweep ------------------------------------------------------
+    baseline_calls = None
+    batch_signatures = set()
+    for batch_size in (1, 8, 32):
+        workload = make_website_workload(N_PRODUCTS, seed=23, extended=True)
+        engine = NimbleEngine(workload.catalog, max_parallel_fetches=1,
+                              batch_size=batch_size)
+        result = engine.query(BATCH_QUERY)
+        if baseline_calls is None:
+            baseline_calls = result.stats.remote_calls
+        batch_signatures.add(tuple(_signature(result)))
+        batch_rows.append([
+            batch_size,
+            result.stats.remote_calls,
+            round(baseline_calls / result.stats.remote_calls, 1),
+            result.stats.batch_calls,
+            result.stats.elapsed_virtual_ms,
+            len(result.elements),
+        ])
+
+    # -- plan cache -------------------------------------------------------
+    workload = make_website_workload(N_PRODUCTS, seed=23, extended=True)
+    engine = NimbleEngine(workload.catalog)
+    repeats = 30
+    cold_started = time.perf_counter()
+    first = engine.query(FANOUT_QUERY)
+    cold_us = (time.perf_counter() - cold_started) * 1e6
+    cold_hits, cold_misses = engine.plan_cache_hits, engine.plan_cache_misses
+    warm_started = time.perf_counter()
+    for _ in range(repeats):
+        engine.query(FANOUT_QUERY)
+    warm_us = (time.perf_counter() - warm_started) * 1e6 / repeats
+    cache_rows.append(["cold (compile)", round(cold_us), cold_hits,
+                       cold_misses])
+    cache_rows.append([
+        f"warm x{repeats} (cached plan)", round(warm_us),
+        engine.plan_cache_hits, engine.plan_cache_misses,
+    ])
+    assert len(first.elements) == N_PRODUCTS
+
+    consistency = {
+        "fanout_result_sets": len(fanout_signatures),
+        "batch_result_sets": len(batch_signatures),
+    }
+    return fanout_rows, batch_rows, cache_rows, consistency
+
+
+def report():
+    fanout_rows, batch_rows, cache_rows, consistency = run_experiment()
+    print_table(
+        "E10a: fetch-pool fan-out over four independent sources",
+        ["fan-out", "virtual ms", "speedup", "waves", "remote calls",
+         "results"],
+        fanout_rows,
+    )
+    print_table(
+        "E10b: dependent-join batching against the reviews endpoint",
+        ["batch size", "remote calls", "call reduction", "batch calls",
+         "virtual ms", "results"],
+        batch_rows,
+    )
+    print_table(
+        "E10c: compiled-plan cache (same query text, wall clock)",
+        ["run", "wall us/query", "cache hits", "cache misses"],
+        cache_rows,
+    )
+    by_fan = {row[0]: row for row in fanout_rows}
+    by_batch = {row[0]: row for row in batch_rows}
+    write_bench_json(
+        "e10_parallelism",
+        ["fan-out", "virtual ms", "speedup", "waves", "remote calls",
+         "results"],
+        fanout_rows,
+        headline={
+            "fanout4_speedup": by_fan[4][2],
+            "batch32_call_reduction": by_batch[32][2],
+            "plan_cache_warm_us": cache_rows[1][1],
+            **consistency,
+        },
+        extra_tables={
+            "batching": (["batch size", "remote calls", "call reduction",
+                          "batch calls", "virtual ms", "results"],
+                         batch_rows),
+            "plan_cache": (["run", "wall us/query", "cache hits",
+                            "cache misses"], cache_rows),
+        },
+    )
+    return fanout_rows, batch_rows, cache_rows, consistency
+
+
+def test_e10_parallelism(benchmark):
+    fanout_rows, batch_rows, cache_rows, consistency = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    by_fan = {row[0]: row for row in fanout_rows}
+    by_batch = {row[0]: row for row in batch_rows}
+    # identical result elements in every configuration
+    assert consistency["fanout_result_sets"] == 1
+    assert consistency["batch_result_sets"] == 1
+    # fan-out 4 at least halves the multi-source query's virtual latency
+    assert by_fan[4][1] * 2 <= by_fan[1][1]
+    # batching collapses the N+1 call pattern by >= 10x
+    assert by_batch[1][1] >= by_batch[32][1] * 10
+    # the cached plan serves repeats without recompiling
+    assert cache_rows[1][2] > 0 and cache_rows[1][3] == 1
+    report()
+
+
+if __name__ == "__main__":
+    report()

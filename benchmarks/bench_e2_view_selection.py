@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -147,6 +147,20 @@ def report():
         "E2b: adaptive selection vs cost-estimate noise (lognormal sigma)",
         ["noise sigma", "total virtual ms", "mean per query (ms)"],
         noise_rows,
+    )
+    totals = {row[0]: row[1] for row in strategies}
+    write_bench_json(
+        "e2_view_selection",
+        ["strategy", "total virtual ms", "mean per query (ms)"],
+        strategies,
+        headline={
+            "adaptive_total_virtual_ms": totals.get("adaptive"),
+            "no_cache_total_virtual_ms": totals.get("no-cache"),
+        },
+        extra_tables={
+            "noise": (["noise sigma", "total virtual ms",
+                       "mean per query (ms)"], noise_rows),
+        },
     )
     return strategies, noise_rows
 

@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro.cleaning import (
     CleaningFlow,
@@ -168,6 +168,22 @@ def report():
         "E3b: concordance database replay (800-customer universe)",
         ["run", "pairs scored", "pairs replayed", "wall ms", "matches"],
         concordance_rows,
+    )
+    write_bench_json(
+        "e3_cleaning",
+        ["records", "blocking", "pairs compared", "wall ms",
+         "precision", "recall"],
+        blocking_rows,
+        headline={
+            "max_recall": max(
+                (row[5] for row in blocking_rows if row[5] != "-"),
+                default=0.0,
+            ),
+        },
+        extra_tables={
+            "concordance": (["run", "pairs scored", "pairs replayed",
+                             "wall ms", "matches"], concordance_rows),
+        },
     )
     return blocking_rows, concordance_rows
 

@@ -25,7 +25,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro import (
     AvailabilityModel,
@@ -116,6 +116,14 @@ def report():
          "measured all-up", "FAIL success rate", "SKIP answer rate",
          "SKIP complete rate"],
         rows,
+    )
+    write_bench_json(
+        "e4_availability",
+        ["sources", "per-source avail", "analytic all-up (a^n)",
+         "measured all-up", "FAIL success rate", "SKIP answer rate",
+         "SKIP complete rate"],
+        rows,
+        headline={"worst_case_skip_answer_rate": rows[-1][5]},
     )
     return rows
 

@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -199,6 +199,21 @@ def report():
         "E5b: the same selection across capability profiles",
         ["wrapper", "capability", "rows transferred", "results"],
         capability_rows,
+    )
+    by_key = {(row[0], row[1]): row for row in config_rows}
+    write_bench_json(
+        "e5_pushdown",
+        ["pushdown", "index", "rows transferred", "rows scanned at source",
+         "latency (virtual ms)", "results"],
+        config_rows,
+        headline={
+            "rows_transferred_pushdown_on": by_key[("on", "yes")][2],
+            "rows_transferred_pushdown_off": by_key[("off", "yes")][2],
+        },
+        extra_tables={
+            "capabilities": (["wrapper", "capability", "rows transferred",
+                              "results"], capability_rows),
+        },
     )
     return config_rows, capability_rows
 

@@ -22,7 +22,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import percentile, print_table
+from common import percentile, print_table, write_bench_json
 
 from repro import EngineCluster, NimbleEngine
 from repro.workloads import make_website_workload
@@ -79,6 +79,13 @@ def report():
         ["instances", "dispatch", "throughput (q/s)", "p50 latency (ms)",
          "p95 latency (ms)"],
         rows,
+    )
+    write_bench_json(
+        "e6_load_balancing",
+        ["instances", "dispatch", "throughput (q/s)", "p50 latency (ms)",
+         "p95 latency (ms)"],
+        rows,
+        headline={"max_throughput_qps": max(row[2] for row in rows)},
     )
     return rows
 

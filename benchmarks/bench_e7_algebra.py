@@ -167,7 +167,7 @@ def test_e7_group_and_sort(benchmark):
 def report():
     import time
 
-    from common import print_table
+    from common import print_table, write_bench_json
 
     rows = []
     for label, fn in (
@@ -186,6 +186,12 @@ def report():
         "E7: algebra microbenchmarks (wall clock)",
         ["operation", "output rows", "wall ms"],
         rows,
+    )
+    write_bench_json(
+        "e7_algebra",
+        ["operation", "output rows", "wall ms"],
+        rows,
+        headline={"total_wall_ms": round(sum(row[2] for row in rows), 1)},
     )
     return rows
 

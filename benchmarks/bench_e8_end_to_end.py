@@ -21,7 +21,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro import NimbleEngine, format_result
 from repro.optimizer.decomposer import decompose
@@ -83,6 +83,16 @@ def report():
         "E8: Figure 1 pipeline, per-stage cost (web-site workload)",
         ["stage", "wall us", "virtual ms (remote)"],
         rows,
+    )
+    stages = {row[0]: row for row in rows}
+    write_bench_json(
+        "e8_end_to_end",
+        ["stage", "wall us", "virtual ms (remote)"],
+        rows,
+        headline={
+            "total_wall_us": stages["TOTAL"][1],
+            "execute_virtual_ms": stages["TOTAL"][2],
+        },
     )
     return rows
 

@@ -32,7 +32,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table
+from common import print_table, write_bench_json
 
 from repro import (
     BreakerConfig,
@@ -154,6 +154,14 @@ def report():
          "complete (full)", "retries", "breaker trips", "stale served",
          "avg ms (none)", "avg ms (retry)"],
         rows,
+    )
+    write_bench_json(
+        "e9_resilience",
+        ["fault rate", "complete (none)", "complete (retry)",
+         "complete (full)", "retries", "breaker trips", "stale served",
+         "avg ms (none)", "avg ms (retry)"],
+        rows,
+        headline={"worst_case_complete_full": rows[-1][3]},
     )
     return rows
 

@@ -4,11 +4,24 @@ Each ``bench_e*.py`` module reproduces one experiment from DESIGN.md's
 index: a ``run_experiment()`` returning rows, a table printer, a
 pytest-benchmark hook, and a ``__main__`` entry so the table can be
 produced with ``python benchmarks/bench_eN_*.py`` directly.
+
+Besides the printed table, every bench emits a machine-readable
+``BENCH_<name>.json`` (see :func:`write_bench_json`) so the perf
+trajectory can be tracked across PRs and by CI artifacts.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
+from pathlib import Path
 from typing import Any, Sequence
+
+#: where BENCH_<name>.json files land; override with BENCH_RESULTS_DIR
+RESULTS_DIR = Path(
+    os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results")
+)
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -45,8 +58,66 @@ def _cell(value: Any) -> str:
 
 
 def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile: the smallest value with at least
+    ``fraction`` of the data at or below it.
+
+    The rank is ``ceil(fraction * n)`` (1-based); truncating instead is
+    off by one whenever ``fraction * n`` lands exactly on a boundary —
+    e.g. the p50 of two items would return the max, not the lower one.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(int(fraction * len(ordered)), len(ordered) - 1)
-    return ordered[index]
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def write_bench_json(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    headline: dict[str, Any] | None = None,
+    extra_tables: dict[str, tuple[Sequence[str], Sequence[Sequence[Any]]]]
+    | None = None,
+) -> Path:
+    """Emit ``BENCH_<name>.json`` next to the printed table.
+
+    The payload carries the raw table (as header-keyed row dicts) plus a
+    ``headline`` dict of the experiment's key metrics, so cross-PR
+    tooling can diff numbers without re-parsing tables.  Experiments
+    with several tables pass the secondary ones via ``extra_tables``
+    (table name -> (headers, rows)).
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "headers": list(headers),
+        "rows": _row_dicts(headers, rows),
+        "headline": {k: _jsonable(v) for k, v in (headline or {}).items()},
+    }
+    if extra_tables:
+        payload["tables"] = {
+            table: {"headers": list(t_headers), "rows": _row_dicts(t_headers, t_rows)}
+            for table, (t_headers, t_rows) in extra_tables.items()
+        }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")
+    return path
+
+
+def _row_dicts(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> list[dict[str, Any]]:
+    return [
+        {str(header): _jsonable(value) for header, value in zip(headers, row)}
+        for row in rows
+    ]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    return str(value)

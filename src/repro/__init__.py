@@ -45,7 +45,7 @@ from repro.resilience import (
     ResiliencePolicy,
     RetryPolicy,
 )
-from repro.simtime import SimClock
+from repro.simtime import SimClock, TaskGroup, Timeline
 from repro.sources import (
     AvailabilityModel,
     FlakySource,

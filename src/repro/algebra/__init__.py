@@ -22,7 +22,12 @@ from repro.algebra.construct import (
     TemplateVar,
     build_elements,
 )
-from repro.algebra.joins import DependentJoin, HashJoin, NestedLoopJoin
+from repro.algebra.joins import (
+    BatchedDependentJoin,
+    DependentJoin,
+    HashJoin,
+    NestedLoopJoin,
+)
 from repro.algebra.operators import (
     Compute,
     Distinct,
@@ -45,6 +50,7 @@ __all__ = [
     "Aggregate",
     "AggregateSpec",
     "AttributePattern",
+    "BatchedDependentJoin",
     "BindingTuple",
     "BindingsSource",
     "CallbackScan",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.algebra.operators import Operator, Predicate
 from repro.algebra.tuples import BindingTuple
@@ -103,3 +103,56 @@ class DependentJoin(Operator):
 
     def describe(self) -> str:
         return f"DependentJoin({self.label or 'parameterized'})"
+
+
+#: resolves a buffered batch of left rows to one partner list per row
+BatchProbe = Callable[[Sequence[BindingTuple]], Sequence[Sequence[BindingTuple]]]
+
+
+class BatchedDependentJoin(Operator):
+    """Dependent join that probes the right side one *batch* at a time.
+
+    Left rows are buffered into groups of ``batch_size`` and handed to
+    ``probe``, which answers all of them together (for batch-capable
+    sources, in one remote call).  Output order is identical to the
+    per-row :class:`DependentJoin`: partners are emitted in left-row
+    order within each batch.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        probe: BatchProbe,
+        batch_size: int,
+        label: str = "",
+    ):
+        super().__init__(left)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.probe = probe
+        self.batch_size = batch_size
+        self.label = label
+        self.batches_probed = 0
+
+    def _produce(self) -> Iterator[BindingTuple]:
+        buffer: list[BindingTuple] = []
+        for row in self.children[0]:
+            buffer.append(row)
+            if len(buffer) >= self.batch_size:
+                yield from self._flush(buffer)
+                buffer = []
+        if buffer:
+            yield from self._flush(buffer)
+
+    def _flush(self, rows: list[BindingTuple]) -> Iterator[BindingTuple]:
+        self.batches_probed += 1
+        partner_lists = self.probe(rows)
+        for row, partners in zip(rows, partner_lists):
+            for partner in partners:
+                merged = row.merge(partner)
+                if merged is not None:
+                    yield merged
+
+    def describe(self) -> str:
+        name = self.label or "parameterized"
+        return f"BatchedDependentJoin({name}, batch={self.batch_size})"

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
@@ -12,14 +13,14 @@ from repro.materialize.manager import MaterializationManager
 from repro.mediator.catalog import Catalog
 from repro.mediator.schema import ViewDef
 from repro.optimizer.costs import CostModel
-from repro.optimizer.decomposer import FragmentUnit, decompose
-from repro.optimizer.planner import PlanBuilder
+from repro.optimizer.decomposer import DecomposedQuery, FragmentUnit, decompose
+from repro.optimizer.planner import PlanBuilder, independent_fragment_units
 from repro.query import ast as qast
 from repro.query.binder import bind_query
 from repro.query.parser import parse_query
 from repro.resilience.executor import ResiliencePolicy, ResilientExecutor
 from repro.resilience.fallback import FallbackRegistry
-from repro.simtime import SimClock
+from repro.simtime import SimClock, TaskGroup
 from repro.sources.base import DataSource, Fragment, NetworkModel
 from repro.xmldm.nodes import Element
 from repro.xmldm.values import Record
@@ -40,6 +41,9 @@ class EngineStats:
     breaker_trips: int = 0
     stale_served: int = 0
     deadline_misses: int = 0
+    plan_cache_hits: int = 0
+    parallel_waves: int = 0
+    batch_calls: int = 0
     plan_text: str = ""
 
     #: integer counters folded into a parent query's stats (sub-queries
@@ -47,12 +51,16 @@ class EngineStats:
     _COUNTERS = (
         "fragments_executed", "fragments_from_cache", "fragments_skipped",
         "rows_transferred", "remote_calls", "retries", "breaker_trips",
-        "stale_served", "deadline_misses",
+        "stale_served", "deadline_misses", "plan_cache_hits",
     )
+    #: counters describing the *shape* of the schedule (waves, batches);
+    #: these legitimately vary with fan-out/batch-size while the set
+    #: above stays invariant, so they are kept out of ``counters()``
+    _SCHEDULE_COUNTERS = ("parallel_waves", "batch_calls")
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a sub-execution's counters into this one."""
-        for name in self._COUNTERS:
+        for name in self._COUNTERS + self._SCHEDULE_COUNTERS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def counters(self) -> dict[str, int]:
@@ -90,6 +98,9 @@ class _ExecutionContext:
         self.completeness = Completeness()
         self.stats = EngineStats()
         self._view_memo: dict[str, list[Element]] = {}
+        #: results fetched ahead of plan execution by the scheduler,
+        #: keyed by unit identity; consumed (popped) by fetch_fragment
+        self._prefetched: dict[int, list[Record]] = {}
         resilience = engine.resilience
         if deadline_at is not None:
             self.deadline_at = deadline_at
@@ -156,11 +167,40 @@ class _ExecutionContext:
             return engine.fallbacks.resolve(fragment)
         return None
 
-    # -- the two calls FragmentScan / view scans make ------------------------
+    # -- the concurrent fetch scheduler --------------------------------------
+
+    def prefetch(self, units: list[FragmentUnit]) -> None:
+        """Overlap the independent fragments' fetches over virtual time.
+
+        The units are fetched in waves of ``max_parallel_fetches``; each
+        wave is a :class:`TaskGroup` whose members run on their own
+        timelines, so the shared clock advances by the slowest member
+        rather than the sum — the virtual-time model of a fetch pool.
+        Results land in ``_prefetched`` for the plan's FragmentScans.
+        Fetches stay in plan order, so source-call sequences (and with
+        them fault injection and all the stats counters) are identical
+        to the serial run.
+        """
+        fan_out = self.engine.max_parallel_fetches
+        if fan_out <= 1 or len(units) <= 1:
+            return
+        for start in range(0, len(units), fan_out):
+            wave = units[start:start + fan_out]
+            group = TaskGroup(self.engine.clock)
+            for unit in wave:
+                with group.task(unit.source.name):
+                    records = self.fetch_fragment(unit)
+                self._prefetched[id(unit)] = records
+            group.join()
+            self.stats.parallel_waves += 1
+
+    # -- the calls FragmentScan / view scans make ----------------------------
 
     def fetch_fragment(
         self, unit: FragmentUnit, params: dict[str, Any] | None = None
     ) -> list[Record]:
+        if params is None and id(unit) in self._prefetched:
+            return self._prefetched.pop(id(unit))
         engine = self.engine
         fragment = unit.fragment
         source = unit.source
@@ -186,6 +226,36 @@ class _ExecutionContext:
             engine.materializer.record_remote(fragment, source, cost, len(records))
         return records
 
+    def fetch_fragment_batch(
+        self, unit: FragmentUnit, param_sets: list[dict[str, Any]]
+    ) -> list[list[Record]]:
+        """One batched probe of a parameterized source (dependent join).
+
+        Returns one record list per parameter set, aligned by position.
+        ``fragments_executed`` counts *logical* probes (one per set) so
+        the counter is invariant under batch size; the amortization
+        shows up in ``remote_calls``, which is derived from the network
+        model and therefore counts the single physical call.
+        """
+        if not param_sets:
+            return []
+        source = unit.source
+        network = source.network
+        calls_before, rows_before = network.calls, network.rows_transferred
+        try:
+            results = self.call_source(
+                source, lambda: source.execute_batch(unit.fragment, param_sets)
+            )
+        except SourceUnavailableError as error:
+            self.charge_network(network, calls_before, rows_before)
+            self.give_up(unit.fragment, source.name, error,
+                         params=param_sets[0])
+            return [[] for _ in param_sets]
+        self.charge_network(network, calls_before, rows_before)
+        self.stats.fragments_executed += len(param_sets)
+        self.stats.batch_calls += 1
+        return results
+
     def fetch_view(self, view: ViewDef) -> list[Element]:
         if view.name in self._view_memo:
             return self._view_memo[view.name]
@@ -210,6 +280,15 @@ class NimbleEngine:
 
     ``default_policy`` answers the paper's open question about defaults:
     SKIP with annotation, overridable per query.
+
+    ``max_parallel_fetches`` is the fetch-pool fan-out: up to that many
+    independent remote fragments are overlapped per wave of virtual
+    time (1 = the serial engine).  ``batch_size`` > 1 buffers dependent
+    joins against batch-capable sources into that many probes per
+    remote call.  Neither changes result sets — only the latency and
+    call profile.  Compiled plans (parse → bind → decompose) are cached
+    per query text up to ``plan_cache_size`` entries and invalidated
+    whenever the catalog's version epoch moves.
     """
 
     def __init__(
@@ -222,6 +301,9 @@ class NimbleEngine:
         name: str = "engine",
         resilience: ResiliencePolicy | None = None,
         fallbacks: FallbackRegistry | None = None,
+        max_parallel_fetches: int = 4,
+        batch_size: int = 1,
+        plan_cache_size: int = 64,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -236,8 +318,24 @@ class NimbleEngine:
             if resilience is not None else None
         )
         self.fallbacks = fallbacks
-        self.builder = PlanBuilder(self.cost_model)
+        if max_parallel_fetches < 1:
+            raise ValueError("max_parallel_fetches must be >= 1")
+        self.max_parallel_fetches = max_parallel_fetches
+        self.builder = PlanBuilder(self.cost_model, batch_size=batch_size)
+        if plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
+        self.plan_cache_size = plan_cache_size
+        #: query text -> (catalog epoch, compiled DecomposedQuery), LRU
+        self._plan_cache: OrderedDict[str, tuple[Any, DecomposedQuery]] = (
+            OrderedDict()
+        )
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self.queries_run = 0
+
+    @property
+    def batch_size(self) -> int:
+        return self.builder.batch_size
 
     # -- public API ------------------------------------------------------------
 
@@ -253,7 +351,8 @@ class NimbleEngine:
         if required_sources and effective is not PartialResultPolicy.FAIL:
             effective = PartialResultPolicy.REQUIRE
         return self._execute(query, effective,
-                             frozenset(required_sources or ()))
+                             frozenset(required_sources or ()),
+                             text=text if isinstance(text, str) else None)
 
     def flwor_query(
         self,
@@ -319,8 +418,9 @@ class NimbleEngine:
     def explain(self, text: str | qast.Query) -> str:
         """The physical plan the engine would run, as indented text."""
         query = parse_query(text) if isinstance(text, str) else text
-        bound = bind_query(query)
-        decomposed = decompose(bound, self.catalog, self.pushdown)
+        decomposed = self._compile(
+            query, text if isinstance(text, str) else None
+        )
         context = _ExecutionContext(self, self.default_policy, frozenset())
         plan = self.builder.build(decomposed, context)
         return plan.explain()
@@ -332,12 +432,17 @@ class NimbleEngine:
         The management-tools path: "enable specification of which data
         sources (or queries over data sources) should be materialized in
         a local store".  Returns the number of fragments materialized.
+        Fetches run through an execution context under FAIL policy, so
+        they get the engine's resilience ladder (retries, breakers) and
+        network-delta accounting like every other source call.
         """
         if self.materializer is None:
             raise MediationError("engine has no materialization manager")
         query = parse_query(text) if isinstance(text, str) else text
-        bound = bind_query(query)
-        decomposed = decompose(bound, self.catalog, self.pushdown)
+        decomposed = self._compile(
+            query, text if isinstance(text, str) else None
+        )
+        context = _ExecutionContext(self, PartialResultPolicy.FAIL, frozenset())
         count = 0
         for unit in decomposed.units:
             if not isinstance(unit, FragmentUnit) or unit.dependent:
@@ -347,7 +452,9 @@ class NimbleEngine:
             ) is not None:
                 continue
             self.materializer.materialize(
-                unit.fragment, lambda f, u=unit: u.source.execute(f), policy
+                unit.fragment,
+                lambda f, u=unit: context.fetch_fragment(u),
+                policy,
             )
             count += 1
         return count
@@ -389,23 +496,56 @@ class NimbleEngine:
 
     # -- internals ----------------------------------------------------------------
 
+    def _compile(self, query: qast.Query, text: str | None,
+                 stats: EngineStats | None = None) -> DecomposedQuery:
+        """Parse→bind→decompose, cached per query text + catalog epoch.
+
+        The cache is keyed by the literal query text; an entry is only
+        valid while the catalog's version epoch (bumped on any source,
+        mapping, schema, or view registration) matches the one it was
+        compiled under.  ASTs passed directly (``text=None``) bypass the
+        cache.  The compiled :class:`DecomposedQuery` is immutable after
+        decomposition, so reuse across executions is safe — the plan
+        builder constructs fresh operators every run.
+        """
+        epoch = self.catalog.version
+        caching = text is not None and self.plan_cache_size > 0
+        if caching:
+            entry = self._plan_cache.get(text)
+            if entry is not None and entry[0] == epoch:
+                self._plan_cache.move_to_end(text)
+                self.plan_cache_hits += 1
+                if stats is not None:
+                    stats.plan_cache_hits += 1
+                return entry[1]
+        bound = bind_query(query)
+        decomposed = decompose(bound, self.catalog, self.pushdown)
+        if caching:
+            self.plan_cache_misses += 1
+            self._plan_cache[text] = (epoch, decomposed)
+            self._plan_cache.move_to_end(text)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return decomposed
+
     def _execute(
         self,
         query: qast.Query,
         policy: PartialResultPolicy,
         required_sources: frozenset[str],
         parent: _ExecutionContext | None = None,
+        text: str | None = None,
     ) -> QueryResult:
         self.queries_run += 1
         context = _ExecutionContext(
             self, policy, required_sources,
             deadline_at=parent.deadline_at if parent is not None else None,
         )
-        bound = bind_query(query)
-        decomposed = decompose(bound, self.catalog, self.pushdown)
+        decomposed = self._compile(query, text, stats=context.stats)
         plan = self.builder.build(decomposed, context)
         started_virtual = self.clock.now
         started_wall = time.perf_counter()
+        context.prefetch(independent_fragment_units(decomposed))
         elements = plan.results()
         context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
         context.stats.elapsed_wall_ms = (time.perf_counter() - started_wall) * 1000

@@ -41,6 +41,23 @@ class Catalog:
         self.registry = registry
         self.mappings: dict[str, RelationMapping] = {}
         self.schemas: list[MediatedSchema] = []
+        self._epoch = 0
+
+    @property
+    def version(self) -> tuple[int, int, int, int]:
+        """Catalog version epoch for compiled-plan cache invalidation.
+
+        Moves whenever anything name resolution depends on changes: a
+        source registration, a relation mapping, a schema addition, or a
+        view defined on an already-added schema (the view count term
+        catches late ``define_view`` calls the catalog never sees).
+        """
+        return (
+            self._epoch,
+            self.registry.version,
+            len(self.mappings),
+            sum(len(schema.views) for schema in self.schemas),
+        )
 
     # -- registration -------------------------------------------------------
 
@@ -55,6 +72,7 @@ class Catalog:
                 f"mediated relation {mapping.mediated_name!r} already mapped"
             )
         self.mappings[mapping.mediated_name] = mapping
+        self._epoch += 1
         return mapping
 
     def map_relation(
@@ -72,6 +90,7 @@ class Catalog:
     def add_schema(self, schema: MediatedSchema) -> MediatedSchema:
         self.schemas.append(schema)
         self._check_cycles()
+        self._epoch += 1
         return schema
 
     # -- resolution --------------------------------------------------------------

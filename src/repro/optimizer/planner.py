@@ -15,7 +15,7 @@ from repro.algebra import (
     Select,
     Sort,
 )
-from repro.algebra.joins import DependentJoin
+from repro.algebra.joins import BatchedDependentJoin, DependentJoin
 from repro.algebra.operators import Limit
 from repro.algebra.tuples import BindingTuple
 from repro.errors import PlanningError
@@ -34,6 +34,10 @@ class ExecutionContext(Protocol):
     def fetch_fragment(
         self, unit: FragmentUnit, params: dict[str, Any] | None = None
     ) -> list[Record]: ...
+
+    def fetch_fragment_batch(
+        self, unit: FragmentUnit, param_sets: list[dict[str, Any]]
+    ) -> list[list[Record]]: ...
 
     def fetch_view(self, view: ViewDef) -> list[Any]: ...
 
@@ -65,11 +69,36 @@ class FragmentScan(Operator):
         return f"FragmentScan({self.unit.describe()})"
 
 
-class PlanBuilder:
-    """Greedy, capability- and cost-aware physical plan construction."""
+def independent_fragment_units(decomposed: DecomposedQuery) -> list[FragmentUnit]:
+    """The plan's non-dependent remote fragments, in execution order.
 
-    def __init__(self, cost_model: CostModel | None = None):
+    These are the units with no input-variable dependencies — exactly
+    the set a fetch pool can overlap.  Ordered like the plan itself
+    (:meth:`PlanBuilder._order_units` on cost estimates is deterministic)
+    so the prefetch scheduler issues source calls in a stable sequence.
+    """
+    return [
+        unit
+        for unit in decomposed.units
+        if isinstance(unit, FragmentUnit) and not unit.dependent
+    ]
+
+
+class PlanBuilder:
+    """Greedy, capability- and cost-aware physical plan construction.
+
+    ``batch_size`` > 1 turns dependent joins against batch-capable
+    sources (``CapabilityProfile.batch_parameters``) into
+    :class:`BatchedDependentJoin`s that buffer left rows and probe the
+    source once per batch instead of once per row.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 batch_size: int = 1):
         self.cost_model = cost_model or CostModel()
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
 
     def build(
         self,
@@ -110,11 +139,22 @@ class PlanBuilder:
                         "by preceding units"
                     )
                 assert root is not None
-                root = DependentJoin(
-                    root,
-                    self._dependent_factory(unit, context),
-                    label=unit.source.name,
-                )
+                if (
+                    self.batch_size > 1
+                    and unit.source.capabilities.batch_parameters
+                ):
+                    root = BatchedDependentJoin(
+                        root,
+                        self._batch_probe(unit, context),
+                        self.batch_size,
+                        label=unit.source.name,
+                    )
+                else:
+                    root = DependentJoin(
+                        root,
+                        self._dependent_factory(unit, context),
+                        label=unit.source.name,
+                    )
             else:
                 step = self._unit_operator(unit, context)
                 if root is None:
@@ -199,6 +239,35 @@ class PlanBuilder:
             return FragmentScan(unit, context, params)
 
         return factory
+
+    def _batch_probe(self, unit: FragmentUnit, context: ExecutionContext):
+        input_vars = unit.fragment.input_vars
+
+        def probe(rows) -> list[list[BindingTuple]]:
+            partners: list[list[BindingTuple]] = [[] for _ in rows]
+            param_sets: list[dict[str, Any]] = []
+            positions: list[int] = []
+            for index, row in enumerate(rows):
+                params: dict[str, Any] = {}
+                for var in input_vars:
+                    value = row.get(var)
+                    if value is None or isinstance(value, Null):
+                        params = {}
+                        break
+                    params[var] = value
+                if not params:
+                    continue  # null input: no partners, no remote probe
+                positions.append(index)
+                param_sets.append(params)
+            if param_sets:
+                results = context.fetch_fragment_batch(unit, param_sets)
+                for position, records in zip(positions, results):
+                    partners[position] = [
+                        BindingTuple(record.as_dict()) for record in records
+                    ]
+            return partners
+
+        return probe
 
     def _apply_ready(
         self,

@@ -5,24 +5,102 @@ time, engine service time, outage windows — advances a :class:`SimClock`
 instead of sleeping.  Benchmarks therefore measure the *modelled* cost
 (milliseconds of virtual time) deterministically and instantly, which is
 what makes the latency experiments (E1, E4, E6) reproducible run to run.
+
+Concurrency over virtual time
+-----------------------------
+
+The engine overlaps independent remote fetches the way the paper's
+integration engine did ("facilities for parallel execution of query
+operators", section 3.1) — but the simulation stays single-threaded and
+deterministic.  The trick is per-task *timelines*:
+
+* a :class:`Timeline` is a private clock that forks from the shared
+  clock's current instant and accumulates the cost of one task;
+* a :class:`TaskGroup` runs several tasks, each on its own timeline
+  (the tasks execute sequentially in Python, so all side effects happen
+  in a fixed order), and :meth:`TaskGroup.join` advances the shared
+  clock by the **max** of the member timelines — concurrent work costs
+  the slowest task, not the sum;
+* while a timeline is *active* (see :meth:`SimClock.running`), every
+  ``clock.advance``/``clock.now`` anywhere in the call stack — network
+  charges, fault-injection penalties, retry backoff — transparently
+  lands on that timeline instead of the shared clock.  Code that was
+  written for the serial clock needs no changes to be scheduled.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
 
-class SimClock:
-    """Virtual time in milliseconds."""
 
-    def __init__(self, start_ms: float = 0.0):
+class Timeline:
+    """One task's private virtual clock, forked from a shared instant.
+
+    A timeline starts at ``start_ms`` (the shared clock's now at fork
+    time) and accumulates the task's own cost; ``elapsed`` is what the
+    task would have taken running alone.
+    """
+
+    def __init__(self, start_ms: float, label: str = ""):
+        self.start_ms = float(start_ms)
         self._now = float(start_ms)
+        self.label = label
 
     @property
     def now(self) -> float:
-        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual milliseconds this task has accumulated."""
+        return self._now - self.start_ms
+
+    def advance(self, delta_ms: float) -> float:
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards ({delta_ms} ms)")
+        self._now += delta_ms
+        return self._now
+
+    def advance_to(self, timestamp_ms: float) -> float:
+        if timestamp_ms > self._now:
+            self._now = timestamp_ms
+        return self._now
+
+    def __repr__(self) -> str:
+        name = f" {self.label!r}" if self.label else ""
+        return f"Timeline({self._now:.3f} ms{name})"
+
+
+class SimClock:
+    """Virtual time in milliseconds.
+
+    When a :class:`Timeline` is active (``with clock.running(timeline)``)
+    all reads and advances are routed to that timeline; the shared time
+    only moves when a :class:`TaskGroup` joins.
+    """
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = float(start_ms)
+        #: stack of active timelines; the innermost one receives charges
+        self._timelines: list[Timeline] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (of the active timeline, if any)."""
+        if self._timelines:
+            return self._timelines[-1].now
+        return self._now
+
+    @property
+    def base_now(self) -> float:
+        """The shared (joined) virtual time, ignoring active timelines."""
         return self._now
 
     def advance(self, delta_ms: float) -> float:
         """Move time forward; negative deltas are rejected."""
+        if self._timelines:
+            return self._timelines[-1].advance(delta_ms)
         if delta_ms < 0:
             raise ValueError(f"cannot move time backwards ({delta_ms} ms)")
         self._now += delta_ms
@@ -30,15 +108,71 @@ class SimClock:
 
     def advance_to(self, timestamp_ms: float) -> float:
         """Move time forward to an absolute timestamp (no-op if passed)."""
+        if self._timelines:
+            return self._timelines[-1].advance_to(timestamp_ms)
         if timestamp_ms > self._now:
             self._now = timestamp_ms
         return self._now
 
     def elapsed_since(self, timestamp_ms: float) -> float:
-        return self._now - timestamp_ms
+        return self.now - timestamp_ms
+
+    @contextmanager
+    def running(self, timeline: Timeline) -> Iterator[Timeline]:
+        """Route all clock traffic to ``timeline`` for the block's duration."""
+        self._timelines.append(timeline)
+        try:
+            yield timeline
+        finally:
+            popped = self._timelines.pop()
+            assert popped is timeline, "timeline stack corrupted"
 
     def __repr__(self) -> str:
-        return f"SimClock({self._now:.3f} ms)"
+        return f"SimClock({self.now:.3f} ms)"
+
+
+class TaskGroup:
+    """A fork/join scope: member tasks cost the max, not the sum.
+
+    >>> group = TaskGroup(clock)                    # doctest: +SKIP
+    >>> for unit in wave:                           # doctest: +SKIP
+    ...     with group.task(unit.source.name):      # doctest: +SKIP
+    ...         fetch(unit)   # charges its own timeline
+    >>> group.join()          # clock += max(task elapsed)
+
+    Tasks run sequentially in Python (results and side-effect order are
+    deterministic); only the virtual-time accounting is concurrent.
+    """
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self.fork_ms = clock.now
+        self.timelines: list[Timeline] = []
+        self._joined = False
+
+    @contextmanager
+    def task(self, label: str = "") -> Iterator[Timeline]:
+        """Run one member task on a fresh timeline forked at group start."""
+        if self._joined:
+            raise RuntimeError("cannot add tasks to a joined TaskGroup")
+        timeline = Timeline(self.fork_ms, label)
+        self.timelines.append(timeline)
+        with self.clock.running(timeline):
+            yield timeline
+
+    def join(self) -> float:
+        """Advance the shared clock past the slowest task; returns its cost."""
+        self._joined = True
+        if not self.timelines:
+            return 0.0
+        slowest = max(timeline.now for timeline in self.timelines)
+        self.clock.advance_to(slowest)
+        return slowest - self.fork_ms
+
+    @property
+    def elapsed_serial(self) -> float:
+        """What the same tasks would have cost run back to back."""
+        return sum(timeline.elapsed for timeline in self.timelines)
 
 
 class Stopwatch:

@@ -76,6 +76,7 @@ class CapabilityProfile:
     aggregates: bool = False        # reserved for future aggregate pushdown
     parameterized: bool = False     # supports input_vars (dependent access)
     requires_parameters: bool = False  # *only* answers parameterized calls
+    batch_parameters: bool = False  # accepts many parameter sets per call
     #: condition operators the source accepts when ``selections`` is true
     condition_ops: frozenset[str] = frozenset(
         {"=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"}
@@ -189,6 +190,44 @@ class DataSource:
         rows = list(self._execute(fragment, dict(params or {})))
         self._charge_result_rows(rows)
         return rows
+
+    def execute_batch(
+        self,
+        fragment: Fragment,
+        param_sets: list[Mapping[str, Any]],
+    ) -> list[list[Record]]:
+        """Run one parameterized fragment for many parameter sets.
+
+        Returns one record list per parameter set, aligned by position.
+        Sources advertising ``batch_parameters`` answer the whole batch
+        in a *single* remote call — one call latency amortized over the
+        batch, which is what eliminates the N+1 pattern of dependent
+        joins.  Everything else falls back to one call per set.
+        """
+        if not param_sets:
+            return []
+        if not self.capabilities.batch_parameters:
+            return [self.execute(fragment, params) for params in param_sets]
+        self.check_available()
+        self.validate_fragment(fragment)
+        if fragment.input_vars and any(not params for params in param_sets):
+            raise CapabilityError(
+                f"fragment for {self.name!r} needs parameters "
+                f"{fragment.input_vars} but an empty set was supplied"
+            )
+        self.network.charge_call(self.clock)
+        if self.faults is not None:
+            self.faults.inject_call(self.name, self.clock,
+                                    self.network.latency_ms)
+        results = [
+            list(self._execute(fragment, dict(params)))
+            for params in param_sets
+        ]
+        # transfer is charged over the concatenated result stream; a
+        # mid-stream drop fails the whole batch (the retry re-sends it)
+        flat = [row for rows in results for row in rows]
+        self._charge_result_rows(flat)
+        return results
 
     def _charge_result_rows(self, rows: list) -> None:
         """Charge transfer for a result, honoring injected stream drops.

@@ -15,11 +15,15 @@ class SourceRegistry:
     def __init__(self, clock: SimClock | None = None):
         self.clock = clock or SimClock()
         self._sources: dict[str, DataSource] = {}
+        #: registration epoch — bumped on every register(), consumed by
+        #: the engine's compiled-plan cache for invalidation
+        self.version = 0
 
     def register(self, source: DataSource) -> DataSource:
         """Add a wrapper; it is re-pointed at the registry's clock."""
         if source.name in self._sources:
             raise SourceError(f"source {source.name!r} already registered")
+        self.version += 1
         source.clock = self.clock
         inner = getattr(source, "inner", None)
         if inner is not None:

@@ -39,6 +39,7 @@ class WebServiceSource(DataSource):
         joins=False,
         parameterized=True,
         requires_parameters=True,
+        batch_parameters=True,  # endpoints accept many input tuples per call
     )
 
     def __init__(

@@ -53,8 +53,17 @@ def make_website_workload(
     catalog_latency_ms: float = 25.0,
     inventory_latency_ms: float = 40.0,
     reviews_latency_ms: float = 80.0,
+    extended: bool = False,
 ) -> WebSiteWorkload:
-    """Build registry + catalog + mediated schema for the web site."""
+    """Build registry + catalog + mediated schema for the web site.
+
+    ``extended=True`` adds two more autonomous per-SKU sources —
+    ``logistics`` (shipping estimates) and ``marketing`` (promotions) —
+    so that a single page query fans out to four independent sources.
+    That is the shape the parallelism experiment (E10) measures: a
+    mediated view over many autonomous systems where a fetch pool pays
+    the max of the latencies instead of the sum.
+    """
     rng = random.Random(seed)
     clock = SimClock()
     registry = SourceRegistry(clock)
@@ -131,6 +140,48 @@ def make_website_workload(
     catalog = Catalog(registry)
     catalog.map_relation("stock", "erp", "stock")
     catalog.map_relation("review_summary", "reviews", "summary")
+
+    if extended:
+        # -- logistics: shipping estimates per SKU (another ERP) -----------
+        logistics_db = Database("wms")
+        logistics_db.execute(
+            "CREATE TABLE shipping (sku TEXT PRIMARY KEY, ship_days INTEGER,"
+            " carrier TEXT)"
+        )
+        carriers = ("roadrunner", "blueline", "acme")
+        logistics_db.insert_rows(
+            "shipping",
+            [[sku, rng.randrange(1, 9), rng.choice(carriers)] for sku in skus],
+        )
+        logistics = RelationalSource(
+            "logistics",
+            logistics_db,
+            network=NetworkModel(latency_ms=35.0, per_row_ms=0.15),
+        )
+        registry.register(logistics)
+        catalog.map_relation("shipping_estimate", "logistics", "shipping")
+
+        # -- marketing: per-SKU promotion percentages ----------------------
+        promo_db = Database("campaigns")
+        promo_db.execute(
+            "CREATE TABLE promos (sku TEXT PRIMARY KEY, discount REAL,"
+            " campaign TEXT)"
+        )
+        campaigns = ("spring", "clearance", "loyalty", "none")
+        promo_db.insert_rows(
+            "promos",
+            [
+                [sku, round(rng.uniform(0.0, 0.4), 2), rng.choice(campaigns)]
+                for sku in skus
+            ],
+        )
+        marketing = RelationalSource(
+            "marketing",
+            promo_db,
+            network=NetworkModel(latency_ms=30.0, per_row_ms=0.1),
+        )
+        registry.register(marketing)
+        catalog.map_relation("promo", "marketing", "promos")
 
     site = MediatedSchema("site", description="The web team's integrated view")
     site.define_view(

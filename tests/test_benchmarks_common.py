@@ -1,0 +1,71 @@
+"""The benchmark helpers: nearest-rank percentile and JSON emission."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+import common  # noqa: E402  (the benchmarks' shared helpers)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert common.percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert common.percentile([42.0], 0.5) == 42.0
+        assert common.percentile([42.0], 0.99) == 42.0
+
+    def test_p50_of_two_is_the_lower(self):
+        # the old truncating rank returned the max here
+        assert common.percentile([10.0, 20.0], 0.5) == 10.0
+
+    def test_exact_boundary_fractions(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert common.percentile(values, 0.25) == 1.0
+        assert common.percentile(values, 0.5) == 2.0
+        assert common.percentile(values, 0.75) == 3.0
+        assert common.percentile(values, 1.0) == 4.0
+
+    def test_nearest_rank_between_boundaries(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # rank ceil(0.6 * 4) = 3 -> third smallest
+        assert common.percentile(values, 0.6) == 3.0
+
+    def test_unsorted_input(self):
+        assert common.percentile([30.0, 10.0, 20.0], 0.5) == 20.0
+
+    def test_p95_of_hundred(self):
+        values = [float(i) for i in range(1, 101)]
+        assert common.percentile(values, 0.95) == 95.0
+
+    def test_zero_fraction_is_min(self):
+        assert common.percentile([5.0, 1.0, 9.0], 0.0) == 1.0
+
+
+class TestWriteBenchJson:
+    def test_payload_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        path = common.write_bench_json(
+            "demo",
+            ["metric", "value"],
+            [["latency", 1.5], ["calls", 4]],
+            headline={"speedup": 2.73},
+            extra_tables={"secondary": (["k"], [["x"]])},
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "demo"
+        assert payload["rows"][0] == {"metric": "latency", "value": 1.5}
+        assert payload["headline"]["speedup"] == 2.73
+        assert payload["tables"]["secondary"]["rows"] == [{"k": "x"}]
+
+    def test_non_json_values_stringified(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        path = common.write_bench_json(
+            "weird", ["v"], [[float("inf")], [("a", "b")]]
+        )
+        payload = json.loads(path.read_text())
+        assert payload["rows"][0]["v"] == "inf"
+        assert payload["rows"][1]["v"] == "('a', 'b')"

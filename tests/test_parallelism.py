@@ -1,0 +1,395 @@
+"""The parallel execution layer: timelines, prefetching, batching, caching.
+
+The load-bearing property: fan-out and batch size are *performance*
+knobs — for any setting, query results, completeness, and every stats
+counter except elapsed virtual time must be identical to the serial
+run, and the parallel run must never be slower in virtual time.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro import NimbleEngine, TaskGroup, Timeline
+from repro.core.engine import EngineStats
+from repro.errors import SourceUnavailableError
+from repro.mediator.catalog import Catalog
+from repro.resilience import FaultModel, ResiliencePolicy, RetryPolicy
+from repro.simtime import SimClock
+from repro.sources.base import (
+    CapabilityProfile,
+    DataSource,
+    NetworkModel,
+)
+from repro.sources.flaky import FlakySource
+from repro.sources.registry import SourceRegistry
+from repro.sources.relational import RelationalSource
+from repro.sql import Database
+from repro.workloads import make_website_workload
+from repro.xmldm.serializer import serialize
+
+FANOUT_QUERY = (
+    'WHERE <product sku=$s category=$c><name>$n</name></product> '
+    'IN "content.products", '
+    '<t><sku>$s</sku><price>$p</price></t> IN "stock", '
+    '<t><sku>$s</sku><ship_days>$d</ship_days></t> IN "shipping_estimate", '
+    '<t><sku>$s</sku><discount>$disc</discount></t> IN "promo" '
+    "CONSTRUCT <row sku=$s><price>$p</price><ship>$d</ship>"
+    "<disc>$disc</disc></row> ORDER BY $s"
+)
+
+DEPENDENT_QUERY = (
+    'WHERE <page sku=$s><name>$n</name></page> IN "product_page", '
+    '<r><sku>$s</sku><rating>$rt</rating></r> IN "review_summary" '
+    "CONSTRUCT <row sku=$s><rating>$rt</rating></row> ORDER BY $s"
+)
+
+
+def run_config(query, fan_out, batch_size, n_products=12, seed=23):
+    workload = make_website_workload(n_products, seed=seed, extended=True)
+    engine = NimbleEngine(
+        workload.catalog,
+        max_parallel_fetches=fan_out,
+        batch_size=batch_size,
+    )
+    return engine.query(query)
+
+
+def signature(result) -> list[str]:
+    return [serialize(element) for element in result.elements]
+
+
+# -- timelines -----------------------------------------------------------------
+
+
+class TestVirtualTimeConcurrency:
+    def test_join_advances_by_max_not_sum(self):
+        clock = SimClock()
+        group = TaskGroup(clock)
+        for cost in (30.0, 70.0, 50.0):
+            with group.task():
+                clock.advance(cost)
+        assert clock.now == 0.0  # nothing joined yet
+        group.join()
+        assert clock.now == 70.0
+        assert group.elapsed_serial == 150.0
+
+    def test_ambient_timeline_receives_nested_charges(self):
+        # code written against the shared clock (network models, retry
+        # backoff) is transparently charged to the active timeline
+        clock = SimClock()
+        network = NetworkModel(latency_ms=25.0, per_row_ms=1.0)
+        group = TaskGroup(clock)
+        with group.task("a") as timeline:
+            network.charge_call(clock)
+            network.charge_rows(clock, 5)
+            assert timeline.elapsed == 30.0
+        with group.task("b"):
+            clock.advance(12.0)
+        group.join()
+        assert clock.now == 30.0
+
+    def test_timeline_now_visible_during_task(self):
+        clock = SimClock(start_ms=100.0)
+        group = TaskGroup(clock)
+        with group.task():
+            clock.advance(40.0)
+            assert clock.now == 140.0
+        assert clock.now == 100.0
+        assert clock.base_now == 100.0
+        group.join()
+        assert clock.now == 140.0
+
+    def test_empty_group_join_is_free(self):
+        clock = SimClock()
+        assert TaskGroup(clock).join() == 0.0
+        assert clock.now == 0.0
+
+    def test_timeline_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            Timeline(0.0).advance(-1.0)
+
+
+# -- determinism under parallelism ---------------------------------------------
+
+
+class TestParallelDeterminism:
+    @given(fan_out=st.integers(1, 8), batch_size=st.sampled_from([1, 2, 8, 32]),
+           seed=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_results_and_counters_invariant(self, fan_out, batch_size, seed):
+        for query in (FANOUT_QUERY, DEPENDENT_QUERY):
+            serial = run_config(query, 1, 1, seed=seed)
+            tuned = run_config(query, fan_out, batch_size, seed=seed)
+            assert signature(tuned) == signature(serial)
+            assert tuned.completeness.complete == serial.completeness.complete
+            assert (tuned.completeness.missing_sources
+                    == serial.completeness.missing_sources)
+            assert (tuned.completeness.stale_sources
+                    == serial.completeness.stale_sources)
+            serial_counters = serial.stats.counters()
+            tuned_counters = tuned.stats.counters()
+            # batching legitimately *reduces* remote calls; every other
+            # counter must match the serial run exactly
+            assert tuned_counters.pop("remote_calls") <= serial_counters.pop(
+                "remote_calls"
+            )
+            assert tuned_counters == serial_counters
+            assert (tuned.stats.elapsed_virtual_ms
+                    <= serial.stats.elapsed_virtual_ms)
+
+    def test_batch_one_remote_calls_match_serial(self):
+        serial = run_config(DEPENDENT_QUERY, 1, 1)
+        parallel = run_config(DEPENDENT_QUERY, 8, 1)
+        assert parallel.stats.counters() == serial.stats.counters()
+
+    def test_fanout_overlaps_independent_fetches(self):
+        serial = run_config(FANOUT_QUERY, 1, 1, n_products=20)
+        pooled = run_config(FANOUT_QUERY, 4, 1, n_products=20)
+        assert pooled.stats.parallel_waves == 1
+        assert pooled.stats.elapsed_virtual_ms * 2 < serial.stats.elapsed_virtual_ms
+
+    def test_batching_collapses_remote_calls(self):
+        per_row = run_config(DEPENDENT_QUERY, 1, 1, n_products=32)
+        batched = run_config(DEPENDENT_QUERY, 1, 32, n_products=32)
+        # 32 dependent probes collapse into one batched call
+        assert batched.stats.batch_calls == 1
+        assert batched.stats.remote_calls < per_row.stats.remote_calls / 10
+        assert signature(batched) == signature(per_row)
+
+    def test_determinism_under_faults_and_retries(self):
+        # same fan-out, injected transient faults: two runs see identical
+        # fault schedules, and the pooled run still matches the serial one
+        def build(fan_out):
+            workload = make_website_workload(10, seed=5, extended=True)
+            for name in ("erp", "logistics"):
+                source = workload.registry.get(name)
+                source.faults = FaultModel(failure_rate=0.3, seed=17)
+            return NimbleEngine(
+                workload.catalog,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=4, base_backoff_ms=5.0),
+                    breaker=None,
+                ),
+                max_parallel_fetches=fan_out,
+            )
+
+        serial = build(1).query(FANOUT_QUERY)
+        pooled = build(4).query(FANOUT_QUERY)
+        assert signature(pooled) == signature(serial)
+        assert pooled.stats.counters() == serial.stats.counters()
+        assert (pooled.stats.elapsed_virtual_ms
+                <= serial.stats.elapsed_virtual_ms)
+
+
+# -- engine knobs --------------------------------------------------------------
+
+
+class TestEngineKnobs:
+    def test_invalid_fan_out_rejected(self):
+        workload = make_website_workload(4, seed=1)
+        with pytest.raises(ValueError):
+            NimbleEngine(workload.catalog, max_parallel_fetches=0)
+
+    def test_invalid_batch_size_rejected(self):
+        workload = make_website_workload(4, seed=1)
+        with pytest.raises(ValueError):
+            NimbleEngine(workload.catalog, batch_size=0)
+
+    def test_schedule_counters_absorbed(self):
+        stats = EngineStats(parallel_waves=2, batch_calls=3)
+        other = EngineStats(parallel_waves=1, batch_calls=4)
+        stats.absorb(other)
+        assert stats.parallel_waves == 3
+        assert stats.batch_calls == 7
+
+
+# -- execute_batch at the source layer -----------------------------------------
+
+
+class _BatchlessParamSource(DataSource):
+    """Parameterized but not batch-capable: one call per parameter set."""
+
+    capabilities = CapabilityProfile(parameterized=True)
+
+    def __init__(self, name="plain"):
+        super().__init__(name, network=NetworkModel(latency_ms=10.0))
+
+    def relations(self):
+        from repro.xmldm.schema import RecordType
+
+        return {"r": RecordType.of("r", k="string")}
+
+    def cardinality(self, relation):
+        return 1
+
+    def _execute(self, fragment, params):
+        from repro.xmldm.values import Record
+
+        yield Record({"k": params.get("k", "none")})
+
+
+class TestExecuteBatch:
+    def _fragment(self):
+        from repro.algebra.pattern import TreePattern
+        from repro.sources.base import Access, Fragment
+
+        pattern = TreePattern("r", children=(TreePattern("k", text_var="k"),))
+        return Fragment("plain", (Access("r", pattern),), input_vars=("k",))
+
+    def test_fallback_pays_one_call_per_set(self):
+        source = _BatchlessParamSource()
+        results = source.execute_batch(
+            self._fragment(), [{"k": "a"}, {"k": "b"}, {"k": "c"}]
+        )
+        assert [len(rows) for rows in results] == [1, 1, 1]
+        assert source.network.calls == 3
+        assert source.clock.now == 30.0
+
+    def test_batch_capable_pays_one_call_total(self):
+        source = _BatchlessParamSource()
+        source.capabilities = CapabilityProfile(
+            parameterized=True, batch_parameters=True
+        )
+        results = source.execute_batch(
+            self._fragment(), [{"k": "a"}, {"k": "b"}, {"k": "c"}]
+        )
+        assert [rows[0]["k"] for rows in results] == ["a", "b", "c"]
+        assert source.network.calls == 1
+        assert source.clock.now == 10.0
+
+    def test_empty_batch_is_free(self):
+        source = _BatchlessParamSource()
+        assert source.execute_batch(self._fragment(), []) == []
+        assert source.network.calls == 0
+
+
+# -- compiled-plan cache -------------------------------------------------------
+
+
+def _relational_catalog():
+    db = Database()
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    db.insert_rows("t", [[i, i * 10] for i in range(5)])
+    registry = SourceRegistry(SimClock())
+    registry.register(RelationalSource("s", db))
+    catalog = Catalog(registry)
+    catalog.map_relation("items", "s", "t")
+    return catalog, db
+
+
+QUERY_TEXT = (
+    'WHERE <i><k>$k</k><v>$v</v></i> IN "items" '
+    "CONSTRUCT <r>$k</r> ORDER BY $k"
+)
+
+
+class TestPlanCache:
+    def test_repeat_query_hits_cache(self):
+        catalog, _ = _relational_catalog()
+        engine = NimbleEngine(catalog)
+        first = engine.query(QUERY_TEXT)
+        second = engine.query(QUERY_TEXT)
+        assert engine.plan_cache_misses == 1
+        assert engine.plan_cache_hits == 1
+        assert first.stats.plan_cache_hits == 0
+        assert second.stats.plan_cache_hits == 1
+        assert signature(first) == signature(second)
+
+    def test_catalog_change_invalidates(self):
+        catalog, db = _relational_catalog()
+        engine = NimbleEngine(catalog)
+        engine.query(QUERY_TEXT)
+        catalog.map_relation("extra", "s", "t")
+        engine.query(QUERY_TEXT)
+        assert engine.plan_cache_misses == 2
+
+    def test_source_registration_invalidates(self):
+        catalog, _ = _relational_catalog()
+        engine = NimbleEngine(catalog)
+        engine.query(QUERY_TEXT)
+        other = Database()
+        other.execute("CREATE TABLE u (k INTEGER)")
+        catalog.registry.register(RelationalSource("s2", other))
+        engine.query(QUERY_TEXT)
+        assert engine.plan_cache_misses == 2
+
+    def test_eviction_bound_holds(self):
+        catalog, _ = _relational_catalog()
+        engine = NimbleEngine(catalog, plan_cache_size=2)
+        for limit in (1, 2, 3, 4):
+            engine.query(QUERY_TEXT.replace("ORDER BY $k",
+                                            f"ORDER BY $k LIMIT {limit}"))
+        assert len(engine._plan_cache) == 2
+
+    def test_ast_queries_bypass_cache(self):
+        from repro.query.parser import parse_query
+
+        catalog, _ = _relational_catalog()
+        engine = NimbleEngine(catalog)
+        query = parse_query(QUERY_TEXT)
+        engine.query(query)
+        engine.query(query)
+        assert engine.plan_cache_hits == 0
+        assert engine.plan_cache_misses == 0
+
+    def test_cache_disabled_with_zero_size(self):
+        catalog, _ = _relational_catalog()
+        engine = NimbleEngine(catalog, plan_cache_size=0)
+        engine.query(QUERY_TEXT)
+        engine.query(QUERY_TEXT)
+        assert engine.plan_cache_hits == 0
+
+
+# -- maintenance path goes through the resilience ladder -----------------------
+
+
+class TestMaterializeThroughContext:
+    def test_materialize_query_fragments_retries_faults(self):
+        from repro.materialize.manager import MaterializationManager
+
+        workload = make_website_workload(8, seed=3)
+        erp = workload.registry.get("erp")
+        # fail the first attempt of every call; one retry succeeds
+        erp.faults = FaultModel(failure_rate=1.0, seed=1)
+        attempts = {"n": 0}
+        original = erp.faults.inject_call
+
+        def flaky_once(source_name, clock, latency_ms):
+            attempts["n"] += 1
+            if attempts["n"] % 2 == 1:
+                original(source_name, clock, latency_ms)
+
+        erp.faults.inject_call = flaky_once
+        engine = NimbleEngine(
+            workload.catalog,
+            materializer=MaterializationManager(workload.clock),
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=3, base_backoff_ms=2.0),
+                breaker=None,
+            ),
+        )
+        count = engine.materialize_query_fragments(
+            'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+            "CONSTRUCT <r sku=$s>$p</r>"
+        )
+        assert count == 1
+        # the transient fault was retried by the policy, not surfaced
+        assert engine.resilient.total_retries >= 1
+
+    def test_materialize_query_fragments_raises_when_source_down(self):
+        from repro.materialize.manager import MaterializationManager
+
+        workload = make_website_workload(8, seed=3)
+        flaky = FlakySource(workload.registry.get("erp"))
+        flaky.force_offline()
+        workload.registry._sources["erp"] = flaky
+        engine = NimbleEngine(
+            workload.catalog,
+            materializer=MaterializationManager(workload.clock),
+        )
+        with pytest.raises(SourceUnavailableError):
+            engine.materialize_query_fragments(
+                'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+                "CONSTRUCT <r sku=$s>$p</r>"
+            )
