@@ -1,0 +1,253 @@
+"""E11 — the on-demand fragment result cache.
+
+The paper's compound architecture pairs federated access with "caching
+of query results for future use" (section 2.1): most site traffic
+re-reads the same handful of hot fragments, so the engine should pay a
+source's latency once and serve repeats locally.  This experiment
+drives a Zipf-repeated query workload (a few hot price filters, a long
+tail of cold ones) against the web-site workload and measures:
+
+* **cold vs warm, cache on/off** — the warm pass of the repeated
+  workload runs entirely out of cache: virtual latency collapses by the
+  sources' latency share while every result element stays
+  byte-identical and the cold ``counters()`` match the cache-off run;
+* **containment serving** — a narrower fragment (``$p > 300``) answered
+  from a broader cached one (``$p > 0``) with *zero* remote calls, the
+  residual predicate applied locally;
+* **byte-budget sweep** — hit rate and evictions as the LRU budget
+  shrinks below the working set.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table, write_bench_json
+
+from repro import NimbleEngine
+from repro.workloads import make_website_workload
+
+N_PRODUCTS = 50
+
+#: distinct price filters; pushed to the ERP source, so each threshold
+#: is its own fragment (its own cache entry)
+THRESHOLDS = (40, 80, 120, 160, 200, 240, 280, 320)
+
+QUERIES = {
+    threshold: (
+        'WHERE <t><sku>$s</sku><price>$p</price><quantity>$q</quantity></t> '
+        f'IN "stock", $p > {threshold} '
+        "CONSTRUCT <item sku=$s><price>$p</price><qty>$q</qty></item> "
+        "ORDER BY $s"
+    )
+    for threshold in THRESHOLDS
+}
+
+BROAD_QUERY = (
+    'WHERE <t><sku>$s</sku><price>$p</price><quantity>$q</quantity></t> '
+    'IN "stock", $p > 0 '
+    "CONSTRUCT <item sku=$s><price>$p</price><qty>$q</qty></item> "
+    "ORDER BY $s"
+)
+NARROW_QUERY = QUERIES[320]
+
+
+def zipf_sequence(length: int = 40, seed: int = 11) -> list[int]:
+    """Zipf-weighted draws over the thresholds: few hot, many cold."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** 1.2 for rank in range(len(THRESHOLDS))]
+    return rng.choices(range(len(THRESHOLDS)), weights=weights, k=length)
+
+
+def _engine(cache_bytes: int, containment: bool = True) -> NimbleEngine:
+    workload = make_website_workload(N_PRODUCTS, seed=23)
+    return NimbleEngine(
+        workload.catalog,
+        fragment_cache_bytes=cache_bytes,
+        fragment_cache_containment=containment,
+    )
+
+
+def _signature(result) -> tuple[str, ...]:
+    from repro.xmldm.serializer import serialize
+
+    return tuple(serialize(element) for element in result.elements)
+
+
+def _run_pass(engine: NimbleEngine, sequence: list[int]):
+    """One pass of the workload; returns (virtual ms, remote calls,
+    hits, misses, per-query signatures)."""
+    virtual_ms = remote_calls = hits = misses = 0.0
+    signatures = []
+    for index in sequence:
+        result = engine.query(QUERIES[THRESHOLDS[index]])
+        virtual_ms += result.stats.elapsed_virtual_ms
+        remote_calls += result.stats.remote_calls
+        cache = result.stats.cache_counters()
+        hits += cache["fragment_cache_hits"] + cache["containment_hits"]
+        misses += cache["fragment_cache_misses"]
+        signatures.append(_signature(result))
+    return virtual_ms, int(remote_calls), int(hits), int(misses), signatures
+
+
+def run_experiment():
+    sequence = zipf_sequence()
+    repeat_rows, containment_rows, budget_rows = [], [], []
+
+    # -- E11a: cold/warm passes, cache on vs off --------------------------
+    passes = {}
+    for label, cache_bytes in (("cache off", 0), ("cache on", 1 << 20)):
+        engine = _engine(cache_bytes)
+        for pass_name in ("cold", "warm"):
+            virtual_ms, calls, hits, misses, signatures = _run_pass(
+                engine, sequence
+            )
+            passes[(label, pass_name)] = (virtual_ms, signatures)
+            lookups = hits + misses
+            repeat_rows.append([
+                label, pass_name, virtual_ms, calls, hits,
+                round(hits / lookups, 2) if lookups else "-",
+                len(signatures),
+            ])
+    warm_off = passes[("cache off", "warm")][0]
+    warm_on = passes[("cache on", "warm")][0]
+    warm_speedup = round(warm_off / warm_on, 1)
+
+    # byte-identical elements for every query occurrence, all configs
+    reference = passes[("cache off", "cold")][1]
+    result_sets = {
+        tuple(signatures) for _, signatures in passes.values()
+    }
+    identical_elements = all(
+        signatures == reference for _, signatures in passes.values()
+    )
+
+    # cold counters() identity on a repeat-free prologue (containment
+    # off, so every lookup genuinely misses): a cache that never hits
+    # must be invisible to the invariant counters
+    prologue = list(range(len(THRESHOLDS)))
+    counter_sets = set()
+    for cache_bytes in (0, 1 << 20):
+        engine = _engine(cache_bytes, containment=False)
+        totals: dict[str, int] = {}
+        for index in prologue:
+            result = engine.query(QUERIES[THRESHOLDS[index]])
+            for name, value in result.stats.counters().items():
+                totals[name] = totals.get(name, 0) + value
+        counter_sets.add(tuple(sorted(totals.items())))
+    cold_counters_identical = len(counter_sets) == 1
+
+    # -- E11b: containment serving ---------------------------------------
+    narrow_signatures = set()
+    for label, containment in (("containment on", True),
+                               ("containment off", False)):
+        engine = _engine(1 << 20, containment=containment)
+        prime = engine.query(BROAD_QUERY)
+        narrow = engine.query(NARROW_QUERY)
+        narrow_signatures.add(_signature(narrow))
+        cache = narrow.stats.cache_counters()
+        containment_rows.append([
+            label, prime.stats.remote_calls, narrow.stats.remote_calls,
+            narrow.stats.elapsed_virtual_ms, cache["containment_hits"],
+            len(narrow.elements),
+        ])
+    # ground truth: the narrow query against a cache-less engine
+    baseline_narrow = _engine(0).query(NARROW_QUERY)
+    narrow_signatures.add(_signature(baseline_narrow))
+    containment_identical = len(narrow_signatures) == 1
+    containment_remote_calls = containment_rows[0][2]
+
+    # -- E11c: byte-budget sweep -----------------------------------------
+    # containment off so the working set is the full 8 distinct entries
+    # (~100 KiB) and the LRU actually has to choose victims
+    for budget in (8_192, 32_768, 65_536, 131_072):
+        engine = _engine(budget, containment=False)
+        total_hits = total_misses = 0
+        virtual_ms = 0.0
+        for _ in range(2):
+            pass_ms, _, hits, misses, _ = _run_pass(engine, sequence)
+            virtual_ms += pass_ms
+            total_hits += hits
+            total_misses += misses
+        cache = engine.fragment_cache
+        budget_rows.append([
+            budget,
+            round(total_hits / (total_hits + total_misses), 2),
+            cache.evictions,
+            len(cache),
+            virtual_ms,
+        ])
+
+    checks = {
+        "warm_speedup": warm_speedup,
+        "result_sets": len(result_sets),
+        "identical_elements": identical_elements,
+        "cold_counters_identical": cold_counters_identical,
+        "containment_remote_calls": containment_remote_calls,
+        "containment_identical": containment_identical,
+    }
+    return repeat_rows, containment_rows, budget_rows, checks
+
+
+def report():
+    repeat_rows, containment_rows, budget_rows, checks = run_experiment()
+    print_table(
+        "E11a: Zipf-repeated workload, cold vs warm, cache on/off",
+        ["config", "pass", "virtual ms", "remote calls", "cache hits",
+         "hit rate", "queries"],
+        repeat_rows,
+    )
+    print_table(
+        "E11b: narrower fragment served from a broader cached one",
+        ["mode", "prime calls", "narrow calls", "narrow virtual ms",
+         "containment hits", "elements"],
+        containment_rows,
+    )
+    print_table(
+        "E11c: LRU byte-budget sweep (two workload passes)",
+        ["budget bytes", "hit rate", "evictions", "live entries",
+         "virtual ms"],
+        budget_rows,
+    )
+    write_bench_json(
+        "e11_fragment_cache",
+        ["config", "pass", "virtual ms", "remote calls", "cache hits",
+         "hit rate", "queries"],
+        repeat_rows,
+        headline=checks,
+        extra_tables={
+            "containment": (["mode", "prime calls", "narrow calls",
+                             "narrow virtual ms", "containment hits",
+                             "elements"], containment_rows),
+            "budget_sweep": (["budget bytes", "hit rate", "evictions",
+                              "live entries", "virtual ms"], budget_rows),
+        },
+    )
+    return repeat_rows, containment_rows, budget_rows, checks
+
+
+def test_e11_fragment_cache(benchmark):
+    repeat_rows, containment_rows, budget_rows, checks = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    # the warm repeated workload runs >= 5x faster out of cache, with
+    # byte-identical elements and invariant counters untouched
+    assert checks["warm_speedup"] >= 5.0
+    assert checks["identical_elements"] and checks["result_sets"] == 1
+    assert checks["cold_counters_identical"]
+    # a containment hit answers the narrower fragment with no remote call
+    assert checks["containment_remote_calls"] == 0
+    assert checks["containment_identical"]
+    # the largest budget holds the whole working set without evictions,
+    # and starving the budget degrades the hit rate
+    assert budget_rows[-1][2] == 0 and budget_rows[-1][1] >= 0.5
+    assert budget_rows[0][1] < budget_rows[-1][1]
+    report()
+
+
+if __name__ == "__main__":
+    report()

@@ -22,6 +22,7 @@ Quickstart::
     ''')
 """
 
+from repro.cache import FragmentResultCache, StatisticsFeedback
 from repro.core import (
     AccessController,
     Completeness,
@@ -76,6 +77,7 @@ __all__ = [
     "Element",
     "EngineCluster",
     "FlakySource",
+    "FragmentResultCache",
     "HierarchicalSource",
     "Lens",
     "LensServer",
@@ -93,6 +95,7 @@ __all__ = [
     "RetryPolicy",
     "SimClock",
     "SourceRegistry",
+    "StatisticsFeedback",
     "User",
     "ViewDef",
     "WebServiceSource",

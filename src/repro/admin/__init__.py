@@ -18,10 +18,11 @@ understand, the system."
 """
 
 from repro.admin.console import ManagementConsole
-from repro.admin.monitor import HealthMonitor, SourceHealth
+from repro.admin.monitor import CacheMonitor, HealthMonitor, SourceHealth
 from repro.admin.replication import DataAdministrator, ReplicationJob
 
 __all__ = [
+    "CacheMonitor",
     "DataAdministrator",
     "HealthMonitor",
     "ManagementConsole",

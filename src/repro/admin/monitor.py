@@ -1,8 +1,9 @@
-"""Source health monitoring for the management tools."""
+"""Source health and cache health monitoring for the management tools."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.simtime import SimClock
 from repro.sources.registry import SourceRegistry
@@ -69,3 +70,48 @@ class HealthMonitor:
             for record in self.health.values()
             if record.uptime_fraction < threshold
         ]
+
+
+class CacheMonitor:
+    """Surfaces an engine's caching layers for the management console.
+
+    The paper's management tools "enable specification of which data
+    sources ... should be materialized"; operating the on-demand layer
+    needs the complementary read side — occupancy, hit rates, and which
+    sources dominate the budget.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def snapshot(self) -> dict[str, Any]:
+        """One dict of fragment-cache and plan-cache health."""
+        engine = self.engine
+        report: dict[str, Any] = {
+            "plan_cache_entries": len(engine._plan_cache),
+            "plan_cache_hits": engine.plan_cache_hits,
+            "plan_cache_misses": engine.plan_cache_misses,
+        }
+        cache = engine.fragment_cache
+        if cache is None:
+            report["fragment_cache"] = None
+            return report
+        summary = cache.summary()
+        summary["by_source"] = cache.entries_by_source()
+        summary["fill_fraction"] = (
+            summary["bytes"] / summary["budget_bytes"]
+            if summary["budget_bytes"] else 0.0
+        )
+        report["fragment_cache"] = summary
+        return report
+
+    def hot_sources(self, top: int = 5) -> list[tuple[str, int]]:
+        """Sources by live cache entries, busiest first."""
+        cache = self.engine.fragment_cache
+        if cache is None:
+            return []
+        ranked = sorted(
+            cache.entries_by_source().items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:top]

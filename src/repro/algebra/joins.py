@@ -82,6 +82,11 @@ class DependentJoin(Operator):
     This is the operator behind binding-pattern sources (web services
     that require input parameters): the optimizer places the dependent
     side so its required variables are bound by the time it runs.
+
+    ``memo_key`` (optional) maps a left row to a hashable identity of
+    its probe inputs; rows sharing an identity reuse the first row's
+    partner list instead of re-running the right plan.  A key of None
+    opts a row out of memoization (e.g. null inputs).
     """
 
     def __init__(
@@ -89,14 +94,26 @@ class DependentJoin(Operator):
         left: Operator,
         right_factory: Callable[[BindingTuple], Operator],
         label: str = "",
+        memo_key: Callable[[BindingTuple], object] | None = None,
     ):
         super().__init__(left)
         self.right_factory = right_factory
         self.label = label
+        self.memo_key = memo_key
+        self.probe_memo_hits = 0
 
     def _produce(self) -> Iterator[BindingTuple]:
+        memo: dict[object, list[BindingTuple]] = {}
         for row in self.children[0]:
-            for partner in self.right_factory(row):
+            key = self.memo_key(row) if self.memo_key is not None else None
+            if key is not None and key in memo:
+                partners = memo[key]
+                self.probe_memo_hits += 1
+            else:
+                partners = list(self.right_factory(row))
+                if key is not None:
+                    memo[key] = partners
+            for partner in partners:
                 merged = row.merge(partner)
                 if merged is not None:
                     yield merged

@@ -1,0 +1,22 @@
+"""The on-demand fragment result cache (paper section 2.1, "caching").
+
+The materializer (:mod:`repro.materialize`) caches *pre-declared* units:
+fragments and mediated views an administrator chose to keep local.  This
+package adds the workload-driven layer the paper's engine also names —
+"caching" alongside the query processor and the materialization manager:
+every fragment the engine fetches is kept, byte-budgeted and
+TTL-governed, so repeated queries and overlapping fragments are served
+from memory instead of paying the network again.
+"""
+
+from repro.cache.feedback import StatisticsFeedback
+from repro.cache.fragmentcache import CachedResult, FragmentResultCache
+from repro.cache.keys import params_key, result_key
+
+__all__ = [
+    "CachedResult",
+    "FragmentResultCache",
+    "StatisticsFeedback",
+    "params_key",
+    "result_key",
+]

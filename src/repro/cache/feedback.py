@@ -1,0 +1,52 @@
+"""Observed fragment cardinalities fed back into the cost model.
+
+Section 3.3 laments that "we do not have good cost estimates for
+querying over remote data sources"; once a fragment has actually run,
+there is no reason to keep guessing.  :class:`StatisticsFeedback` keeps
+an exponentially-weighted row count per fragment key (the same key the
+fragment cache uses) so repeated queries plan with real cardinalities
+instead of the folklore selectivities in
+:data:`repro.optimizer.costs._SELECTIVITY`.
+"""
+
+from __future__ import annotations
+
+from repro.materialize.matching import fragment_key
+from repro.sources.base import Fragment
+
+
+class StatisticsFeedback:
+    """Per-fragment observed row counts, keyed like the fragment cache.
+
+    For parameterized fragments the observation is per *probe* (one
+    parameter set), matching what ``estimate_rows`` predicts for them.
+    ``alpha`` is the EWMA weight of the newest observation; 1.0 means
+    "always trust the last run".
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._rows: dict[str, float] = {}
+        self.updates = 0
+
+    def observe(self, fragment: Fragment, rows: int) -> None:
+        """Record one execution's actual row count."""
+        key = fragment_key(fragment)
+        previous = self._rows.get(key)
+        if previous is None:
+            self._rows[key] = float(rows)
+        else:
+            self._rows[key] = previous + self.alpha * (rows - previous)
+        self.updates += 1
+
+    def rows_for(self, fragment: Fragment) -> float | None:
+        """The observed row count for a fragment, or None if never run."""
+        return self._rows.get(fragment_key(fragment))
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,315 @@
+"""The byte-budgeted LRU store of fragment results.
+
+Sits between the execution context and the sources: every successful
+remote fragment execution is inserted; later identical executions are
+served locally, charging :meth:`CostModel.local_cost` instead of network
+latency.  Three mechanisms bound staleness and size:
+
+* **TTL** — each entry carries a :class:`RefreshPolicy` (per-source
+  override, engine-wide default) evaluated on the virtual clock;
+* **epoch invalidation** — entries remember the catalog version epoch
+  they were loaded under and die when it moves (same mechanism as the
+  compiled-plan cache);
+* **byte budget** — entry sizes are estimated deterministically and the
+  least-recently-used entries are evicted once the budget is exceeded.
+
+**Containment serving**: a requested fragment that equals a cached
+fragment plus extra pushed conditions (same accesses, conditions
+subsumed per :func:`repro.materialize.matching.matches`) is answered by
+filtering the cached rows locally with the residual predicates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.algebra.tuples import BindingTuple
+from repro.cache.keys import result_key
+from repro.materialize.matching import access_key, matches
+from repro.materialize.policy import RefreshPolicy
+from repro.optimizer.costs import CostModel
+from repro.query.exprs import compile_predicate
+from repro.simtime import SimClock
+from repro.sources.base import Fragment
+from repro.xmldm.values import Null, Record
+
+
+def _value_bytes(value: Any) -> int:
+    """Deterministic size estimate of one model value (bytes)."""
+    if isinstance(value, str):
+        return 56 + len(value)
+    if isinstance(value, bool):
+        return 28
+    if isinstance(value, (int, float)):
+        return 32
+    if isinstance(value, Null):
+        return 16
+    if isinstance(value, Record):
+        return record_bytes(value)
+    if isinstance(value, (list, tuple)):
+        return 56 + sum(_value_bytes(item) for item in value)
+    return 56 + len(str(value))
+
+
+def record_bytes(record: Record) -> int:
+    """Deterministic size estimate of one record (bytes)."""
+    return 64 + sum(
+        56 + len(name) + _value_bytes(record.get(name))
+        for name in record.fields
+    )
+
+
+def estimate_result_bytes(records: list[Record]) -> int:
+    """Size estimate of a whole result (entry overhead included)."""
+    return 96 + sum(record_bytes(record) for record in records)
+
+
+@dataclass
+class CacheEntry:
+    """One cached fragment result with its freshness lineage."""
+
+    key: str
+    fragment: Fragment
+    parameterized: bool
+    records: list[Record]
+    loaded_at: float
+    epoch: Any
+    policy: RefreshPolicy
+    size_bytes: int
+    hits: int = 0
+
+    def is_fresh(self, now_ms: float) -> bool:
+        return self.policy.is_fresh(now_ms - self.loaded_at, False)
+
+
+@dataclass
+class CachedResult:
+    """What a lookup returns: the rows and how they were found."""
+
+    records: list[Record]
+    containment: bool = False
+    residual_conditions: int = 0
+
+
+class FragmentResultCache:
+    """On-demand cache of fragment results under a byte budget.
+
+    ``policies`` maps source names to :class:`RefreshPolicy` overrides;
+    everything else uses ``default_policy``.  ``containment=False``
+    restricts serving to exact key matches (the ablation knob).
+    Serving charges local processing time to the clock via
+    ``cost_model.local_cost`` — never network latency.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        cost_model: CostModel | None = None,
+        max_bytes: int = 4_000_000,
+        default_policy: RefreshPolicy | None = None,
+        policies: Mapping[str, RefreshPolicy] | None = None,
+        containment: bool = True,
+    ):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.clock = clock
+        self.cost_model = cost_model or CostModel()
+        self.max_bytes = max_bytes
+        self.default_policy = default_policy or RefreshPolicy.ttl(60_000.0)
+        self.policies = dict(policies or {})
+        self.containment = containment
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        #: access_key -> entry keys, for containment scans (param-less only)
+        self._by_access: dict[str, list[str]] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.containment_hits = 0
+        self.evictions = 0
+        self.insertions = 0
+        self.oversize_rejects = 0
+
+    # -- serving -------------------------------------------------------------
+
+    def lookup(
+        self,
+        fragment: Fragment,
+        params: Mapping[str, Any] | None,
+        epoch: Any,
+    ) -> CachedResult | None:
+        """Serve ``fragment`` from the cache, or None on miss.
+
+        Exact key first; then, for parameter-free fragments, a
+        containment scan over entries with the same accesses.
+        """
+        key = result_key(fragment, params)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if not self._live(entry, epoch):
+                self._drop(key)
+            else:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.hits += 1
+                self._charge_local(len(entry.records))
+                return CachedResult(list(entry.records))
+        if self.containment and not params and not fragment.input_vars:
+            served = self._serve_by_containment(fragment, epoch)
+            if served is not None:
+                return served
+        self.misses += 1
+        return None
+
+    def _serve_by_containment(
+        self, fragment: Fragment, epoch: Any
+    ) -> CachedResult | None:
+        for key in list(self._by_access.get(access_key(fragment), ())):
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if not self._live(entry, epoch):
+                self._drop(key)
+                continue
+            answers, residual = matches(entry.fragment, fragment)
+            if not answers:
+                continue
+            records = list(entry.records)
+            if residual:
+                predicates = [compile_predicate(c) for c in residual]
+                records = [
+                    record
+                    for record in records
+                    if all(p(BindingTuple(record.as_dict())) for p in predicates)
+                ]
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.containment_hits += 1
+            self._charge_local(len(records))
+            return CachedResult(records, containment=True,
+                                residual_conditions=len(residual))
+        return None
+
+    def resident_rows(self, fragment: Fragment, epoch: Any) -> int | None:
+        """Row count of a fresh exact entry, for cache-aware planning.
+
+        Read-only: does not touch LRU order or hit counters, so cost
+        estimation never perturbs eviction behaviour.
+        """
+        entry = self._entries.get(result_key(fragment))
+        if entry is None or not self._live(entry, epoch):
+            return None
+        return len(entry.records)
+
+    # -- loading -------------------------------------------------------------
+
+    def insert(
+        self,
+        fragment: Fragment,
+        params: Mapping[str, Any] | None,
+        records: list[Record],
+        epoch: Any,
+    ) -> int:
+        """Store one execution's result; returns how many entries were
+        evicted to make room (0 when the result itself was too large)."""
+        size = estimate_result_bytes(records)
+        if size > self.max_bytes:
+            self.oversize_rejects += 1
+            return 0
+        key = result_key(fragment, params)
+        if key in self._entries:
+            self._drop(key)
+        entry = CacheEntry(
+            key=key,
+            fragment=fragment,
+            parameterized=bool(params) or bool(fragment.input_vars),
+            records=list(records),
+            loaded_at=self.clock.now,
+            epoch=epoch,
+            policy=self.policies.get(fragment.source, self.default_policy),
+            size_bytes=size,
+        )
+        self._entries[key] = entry
+        self.current_bytes += size
+        self.insertions += 1
+        if not entry.parameterized:
+            self._by_access.setdefault(access_key(fragment), []).append(key)
+        evicted = 0
+        while self.current_bytes > self.max_bytes:
+            oldest_key = next(iter(self._entries))
+            self._drop(oldest_key)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_source(self, source_name: str) -> int:
+        """Drop every entry over one source (data changed upstream)."""
+        doomed = [
+            key for key, entry in self._entries.items()
+            if entry.fragment.source == source_name
+        ]
+        for key in doomed:
+            self._drop(key)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_access.clear()
+        self.current_bytes = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _live(self, entry: CacheEntry, epoch: Any) -> bool:
+        return entry.epoch == epoch and entry.is_fresh(self.clock.now)
+
+    def _drop(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self.current_bytes -= entry.size_bytes
+        if not entry.parameterized:
+            siblings = self._by_access.get(access_key(entry.fragment))
+            if siblings is not None:
+                try:
+                    siblings.remove(key)
+                except ValueError:
+                    pass
+                if not siblings:
+                    del self._by_access[access_key(entry.fragment)]
+
+    def _charge_local(self, rows: int) -> None:
+        self.clock.advance(self.cost_model.local_cost(rows))
+
+    # -- reporting -----------------------------------------------------------
+
+    def entries_by_source(self) -> dict[str, int]:
+        """Live entry counts per source name (monitoring)."""
+        counts: dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.fragment.source] = (
+                counts.get(entry.fragment.source, 0) + 1
+            )
+        return counts
+
+    def summary(self) -> dict[str, Any]:
+        lookups = self.hits + self.containment_hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "budget_bytes": self.max_bytes,
+            "hits": self.hits,
+            "containment_hits": self.containment_hits,
+            "misses": self.misses,
+            "hit_rate": (
+                (self.hits + self.containment_hits) / lookups if lookups else 0.0
+            ),
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "oversize_rejects": self.oversize_rejects,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,38 @@
+"""Canonical cache identities for fragment results.
+
+One key scheme serves every access path: independent fetches key on the
+fragment alone, dependent-join probes and batched probes append a
+canonical rendering of their parameter values.  Identical work therefore
+lands on one cache entry no matter which operator issued it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.materialize.matching import fragment_key
+from repro.sources.base import Fragment
+from repro.xmldm.values import Null
+
+
+def value_text(value: Any) -> str:
+    """Stable textual identity of one parameter value."""
+    if isinstance(value, Null):
+        return "NULL"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def params_key(params: Mapping[str, Any] | None) -> str:
+    """Canonical identity of a parameter binding (order-insensitive)."""
+    if not params:
+        return ""
+    return "&".join(
+        f"{name}={value_text(value)}" for name, value in sorted(params.items())
+    )
+
+
+def result_key(fragment: Fragment, params: Mapping[str, Any] | None = None) -> str:
+    """Full cache key of one fragment execution: shape plus parameters."""
+    base = fragment_key(fragment)
+    bound = params_key(params)
+    return f"{base}#{bound}" if bound else base

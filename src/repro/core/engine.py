@@ -7,9 +7,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
+from repro.cache.feedback import StatisticsFeedback
+from repro.cache.fragmentcache import FragmentResultCache
+from repro.cache.keys import params_key, result_key
 from repro.core.partial import Completeness, PartialResultPolicy
 from repro.errors import MediationError, SourceUnavailableError
 from repro.materialize.manager import MaterializationManager
+from repro.materialize.policy import RefreshPolicy
 from repro.mediator.catalog import Catalog
 from repro.mediator.schema import ViewDef
 from repro.optimizer.costs import CostModel
@@ -44,6 +48,12 @@ class EngineStats:
     plan_cache_hits: int = 0
     parallel_waves: int = 0
     batch_calls: int = 0
+    fragment_cache_hits: int = 0
+    fragment_cache_misses: int = 0
+    fragment_cache_evictions: int = 0
+    containment_hits: int = 0
+    singleflight_dedups: int = 0
+    estimate_feedback_updates: int = 0
     plan_text: str = ""
 
     #: integer counters folded into a parent query's stats (sub-queries
@@ -57,15 +67,28 @@ class EngineStats:
     #: these legitimately vary with fan-out/batch-size while the set
     #: above stays invariant, so they are kept out of ``counters()``
     _SCHEDULE_COUNTERS = ("parallel_waves", "batch_calls")
+    #: fragment-result-cache accounting; reported via ``cache_counters()``
+    #: and excluded from ``counters()`` because cache residency (warm vs
+    #: cold, single-flight vs serial hit) legitimately shifts which of
+    #: these fire while results stay identical
+    _CACHE_COUNTERS = (
+        "fragment_cache_hits", "fragment_cache_misses",
+        "fragment_cache_evictions", "containment_hits",
+        "singleflight_dedups", "estimate_feedback_updates",
+    )
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a sub-execution's counters into this one."""
-        for name in self._COUNTERS + self._SCHEDULE_COUNTERS:
+        for name in self._COUNTERS + self._SCHEDULE_COUNTERS + self._CACHE_COUNTERS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def counters(self) -> dict[str, int]:
         """The integer counters as a dict (determinism checks, reports)."""
         return {name: getattr(self, name) for name in self._COUNTERS}
+
+    def cache_counters(self) -> dict[str, int]:
+        """The fragment-cache counters as a dict (cache experiments)."""
+        return {name: getattr(self, name) for name in self._CACHE_COUNTERS}
 
 
 @dataclass
@@ -187,10 +210,30 @@ class _ExecutionContext:
         for start in range(0, len(units), fan_out):
             wave = units[start:start + fan_out]
             group = TaskGroup(self.engine.clock)
+            #: single-flight: result key -> (leader timeline, leader id);
+            #: identical fragments in one wave cost one source call
+            leaders: dict[str, tuple[Any, int]] = {}
             for unit in wave:
-                with group.task(unit.source.name):
+                key = None
+                if self._cache_for(unit.source) is not None:
+                    key = result_key(unit.fragment)
+                if key is not None and key in leaders:
+                    leader_timeline, leader_id = leaders[key]
+                    with group.task(unit.source.name):
+                        # join the in-flight fetch: both timelines fork
+                        # at the wave start, so the duplicate finishes
+                        # exactly when its leader does
+                        self.engine.clock.advance_to(leader_timeline.now)
+                    self._prefetched[id(unit)] = list(
+                        self._prefetched[leader_id]
+                    )
+                    self.stats.singleflight_dedups += 1
+                    continue
+                with group.task(unit.source.name) as timeline:
                     records = self.fetch_fragment(unit)
                 self._prefetched[id(unit)] = records
+                if key is not None:
+                    leaders[key] = (timeline, id(unit))
             group.join()
             self.stats.parallel_waves += 1
 
@@ -199,11 +242,23 @@ class _ExecutionContext:
     def fetch_fragment(
         self, unit: FragmentUnit, params: dict[str, Any] | None = None
     ) -> list[Record]:
+        """The three-tier read path: fragment cache, materialized view,
+        live source.  A cache hit happens before :meth:`call_source`, so
+        it can never spend a retry budget or consult a breaker."""
         if params is None and id(unit) in self._prefetched:
             return self._prefetched.pop(id(unit))
         engine = self.engine
         fragment = unit.fragment
         source = unit.source
+        cache = self._cache_for(source)
+        if cache is not None:
+            hit = cache.lookup(fragment, params, engine.catalog.version)
+            if hit is not None:
+                self.stats.fragment_cache_hits += 1
+                if hit.containment:
+                    self.stats.containment_hits += 1
+                return hit.records
+            self.stats.fragment_cache_misses += 1
         if params is None and engine.materializer is not None:
             served = engine.materializer.serve(fragment)
             if served is not None:
@@ -222,8 +277,13 @@ class _ExecutionContext:
         self.charge_network(network, calls_before, rows_before)
         cost = engine.clock.now - started
         self.stats.fragments_executed += 1
+        self._observe(fragment, len(records))
         if engine.materializer is not None and params is None:
             engine.materializer.record_remote(fragment, source, cost, len(records))
+        if cache is not None:
+            self.stats.fragment_cache_evictions += cache.insert(
+                fragment, params, records, engine.catalog.version
+            )
         return records
 
     def fetch_fragment_batch(
@@ -236,9 +296,51 @@ class _ExecutionContext:
         the counter is invariant under batch size; the amortization
         shows up in ``remote_calls``, which is derived from the network
         model and therefore counts the single physical call.
+
+        With a fragment cache, the batch shares the per-parameter
+        entries the per-row path writes: cached probes are answered
+        locally, identical parameter sets within the batch collapse to
+        one remote probe (single-flight), and only the remainder goes
+        over the network.
         """
         if not param_sets:
             return []
+        cache = self._cache_for(unit.source)
+        if cache is None:
+            fetched = self._remote_batch(unit, param_sets)
+            return fetched if fetched is not None else [[] for _ in param_sets]
+        epoch = self.engine.catalog.version
+        results: list[list[Record]] = [[] for _ in param_sets]
+        positions_by_key: dict[str, list[int]] = {}
+        params_by_key: dict[str, dict[str, Any]] = {}
+        for index, params in enumerate(param_sets):
+            hit = cache.lookup(unit.fragment, params, epoch)
+            if hit is not None:
+                self.stats.fragment_cache_hits += 1
+                results[index] = hit.records
+                continue
+            self.stats.fragment_cache_misses += 1
+            key = params_key(params)
+            if key in positions_by_key:
+                self.stats.singleflight_dedups += 1
+            positions_by_key.setdefault(key, []).append(index)
+            params_by_key[key] = dict(params)
+        if positions_by_key:
+            unique_sets = [params_by_key[key] for key in positions_by_key]
+            fetched = self._remote_batch(unit, unique_sets)
+            if fetched is not None:
+                for key, records in zip(positions_by_key, fetched):
+                    self.stats.fragment_cache_evictions += cache.insert(
+                        unit.fragment, params_by_key[key], records, epoch
+                    )
+                    for position in positions_by_key[key]:
+                        results[position] = list(records)
+        return results
+
+    def _remote_batch(
+        self, unit: FragmentUnit, param_sets: list[dict[str, Any]]
+    ) -> list[list[Record]] | None:
+        """The physical batched call; None signals a skipped failure."""
         source = unit.source
         network = source.network
         calls_before, rows_before = network.calls, network.rows_transferred
@@ -250,11 +352,30 @@ class _ExecutionContext:
             self.charge_network(network, calls_before, rows_before)
             self.give_up(unit.fragment, source.name, error,
                          params=param_sets[0])
-            return [[] for _ in param_sets]
+            return None
         self.charge_network(network, calls_before, rows_before)
         self.stats.fragments_executed += len(param_sets)
         self.stats.batch_calls += 1
+        for records in results:
+            self._observe(unit.fragment, len(records))
         return results
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _cache_for(self, source: DataSource):
+        """The engine's fragment cache, if the source admits caching."""
+        if self.engine.fragment_cache is None:
+            return None
+        if not source.capabilities.cacheable:
+            return None
+        return self.engine.fragment_cache
+
+    def _observe(self, fragment: Fragment, rows: int) -> None:
+        """Feed one observed cardinality back into the cost model."""
+        if self.engine.feedback is None:
+            return
+        self.engine.feedback.observe(fragment, rows)
+        self.stats.estimate_feedback_updates += 1
 
     def fetch_view(self, view: ViewDef) -> list[Element]:
         if view.name in self._view_memo:
@@ -289,6 +410,20 @@ class NimbleEngine:
     call profile.  Compiled plans (parse → bind → decompose) are cached
     per query text up to ``plan_cache_size`` entries and invalidated
     whenever the catalog's version epoch moves.
+
+    ``fragment_cache_bytes`` > 0 turns on the on-demand fragment result
+    cache: every fetched fragment (independent, dependent probe, or
+    batched probe) is kept in a byte-budgeted LRU keyed by fragment
+    shape + parameters, TTL-governed (``fragment_cache_ttl_ms``
+    default, ``fragment_cache_policies`` per source) and invalidated on
+    the catalog epoch.  The read path becomes three-tier: fragment
+    cache, then materialized view, then live source.  Containment
+    serving (``fragment_cache_containment``) answers a narrower
+    fragment from a broader cached one by filtering locally.  Observed
+    row counts feed the cost model (``statistics_feedback``; None =
+    follow the cache knob) so repeated queries plan with real
+    cardinalities.  Cache hits never touch the resilience ladder: no
+    retry budget is spent and no breaker is consulted.
     """
 
     def __init__(
@@ -304,6 +439,11 @@ class NimbleEngine:
         max_parallel_fetches: int = 4,
         batch_size: int = 1,
         plan_cache_size: int = 64,
+        fragment_cache_bytes: int = 0,
+        fragment_cache_ttl_ms: float = 60_000.0,
+        fragment_cache_policies: dict[str, RefreshPolicy] | None = None,
+        fragment_cache_containment: bool = True,
+        statistics_feedback: bool | None = None,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -321,7 +461,34 @@ class NimbleEngine:
         if max_parallel_fetches < 1:
             raise ValueError("max_parallel_fetches must be >= 1")
         self.max_parallel_fetches = max_parallel_fetches
-        self.builder = PlanBuilder(self.cost_model, batch_size=batch_size)
+        if fragment_cache_bytes < 0:
+            raise ValueError("fragment_cache_bytes must be >= 0")
+        self.fragment_cache = (
+            FragmentResultCache(
+                self.clock,
+                self.cost_model,
+                max_bytes=fragment_cache_bytes,
+                default_policy=RefreshPolicy.ttl(fragment_cache_ttl_ms),
+                policies=fragment_cache_policies,
+                containment=fragment_cache_containment,
+            )
+            if fragment_cache_bytes > 0 else None
+        )
+        use_feedback = (
+            statistics_feedback if statistics_feedback is not None
+            else self.fragment_cache is not None
+        )
+        self.feedback = StatisticsFeedback() if use_feedback else None
+        if self.feedback is not None:
+            self.cost_model.bind_feedback(self.feedback)
+        if self.fragment_cache is not None:
+            self.cost_model.bind_residency(self._fragment_residency)
+        self.builder = PlanBuilder(
+            self.cost_model,
+            batch_size=batch_size,
+            materializer=materializer,
+            dedup_dependent_probes=self.fragment_cache is not None,
+        )
         if plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0")
         self.plan_cache_size = plan_cache_size
@@ -495,6 +662,12 @@ class NimbleEngine:
         return self.materializer.refresh_stale_views(fetch)
 
     # -- internals ----------------------------------------------------------------
+
+    def _fragment_residency(self, fragment: Fragment) -> int | None:
+        """Fresh cached row count of a fragment (the cost model's hook)."""
+        if self.fragment_cache is None:
+            return None
+        return self.fragment_cache.resident_rows(fragment, self.catalog.version)
 
     def _compile(self, query: qast.Query, text: str | None,
                  stats: EngineStats | None = None) -> DecomposedQuery:

@@ -9,8 +9,14 @@ A materialized view MV answers a fragment F when
 
 The implication check is sound but incomplete: syntactic containment of
 canonicalized condition strings, extended with one-sided range
-implication (``x > 10`` implies ``x > 5``).  Conditions of F that MV did
-not apply become residual local filters.
+implication (``x > 10`` implies ``x > 5``), equality-to-range
+implication (``x = 7`` implies ``x > 5``), and boolean decomposition
+(a conjunct implies the whole, either disjunct is implied by the whole).
+Conditions of F that MV did not apply become residual local filters.
+
+The same test powers the on-demand fragment result cache
+(:mod:`repro.cache`): a cached broad fragment answers a narrower request
+whose extra pushed conditions are re-applied as residual local filters.
 """
 
 from __future__ import annotations
@@ -78,16 +84,63 @@ def _range_bound(expr: qast.Expr) -> tuple[str, str, float] | None:
     return None
 
 
+def _eq_bound(expr: qast.Expr) -> tuple[str, float] | None:
+    """Decompose ``$v = number`` to (var, value) when possible."""
+    if not isinstance(expr, qast.BinOp) or expr.op != "=":
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(right, qast.Var) and isinstance(left, qast.Literal):
+        left, right = right, left
+    if isinstance(left, qast.Var) and isinstance(right, qast.Literal):
+        if isinstance(right.value, (int, float)) and not isinstance(right.value, bool):
+            return left.name, float(right.value)
+    return None
+
+
+def _satisfies(value: float, op: str, bound: float) -> bool:
+    if op == "<":
+        return value < bound
+    if op == "<=":
+        return value <= bound
+    if op == ">":
+        return value > bound
+    return value >= bound
+
+
 def implies(stronger: qast.Expr, weaker: qast.Expr) -> bool:
     """Sound check: does ``stronger`` imply ``weaker``?"""
     if condition_text(stronger) == condition_text(weaker):
         return True
-    strong = _range_bound(stronger)
+    # boolean decomposition (each rule is sound on its own):
+    # (a AND b) implies w when either conjunct does
+    if isinstance(stronger, qast.BinOp) and stronger.op == "AND":
+        if implies(stronger.left, weaker) or implies(stronger.right, weaker):
+            return True
+    # (a OR b) implies w only when both disjuncts do
+    if isinstance(stronger, qast.BinOp) and stronger.op == "OR":
+        if implies(stronger.left, weaker) and implies(stronger.right, weaker):
+            return True
+    # s implies (a AND b) when it implies both conjuncts
+    if isinstance(weaker, qast.BinOp) and weaker.op == "AND":
+        if implies(stronger, weaker.left) and implies(stronger, weaker.right):
+            return True
+    # s implies (a OR b) when it implies either disjunct
+    if isinstance(weaker, qast.BinOp) and weaker.op == "OR":
+        if implies(stronger, weaker.left) or implies(stronger, weaker.right):
+            return True
     weak = _range_bound(weaker)
-    if strong is None or weak is None:
+    if weak is None:
+        return False
+    var_w, op_w, bound_w = weak
+    # equality implies a range it sits inside: x = 7 implies x > 5
+    eq = _eq_bound(stronger)
+    if eq is not None:
+        var_e, value = eq
+        return var_e == var_w and _satisfies(value, op_w, bound_w)
+    strong = _range_bound(stronger)
+    if strong is None:
         return False
     var_s, op_s, bound_s = strong
-    var_w, op_w, bound_w = weak
     if var_s != var_w:
         return False
     if op_s in (">", ">=") and op_w in (">", ">="):

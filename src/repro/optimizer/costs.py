@@ -68,8 +68,26 @@ class CostModel:
     def __init__(self, noise: float = 0.0, seed: int = 13):
         self.noise = noise
         self.seed = seed
+        #: observed-cardinality feedback (``rows_for(fragment)``) — when
+        #: bound, a real observation beats every folklore guess below
+        self.feedback = None
+        #: cache-residency probe (``fragment -> row count | None``) —
+        #: when bound, resident fragments cost local scans, not network
+        self.residency = None
+
+    def bind_feedback(self, feedback) -> None:
+        """Prefer observed row counts from ``feedback`` over guesses."""
+        self.feedback = feedback
+
+    def bind_residency(self, residency) -> None:
+        """Consult ``residency(fragment)`` for cached row counts."""
+        self.residency = residency
 
     def estimate_rows(self, fragment: Fragment, source: DataSource) -> float:
+        if self.feedback is not None:
+            observed = self.feedback.rows_for(fragment)
+            if observed is not None:
+                return max(float(observed), 0.01)
         cardinalities = [
             max(1, source.cardinality(access.relation))
             for access in fragment.accesses
@@ -87,6 +105,13 @@ class CostModel:
         return max(rows, 0.01)
 
     def estimate(self, fragment: Fragment, source: DataSource) -> FragmentEstimate:
+        if self.residency is not None:
+            resident = self.residency(fragment)
+            if resident is not None:
+                # cache-resident: a local scan of known size, no network
+                # latency and no estimation noise — we have the rows
+                return FragmentEstimate(float(resident),
+                                        self.local_cost(resident))
         rows = self.estimate_rows(fragment, source)
         cost = source.network.latency_ms + rows * source.network.per_row_ms
         return FragmentEstimate(rows, self._perturb(cost, fragment))

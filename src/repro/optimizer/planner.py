@@ -94,11 +94,19 @@ class PlanBuilder:
     """
 
     def __init__(self, cost_model: CostModel | None = None,
-                 batch_size: int = 1):
+                 batch_size: int = 1, materializer=None,
+                 dedup_dependent_probes: bool = False):
         self.cost_model = cost_model or CostModel()
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
+        #: MaterializationManager (if any): loaded mediated views give
+        #: the unit ordering real element counts instead of a flat guess
+        self.materializer = materializer
+        #: memoize per-row dependent probes on their input values — only
+        #: enabled when a fragment cache backs the context, so cache-off
+        #: executions keep their exact historical call profile
+        self.dedup_dependent_probes = dedup_dependent_probes
 
     def build(
         self,
@@ -154,6 +162,10 @@ class PlanBuilder:
                         root,
                         self._dependent_factory(unit, context),
                         label=unit.source.name,
+                        memo_key=(
+                            self._probe_memo_key(unit)
+                            if self.dedup_dependent_probes else None
+                        ),
                     )
             else:
                 step = self._unit_operator(unit, context)
@@ -178,9 +190,13 @@ class PlanBuilder:
     def _order_units(self, units: list[Unit]) -> list[Unit]:
         """Cheapest-first among independent units; dependents after inputs.
 
-        A simple greedy order: independent units ascending by estimated
-        result rows (small inputs make cheap hash joins), then each
-        dependent unit at the earliest point its inputs are bound.
+        A simple greedy order: cache-resident units first (they cost a
+        local scan and let remote fetches share prefetch waves), then
+        ascending by estimated result rows (small inputs make cheap hash
+        joins), then each dependent unit at the earliest point its
+        inputs are bound.  Loaded mediated views rank as resident with
+        their actual element count; unloaded views keep the flat
+        unknown-size guess.
         """
         independent = [
             u for u in units if not (isinstance(u, FragmentUnit) and u.dependent)
@@ -189,10 +205,18 @@ class PlanBuilder:
             u for u in units if isinstance(u, FragmentUnit) and u.dependent
         ]
 
-        def estimate(unit: Unit) -> float:
+        def estimate(unit: Unit) -> tuple[int, float]:
             if isinstance(unit, FragmentUnit):
-                return self.cost_model.estimate_rows(unit.fragment, unit.source)
-            return 1000.0  # views: unknown, assume large
+                if self.cost_model.residency is not None:
+                    resident = self.cost_model.residency(unit.fragment)
+                    if resident is not None:
+                        return (0, float(resident))
+                return (1, self.cost_model.estimate_rows(unit.fragment,
+                                                         unit.source))
+            loaded = self._loaded_view_size(unit.view.name)
+            if loaded is not None:
+                return (0, float(loaded))
+            return (1, 1000.0)  # views: unknown, assume large
 
         independent.sort(key=estimate)
         ordered: list[Unit] = list(independent)
@@ -214,6 +238,15 @@ class PlanBuilder:
         if remaining:
             result.extend(remaining)  # will fail with a clear error later
         return result
+
+    def _loaded_view_size(self, name: str) -> int | None:
+        """Element count of a fresh materialized mediated view, or None."""
+        if self.materializer is None:
+            return None
+        cached = self.materializer.views.get(name)
+        if cached is None or not cached.is_fresh(self.materializer.clock.now):
+            return None
+        return len(cached.elements)
 
     def _unit_operator(self, unit: Unit, context: ExecutionContext) -> Operator:
         if isinstance(unit, FragmentUnit):
@@ -239,6 +272,23 @@ class PlanBuilder:
             return FragmentScan(unit, context, params)
 
         return factory
+
+    def _probe_memo_key(self, unit: FragmentUnit):
+        """Key a dependent probe by its input values (None = no memo)."""
+        from repro.xmldm.values import _comparison_key
+
+        input_vars = unit.fragment.input_vars
+
+        def key(row: BindingTuple):
+            parts = []
+            for var in input_vars:
+                value = row.get(var)
+                if value is None or isinstance(value, Null):
+                    return None  # null inputs never probe; nothing to share
+                parts.append(_comparison_key(value))
+            return tuple(parts)
+
+        return key
 
     def _batch_probe(self, unit: FragmentUnit, context: ExecutionContext):
         input_vars = unit.fragment.input_vars

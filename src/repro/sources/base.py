@@ -77,6 +77,9 @@ class CapabilityProfile:
     parameterized: bool = False     # supports input_vars (dependent access)
     requires_parameters: bool = False  # *only* answers parameterized calls
     batch_parameters: bool = False  # accepts many parameter sets per call
+    #: results may be reused by the engine's fragment result cache;
+    #: sources serving volatile, per-call data should opt out
+    cacheable: bool = True
     #: condition operators the source accepts when ``selections`` is true
     condition_ops: frozenset[str] = frozenset(
         {"=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"}
