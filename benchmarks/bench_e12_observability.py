@@ -1,0 +1,155 @@
+"""E12 — the cost of watching: tracing overhead on the E8 workload.
+
+The observability subsystem promises two things: *zero* perturbation of
+the virtual-time simulation (spans read the clock, never advance it)
+and a small wall-clock cost when enabled.  This bench runs the same
+query mix with the null tracer and with a live tracer + metrics
+registry + query log, and reports both claims:
+
+* virtual latency must be **identical** (0% overhead) — tracing off vs
+  on is byte-for-byte the same simulation;
+* wall-clock overhead when enabled should stay modest (<5% is the
+  EXPERIMENTS.md target; wall numbers are machine-dependent and only
+  the virtual claim is asserted hard).
+
+As a side effect the traced run exports its span trees in Chrome
+``trace_event`` format (``TRACE_e12_observability.json``) so the
+prefetch fan-out can be inspected in a trace viewer — CI uploads it
+next to the ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, print_table, write_bench_json
+
+from repro import MetricsRegistry, NimbleEngine, QueryLog, Tracer
+from repro.workloads import make_website_workload
+
+FANOUT_QUERY = (
+    'WHERE <product sku=$s category=$c><name>$n</name></product> '
+    'IN "content.products", '
+    '<t><sku>$s</sku><price>$p</price></t> IN "stock", '
+    '<t><sku>$s</sku><ship_days>$d</ship_days></t> IN "shipping_estimate", '
+    '<t><sku>$s</sku><discount>$disc</discount></t> IN "promo" '
+    "CONSTRUCT <row sku=$s><price>$p</price><ship>$d</ship>"
+    "<disc>$disc</disc></row> ORDER BY $s"
+)
+
+PAGE_QUERY = (
+    'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+    'IN "product_page", $p < 250 '
+    "CONSTRUCT <row sku=$s><name>$n</name><price>$p</price></row> "
+    "ORDER BY $p"
+)
+
+QUERIES = [FANOUT_QUERY, PAGE_QUERY] * 5
+
+
+def _run(traced: bool):
+    workload = make_website_workload(40, seed=23, extended=True)
+    engine = NimbleEngine(workload.catalog, max_parallel_fetches=4)
+    tracer = None
+    if traced:
+        tracer = Tracer(engine.clock, max_traces=len(QUERIES))
+        engine.use_tracer(tracer)
+        engine.metrics = MetricsRegistry()
+        engine.query_log = QueryLog(slow_threshold_ms=100.0)
+    started_virtual = engine.clock.now
+    started_wall = time.perf_counter()
+    results = [engine.query(text) for text in QUERIES]
+    wall_ms = (time.perf_counter() - started_wall) * 1e3
+    virtual_ms = engine.clock.now - started_virtual
+    stats = results[0].stats.__class__()
+    for result in results:
+        stats.absorb(result.stats)
+    return {
+        "virtual_ms": virtual_ms,
+        "wall_ms": wall_ms,
+        "rows": sum(len(r.elements) for r in results),
+        "stats": stats,
+        "tracer": tracer,
+        "engine": engine,
+    }
+
+
+def run_experiment() -> list[list]:
+    off = _run(traced=False)
+    on = _run(traced=True)
+
+    assert off["rows"] == on["rows"], "tracing must not change results"
+    assert off["virtual_ms"] == on["virtual_ms"], (
+        "tracing must not perturb the virtual clock: "
+        f"{off['virtual_ms']} != {on['virtual_ms']}"
+    )
+
+    wall_overhead_pct = (
+        (on["wall_ms"] - off["wall_ms"]) / off["wall_ms"] * 100
+        if off["wall_ms"] else 0.0
+    )
+
+    tracer = on["tracer"]
+    spans = sum(1 for trace in tracer.traces for _ in trace.walk())
+    events = sum(
+        len(span.events) for trace in tracer.traces for span in trace.walk()
+    )
+
+    from repro.observability import write_chrome_trace
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    trace_path = RESULTS_DIR / "TRACE_e12_observability.json"
+    write_chrome_trace(trace_path, tracer.traces)
+    print(f"[bench] wrote {trace_path}")
+
+    rows = [
+        ["tracing off", off["virtual_ms"], round(off["wall_ms"], 2), 0, 0],
+        ["tracing on", on["virtual_ms"], round(on["wall_ms"], 2),
+         spans, events],
+        ["overhead", on["virtual_ms"] - off["virtual_ms"],
+         round(on["wall_ms"] - off["wall_ms"], 2), spans, events],
+    ]
+    rows.append(["(wall overhead %)", 0.0, round(wall_overhead_pct, 1), 0, 0])
+    rows.append(["(result rows)", 0.0, 0.0, off["rows"], 0])
+    return rows, on["stats"]
+
+
+def report():
+    rows, stats = run_experiment()
+    print_table(
+        "E12: tracing overhead on the E8 workload (10 queries)",
+        ["config", "virtual ms", "wall ms", "spans", "events"],
+        rows,
+    )
+    by_config = {row[0]: row for row in rows}
+    write_bench_json(
+        "e12_observability",
+        ["config", "virtual ms", "wall ms", "spans", "events"],
+        rows,
+        headline={
+            "virtual_overhead_ms": by_config["overhead"][1],
+            "wall_overhead_pct": by_config["(wall overhead %)"][2],
+            "spans_recorded": by_config["tracing on"][3],
+            "events_recorded": by_config["tracing on"][4],
+        },
+        stats=stats,
+    )
+    return rows
+
+
+def test_e12_observability(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)[0]
+    by_config = {row[0]: row for row in rows}
+    # the load-bearing claim: zero virtual-time perturbation
+    assert by_config["overhead"][1] == 0.0
+    assert by_config["tracing on"][3] > 0  # spans were actually recorded
+    assert by_config["tracing on"][4] > 0  # ... with events on them
+    report()
+
+
+if __name__ == "__main__":
+    report()

@@ -18,6 +18,8 @@ import os
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.observability.metrics import percentile as _nearest_rank_percentile
+
 #: where BENCH_<name>.json files land; override with BENCH_RESULTS_DIR
 RESULTS_DIR = Path(
     os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results")
@@ -58,18 +60,10 @@ def _cell(value: Any) -> str:
 
 
 def percentile(values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile: the smallest value with at least
-    ``fraction`` of the data at or below it.
-
-    The rank is ``ceil(fraction * n)`` (1-based); truncating instead is
-    off by one whenever ``fraction * n`` lands exactly on a boundary —
-    e.g. the p50 of two items would return the max, not the lower one.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(fraction * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+    """Nearest-rank percentile (canonical implementation lives in
+    :func:`repro.observability.metrics.percentile`; re-exported here so
+    benchmarks keep their historical import path)."""
+    return _nearest_rank_percentile(values, fraction)
 
 
 def write_bench_json(
@@ -79,6 +73,7 @@ def write_bench_json(
     headline: dict[str, Any] | None = None,
     extra_tables: dict[str, tuple[Sequence[str], Sequence[Sequence[Any]]]]
     | None = None,
+    stats: Any = None,
 ) -> Path:
     """Emit ``BENCH_<name>.json`` next to the printed table.
 
@@ -86,7 +81,10 @@ def write_bench_json(
     ``headline`` dict of the experiment's key metrics, so cross-PR
     tooling can diff numbers without re-parsing tables.  Experiments
     with several tables pass the secondary ones via ``extra_tables``
-    (table name -> (headers, rows)).
+    (table name -> (headers, rows)).  ``stats`` is an optional
+    ``EngineStats`` (anything with ``as_dict()``); its counters land
+    under an ``engine_stats`` key so artifact diffs can see the call
+    profile behind the headline numbers.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
@@ -96,6 +94,10 @@ def write_bench_json(
         "rows": _row_dicts(headers, rows),
         "headline": {k: _jsonable(v) for k, v in (headline or {}).items()},
     }
+    if stats is not None:
+        payload["engine_stats"] = {
+            k: _jsonable(v) for k, v in stats.as_dict().items()
+        }
     if extra_tables:
         payload["tables"] = {
             table: {"headers": list(t_headers), "rows": _row_dicts(t_headers, t_rows)}

@@ -37,6 +37,7 @@ from repro.core import (
 )
 from repro.materialize import MaterializationManager, RefreshPolicy
 from repro.mediator import Catalog, MediatedSchema, RelationMapping, ViewDef
+from repro.observability import MetricsRegistry, QueryLog, Tracer, format_trace
 from repro.optimizer import CostModel
 from repro.resilience import (
     BreakerConfig,
@@ -83,9 +84,11 @@ __all__ = [
     "LensServer",
     "MaterializationManager",
     "MediatedSchema",
+    "MetricsRegistry",
     "NetworkModel",
     "NimbleEngine",
     "PartialResultPolicy",
+    "QueryLog",
     "QueryResult",
     "Record",
     "RefreshPolicy",
@@ -96,11 +99,13 @@ __all__ = [
     "SimClock",
     "SourceRegistry",
     "StatisticsFeedback",
+    "Tracer",
     "User",
     "ViewDef",
     "WebServiceSource",
     "XMLSource",
     "format_result",
+    "format_trace",
     "parse_document",
     "serialize",
     "__version__",

@@ -11,14 +11,20 @@ understand, the system."
 * :mod:`replication` — scheduled offline replication jobs: copy (and
   optionally transform) source fragments into a local relational store
   on a virtual-clock cadence;
-* :mod:`monitor` — source health probes with uptime bookkeeping;
+* :mod:`monitor` — source health probes with uptime bookkeeping, cache
+  occupancy reports, and the trace/metrics/query-log view;
 * :mod:`console` — the management console: one structured report of
   sources, mediated names, materialized views, replication jobs and
   engine statistics.
 """
 
 from repro.admin.console import ManagementConsole
-from repro.admin.monitor import CacheMonitor, HealthMonitor, SourceHealth
+from repro.admin.monitor import (
+    CacheMonitor,
+    HealthMonitor,
+    SourceHealth,
+    TraceMonitor,
+)
 from repro.admin.replication import DataAdministrator, ReplicationJob
 
 __all__ = [
@@ -28,4 +34,5 @@ __all__ = [
     "ManagementConsole",
     "ReplicationJob",
     "SourceHealth",
+    "TraceMonitor",
 ]

@@ -115,3 +115,68 @@ class CacheMonitor:
             key=lambda item: (-item[1], item[0]),
         )
         return ranked[:top]
+
+
+class TraceMonitor:
+    """Surfaces an engine's observability state for the console.
+
+    Companion to :class:`HealthMonitor` (is the source up?) and
+    :class:`CacheMonitor` (is the cache earning its bytes?): this one
+    answers *what did the last queries actually do* — recent/slow query
+    log entries, the metrics snapshot, and the most recent trace, both
+    as indented text and as a Chrome ``trace_event`` export.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def snapshot(self) -> dict[str, Any]:
+        """Metrics snapshot plus query-log summary in one dict."""
+        engine = self.engine
+        report: dict[str, Any] = {
+            "tracing_enabled": engine.tracer.enabled,
+            "traces_retained": (
+                len(engine.tracer.traces) if engine.tracer.enabled else 0
+            ),
+        }
+        report["metrics"] = (
+            engine.metrics.snapshot() if engine.metrics is not None else None
+        )
+        report["query_log"] = (
+            engine.query_log.summary() if engine.query_log is not None else None
+        )
+        return report
+
+    def recent_queries(self, last: int = 10) -> list[Any]:
+        """The most recent query-log records, oldest first."""
+        if self.engine.query_log is None:
+            return []
+        return self.engine.query_log.recent(last)
+
+    def slow_queries(self) -> list[Any]:
+        """Retained records that crossed the slow-query threshold."""
+        if self.engine.query_log is None:
+            return []
+        return self.engine.query_log.slow_queries()
+
+    def last_trace_text(self) -> str | None:
+        """The most recent trace rendered as indented text, or None."""
+        from repro.observability.tracing import format_trace
+
+        tracer = self.engine.tracer
+        if not tracer.enabled or tracer.last_trace is None:
+            return None
+        return format_trace(tracer.last_trace)
+
+    def export_chrome_trace(self, path) -> int:
+        """Write retained traces as a Chrome ``trace_event`` file.
+
+        Returns the number of traces exported (0 writes nothing).
+        """
+        from repro.observability.export import write_chrome_trace
+
+        tracer = self.engine.tracer
+        if not tracer.enabled or not tracer.traces:
+            return 0
+        write_chrome_trace(path, tracer.traces)
+        return len(tracer.traces)

@@ -17,14 +17,44 @@ class Operator:
 
     ``rows_out`` counts tuples produced across all iterations; the
     engine resets counters per query to report per-operator cardinality.
+    ``rows_in`` derives consumption from the children: pull-based
+    iteration means a child's ``rows_out`` is exactly what this
+    operator pulled, so the two never disagree.
+
+    For EXPLAIN ANALYZE, :meth:`bind_analyze` attaches a virtual clock;
+    iteration then charges the virtual time spent producing each row to
+    ``virtual_ms``.  The measure is *inclusive* (a parent's time
+    contains its children's — they produce inside the parent's pull);
+    the renderer reports it as such.
     """
 
     def __init__(self, *children: "Operator"):
         self.children: tuple[Operator, ...] = children
         self.rows_out = 0
+        self.virtual_ms = 0.0
+        self._analyze_clock = None
+
+    @property
+    def rows_in(self) -> int:
+        """Tuples pulled from the children so far."""
+        return sum(child.rows_out for child in self.children)
 
     def __iter__(self) -> Iterator[BindingTuple]:
-        for row in self._produce():
+        clock = self._analyze_clock
+        if clock is None:
+            for row in self._produce():
+                self.rows_out += 1
+                yield row
+            return
+        produce = self._produce()
+        while True:
+            started = clock.now
+            try:
+                row = next(produce)
+            except StopIteration:
+                self.virtual_ms += clock.now - started
+                return
+            self.virtual_ms += clock.now - started
             self.rows_out += 1
             yield row
 
@@ -34,14 +64,35 @@ class Operator:
     def describe(self) -> str:
         return type(self).__name__
 
-    def explain(self, depth: int = 0) -> str:
-        lines = ["  " * depth + self.describe()]
+    def analyze_stats(self) -> dict[str, Any]:
+        """Per-operator annotations for ``explain(analyze=True)``."""
+        return {
+            "rows_out": self.rows_out,
+            "rows_in": self.rows_in,
+            "virtual_ms": round(self.virtual_ms, 3),
+        }
+
+    def explain(self, depth: int = 0, analyze: bool = False) -> str:
+        line = "  " * depth + self.describe()
+        if analyze:
+            annotations = ", ".join(
+                f"{key}={value}" for key, value in self.analyze_stats().items()
+            )
+            line += f"  ({annotations})"
+        lines = [line]
         for child in self.children:
-            lines.append(child.explain(depth + 1))
+            lines.append(child.explain(depth + 1, analyze))
         return "\n".join(lines)
+
+    def bind_analyze(self, clock) -> None:
+        """Attach a virtual clock for per-operator timing (recursive)."""
+        self._analyze_clock = clock
+        for child in self.children:
+            child.bind_analyze(clock)
 
     def reset_counters(self) -> None:
         self.rows_out = 0
+        self.virtual_ms = 0.0
         for child in self.children:
             child.reset_counters()
 

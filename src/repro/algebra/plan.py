@@ -34,12 +34,26 @@ class Plan:
         self.root.reset_counters()
         return iter(self.root)
 
-    def explain(self) -> str:
-        return self.root.explain()
+    def explain(self, analyze: bool = False) -> str:
+        """The plan as indented text.
+
+        ``analyze=True`` annotates every operator with its measured
+        ``rows_out``/``rows_in`` and (when a clock was bound via
+        :meth:`bind_analyze` before execution) inclusive virtual time.
+        """
+        return self.root.explain(analyze=analyze)
+
+    def bind_analyze(self, clock) -> None:
+        """Attach a virtual clock so execution times every operator."""
+        self.root.bind_analyze(clock)
 
     def operator_stats(self) -> list[tuple[str, int]]:
         """(description, rows produced) per operator, top-down."""
         return [(op.describe(), op.rows_out) for op in self.root.walk()]
+
+    def analyze_stats(self) -> list[tuple[str, dict]]:
+        """(description, analyze annotations) per operator, top-down."""
+        return [(op.describe(), op.analyze_stats()) for op in self.root.walk()]
 
     def __repr__(self) -> str:
         return f"Plan(root={self.root.describe()})"

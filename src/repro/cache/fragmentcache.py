@@ -29,6 +29,7 @@ from repro.algebra.tuples import BindingTuple
 from repro.cache.keys import result_key
 from repro.materialize.matching import access_key, matches
 from repro.materialize.policy import RefreshPolicy
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.optimizer.costs import CostModel
 from repro.query.exprs import compile_predicate
 from repro.simtime import SimClock
@@ -130,6 +131,9 @@ class FragmentResultCache:
         self.evictions = 0
         self.insertions = 0
         self.oversize_rejects = 0
+        #: set by the owning engine's ``use_tracer``; lookup outcomes
+        #: land as events on the enclosing fetch span
+        self.tracer: Tracer = NULL_TRACER
 
     # -- serving -------------------------------------------------------------
 
@@ -154,12 +158,15 @@ class FragmentResultCache:
                 entry.hits += 1
                 self.hits += 1
                 self._charge_local(len(entry.records))
+                self.tracer.event("cache_hit", source=fragment.source,
+                                  rows=len(entry.records))
                 return CachedResult(list(entry.records))
         if self.containment and not params and not fragment.input_vars:
             served = self._serve_by_containment(fragment, epoch)
             if served is not None:
                 return served
         self.misses += 1
+        self.tracer.event("cache_miss", source=fragment.source)
         return None
 
     def _serve_by_containment(
@@ -187,6 +194,8 @@ class FragmentResultCache:
             entry.hits += 1
             self.containment_hits += 1
             self._charge_local(len(records))
+            self.tracer.event("containment_serve", source=fragment.source,
+                              rows=len(records), residual=len(residual))
             return CachedResult(records, containment=True,
                                 residual_conditions=len(residual))
         return None

@@ -16,6 +16,9 @@ from repro.materialize.manager import MaterializationManager
 from repro.materialize.policy import RefreshPolicy
 from repro.mediator.catalog import Catalog
 from repro.mediator.schema import ViewDef
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.querylog import QueryLog, query_hash
+from repro.observability.tracing import NULL_TRACER, Span, Tracer, format_trace
 from repro.optimizer.costs import CostModel
 from repro.optimizer.decomposer import DecomposedQuery, FragmentUnit, decompose
 from repro.optimizer.planner import PlanBuilder, independent_fragment_units
@@ -90,6 +93,39 @@ class EngineStats:
         """The fragment-cache counters as a dict (cache experiments)."""
         return {name: getattr(self, name) for name in self._CACHE_COUNTERS}
 
+    def as_dict(self) -> dict[str, int]:
+        """Union of ``counters()``, schedule, and ``cache_counters()``.
+
+        Key order is the declaration order of the three tuples — stable
+        across runs, so JSON emissions diff cleanly between PRs.
+        """
+        return {
+            name: getattr(self, name)
+            for name in self._COUNTERS + self._SCHEDULE_COUNTERS
+            + self._CACHE_COUNTERS
+        }
+
+
+@dataclass
+class AnalyzedQuery:
+    """What :meth:`NimbleEngine.explain_analyze` returns.
+
+    ``plan_text`` is the annotated physical plan (actual row counts,
+    inclusive virtual time, estimated-vs-actual cardinalities);
+    ``result`` the executed query's :class:`QueryResult`; ``trace`` the
+    execution's span tree (None only if tracing was torn down early).
+    """
+
+    plan_text: str
+    result: QueryResult
+    trace: Span | None
+
+    def __str__(self) -> str:
+        text = self.plan_text
+        if self.trace is not None:
+            text += "\n\n-- trace --\n" + format_trace(self.trace)
+        return text
+
 
 @dataclass
 class QueryResult:
@@ -158,11 +194,14 @@ class _ExecutionContext:
                 error: SourceUnavailableError,
                 params: dict[str, Any] | None = None) -> list:
         """Terminal failure: degraded read if possible, else skip/raise."""
+        tracer = self.engine.tracer
         if self.policy is not PartialResultPolicy.FAIL and params is None:
             fallback = self._degraded_read(fragment)
             if fallback is not None:
                 self.stats.stale_served += 1
                 self.completeness.record_stale(source_name)
+                tracer.event("stale_served", source=source_name,
+                             rows=len(fallback))
                 return fallback
         if self.policy is PartialResultPolicy.FAIL:
             raise error
@@ -173,6 +212,7 @@ class _ExecutionContext:
             raise error
         self.completeness.record_skip(source_name)
         self.stats.fragments_skipped += 1
+        tracer.event("fragment_skipped", source=source_name)
         return []
 
     def _degraded_read(self, fragment: Fragment | None) -> list[Record] | None:
@@ -207,34 +247,52 @@ class _ExecutionContext:
         fan_out = self.engine.max_parallel_fetches
         if fan_out <= 1 or len(units) <= 1:
             return
+        tracer = self.engine.tracer
         for start in range(0, len(units), fan_out):
             wave = units[start:start + fan_out]
             group = TaskGroup(self.engine.clock)
-            #: single-flight: result key -> (leader timeline, leader id);
-            #: identical fragments in one wave cost one source call
-            leaders: dict[str, tuple[Any, int]] = {}
-            for unit in wave:
-                key = None
-                if self._cache_for(unit.source) is not None:
-                    key = result_key(unit.fragment)
-                if key is not None and key in leaders:
-                    leader_timeline, leader_id = leaders[key]
-                    with group.task(unit.source.name):
-                        # join the in-flight fetch: both timelines fork
-                        # at the wave start, so the duplicate finishes
-                        # exactly when its leader does
-                        self.engine.clock.advance_to(leader_timeline.now)
-                    self._prefetched[id(unit)] = list(
-                        self._prefetched[leader_id]
-                    )
-                    self.stats.singleflight_dedups += 1
-                    continue
-                with group.task(unit.source.name) as timeline:
-                    records = self.fetch_fragment(unit)
-                self._prefetched[id(unit)] = records
-                if key is not None:
-                    leaders[key] = (timeline, id(unit))
-            group.join()
+            with tracer.span("wave", name=f"wave-{start // fan_out}",
+                             size=len(wave)) as wave_span:
+                #: single-flight: result key -> (leader timeline, leader id);
+                #: identical fragments in one wave cost one source call
+                leaders: dict[str, tuple[Any, int]] = {}
+                for unit in wave:
+                    key = None
+                    if self._cache_for(unit.source) is not None:
+                        key = result_key(unit.fragment)
+                    if key is not None and key in leaders:
+                        leader_timeline, leader_id = leaders[key]
+                        with group.task(unit.source.name):
+                            # join the in-flight fetch: both timelines fork
+                            # at the wave start, so the duplicate finishes
+                            # exactly when its leader does
+                            with tracer.span("fetch", name=unit.source.name,
+                                             source=unit.source.name) as span:
+                                tracer.event("singleflight_join",
+                                             source=unit.source.name)
+                                self.engine.clock.advance_to(
+                                    leader_timeline.now
+                                )
+                                if span.recording:
+                                    span.set(rows=len(
+                                        self._prefetched[leader_id]
+                                    ))
+                        self._prefetched[id(unit)] = list(
+                            self._prefetched[leader_id]
+                        )
+                        self.stats.singleflight_dedups += 1
+                        continue
+                    with group.task(unit.source.name) as timeline:
+                        records = self.fetch_fragment(unit)
+                    self._prefetched[id(unit)] = records
+                    if key is not None:
+                        leaders[key] = (timeline, id(unit))
+                serial_ms = group.elapsed_serial
+                group.join()
+                if wave_span.recording:
+                    # the per-task serial sum; the wave itself costs the max
+                    wave_span.set(serial_ms=serial_ms,
+                                  tasks=len(group.timelines))
             self.stats.parallel_waves += 1
 
     # -- the calls FragmentScan / view scans make ----------------------------
@@ -250,41 +308,59 @@ class _ExecutionContext:
         engine = self.engine
         fragment = unit.fragment
         source = unit.source
-        cache = self._cache_for(source)
-        if cache is not None:
-            hit = cache.lookup(fragment, params, engine.catalog.version)
-            if hit is not None:
-                self.stats.fragment_cache_hits += 1
-                if hit.containment:
-                    self.stats.containment_hits += 1
-                return hit.records
-            self.stats.fragment_cache_misses += 1
-        if params is None and engine.materializer is not None:
-            served = engine.materializer.serve(fragment)
-            if served is not None:
-                self.stats.fragments_from_cache += 1
-                return served
-        network = source.network
-        calls_before, rows_before = network.calls, network.rows_transferred
-        started = engine.clock.now
-        try:
-            records = self.call_source(
-                source, lambda: source.execute(fragment, params)
-            )
-        except SourceUnavailableError as error:
+        with engine.tracer.span(
+            "fetch", name=source.name, source=source.name,
+            dependent=params is not None,
+        ) as span:
+            if span.recording:
+                span.set(fragment=fragment.describe())
+            cache = self._cache_for(source)
+            if cache is not None:
+                hit = cache.lookup(fragment, params, engine.catalog.version)
+                if hit is not None:
+                    self.stats.fragment_cache_hits += 1
+                    if hit.containment:
+                        self.stats.containment_hits += 1
+                    if span.recording:
+                        span.set(served_from="fragment_cache",
+                                 rows=len(hit.records))
+                    return hit.records
+                self.stats.fragment_cache_misses += 1
+            if params is None and engine.materializer is not None:
+                served = engine.materializer.serve(fragment)
+                if served is not None:
+                    self.stats.fragments_from_cache += 1
+                    if span.recording:
+                        span.set(served_from="materialized", rows=len(served))
+                    return served
+            network = source.network
+            calls_before, rows_before = network.calls, network.rows_transferred
+            started = engine.clock.now
+            try:
+                records = self.call_source(
+                    source, lambda: source.execute(fragment, params)
+                )
+            except SourceUnavailableError as error:
+                self.charge_network(network, calls_before, rows_before)
+                return self.give_up(fragment, source.name, error, params)
             self.charge_network(network, calls_before, rows_before)
-            return self.give_up(fragment, source.name, error, params)
-        self.charge_network(network, calls_before, rows_before)
-        cost = engine.clock.now - started
-        self.stats.fragments_executed += 1
-        self._observe(fragment, len(records))
-        if engine.materializer is not None and params is None:
-            engine.materializer.record_remote(fragment, source, cost, len(records))
-        if cache is not None:
-            self.stats.fragment_cache_evictions += cache.insert(
-                fragment, params, records, engine.catalog.version
-            )
-        return records
+            cost = engine.clock.now - started
+            self.stats.fragments_executed += 1
+            if engine.metrics is not None:
+                engine.metrics.histogram(
+                    f"source.{source.name}.fetch_virtual_ms"
+                ).observe(cost)
+            self._observe(fragment, len(records))
+            if engine.materializer is not None and params is None:
+                engine.materializer.record_remote(fragment, source, cost,
+                                                  len(records))
+            if cache is not None:
+                self.stats.fragment_cache_evictions += cache.insert(
+                    fragment, params, records, engine.catalog.version
+                )
+            if span.recording:
+                span.set(served_from="remote", rows=len(records))
+            return records
 
     def fetch_fragment_batch(
         self, unit: FragmentUnit, param_sets: list[dict[str, Any]]
@@ -305,37 +381,46 @@ class _ExecutionContext:
         """
         if not param_sets:
             return []
-        cache = self._cache_for(unit.source)
-        if cache is None:
-            fetched = self._remote_batch(unit, param_sets)
-            return fetched if fetched is not None else [[] for _ in param_sets]
-        epoch = self.engine.catalog.version
-        results: list[list[Record]] = [[] for _ in param_sets]
-        positions_by_key: dict[str, list[int]] = {}
-        params_by_key: dict[str, dict[str, Any]] = {}
-        for index, params in enumerate(param_sets):
-            hit = cache.lookup(unit.fragment, params, epoch)
-            if hit is not None:
-                self.stats.fragment_cache_hits += 1
-                results[index] = hit.records
-                continue
-            self.stats.fragment_cache_misses += 1
-            key = params_key(params)
-            if key in positions_by_key:
-                self.stats.singleflight_dedups += 1
-            positions_by_key.setdefault(key, []).append(index)
-            params_by_key[key] = dict(params)
-        if positions_by_key:
-            unique_sets = [params_by_key[key] for key in positions_by_key]
-            fetched = self._remote_batch(unit, unique_sets)
-            if fetched is not None:
-                for key, records in zip(positions_by_key, fetched):
-                    self.stats.fragment_cache_evictions += cache.insert(
-                        unit.fragment, params_by_key[key], records, epoch
-                    )
-                    for position in positions_by_key[key]:
-                        results[position] = list(records)
-        return results
+        with self.engine.tracer.span(
+            "batch", name=unit.source.name, source=unit.source.name,
+            probes=len(param_sets),
+        ) as span:
+            cache = self._cache_for(unit.source)
+            if cache is None:
+                fetched = self._remote_batch(unit, param_sets)
+                return (fetched if fetched is not None
+                        else [[] for _ in param_sets])
+            epoch = self.engine.catalog.version
+            results: list[list[Record]] = [[] for _ in param_sets]
+            positions_by_key: dict[str, list[int]] = {}
+            params_by_key: dict[str, dict[str, Any]] = {}
+            for index, params in enumerate(param_sets):
+                hit = cache.lookup(unit.fragment, params, epoch)
+                if hit is not None:
+                    self.stats.fragment_cache_hits += 1
+                    results[index] = hit.records
+                    continue
+                self.stats.fragment_cache_misses += 1
+                key = params_key(params)
+                if key in positions_by_key:
+                    self.stats.singleflight_dedups += 1
+                    self.engine.tracer.event("singleflight_probe",
+                                             source=unit.source.name)
+                positions_by_key.setdefault(key, []).append(index)
+                params_by_key[key] = dict(params)
+            if span.recording:
+                span.set(remote_probes=len(positions_by_key))
+            if positions_by_key:
+                unique_sets = [params_by_key[key] for key in positions_by_key]
+                fetched = self._remote_batch(unit, unique_sets)
+                if fetched is not None:
+                    for key, records in zip(positions_by_key, fetched):
+                        self.stats.fragment_cache_evictions += cache.insert(
+                            unit.fragment, params_by_key[key], records, epoch
+                        )
+                        for position in positions_by_key[key]:
+                            results[position] = list(records)
+            return results
 
     def _remote_batch(
         self, unit: FragmentUnit, param_sets: list[dict[str, Any]]
@@ -344,6 +429,7 @@ class _ExecutionContext:
         source = unit.source
         network = source.network
         calls_before, rows_before = network.calls, network.rows_transferred
+        started = self.engine.clock.now
         try:
             results = self.call_source(
                 source, lambda: source.execute_batch(unit.fragment, param_sets)
@@ -354,6 +440,10 @@ class _ExecutionContext:
                          params=param_sets[0])
             return None
         self.charge_network(network, calls_before, rows_before)
+        if self.engine.metrics is not None:
+            self.engine.metrics.histogram(
+                f"source.{source.name}.fetch_virtual_ms"
+            ).observe(self.engine.clock.now - started)
         self.stats.fragments_executed += len(param_sets)
         self.stats.batch_calls += 1
         for records in results:
@@ -380,16 +470,22 @@ class _ExecutionContext:
     def fetch_view(self, view: ViewDef) -> list[Element]:
         if view.name in self._view_memo:
             return self._view_memo[view.name]
-        if self.engine.materializer is not None:
-            served = self.engine.materializer.serve_view(view.name)
-            if served is not None:
-                self.stats.fragments_from_cache += 1
-                self._view_memo[view.name] = served
-                return served
-        result = self.engine._execute(view.query, self.policy,
-                                      self.required_sources, parent=self)
-        self._view_memo[view.name] = result.elements
-        return result.elements
+        with self.engine.tracer.span("view", name=view.name) as span:
+            if self.engine.materializer is not None:
+                served = self.engine.materializer.serve_view(view.name)
+                if served is not None:
+                    self.stats.fragments_from_cache += 1
+                    self._view_memo[view.name] = served
+                    if span.recording:
+                        span.set(served_from="materialized",
+                                 rows=len(served))
+                    return served
+            result = self.engine._execute(view.query, self.policy,
+                                          self.required_sources, parent=self)
+            self._view_memo[view.name] = result.elements
+            if span.recording:
+                span.set(served_from="sub_query", rows=len(result.elements))
+            return result.elements
 
 
 class NimbleEngine:
@@ -424,6 +520,16 @@ class NimbleEngine:
     follow the cache knob) so repeated queries plan with real
     cardinalities.  Cache hits never touch the resilience ladder: no
     retry budget is spent and no breaker is consulted.
+
+    Observability: pass a :class:`~repro.observability.Tracer` to
+    record a span tree per query (fetches, waves, batched probes, view
+    sub-queries, with retry/breaker/cache events), a
+    :class:`~repro.observability.MetricsRegistry` to aggregate
+    counters and per-source latency histograms across queries, and a
+    :class:`~repro.observability.QueryLog` to keep a bounded log of
+    recent executions with a slow-query flag.  All three default to
+    off; tracing off means the no-op tracer — zero virtual-time
+    overhead and byte-identical results and counters.
     """
 
     def __init__(
@@ -444,9 +550,14 @@ class NimbleEngine:
         fragment_cache_policies: dict[str, RefreshPolicy] | None = None,
         fragment_cache_containment: bool = True,
         statistics_feedback: bool | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        query_log: QueryLog | None = None,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
+        self.metrics = metrics
+        self.query_log = query_log
         self.cost_model = cost_model or CostModel()
         self.materializer = materializer
         self.default_policy = default_policy
@@ -499,10 +610,31 @@ class NimbleEngine:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.queries_run = 0
+        self.tracer: Tracer = NULL_TRACER
+        self.use_tracer(tracer or NULL_TRACER)
 
     @property
     def batch_size(self) -> int:
         return self.builder.batch_size
+
+    def use_tracer(self, tracer) -> None:
+        """(Re)wire a tracer through every traced component.
+
+        The resilient executor and the fragment cache are engine-owned
+        and always follow.  Sources are *shared* (a registry can back
+        several engines), so an enabled tracer claims them, while a
+        null tracer only releases sources this engine's previous tracer
+        had claimed — never another engine's.
+        """
+        previous = self.tracer
+        self.tracer = tracer
+        if self.resilient is not None:
+            self.resilient.tracer = tracer
+        if self.fragment_cache is not None:
+            self.fragment_cache.tracer = tracer
+        for source in self.catalog.registry:
+            if tracer.enabled or getattr(source, "tracer", None) is previous:
+                source.tracer = tracer
 
     # -- public API ------------------------------------------------------------
 
@@ -513,13 +645,11 @@ class NimbleEngine:
         required_sources: set[str] | None = None,
     ) -> QueryResult:
         """Run one XML-QL query and return annotated results."""
-        query = parse_query(text) if isinstance(text, str) else text
         effective = policy or self.default_policy
         if required_sources and effective is not PartialResultPolicy.FAIL:
             effective = PartialResultPolicy.REQUIRE
-        return self._execute(query, effective,
-                             frozenset(required_sources or ()),
-                             text=text if isinstance(text, str) else None)
+        return self._execute(text, effective,
+                             frozenset(required_sources or ()))
 
     def flwor_query(
         self,
@@ -560,37 +690,94 @@ class NimbleEngine:
             network = source.network
             calls_before = network.calls
             rows_before = network.rows_transferred
-            try:
-                items = context.call_source(
-                    source, lambda: source.fetch_all(relation)
-                )
-            except SourceUnavailableError as error:
+            with self.tracer.span("fetch", name=source.name,
+                                  source=source.name, wholesale=True) as span:
+                try:
+                    items = context.call_source(
+                        source, lambda: source.fetch_all(relation)
+                    )
+                except SourceUnavailableError as error:
+                    context.charge_network(network, calls_before, rows_before)
+                    # wholesale fetches are not fragment-keyed, so there is
+                    # no stale fallback here — skip or raise per policy
+                    return context.give_up(None, source.name, error)
                 context.charge_network(network, calls_before, rows_before)
-                # wholesale fetches are not fragment-keyed, so there is
-                # no stale fallback here — skip or raise per policy
-                return context.give_up(None, source.name, error)
-            context.charge_network(network, calls_before, rows_before)
-            context.stats.fragments_executed += 1
-            return items
+                context.stats.fragments_executed += 1
+                if span.recording:
+                    span.set(rows=len(items))
+                return items
 
-        plan = translate_flwor(text, resolver)
-        started_virtual = self.clock.now
-        started_wall = time.perf_counter()
-        elements = plan.results()
-        context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
-        context.stats.elapsed_wall_ms = (time.perf_counter() - started_wall) * 1000
-        context.stats.plan_text = plan.explain()
+        with self.tracer.span("query", policy=effective.name,
+                              dialect="flwor") as root:
+            if root.recording:
+                root.set(query_hash=query_hash(text))
+            with self.tracer.span("parse"):
+                plan = translate_flwor(text, resolver)
+            started_virtual = self.clock.now
+            started_wall = time.perf_counter()
+            with self.tracer.span("execute"):
+                elements = plan.results()
+            context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
+            context.stats.elapsed_wall_ms = (
+                (time.perf_counter() - started_wall) * 1000
+            )
+            context.stats.plan_text = plan.explain()
+            if root.recording:
+                root.set(elapsed_virtual_ms=context.stats.elapsed_virtual_ms,
+                         rows=len(elements),
+                         complete=context.completeness.complete)
+        self._record_query(text, root.trace_id, context)
         return QueryResult(elements, context.completeness, context.stats)
 
     def explain(self, text: str | qast.Query) -> str:
-        """The physical plan the engine would run, as indented text."""
-        query = parse_query(text) if isinstance(text, str) else text
-        decomposed = self._compile(
-            query, text if isinstance(text, str) else None
-        )
+        """The physical plan the engine would run, as indented text.
+
+        Goes through the compiled-plan cache exactly like execution
+        does: explaining a cached query reuses (and re-validates
+        against the catalog epoch) the same :class:`DecomposedQuery`
+        that would execute, so the explanation can never disagree with
+        the plan a subsequent ``query()`` runs — and the engine-level
+        ``plan_cache_hits``/``plan_cache_misses`` move consistently.
+        """
+        decomposed = self._compile(text)
         context = _ExecutionContext(self, self.default_policy, frozenset())
         plan = self.builder.build(decomposed, context)
         return plan.explain()
+
+    def explain_analyze(
+        self,
+        text: str | qast.Query,
+        policy: PartialResultPolicy | None = None,
+        required_sources: set[str] | None = None,
+    ) -> "AnalyzedQuery":
+        """Execute the query with full instrumentation and explain it.
+
+        Unlike :meth:`explain`, this *runs* the query: every operator
+        reports actual row counts (``rows_out``/``rows_in``), inclusive
+        virtual time, and — for fragment scans — the planner's estimate
+        (the feedback EWMA once the fragment has run before) against
+        the actual cardinality.  A span trace of the execution rides
+        along; when the engine has no tracer, a temporary one is wired
+        for the duration of the call.  ``str()`` of the result renders
+        the annotated plan plus the span tree.
+        """
+        tracer = self.tracer
+        temporary = not tracer.enabled
+        if temporary:
+            tracer = Tracer(self.clock)
+            self.use_tracer(tracer)
+        effective = policy or self.default_policy
+        if required_sources and effective is not PartialResultPolicy.FAIL:
+            effective = PartialResultPolicy.REQUIRE
+        try:
+            result = self._execute(text, effective,
+                                   frozenset(required_sources or ()),
+                                   analyze=True)
+        finally:
+            if temporary:
+                self.use_tracer(NULL_TRACER)
+        return AnalyzedQuery(result.stats.plan_text, result,
+                             tracer.last_trace)
 
     def materialize_query_fragments(self, text: str | qast.Query,
                                     policy=None) -> int:
@@ -605,10 +792,7 @@ class NimbleEngine:
         """
         if self.materializer is None:
             raise MediationError("engine has no materialization manager")
-        query = parse_query(text) if isinstance(text, str) else text
-        decomposed = self._compile(
-            query, text if isinstance(text, str) else None
-        )
+        decomposed = self._compile(text)
         context = _ExecutionContext(self, PartialResultPolicy.FAIL, frozenset())
         count = 0
         for unit in decomposed.units:
@@ -669,18 +853,21 @@ class NimbleEngine:
             return None
         return self.fragment_cache.resident_rows(fragment, self.catalog.version)
 
-    def _compile(self, query: qast.Query, text: str | None,
+    def _compile(self, query: str | qast.Query,
                  stats: EngineStats | None = None) -> DecomposedQuery:
         """Parse→bind→decompose, cached per query text + catalog epoch.
 
-        The cache is keyed by the literal query text; an entry is only
-        valid while the catalog's version epoch (bumped on any source,
-        mapping, schema, or view registration) matches the one it was
-        compiled under.  ASTs passed directly (``text=None``) bypass the
-        cache.  The compiled :class:`DecomposedQuery` is immutable after
-        decomposition, so reuse across executions is safe — the plan
-        builder constructs fresh operators every run.
+        The cache is keyed by the literal query text and consulted
+        *before* parsing — a cached query costs one dict lookup, no
+        re-parse, no re-plan.  An entry is only valid while the
+        catalog's version epoch (bumped on any source, mapping, schema,
+        or view registration) matches the one it was compiled under.
+        ASTs passed directly bypass the cache.  The compiled
+        :class:`DecomposedQuery` is immutable after decomposition, so
+        reuse across executions is safe — the plan builder constructs
+        fresh operators every run.
         """
+        text = query if isinstance(query, str) else None
         epoch = self.catalog.version
         caching = text is not None and self.plan_cache_size > 0
         if caching:
@@ -688,11 +875,18 @@ class NimbleEngine:
             if entry is not None and entry[0] == epoch:
                 self._plan_cache.move_to_end(text)
                 self.plan_cache_hits += 1
+                self.tracer.event("plan_cache_hit")
                 if stats is not None:
                     stats.plan_cache_hits += 1
                 return entry[1]
-        bound = bind_query(query)
-        decomposed = decompose(bound, self.catalog, self.pushdown)
+        tracer = self.tracer
+        if text is not None:
+            with tracer.span("parse"):
+                query = parse_query(text)
+        with tracer.span("bind"):
+            bound = bind_query(query)
+        with tracer.span("decompose"):
+            decomposed = decompose(bound, self.catalog, self.pushdown)
         if caching:
             self.plan_cache_misses += 1
             self._plan_cache[text] = (epoch, decomposed)
@@ -703,30 +897,75 @@ class NimbleEngine:
 
     def _execute(
         self,
-        query: qast.Query,
+        query: str | qast.Query,
         policy: PartialResultPolicy,
         required_sources: frozenset[str],
         parent: _ExecutionContext | None = None,
-        text: str | None = None,
+        analyze: bool = False,
     ) -> QueryResult:
         self.queries_run += 1
         context = _ExecutionContext(
             self, policy, required_sources,
             deadline_at=parent.deadline_at if parent is not None else None,
         )
-        decomposed = self._compile(query, text, stats=context.stats)
-        plan = self.builder.build(decomposed, context)
-        started_virtual = self.clock.now
-        started_wall = time.perf_counter()
-        context.prefetch(independent_fragment_units(decomposed))
-        elements = plan.results()
-        context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
-        context.stats.elapsed_wall_ms = (time.perf_counter() - started_wall) * 1000
-        context.stats.plan_text = plan.explain()
+        text = query if isinstance(query, str) else None
+        tracer = self.tracer
+        with tracer.span("query", policy=policy.name) as root:
+            if root.recording and text is not None:
+                root.set(query_hash=query_hash(text))
+            decomposed = self._compile(query, stats=context.stats)
+            with tracer.span("plan"):
+                plan = self.builder.build(decomposed, context)
+            if analyze:
+                plan.bind_analyze(self.clock)
+            started_virtual = self.clock.now
+            started_wall = time.perf_counter()
+            with tracer.span("execute"):
+                context.prefetch(independent_fragment_units(decomposed))
+                elements = plan.results()
+            context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
+            context.stats.elapsed_wall_ms = (
+                (time.perf_counter() - started_wall) * 1000
+            )
+            context.stats.plan_text = plan.explain(analyze=analyze)
+            if root.recording:
+                root.set(elapsed_virtual_ms=context.stats.elapsed_virtual_ms,
+                         rows=len(elements),
+                         complete=context.completeness.complete)
         if parent is not None:
             parent.completeness.merge(context.completeness)
             parent.stats.absorb(context.stats)
+        else:
+            self._record_query(text, root.trace_id, context)
         return QueryResult(elements, context.completeness, context.stats)
+
+    def _record_query(self, text: str | None, trace_id: str,
+                      context: _ExecutionContext) -> None:
+        """Top-level bookkeeping: the query log and the metrics registry."""
+        stats = context.stats
+        if self.query_log is not None:
+            self.query_log.record(
+                text if text is not None else stats.plan_text,
+                stats.elapsed_virtual_ms,
+                stats.elapsed_wall_ms,
+                context.completeness,
+                trace_id=trace_id,
+                counters=stats.counters(),
+            )
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("queries_total").inc()
+            if not context.completeness.complete:
+                metrics.counter("queries_incomplete").inc()
+            if context.completeness.stale_sources:
+                metrics.counter("queries_stale").inc()
+            metrics.histogram("query.virtual_ms").observe(
+                stats.elapsed_virtual_ms
+            )
+            metrics.histogram("query.wall_ms").observe(stats.elapsed_wall_ms)
+            for name, value in stats.as_dict().items():
+                if value:
+                    metrics.counter(name).inc(value)
 
 
 def _fragment_store_key(fragment: Fragment) -> str:

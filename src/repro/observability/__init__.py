@@ -1,0 +1,61 @@
+"""Observability: tracing, metrics, and the query log.
+
+Section 4 of the paper calls for "configuration and management tools
+that make it possible for administrators to set up, monitor, and
+understand, the system".  This package is the *understand* part:
+
+* :mod:`tracing` — per-query span trees over virtual + wall time with
+  structured events (retries, breaker trips, cache hits, single-flight
+  joins); a no-op :data:`~repro.observability.tracing.NULL_TRACER`
+  keeps the off path free;
+* :mod:`metrics` — counters/gauges/histograms with deterministic
+  snapshots and nearest-rank percentiles;
+* :mod:`querylog` — a bounded log of recent queries with elapsed
+  times, completeness, and a slow-query flag;
+* :mod:`export` — JSON trace dumps and Chrome ``trace_event`` files
+  for visual inspection of prefetch fan-out.
+"""
+
+from repro.observability.export import (
+    chrome_trace_events,
+    trace_to_dict,
+    traces_to_json,
+    write_chrome_trace,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.observability.querylog import QueryLog, QueryLogRecord, query_hash
+from repro.observability.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    format_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "QueryLog",
+    "QueryLogRecord",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "format_trace",
+    "percentile",
+    "query_hash",
+    "trace_to_dict",
+    "traces_to_json",
+    "write_chrome_trace",
+]

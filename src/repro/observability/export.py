@@ -1,0 +1,89 @@
+"""Trace exporters: JSON dumps and Chrome ``trace_event`` format.
+
+The Chrome format (load via ``chrome://tracing`` or https://ui.perfetto.dev)
+makes a prefetch wave's fan-out visually inspectable: fetches that
+overlapped in virtual time render as parallel lanes.  Lanes (``tid``)
+are assigned deterministically — every child of a ``wave`` span gets
+its own lane, inherited by its descendants; everything else runs on
+lane 0.  Timestamps are the spans' *virtual* microseconds, so the
+picture shows the modelled concurrency, not Python's (serial) wall
+clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.observability.tracing import Span
+
+
+def trace_to_dict(trace: Span) -> dict[str, Any]:
+    """One trace as a plain nested dict."""
+    return trace.to_dict()
+
+
+def traces_to_json(traces: Iterable[Span], indent: int = 2) -> str:
+    """JSON dump of several traces (newest last)."""
+    return json.dumps(
+        [trace_to_dict(trace) for trace in traces],
+        indent=indent, sort_keys=True,
+    )
+
+
+def chrome_trace_events(traces: Iterable[Span]) -> dict[str, Any]:
+    """Traces as a Chrome ``trace_event`` JSON object.
+
+    Every span becomes a complete event (``"ph": "X"``) and every span
+    event an instant event (``"ph": "i"``).  ``pid`` is the trace's
+    ordinal so several queries stack in one view; ``tid`` is the lane.
+    """
+    events: list[dict[str, Any]] = []
+    for pid, trace in enumerate(traces):
+        _emit(trace, pid, tid=0, events=events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _emit(span: Span, pid: int, tid: int, events: list[dict[str, Any]]) -> None:
+    events.append({
+        "name": f"{span.kind}:{span.name}" if span.name else span.kind,
+        "cat": span.kind,
+        "ph": "X",
+        "ts": round(span.start_virtual_ms * 1000.0, 3),
+        "dur": round(span.virtual_ms * 1000.0, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": _jsonable_attrs(span.attrs),
+    })
+    for event in span.events:
+        events.append({
+            "name": event.name,
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": round(event.at_virtual_ms * 1000.0, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": _jsonable_attrs(event.attrs),
+        })
+    fan_out = span.kind == "wave"
+    for index, child in enumerate(span.children):
+        # each member of a wave gets its own lane so overlap is visible
+        _emit(child, pid, tid=index + 1 if fan_out else tid, events=events)
+
+
+def _jsonable_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    return {
+        key: value if isinstance(value, (str, int, float, bool)) or value is None
+        else str(value)
+        for key, value in attrs.items()
+    }
+
+
+def write_chrome_trace(path: str | Path, traces: Iterable[Span]) -> Path:
+    """Write a Chrome trace JSON file; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_events(traces), indent=2) + "\n")
+    return path

@@ -1,0 +1,146 @@
+"""Counters, gauges, and histograms with deterministic snapshots.
+
+The registry is the long-lived side of observability: where a trace
+explains *one* query, metrics aggregate across every query an engine
+has run — per-source latency percentiles, retry totals, cache hit
+rates.  Snapshots sort every key and compute percentiles by nearest
+rank, so two identical runs serialize byte-identically.
+
+:func:`percentile` is the canonical nearest-rank implementation; the
+benchmark helpers (``benchmarks/common.py``) delegate to it so the
+experiment tables and the live metrics report the same statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile: the smallest value with at least
+    ``fraction`` of the data at or below it.
+
+    The rank is ``ceil(fraction * n)`` (1-based); truncating instead is
+    off by one whenever ``fraction * n`` lands exactly on a boundary —
+    e.g. the p50 of two items would return the max, not the lower one.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (occupancy, fill fraction)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Recorded observations summarized by nearest-rank percentiles.
+
+    Keeps at most ``max_samples`` of the most recent observations (a
+    simple sliding window) so long-running engines stay bounded; the
+    count and sum cover *every* observation ever made.
+    """
+
+    __slots__ = ("max_samples", "samples", "count", "total")
+
+    def __init__(self, max_samples: int = 2048):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.max_samples = max_samples
+        self.samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.samples.append(float(value))
+        if len(self.samples) > self.max_samples:
+            del self.samples[0]
+
+    def snapshot(self) -> dict[str, float]:
+        """Deterministic summary of the recorded window."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.samples) if self.samples else 0.0,
+            "max": max(self.samples) if self.samples else 0.0,
+            "p50": percentile(self.samples, 0.50),
+            "p90": percentile(self.samples, 0.90),
+            "p99": percentile(self.samples, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch.
+
+    >>> metrics = MetricsRegistry()
+    >>> metrics.counter("queries_total").inc()
+    >>> metrics.histogram("source.erp.fetch_virtual_ms").observe(41.5)
+    >>> snap = metrics.snapshot()
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str, max_samples: int = 2048) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(max_samples)
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every metric, keys sorted, percentiles nearest-rank."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }

@@ -1,0 +1,118 @@
+"""The bounded query log: one record per top-level query.
+
+The administrator's first question against a slow mediator is "which
+queries were slow, and were their answers complete?"  The log keeps the
+most recent ``capacity`` executions with a privacy-friendly identity
+(a SHA-256 prefix of the query text plus a short preview), the elapsed
+virtual/wall times, the completeness verdict, and a slow flag evaluated
+against ``slow_threshold_ms`` of *virtual* time — the modelled remote
+cost, which is what an administrator can actually tune.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+def query_hash(text: str) -> str:
+    """Stable short identity of a query text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class QueryLogRecord:
+    """One logged execution."""
+
+    trace_id: str
+    query_hash: str
+    preview: str
+    elapsed_virtual_ms: float
+    elapsed_wall_ms: float
+    complete: bool
+    missing_sources: tuple[str, ...] = ()
+    stale_sources: tuple[str, ...] = ()
+    slow: bool = False
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+class QueryLog:
+    """A ring buffer of :class:`QueryLogRecord`, newest last."""
+
+    def __init__(self, capacity: int = 256,
+                 slow_threshold_ms: float | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.slow_threshold_ms = slow_threshold_ms
+        self._records: deque[QueryLogRecord] = deque(maxlen=capacity)
+        self.total_logged = 0
+        self.total_slow = 0
+        self.total_incomplete = 0
+
+    def record(
+        self,
+        text: str,
+        elapsed_virtual_ms: float,
+        elapsed_wall_ms: float,
+        completeness: Any,
+        trace_id: str = "",
+        counters: dict[str, int] | None = None,
+    ) -> QueryLogRecord:
+        """Log one execution; returns the stored record."""
+        slow = (
+            self.slow_threshold_ms is not None
+            and elapsed_virtual_ms >= self.slow_threshold_ms
+        )
+        preview = " ".join(text.split())[:80]
+        entry = QueryLogRecord(
+            trace_id=trace_id,
+            query_hash=query_hash(text),
+            preview=preview,
+            elapsed_virtual_ms=elapsed_virtual_ms,
+            elapsed_wall_ms=elapsed_wall_ms,
+            complete=completeness.complete,
+            missing_sources=tuple(completeness.missing_sources),
+            stale_sources=tuple(completeness.stale_sources),
+            slow=slow,
+            counters=dict(counters or {}),
+        )
+        self._records.append(entry)
+        self.total_logged += 1
+        if slow:
+            self.total_slow += 1
+        if not entry.complete:
+            self.total_incomplete += 1
+        return entry
+
+    def recent(self, last: int | None = None) -> list[QueryLogRecord]:
+        """The newest ``last`` records (all retained records by default)."""
+        records = list(self._records)
+        if last is not None:
+            records = records[-last:]
+        return records
+
+    def slow_queries(self) -> list[QueryLogRecord]:
+        """Retained records that crossed the slow threshold."""
+        return [record for record in self._records if record.slow]
+
+    def incomplete_queries(self) -> list[QueryLogRecord]:
+        return [record for record in self._records if not record.complete]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "retained": len(self._records),
+            "total_logged": self.total_logged,
+            "total_slow": self.total_slow,
+            "total_incomplete": self.total_incomplete,
+            "slow_threshold_ms": self.slow_threshold_ms,
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[QueryLogRecord]:
+        return iter(self._records)

@@ -1,0 +1,317 @@
+"""Query tracing: deterministic span trees over virtual and wall time.
+
+The paper's administrator needs to "monitor, and understand, the
+system" (section 4); with three interacting performance layers
+(resilience ladder, prefetch waves, fragment cache) a flat counter set
+cannot explain *where* a federated query's time went.  A
+:class:`Tracer` records one span tree per query:
+
+* every span carries **two** durations — virtual milliseconds read off
+  the engine's :class:`~repro.simtime.SimClock` (deterministic, the
+  modelled cost) and wall seconds from ``time.perf_counter()``
+  (non-deterministic, the mediator's own CPU time);
+* spans nest by call structure: ``query`` -> ``parse``/``bind``/
+  ``decompose``/``plan``/``execute`` -> ``wave`` -> ``fetch``, with
+  ``batch`` probes, ``view`` sub-queries, and nested ``query`` spans
+  for mediated views;
+* structured :class:`SpanEvent`\\ s mark the interesting instants:
+  retries, breaker trips, stale serves, cache hits/misses, containment
+  serves, single-flight joins.
+
+Tracing is strictly observational: no method advances the clock, so
+results, completeness, and the determinism-checked ``counters()`` are
+identical with tracing on or off.  The default is :data:`NULL_TRACER`,
+whose spans are inert singletons — the off path costs two no-op calls
+per span and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.simtime import SimClock
+
+
+@dataclass
+class SpanEvent:
+    """One instant on a span's timeline (a retry, a cache hit, ...)."""
+
+    name: str
+    at_virtual_ms: float
+    at_wall_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class Span:
+    """One timed region of a query's execution.
+
+    ``recording`` distinguishes a live span from the inert null span:
+    callers guard *expensive* attribute computation behind it
+    (``if span.recording: span.set(fragment=frag.describe())``) so the
+    off path never pays for string building.
+    """
+
+    recording = True
+
+    __slots__ = ("kind", "name", "trace_id", "span_id", "parent_id",
+                 "start_virtual_ms", "end_virtual_ms", "start_wall_s",
+                 "end_wall_s", "attrs", "events", "children")
+
+    def __init__(self, kind: str, name: str, trace_id: str, span_id: int,
+                 parent_id: int | None, start_virtual_ms: float,
+                 start_wall_s: float, attrs: dict[str, Any]):
+        self.kind = kind
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_virtual_ms = start_virtual_ms
+        self.end_virtual_ms: float | None = None
+        self.start_wall_s = start_wall_s
+        self.end_wall_s: float | None = None
+        self.attrs = attrs
+        self.events: list[SpanEvent] = []
+        self.children: list["Span"] = []
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def virtual_ms(self) -> float:
+        """Virtual duration; 0.0 while the span is still open."""
+        if self.end_virtual_ms is None:
+            return 0.0
+        return self.end_virtual_ms - self.start_virtual_ms
+
+    @property
+    def wall_ms(self) -> float:
+        if self.end_wall_s is None:
+            return 0.0
+        return (self.end_wall_s - self.start_wall_s) * 1000.0
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> list["Span"]:
+        """Every descendant span (including self) of one kind."""
+        return [span for span in self.walk() if span.kind == kind]
+
+    def event_names(self) -> list[str]:
+        return [event.name for event in self.events]
+
+    # -- writing -------------------------------------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Merge attributes into the span."""
+        self.attrs.update(attrs)
+
+    def add_event(self, name: str, virtual_now: float, wall_now: float,
+                  attrs: dict[str, Any]) -> None:
+        self.events.append(SpanEvent(name, virtual_now, wall_now, attrs))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Recursive plain-dict form (the JSON trace dump)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_virtual_ms": self.start_virtual_ms,
+            "virtual_ms": self.virtual_ms,
+            "wall_ms": self.wall_ms,
+            "attrs": dict(self.attrs),
+            "events": [
+                {"name": e.name, "at_virtual_ms": e.at_virtual_ms,
+                 "attrs": dict(e.attrs)}
+                for e in self.events
+            ],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.kind}:{self.name or '-'} "
+                f"{self.virtual_ms:.2f}ms v, {len(self.children)} children)")
+
+
+class Tracer:
+    """Records span trees for queries run on one engine.
+
+    Span ids and trace ids are deterministic sequence numbers — no
+    randomness, so two identical runs produce byte-identical trace
+    dumps (modulo wall-clock fields).  Completed root spans are kept in
+    ``traces``, bounded to the last ``max_traces``.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: SimClock, max_traces: int = 64):
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.clock = clock
+        self.max_traces = max_traces
+        self.traces: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_span_id = 0
+        self._next_trace = 0
+
+    @contextmanager
+    def span(self, kind: str, name: str = "", **attrs: Any) -> Iterator[Span]:
+        """Open one span; nests under the currently open span, if any."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = f"t{self._next_trace:04d}"
+            self._next_trace += 1
+        else:
+            trace_id = parent.trace_id
+        span = Span(
+            kind, name, trace_id, self._next_span_id,
+            parent.span_id if parent is not None else None,
+            self.clock.now, time.perf_counter(), attrs,
+        )
+        self._next_span_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as error:
+            span.attrs.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            span.end_virtual_ms = self.clock.now
+            span.end_wall_s = time.perf_counter()
+            popped = self._stack.pop()
+            assert popped is span, "span stack corrupted"
+            if parent is None:
+                self.traces.append(span)
+                while len(self.traces) > self.max_traces:
+                    self.traces.pop(0)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach an instant event to the innermost open span."""
+        if self._stack:
+            self._stack[-1].add_event(
+                name, self.clock.now, time.perf_counter(), attrs
+            )
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def last_trace(self) -> Span | None:
+        return self.traces[-1] if self.traces else None
+
+    def clear(self) -> None:
+        self.traces.clear()
+
+
+class _NullSpan:
+    """The inert span: accepts everything, records nothing."""
+
+    recording = False
+    kind = ""
+    name = ""
+    trace_id = ""
+    span_id = -1
+    parent_id = None
+    start_virtual_ms = 0.0
+    end_virtual_ms = 0.0
+    virtual_ms = 0.0
+    wall_ms = 0.0
+    attrs: dict[str, Any] = {}
+    events: tuple = ()
+    children: tuple = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def add_event(self, name: str, virtual_now: float, wall_now: float,
+                  attrs: dict[str, Any]) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def find(self, kind: str) -> list:
+        return []
+
+    def event_names(self) -> list[str]:
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable, reentrant context manager yielding the null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The zero-overhead default: every operation is a no-op."""
+
+    enabled = False
+    traces: tuple = ()
+    last_trace = None
+
+    def span(self, kind: str, name: str = "", **attrs: Any) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+
+#: the shared no-op tracer every component defaults to
+NULL_TRACER = NullTracer()
+
+
+def format_trace(span: Span, indent: int = 0) -> str:
+    """Render a span tree as indented text (virtual + wall durations)."""
+    pad = "  " * indent
+    label = f"{span.kind}" + (f":{span.name}" if span.name else "")
+    extras = ""
+    if span.attrs:
+        extras = " " + " ".join(
+            f"{key}={value}" for key, value in sorted(span.attrs.items())
+        )
+    lines = [
+        f"{pad}{label}  [{span.virtual_ms:.2f} ms virtual, "
+        f"{span.wall_ms:.3f} ms wall]{extras}"
+    ]
+    for event in span.events:
+        attrs = ""
+        if event.attrs:
+            attrs = " " + " ".join(
+                f"{key}={value}" for key, value in sorted(event.attrs.items())
+            )
+        lines.append(
+            f"{pad}  ! {event.name} @ {event.at_virtual_ms:.2f} ms{attrs}"
+        )
+    for child in span.children:
+        lines.append(format_trace(child, indent + 1))
+    return "\n".join(lines)

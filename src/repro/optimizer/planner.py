@@ -60,6 +60,9 @@ class FragmentScan(Operator):
         self.unit = unit
         self.context = context
         self.params = params
+        #: planner's cardinality estimate (feedback EWMA when available),
+        #: rendered against the actual rows_out by EXPLAIN ANALYZE
+        self.estimated_rows: float | None = None
 
     def _produce(self) -> Iterator[BindingTuple]:
         for record in self.context.fetch_fragment(self.unit, self.params):
@@ -67,6 +70,12 @@ class FragmentScan(Operator):
 
     def describe(self) -> str:
         return f"FragmentScan({self.unit.describe()})"
+
+    def analyze_stats(self) -> dict[str, Any]:
+        stats = super().analyze_stats()
+        if self.estimated_rows is not None:
+            stats["est_rows"] = round(self.estimated_rows, 2)
+        return stats
 
 
 def independent_fragment_units(decomposed: DecomposedQuery) -> list[FragmentUnit]:
@@ -250,7 +259,11 @@ class PlanBuilder:
 
     def _unit_operator(self, unit: Unit, context: ExecutionContext) -> Operator:
         if isinstance(unit, FragmentUnit):
-            return FragmentScan(unit, context)
+            scan = FragmentScan(unit, context)
+            scan.estimated_rows = self.cost_model.estimate_rows(
+                unit.fragment, unit.source
+            )
+            return scan
         context_var = f"__view_{unit.view.name}"
         scan = CallbackScan(
             context_var,

@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import SourceTimeoutError, SourceUnavailableError
+from repro.errors import (
+    CircuitOpenError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+)
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.resilience.breaker import BreakerConfig, CircuitBreaker
 from repro.resilience.retry import RetryPolicy
 from repro.simtime import SimClock
@@ -45,6 +50,9 @@ class ResilientExecutor:
         self.breakers: dict[str, CircuitBreaker] = {}
         self.total_retries = 0
         self.total_deadline_misses = 0
+        #: set by the owning engine's ``use_tracer``; events land on
+        #: whichever span is open at the call site (usually a fetch span)
+        self.tracer: Tracer = NULL_TRACER
 
     def breaker_for(self, source_name: str) -> CircuitBreaker | None:
         if self.policy.breaker is None:
@@ -74,29 +82,43 @@ class ResilientExecutor:
         for attempt in range(attempts):
             if deadline_at_ms is not None and self.clock.now >= deadline_at_ms:
                 self._count_deadline_miss(stats)
+                self.tracer.event("deadline_miss", source=source_name,
+                                  kind="query_budget")
                 raise SourceTimeoutError(source_name, "query deadline exhausted")
             if breaker is not None:
-                breaker.check(self.clock.now)
+                try:
+                    breaker.check(self.clock.now)
+                except CircuitOpenError:
+                    self.tracer.event("breaker_open", source=source_name)
+                    raise
             started = self.clock.now
             try:
                 result = attempt_fn()
             except SourceUnavailableError:
-                self._record_failure(breaker, stats)
-                if not self._backoff(attempt, attempts, deadline_at_ms, stats):
+                self._record_failure(breaker, stats, source_name)
+                wait = self._backoff(attempt, attempts, deadline_at_ms, stats)
+                if wait is None:
                     raise
+                self.tracer.event("retry", source=source_name,
+                                  attempt=attempt + 1, backoff_ms=wait)
                 continue
             elapsed = self.clock.now - started
             if (policy.call_deadline_ms is not None
                     and elapsed > policy.call_deadline_ms):
                 # the call "timed out": the result arrived past its budget
                 self._count_deadline_miss(stats)
-                self._record_failure(breaker, stats)
-                if not self._backoff(attempt, attempts, deadline_at_ms, stats):
+                self.tracer.event("deadline_miss", source=source_name,
+                                  kind="call_budget", elapsed_ms=elapsed)
+                self._record_failure(breaker, stats, source_name)
+                wait = self._backoff(attempt, attempts, deadline_at_ms, stats)
+                if wait is None:
                     raise SourceTimeoutError(
                         source_name,
                         f"call took {elapsed:.0f} ms "
                         f"(budget {policy.call_deadline_ms:.0f} ms)",
                     )
+                self.tracer.event("retry", source=source_name,
+                                  attempt=attempt + 1, backoff_ms=wait)
                 continue
             if breaker is not None:
                 breaker.record_success(self.clock.now)
@@ -106,10 +128,10 @@ class ResilientExecutor:
     # -- helpers ------------------------------------------------------------
 
     def _backoff(self, attempt: int, attempts: int,
-                 deadline_at_ms: float | None, stats: Any) -> bool:
-        """Charge backoff and report whether another attempt follows."""
+                 deadline_at_ms: float | None, stats: Any) -> float | None:
+        """Charge backoff; the wait charged, or None when attempts ran out."""
         if attempt + 1 >= attempts or self.policy.retry is None:
-            return False
+            return None
         wait = self.policy.retry.backoff_ms(attempt)
         if deadline_at_ms is not None:
             # never sleep past the query deadline; the next loop
@@ -119,13 +141,14 @@ class ResilientExecutor:
         self.total_retries += 1
         if stats is not None:
             stats.retries += 1
-        return True
+        return wait
 
     def _record_failure(self, breaker: CircuitBreaker | None,
-                        stats: Any) -> None:
+                        stats: Any, source_name: str = "") -> None:
         if breaker is not None and breaker.record_failure(self.clock.now):
             if stats is not None:
                 stats.breaker_trips += 1
+            self.tracer.event("breaker_trip", source=source_name)
 
     def _count_deadline_miss(self, stats: Any) -> None:
         self.total_deadline_misses += 1

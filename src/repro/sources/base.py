@@ -10,6 +10,7 @@ from repro.errors import CapabilityError, SourceUnavailableError, TransientSourc
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.resilience
     from repro.resilience.faults import FaultModel
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.query import ast as qast
 from repro.simtime import SimClock
 from repro.xmldm.schema import RecordType
@@ -147,6 +148,9 @@ class DataSource:
         self.network = network or NetworkModel()
         #: optional transient-fault injector consulted on every call
         self.faults = faults
+        #: claimed by an engine's ``use_tracer``; every remote call
+        #: emits a ``remote_call`` event onto the open span
+        self.tracer: Tracer = NULL_TRACER
 
     # -- metadata ---------------------------------------------------------
 
@@ -187,6 +191,8 @@ class DataSource:
                 f"{fragment.input_vars} but none were supplied"
             )
         self.network.charge_call(self.clock)
+        self.tracer.event("remote_call", source=self.name,
+                          latency_ms=self.network.latency_ms)
         if self.faults is not None:
             self.faults.inject_call(self.name, self.clock,
                                     self.network.latency_ms)
@@ -219,6 +225,8 @@ class DataSource:
                 f"{fragment.input_vars} but an empty set was supplied"
             )
         self.network.charge_call(self.clock)
+        self.tracer.event("remote_batch_call", source=self.name,
+                          probes=len(param_sets))
         if self.faults is not None:
             self.faults.inject_call(self.name, self.clock,
                                     self.network.latency_ms)
@@ -292,6 +300,8 @@ class DataSource:
         """
         self.check_available()
         self.network.charge_call(self.clock)
+        self.tracer.event("remote_call", source=self.name, relation=relation,
+                          latency_ms=self.network.latency_ms)
         if self.faults is not None:
             self.faults.inject_call(self.name, self.clock,
                                     self.network.latency_ms)

@@ -1,0 +1,695 @@
+"""The observability subsystem: tracing, EXPLAIN ANALYZE, metrics, query log.
+
+The load-bearing properties:
+
+* tracing is strictly observational — results, completeness, and the
+  determinism-checked ``counters()`` are identical with tracing on or
+  off, and no span ever advances the virtual clock;
+* span trees reconcile with the simulation: the sum of fetch-span
+  virtual durations inside a prefetch wave equals the wave's serial
+  elapsed time (``TaskGroup.elapsed_serial``), and the root span's
+  elapsed matches ``EngineStats.elapsed_virtual_ms``;
+* resilience/cache events land on the spans where they happened.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MaterializationManager, NimbleEngine, RefreshPolicy
+from repro.admin import TraceMonitor
+from repro.core.engine import AnalyzedQuery, EngineStats
+from repro.mediator.catalog import Catalog
+from repro.observability import (
+    NULL_TRACER,
+    MetricsRegistry,
+    QueryLog,
+    Tracer,
+    chrome_trace_events,
+    format_trace,
+    percentile,
+    query_hash,
+    trace_to_dict,
+    write_chrome_trace,
+)
+from repro.resilience import (
+    BreakerConfig,
+    FaultModel,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.simtime import SimClock
+from repro.sources import (
+    AvailabilityModel,
+    FlakySource,
+    NetworkModel,
+    SourceRegistry,
+    XMLSource,
+)
+from repro.workloads import make_website_workload
+from repro.xmldm.serializer import serialize
+
+FANOUT_QUERY = (
+    'WHERE <product sku=$s category=$c><name>$n</name></product> '
+    'IN "content.products", '
+    '<t><sku>$s</sku><price>$p</price></t> IN "stock", '
+    '<t><sku>$s</sku><ship_days>$d</ship_days></t> IN "shipping_estimate", '
+    '<t><sku>$s</sku><discount>$disc</discount></t> IN "promo" '
+    "CONSTRUCT <row sku=$s><price>$p</price><ship>$d</ship>"
+    "<disc>$disc</disc></row> ORDER BY $s"
+)
+
+PAGE_QUERY = (
+    'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+    'IN "product_page", $p < 250 '
+    "CONSTRUCT <row sku=$s><name>$n</name><price>$p</price></row> "
+    "ORDER BY $p"
+)
+
+ITEMS_XML = (
+    "<r><item><v>a</v></item><item><v>b</v></item><item><v>c</v></item></r>"
+)
+ITEMS_QUERY = (
+    'WHERE <item><v>$v</v></item> IN "feed.data" CONSTRUCT <out>$v</out>'
+)
+
+
+def make_traced_engine(n_products=12, **engine_kwargs):
+    workload = make_website_workload(n_products, seed=23, extended=True)
+    engine = NimbleEngine(workload.catalog, max_parallel_fetches=4,
+                          **engine_kwargs)
+    tracer = Tracer(engine.clock)
+    engine.use_tracer(tracer)
+    return engine, tracer
+
+
+def build_feed(faults=None, availability=1.0, latency_ms=10.0):
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    catalog = Catalog(registry)
+    source = FlakySource(
+        XMLSource("feed", {"data": ITEMS_XML},
+                  network=NetworkModel(latency_ms=latency_ms, per_row_ms=0.1)),
+        AvailabilityModel(availability=availability, seed=3),
+        faults=faults,
+    )
+    registry.register(source)
+    return clock, catalog, source
+
+
+# -- tracer core ------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_and_ids_are_deterministic(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("query") as root:
+            with tracer.span("parse") as parse:
+                pass
+            with tracer.span("execute"):
+                with tracer.span("fetch", name="a") as fetch:
+                    clock.advance(10.0)
+        assert root.trace_id == "t0000"
+        assert [s.span_id for s in root.walk()] == [0, 1, 2, 3]
+        assert parse.parent_id == root.span_id
+        assert fetch.virtual_ms == 10.0
+        assert root.virtual_ms == 10.0
+        assert [s.kind for s in root.walk()] == [
+            "query", "parse", "execute", "fetch",
+        ]
+
+    def test_events_attach_to_innermost_open_span(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("query") as root:
+            with tracer.span("fetch") as fetch:
+                tracer.event("retry", attempt=1)
+            tracer.event("done")
+        assert fetch.event_names() == ["retry"]
+        assert fetch.events[0].attrs == {"attempt": 1}
+        assert root.event_names() == ["done"]
+
+    def test_traces_are_bounded(self):
+        tracer = Tracer(SimClock(), max_traces=2)
+        for index in range(5):
+            with tracer.span("query", name=f"q{index}"):
+                pass
+        assert [t.name for t in tracer.traces] == ["q3", "q4"]
+        assert tracer.last_trace.name == "q4"
+
+    def test_exception_marks_span(self):
+        tracer = Tracer(SimClock())
+        with pytest.raises(ValueError):
+            with tracer.span("query"):
+                raise ValueError("boom")
+        assert tracer.last_trace.attrs["error"] == "ValueError"
+
+    def test_spans_never_advance_the_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("query"):
+            tracer.event("e")
+        assert clock.now == 0.0
+
+    def test_null_tracer_is_inert_and_reentrant(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("query") as outer:
+            with NULL_TRACER.span("fetch") as inner:
+                NULL_TRACER.event("retry")
+            assert inner is outer
+        assert outer.recording is False
+        assert NULL_TRACER.last_trace is None
+
+    def test_format_trace_renders_events(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("query", policy="SKIP"):
+            with tracer.span("fetch", name="crm"):
+                tracer.event("retry", attempt=1)
+                clock.advance(5.0)
+        text = format_trace(tracer.last_trace)
+        assert "query" in text and "fetch:crm" in text
+        assert "! retry" in text and "attempt=1" in text
+        assert "policy=SKIP" in text
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc()
+        registry.counter("calls").inc(2)
+        registry.gauge("fill").set(0.5)
+        for value in [10.0, 20.0, 30.0]:
+            registry.histogram("lat").observe(value)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"calls": 3}
+        assert snap["gauges"] == {"fill": 0.5}
+        assert snap["histograms"]["lat"]["count"] == 3
+        assert snap["histograms"]["lat"]["p50"] == 20.0
+        assert snap["histograms"]["lat"]["max"] == 30.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("calls").inc(-1)
+
+    def test_snapshot_keys_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()["counters"]) == ["alpha", "zeta"]
+
+    def test_percentile_nearest_rank(self):
+        # p50 of two items is the *lower* one (nearest rank, not interp)
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0], 0.51) == 2.0
+        assert percentile([], 0.5) == 0.0
+        values = list(range(1, 101))
+        assert percentile(values, 0.99) == 99
+
+    def test_histogram_window_bounded(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", max_samples=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["count"] == 10          # totals cover every observation
+        assert snap["min"] == 6.0           # percentiles over the window
+
+
+# -- query log --------------------------------------------------------------
+
+
+class _FakeCompleteness:
+    def __init__(self, complete=True, missing=(), stale=()):
+        self.complete = complete
+        self.missing_sources = list(missing)
+        self.stale_sources = list(stale)
+
+
+class TestQueryLog:
+    def test_record_and_slow_flag(self):
+        log = QueryLog(slow_threshold_ms=100.0)
+        log.record("WHERE fast", 50.0, 1.0, _FakeCompleteness())
+        log.record("WHERE   slow\nquery", 150.0, 2.0, _FakeCompleteness(),
+                   trace_id="t0001")
+        assert log.total_logged == 2
+        assert [r.slow for r in log.recent()] == [False, True]
+        slow = log.slow_queries()
+        assert len(slow) == 1
+        assert slow[0].trace_id == "t0001"
+        assert slow[0].preview == "WHERE slow query"  # normalized whitespace
+
+    def test_incomplete_and_capacity(self):
+        log = QueryLog(capacity=2)
+        log.record("a", 1.0, 1.0, _FakeCompleteness())
+        log.record("b", 1.0, 1.0, _FakeCompleteness(False, missing=["erp"]))
+        log.record("c", 1.0, 1.0, _FakeCompleteness())
+        assert [r.preview for r in log.recent()] == ["b", "c"]
+        assert log.total_logged == 3
+        assert log.total_incomplete == 1
+        assert log.incomplete_queries()[0].missing_sources == ("erp",)
+
+    def test_query_hash_is_stable(self):
+        assert query_hash("WHERE x") == query_hash("WHERE x")
+        assert query_hash("WHERE x") != query_hash("WHERE y")
+        assert len(query_hash("WHERE x")) == 12
+
+
+# -- engine tracing ---------------------------------------------------------
+
+
+class TestEngineTracing:
+    def test_fanout_trace_structure(self):
+        engine, tracer = make_traced_engine()
+        result = engine.query(FANOUT_QUERY)
+        trace = tracer.last_trace
+        assert trace.kind == "query"
+        kinds = [s.kind for s in trace.children]
+        assert kinds[:5] == ["parse", "bind", "decompose", "plan", "execute"]
+        waves = trace.find("wave")
+        assert len(waves) == 1  # 4 independent fetches, fan-out 4
+        fetches = waves[0].find("fetch")
+        assert {f.attrs["source"] for f in fetches} == {
+            "content", "erp", "logistics", "marketing",
+        }
+        for fetch in fetches:
+            assert fetch.attrs["served_from"] == "remote"
+            assert "remote_call" in fetch.event_names()
+        assert trace.attrs["rows"] == len(result.elements)
+        assert trace.attrs["complete"] is True
+        assert trace.attrs["query_hash"] == query_hash(FANOUT_QUERY)
+
+    def test_wave_serial_time_reconciles_with_fetch_spans(self):
+        engine, tracer = make_traced_engine()
+        result = engine.query(FANOUT_QUERY)
+        waves = tracer.last_trace.find("wave")
+        assert waves
+        for wave in waves:
+            fetches = [c for c in wave.children if c.kind == "fetch"]
+            assert fetches
+            serial = sum(f.virtual_ms for f in fetches)
+            assert serial == pytest.approx(wave.attrs["serial_ms"])
+            # the joined wave takes the max member timeline, never more
+            assert wave.virtual_ms <= serial
+        # one wave of independent fetches: the wave IS the query's
+        # remote elapsed, so spans reconcile with the stats
+        assert waves[0].virtual_ms == pytest.approx(
+            result.stats.elapsed_virtual_ms
+        )
+        assert tracer.last_trace.attrs["elapsed_virtual_ms"] == (
+            result.stats.elapsed_virtual_ms
+        )
+
+    def test_plan_cache_hit_recorded_as_event(self):
+        engine, tracer = make_traced_engine()
+        engine.query(FANOUT_QUERY)
+        first = tracer.last_trace
+        assert first.find("parse")  # cold: full compile pipeline
+        engine.query(FANOUT_QUERY)
+        second = tracer.last_trace
+        assert not second.find("parse")  # warm: straight to planning
+        assert "plan_cache_hit" in second.event_names()
+
+    def test_fragment_cache_events_on_fetch_spans(self):
+        engine, tracer = make_traced_engine(fragment_cache_bytes=1_000_000)
+        engine.query(FANOUT_QUERY)
+        cold = tracer.last_trace
+        cold_events = [
+            e for span in cold.walk() for e in span.event_names()
+        ]
+        assert "cache_miss" in cold_events
+        engine.query(FANOUT_QUERY)
+        warm = tracer.last_trace
+        fetches = warm.find("fetch")
+        assert fetches
+        for fetch in fetches:
+            assert fetch.attrs["served_from"] == "fragment_cache"
+            assert "cache_hit" in fetch.event_names()
+
+    def test_retry_events_land_on_the_fetch_span(self):
+        faults = FaultModel(failure_rate=1.0, seed=1)
+        clock, catalog, source = build_feed(faults=faults)
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=3, base_backoff_ms=100.0,
+                                  jitter=0.0),
+                breaker=None,
+            ),
+        )
+        tracer = Tracer(engine.clock)
+        engine.use_tracer(tracer)
+        result = engine.query(ITEMS_QUERY)
+        assert not result.completeness.complete
+        fetches = tracer.last_trace.find("fetch")
+        assert len(fetches) == 1
+        fetch = fetches[0]
+        retries = [e for e in fetch.events if e.name == "retry"]
+        assert [e.attrs["attempt"] for e in retries] == [1, 2]
+        assert all(e.attrs["source"] == "feed" for e in retries)
+        assert all(e.attrs["backoff_ms"] > 0 for e in retries)
+        assert "fragment_skipped" in fetch.event_names()
+
+    def test_breaker_events_under_persistent_outage(self):
+        clock, catalog, source = build_feed()
+        source.force_offline()
+        engine = NimbleEngine(
+            catalog,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=2, base_backoff_ms=10.0),
+                breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                      min_calls=2, cooldown_ms=60_000.0),
+            ),
+        )
+        tracer = Tracer(engine.clock)
+        engine.use_tracer(tracer)
+        engine.query(ITEMS_QUERY)  # failures trip the breaker
+        first_events = [
+            e for span in tracer.last_trace.walk() for e in span.event_names()
+        ]
+        assert "breaker_trip" in first_events
+        engine.query(ITEMS_QUERY)  # now fails fast on the open breaker
+        second_events = [
+            e for span in tracer.last_trace.walk() for e in span.event_names()
+        ]
+        assert "breaker_open" in second_events
+
+    def test_stale_serve_event_with_fallback(self):
+        clock, catalog, source = build_feed()
+        manager = MaterializationManager(clock)
+        engine = NimbleEngine(catalog, materializer=manager)
+        tracer = Tracer(engine.clock)
+        engine.use_tracer(tracer)
+        engine.materialize_query_fragments(ITEMS_QUERY,
+                                           RefreshPolicy.ttl(100.0))
+        clock.advance(10_000.0)  # the materialized copy is now stale
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert result.completeness.stale_sources == ["feed"]
+        fetch = tracer.last_trace.find("fetch")[0]
+        stale = [e for e in fetch.events if e.name == "stale_served"]
+        assert len(stale) == 1
+        assert stale[0].attrs == {"source": "feed", "rows": 3}
+
+    def test_use_tracer_claims_and_releases_sources(self):
+        engine, tracer = make_traced_engine()
+        sources = list(engine.catalog.registry)
+        assert all(s.tracer is tracer for s in sources)
+        engine.use_tracer(NULL_TRACER)
+        assert all(s.tracer is NULL_TRACER for s in sources)
+
+    def test_null_tracer_does_not_steal_another_engines_sources(self):
+        workload = make_website_workload(6, seed=23, extended=True)
+        first = NimbleEngine(workload.catalog, name="first")
+        second = NimbleEngine(workload.catalog, name="second")
+        tracer = Tracer(first.clock)
+        first.use_tracer(tracer)
+        # re-wiring the second engine's (null) tracer must not release
+        # the first engine's claim on the shared registry
+        second.use_tracer(NULL_TRACER)
+        assert all(s.tracer is tracer for s in workload.catalog.registry)
+
+
+# -- EXPLAIN ANALYZE --------------------------------------------------------
+
+
+class TestExplainAnalyze:
+    def test_four_source_page_query(self):
+        engine, tracer = make_traced_engine()
+        analyzed = engine.explain_analyze(FANOUT_QUERY)
+        assert isinstance(analyzed, AnalyzedQuery)
+        rows = len(analyzed.result.elements)
+        assert rows == 12
+        # every operator line carries actual row counts
+        assert f"rows_out={rows}" in analyzed.plan_text
+        assert "FragmentScan" in analyzed.plan_text
+        assert "est_rows=" in analyzed.plan_text
+        # the trace rides along and reconciles with the stats
+        assert analyzed.trace is not None
+        fetches = analyzed.trace.find("fetch")
+        assert len(fetches) == 4
+        total_fetch_virtual = sum(f.virtual_ms for f in fetches)
+        waves = analyzed.trace.find("wave")
+        assert total_fetch_virtual == pytest.approx(
+            waves[0].attrs["serial_ms"]
+        )
+        assert analyzed.result.stats.elapsed_virtual_ms == pytest.approx(
+            waves[0].virtual_ms
+        )
+        rendered = str(analyzed)
+        assert "-- trace --" in rendered
+
+    def test_wires_temporary_tracer_when_engine_has_none(self):
+        workload = make_website_workload(8, seed=23, extended=True)
+        engine = NimbleEngine(workload.catalog)
+        assert engine.tracer is NULL_TRACER
+        analyzed = engine.explain_analyze(FANOUT_QUERY)
+        assert analyzed.trace is not None
+        assert analyzed.trace.find("fetch")
+        assert engine.tracer is NULL_TRACER  # restored afterwards
+        assert all(
+            s.tracer is NULL_TRACER for s in engine.catalog.registry
+        )
+
+    def test_estimates_vs_actuals_use_feedback(self):
+        engine, _ = make_traced_engine(statistics_feedback=True)
+        engine.query(FANOUT_QUERY)  # observe actual cardinalities
+        analyzed = engine.explain_analyze(FANOUT_QUERY)
+        # after feedback, the scan estimate equals the observed rows
+        assert "est_rows=12.0" in analyzed.plan_text
+
+    def test_explain_goes_through_the_plan_cache(self):
+        engine, _ = make_traced_engine()
+        assert engine.plan_cache_hits == 0
+        first = engine.explain(FANOUT_QUERY)
+        assert engine.plan_cache_hits == 0  # cold compile
+        second = engine.explain(FANOUT_QUERY)
+        assert engine.plan_cache_hits == 1  # served from the plan cache
+        assert first == second
+        result = engine.query(FANOUT_QUERY)
+        assert result.stats.plan_cache_hits == 1
+        assert result.stats.plan_text == first
+
+
+# -- stats folding (satellite: absorb coverage) -----------------------------
+
+
+class TestEngineStatsFolding:
+    ALL_FIELDS = (
+        EngineStats._COUNTERS
+        + EngineStats._SCHEDULE_COUNTERS
+        + EngineStats._CACHE_COUNTERS
+    )
+
+    def test_every_counter_folds_exactly_once(self):
+        parent = EngineStats()
+        child = EngineStats()
+        for offset, name in enumerate(self.ALL_FIELDS):
+            setattr(parent, name, 100 + offset)
+            setattr(child, name, offset + 1)
+        parent.plan_text = "parent plan"
+        child.plan_text = "child plan"
+        parent.absorb(child)
+        for offset, name in enumerate(self.ALL_FIELDS):
+            assert getattr(parent, name) == 100 + offset + offset + 1, name
+        assert parent.plan_text == "parent plan"  # never clobbered
+        # elapsed times are per-execution measurements, not counters
+        assert parent.elapsed_virtual_ms == 0.0
+
+    def test_as_dict_covers_all_counters_in_declaration_order(self):
+        stats = EngineStats()
+        as_dict = stats.as_dict()
+        assert tuple(as_dict) == self.ALL_FIELDS
+        assert set(stats.counters()) <= set(as_dict)
+        assert set(stats.cache_counters()) <= set(as_dict)
+
+    def test_nested_view_sub_query_folds_into_parent(self):
+        workload = make_website_workload(10, seed=23)
+        engine = NimbleEngine(workload.catalog)
+        result = engine.query(PAGE_QUERY)
+        # the product_page view runs as a sub-query; its remote work
+        # must fold into the parent exactly once: every network call
+        # any source made is visible in the parent's counter
+        total_network_calls = sum(
+            source.network.calls for source in workload.catalog.registry
+        )
+        assert result.stats.remote_calls == total_network_calls > 0
+        # the parent's plan text is the *outer* plan, not the view's
+        assert "product_page" in result.stats.plan_text
+        assert result.stats.fragments_executed >= 2  # view's fragments
+
+
+# -- metrics + query log on the engine --------------------------------------
+
+
+class TestEngineMetricsAndLog:
+    def test_query_log_and_metrics_populate(self):
+        engine, tracer = make_traced_engine(
+            metrics=MetricsRegistry(),
+            query_log=QueryLog(slow_threshold_ms=1.0),
+        )
+        result = engine.query(FANOUT_QUERY)
+        record = engine.query_log.recent()[-1]
+        assert record.trace_id == tracer.last_trace.trace_id
+        assert record.query_hash == query_hash(FANOUT_QUERY)
+        assert record.elapsed_virtual_ms == result.stats.elapsed_virtual_ms
+        assert record.complete is True
+        assert record.slow is True  # 1 ms threshold, remote work >> that
+        snap = engine.metrics.snapshot()
+        assert snap["counters"]["queries_total"] == 1
+        assert snap["counters"]["remote_calls"] == 4
+        assert "source.erp.fetch_virtual_ms" in snap["histograms"]
+
+    def test_sub_queries_do_not_double_log(self):
+        workload = make_website_workload(8, seed=23)
+        engine = NimbleEngine(workload.catalog, query_log=QueryLog())
+        engine.query(PAGE_QUERY)  # runs the product_page view sub-query
+        assert engine.query_log.total_logged == 1
+
+    def test_trace_monitor_snapshot_and_exports(self, tmp_path):
+        engine, tracer = make_traced_engine(
+            metrics=MetricsRegistry(),
+            query_log=QueryLog(slow_threshold_ms=1.0),
+        )
+        engine.query(FANOUT_QUERY)
+        monitor = TraceMonitor(engine)
+        snap = monitor.snapshot()
+        assert snap["tracing_enabled"] is True
+        assert snap["traces_retained"] == 1
+        assert snap["metrics"]["counters"]["queries_total"] == 1
+        assert snap["query_log"]["total_logged"] == 1
+        assert len(monitor.recent_queries()) == 1
+        assert len(monitor.slow_queries()) == 1
+        assert "fetch:erp" in monitor.last_trace_text()
+        path = tmp_path / "trace.json"
+        assert monitor.export_chrome_trace(path) == 1
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_trace_monitor_on_unobserved_engine(self):
+        workload = make_website_workload(6, seed=23)
+        engine = NimbleEngine(workload.catalog)
+        monitor = TraceMonitor(engine)
+        snap = monitor.snapshot()
+        assert snap["tracing_enabled"] is False
+        assert snap["metrics"] is None and snap["query_log"] is None
+        assert monitor.last_trace_text() is None
+        assert monitor.recent_queries() == []
+
+
+# -- export -----------------------------------------------------------------
+
+
+class TestExport:
+    def test_trace_to_dict_roundtrips_structure(self):
+        engine, tracer = make_traced_engine()
+        engine.query(FANOUT_QUERY)
+        payload = trace_to_dict(tracer.last_trace)
+        assert payload["kind"] == "query"
+        kinds = [child["kind"] for child in payload["children"]]
+        assert "execute" in kinds
+        text = json.dumps(payload)  # must be JSON-serializable
+        assert "fragment_cache" not in text or True
+
+    def test_chrome_trace_fans_out_wave_children_into_lanes(self):
+        engine, tracer = make_traced_engine()
+        engine.query(FANOUT_QUERY)
+        events = chrome_trace_events([tracer.last_trace])["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        fetch_tids = sorted(
+            e["tid"] for e in complete if e["name"].startswith("fetch")
+        )
+        assert fetch_tids == [1, 2, 3, 4]  # one lane per parallel fetch
+        instants = [e for e in events if e["ph"] == "i"]
+        assert any(e["name"] == "remote_call" for e in instants)
+        # durations are virtual microseconds
+        wave = next(e for e in complete if e["name"].startswith("wave"))
+        assert wave["dur"] == pytest.approx(46_000, rel=0.5)
+
+    def test_write_chrome_trace(self, tmp_path):
+        engine, tracer = make_traced_engine()
+        engine.query(FANOUT_QUERY)
+        path = tmp_path / "out.json"
+        write_chrome_trace(path, tracer.traces)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert data["traceEvents"]
+
+
+# -- the zero-perturbation property -----------------------------------------
+
+
+def signature(result):
+    return [serialize(element) for element in result.elements]
+
+
+class TestTracingIsObservational:
+    @given(fan_out=st.integers(1, 6), cache_bytes=st.sampled_from([0, 500_000]),
+           n_products=st.integers(4, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_tracing_never_changes_results_or_counters(
+        self, fan_out, cache_bytes, n_products
+    ):
+        def run(traced):
+            workload = make_website_workload(n_products, seed=23,
+                                             extended=True)
+            engine = NimbleEngine(
+                workload.catalog,
+                max_parallel_fetches=fan_out,
+                fragment_cache_bytes=cache_bytes,
+            )
+            tracer = None
+            if traced:
+                tracer = Tracer(engine.clock)
+                engine.use_tracer(tracer)
+                engine.metrics = MetricsRegistry()
+                engine.query_log = QueryLog(slow_threshold_ms=10.0)
+            results = [engine.query(FANOUT_QUERY), engine.query(PAGE_QUERY)]
+            return results, tracer
+
+        plain, _ = run(traced=False)
+        traced, tracer = run(traced=True)
+        for off, on in zip(plain, traced):
+            assert signature(off) == signature(on)
+            assert off.completeness.complete == on.completeness.complete
+            assert off.stats.counters() == on.stats.counters()
+            assert off.stats.cache_counters() == on.stats.cache_counters()
+            assert off.stats.elapsed_virtual_ms == on.stats.elapsed_virtual_ms
+
+        # every recorded wave reconciles: fetch-span virtual durations
+        # sum to the wave's serial elapsed (TaskGroup.elapsed_serial)
+        for trace in tracer.traces:
+            for wave in trace.find("wave"):
+                fetches = [c for c in wave.children if c.kind == "fetch"]
+                assert sum(f.virtual_ms for f in fetches) == pytest.approx(
+                    wave.attrs["serial_ms"]
+                )
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_perturbation_under_faults(self, seed):
+        def run(traced):
+            clock, catalog, source = build_feed(
+                faults=FaultModel(failure_rate=0.4, seed=seed)
+            )
+            engine = NimbleEngine(
+                catalog,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=3, base_backoff_ms=20.0,
+                                      jitter=0.0),
+                    breaker=None,
+                ),
+            )
+            if traced:
+                engine.use_tracer(Tracer(engine.clock))
+            return [engine.query(ITEMS_QUERY) for _ in range(4)]
+
+        for off, on in zip(run(traced=False), run(traced=True)):
+            assert signature(off) == signature(on)
+            assert off.stats.counters() == on.stats.counters()
+            assert off.stats.elapsed_virtual_ms == on.stats.elapsed_virtual_ms
