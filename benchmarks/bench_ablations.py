@@ -24,7 +24,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -80,13 +80,16 @@ A1_QUERY = (
 )
 
 
+BENCH_STATS = BenchStats()
+
+
 def ablation_merging() -> list[list]:
     rows = []
     for label, pushdown in (("merged (one fragment)", True),
                             ("split (engine-side join)", False)):
         engine, clock = build_engine(pushdown)
         before = clock.now
-        result = engine.query(A1_QUERY)
+        result = BENCH_STATS.absorb(engine.query(A1_QUERY))
         rows.append([
             label,
             result.stats.fragments_executed,
@@ -131,7 +134,7 @@ def ablation_view_memo() -> list[list]:
             engine_module._ExecutionContext.fetch_view = uncached
         try:
             before = clock.now
-            result = engine.query(A2_QUERY)
+            result = BENCH_STATS.absorb(engine.query(A2_QUERY))
             rows.append([
                 label,
                 result.stats.fragments_executed,
@@ -233,7 +236,7 @@ def ablation_frontends() -> list[list]:
     ):
         engine, clock = build_engine()
         before = clock.now
-        result = run(engine)
+        result = BENCH_STATS.absorb(run(engine))
         rows.append([
             label,
             result.stats.rows_transferred,
@@ -244,6 +247,7 @@ def ablation_frontends() -> list[list]:
 
 
 def run_experiment():
+    BENCH_STATS.reset()
     return (
         ablation_merging(),
         ablation_view_memo(),
@@ -294,6 +298,7 @@ def report():
             "frontends": (["front end", "rows transferred", "virtual ms",
                            "results"], frontends),
         },
+        stats=BENCH_STATS,
     )
     return merging, memo, window, construct, frontends
 

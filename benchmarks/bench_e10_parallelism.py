@@ -26,7 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import NimbleEngine
 from repro.workloads import make_website_workload
@@ -58,7 +58,11 @@ def _signature(result) -> list[str]:
     return [serialize(element) for element in result.elements]
 
 
+BENCH_STATS = BenchStats()
+
+
 def run_experiment():
+    BENCH_STATS.reset()
     fanout_rows, batch_rows, cache_rows = [], [], []
 
     # -- fan-out sweep ----------------------------------------------------
@@ -67,7 +71,7 @@ def run_experiment():
     for fan_out in (1, 2, 4, 8):
         workload = make_website_workload(N_PRODUCTS, seed=23, extended=True)
         engine = NimbleEngine(workload.catalog, max_parallel_fetches=fan_out)
-        result = engine.query(FANOUT_QUERY)
+        result = BENCH_STATS.absorb(engine.query(FANOUT_QUERY))
         if serial_ms is None:
             serial_ms = result.stats.elapsed_virtual_ms
         fanout_signatures.add(tuple(_signature(result)))
@@ -87,7 +91,7 @@ def run_experiment():
         workload = make_website_workload(N_PRODUCTS, seed=23, extended=True)
         engine = NimbleEngine(workload.catalog, max_parallel_fetches=1,
                               batch_size=batch_size)
-        result = engine.query(BATCH_QUERY)
+        result = BENCH_STATS.absorb(engine.query(BATCH_QUERY))
         if baseline_calls is None:
             baseline_calls = result.stats.remote_calls
         batch_signatures.add(tuple(_signature(result)))
@@ -105,12 +109,12 @@ def run_experiment():
     engine = NimbleEngine(workload.catalog)
     repeats = 30
     cold_started = time.perf_counter()
-    first = engine.query(FANOUT_QUERY)
+    first = BENCH_STATS.absorb(engine.query(FANOUT_QUERY))
     cold_us = (time.perf_counter() - cold_started) * 1e6
     cold_hits, cold_misses = engine.plan_cache_hits, engine.plan_cache_misses
     warm_started = time.perf_counter()
     for _ in range(repeats):
-        engine.query(FANOUT_QUERY)
+        BENCH_STATS.absorb(engine.query(FANOUT_QUERY))
     warm_us = (time.perf_counter() - warm_started) * 1e6 / repeats
     cache_rows.append(["cold (compile)", round(cold_us), cold_hits,
                        cold_misses])
@@ -166,6 +170,7 @@ def report():
             "plan_cache": (["run", "wall us/query", "cache hits",
                             "cache misses"], cache_rows),
         },
+        stats=BENCH_STATS,
     )
     return fanout_rows, batch_rows, cache_rows, consistency
 

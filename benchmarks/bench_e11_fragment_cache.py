@@ -26,7 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import NimbleEngine
 from repro.workloads import make_website_workload
@@ -78,13 +78,16 @@ def _signature(result) -> tuple[str, ...]:
     return tuple(serialize(element) for element in result.elements)
 
 
+BENCH_STATS = BenchStats()
+
+
 def _run_pass(engine: NimbleEngine, sequence: list[int]):
     """One pass of the workload; returns (virtual ms, remote calls,
     hits, misses, per-query signatures)."""
     virtual_ms = remote_calls = hits = misses = 0.0
     signatures = []
     for index in sequence:
-        result = engine.query(QUERIES[THRESHOLDS[index]])
+        result = BENCH_STATS.absorb(engine.query(QUERIES[THRESHOLDS[index]]))
         virtual_ms += result.stats.elapsed_virtual_ms
         remote_calls += result.stats.remote_calls
         cache = result.stats.cache_counters()
@@ -95,6 +98,7 @@ def _run_pass(engine: NimbleEngine, sequence: list[int]):
 
 
 def run_experiment():
+    BENCH_STATS.reset()
     sequence = zipf_sequence()
     repeat_rows, containment_rows, budget_rows = [], [], []
 
@@ -135,7 +139,9 @@ def run_experiment():
         engine = _engine(cache_bytes, containment=False)
         totals: dict[str, int] = {}
         for index in prologue:
-            result = engine.query(QUERIES[THRESHOLDS[index]])
+            result = BENCH_STATS.absorb(
+                engine.query(QUERIES[THRESHOLDS[index]])
+            )
             for name, value in result.stats.counters().items():
                 totals[name] = totals.get(name, 0) + value
         counter_sets.add(tuple(sorted(totals.items())))
@@ -146,8 +152,8 @@ def run_experiment():
     for label, containment in (("containment on", True),
                                ("containment off", False)):
         engine = _engine(1 << 20, containment=containment)
-        prime = engine.query(BROAD_QUERY)
-        narrow = engine.query(NARROW_QUERY)
+        prime = BENCH_STATS.absorb(engine.query(BROAD_QUERY))
+        narrow = BENCH_STATS.absorb(engine.query(NARROW_QUERY))
         narrow_signatures.add(_signature(narrow))
         cache = narrow.stats.cache_counters()
         containment_rows.append([
@@ -156,7 +162,7 @@ def run_experiment():
             len(narrow.elements),
         ])
     # ground truth: the narrow query against a cache-less engine
-    baseline_narrow = _engine(0).query(NARROW_QUERY)
+    baseline_narrow = BENCH_STATS.absorb(_engine(0).query(NARROW_QUERY))
     narrow_signatures.add(_signature(baseline_narrow))
     containment_identical = len(narrow_signatures) == 1
     containment_remote_calls = containment_rows[0][2]
@@ -226,6 +232,7 @@ def report():
             "budget_sweep": (["budget bytes", "hit rate", "evictions",
                               "live entries", "virtual ms"], budget_rows),
         },
+        stats=BENCH_STATS,
     )
     return repeat_rows, containment_rows, budget_rows, checks
 

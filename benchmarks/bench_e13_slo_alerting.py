@@ -1,0 +1,354 @@
+"""E13 — fleet SLOs: error budgets, alerting, and regression detection.
+
+The observability subsystem's operational layer makes three promises,
+each demonstrated deterministically under the virtual clock:
+
+* **regression detection** — slowing one source (the erp backend of
+  the ``stock`` relation) fires a latency-regression alert naming the
+  affected ``query_hash`` while queries over other sources stay green;
+* **error budgets** — injected faults trip a circuit breaker, burn the
+  availability error budget, and drive ``breaker_open``/``slo_breach``
+  alerts through full fire -> resolve transitions once the source
+  recovers and the bad observations age out of the SLO window;
+* **zero overhead** — with SLO tracking disabled the engine runs
+  byte-identically; with it enabled, results, virtual time, and the
+  determinism counters are all unchanged (evaluation reads the clock,
+  never advances it).
+
+Artifacts: ``BENCH_e13_slo_alerting.json`` plus the JSON SLO report
+``SLO_e13_slo_alerting.json`` (written via ``SloMonitor.write_report``)
+— CI uploads both next to the ``BENCH``/``TRACE`` files.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, BenchStats, print_table, write_bench_json
+
+from repro import (
+    BreakerConfig,
+    Catalog,
+    FaultModel,
+    NetworkModel,
+    NimbleEngine,
+    RegressionDetector,
+    ResiliencePolicy,
+    RetryPolicy,
+    SimClock,
+    SloPolicy,
+    SloTracker,
+    SourceRegistry,
+    XMLSource,
+)
+from repro.admin import SloMonitor
+from repro.observability import query_hash
+from repro.workloads import make_website_workload
+
+STOCK_QUERY = (
+    'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+    "CONSTRUCT <r sku=$s>$p</r>"
+)
+SHIPPING_QUERY = (
+    'WHERE <t><sku>$s</sku><ship_days>$d</ship_days></t> '
+    'IN "shipping_estimate" CONSTRUCT <r sku=$s>$d</r>'
+)
+
+#: queries for the on/off equivalence section (the E12 mix)
+EQUIVALENCE_QUERIES = [STOCK_QUERY, SHIPPING_QUERY] * 5
+
+BASELINE_RUNS = 8
+REGRESSED_RUNS = 4
+SLOWDOWN_FACTOR = 6.0
+
+BENCH_STATS = BenchStats()
+
+
+# -- (a) latency regression names the affected query hash --------------------
+
+
+def run_regression_section() -> dict:
+    workload = make_website_workload(40, seed=23, extended=True)
+    clock = workload.registry.clock
+    detector = RegressionDetector(
+        clock, factor=2.0, window_ms=30_000.0, min_baseline=6, min_current=3
+    )
+    tracker = SloTracker(clock, detector=detector)
+    engine = NimbleEngine(workload.catalog, slo=tracker)
+    monitor = SloMonitor(engine)
+
+    stock_hash = query_hash(STOCK_QUERY)
+    shipping_hash = query_hash(SHIPPING_QUERY)
+
+    for _ in range(BASELINE_RUNS):
+        BENCH_STATS.absorb(engine.query(STOCK_QUERY))
+        BENCH_STATS.absorb(engine.query(SHIPPING_QUERY))
+        clock.advance(250.0)
+    quiet = detector.regressions()
+
+    # slow only the erp source (the "stock" relation's backend)
+    workload.registry.get("erp").network.latency_ms *= SLOWDOWN_FACTOR
+    for _ in range(REGRESSED_RUNS):
+        BENCH_STATS.absorb(engine.query(STOCK_QUERY))
+        BENCH_STATS.absorb(engine.query(SHIPPING_QUERY))
+        clock.advance(250.0)
+
+    regressions = detector.regressions()
+    transitions = monitor.evaluate()
+    return {
+        "quiet_before_slowdown": len(quiet),
+        "regressed_hashes": [r.query_hash for r in regressions],
+        "stock_hash": stock_hash,
+        "shipping_hash": shipping_hash,
+        "suspected_causes": [
+            cause for r in regressions for cause in r.suspected_causes
+        ],
+        "alert_keys": [
+            t.key for t in transitions if t.rule == "latency_regression"
+        ],
+    }
+
+
+# -- (b) faults burn the budget; breaker alerts fire and resolve -------------
+
+N_SOURCES = 3
+WINDOW_MS = 20_000.0
+
+
+def build_resilient_engine() -> tuple[NimbleEngine, SloMonitor, str]:
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    catalog = Catalog(registry)
+    for index in range(N_SOURCES):
+        doc = (
+            f"<feed><item><v>x{index}</v></item>"
+            f"<item><v>y{index}</v></item></feed>"
+        )
+        registry.register(
+            XMLSource(
+                f"s{index}",
+                {"data": doc},
+                network=NetworkModel(latency_ms=8.0 + index, per_row_ms=0.2),
+            )
+        )
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=2, base_backoff_ms=5.0, seed=41),
+        breaker=BreakerConfig(window=8, failure_threshold=0.5,
+                              min_calls=4, cooldown_ms=2_000.0),
+    )
+    tracker = SloTracker(clock, policies=[
+        SloPolicy("availability", "availability", 0.9, window_ms=WINDOW_MS),
+    ])
+    engine = NimbleEngine(catalog, resilience=resilience, slo=tracker)
+    clauses = ", ".join(
+        f'<item><v>$v{i}</v></item> IN "s{i}.data"' for i in range(N_SOURCES)
+    )
+    template = "".join(f"<c{i}>$v{i}</c{i}>" for i in range(N_SOURCES))
+    query = f"WHERE {clauses} CONSTRUCT <all>{template}</all>"
+    return engine, SloMonitor(engine), query
+
+
+def run_budget_section() -> dict:
+    engine, monitor, query = build_resilient_engine()
+    clock = engine.clock
+    registry = engine.catalog.registry
+    events: list[tuple[str, str, str]] = []
+
+    def step(n: int, advance_ms: float = 500.0) -> None:
+        for _ in range(n):
+            clock.advance(advance_ms)
+            BENCH_STATS.absorb(engine.query(query))
+            events.extend(
+                (t.rule, t.key, t.state) for t in monitor.evaluate()
+            )
+
+    def availability_status():
+        return next(
+            s for s in engine.slo.evaluate()
+            if s.policy.name == "availability"
+        )
+
+    step(5)
+    healthy = availability_status()
+
+    registry.get("s0").faults = FaultModel(failure_rate=1.0, seed=900)
+    step(6)
+    burned = availability_status()
+    firing = {(a.rule, a.key) for a in monitor.alerts.active()}
+
+    # recovery: clear the faults, let the breaker cool down and close,
+    # then age the bad observations out of the SLO window
+    registry.get("s0").faults = None
+    clock.advance(2_500.0)
+    step(2)
+    clock.advance(WINDOW_MS + 1_000.0)
+    step(3)
+    recovered = availability_status()
+    return {
+        "healthy_budget": healthy.budget_remaining_fraction,
+        "healthy_met": healthy.met,
+        "burned_budget": burned.budget_remaining_fraction,
+        "burned_met": burned.met,
+        "recovered_met": recovered.met,
+        "fired_while_degraded": sorted(
+            f"{rule}/{key}" for rule, key in firing
+        ),
+        "events": events,
+        "still_firing": [
+            f"{a.rule}/{a.key}" for a in monitor.alerts.active()
+        ],
+        "monitor": monitor,
+    }
+
+
+# -- (c) SLO tracking is free: identical simulation on and off ---------------
+
+
+def run_equivalence_section() -> dict:
+    def _run(enabled: bool):
+        workload = make_website_workload(40, seed=23, extended=True)
+        clock = workload.registry.clock
+        slo = None
+        if enabled:
+            slo = SloTracker(clock, policies=[
+                SloPolicy("availability", "availability", 0.99),
+                SloPolicy("p95", "latency_p95", 500.0),
+            ], detector=RegressionDetector(clock, min_baseline=3))
+        engine = NimbleEngine(workload.catalog, slo=slo)
+        started_virtual = clock.now
+        started_wall = time.perf_counter()
+        results = []
+        for text in EQUIVALENCE_QUERIES:
+            results.append(BENCH_STATS.absorb(engine.query(text)))
+            if slo is not None:
+                # evaluation mid-stream must not advance virtual time
+                before = clock.now
+                slo.evaluate()
+                slo.detector.regressions()
+                assert clock.now == before, "SLO evaluation advanced time"
+        wall_ms = (time.perf_counter() - started_wall) * 1e3
+        stats = results[0].stats.__class__()
+        for result in results:
+            stats.absorb(result.stats)
+        return {
+            "virtual_ms": clock.now - started_virtual,
+            "wall_ms": wall_ms,
+            "rows": sum(len(r.elements) for r in results),
+            "counters": stats.counters(),
+        }
+
+    off = _run(enabled=False)
+    on = _run(enabled=True)
+    return {
+        "virtual_off": off["virtual_ms"],
+        "virtual_on": on["virtual_ms"],
+        "rows_match": off["rows"] == on["rows"],
+        "counters_match": off["counters"] == on["counters"],
+        "wall_off": off["wall_ms"],
+        "wall_on": on["wall_ms"],
+    }
+
+
+def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
+    regression = run_regression_section()
+    budget = run_budget_section()
+    equivalence = run_equivalence_section()
+
+    monitor = budget.pop("monitor")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    report_path = RESULTS_DIR / "SLO_e13_slo_alerting.json"
+    monitor.write_report(report_path)
+    print(f"[bench] wrote {report_path}")
+
+    fired = [e for e in budget["events"] if e[2] == "firing"]
+    resolved = [e for e in budget["events"] if e[2] == "resolved"]
+    rows = [
+        ["regressions before slowdown", regression["quiet_before_slowdown"],
+         ""],
+        ["regressed hashes", len(regression["regressed_hashes"]),
+         ",".join(regression["regressed_hashes"])],
+        ["stock hash flagged",
+         int(regression["stock_hash"] in regression["regressed_hashes"]),
+         regression["stock_hash"]],
+        ["shipping hash stayed green",
+         int(regression["shipping_hash"]
+             not in regression["regressed_hashes"]),
+         regression["shipping_hash"]],
+        ["regression alert keys", len(regression["alert_keys"]),
+         ",".join(regression["alert_keys"])],
+        ["suspected causes", len(regression["suspected_causes"]),
+         ",".join(regression["suspected_causes"])],
+        ["healthy budget remaining", budget["healthy_budget"], ""],
+        ["burned budget remaining", budget["burned_budget"], ""],
+        ["availability met while degraded", int(budget["burned_met"]), ""],
+        ["availability met after recovery", int(budget["recovered_met"]), ""],
+        ["alerts fired", len(fired),
+         ",".join(sorted({f"{r}/{k}" for r, k, _ in fired}))],
+        ["alerts resolved", len(resolved),
+         ",".join(sorted({f"{r}/{k}" for r, k, _ in resolved}))],
+        ["alerts still firing", len(budget["still_firing"]),
+         ",".join(budget["still_firing"])],
+        ["virtual ms (slo off)", equivalence["virtual_off"], ""],
+        ["virtual ms (slo on)", equivalence["virtual_on"], ""],
+        ["virtual overhead ms",
+         equivalence["virtual_on"] - equivalence["virtual_off"], ""],
+        ["results identical", int(equivalence["rows_match"]), ""],
+        ["counters identical", int(equivalence["counters_match"]), ""],
+    ]
+    return rows
+
+
+def report():
+    rows = run_experiment()
+    print_table(
+        "E13: SLOs, error budgets, and alerting (virtual clock)",
+        ["metric", "value", "detail"],
+        rows,
+    )
+    by_metric = {row[0]: row for row in rows}
+    write_bench_json(
+        "e13_slo_alerting",
+        ["metric", "value", "detail"],
+        rows,
+        headline={
+            "regressed_hashes": by_metric["regressed hashes"][1],
+            "burned_budget_remaining": by_metric["burned budget remaining"][1],
+            "alerts_fired": by_metric["alerts fired"][1],
+            "alerts_resolved": by_metric["alerts resolved"][1],
+            "virtual_overhead_ms": by_metric["virtual overhead ms"][1],
+        },
+        stats=BENCH_STATS,
+    )
+    return rows
+
+
+def test_e13_slo_alerting(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_metric = {row[0]: row for row in rows}
+    # (a) the slowdown names exactly the stock query's hash
+    assert by_metric["regressions before slowdown"][1] == 0
+    assert by_metric["stock hash flagged"][1] == 1
+    assert by_metric["shipping hash stayed green"][1] == 1
+    assert by_metric["regression alert keys"][1] >= 1
+    # (b) faults burn the budget, alerts fire and later resolve
+    assert by_metric["healthy budget remaining"][1] == 1.0
+    assert by_metric["burned budget remaining"][1] < 1.0
+    assert by_metric["availability met while degraded"][1] == 0
+    assert by_metric["availability met after recovery"][1] == 1
+    assert by_metric["alerts fired"][1] > 0
+    assert by_metric["alerts resolved"][1] > 0
+    assert by_metric["alerts still firing"][1] == 0
+    # (c) zero virtual-time overhead, identical results and counters
+    assert by_metric["virtual overhead ms"][1] == 0.0
+    assert by_metric["results identical"][1] == 1
+    assert by_metric["counters identical"][1] == 1
+    report()
+
+
+if __name__ == "__main__":
+    report()

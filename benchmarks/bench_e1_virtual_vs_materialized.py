@@ -29,7 +29,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -55,6 +55,8 @@ QUERIES = [
 TTL_MS = 5_000.0
 THINK_TIME_MS = 400.0
 N_QUERIES = 60
+
+BENCH_STATS = BenchStats()
 
 
 def build_engine(latency_ms: float, strategy: str):
@@ -100,7 +102,7 @@ def run_strategy(latency_ms: float, strategy: str) -> dict:
             )
         query = QUERIES[i % len(QUERIES)]
         before = clock.now
-        engine.query(query)
+        BENCH_STATS.absorb(engine.query(query))
         latencies.append(clock.now - before)
         if manager is not None:
             ages = [clock.now - view.loaded_at for view in manager.store]
@@ -114,6 +116,7 @@ def run_strategy(latency_ms: float, strategy: str) -> dict:
 
 
 def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
     rows = []
     for latency in (0.0, 50.0, 200.0):
         for strategy in ("virtual", "warehouse", "compound"):
@@ -141,6 +144,7 @@ def report() -> list[list]:
          "max data staleness (ms)"],
         rows,
         headline={"best_mean_query_latency_ms": min(row[2] for row in rows)},
+        stats=BENCH_STATS,
     )
     return rows
 

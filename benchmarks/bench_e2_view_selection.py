@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -59,6 +59,8 @@ TEMPLATES = [
 BUDGET_ROWS = 70
 N_QUERIES = 400
 ADAPT_EVERY = 40
+
+BENCH_STATS = BenchStats()
 
 
 def build_engine(noise: float):
@@ -104,12 +106,13 @@ def run_strategy(strategy: str, noise: float = 0.0) -> float:
         if strategy == "static" and index == ADAPT_EVERY:
             manager.adapt(BUDGET_ROWS, fetcher)  # once, then frozen
         before = clock.now
-        engine.query(query)
+        BENCH_STATS.absorb(engine.query(query))
         total += clock.now - before
     return total
 
 
 def run_experiment() -> tuple[list[list], list[list]]:
+    BENCH_STATS.reset()
     strategies = []
     for strategy in ("no-cache", "static", "adaptive", "oracle"):
         if strategy == "no-cache":
@@ -122,7 +125,7 @@ def run_experiment() -> tuple[list[list], list[list]]:
             total = 0.0
             for query in workload.draw_many(N_QUERIES):
                 before = engine.clock.now
-                engine.query(query)
+                BENCH_STATS.absorb(engine.query(query))
                 total += engine.clock.now - before
         else:
             total = run_strategy(strategy, noise=0.5)
@@ -161,6 +164,7 @@ def report():
             "noise": (["noise sigma", "total virtual ms",
                        "mean per query (ms)"], noise_rows),
         },
+        stats=BENCH_STATS,
     )
     return strategies, noise_rows
 

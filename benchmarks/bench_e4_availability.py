@@ -25,7 +25,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import (
     AvailabilityModel,
@@ -42,6 +42,8 @@ from repro.errors import SourceUnavailableError
 
 TRIALS = 120
 STEP_MS = 1_500.0
+
+BENCH_STATS = BenchStats()
 
 
 def build_engine(n_sources: int, availability: float) -> NimbleEngine:
@@ -82,11 +84,15 @@ def run_point(n_sources: int, availability: float) -> list:
         if len(engine.catalog.registry.available_sources()) == n_sources:
             all_up += 1
         try:
-            engine.query(query, policy=PartialResultPolicy.FAIL)
+            BENCH_STATS.absorb(
+                engine.query(query, policy=PartialResultPolicy.FAIL)
+            )
             fail_ok += 1
         except SourceUnavailableError:
             pass
-        result = engine.query(query, policy=PartialResultPolicy.SKIP)
+        result = BENCH_STATS.absorb(
+            engine.query(query, policy=PartialResultPolicy.SKIP)
+        )
         if result.completeness.complete:
             complete += 1
     return [
@@ -101,6 +107,7 @@ def run_point(n_sources: int, availability: float) -> list:
 
 
 def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
     rows = []
     for availability in (0.90, 0.99):
         for n_sources in (1, 5, 10, 25, 50):
@@ -124,6 +131,7 @@ def report():
          "SKIP complete rate"],
         rows,
         headline={"worst_case_skip_answer_rate": rows[-1][5]},
+        stats=BENCH_STATS,
     )
     return rows
 

@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import (
     Catalog,
@@ -45,6 +45,8 @@ from repro.sources.hierarchical import DirectoryEntry
 from repro.workloads import make_customer_universe
 
 N_CUSTOMERS = 400
+
+BENCH_STATS = BenchStats()
 
 JOIN_QUERY = (
     'WHERE <c><id>$i</id><first_name>$f</first_name><city>$city</city></c> '
@@ -93,7 +95,7 @@ def run_config(pushdown: bool, indexed: bool) -> list:
     engine = NimbleEngine(catalog, pushdown=pushdown)
     db.counters["rows_scanned"] = 0
     before = clock.now
-    result = engine.query(JOIN_QUERY)
+    result = BENCH_STATS.absorb(engine.query(JOIN_QUERY))
     return [
         "on" if pushdown else "off",
         "yes" if indexed else "no",
@@ -160,7 +162,7 @@ def run_capability_variance() -> list[list]:
             f'WHERE <p><uid>$u</uid><city>$c</city></p> IN "{relation}", '
             '$c = "seattle" CONSTRUCT <hit>$u</hit>'
         )
-        result = engine.query(query)
+        result = BENCH_STATS.absorb(engine.query(query))
         rows.append([label, capability, result.stats.rows_transferred,
                      len(result.elements)])
     # a range predicate: hierarchical cannot push it, transfers everything
@@ -171,7 +173,7 @@ def run_capability_variance() -> list[list]:
             f'WHERE <p><uid>$u</uid><city>$c</city></p> IN "{relation}", '
             '$c > "s" CONSTRUCT <hit>$u</hit>'
         )
-        result = engine.query(query)
+        result = BENCH_STATS.absorb(engine.query(query))
         range_rows.append([label, "range $c > 's'",
                            result.stats.rows_transferred,
                            len(result.elements)])
@@ -179,6 +181,7 @@ def run_capability_variance() -> list[list]:
 
 
 def run_experiment():
+    BENCH_STATS.reset()
     config_rows = [
         run_config(pushdown, indexed)
         for pushdown in (True, False)
@@ -214,6 +217,7 @@ def report():
             "capabilities": (["wrapper", "capability", "rows transferred",
                               "results"], capability_rows),
         },
+        stats=BENCH_STATS,
     )
     return config_rows, capability_rows
 

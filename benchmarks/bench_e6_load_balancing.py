@@ -22,12 +22,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import percentile, print_table, write_bench_json
+from common import BenchStats, percentile, print_table, write_bench_json
 
 from repro import EngineCluster, NimbleEngine
 from repro.workloads import make_website_workload
 
 N_QUERIES = 48
+
+BENCH_STATS = BenchStats()
 
 #: a mix of cheap (stock-only) and expensive (view join) page queries
 QUERY_MIX = [
@@ -52,7 +54,8 @@ def run_point(instances: int, strategy: str) -> list:
     workload = make_website_workload(30, seed=44)
     engine = NimbleEngine(workload.catalog)
     cluster = EngineCluster(engine, instances=instances, strategy=strategy)
-    cluster.run_schedule(schedule())
+    for record in cluster.run_schedule(schedule()):
+        BENCH_STATS.absorb(record.result)
     latencies = cluster.latencies()
     return [
         instances,
@@ -64,6 +67,7 @@ def run_point(instances: int, strategy: str) -> list:
 
 
 def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
     rows = []
     for instances in (1, 2, 4, 8):
         rows.append(run_point(instances, "least_loaded"))
@@ -86,6 +90,7 @@ def report():
          "p95 latency (ms)"],
         rows,
         headline={"max_throughput_qps": max(row[2] for row in rows)},
+        stats=BENCH_STATS,
     )
     return rows
 

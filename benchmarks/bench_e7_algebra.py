@@ -167,7 +167,7 @@ def test_e7_group_and_sort(benchmark):
 def report():
     import time
 
-    from common import print_table, write_bench_json
+    from common import BenchStats, print_table, write_bench_json
 
     rows = []
     for label, fn in (
@@ -192,6 +192,9 @@ def report():
         ["operation", "output rows", "wall ms"],
         rows,
         headline={"total_wall_ms": round(sum(row[2] for row in rows), 1)},
+        # the algebra microbenchmarks run no engine queries; the all-zero
+        # counter union keeps the BENCH_*.json schema uniform
+        stats=BenchStats(),
     )
     return rows
 

@@ -21,7 +21,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import NimbleEngine, format_result
 from repro.optimizer.decomposer import decompose
@@ -36,8 +36,11 @@ QUERY = (
     "ORDER BY $p"
 )
 
+BENCH_STATS = BenchStats()
+
 
 def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
     workload = make_website_workload(50, seed=23)
     engine = NimbleEngine(workload.catalog)
 
@@ -53,7 +56,9 @@ def run_experiment() -> list[list]:
     )
 
     before_virtual = engine.clock.now
-    result, execute_us = wall(lambda: engine.query(query))
+    result, execute_us = wall(
+        lambda: BENCH_STATS.absorb(engine.query(query))
+    )
     execute_virtual = engine.clock.now - before_virtual
 
     rendered, format_us = wall(
@@ -93,6 +98,7 @@ def report():
             "total_wall_us": stages["TOTAL"][1],
             "execute_virtual_ms": stages["TOTAL"][2],
         },
+        stats=BENCH_STATS,
     )
     return rows
 

@@ -32,7 +32,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import print_table, write_bench_json
+from common import BenchStats, print_table, write_bench_json
 
 from repro import (
     BreakerConfig,
@@ -54,6 +54,8 @@ TRIALS = 60
 STEP_MS = 200.0
 FAULT_RATES = (0.0, 0.1, 0.2, 0.4, 0.8)
 MODES = ("none", "retry", "full")
+
+BENCH_STATS = BenchStats()
 
 
 def union_query() -> str:
@@ -115,7 +117,7 @@ def run_mode(fault_rate: float, mode: str) -> dict:
               "stale_served": 0, "skipped": 0, "virtual_ms": 0.0}
     for _ in range(TRIALS):
         engine.clock.advance(STEP_MS)
-        result = engine.query(query)
+        result = BENCH_STATS.absorb(engine.query(query))
         if result.completeness.complete:
             totals["complete"] += 1
         totals["retries"] += result.stats.retries
@@ -129,6 +131,7 @@ def run_mode(fault_rate: float, mode: str) -> dict:
 
 
 def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
     rows = []
     for fault_rate in FAULT_RATES:
         outcome = {mode: run_mode(fault_rate, mode) for mode in MODES}
@@ -162,6 +165,7 @@ def report():
          "avg ms (none)", "avg ms (retry)"],
         rows,
         headline={"worst_case_complete_full": rows[-1][3]},
+        stats=BENCH_STATS,
     )
     return rows
 

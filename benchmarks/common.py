@@ -66,6 +66,36 @@ def percentile(values: list[float], fraction: float) -> float:
     return _nearest_rank_percentile(values, fraction)
 
 
+class BenchStats:
+    """Accumulates every query's ``EngineStats`` across one experiment.
+
+    Benches keep one module-level instance, ``reset()`` it at the top of
+    ``run_experiment()``, ``absorb()`` each ``QueryResult`` (or bare
+    ``EngineStats``), and pass the instance to
+    ``write_bench_json(stats=...)`` — so every ``BENCH_*.json`` carries
+    the counter union behind its headline numbers.  Benches that run no
+    engine queries still pass their (all-zero) instance for a uniform
+    artifact schema.
+    """
+
+    def __init__(self) -> None:
+        from repro.core.engine import EngineStats
+
+        self._make = EngineStats
+        self.stats = EngineStats()
+
+    def reset(self) -> None:
+        self.stats = self._make()
+
+    def absorb(self, result: Any) -> Any:
+        """Fold in a ``QueryResult`` or ``EngineStats``; returns it."""
+        self.stats.absorb(getattr(result, "stats", result))
+        return result
+
+    def as_dict(self) -> dict[str, int]:
+        return self.stats.as_dict()
+
+
 def write_bench_json(
     name: str,
     headers: Sequence[str],

@@ -37,7 +37,21 @@ from repro.core import (
 )
 from repro.materialize import MaterializationManager, RefreshPolicy
 from repro.mediator import Catalog, MediatedSchema, RelationMapping, ViewDef
-from repro.observability import MetricsRegistry, QueryLog, Tracer, format_trace
+from repro.observability import (
+    AlertManager,
+    AlertRule,
+    MetricsRegistry,
+    QueryLog,
+    RegressionDetector,
+    SloPolicy,
+    SloTracker,
+    Tracer,
+    default_rules,
+    format_trace,
+    merge_registries,
+    prometheus_exposition,
+    write_slo_report,
+)
 from repro.optimizer import CostModel
 from repro.resilience import (
     BreakerConfig,
@@ -65,6 +79,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessController",
+    "AlertManager",
+    "AlertRule",
     "AvailabilityModel",
     "BreakerConfig",
     "Catalog",
@@ -92,11 +108,14 @@ __all__ = [
     "QueryResult",
     "Record",
     "RefreshPolicy",
+    "RegressionDetector",
     "RelationMapping",
     "RelationalSource",
     "ResiliencePolicy",
     "RetryPolicy",
     "SimClock",
+    "SloPolicy",
+    "SloTracker",
     "SourceRegistry",
     "StatisticsFeedback",
     "Tracer",
@@ -104,9 +123,13 @@ __all__ = [
     "ViewDef",
     "WebServiceSource",
     "XMLSource",
+    "default_rules",
     "format_result",
     "format_trace",
+    "merge_registries",
     "parse_document",
+    "prometheus_exposition",
     "serialize",
+    "write_slo_report",
     "__version__",
 ]

@@ -22,6 +22,7 @@ from repro.admin.console import ManagementConsole
 from repro.admin.monitor import (
     CacheMonitor,
     HealthMonitor,
+    SloMonitor,
     SourceHealth,
     TraceMonitor,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "HealthMonitor",
     "ManagementConsole",
     "ReplicationJob",
+    "SloMonitor",
     "SourceHealth",
     "TraceMonitor",
 ]

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.admin.monitor import HealthMonitor
+from repro.admin.monitor import (
+    CacheMonitor,
+    HealthMonitor,
+    SloMonitor,
+    TraceMonitor,
+)
 from repro.admin.replication import DataAdministrator
 from repro.core.engine import NimbleEngine
 from repro.mediator.catalog import DocumentTarget
@@ -27,10 +32,16 @@ class ManagementConsole:
         engine: NimbleEngine,
         monitor: HealthMonitor | None = None,
         administrator: DataAdministrator | None = None,
+        cache_monitor: CacheMonitor | None = None,
+        trace_monitor: TraceMonitor | None = None,
+        slo_monitor: SloMonitor | None = None,
     ):
         self.engine = engine
         self.monitor = monitor
         self.administrator = administrator
+        self.cache_monitor = cache_monitor
+        self.trace_monitor = trace_monitor
+        self.slo_monitor = slo_monitor
 
     # -- structured report ---------------------------------------------------
 
@@ -119,6 +130,12 @@ class ManagementConsole:
                 }
                 for job in self.administrator.jobs.values()
             ]
+        if self.cache_monitor is not None:
+            report["caching"] = self.cache_monitor.snapshot()
+        if self.trace_monitor is not None:
+            report["observability"] = self.trace_monitor.snapshot()
+        if self.slo_monitor is not None:
+            report["slo"] = self.slo_monitor.snapshot()
         return report
 
     # -- text rendering ---------------------------------------------------------
@@ -175,5 +192,61 @@ class ManagementConsole:
                     f"every {job['period_ms']:.0f} ms "
                     f"({job['runs']} runs, {job['rows']} rows, "
                     f"{job['failures']} failures)"
+                )
+        if "caching" in report:
+            info = report["caching"]
+            lines.append("")
+            lines.append(
+                f"caching: plan cache {info['plan_cache_entries']} entries "
+                f"({info['plan_cache_hits']} hits / "
+                f"{info['plan_cache_misses']} misses)"
+            )
+            fragment = info.get("fragment_cache")
+            if fragment is not None:
+                lines.append(
+                    f"  fragment cache: {fragment.get('entries', 0)} entries, "
+                    f"fill {fragment.get('fill_fraction', 0.0):.0%}"
+                )
+        if "observability" in report:
+            info = report["observability"]
+            lines.append("")
+            tracing = "on" if info["tracing_enabled"] else "off"
+            lines.append(
+                f"observability: tracing {tracing} "
+                f"({info['traces_retained']} traces retained)"
+            )
+            log = info.get("query_log")
+            if log is not None:
+                lines.append(
+                    f"  query log: {log['retained']} retained, "
+                    f"{log['total_slow']} slow, "
+                    f"{log['total_incomplete']} incomplete"
+                )
+        if "slo" in report:
+            info = report["slo"]
+            lines.append("")
+            lines.append(
+                "slo: " + ("enabled" if info["slo_enabled"] else "disabled")
+            )
+            for status in info["statuses"]:
+                verdict = "MET" if status["met"] else "BREACHED"
+                lines.append(
+                    f"  [{verdict:8}] {status['policy']} "
+                    f"({status['objective']}) "
+                    f"compliance={status['compliance']:.3f} "
+                    f"budget_left={status['budget_remaining_fraction']:.0%}"
+                )
+            for regression in info["regressions"]:
+                lines.append(
+                    f"  [REGRESSED] {regression['query_hash']} "
+                    f"{regression['baseline_ms']:.1f} -> "
+                    f"{regression['current_ms']:.1f} ms "
+                    f"({', '.join(regression['suspected_causes'])})"
+                )
+            for alert in info.get("active_alerts", []):
+                lines.append(
+                    f"  [ALERT:{alert['severity']}] "
+                    f"{alert['rule']}/{alert['key']} "
+                    f"since {alert['fired_at_ms']:.0f} ms"
                 )
         return "\n".join(lines)

@@ -180,3 +180,96 @@ class TraceMonitor:
             return 0
         write_chrome_trace(path, tracer.traces)
         return len(tracer.traces)
+
+
+class SloMonitor:
+    """Surfaces an engine's SLO posture for the console.
+
+    Fourth of the monitors: where :class:`TraceMonitor` answers *what
+    did the last queries do*, this one answers *are we keeping our
+    promises* — policy compliance and error budgets from the engine's
+    :class:`~repro.observability.slo.SloTracker`, latency regressions
+    from its detector, and fire/resolve alerting through an
+    :class:`~repro.observability.alerts.AlertManager` (the stock rule
+    set is installed when none is supplied).
+    """
+
+    def __init__(self, engine, alerts=None):
+        from repro.observability.alerts import AlertManager, default_rules
+
+        self.engine = engine
+        if alerts is None and engine.slo is not None:
+            alerts = AlertManager(engine.clock)
+            for rule in default_rules():
+                alerts.add_rule(rule)
+        self.alerts = alerts
+
+    @property
+    def tracker(self):
+        return self.engine.slo
+
+    def evaluation_context(self) -> dict[str, Any]:
+        """The alert rules' input, assembled from the live engine."""
+        context: dict[str, Any] = {
+            "slo_statuses": [],
+            "regressions": [],
+            "breakers": {},
+        }
+        tracker = self.tracker
+        if tracker is not None:
+            context["slo_statuses"] = tracker.evaluate()
+            if tracker.detector is not None:
+                context["regressions"] = tracker.detector.regressions()
+        resilient = getattr(self.engine, "resilient", None)
+        if resilient is not None:
+            context["breakers"] = {
+                name: breaker.state.value
+                for name, breaker in sorted(resilient.breakers.items())
+            }
+        return context
+
+    def evaluate(self) -> list[Any]:
+        """Run one alerting pass; returns the fire/resolve transitions."""
+        if self.alerts is None:
+            return []
+        return self.alerts.evaluate(self.evaluation_context())
+
+    def snapshot(self) -> dict[str, Any]:
+        """SLO statuses, regressions, and alert summary in one dict."""
+        tracker = self.tracker
+        report: dict[str, Any] = {
+            "slo_enabled": tracker is not None,
+            "statuses": [],
+            "regressions": [],
+        }
+        if tracker is not None:
+            report["summary"] = tracker.summary()
+            report["statuses"] = [
+                status.as_dict() for status in tracker.evaluate()
+            ]
+            if tracker.detector is not None:
+                report["regressions"] = [
+                    regression.as_dict()
+                    for regression in tracker.detector.regressions()
+                ]
+        if self.alerts is not None:
+            report["alerts"] = self.alerts.summary()
+            report["active_alerts"] = [
+                alert.as_dict() for alert in self.alerts.active()
+            ]
+        return report
+
+    def write_report(self, path) -> Any:
+        """Write the JSON SLO report artifact; returns the path."""
+        from repro.observability.aggregate import write_slo_report
+
+        registries = []
+        if self.engine.metrics is not None:
+            registries.append(self.engine.metrics)
+        return write_slo_report(
+            path,
+            tracker=self.tracker,
+            alerts=self.alerts,
+            registries=registries,
+            clock_ms=self.engine.clock.now,
+        )

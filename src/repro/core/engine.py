@@ -18,6 +18,7 @@ from repro.mediator.catalog import Catalog
 from repro.mediator.schema import ViewDef
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.querylog import QueryLog, query_hash
+from repro.observability.slo import SloTracker
 from repro.observability.tracing import NULL_TRACER, Span, Tracer, format_trace
 from repro.optimizer.costs import CostModel
 from repro.optimizer.decomposer import DecomposedQuery, FragmentUnit, decompose
@@ -553,11 +554,13 @@ class NimbleEngine:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         query_log: QueryLog | None = None,
+        slo: SloTracker | None = None,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
         self.metrics = metrics
         self.query_log = query_log
+        self.slo = slo
         self.cost_model = cost_model or CostModel()
         self.materializer = materializer
         self.default_policy = default_policy
@@ -966,6 +969,15 @@ class NimbleEngine:
             for name, value in stats.as_dict().items():
                 if value:
                     metrics.counter(name).inc(value)
+        if self.slo is not None:
+            self.slo.observe_query(
+                query_hash(text if text is not None else stats.plan_text),
+                stats.elapsed_virtual_ms,
+                context.completeness,
+                counters=stats.counters(),
+                cache_counters=stats.cache_counters(),
+                plan_epoch=self.catalog.version,
+            )
 
 
 def _fragment_store_key(fragment: Fragment) -> str:

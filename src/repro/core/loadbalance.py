@@ -10,10 +10,14 @@ instance count grows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
+
 from repro.core.engine import NimbleEngine, QueryResult
 from repro.core.partial import PartialResultPolicy
 from repro.errors import PlanningError
+from repro.observability.aggregate import merge_registries
+from repro.observability.metrics import MetricsRegistry, percentile
 
 
 @dataclass
@@ -24,6 +28,7 @@ class EngineInstance:
     free_at_ms: float = 0.0
     queries_served: int = 0
     busy_ms: float = 0.0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 @dataclass
@@ -99,6 +104,12 @@ class EngineCluster:
         instance.busy_ms += service
         record = CompletedQuery(instance.name, arrival_ms, start, completion, result)
         self.completed.append(record)
+        instance.metrics.counter("queries_total").inc()
+        if not result.completeness.complete:
+            instance.metrics.counter("queries_incomplete").inc()
+        instance.metrics.histogram("query.latency_ms").observe(record.latency_ms)
+        instance.metrics.histogram("query.queue_ms").observe(record.queue_ms)
+        instance.metrics.gauge("busy_ms").set(instance.busy_ms)
         return record
 
     def run_schedule(
@@ -116,11 +127,39 @@ class EngineCluster:
         return [record.latency_ms for record in self.completed]
 
     def percentile_latency(self, fraction: float) -> float:
-        values = sorted(self.latencies())
-        if not values:
-            return 0.0
-        index = min(int(fraction * len(values)), len(values) - 1)
-        return values[index]
+        """Nearest-rank latency percentile.
+
+        Delegates to the canonical :func:`repro.observability.metrics.
+        percentile` so the cluster, the metrics registry, and the
+        benchmark tables all report the same statistic.  (The previous
+        truncating-index version was off by one at exact rank
+        boundaries — the p50 of two values came back as the max.)
+        """
+        return percentile(self.latencies(), fraction)
+
+    def latency_summary(self) -> dict[str, float]:
+        """Canonical latency digest for the whole cluster."""
+        values = self.latencies()
+        return {
+            "count": len(values),
+            "p50_ms": percentile(values, 0.50),
+            "p95_ms": percentile(values, 0.95),
+            "p99_ms": percentile(values, 0.99),
+            "max_ms": max(values) if values else 0.0,
+        }
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Per-instance registries folded into one fleet registry."""
+        return merge_registries(
+            instance.metrics for instance in self.instances
+        )
+
+    def fleet_snapshot(self) -> dict[str, Any]:
+        """Deterministic fleet view: merged metrics plus instance count."""
+        return {
+            "instances": len(self.instances),
+            "merged": self.merged_metrics().snapshot(),
+        }
 
     def makespan_ms(self) -> float:
         if not self.completed:

@@ -13,14 +13,46 @@ understand, the system".  This package is the *understand* part:
 * :mod:`querylog` — a bounded log of recent queries with elapsed
   times, completeness, and a slow-query flag;
 * :mod:`export` — JSON trace dumps and Chrome ``trace_event`` files
-  for visual inspection of prefetch fan-out.
+  for visual inspection of prefetch fan-out;
+* :mod:`slo` — declarative SLO policies over sliding virtual-time
+  windows with error budgets, plus per-query-hash latency-regression
+  detection against frozen baselines;
+* :mod:`alerts` — a deterministic fire/resolve rule engine over the
+  SLO, regression, and circuit-breaker signals;
+* :mod:`aggregate` — fleet-level registry merging and the JSON SLO
+  report artifact;
+* :mod:`exposition` — Prometheus-style text exposition (and a parser
+  that round-trips it).
 """
 
+from repro.observability.aggregate import (
+    fleet_snapshot,
+    merge_histograms,
+    merge_registries,
+    slo_report,
+    write_slo_report,
+)
+from repro.observability.alerts import (
+    SEVERITIES,
+    Alert,
+    AlertManager,
+    AlertRule,
+    breaker_open_rule,
+    default_rules,
+    error_budget_rule,
+    latency_regression_rule,
+    slo_breach_rule,
+)
 from repro.observability.export import (
     chrome_trace_events,
     trace_to_dict,
     traces_to_json,
     write_chrome_trace,
+)
+from repro.observability.exposition import (
+    parse_exposition,
+    prometheus_exposition,
+    sanitize_metric_name,
 )
 from repro.observability.metrics import (
     Counter,
@@ -30,6 +62,16 @@ from repro.observability.metrics import (
     percentile,
 )
 from repro.observability.querylog import QueryLog, QueryLogRecord, query_hash
+from repro.observability.slo import (
+    OBJECTIVES,
+    LatencyBaseline,
+    LatencyRegression,
+    RegressionDetector,
+    SloObservation,
+    SloPolicy,
+    SloStatus,
+    SloTracker,
+)
 from repro.observability.tracing import (
     NULL_TRACER,
     NullTracer,
@@ -40,22 +82,47 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertRule",
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyBaseline",
+    "LatencyRegression",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OBJECTIVES",
     "QueryLog",
     "QueryLogRecord",
+    "RegressionDetector",
+    "SEVERITIES",
+    "SloObservation",
+    "SloPolicy",
+    "SloStatus",
+    "SloTracker",
     "Span",
     "SpanEvent",
     "Tracer",
+    "breaker_open_rule",
     "chrome_trace_events",
+    "default_rules",
+    "error_budget_rule",
+    "fleet_snapshot",
     "format_trace",
+    "latency_regression_rule",
+    "merge_histograms",
+    "merge_registries",
+    "parse_exposition",
     "percentile",
+    "prometheus_exposition",
     "query_hash",
+    "sanitize_metric_name",
+    "slo_breach_rule",
+    "slo_report",
     "trace_to_dict",
     "traces_to_json",
     "write_chrome_trace",
+    "write_slo_report",
 ]

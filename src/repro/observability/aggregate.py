@@ -1,0 +1,142 @@
+"""Fleet aggregation: merge metrics across instances, emit SLO reports.
+
+One engine's :class:`~repro.observability.metrics.MetricsRegistry`
+answers for one process; the paper's deployment ("multiple instances
+of the integration engine ... on one or more servers", section 2.1)
+needs the fleet view.  :func:`merge_registries` folds any number of
+registries into a fresh one — counters and gauges sum, histograms
+merge their sample windows (sorted, so the merged percentiles are
+independent of instance interleaving) — and :func:`slo_report`
+assembles the JSON health artifact CI archives next to the
+``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.observability.metrics import Histogram, MetricsRegistry
+
+
+def merge_registries(
+    registries: Iterable[MetricsRegistry],
+) -> MetricsRegistry:
+    """Fold several registries into a new one, order-independently.
+
+    Counters and gauges sum across instances (a fleet's ``queries_total``
+    is the sum of its members'; occupancy gauges add the same way).
+    Histograms concatenate their retained sample windows and sort them,
+    so the merged percentiles are a property of the sample *multiset* —
+    two merges over different instance orders snapshot byte-identically.
+    The merged histogram's window is widened to hold every retained
+    sample, so no instance's data is evicted by the merge itself.
+    """
+    merged = MetricsRegistry()
+    samples: dict[str, list[float]] = {}
+    counts: dict[str, int] = {}
+    totals: dict[str, float] = {}
+    for registry in registries:
+        for name, value in registry.counter_values().items():
+            merged.counter(name).inc(value)
+        for name, value in registry.gauge_values().items():
+            gauge = merged.gauge(name)
+            gauge.set(gauge.value + value)
+        for name, histogram in registry.histograms().items():
+            samples.setdefault(name, []).extend(histogram.samples)
+            counts[name] = counts.get(name, 0) + histogram.count
+            totals[name] = totals.get(name, 0.0) + histogram.total
+    for name in sorted(samples):
+        window = sorted(samples[name])
+        histogram = merged.histogram(name, max_samples=max(1, len(window)))
+        histogram.samples = window
+        histogram.count = counts[name]
+        histogram.total = totals[name]
+    return merged
+
+
+def merge_histograms(histograms: Iterable[Histogram]) -> Histogram:
+    """Merge bare histograms the same way :func:`merge_registries` does."""
+    samples: list[float] = []
+    count = 0
+    total = 0.0
+    for histogram in histograms:
+        samples.extend(histogram.samples)
+        count += histogram.count
+        total += histogram.total
+    merged = Histogram(max_samples=max(1, len(samples)))
+    merged.samples = sorted(samples)
+    merged.count = count
+    merged.total = total
+    return merged
+
+
+def fleet_snapshot(
+    registries: Iterable[MetricsRegistry],
+) -> dict[str, Any]:
+    """The merged snapshot plus how many instances fed it."""
+    registries = list(registries)
+    return {
+        "instances": len(registries),
+        "merged": merge_registries(registries).snapshot(),
+    }
+
+
+# -- the JSON SLO report artifact --------------------------------------------
+
+
+def slo_report(
+    tracker: Any = None,
+    alerts: Any = None,
+    registries: Iterable[MetricsRegistry] = (),
+    clock_ms: float | None = None,
+) -> dict[str, Any]:
+    """Assemble the fleet health report as a plain JSON-ready dict.
+
+    ``tracker`` is an :class:`~repro.observability.slo.SloTracker`
+    (its detector, when present, contributes the regressions);
+    ``alerts`` an :class:`~repro.observability.alerts.AlertManager`.
+    Every section is optional so partial deployments still report.
+    """
+    report: dict[str, Any] = {}
+    if clock_ms is None and tracker is not None:
+        clock_ms = tracker.clock.now
+    report["clock_ms"] = clock_ms
+    if tracker is not None:
+        report["slo"] = {
+            "summary": tracker.summary(),
+            "statuses": [status.as_dict() for status in tracker.evaluate()],
+        }
+        if tracker.detector is not None:
+            report["regressions"] = {
+                "summary": tracker.detector.summary(),
+                "flagged": [
+                    regression.as_dict()
+                    for regression in tracker.detector.regressions()
+                ],
+            }
+    if alerts is not None:
+        report["alerts"] = {
+            "summary": alerts.summary(),
+            "active": [alert.as_dict() for alert in alerts.active()],
+        }
+    registries = list(registries)
+    if registries:
+        report["metrics"] = fleet_snapshot(registries)
+    return report
+
+
+def write_slo_report(
+    path: str | Path,
+    tracker: Any = None,
+    alerts: Any = None,
+    registries: Iterable[MetricsRegistry] = (),
+    clock_ms: float | None = None,
+) -> Path:
+    """Write :func:`slo_report` as sorted, indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    report = slo_report(tracker, alerts, registries, clock_ms)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

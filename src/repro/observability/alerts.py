@@ -1,0 +1,244 @@
+"""Deterministic alerting over the SLO, regression, and breaker signals.
+
+The rule engine is deliberately boring: an :class:`AlertRule` maps an
+evaluation context (built by ``admin.SloMonitor`` from the tracker's
+statuses, the regression detector, and the resilient executor's
+breakers) to the set of *active instances* — ``{key: context}`` — and
+the :class:`AlertManager` diffs that set against what is currently
+firing.  New keys **fire**, vanished keys **resolve**, and every
+transition lands in a bounded ring buffer with its severity and
+structured context.  Keys are iterated sorted and time comes off the
+shared virtual clock, so two identical runs produce identical alert
+histories.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simtime import SimClock
+
+#: severities, least to most urgent
+SEVERITIES = ("info", "warning", "critical")
+
+#: an evaluation pass's input: whatever the monitor snapshots
+EvaluationContext = dict[str, Any]
+
+#: a rule's output: active instance key -> structured context
+ActiveInstances = dict[str, dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One named condition evaluated every alerting pass."""
+
+    name: str
+    condition: Callable[[EvaluationContext], ActiveInstances]
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; pick from {SEVERITIES}"
+            )
+
+
+@dataclass
+class Alert:
+    """One rule instance's lifecycle: fired, maybe later resolved."""
+
+    rule: str
+    key: str
+    severity: str
+    state: str  # "firing" | "resolved"
+    fired_at_ms: float
+    resolved_at_ms: float | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        return self.state == "firing"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "key": self.key,
+            "severity": self.severity,
+            "state": self.state,
+            "fired_at_ms": self.fired_at_ms,
+            "resolved_at_ms": self.resolved_at_ms,
+            "context": dict(self.context),
+        }
+
+
+class AlertManager:
+    """Holds the rules, tracks firing instances, keeps the history ring.
+
+    :meth:`evaluate` is idempotent for an unchanged context: an
+    already-firing instance refreshes its context but produces no new
+    transition, so polling the manager on every console refresh is
+    free of duplicate alerts.
+    """
+
+    def __init__(self, clock: SimClock, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.clock = clock
+        self.rules: list[AlertRule] = []
+        self._firing: dict[tuple[str, str], Alert] = {}
+        self.history: deque[Alert] = deque(maxlen=capacity)
+        self.total_fired = 0
+        self.total_resolved = 0
+
+    def add_rule(self, rule: AlertRule) -> AlertRule:
+        if any(existing.name == rule.name for existing in self.rules):
+            raise ValueError(f"duplicate alert rule name {rule.name!r}")
+        self.rules.append(rule)
+        return rule
+
+    # -- the evaluation pass --------------------------------------------------
+
+    def evaluate(self, context: EvaluationContext) -> list[Alert]:
+        """Run every rule; returns this pass's fire/resolve transitions."""
+        transitions: list[Alert] = []
+        now = self.clock.now
+        for rule in self.rules:
+            active = rule.condition(context) or {}
+            for key in sorted(active):
+                handle = (rule.name, key)
+                alert = self._firing.get(handle)
+                if alert is None:
+                    alert = Alert(
+                        rule=rule.name,
+                        key=key,
+                        severity=rule.severity,
+                        state="firing",
+                        fired_at_ms=now,
+                        context=dict(active[key]),
+                    )
+                    self._firing[handle] = alert
+                    self.history.append(alert)
+                    self.total_fired += 1
+                    transitions.append(alert)
+                else:
+                    alert.context.update(active[key])
+            stale = [
+                handle for handle in sorted(self._firing)
+                if handle[0] == rule.name and handle[1] not in active
+            ]
+            for handle in stale:
+                alert = self._firing.pop(handle)
+                alert.state = "resolved"
+                alert.resolved_at_ms = now
+                self.total_resolved += 1
+                transitions.append(alert)
+        return transitions
+
+    # -- reading -------------------------------------------------------------
+
+    def active(self, severity: str | None = None) -> list[Alert]:
+        """Currently firing alerts, sorted by (rule, key)."""
+        alerts = [
+            self._firing[handle] for handle in sorted(self._firing)
+        ]
+        if severity is not None:
+            alerts = [a for a in alerts if a.severity == severity]
+        return alerts
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "rules": len(self.rules),
+            "firing": len(self._firing),
+            "total_fired": self.total_fired,
+            "total_resolved": self.total_resolved,
+            "history_retained": len(self.history),
+        }
+
+
+# -- the built-in rules ------------------------------------------------------
+
+
+def slo_breach_rule(name: str = "slo_breach",
+                    severity: str = "critical") -> AlertRule:
+    """Fires per breached policy (non-empty window, objective missed)."""
+
+    def condition(context: EvaluationContext) -> ActiveInstances:
+        return {
+            status.policy.name: {
+                "objective": status.policy.objective,
+                "compliance": status.compliance,
+                "target": status.policy.target,
+                "observed_ms": status.observed_ms,
+                "window_queries": status.window_queries,
+            }
+            for status in context.get("slo_statuses", ())
+            if status.window_queries > 0 and not status.met
+        }
+
+    return AlertRule(name, condition, severity)
+
+
+def error_budget_rule(threshold: float = 0.25,
+                      name: str = "error_budget_low",
+                      severity: str = "warning") -> AlertRule:
+    """Fires when a policy's remaining error budget dips below ``threshold``."""
+
+    def condition(context: EvaluationContext) -> ActiveInstances:
+        return {
+            status.policy.name: {
+                "budget_remaining_fraction": status.budget_remaining_fraction,
+                "budget_burned": status.budget_burned,
+                "budget_allowed": status.budget_allowed,
+                "threshold": threshold,
+            }
+            for status in context.get("slo_statuses", ())
+            if status.window_queries > 0
+            and status.budget_remaining_fraction < threshold
+        }
+
+    return AlertRule(name, condition, severity)
+
+
+def latency_regression_rule(name: str = "latency_regression",
+                            severity: str = "warning") -> AlertRule:
+    """Fires per regressed ``query_hash`` with the suspected causes."""
+
+    def condition(context: EvaluationContext) -> ActiveInstances:
+        return {
+            regression.query_hash: {
+                "baseline_ms": regression.baseline_ms,
+                "current_ms": regression.current_ms,
+                "factor": regression.factor,
+                "suspected_causes": list(regression.suspected_causes),
+                **regression.context,
+            }
+            for regression in context.get("regressions", ())
+        }
+
+    return AlertRule(name, condition, severity)
+
+
+def breaker_open_rule(name: str = "breaker_open",
+                      severity: str = "critical") -> AlertRule:
+    """Fires per source whose circuit breaker is not closed."""
+
+    def condition(context: EvaluationContext) -> ActiveInstances:
+        return {
+            source: {"state": state}
+            for source, state in context.get("breakers", {}).items()
+            if state != "closed"
+        }
+
+    return AlertRule(name, condition, severity)
+
+
+def default_rules() -> list[AlertRule]:
+    """The stock rule set the monitor installs when given none."""
+    return [
+        slo_breach_rule(),
+        error_budget_rule(),
+        latency_regression_rule(),
+        breaker_open_rule(),
+    ]

@@ -1,0 +1,159 @@
+"""Prometheus-style text exposition of metrics snapshots.
+
+The integration engine's registry snapshots are plain dicts; a real
+deployment scrapes them.  :func:`prometheus_exposition` renders a
+snapshot in the Prometheus text format (``# TYPE`` headers, one sample
+per line, histograms as quantile-labelled summaries) and
+:func:`parse_exposition` reads that text back — the round-trip is the
+contract the tests pin, so an actual Prometheus scraper would agree
+with our own parser about every value.
+
+Rendering is deterministic: metric names are sanitized and emitted in
+sorted order, and float values use ``repr`` so they survive the
+round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+#: characters legal in a Prometheus metric name body
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: one exposition sample: name, optional {labels}, value
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+#: the summary quantiles emitted per histogram (matches Histogram.snapshot)
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """A snapshot key as a legal Prometheus metric name."""
+    cleaned = _NAME_RE.sub("_", name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_exposition(snapshot: dict[str, Any],
+                          prefix: str = "nimble") -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Counters expose as ``counter``, gauges as ``gauge``, and histogram
+    snapshots as ``summary`` families: quantile-labelled samples plus
+    ``_sum`` and ``_count``.  Input is the dict
+    :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`
+    returns (or the merged fleet form from :mod:`aggregate`).
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        value = snapshot["counters"][name]
+        lines.append(f"{metric} {_format_value(value)}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        value = snapshot["gauges"][name]
+        lines.append(f"{metric} {_format_value(value)}")
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = sanitize_metric_name(name, prefix)
+        summary = snapshot["histograms"][name]
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_value(summary[key])}"
+            )
+        lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+        lines.append(f"{metric}_count {_format_value(summary['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_number(text: str) -> float | int:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, Any]:
+    """Read exposition text back into ``{counters, gauges, summaries}``.
+
+    Summaries come back as
+    ``{name: {"quantiles": {"0.5": v, ...}, "sum": s, "count": n}}``.
+    Unknown-type samples (no ``# TYPE`` seen) land under ``untyped``.
+    """
+    types: dict[str, str] = {}
+    parsed: dict[str, Any] = {
+        "counters": {},
+        "gauges": {},
+        "summaries": {},
+        "untyped": {},
+    }
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_number(match.group("value"))
+        family = name
+        suffix = None
+        for candidate in ("_sum", "_count"):
+            base = name[: -len(candidate)]
+            if name.endswith(candidate) and types.get(base) == "summary":
+                family, suffix = base, candidate[1:]
+                break
+        kind = types.get(family)
+        if kind == "counter":
+            parsed["counters"][name] = value
+        elif kind == "gauge":
+            parsed["gauges"][name] = value
+        elif kind == "summary":
+            summary = parsed["summaries"].setdefault(
+                family, {"quantiles": {}, "sum": 0.0, "count": 0}
+            )
+            if suffix is not None:
+                summary[suffix] = value
+            else:
+                summary["quantiles"][labels.get("quantile", "")] = value
+        else:
+            parsed["untyped"][name] = value
+    return parsed

@@ -128,6 +128,21 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram(max_samples)
         return metric
 
+    def counter_values(self) -> dict[str, int]:
+        """Counter name -> value, keys sorted (aggregation hook)."""
+        return {name: self._counters[name].value
+                for name in sorted(self._counters)}
+
+    def gauge_values(self) -> dict[str, float]:
+        """Gauge name -> value, keys sorted (aggregation hook)."""
+        return {name: self._gauges[name].value
+                for name in sorted(self._gauges)}
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Histogram name -> live metric, keys sorted (aggregation hook)."""
+        return {name: self._histograms[name]
+                for name in sorted(self._histograms)}
+
     def snapshot(self) -> dict[str, Any]:
         """Every metric, keys sorted, percentiles nearest-rank."""
         return {

@@ -42,15 +42,26 @@ class QueryLog:
     """A ring buffer of :class:`QueryLogRecord`, newest last."""
 
     def __init__(self, capacity: int = 256,
-                 slow_threshold_ms: float | None = None):
+                 slow_threshold_ms: float | None = None,
+                 slow_thresholds: dict[str, float] | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.slow_threshold_ms = slow_threshold_ms
+        #: per-``query_hash`` overrides of the global slow threshold —
+        #: a hot dashboard query can be held to a tighter bound than
+        #: an analytical batch query sharing the same log
+        self.slow_thresholds: dict[str, float] = dict(slow_thresholds or {})
         self._records: deque[QueryLogRecord] = deque(maxlen=capacity)
         self.total_logged = 0
         self.total_slow = 0
         self.total_incomplete = 0
+
+    def set_slow_threshold(self, query_hash: str, threshold_ms: float) -> None:
+        """Override the slow threshold for one query hash."""
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.slow_thresholds[query_hash] = threshold_ms
 
     def record(
         self,
@@ -62,14 +73,13 @@ class QueryLog:
         counters: dict[str, int] | None = None,
     ) -> QueryLogRecord:
         """Log one execution; returns the stored record."""
-        slow = (
-            self.slow_threshold_ms is not None
-            and elapsed_virtual_ms >= self.slow_threshold_ms
-        )
+        digest = query_hash(text)
+        threshold = self.slow_thresholds.get(digest, self.slow_threshold_ms)
+        slow = threshold is not None and elapsed_virtual_ms >= threshold
         preview = " ".join(text.split())[:80]
         entry = QueryLogRecord(
             trace_id=trace_id,
-            query_hash=query_hash(text),
+            query_hash=digest,
             preview=preview,
             elapsed_virtual_ms=elapsed_virtual_ms,
             elapsed_wall_ms=elapsed_wall_ms,
@@ -101,6 +111,13 @@ class QueryLog:
     def incomplete_queries(self) -> list[QueryLogRecord]:
         return [record for record in self._records if not record.complete]
 
+    def records_for(self, query_hash: str) -> list[QueryLogRecord]:
+        """Retained records for one query hash, oldest first."""
+        return [
+            record for record in self._records
+            if record.query_hash == query_hash
+        ]
+
     def summary(self) -> dict[str, Any]:
         return {
             "capacity": self.capacity,
@@ -109,6 +126,7 @@ class QueryLog:
             "total_slow": self.total_slow,
             "total_incomplete": self.total_incomplete,
             "slow_threshold_ms": self.slow_threshold_ms,
+            "slow_threshold_overrides": len(self.slow_thresholds),
         }
 
     def __len__(self) -> int:

@@ -1,0 +1,509 @@
+"""Fleet-level SLOs: policies, sliding windows, error budgets, baselines.
+
+The per-query traces and counters answer "what did *this* query do";
+an administrator running the paper's mediator for millions of users
+needs the fleet-level question answered too: *is the integration
+system healthy, and are answers complete?*  This module turns the
+per-query signals the engine already produces (``EngineStats``
+counters, ``Completeness`` verdicts, virtual latencies) into:
+
+* :class:`SloPolicy` — a declarative objective (availability,
+  completeness rate, or a p95/p99 virtual-latency bound), scoped to
+  one ``query_hash`` or global, evaluated over a sliding window of
+  *virtual* time;
+* **error budgets** — each policy's window tolerates
+  ``(1 - required good fraction) * window_queries`` bad events; a
+  query burns the availability budget when it trips a breaker, misses
+  a deadline, is served stale, or returns an incomplete answer;
+* :class:`RegressionDetector` — a per-``query_hash`` latency baseline
+  (EWMA + nearest-rank percentiles over the first observations) that
+  flags hashes whose current window exceeds the frozen baseline by a
+  configurable factor, surfacing the plan-cache epoch and the
+  fragment-cache hit-rate delta as suspected causes.
+
+Everything is strictly observational: no method advances the virtual
+clock, so wiring a tracker into the engine changes neither results nor
+the determinism-checked ``counters()`` — the SLO analogue of
+``NULL_TRACER``'s zero-overhead guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.observability.metrics import percentile
+from repro.simtime import SimClock
+
+#: the objectives a policy may declare
+OBJECTIVES = ("availability", "completeness", "latency_p95", "latency_p99")
+
+#: good-event fraction a latency objective requires (the percentile itself)
+_LATENCY_FRACTIONS = {"latency_p95": 0.95, "latency_p99": 0.99}
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """One declarative service-level objective.
+
+    ``target`` is the minimum good fraction for the ratio objectives
+    (``availability``, ``completeness``) and the virtual-millisecond
+    bound for the latency objectives (``latency_p95`` must sit at or
+    under ``target`` ms).  ``query_hash`` scopes the policy to one
+    query identity; ``None`` means fleet-global.
+    """
+
+    name: str
+    objective: str
+    target: float
+    window_ms: float = 60_000.0
+    query_hash: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; pick from {OBJECTIVES}"
+            )
+        if self.window_ms <= 0:
+            raise ValueError("window_ms must be > 0")
+        if self.objective in _LATENCY_FRACTIONS:
+            if self.target <= 0:
+                raise ValueError("latency targets are positive milliseconds")
+        elif not 0.0 < self.target <= 1.0:
+            raise ValueError("ratio targets must be in (0, 1]")
+
+    @property
+    def good_fraction_required(self) -> float:
+        """The fraction of window queries that must be good events."""
+        return _LATENCY_FRACTIONS.get(self.objective, self.target)
+
+
+@dataclass(frozen=True)
+class SloObservation:
+    """One query's SLO-relevant footprint, stamped with virtual time."""
+
+    at_ms: float
+    query_hash: str
+    virtual_ms: float
+    complete: bool
+    breaker_trips: int = 0
+    deadline_misses: int = 0
+    stale_served: int = 0
+    #: catalog version epoch the query compiled under (plan-cache epoch)
+    plan_epoch: Any = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def available(self) -> bool:
+        """Did this query burn the availability budget?
+
+        A query is an availability *bad event* when anything on the
+        degraded-operation ladder fired: a breaker trip, a deadline
+        miss, a stale serve, or an incomplete answer.
+        """
+        return (
+            self.complete
+            and not self.breaker_trips
+            and not self.deadline_misses
+            and not self.stale_served
+        )
+
+    def good_for(self, policy: SloPolicy) -> bool:
+        if policy.objective == "availability":
+            return self.available
+        if policy.objective == "completeness":
+            return self.complete
+        return self.virtual_ms <= policy.target
+
+
+@dataclass
+class SloStatus:
+    """One policy evaluated over its current window."""
+
+    policy: SloPolicy
+    window_queries: int
+    good: int
+    bad: int
+    compliance: float
+    met: bool
+    budget_allowed: float
+    budget_burned: int
+    budget_remaining_fraction: float
+    #: the measured window percentile, latency objectives only
+    observed_ms: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy.name,
+            "objective": self.policy.objective,
+            "target": self.policy.target,
+            "window_ms": self.policy.window_ms,
+            "query_hash": self.policy.query_hash,
+            "window_queries": self.window_queries,
+            "good": self.good,
+            "bad": self.bad,
+            "compliance": self.compliance,
+            "met": self.met,
+            "budget_allowed": self.budget_allowed,
+            "budget_burned": self.budget_burned,
+            "budget_remaining_fraction": self.budget_remaining_fraction,
+            "observed_ms": self.observed_ms,
+        }
+
+
+class SloTracker:
+    """Sliding-window SLO evaluation over the engine's query stream.
+
+    The engine feeds :meth:`observe_query` once per top-level query
+    (sub-queries for views are folded into their parent, exactly like
+    the query log).  Observations are retained for the longest policy
+    window (bounded by ``max_observations``), stamped with the shared
+    virtual clock, and evaluated on demand — evaluation never advances
+    time, so two identical runs produce identical statuses.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        policies: Iterable[SloPolicy] = (),
+        detector: "RegressionDetector | None" = None,
+        max_observations: int = 4096,
+    ):
+        if max_observations < 1:
+            raise ValueError("max_observations must be >= 1")
+        self.clock = clock
+        self.policies: list[SloPolicy] = []
+        self.detector = detector
+        self.max_observations = max_observations
+        self._observations: deque[SloObservation] = deque(
+            maxlen=max_observations
+        )
+        self.total_observed = 0
+        for policy in policies:
+            self.add_policy(policy)
+
+    def add_policy(self, policy: SloPolicy) -> SloPolicy:
+        if any(existing.name == policy.name for existing in self.policies):
+            raise ValueError(f"duplicate SLO policy name {policy.name!r}")
+        self.policies.append(policy)
+        return policy
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe_query(
+        self,
+        query_hash: str,
+        virtual_ms: float,
+        completeness: Any,
+        counters: dict[str, int] | None = None,
+        cache_counters: dict[str, int] | None = None,
+        plan_epoch: Any = None,
+    ) -> SloObservation:
+        """Record one executed query's footprint; returns the observation."""
+        counters = counters or {}
+        cache_counters = cache_counters or {}
+        observation = SloObservation(
+            at_ms=self.clock.now,
+            query_hash=query_hash,
+            virtual_ms=virtual_ms,
+            complete=bool(completeness.complete),
+            breaker_trips=counters.get("breaker_trips", 0),
+            deadline_misses=counters.get("deadline_misses", 0),
+            stale_served=counters.get("stale_served", 0),
+            plan_epoch=plan_epoch,
+            cache_hits=cache_counters.get("fragment_cache_hits", 0),
+            cache_misses=cache_counters.get("fragment_cache_misses", 0),
+        )
+        self._observations.append(observation)
+        self.total_observed += 1
+        self._prune()
+        if self.detector is not None:
+            self.detector.observe(observation)
+        return observation
+
+    def _prune(self) -> None:
+        """Drop observations older than the longest policy window."""
+        horizon = max(
+            (policy.window_ms for policy in self.policies), default=None
+        )
+        if horizon is None:
+            return
+        cutoff = self.clock.now - horizon
+        while self._observations and self._observations[0].at_ms < cutoff:
+            self._observations.popleft()
+
+    # -- evaluation ----------------------------------------------------------
+
+    def window(
+        self, window_ms: float, query_hash: str | None = None
+    ) -> list[SloObservation]:
+        """Retained observations inside the window, oldest first."""
+        cutoff = self.clock.now - window_ms
+        return [
+            observation
+            for observation in self._observations
+            if observation.at_ms >= cutoff
+            and (query_hash is None or observation.query_hash == query_hash)
+        ]
+
+    def evaluate_policy(self, policy: SloPolicy) -> SloStatus:
+        observations = self.window(policy.window_ms, policy.query_hash)
+        total = len(observations)
+        good = sum(1 for o in observations if o.good_for(policy))
+        bad = total - good
+        compliance = good / total if total else 1.0
+        required = policy.good_fraction_required
+        observed_ms: float | None = None
+        if policy.objective in _LATENCY_FRACTIONS:
+            observed_ms = percentile(
+                [o.virtual_ms for o in observations],
+                _LATENCY_FRACTIONS[policy.objective],
+            )
+            met = total == 0 or observed_ms <= policy.target
+        else:
+            met = compliance >= required
+        allowed = (1.0 - required) * total
+        if allowed > 0:
+            remaining = max(0.0, 1.0 - bad / allowed)
+        else:
+            remaining = 1.0 if bad == 0 else 0.0
+        return SloStatus(
+            policy=policy,
+            window_queries=total,
+            good=good,
+            bad=bad,
+            compliance=compliance,
+            met=met,
+            budget_allowed=allowed,
+            budget_burned=bad,
+            budget_remaining_fraction=remaining,
+            observed_ms=observed_ms,
+        )
+
+    def evaluate(self) -> list[SloStatus]:
+        """Every policy's status, sorted by policy name (deterministic)."""
+        return [
+            self.evaluate_policy(policy)
+            for policy in sorted(self.policies, key=lambda p: p.name)
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "policies": len(self.policies),
+            "retained_observations": len(self._observations),
+            "total_observed": self.total_observed,
+        }
+
+
+# -- latency-regression detection -------------------------------------------
+
+
+@dataclass
+class LatencyBaseline:
+    """The frozen latency fingerprint of one ``query_hash``."""
+
+    query_hash: str
+    ewma_ms: float = 0.0
+    observations: int = 0
+    samples: list[float] = field(default_factory=list)
+    plan_epoch: Any = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def p95_ms(self) -> float:
+        return percentile(self.samples, 0.95)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+
+@dataclass
+class LatencyRegression:
+    """One flagged hash: current window vs its frozen baseline."""
+
+    query_hash: str
+    baseline_ms: float
+    current_ms: float
+    factor: float
+    window_queries: int
+    suspected_causes: tuple[str, ...]
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "query_hash": self.query_hash,
+            "baseline_ms": self.baseline_ms,
+            "current_ms": self.current_ms,
+            "factor": self.factor,
+            "window_queries": self.window_queries,
+            "suspected_causes": list(self.suspected_causes),
+            "context": dict(self.context),
+        }
+
+
+class RegressionDetector:
+    """Per-``query_hash`` latency baselines with regression flagging.
+
+    The first ``min_baseline`` observations of a hash *train* its
+    baseline (EWMA plus a bounded sample list for nearest-rank
+    percentiles) and freeze it; later observations feed a sliding
+    current window.  A hash regresses when its current-window p95
+    exceeds ``factor`` times the baseline p95 over at least
+    ``min_current`` queries.  Because the baseline is frozen, a slow
+    drift cannot quietly re-baseline itself — the detector keeps
+    comparing against the healthy fingerprint until
+    :meth:`reset_baseline` is called.
+
+    Suspected causes ride along: a plan-cache epoch that moved since
+    the baseline (the query was recompiled under a newer catalog) and
+    a fragment-cache hit-rate drop beyond ``hit_rate_drop`` both name
+    themselves; otherwise the blame defaults to ``source_latency``.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        factor: float = 2.0,
+        window_ms: float = 30_000.0,
+        min_baseline: int = 8,
+        min_current: int = 3,
+        alpha: float = 0.3,
+        max_samples: int = 256,
+        hit_rate_drop: float = 0.1,
+    ):
+        if factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        if min_baseline < 1 or min_current < 1:
+            raise ValueError("min_baseline and min_current must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.clock = clock
+        self.factor = factor
+        self.window_ms = window_ms
+        self.min_baseline = min_baseline
+        self.min_current = min_current
+        self.alpha = alpha
+        self.max_samples = max_samples
+        self.hit_rate_drop = hit_rate_drop
+        self._baselines: dict[str, LatencyBaseline] = {}
+        self._current: dict[str, deque[SloObservation]] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(self, observation: SloObservation) -> None:
+        """Feed one query observation (the tracker calls this)."""
+        baseline = self._baselines.get(observation.query_hash)
+        if baseline is None:
+            baseline = self._baselines[observation.query_hash] = (
+                LatencyBaseline(observation.query_hash)
+            )
+        if baseline.observations < self.min_baseline:
+            self._train(baseline, observation)
+            return
+        window = self._current.setdefault(observation.query_hash, deque())
+        window.append(observation)
+        cutoff = self.clock.now - self.window_ms
+        while window and window[0].at_ms < cutoff:
+            window.popleft()
+
+    def _train(self, baseline: LatencyBaseline,
+               observation: SloObservation) -> None:
+        if baseline.observations == 0:
+            baseline.ewma_ms = observation.virtual_ms
+        else:
+            baseline.ewma_ms = (
+                self.alpha * observation.virtual_ms
+                + (1.0 - self.alpha) * baseline.ewma_ms
+            )
+        baseline.observations += 1
+        baseline.samples.append(observation.virtual_ms)
+        if len(baseline.samples) > self.max_samples:
+            del baseline.samples[0]
+        baseline.plan_epoch = observation.plan_epoch
+        baseline.cache_hits += observation.cache_hits
+        baseline.cache_misses += observation.cache_misses
+
+    # -- reading -------------------------------------------------------------
+
+    def baseline(self, query_hash: str) -> LatencyBaseline | None:
+        return self._baselines.get(query_hash)
+
+    def reset_baseline(self, query_hash: str) -> None:
+        """Forget one hash entirely (retrain from the next observation)."""
+        self._baselines.pop(query_hash, None)
+        self._current.pop(query_hash, None)
+
+    def regressions(self) -> list[LatencyRegression]:
+        """Currently regressed hashes, sorted by hash (deterministic)."""
+        flagged = []
+        cutoff = self.clock.now - self.window_ms
+        for query_hash in sorted(self._current):
+            baseline = self._baselines[query_hash]
+            if baseline.observations < self.min_baseline:
+                continue
+            window = [
+                o for o in self._current[query_hash] if o.at_ms >= cutoff
+            ]
+            if len(window) < self.min_current:
+                continue
+            current_ms = percentile([o.virtual_ms for o in window], 0.95)
+            baseline_ms = max(baseline.p95_ms, 1e-9)
+            if current_ms <= self.factor * baseline_ms:
+                continue
+            flagged.append(self._flag(query_hash, baseline, window,
+                                      baseline_ms, current_ms))
+        return flagged
+
+    def _flag(self, query_hash: str, baseline: LatencyBaseline,
+              window: list[SloObservation], baseline_ms: float,
+              current_ms: float) -> LatencyRegression:
+        causes: list[str] = []
+        current_epochs = {o.plan_epoch for o in window}
+        if any(epoch != baseline.plan_epoch for epoch in current_epochs):
+            causes.append("plan_cache_epoch_changed")
+        hits = sum(o.cache_hits for o in window)
+        misses = sum(o.cache_misses for o in window)
+        probes = hits + misses
+        current_rate = hits / probes if probes else 0.0
+        baseline_rate = baseline.cache_hit_rate
+        rate_delta = current_rate - baseline_rate
+        if probes + baseline.cache_hits + baseline.cache_misses > 0 and (
+            rate_delta < -self.hit_rate_drop
+        ):
+            causes.append("cache_hit_rate_drop")
+        if not causes:
+            causes.append("source_latency")
+        return LatencyRegression(
+            query_hash=query_hash,
+            baseline_ms=baseline_ms,
+            current_ms=current_ms,
+            factor=current_ms / baseline_ms,
+            window_queries=len(window),
+            suspected_causes=tuple(causes),
+            context={
+                "baseline_plan_epoch": str(baseline.plan_epoch),
+                "current_plan_epochs": sorted(
+                    str(epoch) for epoch in current_epochs
+                ),
+                "baseline_cache_hit_rate": baseline_rate,
+                "current_cache_hit_rate": current_rate,
+                "cache_hit_rate_delta": rate_delta,
+                "baseline_ewma_ms": baseline.ewma_ms,
+            },
+        )
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "baselines": len(self._baselines),
+            "trained": sum(
+                1 for b in self._baselines.values()
+                if b.observations >= self.min_baseline
+            ),
+            "factor": self.factor,
+            "window_ms": self.window_ms,
+        }

@@ -3,9 +3,12 @@
 import pytest
 
 from repro.admin import (
+    CacheMonitor,
     DataAdministrator,
     HealthMonitor,
     ManagementConsole,
+    SloMonitor,
+    TraceMonitor,
 )
 from repro.algebra import TreePattern
 from repro.core import NimbleEngine
@@ -187,3 +190,81 @@ class TestManagementConsole:
         view = next(m for m in report["mediated_names"] if m["name"] == "v")
         assert view["kind"] == "view"
         assert view["target"] == "customers"
+
+    def _fully_monitored_console(self, catalog, clock):
+        from repro.observability import (
+            MetricsRegistry,
+            QueryLog,
+            SloPolicy,
+            SloTracker,
+            Tracer,
+        )
+
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("availability", "availability", 0.9),
+        ])
+        engine = NimbleEngine(
+            catalog,
+            metrics=MetricsRegistry(),
+            query_log=QueryLog(slow_threshold_ms=1.0),
+            slo=tracker,
+            fragment_cache_bytes=100_000,
+        )
+        engine.use_tracer(Tracer(clock))
+        health = HealthMonitor(catalog.registry, clock)
+        health.probe_all()
+        console = ManagementConsole(
+            engine,
+            monitor=health,
+            cache_monitor=CacheMonitor(engine),
+            trace_monitor=TraceMonitor(engine),
+            slo_monitor=SloMonitor(engine),
+        )
+        return engine, console
+
+    def test_report_carries_all_four_monitors(self, catalog, clock):
+        engine, console = self._fully_monitored_console(catalog, clock)
+        engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        report = console.system_report()
+        assert report["sources"][0]["uptime_fraction"] == 1.0  # health
+        assert report["caching"]["plan_cache_entries"] == 1
+        assert report["observability"]["tracing_enabled"] is True
+        assert report["observability"]["query_log"]["total_logged"] == 1
+        assert report["slo"]["slo_enabled"] is True
+        statuses = {s["policy"]: s for s in report["slo"]["statuses"]}
+        assert statuses["availability"]["met"] is True
+        assert statuses["availability"]["window_queries"] == 1
+
+    def test_render_shows_all_four_monitor_sections(self, catalog, clock):
+        engine, console = self._fully_monitored_console(catalog, clock)
+        engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        text = console.render()
+        assert "uptime 100%" in text                      # health monitor
+        assert "caching: plan cache" in text              # cache monitor
+        assert "observability: tracing on" in text        # trace monitor
+        assert "query log: 1 retained" in text
+        assert "slo: enabled" in text                     # slo monitor
+        assert "[MET" in text and "availability" in text
+
+    def test_render_flags_breaches_and_alerts(self, catalog, clock):
+        from repro.observability import SloPolicy, SloTracker
+
+        # a 1 ms p95 target the remote query cannot possibly meet
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("tight_p95", "latency_p95", 1.0),
+        ])
+        engine = NimbleEngine(catalog, slo=tracker)
+        monitor = SloMonitor(engine)
+        console = ManagementConsole(engine, slo_monitor=monitor)
+        engine.query(
+            'WHERE <c><name>$n</name></c> IN "customers" CONSTRUCT <r>$n</r>'
+        )
+        transitions = monitor.evaluate()
+        assert any(t.rule == "slo_breach" for t in transitions)
+        text = console.render()
+        assert "[BREACHED]" in text
+        assert "[ALERT:critical] slo_breach/tight_p95" in text

@@ -259,6 +259,38 @@ class TestQueryLog:
         assert query_hash("WHERE x") != query_hash("WHERE y")
         assert len(query_hash("WHERE x")) == 12
 
+    def test_records_for_filters_by_hash(self):
+        log = QueryLog()
+        log.record("WHERE a", 10.0, 1.0, _FakeCompleteness())
+        log.record("WHERE b", 20.0, 1.0, _FakeCompleteness())
+        log.record("WHERE a", 30.0, 1.0, _FakeCompleteness())
+        records = log.records_for(query_hash("WHERE a"))
+        assert [r.elapsed_virtual_ms for r in records] == [10.0, 30.0]
+        assert all(r.query_hash == query_hash("WHERE a") for r in records)
+        assert log.records_for(query_hash("WHERE never-ran")) == []
+
+    def test_per_hash_slow_threshold_overrides_global(self):
+        # global threshold 100 ms, but the dashboard query is held to 20 ms
+        log = QueryLog(
+            slow_threshold_ms=100.0,
+            slow_thresholds={query_hash("WHERE dashboard"): 20.0},
+        )
+        log.record("WHERE dashboard", 50.0, 1.0, _FakeCompleteness())
+        log.record("WHERE batch", 50.0, 1.0, _FakeCompleteness())
+        assert [r.slow for r in log.recent()] == [True, False]
+        assert log.total_slow == 1
+        assert log.summary()["slow_threshold_overrides"] == 1
+
+    def test_set_slow_threshold_after_construction(self):
+        log = QueryLog()  # no global threshold: nothing is ever slow
+        log.record("WHERE q", 500.0, 1.0, _FakeCompleteness())
+        assert log.recent()[-1].slow is False
+        log.set_slow_threshold(query_hash("WHERE q"), 100.0)
+        log.record("WHERE q", 500.0, 1.0, _FakeCompleteness())
+        assert log.recent()[-1].slow is True
+        with pytest.raises(ValueError):
+            log.set_slow_threshold("abc", -1.0)
+
 
 # -- engine tracing ---------------------------------------------------------
 
@@ -580,6 +612,29 @@ class TestEngineMetricsAndLog:
         assert snap["metrics"] is None and snap["query_log"] is None
         assert monitor.last_trace_text() is None
         assert monitor.recent_queries() == []
+
+    def test_chrome_export_writes_nothing_without_traces(self, tmp_path):
+        # no tracer: export declines and must not create the file
+        workload = make_website_workload(6, seed=23)
+        engine = NimbleEngine(workload.catalog)
+        path = tmp_path / "never.json"
+        assert TraceMonitor(engine).export_chrome_trace(path) == 0
+        assert not path.exists()
+        # live tracer but zero queries run: same deal
+        engine2, _ = make_traced_engine()
+        assert TraceMonitor(engine2).export_chrome_trace(path) == 0
+        assert not path.exists()
+
+    def test_chrome_export_counts_every_retained_trace(self, tmp_path):
+        engine, tracer = make_traced_engine()
+        engine.query(FANOUT_QUERY)
+        engine.query(PAGE_QUERY)
+        monitor = TraceMonitor(engine)
+        path = tmp_path / "multi.json"
+        assert monitor.export_chrome_trace(path) == 2
+        events = json.loads(path.read_text())["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert len(pids) == 2  # one lane group per trace
 
 
 # -- export -----------------------------------------------------------------

@@ -1,0 +1,775 @@
+"""Fleet SLOs: error budgets, alerting, regression detection, exposition.
+
+The load-bearing properties:
+
+* SLO evaluation is strictly observational — results, counters, and
+  virtual time are identical with the tracker on or off, and neither
+  evaluation nor alerting ever advances the clock;
+* error budgets burn deterministically on the degraded-operation
+  ladder (breaker trips, deadline misses, stale serves, incomplete
+  answers) and recover as bad observations age out of the window;
+* regression baselines freeze after training, so a slow drift cannot
+  re-baseline itself;
+* fleet aggregation is order-independent — merged registry snapshots
+  are byte-identical across instance interleavings — and the
+  Prometheus text exposition round-trips through the parser exactly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EngineCluster, NimbleEngine
+from repro.admin import SloMonitor
+from repro.core.loadbalance import CompletedQuery
+from repro.observability import (
+    AlertManager,
+    AlertRule,
+    MetricsRegistry,
+    QueryLog,
+    RegressionDetector,
+    SloObservation,
+    SloPolicy,
+    SloTracker,
+    breaker_open_rule,
+    default_rules,
+    fleet_snapshot,
+    merge_histograms,
+    merge_registries,
+    parse_exposition,
+    percentile,
+    prometheus_exposition,
+    query_hash,
+    sanitize_metric_name,
+    slo_report,
+    write_slo_report,
+)
+from repro.observability.metrics import Histogram
+from repro.resilience import (
+    BreakerConfig,
+    FaultModel,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.simtime import SimClock
+from repro.workloads import make_website_workload
+from repro.xmldm.serializer import serialize
+
+STOCK_QUERY = (
+    'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+    "CONSTRUCT <r sku=$s>$p</r>"
+)
+SHIPPING_QUERY = (
+    'WHERE <t><sku>$s</sku><ship_days>$d</ship_days></t> '
+    'IN "shipping_estimate" CONSTRUCT <r sku=$s>$d</r>'
+)
+PAGE_QUERY = (
+    'WHERE <page sku=$s><name>$n</name><price>$p</price></page> '
+    'IN "product_page", $p < 250 '
+    "CONSTRUCT <row sku=$s><name>$n</name><price>$p</price></row> "
+    "ORDER BY $p"
+)
+
+
+def observation(clock, query_hash="qh0", virtual_ms=10.0, complete=True,
+                **kwargs):
+    return SloObservation(
+        at_ms=clock.now, query_hash=query_hash, virtual_ms=virtual_ms,
+        complete=complete, **kwargs,
+    )
+
+
+# -- policies and observations -----------------------------------------------
+
+
+class TestSloPolicy:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError):
+            SloPolicy("p", "uptime", 0.9)
+
+    def test_ratio_targets_must_be_fractions(self):
+        with pytest.raises(ValueError):
+            SloPolicy("p", "availability", 99.9)
+        with pytest.raises(ValueError):
+            SloPolicy("p", "completeness", 0.0)
+        assert SloPolicy("p", "availability", 1.0).target == 1.0
+
+    def test_latency_targets_are_positive_milliseconds(self):
+        with pytest.raises(ValueError):
+            SloPolicy("p", "latency_p95", 0.0)
+        assert SloPolicy("p", "latency_p99", 250.0).target == 250.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SloPolicy("p", "availability", 0.9, window_ms=0.0)
+
+    def test_good_fraction_required(self):
+        assert SloPolicy("a", "availability", 0.9).good_fraction_required == 0.9
+        assert SloPolicy("l", "latency_p95", 100.0).good_fraction_required == 0.95
+        assert SloPolicy("m", "latency_p99", 100.0).good_fraction_required == 0.99
+
+
+class TestSloObservation:
+    def test_degraded_operation_ladder_burns_availability(self):
+        clock = SimClock()
+        assert observation(clock).available is True
+        assert observation(clock, complete=False).available is False
+        assert observation(clock, breaker_trips=1).available is False
+        assert observation(clock, deadline_misses=1).available is False
+        assert observation(clock, stale_served=1).available is False
+
+    def test_good_for_each_objective(self):
+        clock = SimClock()
+        stale = observation(clock, virtual_ms=50.0, stale_served=1)
+        assert stale.good_for(SloPolicy("a", "availability", 0.9)) is False
+        assert stale.good_for(SloPolicy("c", "completeness", 0.9)) is True
+        assert stale.good_for(SloPolicy("l", "latency_p95", 100.0)) is True
+        assert stale.good_for(SloPolicy("l2", "latency_p95", 10.0)) is False
+
+
+# -- the tracker -------------------------------------------------------------
+
+
+class TestSloTracker:
+    def test_empty_window_is_vacuously_met(self):
+        clock = SimClock()
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("a", "availability", 0.9),
+            SloPolicy("l", "latency_p95", 100.0),
+        ])
+        statuses = {s.policy.name: s for s in tracker.evaluate()}
+        assert all(s.met for s in statuses.values())
+        assert statuses["a"].compliance == 1.0
+        assert statuses["a"].budget_remaining_fraction == 1.0
+
+    def test_budget_burns_and_exhausts(self):
+        clock = SimClock()
+        policy = SloPolicy("a", "availability", 0.9, window_ms=10_000.0)
+        tracker = SloTracker(clock, policies=[policy])
+
+        class _C:
+            complete = True
+
+        for _ in range(18):
+            tracker.observe_query("qh", 5.0, _C())
+        status = tracker.evaluate_policy(policy)
+        assert status.met and status.budget_remaining_fraction == 1.0
+        # 20 queries at 90% allow 2 bad; the first burns half the budget
+        tracker.observe_query("qh", 5.0, _C(),
+                              counters={"breaker_trips": 1})
+        status = tracker.evaluate_policy(policy)
+        assert status.met  # 19/20 >= 0.9... wait: 18 good of 19 is 0.947
+        assert 0.0 < status.budget_remaining_fraction < 1.0
+        tracker.observe_query("qh", 5.0, _C(),
+                              counters={"deadline_misses": 1})
+        tracker.observe_query("qh", 5.0, _C(),
+                              counters={"stale_served": 1})
+        status = tracker.evaluate_policy(policy)
+        assert status.met is False
+        assert status.budget_remaining_fraction == 0.0
+        assert status.budget_burned == 3
+
+    def test_bad_observations_age_out_of_the_window(self):
+        clock = SimClock()
+        policy = SloPolicy("a", "availability", 0.9, window_ms=1_000.0)
+        tracker = SloTracker(clock, policies=[policy])
+
+        class _Bad:
+            complete = False
+
+        class _Good:
+            complete = True
+
+        tracker.observe_query("qh", 5.0, _Bad())
+        assert tracker.evaluate_policy(policy).met is False
+        clock.advance(2_000.0)
+        for _ in range(3):
+            tracker.observe_query("qh", 5.0, _Good())
+        status = tracker.evaluate_policy(policy)
+        assert status.met is True and status.window_queries == 3
+
+    def test_latency_policy_uses_nearest_rank_percentile(self):
+        clock = SimClock()
+        policy = SloPolicy("l", "latency_p95", 100.0)
+        tracker = SloTracker(clock, policies=[policy])
+
+        class _C:
+            complete = True
+
+        for ms in [10.0] * 19 + [500.0]:
+            tracker.observe_query("qh", ms, _C())
+        status = tracker.evaluate_policy(policy)
+        # nearest-rank p95 of 20 samples is the 19th: still 10 ms
+        assert status.observed_ms == 10.0 and status.met is True
+        tracker.observe_query("qh", 500.0, _C())
+        status = tracker.evaluate_policy(policy)
+        assert status.observed_ms == 500.0 and status.met is False
+
+    def test_per_hash_policy_scopes_the_window(self):
+        clock = SimClock()
+        policy = SloPolicy("hot", "latency_p95", 50.0, query_hash="hot_hash")
+        tracker = SloTracker(clock, policies=[policy])
+
+        class _C:
+            complete = True
+
+        tracker.observe_query("hot_hash", 10.0, _C())
+        tracker.observe_query("cold_hash", 900.0, _C())
+        status = tracker.evaluate_policy(policy)
+        assert status.window_queries == 1 and status.met is True
+
+    def test_duplicate_policy_name_rejected(self):
+        tracker = SloTracker(SimClock(),
+                             policies=[SloPolicy("a", "availability", 0.9)])
+        with pytest.raises(ValueError):
+            tracker.add_policy(SloPolicy("a", "completeness", 0.9))
+
+    def test_evaluate_is_sorted_and_never_advances_time(self):
+        clock = SimClock()
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("zeta", "availability", 0.9),
+            SloPolicy("alpha", "completeness", 0.9),
+        ])
+
+        class _C:
+            complete = True
+
+        tracker.observe_query("qh", 5.0, _C())
+        before = clock.now
+        names = [s.policy.name for s in tracker.evaluate()]
+        assert names == ["alpha", "zeta"]
+        assert clock.now == before
+
+
+# -- regression detection ----------------------------------------------------
+
+
+class TestRegressionDetector:
+    def _feed(self, detector, clock, ms_values, query_hash="qh",
+              advance=100.0, **kwargs):
+        for ms in ms_values:
+            detector.observe(observation(clock, query_hash=query_hash,
+                                         virtual_ms=ms, **kwargs))
+            clock.advance(advance)
+
+    def test_baseline_trains_then_freezes(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, min_baseline=4, min_current=2)
+        self._feed(detector, clock, [10.0, 12.0, 11.0, 10.0])
+        baseline = detector.baseline("qh")
+        assert baseline.observations == 4
+        frozen_p95 = baseline.p95_ms
+        # later (slower) observations land in the current window, not
+        # the baseline — the healthy fingerprint is frozen
+        self._feed(detector, clock, [80.0, 90.0])
+        assert detector.baseline("qh").p95_ms == frozen_p95
+        assert detector.baseline("qh").observations == 4
+
+    def test_flags_only_the_regressed_hash(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, factor=2.0, min_baseline=3,
+                                      min_current=2)
+        self._feed(detector, clock, [10.0, 10.0, 10.0], query_hash="slowed")
+        self._feed(detector, clock, [20.0, 20.0, 20.0], query_hash="steady")
+        self._feed(detector, clock, [50.0, 60.0], query_hash="slowed")
+        self._feed(detector, clock, [21.0, 20.0], query_hash="steady")
+        flagged = detector.regressions()
+        assert [r.query_hash for r in flagged] == ["slowed"]
+        regression = flagged[0]
+        assert regression.current_ms == 60.0
+        assert regression.factor == pytest.approx(6.0)
+        assert regression.suspected_causes == ("source_latency",)
+
+    def test_below_min_current_stays_quiet(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, min_baseline=3, min_current=3)
+        self._feed(detector, clock, [10.0, 10.0, 10.0])
+        self._feed(detector, clock, [99.0, 99.0])  # only 2 current
+        assert detector.regressions() == []
+
+    def test_plan_epoch_change_is_suspected(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, min_baseline=2, min_current=2)
+        self._feed(detector, clock, [10.0, 10.0], plan_epoch=(1, 0, 0, 0))
+        self._feed(detector, clock, [99.0, 99.0], plan_epoch=(2, 0, 0, 0))
+        [regression] = detector.regressions()
+        assert "plan_cache_epoch_changed" in regression.suspected_causes
+        assert regression.context["baseline_plan_epoch"] == "(1, 0, 0, 0)"
+
+    def test_cache_hit_rate_drop_is_suspected(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, min_baseline=2, min_current=2)
+        self._feed(detector, clock, [10.0, 10.0], cache_hits=9, cache_misses=1)
+        self._feed(detector, clock, [99.0, 99.0], cache_hits=0, cache_misses=10)
+        [regression] = detector.regressions()
+        assert "cache_hit_rate_drop" in regression.suspected_causes
+        assert regression.context["cache_hit_rate_delta"] < 0
+
+    def test_reset_baseline_retrains(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, min_baseline=2, min_current=2)
+        self._feed(detector, clock, [10.0, 10.0])
+        self._feed(detector, clock, [99.0, 99.0])
+        assert detector.regressions()
+        detector.reset_baseline("qh")
+        assert detector.baseline("qh") is None
+        self._feed(detector, clock, [99.0, 99.0])  # retrains at the new normal
+        assert detector.regressions() == []
+
+    def test_old_current_observations_age_out(self):
+        clock = SimClock()
+        detector = RegressionDetector(clock, window_ms=1_000.0,
+                                      min_baseline=2, min_current=2)
+        self._feed(detector, clock, [10.0, 10.0])
+        self._feed(detector, clock, [99.0, 99.0])
+        assert detector.regressions()
+        clock.advance(5_000.0)
+        assert detector.regressions() == []  # the spike aged out
+
+
+# -- alerting ----------------------------------------------------------------
+
+
+def _threshold_rule(name="over", severity="warning", threshold=10):
+    def condition(context):
+        return {
+            key: {"value": value}
+            for key, value in context.get("values", {}).items()
+            if value > threshold
+        }
+
+    return AlertRule(name, condition, severity)
+
+
+class TestAlertManager:
+    def test_fire_refresh_resolve_lifecycle(self):
+        clock = SimClock()
+        manager = AlertManager(clock)
+        manager.add_rule(_threshold_rule())
+        fired = manager.evaluate({"values": {"a": 20}})
+        assert [(a.key, a.state) for a in fired] == [("a", "firing")]
+        assert fired[0].fired_at_ms == 0.0
+        clock.advance(100.0)
+        # unchanged context refreshes in place: no new transitions
+        assert manager.evaluate({"values": {"a": 25}}) == []
+        assert manager.active()[0].context == {"value": 25}
+        clock.advance(100.0)
+        resolved = manager.evaluate({"values": {"a": 5}})
+        assert [(a.key, a.state) for a in resolved] == [("a", "resolved")]
+        assert resolved[0].resolved_at_ms == 200.0
+        assert manager.active() == []
+        assert manager.total_fired == 1 and manager.total_resolved == 1
+
+    def test_keys_fire_in_sorted_order(self):
+        manager = AlertManager(SimClock())
+        manager.add_rule(_threshold_rule())
+        fired = manager.evaluate({"values": {"z": 20, "a": 20, "m": 20}})
+        assert [a.key for a in fired] == ["a", "m", "z"]
+
+    def test_history_ring_is_bounded(self):
+        manager = AlertManager(SimClock(), capacity=2)
+        manager.add_rule(_threshold_rule())
+        for key in ("a", "b", "c"):
+            manager.evaluate({"values": {key: 20}})
+        assert len(manager.history) == 2
+        assert manager.total_fired == 3
+
+    def test_duplicate_rule_and_bad_severity_rejected(self):
+        manager = AlertManager(SimClock())
+        manager.add_rule(_threshold_rule())
+        with pytest.raises(ValueError):
+            manager.add_rule(_threshold_rule())
+        with pytest.raises(ValueError):
+            AlertRule("r", lambda context: {}, severity="panic")
+
+    def test_active_filters_by_severity(self):
+        manager = AlertManager(SimClock())
+        manager.add_rule(_threshold_rule("warn", "warning"))
+        manager.add_rule(_threshold_rule("crit", "critical"))
+        manager.evaluate({"values": {"a": 20}})
+        assert len(manager.active()) == 2
+        assert [a.rule for a in manager.active("critical")] == ["crit"]
+
+    def test_breaker_open_rule_keys_on_sources(self):
+        manager = AlertManager(SimClock())
+        manager.add_rule(breaker_open_rule())
+        fired = manager.evaluate(
+            {"breakers": {"erp": "open", "crm": "closed", "log": "half-open"}}
+        )
+        assert sorted(a.key for a in fired) == ["erp", "log"]
+
+    def test_default_rules_cover_the_four_signals(self):
+        names = {rule.name for rule in default_rules()}
+        assert names == {"slo_breach", "error_budget_low",
+                         "latency_regression", "breaker_open"}
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def _registry(counter_values=(), histogram_samples=()):
+    registry = MetricsRegistry()
+    for name, value in counter_values:
+        registry.counter(name).inc(value)
+    for name, samples in histogram_samples:
+        for sample in samples:
+            registry.histogram(name).observe(sample)
+    return registry
+
+
+class TestAggregation:
+    def test_counters_and_gauges_sum(self):
+        a = _registry([("queries_total", 3), ("retries", 1)])
+        a.gauge("busy").set(2.0)
+        b = _registry([("queries_total", 5)])
+        b.gauge("busy").set(3.0)
+        snap = merge_registries([a, b]).snapshot()
+        assert snap["counters"] == {"queries_total": 8, "retries": 1}
+        assert snap["gauges"] == {"busy": 5.0}
+
+    def test_histograms_merge_the_sample_multiset(self):
+        a = _registry(histogram_samples=[("lat", [1.0, 9.0])])
+        b = _registry(histogram_samples=[("lat", [5.0])])
+        merged = merge_registries([a, b]).snapshot()["histograms"]["lat"]
+        assert merged["count"] == 3
+        assert merged["sum"] == 15.0
+        assert merged["p50"] == 5.0  # the multiset median, not an average
+
+    def test_merge_is_order_independent(self):
+        def build():
+            return [
+                _registry([("c", i + 1)],
+                          histogram_samples=[("h", [float(i), 10.0 - i])])
+                for i in range(4)
+            ]
+
+        registries = build()
+        forward = merge_registries(registries).snapshot()
+        backward = merge_registries(list(reversed(build()))).snapshot()
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
+
+    def test_merge_widens_the_sample_window(self):
+        histograms = []
+        for start in (0, 4):
+            h = Histogram(max_samples=4)
+            for i in range(4):
+                h.observe(float(start + i))
+            histograms.append(h)
+        merged = merge_histograms(histograms)
+        assert len(merged.samples) == 8  # nothing evicted by the merge
+        assert merged.count == 8
+
+    def test_fleet_snapshot_counts_instances(self):
+        snap = fleet_snapshot([_registry([("c", 1)]), _registry([("c", 2)])])
+        assert snap["instances"] == 2
+        assert snap["merged"]["counters"]["c"] == 3
+
+    def test_slo_report_and_artifact(self, tmp_path):
+        clock = SimClock()
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("a", "availability", 0.9),
+        ], detector=RegressionDetector(clock))
+        alerts = AlertManager(clock)
+        alerts.add_rule(_threshold_rule())
+        alerts.evaluate({"values": {"x": 20}})
+        report = slo_report(tracker, alerts,
+                            registries=[_registry([("c", 1)])])
+        assert report["slo"]["statuses"][0]["policy"] == "a"
+        assert report["regressions"]["flagged"] == []
+        assert report["alerts"]["summary"]["firing"] == 1
+        assert report["metrics"]["instances"] == 1
+        path = write_slo_report(tmp_path / "slo.json", tracker, alerts)
+        loaded = json.loads(path.read_text())
+        assert loaded["slo"]["summary"]["policies"] == 1
+        assert loaded["clock_ms"] == 0.0
+
+
+# -- exposition --------------------------------------------------------------
+
+
+class TestExposition:
+    def test_round_trips_through_the_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(7)
+        registry.gauge("cache.fill_fraction").set(0.375)
+        histogram = registry.histogram("source.erp.fetch_virtual_ms")
+        for sample in (41.5, 43.25, 40.0, 99.125):
+            histogram.observe(sample)
+        snapshot = registry.snapshot()
+        text = prometheus_exposition(snapshot)
+        parsed = parse_exposition(text)
+        assert parsed["counters"]["nimble_queries_total"] == 7
+        assert parsed["gauges"]["nimble_cache_fill_fraction"] == 0.375
+        summary = parsed["summaries"]["nimble_source_erp_fetch_virtual_ms"]
+        original = snapshot["histograms"]["source.erp.fetch_virtual_ms"]
+        assert summary["quantiles"]["0.5"] == original["p50"]
+        assert summary["quantiles"]["0.9"] == original["p90"]
+        assert summary["quantiles"]["0.99"] == original["p99"]
+        assert summary["sum"] == original["sum"]
+        assert summary["count"] == original["count"]
+
+    def test_exposition_is_deterministic_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        text = prometheus_exposition(registry.snapshot())
+        assert text == prometheus_exposition(registry.snapshot())
+        lines = text.splitlines()
+        assert lines[0] == "# TYPE nimble_a counter"
+        assert lines[2] == "# TYPE nimble_b counter"
+
+    def test_name_sanitization(self):
+        assert sanitize_metric_name("source.erp-1.ms") == "source_erp_1_ms"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("ok", prefix="nimble") == "nimble_ok"
+
+    def test_unknown_types_and_bad_lines(self):
+        parsed = parse_exposition("orphan_sample 4\n")
+        assert parsed["untyped"] == {"orphan_sample": 4}
+        with pytest.raises(ValueError):
+            parse_exposition("{not a sample}\n")
+
+    def test_merged_fleet_snapshot_round_trips(self):
+        a = _registry([("queries_total", 2)],
+                      histogram_samples=[("lat", [1.5, 2.5])])
+        b = _registry([("queries_total", 3)],
+                      histogram_samples=[("lat", [3.5])])
+        text = prometheus_exposition(merge_registries([a, b]).snapshot())
+        parsed = parse_exposition(text)
+        assert parsed["counters"]["nimble_queries_total"] == 5
+        assert parsed["summaries"]["nimble_lat"]["count"] == 3
+
+
+# -- the engine feed ---------------------------------------------------------
+
+
+class TestEngineSloFeed:
+    def test_engine_feeds_the_tracker_per_top_level_query(self):
+        workload = make_website_workload(8, seed=23, extended=True)
+        clock = workload.registry.clock
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("a", "availability", 0.9),
+        ])
+        engine = NimbleEngine(workload.catalog, slo=tracker)
+        result = engine.query(PAGE_QUERY)  # runs the view sub-query too
+        assert tracker.total_observed == 1  # sub-queries absorbed
+        [obs] = tracker.window(60_000.0)
+        assert obs.query_hash == query_hash(PAGE_QUERY)
+        assert obs.virtual_ms == result.stats.elapsed_virtual_ms
+        assert obs.complete is True
+        assert obs.plan_epoch == engine.catalog.version
+
+    def test_feed_carries_the_degradation_counters(self):
+        workload = make_website_workload(8, seed=23, extended=True)
+        clock = workload.registry.clock
+        tracker = SloTracker(clock)
+        engine = NimbleEngine(
+            workload.catalog,
+            slo=tracker,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=1),
+                breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                      min_calls=1, cooldown_ms=60_000.0),
+            ),
+        )
+        workload.registry.get("erp").faults = FaultModel(
+            failure_rate=1.0, seed=5
+        )
+        for _ in range(3):
+            clock.advance(100.0)
+            engine.query(STOCK_QUERY)
+        trips = sum(o.breaker_trips for o in tracker.window(60_000.0))
+        incomplete = sum(
+            1 for o in tracker.window(60_000.0) if not o.complete
+        )
+        assert trips > 0 and incomplete == 3
+        assert all(not o.available for o in tracker.window(60_000.0))
+
+
+# -- cluster percentiles and fleet metrics -----------------------------------
+
+
+class TestClusterPercentiles:
+    def _cluster_with_latencies(self, latencies):
+        workload = make_website_workload(6, seed=44)
+        cluster = EngineCluster(NimbleEngine(workload.catalog), instances=2)
+        for index, latency in enumerate(latencies):
+            cluster.completed.append(
+                CompletedQuery(f"i{index % 2}", 0.0, 0.0, latency, None)
+            )
+        return cluster
+
+    def test_percentile_latency_pins_to_canonical_nearest_rank(self):
+        # the regression that motivated the delegation: with two values
+        # the old truncating index returned the max for p50
+        cluster = self._cluster_with_latencies([10.0, 20.0])
+        assert cluster.percentile_latency(0.50) == 10.0
+        assert cluster.percentile_latency(0.50) == percentile(
+            [10.0, 20.0], 0.50
+        )
+        for fraction in (0.25, 0.5, 0.75, 0.95, 0.99, 1.0):
+            values = [5.0, 1.0, 9.0, 3.0, 7.0]
+            cluster = self._cluster_with_latencies(values)
+            assert cluster.percentile_latency(fraction) == percentile(
+                values, fraction
+            )
+
+    def test_latency_summary_matches_canonical_definition(self):
+        values = [12.0, 4.0, 8.0, 16.0]
+        cluster = self._cluster_with_latencies(values)
+        summary = cluster.latency_summary()
+        assert summary["count"] == 4
+        assert summary["p50_ms"] == percentile(values, 0.50)
+        assert summary["p95_ms"] == percentile(values, 0.95)
+        assert summary["max_ms"] == 16.0
+
+    def test_instances_record_metrics_and_merge_deterministically(self):
+        def run():
+            workload = make_website_workload(10, seed=44)
+            cluster = EngineCluster(NimbleEngine(workload.catalog),
+                                    instances=3, strategy="round_robin")
+            for arrival in range(6):
+                cluster.submit(STOCK_QUERY, arrival * 10.0)
+            return cluster
+
+        cluster = run()
+        served = sum(
+            i.metrics.counter_values()["queries_total"]
+            for i in cluster.instances
+        )
+        assert served == 6
+        merged = cluster.merged_metrics().snapshot()
+        assert merged["counters"]["queries_total"] == 6
+        assert merged["histograms"]["query.latency_ms"]["count"] == 6
+        # two identical runs produce byte-identical fleet snapshots
+        assert json.dumps(cluster.fleet_snapshot(), sort_keys=True) == \
+            json.dumps(run().fleet_snapshot(), sort_keys=True)
+
+
+# -- the monitor -------------------------------------------------------------
+
+
+class TestSloMonitor:
+    def test_monitor_without_tracker_is_inert(self):
+        workload = make_website_workload(6, seed=23)
+        monitor = SloMonitor(NimbleEngine(workload.catalog))
+        assert monitor.tracker is None and monitor.alerts is None
+        assert monitor.evaluate() == []
+        snap = monitor.snapshot()
+        assert snap["slo_enabled"] is False and snap["statuses"] == []
+
+    def test_evaluation_context_includes_breaker_states(self):
+        workload = make_website_workload(8, seed=23, extended=True)
+        clock = workload.registry.clock
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("a", "availability", 0.9, window_ms=5_000.0),
+        ])
+        engine = NimbleEngine(
+            workload.catalog,
+            slo=tracker,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=1),
+                breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                      min_calls=1, cooldown_ms=60_000.0),
+            ),
+        )
+        monitor = SloMonitor(engine)
+        workload.registry.get("erp").faults = FaultModel(
+            failure_rate=1.0, seed=5
+        )
+        for _ in range(3):
+            clock.advance(100.0)
+            engine.query(STOCK_QUERY)
+        context = monitor.evaluation_context()
+        assert context["breakers"]["erp"] == "open"
+        transitions = monitor.evaluate()
+        rules = {t.rule for t in transitions}
+        assert "breaker_open" in rules and "slo_breach" in rules
+
+    def test_write_report_artifact(self, tmp_path):
+        workload = make_website_workload(8, seed=23, extended=True)
+        clock = workload.registry.clock
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("a", "availability", 0.9),
+        ])
+        engine = NimbleEngine(workload.catalog, slo=tracker,
+                              metrics=MetricsRegistry())
+        monitor = SloMonitor(engine)
+        engine.query(STOCK_QUERY)
+        monitor.evaluate()
+        path = monitor.write_report(tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["slo"]["statuses"][0]["met"] is True
+        assert loaded["alerts"]["summary"]["firing"] == 0
+        assert loaded["metrics"]["merged"]["counters"]["queries_total"] == 1
+
+
+# -- the zero-perturbation property ------------------------------------------
+
+
+def signature(result):
+    return [serialize(element) for element in result.elements]
+
+
+class TestSloIsObservational:
+    @given(fan_out=st.integers(1, 6), n_products=st.integers(4, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_slo_tracking_never_changes_results_or_counters(
+        self, fan_out, n_products
+    ):
+        def run(enabled):
+            workload = make_website_workload(n_products, seed=23,
+                                             extended=True)
+            clock = workload.registry.clock
+            slo = None
+            if enabled:
+                slo = SloTracker(clock, policies=[
+                    SloPolicy("a", "availability", 0.99),
+                    SloPolicy("p", "latency_p95", 500.0),
+                ], detector=RegressionDetector(clock, min_baseline=2))
+            engine = NimbleEngine(workload.catalog,
+                                  max_parallel_fetches=fan_out, slo=slo)
+            results = []
+            for text in (STOCK_QUERY, PAGE_QUERY, STOCK_QUERY):
+                results.append(engine.query(text))
+                if slo is not None:
+                    before = clock.now
+                    slo.evaluate()
+                    slo.detector.regressions()
+                    assert clock.now == before
+            return results
+
+        for off, on in zip(run(enabled=False), run(enabled=True)):
+            assert signature(off) == signature(on)
+            assert off.completeness.complete == on.completeness.complete
+            assert off.stats.counters() == on.stats.counters()
+            assert off.stats.elapsed_virtual_ms == on.stats.elapsed_virtual_ms
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_perturbation_under_faults(self, seed):
+        def run(enabled):
+            workload = make_website_workload(8, seed=23, extended=True)
+            clock = workload.registry.clock
+            workload.registry.get("erp").faults = FaultModel(
+                failure_rate=0.4, seed=seed
+            )
+            slo = SloTracker(clock) if enabled else None
+            engine = NimbleEngine(
+                workload.catalog,
+                slo=slo,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=3, base_backoff_ms=20.0,
+                                      jitter=0.0),
+                    breaker=None,
+                ),
+            )
+            return [engine.query(STOCK_QUERY) for _ in range(4)]
+
+        for off, on in zip(run(enabled=False), run(enabled=True)):
+            assert signature(off) == signature(on)
+            assert off.stats.counters() == on.stats.counters()
+            assert off.stats.elapsed_virtual_ms == on.stats.elapsed_virtual_ms
