@@ -1,0 +1,582 @@
+"""E14 — overload protection: admission control, brownout, hedging.
+
+An open-loop arrival storm against a three-instance cluster of the
+extended web-site workload.  Four promises, each measured:
+
+* **goodput plateau** — with the admission controller and load shedder
+  wired, goodput (queries served within the latency objective) stays
+  near its peak as the offered rate sweeps past saturation; without
+  them the same storm drives the backlog unbounded and goodput
+  collapses;
+* **priority isolation** — HIGH traffic's p95 end-to-end latency stays
+  inside its SLO while the storm rages, because the inverted
+  queue-wait bounds shed BACKGROUND/LOW work first (>= 90% of sheds);
+* **operator visibility** — the brownout ladder climbs as the error
+  budget burns, the ``overload_shedding`` alert fires, and it resolves
+  during the cooldown once the bad observations age out of the window;
+* **zero overhead** — a controller configured never to trigger
+  (thresholds at zero, infinite queue-wait bounds, hedging disabled)
+  reproduces the unguarded run bit-identically.
+
+A separate section measures request hedging: with a replica registered
+for a slow source, the adaptive p95-based hedge launches a backup fetch
+and first-result-wins cuts the steady-state fetch latency roughly in
+half.
+
+Artifact: ``BENCH_e14_overload.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import BenchStats, percentile, print_table, write_bench_json
+
+from repro import (
+    AdmissionController,
+    AlertManager,
+    Catalog,
+    EngineCluster,
+    FallbackRegistry,
+    HedgePolicy,
+    LoadShedder,
+    MetricsRegistry,
+    NetworkModel,
+    NimbleEngine,
+    Priority,
+    SimClock,
+    SloPolicy,
+    SloTracker,
+    SourceRegistry,
+    XMLSource,
+    default_rules,
+)
+from repro.admin.replication import DataAdministrator
+from repro.optimizer.decomposer import decompose
+from repro.query.binder import bind_query
+from repro.query.parser import parse_query
+from repro.workloads import make_website_workload
+
+#: ~80% of arrivals: one cheap single-source lookup
+CHEAP_QUERY = (
+    'WHERE <s><sku>$s</sku><price>$p</price></s> IN "stock" '
+    "CONSTRUCT <r sku=$s>$p</r>"
+)
+#: ~20% of arrivals: the four-source page fan-out; ``promo`` (the
+#: marketing source) is the sheddable lens under brownout
+HEAVY_QUERY = (
+    'WHERE <product sku=$s category=$c><name>$n</name></product> '
+    'IN "content.products", '
+    '<t><sku>$s</sku><price>$p</price></t> IN "stock", '
+    '<t><sku>$s</sku><ship_days>$d</ship_days></t> IN "shipping_estimate", '
+    '<t><sku>$s</sku><discount>$disc</discount></t> IN "promo" '
+    "CONSTRUCT <row sku=$s><price>$p</price><ship>$d</ship>"
+    "<disc>$disc</disc></row> ORDER BY $s"
+)
+
+N_PRODUCTS = 40
+SEED = 23
+INSTANCES = 3
+STORM_QUERIES = 400
+EQUIVALENCE_QUERIES = 120
+RATES = (0.5, 1.0, 1.5, 2.0)
+HEAVY_FRACTION = 0.2
+#: arrival priority mix (no CRITICAL: that lane never sheds by design)
+PRIORITY_MIX = (
+    (Priority.BACKGROUND, 0.30),
+    (Priority.LOW, 0.25),
+    (Priority.NORMAL, 0.30),
+    (Priority.HIGH, 0.15),
+)
+#: the SLO window, in serial (engine-clock) milliseconds
+SLO_WINDOW_MS = 20_000.0
+
+BENCH_STATS = BenchStats()
+
+
+def make_workload():
+    return make_website_workload(N_PRODUCTS, seed=SEED, extended=True)
+
+
+# -- (a) capacity calibration -------------------------------------------------
+
+
+def measure_capacity() -> dict:
+    """Sequential service times for the mix; capacity of the cluster."""
+    workload = make_workload()
+    engine = NimbleEngine(workload.catalog)
+    clock = workload.clock
+
+    def timed(text: str) -> float:
+        before = clock.now
+        BENCH_STATS.absorb(engine.query(text))
+        return clock.now - before
+
+    timed(CHEAP_QUERY)  # warm the plan cache
+    timed(HEAVY_QUERY)
+    cheap_ms = sum(timed(CHEAP_QUERY) for _ in range(8)) / 8
+    heavy_ms = sum(timed(HEAVY_QUERY) for _ in range(8)) / 8
+    mean_ms = (1 - HEAVY_FRACTION) * cheap_ms + HEAVY_FRACTION * heavy_ms
+    return {
+        "cheap_service_ms": cheap_ms,
+        "heavy_service_ms": heavy_ms,
+        "mean_service_ms": mean_ms,
+        "capacity_qps": INSTANCES * 1000.0 / mean_ms,
+    }
+
+
+def control_knobs(cal: dict) -> tuple[dict, float, float]:
+    """Queue-wait bounds, goodput bound, and the HIGH SLO, all scaled
+    to the measured service times so the experiment is self-calibrating.
+
+    The goodput bound sits *below* where the admission bounds alone
+    would let the backlog stabilize, so a sustained storm burns the
+    latency error budget and walks the brownout ladder — the admission
+    gate and the shedder each get to act.
+    """
+    mean, heavy = cal["mean_service_ms"], cal["heavy_service_ms"]
+    bounds = {
+        Priority.BACKGROUND: 2 * mean,
+        Priority.LOW: 4 * mean,
+        Priority.NORMAL: 8 * mean,
+        Priority.HIGH: 16 * mean,
+        Priority.CRITICAL: math.inf,
+    }
+    good_ms = 2 * mean + 2 * heavy
+    high_slo_ms = 16 * mean + 3 * heavy
+    return bounds, good_ms, high_slo_ms
+
+
+# -- (b) the open-loop storm sweep --------------------------------------------
+
+
+def make_schedule(rate_qps: float, seed: int,
+                  count: int = STORM_QUERIES) -> list:
+    """Seeded open-loop arrivals: exponential interarrivals, the
+    cheap/heavy query mix, and the priority mix."""
+    rng = random.Random(seed)
+    schedule = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(rate_qps) * 1000.0
+        text = HEAVY_QUERY if rng.random() < HEAVY_FRACTION else CHEAP_QUERY
+        draw = rng.random()
+        cumulative = 0.0
+        priority = PRIORITY_MIX[-1][0]
+        for candidate, share in PRIORITY_MIX:
+            cumulative += share
+            if draw < cumulative:
+                priority = candidate
+                break
+        schedule.append((t, text, priority))
+    return schedule
+
+
+def alert_pass(manager, tracker, shedder) -> list:
+    """One alerting pass over the cluster-side SLO + shedder context."""
+    context = {
+        "slo_statuses": tracker.evaluate(),
+        "overload": shedder.snapshot(),
+    }
+    return [
+        (transition.rule, transition.state)
+        for transition in manager.evaluate(context)
+    ]
+
+
+def run_storm(rate_mult: float, controlled: bool, cal: dict) -> dict:
+    workload = make_workload()
+    clock = workload.clock
+    engine = NimbleEngine(workload.catalog)
+    bounds, good_ms, high_slo_ms = control_knobs(cal)
+    tracker = shedder = admission = manager = None
+    if controlled:
+        tracker = SloTracker(clock, policies=[
+            SloPolicy("fleet_latency", "latency_p95", good_ms,
+                      window_ms=SLO_WINDOW_MS),
+        ])
+        shedder = LoadShedder(
+            tracker,
+            policy_names={"fleet_latency"},
+            min_window_queries=8,
+            sheddable_sources={"marketing"},
+        )
+        admission = AdmissionController(
+            clock,
+            max_concurrent=4 * INSTANCES,
+            queue_capacity=64,
+            max_queue_wait_ms=bounds,
+        )
+        manager = AlertManager(clock)
+        for rule in default_rules():
+            manager.add_rule(rule)
+    cluster = EngineCluster(
+        engine,
+        instances=INSTANCES,
+        strategy="least_loaded",
+        admission=admission,
+        shedder=shedder,
+        slo=tracker,
+    )
+
+    rate_qps = rate_mult * cal["capacity_qps"]
+    schedule = make_schedule(rate_qps, seed=1000 + int(rate_mult * 10))
+    overload_events: list = []
+    peak_level = 0
+    for arrival, text, priority in schedule:
+        record = cluster.offer(text, arrival, priority=priority)
+        if not record.rejected:
+            BENCH_STATS.absorb(record.result)
+        if manager is not None:
+            overload_events.extend(
+                event for event in alert_pass(manager, tracker, shedder)
+                if event[0] == "overload_shedding"
+            )
+            peak_level = max(peak_level, int(shedder.level))
+
+    storm_end = schedule[-1][0]
+    storm_completed = list(cluster.completed)
+    storm_rejected = list(cluster.rejected)
+
+    # cooldown: age the bad observations out of the SLO window, then
+    # run a trickle of healthy traffic so the ladder walks back to
+    # NORMAL and the overload alert resolves
+    still_firing = 0
+    if manager is not None:
+        clock.advance(1.5 * SLO_WINDOW_MS)
+        resume = max(i.free_at_ms for i in cluster.instances) + 1_000.0
+        for step in range(10):
+            record = cluster.offer(CHEAP_QUERY, resume + 1_000.0 * step,
+                                   priority=Priority.NORMAL)
+            if not record.rejected:
+                BENCH_STATS.absorb(record.result)
+            overload_events.extend(
+                event for event in alert_pass(manager, tracker, shedder)
+                if event[0] == "overload_shedding"
+            )
+        still_firing = sum(
+            1 for alert in manager.active()
+            if alert.rule == "overload_shedding"
+        )
+
+    span_s = storm_end / 1000.0
+    latencies = [r.latency_ms for r in storm_completed]
+    good = sum(1 for value in latencies if value <= good_ms)
+    high = [r.latency_ms for r in storm_completed
+            if r.priority == Priority.HIGH]
+    shed_counts = Counter(r.priority.name for r in storm_rejected)
+    return {
+        "rate": rate_mult,
+        "controlled": controlled,
+        "offered": len(schedule),
+        "served": len(storm_completed),
+        "rejected": len(storm_rejected),
+        "good": good,
+        "goodput_qps": good / span_s,
+        "p95_ms": percentile(latencies, 0.95),
+        "high_p95_ms": percentile(high, 0.95),
+        "high_served": len(high),
+        "degraded": sum(
+            1 for r in storm_completed if not r.result.completeness.complete
+        ),
+        "shed_by_priority": dict(shed_counts),
+        "peak_level": peak_level,
+        "overload_events": overload_events,
+        "still_firing": still_firing,
+        "good_ms": good_ms,
+        "high_slo_ms": high_slo_ms,
+    }
+
+
+def run_sweep(cal: dict) -> dict:
+    cells = {}
+    for rate in RATES:
+        for controlled in (False, True):
+            cells[(rate, controlled)] = run_storm(rate, controlled, cal)
+    return cells
+
+
+# -- (c) hedged fetches cut the steady-state tail -----------------------------
+
+FEED_QUERY = (
+    'WHERE <item><v>$v</v></item> IN "feed.data" CONSTRUCT <out>$v</out>'
+)
+HEDGE_RUNS = 12
+FEED_LATENCY_MS = 60.0
+
+
+def run_hedging_section() -> dict:
+    def _run(hedged: bool) -> dict:
+        clock = SimClock()
+        registry = SourceRegistry(clock)
+        doc = ("<feed>"
+               + "".join(f"<item><v>v{i}</v></item>" for i in range(6))
+               + "</feed>")
+        registry.register(XMLSource(
+            "feed", {"data": doc},
+            network=NetworkModel(latency_ms=FEED_LATENCY_MS, per_row_ms=0.4),
+        ))
+        catalog = Catalog(registry)
+        fragment = decompose(
+            bind_query(parse_query(FEED_QUERY)), catalog
+        ).units[0].fragment
+        admin = DataAdministrator(clock)
+        admin.add_job("copy", registry.get("feed"), fragment, "replica_feed",
+                      period_ms=600_000.0)
+        admin.run_job("copy")
+        fallbacks = FallbackRegistry()
+        admin.register_fallbacks(fallbacks)
+        engine = NimbleEngine(
+            catalog,
+            fallbacks=fallbacks,
+            metrics=MetricsRegistry(),
+            hedging=(HedgePolicy(min_samples=1, delay_factor=0.5)
+                     if hedged else None),
+        )
+        BENCH_STATS.absorb(engine.query(FEED_QUERY))  # seed the histogram
+        latencies = []
+        launched = won = 0
+        for _ in range(HEDGE_RUNS):
+            before = clock.now
+            result = BENCH_STATS.absorb(engine.query(FEED_QUERY))
+            latencies.append(clock.now - before)
+            launched += result.stats.hedges_launched
+            won += result.stats.hedges_won
+        return {
+            "mean_ms": sum(latencies) / len(latencies),
+            "p95_ms": percentile(latencies, 0.95),
+            "launched": launched,
+            "won": won,
+        }
+
+    plain = _run(hedged=False)
+    hedged = _run(hedged=True)
+    return {"plain": plain, "hedged": hedged}
+
+
+# -- (d) a never-triggering controller is bit-identical to none --------------
+
+
+def run_equivalence_section(cal: dict) -> dict:
+    _, good_ms, _ = control_knobs(cal)
+
+    def _run(guarded: bool) -> dict:
+        workload = make_workload()
+        clock = workload.clock
+        engine = NimbleEngine(workload.catalog)
+        tracker = shedder = admission = None
+        if guarded:
+            tracker = SloTracker(clock, policies=[
+                SloPolicy("fleet_latency", "latency_p95", good_ms,
+                          window_ms=SLO_WINDOW_MS),
+            ])
+            # thresholds at zero can never exceed a non-negative
+            # remaining budget; infinite bounds never refuse a queue
+            shedder = LoadShedder(
+                tracker,
+                thresholds=(0.0, 0.0, 0.0, 0.0),
+                min_window_queries=1,
+                sheddable_sources={"marketing"},
+            )
+            admission = AdmissionController(
+                clock,
+                max_concurrent=100_000,
+                queue_capacity=100_000,
+                max_queue_wait_ms={p: math.inf for p in Priority},
+            )
+        cluster = EngineCluster(
+            engine,
+            instances=INSTANCES,
+            strategy="least_loaded",
+            admission=admission,
+            shedder=shedder,
+            slo=tracker,
+        )
+        schedule = make_schedule(cal["capacity_qps"], seed=SEED + 977,
+                                 count=EQUIVALENCE_QUERIES)
+        trace = []
+        totals = None
+        for arrival, text, priority in schedule:
+            record = cluster.offer(text, arrival, priority=priority)
+            assert not record.rejected, "the guard config must never trigger"
+            result = BENCH_STATS.absorb(record.result)
+            trace.append((
+                record.instance, record.arrival_ms, record.start_ms,
+                record.completion_ms, len(result.elements),
+            ))
+            if totals is None:
+                totals = result.stats.__class__()
+            totals.absorb(result.stats)
+        return {
+            "trace": trace,
+            "counters": totals.counters(),
+            "clock": clock.now,
+            "sheds": 0 if shedder is None else shedder.shed_queries,
+            "rejections": (0 if admission is None
+                           else admission.rejected_total),
+        }
+
+    off = _run(guarded=False)
+    on = _run(guarded=True)
+    return {
+        "identical": int(
+            off["trace"] == on["trace"]
+            and off["counters"] == on["counters"]
+            and off["clock"] == on["clock"]
+        ),
+        "guard_sheds": on["sheds"],
+        "guard_rejections": on["rejections"],
+    }
+
+
+# -- assembly -----------------------------------------------------------------
+
+
+def run_experiment() -> list[list]:
+    BENCH_STATS.reset()
+    cal = measure_capacity()
+    cells = run_sweep(cal)
+    hedging = run_hedging_section()
+    equivalence = run_equivalence_section(cal)
+
+    rows: list[list] = [
+        ["capacity qps", round(cal["capacity_qps"], 2),
+         f"mean service {cal['mean_service_ms']:.0f}ms "
+         f"(cheap {cal['cheap_service_ms']:.0f}, "
+         f"heavy {cal['heavy_service_ms']:.0f})"],
+    ]
+    for rate in RATES:
+        for controlled in (False, True):
+            cell = cells[(rate, controlled)]
+            mode = "on" if controlled else "off"
+            rows.append([
+                f"goodput qps ({rate:.1f}x, {mode})",
+                round(cell["goodput_qps"], 2),
+                f"served {cell['served']}/{cell['offered']}, "
+                f"good {cell['good']}, shed {cell['rejected']}, "
+                f"p95 {cell['p95_ms']:.0f}ms",
+            ])
+
+    def retention(controlled: bool) -> float:
+        goodputs = {rate: cells[(rate, controlled)]["goodput_qps"]
+                    for rate in RATES}
+        peak = max(goodputs.values())
+        return goodputs[2.0] / peak if peak else 0.0
+
+    storm = cells[(2.0, True)]
+    shed_totals = Counter()
+    for rate in RATES:
+        shed_totals.update(cells[(rate, True)]["shed_by_priority"])
+    total_sheds = sum(shed_totals.values())
+    low_sheds = (shed_totals.get("BACKGROUND", 0)
+                 + shed_totals.get("LOW", 0))
+    fired = sum(1 for _, state in storm["overload_events"]
+                if state == "firing")
+    resolved = sum(1 for _, state in storm["overload_events"]
+                   if state == "resolved")
+    rows += [
+        ["goodput retention at 2.0x (on)", round(retention(True), 3),
+         "vs controlled peak"],
+        ["goodput retention at 2.0x (off)", round(retention(False), 3),
+         "vs uncontrolled peak"],
+        ["high p95 ms (2.0x, on)", round(storm["high_p95_ms"], 1),
+         f"slo {storm['high_slo_ms']:.0f}ms over "
+         f"{storm['high_served']} served"],
+        ["high p95 within slo (2.0x, on)",
+         int(storm["high_p95_ms"] <= storm["high_slo_ms"]), ""],
+        ["sheds at background/low priority",
+         round(low_sheds / total_sheds, 3) if total_sheds else 1.0,
+         f"{low_sheds}/{total_sheds} across controlled cells"],
+        ["peak brownout level (2.0x, on)", storm["peak_level"], ""],
+        ["degraded answers (2.0x, on)", storm["degraded"],
+         "lens-shed but served"],
+        ["overload alerts fired (2.0x, on)", fired, ""],
+        ["overload alerts resolved (2.0x, on)", resolved, ""],
+        ["overload alerts still firing", storm["still_firing"], ""],
+        ["unhedged mean fetch ms", round(hedging["plain"]["mean_ms"], 1),
+         f"p95 {hedging['plain']['p95_ms']:.1f}ms"],
+        ["hedged mean fetch ms", round(hedging["hedged"]["mean_ms"], 1),
+         f"p95 {hedging['hedged']['p95_ms']:.1f}ms"],
+        ["hedges launched", hedging["hedged"]["launched"],
+         f"of {HEDGE_RUNS} runs"],
+        ["hedges won", hedging["hedged"]["won"], ""],
+        ["never-trigger run identical", equivalence["identical"], ""],
+        ["never-trigger sheds", equivalence["guard_sheds"], ""],
+        ["never-trigger rejections", equivalence["guard_rejections"], ""],
+    ]
+    return rows
+
+
+def report():
+    rows = run_experiment()
+    print_table(
+        "E14: overload protection (open-loop storm, virtual clock)",
+        ["metric", "value", "detail"],
+        rows,
+    )
+    by_metric = {row[0]: row for row in rows}
+    write_bench_json(
+        "e14_overload",
+        ["metric", "value", "detail"],
+        rows,
+        headline={
+            "capacity_qps": by_metric["capacity qps"][1],
+            "goodput_retention_on_2x":
+                by_metric["goodput retention at 2.0x (on)"][1],
+            "goodput_retention_off_2x":
+                by_metric["goodput retention at 2.0x (off)"][1],
+            "high_p95_within_slo":
+                by_metric["high p95 within slo (2.0x, on)"][1],
+            "background_low_shed_fraction":
+                by_metric["sheds at background/low priority"][1],
+            "overload_alerts_fired":
+                by_metric["overload alerts fired (2.0x, on)"][1],
+            "overload_alerts_resolved":
+                by_metric["overload alerts resolved (2.0x, on)"][1],
+            "never_trigger_identical":
+                by_metric["never-trigger run identical"][1],
+        },
+        stats=BENCH_STATS,
+    )
+    return rows
+
+
+def test_e14_overload(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_metric = {row[0]: row for row in rows}
+    on_2x = by_metric["goodput qps (2.0x, on)"][1]
+    off_2x = by_metric["goodput qps (2.0x, off)"][1]
+    # (a) goodput plateaus past saturation with the controller, and
+    # collapses without it
+    assert by_metric["goodput retention at 2.0x (on)"][1] >= 0.8
+    assert by_metric["goodput retention at 2.0x (off)"][1] <= 0.6
+    assert on_2x > off_2x
+    # (b) priority isolation: HIGH stays inside its SLO and the sheds
+    # land overwhelmingly on BACKGROUND/LOW traffic
+    assert by_metric["high p95 within slo (2.0x, on)"][1] == 1
+    assert by_metric["sheds at background/low priority"][1] >= 0.9
+    # (c) the ladder climbed, the alert fired, and it resolved
+    assert by_metric["peak brownout level (2.0x, on)"][1] >= 1
+    assert by_metric["overload alerts fired (2.0x, on)"][1] >= 1
+    assert by_metric["overload alerts resolved (2.0x, on)"][1] >= 1
+    assert by_metric["overload alerts still firing"][1] == 0
+    # (d) hedging cuts the steady-state fetch latency
+    assert (by_metric["hedged mean fetch ms"][1]
+            < by_metric["unhedged mean fetch ms"][1])
+    assert by_metric["hedges launched"][1] == HEDGE_RUNS
+    assert by_metric["hedges won"][1] == HEDGE_RUNS
+    # (e) the guard rails cost nothing when they never trigger
+    assert by_metric["never-trigger run identical"][1] == 1
+    assert by_metric["never-trigger sheds"][1] == 0
+    assert by_metric["never-trigger rejections"][1] == 0
+    report()
+
+
+if __name__ == "__main__":
+    report()

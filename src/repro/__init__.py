@@ -52,12 +52,18 @@ from repro.observability import (
     prometheus_exposition,
     write_slo_report,
 )
+from repro.errors import OverloadError, QueryRejected
 from repro.optimizer import CostModel
 from repro.resilience import (
+    AdmissionController,
     BreakerConfig,
+    BrownoutLevel,
     CircuitBreaker,
     FallbackRegistry,
     FaultModel,
+    HedgePolicy,
+    LoadShedder,
+    Priority,
     ResiliencePolicy,
     RetryPolicy,
 )
@@ -79,10 +85,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessController",
+    "AdmissionController",
     "AlertManager",
     "AlertRule",
     "AvailabilityModel",
     "BreakerConfig",
+    "BrownoutLevel",
     "Catalog",
     "CircuitBreaker",
     "Completeness",
@@ -95,16 +103,21 @@ __all__ = [
     "EngineCluster",
     "FlakySource",
     "FragmentResultCache",
+    "HedgePolicy",
     "HierarchicalSource",
     "Lens",
     "LensServer",
+    "LoadShedder",
     "MaterializationManager",
     "MediatedSchema",
     "MetricsRegistry",
     "NetworkModel",
     "NimbleEngine",
+    "OverloadError",
     "PartialResultPolicy",
+    "Priority",
     "QueryLog",
+    "QueryRejected",
     "QueryResult",
     "Record",
     "RefreshPolicy",

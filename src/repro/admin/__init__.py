@@ -22,6 +22,7 @@ from repro.admin.console import ManagementConsole
 from repro.admin.monitor import (
     CacheMonitor,
     HealthMonitor,
+    OverloadMonitor,
     SloMonitor,
     SourceHealth,
     TraceMonitor,
@@ -33,6 +34,7 @@ __all__ = [
     "DataAdministrator",
     "HealthMonitor",
     "ManagementConsole",
+    "OverloadMonitor",
     "ReplicationJob",
     "SloMonitor",
     "SourceHealth",

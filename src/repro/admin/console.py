@@ -14,6 +14,7 @@ from typing import Any
 from repro.admin.monitor import (
     CacheMonitor,
     HealthMonitor,
+    OverloadMonitor,
     SloMonitor,
     TraceMonitor,
 )
@@ -35,6 +36,7 @@ class ManagementConsole:
         cache_monitor: CacheMonitor | None = None,
         trace_monitor: TraceMonitor | None = None,
         slo_monitor: SloMonitor | None = None,
+        overload_monitor: OverloadMonitor | None = None,
     ):
         self.engine = engine
         self.monitor = monitor
@@ -42,6 +44,7 @@ class ManagementConsole:
         self.cache_monitor = cache_monitor
         self.trace_monitor = trace_monitor
         self.slo_monitor = slo_monitor
+        self.overload_monitor = overload_monitor
 
     # -- structured report ---------------------------------------------------
 
@@ -136,6 +139,8 @@ class ManagementConsole:
             report["observability"] = self.trace_monitor.snapshot()
         if self.slo_monitor is not None:
             report["slo"] = self.slo_monitor.snapshot()
+        if self.overload_monitor is not None:
+            report["overload"] = self.overload_monitor.snapshot()
         return report
 
     # -- text rendering ---------------------------------------------------------
@@ -248,5 +253,43 @@ class ManagementConsole:
                     f"  [ALERT:{alert['severity']}] "
                     f"{alert['rule']}/{alert['key']} "
                     f"since {alert['fired_at_ms']:.0f} ms"
+                )
+        if "overload" in report:
+            info = report["overload"]
+            lines.append("")
+            shedder = info.get("shedder")
+            if shedder is not None:
+                lines.append(
+                    f"overload: brownout {shedder['level_name']} "
+                    f"(budget {shedder['budget_remaining']:.0%} remaining, "
+                    f"{shedder['shed_queries']} shed)"
+                )
+            else:
+                lines.append("overload: shedder off")
+            admission = info.get("admission")
+            if admission is not None:
+                lines.append(
+                    f"  admission: {admission['in_flight']} in flight, "
+                    f"queue depth {admission['queue_depth']}, "
+                    f"{admission['rejected_total']} rejected, "
+                    f"{admission['queue_timeouts']} queue timeouts"
+                )
+            hedging = info.get("hedging")
+            if hedging is not None:
+                state = "on" if hedging["enabled"] else "off"
+                lines.append(
+                    f"  hedging: {state} "
+                    f"(p95 x {hedging['delay_factor']}, "
+                    f"clamp [{hedging['min_delay_ms']:.0f}, "
+                    f"{hedging['max_delay_ms']:.0f}] ms)"
+                )
+            cluster = info.get("cluster")
+            if cluster is not None:
+                lines.append(
+                    f"  fleet: {cluster['completed']} completed, "
+                    f"{cluster['rejected']} rejected, "
+                    f"{cluster['rerouted']} rerouted, "
+                    f"backlog {cluster['queue_wait_ms']:.0f} ms "
+                    f"across {cluster['queue_depth']} instances"
                 )
         return "\n".join(lines)

@@ -226,6 +226,9 @@ class SloMonitor:
                 name: breaker.state.value
                 for name, breaker in sorted(resilient.breakers.items())
             }
+        shedder = getattr(self.engine, "shedder", None)
+        if shedder is not None:
+            context["overload"] = shedder.snapshot()
         return context
 
     def evaluate(self) -> list[Any]:
@@ -273,3 +276,54 @@ class SloMonitor:
             registries=registries,
             clock_ms=self.engine.clock.now,
         )
+
+
+class OverloadMonitor:
+    """Surfaces the overload-protection layer for the console.
+
+    Fifth of the monitors: where :class:`SloMonitor` answers *are we
+    keeping our promises*, this one answers *what are we doing about it
+    when we cannot* — the admission controller's token pool and queues,
+    the load shedder's brownout rung and shed counts, the hedging
+    policy's knobs, and (when dispatching through a cluster) the fleet's
+    backlog and rejection tallies.
+    """
+
+    def __init__(self, engine, cluster=None):
+        self.engine = engine
+        self.cluster = cluster
+
+    def snapshot(self) -> dict[str, Any]:
+        """Admission, shedding, hedging, and fleet state in one dict."""
+        engine = self.engine
+        report: dict[str, Any] = {
+            "admission": None,
+            "shedder": None,
+            "hedging": None,
+        }
+        admission = getattr(engine, "admission", None)
+        if admission is not None:
+            report["admission"] = admission.snapshot()
+        shedder = getattr(engine, "shedder", None)
+        if shedder is not None:
+            report["shedder"] = shedder.snapshot()
+        hedging = getattr(engine, "hedging", None)
+        if hedging is not None:
+            report["hedging"] = {
+                "enabled": hedging.enabled,
+                "delay_factor": hedging.delay_factor,
+                "min_delay_ms": hedging.min_delay_ms,
+                "max_delay_ms": hedging.max_delay_ms,
+                "min_samples": hedging.min_samples,
+            }
+        if engine.metrics is not None:
+            snapshot = engine.metrics.snapshot()
+            report["queries_rejected"] = (
+                snapshot.get("counters", {}).get("queries_rejected", 0)
+            )
+            report["brownout_level_gauge"] = (
+                snapshot.get("gauges", {}).get("overload.brownout_level")
+            )
+        if self.cluster is not None:
+            report["cluster"] = self.cluster.overload_snapshot()
+        return report

@@ -92,6 +92,8 @@ class CachedResult:
     records: list[Record]
     containment: bool = False
     residual_conditions: int = 0
+    #: the entry had outlived its TTL and was served anyway (brownout)
+    stale: bool = False
 
 
 class FragmentResultCache:
@@ -112,6 +114,7 @@ class FragmentResultCache:
         default_policy: RefreshPolicy | None = None,
         policies: Mapping[str, RefreshPolicy] | None = None,
         containment: bool = True,
+        keep_expired: bool = False,
     ):
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
@@ -121,6 +124,11 @@ class FragmentResultCache:
         self.default_policy = default_policy or RefreshPolicy.ttl(60_000.0)
         self.policies = dict(policies or {})
         self.containment = containment
+        #: keep TTL-expired entries resident (LRU/epoch still evict) so
+        #: :meth:`lookup_stale` can serve them as degraded reads; off by
+        #: default — expired entries are dropped the moment a lookup
+        #: touches them
+        self.keep_expired = keep_expired
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         #: access_key -> entry keys, for containment scans (param-less only)
         self._by_access: dict[str, list[str]] = {}
@@ -131,6 +139,7 @@ class FragmentResultCache:
         self.evictions = 0
         self.insertions = 0
         self.oversize_rejects = 0
+        self.stale_hits = 0
         #: set by the owning engine's ``use_tracer``; lookup outcomes
         #: land as events on the enclosing fetch span
         self.tracer: Tracer = NULL_TRACER
@@ -152,7 +161,8 @@ class FragmentResultCache:
         entry = self._entries.get(key)
         if entry is not None:
             if not self._live(entry, epoch):
-                self._drop(key)
+                if entry.epoch != epoch or not self.keep_expired:
+                    self._drop(key)
             else:
                 self._entries.move_to_end(key)
                 entry.hits += 1
@@ -169,6 +179,34 @@ class FragmentResultCache:
         self.tracer.event("cache_miss", source=fragment.source)
         return None
 
+    def lookup_stale(
+        self,
+        fragment: Fragment,
+        params: Mapping[str, Any] | None,
+        epoch: Any,
+    ) -> CachedResult | None:
+        """Serve an *expired* exact entry (brownout serve-stale rung).
+
+        The normal :meth:`lookup` runs first and has already counted its
+        miss; this second chance ignores the TTL — only the catalog
+        epoch still invalidates (a schema change makes old rows wrong,
+        not merely old).  Hits count in ``stale_hits``, never in
+        ``hits``/``misses``, so cache-efficiency accounting is
+        undisturbed by brownout serving.
+        """
+        key = result_key(fragment, params)
+        entry = self._entries.get(key)
+        if entry is None or entry.epoch != epoch:
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.stale_hits += 1
+        self._charge_local(len(entry.records))
+        self.tracer.event("cache_stale_serve", source=fragment.source,
+                          rows=len(entry.records))
+        return CachedResult(list(entry.records),
+                            stale=not entry.is_fresh(self.clock.now))
+
     def _serve_by_containment(
         self, fragment: Fragment, epoch: Any
     ) -> CachedResult | None:
@@ -177,7 +215,8 @@ class FragmentResultCache:
             if entry is None:
                 continue
             if not self._live(entry, epoch):
-                self._drop(key)
+                if entry.epoch != epoch or not self.keep_expired:
+                    self._drop(key)
                 continue
             answers, residual = matches(entry.fragment, fragment)
             if not answers:
@@ -318,6 +357,7 @@ class FragmentResultCache:
             "evictions": self.evictions,
             "insertions": self.insertions,
             "oversize_rejects": self.oversize_rejects,
+            "stale_hits": self.stale_hits,
         }
 
     def __len__(self) -> int:

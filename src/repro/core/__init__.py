@@ -9,13 +9,19 @@ partial-results handling) -> construct (XML results) -> format (lenses).
 
 from repro.core.engine import EngineStats, NimbleEngine, QueryResult
 from repro.core.partial import Completeness, PartialResultPolicy
-from repro.core.loadbalance import EngineCluster, EngineInstance
+from repro.core.loadbalance import (
+    CompletedQuery,
+    EngineCluster,
+    EngineInstance,
+    RejectedQuery,
+)
 from repro.core.lens import Lens, LensServer
 from repro.core.auth import AccessController, User
 from repro.core.formatting import DeviceFormatter, format_result
 
 __all__ = [
     "AccessController",
+    "CompletedQuery",
     "Completeness",
     "DeviceFormatter",
     "EngineCluster",
@@ -26,6 +32,7 @@ __all__ = [
     "NimbleEngine",
     "PartialResultPolicy",
     "QueryResult",
+    "RejectedQuery",
     "User",
     "format_result",
 ]

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import math
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any
 
@@ -11,7 +13,11 @@ from repro.cache.feedback import StatisticsFeedback
 from repro.cache.fragmentcache import FragmentResultCache
 from repro.cache.keys import params_key, result_key
 from repro.core.partial import Completeness, PartialResultPolicy
-from repro.errors import MediationError, SourceUnavailableError
+from repro.errors import (
+    MediationError,
+    QueryRejected,
+    SourceUnavailableError,
+)
 from repro.materialize.manager import MaterializationManager
 from repro.materialize.policy import RefreshPolicy
 from repro.mediator.catalog import Catalog
@@ -26,9 +32,11 @@ from repro.optimizer.planner import PlanBuilder, independent_fragment_units
 from repro.query import ast as qast
 from repro.query.binder import bind_query
 from repro.query.parser import parse_query
+from repro.resilience.admission import Admission, AdmissionController, Priority
 from repro.resilience.executor import ResiliencePolicy, ResilientExecutor
 from repro.resilience.fallback import FallbackRegistry
-from repro.simtime import SimClock, TaskGroup
+from repro.resilience.overload import HedgePolicy, LoadShedder
+from repro.simtime import SimClock, TaskGroup, Timeline
 from repro.sources.base import DataSource, Fragment, NetworkModel
 from repro.xmldm.nodes import Element
 from repro.xmldm.values import Record
@@ -58,6 +66,10 @@ class EngineStats:
     containment_hits: int = 0
     singleflight_dedups: int = 0
     estimate_feedback_updates: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    fragments_shed: int = 0
+    stale_cache_served: int = 0
     plan_text: str = ""
 
     #: integer counters folded into a parent query's stats (sub-queries
@@ -80,10 +92,19 @@ class EngineStats:
         "fragment_cache_evictions", "containment_hits",
         "singleflight_dedups", "estimate_feedback_updates",
     )
+    #: overload-protection accounting (hedging, brownout shedding);
+    #: excluded from ``counters()`` because hedging/shedding are load
+    #: adaptations — when they are off (the determinism-checked
+    #: configuration) every one of these is zero
+    _OVERLOAD_COUNTERS = (
+        "hedges_launched", "hedges_won", "fragments_shed",
+        "stale_cache_served",
+    )
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a sub-execution's counters into this one."""
-        for name in self._COUNTERS + self._SCHEDULE_COUNTERS + self._CACHE_COUNTERS:
+        for name in (self._COUNTERS + self._SCHEDULE_COUNTERS
+                     + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def counters(self) -> dict[str, int]:
@@ -94,16 +115,20 @@ class EngineStats:
         """The fragment-cache counters as a dict (cache experiments)."""
         return {name: getattr(self, name) for name in self._CACHE_COUNTERS}
 
-    def as_dict(self) -> dict[str, int]:
-        """Union of ``counters()``, schedule, and ``cache_counters()``.
+    def overload_counters(self) -> dict[str, int]:
+        """The overload-protection counters as a dict (storm experiments)."""
+        return {name: getattr(self, name) for name in self._OVERLOAD_COUNTERS}
 
-        Key order is the declaration order of the three tuples — stable
+    def as_dict(self) -> dict[str, int]:
+        """Union of every counter group.
+
+        Key order is the declaration order of the four tuples — stable
         across runs, so JSON emissions diff cleanly between PRs.
         """
         return {
             name: getattr(self, name)
             for name in self._COUNTERS + self._SCHEDULE_COUNTERS
-            + self._CACHE_COUNTERS
+            + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
         }
 
 
@@ -151,10 +176,12 @@ class _ExecutionContext:
 
     def __init__(self, engine: "NimbleEngine", policy: PartialResultPolicy,
                  required_sources: frozenset[str],
-                 deadline_at: float | None = None):
+                 deadline_at: float | None = None,
+                 priority: Priority = Priority.NORMAL):
         self.engine = engine
         self.policy = policy
         self.required_sources = required_sources
+        self.priority = Priority(priority)
         self.completeness = Completeness()
         self.stats = EngineStats()
         self._view_memo: dict[str, list[Element]] = {}
@@ -217,7 +244,8 @@ class _ExecutionContext:
         return []
 
     def _degraded_read(self, fragment: Fragment | None) -> list[Record] | None:
-        """Stale materialized fragment, then registered replica, or None."""
+        """Stale materialized fragment, then an expired fragment-cache
+        entry, then a registered replica, or None."""
         engine = self.engine
         if fragment is None:
             return None
@@ -227,6 +255,13 @@ class _ExecutionContext:
             served = engine.materializer.serve(fragment, allow_stale=True)
             if served is not None:
                 return served
+        if engine.fragment_cache is not None:
+            hit = engine.fragment_cache.lookup_stale(
+                fragment, None, engine.catalog.version
+            )
+            if hit is not None:
+                self.stats.stale_cache_served += 1
+                return hit.records
         if engine.fallbacks is not None:
             return engine.fallbacks.resolve(fragment)
         return None
@@ -316,6 +351,22 @@ class _ExecutionContext:
             if span.recording:
                 span.set(fragment=fragment.describe())
             cache = self._cache_for(source)
+            shedder = engine.shedder
+            if (cache is not None and shedder is not None
+                    and shedder.allow_stale):
+                # brownout serve-stale rung: an expired exact entry beats
+                # a remote call while the error budget is burning
+                hit = cache.lookup_stale(fragment, params,
+                                         engine.catalog.version)
+                if hit is not None:
+                    self.stats.stale_cache_served += 1
+                    if hit.stale:
+                        self.stats.stale_served += 1
+                        self.completeness.record_stale(source.name)
+                    if span.recording:
+                        span.set(served_from="fragment_cache_stale",
+                                 rows=len(hit.records))
+                    return hit.records
             if cache is not None:
                 hit = cache.lookup(fragment, params, engine.catalog.version)
                 if hit is not None:
@@ -334,6 +385,13 @@ class _ExecutionContext:
                     if span.recording:
                         span.set(served_from="materialized", rows=len(served))
                     return served
+            if self._should_shed(source.name):
+                self._shed_fragment(source.name, span)
+                return []
+            if params is None:
+                delay = self._hedge_delay(source, fragment)
+                if math.isfinite(delay):
+                    return self._hedged_fetch(unit, span, delay)
             network = source.network
             calls_before, rows_before = network.calls, network.rows_transferred
             started = engine.clock.now
@@ -362,6 +420,137 @@ class _ExecutionContext:
             if span.recording:
                 span.set(served_from="remote", rows=len(records))
             return records
+
+    # -- overload protection: shedding and hedging ---------------------------
+
+    def _should_shed(self, source_name: str) -> bool:
+        """Brownout shed-lenses rung: skip this optional source?"""
+        shedder = self.engine.shedder
+        return (
+            shedder is not None
+            and self.policy is not PartialResultPolicy.FAIL
+            and source_name not in self.required_sources
+            and shedder.should_shed_source(source_name, self.priority)
+        )
+
+    def _shed_fragment(self, source_name: str, span=None,
+                       probes: int = 1) -> None:
+        """Record one shed fetch decision (Completeness-annotated skip)."""
+        self.stats.fragments_shed += probes
+        self.stats.fragments_skipped += 1
+        self.completeness.record_skip(source_name)
+        self.engine.tracer.event("lens_shed", source=source_name)
+        if span is not None and span.recording:
+            span.set(served_from="shed")
+
+    def _hedge_delay(self, source: DataSource, fragment: Fragment) -> float:
+        """The virtual delay before a backup fetch fires, or ``inf``.
+
+        ``inf`` (don't hedge) when hedging is off, the brownout ladder
+        has disabled it, the source has too little latency history, or
+        no registered replica could answer the fragment.
+        """
+        engine = self.engine
+        if engine.hedging is None or engine.fallbacks is None:
+            return math.inf
+        shedder = engine.shedder
+        if shedder is not None and not shedder.allows_hedging:
+            return math.inf
+        delay = engine.hedging.delay_ms(engine.metrics, source.name)
+        if not math.isfinite(delay):
+            return math.inf
+        if not engine.fallbacks.has_replica(fragment):
+            return math.inf
+        return delay
+
+    def _hedged_fetch(self, unit: FragmentUnit, span,
+                      delay_ms: float) -> list[Record]:
+        """Race the primary fetch against a replica launched after
+        ``delay_ms``; first result wins, the straggler is cancelled.
+
+        The primary runs on a private timeline so the shared clock can
+        settle on the *winner's* completion instant (a ``TaskGroup``
+        would charge the max — the opposite of first-result-wins).
+        """
+        engine = self.engine
+        source, fragment = unit.source, unit.fragment
+        clock = engine.clock
+        network = source.network
+        calls_before, rows_before = network.calls, network.rows_transferred
+        start = clock.now
+        primary = Timeline(start, f"primary:{source.name}")
+        primary_error: SourceUnavailableError | None = None
+        records: list[Record] = []
+        try:
+            with clock.running(primary):
+                records = self.call_source(
+                    source, lambda: source.execute(fragment, None)
+                )
+        except SourceUnavailableError as error:
+            primary_error = error
+        primary_done = primary.now
+        elapsed = primary_done - start
+        hedge_at = start + delay_ms
+        if primary_error is None and engine.metrics is not None:
+            # the primary's *true* elapsed feeds the per-source
+            # histogram: recording the hedged (shorter) completion would
+            # shrink the adaptive delay toward min_delay in a loop
+            engine.metrics.histogram(
+                f"source.{source.name}.fetch_virtual_ms"
+            ).observe(elapsed)
+        if primary_done <= hedge_at:
+            # the primary settled (either way) before the hedge fired
+            clock.advance_to(primary_done)
+            self.charge_network(network, calls_before, rows_before)
+            if primary_error is not None:
+                return self.give_up(fragment, source.name, primary_error)
+            return self._finish_remote(unit, records, elapsed, span)
+        self.stats.hedges_launched += 1
+        engine.tracer.event("hedge_launched", source=source.name,
+                            delay_ms=delay_ms)
+        backup = engine.fallbacks.resolve(fragment)
+        if backup is not None:
+            # the replica resolves locally the moment it launches, so it
+            # finishes first: cancel the straggling primary (its network
+            # charges stand — the bytes were already in flight)
+            self.stats.hedges_won += 1
+            self.completeness.record_hedged(source.name)
+            engine.tracer.event("hedge_won", source=source.name)
+            clock.advance_to(hedge_at)
+            self.charge_network(network, calls_before, rows_before)
+            self._observe(fragment, len(backup))
+            cache = self._cache_for(source)
+            if cache is not None:
+                self.stats.fragment_cache_evictions += cache.insert(
+                    fragment, None, backup, engine.catalog.version
+                )
+            if span.recording:
+                span.set(served_from="hedge", rows=len(backup))
+            return backup
+        # the registered provider had nothing after all: wait it out
+        clock.advance_to(primary_done)
+        self.charge_network(network, calls_before, rows_before)
+        if primary_error is not None:
+            return self.give_up(fragment, source.name, primary_error)
+        return self._finish_remote(unit, records, elapsed, span)
+
+    def _finish_remote(self, unit: FragmentUnit, records: list[Record],
+                       cost: float, span) -> list[Record]:
+        """Post-remote bookkeeping shared by the hedged fetch path."""
+        engine = self.engine
+        self.stats.fragments_executed += 1
+        self._observe(unit.fragment, len(records))
+        if engine.materializer is not None:
+            engine.materializer.record_remote(unit.fragment, unit.source,
+                                              cost, len(records))
+        cache = self._cache_for(unit.source)
+        if cache is not None:
+            self.stats.fragment_cache_evictions += cache.insert(
+                unit.fragment, None, records, engine.catalog.version
+            )
+        if span.recording:
+            span.set(served_from="remote", rows=len(records))
+        return records
 
     def fetch_fragment_batch(
         self, unit: FragmentUnit, param_sets: list[dict[str, Any]]
@@ -428,6 +617,9 @@ class _ExecutionContext:
     ) -> list[list[Record]] | None:
         """The physical batched call; None signals a skipped failure."""
         source = unit.source
+        if self._should_shed(source.name):
+            self._shed_fragment(source.name, probes=len(param_sets))
+            return None
         network = source.network
         calls_before, rows_before = network.calls, network.rows_transferred
         started = self.engine.clock.now
@@ -555,12 +747,18 @@ class NimbleEngine:
         metrics: MetricsRegistry | None = None,
         query_log: QueryLog | None = None,
         slo: SloTracker | None = None,
+        admission: AdmissionController | None = None,
+        shedder: LoadShedder | None = None,
+        hedging: HedgePolicy | None = None,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
         self.metrics = metrics
         self.query_log = query_log
         self.slo = slo
+        self.admission = admission
+        self.shedder = shedder
+        self.hedging = hedging
         self.cost_model = cost_model or CostModel()
         self.materializer = materializer
         self.default_policy = default_policy
@@ -585,6 +783,9 @@ class NimbleEngine:
                 default_policy=RefreshPolicy.ttl(fragment_cache_ttl_ms),
                 policies=fragment_cache_policies,
                 containment=fragment_cache_containment,
+                # expired entries stay resident so brownout serve-stale
+                # and the degraded-read ladder can answer from them
+                keep_expired=True,
             )
             if fragment_cache_bytes > 0 else None
         )
@@ -646,19 +847,32 @@ class NimbleEngine:
         text: str | qast.Query,
         policy: PartialResultPolicy | None = None,
         required_sources: set[str] | None = None,
+        priority: Priority = Priority.NORMAL,
     ) -> QueryResult:
-        """Run one XML-QL query and return annotated results."""
+        """Run one XML-QL query and return annotated results.
+
+        ``priority`` feeds the overload-protection gate: under brownout
+        the shedder may refuse BACKGROUND/LOW work up front (raising
+        :class:`~repro.errors.QueryRejected` with a virtual-time
+        ``retry_after_ms``), and mid-query the brownout ladder may serve
+        stale or shed optional sources for lower-priority queries.  With
+        no admission controller or shedder wired, priority is inert.
+        """
         effective = policy or self.default_policy
         if required_sources and effective is not PartialResultPolicy.FAIL:
             effective = PartialResultPolicy.REQUIRE
-        return self._execute(text, effective,
-                             frozenset(required_sources or ()))
+        with self._admission_scope(priority):
+            result = self._execute(text, effective,
+                                   frozenset(required_sources or ()),
+                                   priority=priority)
+        return result
 
     def flwor_query(
         self,
         text: str,
         policy: PartialResultPolicy | None = None,
         required_sources: set[str] | None = None,
+        priority: Priority = Priority.NORMAL,
     ) -> QueryResult:
         """Run a FLWOR (XQuery-style) query over the same catalog.
 
@@ -676,9 +890,11 @@ class NimbleEngine:
         effective = policy or self.default_policy
         if required_sources and effective is not PartialResultPolicy.FAIL:
             effective = PartialResultPolicy.REQUIRE
+        admission = self._admit(priority)
         self.queries_run += 1
         context = _ExecutionContext(self, effective,
-                                    frozenset(required_sources or ()))
+                                    frozenset(required_sources or ()),
+                                    priority=priority)
 
         def resolver(name: str):
             resolved = self.catalog.resolve(name)
@@ -710,25 +926,36 @@ class NimbleEngine:
                     span.set(rows=len(items))
                 return items
 
-        with self.tracer.span("query", policy=effective.name,
-                              dialect="flwor") as root:
-            if root.recording:
-                root.set(query_hash=query_hash(text))
-            with self.tracer.span("parse"):
-                plan = translate_flwor(text, resolver)
-            started_virtual = self.clock.now
-            started_wall = time.perf_counter()
-            with self.tracer.span("execute"):
-                elements = plan.results()
-            context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
-            context.stats.elapsed_wall_ms = (
-                (time.perf_counter() - started_wall) * 1000
-            )
-            context.stats.plan_text = plan.explain()
-            if root.recording:
-                root.set(elapsed_virtual_ms=context.stats.elapsed_virtual_ms,
-                         rows=len(elements),
-                         complete=context.completeness.complete)
+        try:
+            with self.tracer.span("query", policy=effective.name,
+                                  dialect="flwor") as root:
+                if root.recording:
+                    root.set(query_hash=query_hash(text))
+                with self.tracer.span("parse"):
+                    plan = translate_flwor(text, resolver)
+                started_virtual = self.clock.now
+                started_wall = time.perf_counter()
+                with self.tracer.span("execute"):
+                    elements = plan.results()
+                context.stats.elapsed_virtual_ms = (
+                    self.clock.now - started_virtual
+                )
+                context.stats.elapsed_wall_ms = (
+                    (time.perf_counter() - started_wall) * 1000
+                )
+                context.stats.plan_text = plan.explain()
+                if root.recording:
+                    root.set(
+                        elapsed_virtual_ms=context.stats.elapsed_virtual_ms,
+                        rows=len(elements),
+                        complete=context.completeness.complete,
+                    )
+        except BaseException:
+            if admission is not None:
+                self.admission.cancel(admission)
+            raise
+        if admission is not None:
+            self.admission.complete(admission)
         self._record_query(text, root.trace_id, context)
         return QueryResult(elements, context.completeness, context.stats)
 
@@ -850,6 +1077,45 @@ class NimbleEngine:
 
     # -- internals ----------------------------------------------------------------
 
+    def _admit(self, priority: Priority) -> Admission | None:
+        """The overload gate: the shedder's rung, then a token.
+
+        Runs before any work is done for the query.  The shedder's
+        refresh re-reads the SLO error budget so the brownout level a
+        query executes under is the one its own admission saw.  Either
+        stage may raise :class:`QueryRejected` (counted in
+        ``queries_rejected`` when a metrics registry is wired).
+        """
+        try:
+            if self.shedder is not None:
+                self.shedder.refresh()
+                if self.metrics is not None:
+                    self.metrics.gauge("overload.brownout_level").set(
+                        int(self.shedder.level)
+                    )
+                self.shedder.check_admit(priority)
+            if self.admission is not None:
+                return self.admission.admit(priority)
+        except QueryRejected:
+            if self.metrics is not None:
+                self.metrics.counter("queries_rejected").inc()
+            self.tracer.event("query_rejected", priority=int(priority))
+            raise
+        return None
+
+    @contextmanager
+    def _admission_scope(self, priority: Priority):
+        """Admit, then release the token on the way out (cancel on error)."""
+        admission = self._admit(priority)
+        try:
+            yield admission
+        except BaseException:
+            if admission is not None:
+                self.admission.cancel(admission)
+            raise
+        if admission is not None:
+            self.admission.complete(admission)
+
     def _fragment_residency(self, fragment: Fragment) -> int | None:
         """Fresh cached row count of a fragment (the cost model's hook)."""
         if self.fragment_cache is None:
@@ -905,11 +1171,13 @@ class NimbleEngine:
         required_sources: frozenset[str],
         parent: _ExecutionContext | None = None,
         analyze: bool = False,
+        priority: Priority = Priority.NORMAL,
     ) -> QueryResult:
         self.queries_run += 1
         context = _ExecutionContext(
             self, policy, required_sources,
             deadline_at=parent.deadline_at if parent is not None else None,
+            priority=parent.priority if parent is not None else priority,
         )
         text = query if isinstance(query, str) else None
         tracer = self.tracer

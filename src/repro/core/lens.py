@@ -18,6 +18,7 @@ from repro.core.engine import NimbleEngine, QueryResult
 from repro.core.formatting import DEVICES, format_result
 from repro.core.partial import PartialResultPolicy
 from repro.errors import LensError
+from repro.resilience.admission import Priority
 
 
 @dataclass(frozen=True)
@@ -39,12 +40,17 @@ class Lens:
     default_device: str = "xml"
     required_roles: frozenset[str] = frozenset()
     description: str = ""
+    #: admission priority of every query this lens runs; dashboards and
+    #: interactive lenses ride above BACKGROUND reporting lenses, so the
+    #: overload ladder sheds the right front-end traffic first
+    priority: Priority = Priority.NORMAL
 
     def __post_init__(self) -> None:
         if not self.queries:
             raise LensError(f"lens {self.name!r} declares no queries")
         if self.default_device not in DEVICES:
             raise LensError(f"lens {self.name!r}: unknown device {self.default_device!r}")
+        self.priority = Priority(self.priority)
 
     def resolve_parameters(self, supplied: Mapping[str, Any]) -> dict[str, Any]:
         values: dict[str, Any] = {}
@@ -138,7 +144,8 @@ class LensServer:
         lens = self.get(lens_name)
         self.access.authorize(user, lens.required_roles)
         text = lens.instantiate(query_name, params or {})
-        result = self.engine.query(text, policy=policy)
+        result = self.engine.query(text, policy=policy,
+                                   priority=lens.priority)
         chosen = device or lens.default_device
         rendered = format_result(result.elements, chosen)
         if not result.completeness.complete:

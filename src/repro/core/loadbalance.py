@@ -15,9 +15,13 @@ from typing import Any
 
 from repro.core.engine import NimbleEngine, QueryResult
 from repro.core.partial import PartialResultPolicy
-from repro.errors import PlanningError
+from repro.errors import PlanningError, QueryRejected
 from repro.observability.aggregate import merge_registries
 from repro.observability.metrics import MetricsRegistry, percentile
+from repro.observability.querylog import query_hash
+from repro.observability.slo import SloTracker
+from repro.resilience.admission import AdmissionController, Priority
+from repro.resilience.overload import LoadShedder
 
 
 @dataclass
@@ -40,6 +44,7 @@ class CompletedQuery:
     start_ms: float
     completion_ms: float
     result: QueryResult
+    priority: Priority = Priority.NORMAL
 
     @property
     def latency_ms(self) -> float:
@@ -48,6 +53,27 @@ class CompletedQuery:
     @property
     def queue_ms(self) -> float:
         return self.start_ms - self.arrival_ms
+
+    @property
+    def rejected(self) -> bool:
+        return False
+
+
+@dataclass
+class RejectedQuery:
+    """A query the overload gate refused at dispatch."""
+
+    arrival_ms: float
+    priority: Priority
+    error: QueryRejected
+
+    @property
+    def retry_after_ms(self) -> float:
+        return self.error.retry_after_ms
+
+    @property
+    def rejected(self) -> bool:
+        return True
 
 
 class EngineCluster:
@@ -62,7 +88,10 @@ class EngineCluster:
     STRATEGIES = ("round_robin", "least_loaded", "random")
 
     def __init__(self, engine: NimbleEngine, instances: int = 1,
-                 strategy: str = "least_loaded", seed: int = 11):
+                 strategy: str = "least_loaded", seed: int = 11,
+                 admission: AdmissionController | None = None,
+                 shedder: LoadShedder | None = None,
+                 slo: SloTracker | None = None):
         if instances < 1:
             raise PlanningError("a cluster needs at least one instance")
         if strategy not in self.STRATEGIES:
@@ -70,39 +99,96 @@ class EngineCluster:
         self.engine = engine
         self.instances = [EngineInstance(f"{engine.name}-{i}") for i in range(instances)]
         self.strategy = strategy
+        #: the overload gate at dispatch.  ``admission`` sees the chosen
+        #: instance's projected queue wait; ``shedder`` applies its
+        #: brownout rung fleet-wide.  ``slo`` (if given) is fed the
+        #: *end-to-end* latency — arrival to completion, queueing
+        #: included — which is what an arrival storm actually degrades;
+        #: wire the tracker here OR on the engine, never both, or every
+        #: query is observed twice.
+        self.admission = admission
+        self.shedder = shedder
+        self.slo = slo
         self._next = 0
         import random
 
         self._rng = random.Random(seed)
         self.completed: list[CompletedQuery] = []
+        self.rejected: list[RejectedQuery] = []
+        self.rerouted = 0
 
     # -- dispatch -------------------------------------------------------------
 
-    def _choose(self) -> EngineInstance:
+    def _choose(self, arrival_ms: float | None = None,
+                priority: Priority = Priority.NORMAL) -> EngineInstance:
         if self.strategy == "round_robin":
             instance = self.instances[self._next % len(self.instances)]
             self._next += 1
-            return instance
-        if self.strategy == "random":
-            return self._rng.choice(self.instances)
-        return min(self.instances, key=lambda i: (i.free_at_ms, i.name))
+        elif self.strategy == "random":
+            instance = self._rng.choice(self.instances)
+        else:
+            return min(self.instances, key=lambda i: (i.free_at_ms, i.name))
+        if arrival_ms is not None and self.admission is not None:
+            # route around a shedding instance: if the strategy's pick
+            # would refuse this priority on queue wait but a less-loaded
+            # instance would accept, take the detour instead of shedding
+            bound = self.admission.queue_bound_ms(priority)
+            if max(0.0, instance.free_at_ms - arrival_ms) > bound:
+                fallback = min(self.instances,
+                               key=lambda i: (i.free_at_ms, i.name))
+                if (fallback is not instance
+                        and max(0.0, fallback.free_at_ms - arrival_ms)
+                        <= bound):
+                    self.rerouted += 1
+                    return fallback
+        return instance
 
     def submit(
         self,
         query_text: str,
         arrival_ms: float,
         policy: PartialResultPolicy | None = None,
+        priority: Priority = Priority.NORMAL,
     ) -> CompletedQuery:
-        """Dispatch one query arriving at ``arrival_ms`` (virtual time)."""
-        instance = self._choose()
+        """Dispatch one query arriving at ``arrival_ms`` (virtual time).
+
+        Raises :class:`~repro.errors.QueryRejected` when the overload
+        gate refuses it; use :meth:`offer` to get a
+        :class:`RejectedQuery` record instead of an exception.
+        """
+        priority = Priority(priority)
+        if self.shedder is not None:
+            self.shedder.refresh()
+            self.shedder.check_admit(priority)
+        instance = self._choose(arrival_ms, priority)
+        projected_wait = max(0.0, instance.free_at_ms - arrival_ms)
+        admission = None
+        if self.admission is not None:
+            resilience = self.engine.resilience
+            admission = self.admission.admit(
+                priority,
+                projected_wait_ms=projected_wait,
+                deadline_ms=(resilience.query_deadline_ms
+                             if resilience is not None else None),
+            )
         start = max(arrival_ms, instance.free_at_ms)
-        result = self.engine.query(query_text, policy=policy)
+        try:
+            result = self.engine.query(query_text, policy=policy,
+                                       priority=priority)
+        except BaseException:
+            if admission is not None:
+                self.admission.cancel(admission)
+            raise
+        if admission is not None:
+            self.admission.started(admission)
+            self.admission.complete(admission)
         service = result.stats.elapsed_virtual_ms
         completion = start + service
         instance.free_at_ms = completion
         instance.queries_served += 1
         instance.busy_ms += service
-        record = CompletedQuery(instance.name, arrival_ms, start, completion, result)
+        record = CompletedQuery(instance.name, arrival_ms, start, completion,
+                                result, priority=priority)
         self.completed.append(record)
         instance.metrics.counter("queries_total").inc()
         if not result.completeness.complete:
@@ -110,7 +196,33 @@ class EngineCluster:
         instance.metrics.histogram("query.latency_ms").observe(record.latency_ms)
         instance.metrics.histogram("query.queue_ms").observe(record.queue_ms)
         instance.metrics.gauge("busy_ms").set(instance.busy_ms)
+        if self.slo is not None:
+            self.slo.observe_query(
+                query_hash(query_text),
+                record.latency_ms,
+                result.completeness,
+                counters=result.stats.counters(),
+                cache_counters=result.stats.cache_counters(),
+                plan_epoch=self.engine.catalog.version,
+            )
         return record
+
+    def offer(
+        self,
+        query_text: str,
+        arrival_ms: float,
+        policy: PartialResultPolicy | None = None,
+        priority: Priority = Priority.NORMAL,
+    ) -> CompletedQuery | RejectedQuery:
+        """Like :meth:`submit`, but a refusal returns a record instead
+        of raising — the natural interface for open-loop drivers that
+        must keep the arrival process going."""
+        try:
+            return self.submit(query_text, arrival_ms, policy, priority)
+        except QueryRejected as error:
+            record = RejectedQuery(arrival_ms, Priority(priority), error)
+            self.rejected.append(record)
+            return record
 
     def run_schedule(
         self, queries: list[tuple[float, str]], policy=None
@@ -160,6 +272,32 @@ class EngineCluster:
             "instances": len(self.instances),
             "merged": self.merged_metrics().snapshot(),
         }
+
+    def fleet_queue_depth(self, now_ms: float | None = None) -> int:
+        """How many instances are busy past ``now_ms`` (default: the
+        engine clock's now) — the fleet's instantaneous backlog width."""
+        now = now_ms if now_ms is not None else self.engine.clock.now
+        return sum(1 for i in self.instances if i.free_at_ms > now)
+
+    def fleet_queue_wait_ms(self, now_ms: float | None = None) -> float:
+        """Total backlog depth in virtual milliseconds across instances."""
+        now = now_ms if now_ms is not None else self.engine.clock.now
+        return sum(max(0.0, i.free_at_ms - now) for i in self.instances)
+
+    def overload_snapshot(self, now_ms: float | None = None) -> dict[str, Any]:
+        """The cluster's overload-protection view (monitoring)."""
+        snapshot: dict[str, Any] = {
+            "completed": len(self.completed),
+            "rejected": len(self.rejected),
+            "rerouted": self.rerouted,
+            "queue_depth": self.fleet_queue_depth(now_ms),
+            "queue_wait_ms": self.fleet_queue_wait_ms(now_ms),
+        }
+        if self.admission is not None:
+            snapshot["admission"] = self.admission.snapshot()
+        if self.shedder is not None:
+            snapshot["shedder"] = self.shedder.snapshot()
+        return snapshot
 
     def makespan_ms(self) -> float:
         if not self.completed:

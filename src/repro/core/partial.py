@@ -45,6 +45,11 @@ class Completeness:
     #: their rows are present, so ``complete`` stays True — but the data
     #: may be out of date, which callers see separately from "missing"
     stale_sources: list[str] = field(default_factory=list)
+    #: sources whose answer came from a *hedged* backup fetch (replica
+    #: raced against a slow primary).  The rows are fresh and complete —
+    #: neither ``complete`` nor ``degraded`` is affected — but callers
+    #: auditing data provenance can see the primary did not answer
+    hedged_sources: list[str] = field(default_factory=list)
     skipped_fragments: int = 0
 
     def record_skip(self, source_name: str) -> None:
@@ -57,6 +62,11 @@ class Completeness:
         """A source was served from stale/replica data, not skipped."""
         if source_name not in self.stale_sources:
             self.stale_sources.append(source_name)
+
+    def record_hedged(self, source_name: str) -> None:
+        """A source's answer came from the winning hedged backup."""
+        if source_name not in self.hedged_sources:
+            self.hedged_sources.append(source_name)
 
     @property
     def degraded(self) -> bool:
@@ -74,6 +84,9 @@ class Completeness:
         for name in other.stale_sources:
             if name not in self.stale_sources:
                 self.stale_sources.append(name)
+        for name in other.hedged_sources:
+            if name not in self.hedged_sources:
+                self.hedged_sources.append(name)
 
     def describe(self) -> str:
         stale = ""

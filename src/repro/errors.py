@@ -137,3 +137,46 @@ class AuthError(ReproError):
 
 class LensError(ReproError):
     """Raised for misconfigured or misused lenses."""
+
+
+class OverloadError(ReproError):
+    """Base class for overload-protection failures.
+
+    Carries enough structure for a client to act on the rejection:
+    ``retry_after_ms`` is virtual time until the caller should retry,
+    ``priority`` is the admission priority of the rejected query (an
+    ``int``/IntEnum, duck-typed to avoid an import cycle with the
+    resilience package), and ``brownout_level`` is the shedder's ladder
+    rung at rejection time (0 = normal operation).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_ms: float = 0.0,
+        priority: int = 0,
+        brownout_level: int = 0,
+    ):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.priority = priority
+        self.brownout_level = brownout_level
+
+
+class QueryRejected(OverloadError):
+    """Raised when admission control or load shedding refuses a query."""
+
+    def __init__(
+        self,
+        reason: str,
+        retry_after_ms: float = 0.0,
+        priority: int = 0,
+        brownout_level: int = 0,
+    ):
+        super().__init__(
+            f"query rejected: {reason} (retry after {retry_after_ms:.0f} ms)",
+            retry_after_ms=retry_after_ms,
+            priority=priority,
+            brownout_level=brownout_level,
+        )
+        self.reason = reason

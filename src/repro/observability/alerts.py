@@ -234,6 +234,34 @@ def breaker_open_rule(name: str = "breaker_open",
     return AlertRule(name, condition, severity)
 
 
+def overload_shedding_rule(name: str = "overload_shedding",
+                           severity: str = "warning") -> AlertRule:
+    """Fires while the brownout ladder is off its NORMAL rung.
+
+    The context's ``overload`` key is the
+    :meth:`~repro.resilience.overload.LoadShedder.snapshot` dict the
+    monitor collects from the engine's shedder.  The instance key is
+    fixed (``"fleet"``) so walking between degraded rungs updates the
+    firing alert's context instead of churning fire/resolve pairs; the
+    alert resolves only when the ladder returns to NORMAL.
+    """
+
+    def condition(context: EvaluationContext) -> ActiveInstances:
+        shedder = context.get("overload")
+        if not shedder or shedder.get("level", 0) <= 0:
+            return {}
+        return {
+            "fleet": {
+                "level": shedder["level"],
+                "level_name": shedder.get("level_name", ""),
+                "budget_remaining": shedder.get("budget_remaining"),
+                "shed_queries": shedder.get("shed_queries", 0),
+            }
+        }
+
+    return AlertRule(name, condition, severity)
+
+
 def default_rules() -> list[AlertRule]:
     """The stock rule set the monitor installs when given none."""
     return [
@@ -241,4 +269,5 @@ def default_rules() -> list[AlertRule]:
         error_budget_rule(),
         latency_regression_rule(),
         breaker_open_rule(),
+        overload_shedding_rule(),
     ]

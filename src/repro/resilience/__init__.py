@@ -14,24 +14,46 @@ front of that last resort:
 * :class:`ResiliencePolicy` / :class:`ResilientExecutor` — the call
   path combining the above with per-call and per-query deadlines;
 * :class:`FallbackRegistry` — replica fragments served as degraded
-  reads when everything else has given up.
+  reads when everything else has given up;
+* :class:`AdmissionController` / :class:`LoadShedder` /
+  :class:`HedgePolicy` — overload protection *of the mediator itself*:
+  priority admission control at the front door, an SLO-error-budget
+  brownout ladder (stop hedging -> serve stale -> shed optional lenses
+  -> reject low priorities), and adaptive p95 hedged fetches.
 
 The engine's ladder per failing fragment: retry -> breaker fail-fast ->
-stale materialized fragment -> registered replica -> SKIP (annotated).
+stale materialized fragment -> stale cached fragment -> registered
+replica -> SKIP (annotated).
 """
 
+from repro.resilience.admission import (
+    Admission,
+    AdmissionController,
+    Priority,
+)
 from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.resilience.executor import ResiliencePolicy, ResilientExecutor
 from repro.resilience.fallback import FallbackRegistry
 from repro.resilience.faults import FaultModel
+from repro.resilience.overload import (
+    BrownoutLevel,
+    HedgePolicy,
+    LoadShedder,
+)
 from repro.resilience.retry import RetryPolicy
 
 __all__ = [
+    "Admission",
+    "AdmissionController",
     "BreakerConfig",
     "BreakerState",
+    "BrownoutLevel",
     "CircuitBreaker",
     "FallbackRegistry",
     "FaultModel",
+    "HedgePolicy",
+    "LoadShedder",
+    "Priority",
     "ResiliencePolicy",
     "ResilientExecutor",
     "RetryPolicy",

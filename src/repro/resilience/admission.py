@@ -1,0 +1,212 @@
+"""Priority admission control over the virtual clock.
+
+The paper's availability story (section 3.4) assumes the mediator
+itself stays healthy; an open-loop arrival storm breaks that assumption
+before any source does.  :class:`AdmissionController` is the front
+door: a fixed pool of concurrency tokens plus bounded per-priority
+queues measured in *virtual queue-wait milliseconds*.  A query that
+would wait longer than its priority's bound — or longer than its own
+deadline budget — is rejected up front with a structured
+:class:`~repro.errors.QueryRejected` carrying a virtual-time
+``retry_after_ms``, instead of timing out after consuming a slot.
+
+Queue-wait bounds are *inverted* with respect to priority: HIGH traffic
+tolerates the longest queue (it is worth waiting for), BACKGROUND the
+shortest (it is the first to step aside).  Under saturation this makes
+low-priority work shed early while high-priority latency stays bounded.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Mapping
+
+from repro.errors import QueryRejected
+from repro.simtime import SimClock
+
+
+class Priority(enum.IntEnum):
+    """Admission priority of one query; higher values matter more."""
+
+    BACKGROUND = 0
+    LOW = 1
+    NORMAL = 2
+    HIGH = 3
+    CRITICAL = 4
+
+
+#: default per-priority queue-wait bounds (virtual ms).  Inverted on
+#: purpose: the FIFO instance queues serve everyone in arrival order,
+#: so the only way to keep HIGH p95 inside an SLO during a storm is to
+#: refuse BACKGROUND/LOW work long before the backlog reaches HIGH's
+#: tolerance.
+DEFAULT_QUEUE_WAIT_MS: dict[Priority, float] = {
+    Priority.BACKGROUND: 60.0,
+    Priority.LOW: 150.0,
+    Priority.NORMAL: 400.0,
+    Priority.HIGH: 800.0,
+    Priority.CRITICAL: math.inf,
+}
+
+
+class Admission:
+    """One admitted query's ticket; hand it back via ``complete``."""
+
+    __slots__ = ("ticket", "priority", "admitted_at_ms", "queued_ms", "done")
+
+    def __init__(self, ticket: int, priority: Priority,
+                 admitted_at_ms: float, queued_ms: float):
+        self.ticket = ticket
+        self.priority = priority
+        self.admitted_at_ms = admitted_at_ms
+        self.queued_ms = queued_ms
+        self.done = False
+
+
+class AdmissionController:
+    """Token pool + bounded virtual-time queues, priority aware.
+
+    ``max_concurrent`` is the token pool: at most that many admissions
+    may be in flight at once (``admit`` without a matching ``complete``
+    or ``cancel``).  ``projected_wait_ms`` is the caller's estimate of
+    how long the query would sit queued before starting — a cluster
+    derives it from instance backlogs; a standalone engine passes 0.
+    The admit checks, in order:
+
+    1. *queue capacity* — more than ``queue_capacity`` admissions of
+       the same priority already waiting (projected wait > 0) rejects;
+    2. *queue-wait bound* — projected wait beyond the priority's bound
+       rejects (`DEFAULT_QUEUE_WAIT_MS` unless overridden);
+    3. *deadline on queue* — a query whose own ``deadline_ms`` budget
+       would be exhausted before it even started is rejected now
+       (counted in ``queue_timeouts``) rather than timed out later;
+    4. *token pool* — no free token and no queue estimate rejects.
+
+    Every rejection raises :class:`QueryRejected` whose
+    ``retry_after_ms`` is the projected wait (or the priority's bound
+    when no estimate is available) — the virtual time after which a
+    retry has a chance.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        max_concurrent: int = 8,
+        queue_capacity: int = 32,
+        max_queue_wait_ms: Mapping[Priority, float] | None = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+        self.clock = clock
+        self.max_concurrent = max_concurrent
+        self.queue_capacity = queue_capacity
+        self.max_queue_wait_ms = dict(DEFAULT_QUEUE_WAIT_MS)
+        if max_queue_wait_ms is not None:
+            self.max_queue_wait_ms.update(max_queue_wait_ms)
+        self._next_ticket = 0
+        self._in_flight: dict[int, Admission] = {}
+        self._waiting: dict[Priority, int] = {p: 0 for p in Priority}
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.queue_timeouts = 0
+        self.cancelled_total = 0
+        self.rejected_by_priority: dict[str, int] = {
+            p.name: 0 for p in Priority
+        }
+
+    # -- the gate ------------------------------------------------------------
+
+    def queue_bound_ms(self, priority: Priority) -> float:
+        return self.max_queue_wait_ms.get(Priority(priority), math.inf)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(self._waiting.values())
+
+    def admit(
+        self,
+        priority: Priority = Priority.NORMAL,
+        projected_wait_ms: float = 0.0,
+        deadline_ms: float | None = None,
+    ) -> Admission:
+        """Admit or raise :class:`QueryRejected`; returns the ticket."""
+        priority = Priority(priority)
+        bound = self.queue_bound_ms(priority)
+        queued = projected_wait_ms > 0.0
+        if queued and self._waiting[priority] >= self.queue_capacity:
+            self._reject(priority, projected_wait_ms,
+                         f"{priority.name} queue full "
+                         f"({self.queue_capacity} waiting)")
+        if projected_wait_ms > bound:
+            self._reject(priority, projected_wait_ms,
+                         f"projected queue wait {projected_wait_ms:.0f} ms "
+                         f"exceeds {priority.name} bound {bound:.0f} ms")
+        if deadline_ms is not None and projected_wait_ms >= deadline_ms:
+            self.queue_timeouts += 1
+            self._reject(priority, projected_wait_ms,
+                         f"would exhaust its {deadline_ms:.0f} ms deadline "
+                         f"waiting {projected_wait_ms:.0f} ms on queue")
+        if not queued and len(self._in_flight) >= self.max_concurrent:
+            self._reject(priority, bound if math.isfinite(bound) else 0.0,
+                         f"no free slot ({self.max_concurrent} in flight)")
+        self._next_ticket += 1
+        admission = Admission(self._next_ticket, priority,
+                              self.clock.now, projected_wait_ms)
+        self._in_flight[admission.ticket] = admission
+        if queued:
+            self._waiting[priority] += 1
+        self.admitted_total += 1
+        return admission
+
+    def _reject(self, priority: Priority, retry_after_ms: float,
+                reason: str) -> None:
+        self.rejected_total += 1
+        self.rejected_by_priority[priority.name] += 1
+        raise QueryRejected(reason, retry_after_ms=max(0.0, retry_after_ms),
+                            priority=int(priority))
+
+    # -- ticket lifecycle ----------------------------------------------------
+
+    def started(self, admission: Admission) -> None:
+        """The queued admission reached the front (stops counting as
+        waiting); no-op for admissions that started immediately."""
+        if admission.queued_ms > 0 and self._waiting[admission.priority] > 0:
+            self._waiting[admission.priority] -= 1
+            admission.queued_ms = 0.0
+
+    def complete(self, admission: Admission) -> None:
+        """Return the token; idempotent."""
+        if admission.done:
+            return
+        admission.done = True
+        self.started(admission)
+        self._in_flight.pop(admission.ticket, None)
+
+    def cancel(self, admission: Admission) -> None:
+        """Return the token for an admission that never ran to completion
+        (the query raised mid-flight); idempotent."""
+        if admission.done:
+            return
+        self.cancelled_total += 1
+        self.complete(admission)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+            "queue_timeouts": self.queue_timeouts,
+            "cancelled_total": self.cancelled_total,
+            "rejected_by_priority": dict(self.rejected_by_priority),
+        }

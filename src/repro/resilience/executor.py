@@ -96,7 +96,8 @@ class ResilientExecutor:
                 result = attempt_fn()
             except SourceUnavailableError:
                 self._record_failure(breaker, stats, source_name)
-                wait = self._backoff(attempt, attempts, deadline_at_ms, stats)
+                wait = self._backoff(attempt, attempts, deadline_at_ms, stats,
+                                     source_name)
                 if wait is None:
                     raise
                 self.tracer.event("retry", source=source_name,
@@ -110,7 +111,8 @@ class ResilientExecutor:
                 self.tracer.event("deadline_miss", source=source_name,
                                   kind="call_budget", elapsed_ms=elapsed)
                 self._record_failure(breaker, stats, source_name)
-                wait = self._backoff(attempt, attempts, deadline_at_ms, stats)
+                wait = self._backoff(attempt, attempts, deadline_at_ms, stats,
+                                     source_name)
                 if wait is None:
                     raise SourceTimeoutError(
                         source_name,
@@ -128,11 +130,12 @@ class ResilientExecutor:
     # -- helpers ------------------------------------------------------------
 
     def _backoff(self, attempt: int, attempts: int,
-                 deadline_at_ms: float | None, stats: Any) -> float | None:
+                 deadline_at_ms: float | None, stats: Any,
+                 source_name: str | None = None) -> float | None:
         """Charge backoff; the wait charged, or None when attempts ran out."""
         if attempt + 1 >= attempts or self.policy.retry is None:
             return None
-        wait = self.policy.retry.backoff_ms(attempt)
+        wait = self.policy.retry.backoff_ms(attempt, source=source_name)
         if deadline_at_ms is not None:
             # never sleep past the query deadline; the next loop
             # iteration converts an exhausted budget into a timeout

@@ -37,6 +37,21 @@ class FallbackRegistry:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def has_replica(self, fragment: Fragment) -> bool:
+        """True when some registered entry could answer ``fragment``.
+
+        A pure containment probe: does not invoke providers and does not
+        move the ``hits``/``misses`` counters, so hedging can test for a
+        backup target without disturbing degraded-read accounting.
+        """
+        for registered, _provider in self._entries:
+            if registered.source != fragment.source:
+                continue
+            answers, _residual = matches(registered, fragment)
+            if answers:
+                return True
+        return False
+
     def resolve(self, fragment: Fragment) -> list[Record] | None:
         """Records answering ``fragment`` from a replica, or None."""
         for registered, provider in self._entries:

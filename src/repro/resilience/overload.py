@@ -1,0 +1,241 @@
+"""SLO-driven load shedding and hedged fetches: graceful brownout.
+
+Two mediation-era lessons meet here.  The warehouse-vs-mediator
+tradeoff (Boussaïd et al.) says a saturated live path should fall back
+to a cheaper/staler tier rather than fail; tail-tolerant serving says
+a slow source call should race a backup rather than wait.  The
+:class:`LoadShedder` implements the first as a **brownout ladder**
+keyed off the SLO layer's error-budget-remaining fraction, and
+:class:`HedgePolicy` the second as an adaptive p95-based hedging delay
+over the per-source latency histograms.
+
+Why budget-remaining and not instantaneous queue depth?  Queue depth is
+a point sample: it whipsaws at the arrival-process timescale, so a
+shedder keyed to it oscillates (shed → queue drains → unshed → queue
+refills).  The error budget integrates *user-visible harm* over the
+SLO window: it burns only while real queries miss their objective and
+recovers only after a window's worth of good behaviour, which gives the
+ladder hysteresis for free and ties the shedding decision to the same
+contract the operator alerts on.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import QueryRejected
+from repro.observability.metrics import MetricsRegistry, percentile
+from repro.observability.slo import SloTracker
+from repro.resilience.admission import Priority
+
+
+class BrownoutLevel(enum.IntEnum):
+    """Rungs of the brownout ladder (ordered; higher = more degraded)."""
+
+    NORMAL = 0
+    NO_HEDGING = 1
+    SERVE_STALE = 2
+    SHED_LENSES = 3
+    REJECT_LOW = 4
+
+
+#: every rung, ascending
+BROWNOUT_LADDER = tuple(BrownoutLevel)
+
+#: budget-remaining fractions at which each degraded rung engages:
+#: below 0.75 stop hedging, below 0.5 serve stale, below 0.25 shed
+#: optional lenses, below 0.1 reject BACKGROUND/LOW outright
+DEFAULT_THRESHOLDS = (0.75, 0.5, 0.25, 0.1)
+
+
+class LoadShedder:
+    """Walks the brownout ladder as the SLO error budget burns.
+
+    ``refresh()`` re-evaluates the tracker's policies (optionally only
+    those named in ``policy_names``), takes the *worst*
+    ``budget_remaining_fraction`` among policies with at least
+    ``min_window_queries`` observations in window, and maps it through
+    ``thresholds`` to a :data:`BROWNOUT_LADDER` rung.  The ladder:
+
+    ========================  ==============================================
+    rung                      effect
+    ========================  ==============================================
+    NORMAL                    full service
+    NO_HEDGING                hedged fetches disabled (halve source load)
+    SERVE_STALE               fragment cache serves entries past their TTL
+    SHED_LENSES               optional (sheddable) sources skipped for
+                              priority <= ``lens_shed_ceiling``, annotated
+                              in ``Completeness``
+    REJECT_LOW                priority <= ``reject_ceiling`` rejected with
+                              ``QueryRejected`` + virtual retry_after
+    ========================  ==============================================
+
+    Each rung includes every rung below it.  ``retry_after_ms`` defaults
+    to a quarter of the smallest watched policy window — roughly how
+    long the budget needs to visibly recover.
+    """
+
+    def __init__(
+        self,
+        tracker: SloTracker,
+        thresholds: tuple[float, float, float, float] = DEFAULT_THRESHOLDS,
+        policy_names: Iterable[str] | None = None,
+        min_window_queries: int = 8,
+        retry_after_ms: float | None = None,
+        sheddable_sources: Iterable[str] = (),
+        lens_shed_ceiling: Priority = Priority.NORMAL,
+        reject_ceiling: Priority = Priority.LOW,
+    ):
+        if len(thresholds) != 4:
+            raise ValueError("thresholds must have one entry per rung (4)")
+        if list(thresholds) != sorted(thresholds, reverse=True):
+            raise ValueError("thresholds must be non-increasing")
+        if any(t < 0.0 or t > 1.0 for t in thresholds):
+            raise ValueError("thresholds are budget fractions in [0, 1]")
+        self.tracker = tracker
+        self.thresholds = tuple(thresholds)
+        self.policy_names = frozenset(policy_names) if policy_names else None
+        self.min_window_queries = min_window_queries
+        self._retry_after_ms = retry_after_ms
+        self.sheddable_sources = frozenset(sheddable_sources)
+        self.lens_shed_ceiling = Priority(lens_shed_ceiling)
+        self.reject_ceiling = Priority(reject_ceiling)
+        self.level: BrownoutLevel = BrownoutLevel.NORMAL
+        self.budget_remaining = 1.0
+        self.refreshes = 0
+        self.level_changes = 0
+        self.shed_queries = 0
+        self.shed_by_priority: dict[str, int] = {p.name: 0 for p in Priority}
+
+    # -- evaluation ----------------------------------------------------------
+
+    def refresh(self) -> BrownoutLevel:
+        """Re-derive the brownout level from the tracker; returns it."""
+        self.refreshes += 1
+        remaining = 1.0
+        for status in self.tracker.evaluate():
+            if (self.policy_names is not None
+                    and status.policy.name not in self.policy_names):
+                continue
+            if status.window_queries < self.min_window_queries:
+                continue
+            remaining = min(remaining, status.budget_remaining_fraction)
+        self.budget_remaining = remaining
+        level = BrownoutLevel.NORMAL
+        for rung, threshold in zip(BROWNOUT_LADDER[1:], self.thresholds):
+            if remaining < threshold:
+                level = rung
+        if level != self.level:
+            self.level_changes += 1
+            self.level = level
+        return self.level
+
+    # -- ladder predicates (read the last refreshed level) -------------------
+
+    @property
+    def allows_hedging(self) -> bool:
+        return self.level < BrownoutLevel.NO_HEDGING
+
+    @property
+    def allow_stale(self) -> bool:
+        return self.level >= BrownoutLevel.SERVE_STALE
+
+    @property
+    def shedding_lenses(self) -> bool:
+        return self.level >= BrownoutLevel.SHED_LENSES
+
+    @property
+    def rejecting(self) -> bool:
+        return self.level >= BrownoutLevel.REJECT_LOW
+
+    def should_shed_source(self, source_name: str,
+                           priority: Priority) -> bool:
+        """Skip this optional source for this query's priority?"""
+        return (
+            self.shedding_lenses
+            and priority <= self.lens_shed_ceiling
+            and source_name in self.sheddable_sources
+        )
+
+    def retry_after_ms(self) -> float:
+        if self._retry_after_ms is not None:
+            return self._retry_after_ms
+        windows = [
+            policy.window_ms for policy in self.tracker.policies
+            if self.policy_names is None or policy.name in self.policy_names
+        ]
+        return 0.25 * min(windows) if windows else 1_000.0
+
+    def check_admit(self, priority: Priority = Priority.NORMAL) -> None:
+        """Raise :class:`QueryRejected` when the rung says to shed."""
+        priority = Priority(priority)
+        if not self.rejecting or priority > self.reject_ceiling:
+            return
+        self.shed_queries += 1
+        self.shed_by_priority[priority.name] += 1
+        raise QueryRejected(
+            f"brownout level {self.level.name}: shedding "
+            f"{priority.name} traffic "
+            f"(error budget {self.budget_remaining:.0%} remaining)",
+            retry_after_ms=self.retry_after_ms(),
+            priority=int(priority),
+            brownout_level=int(self.level),
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "level": int(self.level),
+            "level_name": self.level.name,
+            "budget_remaining": self.budget_remaining,
+            "thresholds": list(self.thresholds),
+            "refreshes": self.refreshes,
+            "level_changes": self.level_changes,
+            "shed_queries": self.shed_queries,
+            "shed_by_priority": dict(self.shed_by_priority),
+            "sheddable_sources": sorted(self.sheddable_sources),
+        }
+
+
+@dataclass
+class HedgePolicy:
+    """When (in virtual ms) to launch a backup fetch for a slow source.
+
+    The hedging delay adapts per source: ``delay_factor`` times the p95
+    of the source's ``source.<name>.fetch_virtual_ms`` histogram,
+    clamped to ``[min_delay_ms, max_delay_ms]``.  Until a source has
+    ``min_samples`` observations (or when the policy is disabled, or no
+    metrics registry is wired) the delay is ``inf`` — which the engine
+    treats as *do not hedge*, making an ∞ delay bit-equivalent to no
+    hedging at all.
+    """
+
+    delay_factor: float = 1.0
+    min_delay_ms: float = 5.0
+    max_delay_ms: float = 2_000.0
+    min_samples: int = 8
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delay_factor <= 0:
+            raise ValueError("delay_factor must be > 0")
+        if self.min_delay_ms < 0 or self.max_delay_ms < self.min_delay_ms:
+            raise ValueError("need 0 <= min_delay_ms <= max_delay_ms")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+    def delay_ms(self, metrics: MetricsRegistry | None,
+                 source_name: str) -> float:
+        """The hedge trigger delay for this source, or ``inf``."""
+        if not self.enabled or metrics is None:
+            return math.inf
+        histogram = metrics.histograms().get(
+            f"source.{source_name}.fetch_virtual_ms"
+        )
+        if histogram is None or len(histogram.samples) < self.min_samples:
+            return math.inf
+        p95 = percentile(histogram.samples, 0.95)
+        return min(max(p95 * self.delay_factor, self.min_delay_ms),
+                   self.max_delay_ms)

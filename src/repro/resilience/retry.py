@@ -13,9 +13,20 @@ class RetryPolicy:
     Backoff after the ``attempt``-th failure (0-based) is
     ``base_backoff_ms * multiplier ** attempt`` capped at
     ``max_backoff_ms``, scaled by a deterministic jitter of up to
-    ``±jitter`` drawn from a seeded RNG.  The executor charges the wait
-    to the virtual clock, so retried queries *pay* for their patience in
-    the latency benchmarks.
+    ``±jitter``.  The executor charges the wait to the virtual clock, so
+    retried queries *pay* for their patience in the latency benchmarks.
+
+    ``jitter_mode`` selects how the jitter stream is drawn:
+
+    * ``"equal"`` (default) — one sequential RNG seeded by ``seed``
+      shared by every caller of this policy instance.  This is the
+      original behaviour: draws depend on call order, so two sources
+      retrying through the same policy at the same time receive
+      *correlated* waits and their retry storms stay synchronized.
+    * ``"decorrelated"`` — each draw is seeded independently from
+      ``(seed, source, attempt)``, so simultaneous admissions against
+      different sources (or different attempts) spread out
+      deterministically regardless of call order.
     """
 
     max_attempts: int = 3
@@ -24,6 +35,7 @@ class RetryPolicy:
     max_backoff_ms: float = 5_000.0
     jitter: float = 0.1
     seed: int = 23
+    jitter_mode: str = "equal"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -34,18 +46,28 @@ class RetryPolicy:
             raise ValueError("multiplier must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if self.jitter_mode not in ("equal", "decorrelated"):
+            raise ValueError("jitter_mode must be 'equal' or 'decorrelated'")
         self._rng = random.Random(self.seed)
 
     def reset(self) -> None:
         """Re-seed the jitter RNG (fresh deterministic replay)."""
         self._rng = random.Random(self.seed)
 
-    def backoff_ms(self, attempt: int) -> float:
+    def backoff_ms(self, attempt: int, source: str | None = None) -> float:
         """Wait before retry number ``attempt + 1`` (attempt is 0-based)."""
         raw = min(
             self.base_backoff_ms * self.multiplier ** attempt,
             self.max_backoff_ms,
         )
         if self.jitter:
-            raw *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+            if self.jitter_mode == "decorrelated":
+                # string-seeded: deterministic per (seed, source, attempt)
+                # triple, independent of draw order across callers
+                draw = random.Random(
+                    f"{self.seed}:{source or ''}:{attempt}"
+                ).uniform(-self.jitter, self.jitter)
+            else:
+                draw = self._rng.uniform(-self.jitter, self.jitter)
+            raw *= 1.0 + draw
         return raw

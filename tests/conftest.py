@@ -1,6 +1,27 @@
 """Shared fixtures: a small federated deployment used across tests."""
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile("default", max_examples=100)
+    # CI's fault-matrix job runs the property suites with a tighter
+    # example budget and no deadline (virtual-clock tests do a lot of
+    # work per example); select with HYPOTHESIS_PROFILE=ci
+    _hypothesis_settings.register_profile(
+        "ci",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=(HealthCheck.too_slow,),
+    )
+    _hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default")
+    )
+except ImportError:  # hypothesis is optional; property tests skip themselves
+    pass
 
 from repro.mediator.catalog import Catalog
 from repro.simtime import SimClock

@@ -516,6 +516,7 @@ class TestEngineStatsFolding:
         EngineStats._COUNTERS
         + EngineStats._SCHEDULE_COUNTERS
         + EngineStats._CACHE_COUNTERS
+        + EngineStats._OVERLOAD_COUNTERS
     )
 
     def test_every_counter_folds_exactly_once(self):

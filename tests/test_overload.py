@@ -1,0 +1,753 @@
+"""Tests for overload protection: admission, brownout shedding, hedging."""
+
+import math
+
+import pytest
+
+from repro.core import NimbleEngine, PartialResultPolicy
+from repro.core.lens import Lens, LensServer
+from repro.core.loadbalance import EngineCluster, RejectedQuery
+from repro.core.partial import Completeness
+from repro.admin.monitor import OverloadMonitor, SloMonitor
+from repro.admin.replication import DataAdministrator
+from repro.errors import OverloadError, QueryRejected, ReproError
+from repro.observability.alerts import (
+    AlertManager,
+    default_rules,
+    overload_shedding_rule,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import SloPolicy, SloTracker
+from repro.resilience import (
+    AdmissionController,
+    BrownoutLevel,
+    FallbackRegistry,
+    FaultModel,
+    HedgePolicy,
+    LoadShedder,
+    Priority,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.simtime import SimClock
+
+from tests.test_resilience import ITEMS_QUERY, build_feed, items_fragment
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    HAVE_HYPOTHESIS = False
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def make_tracker(clock, target=0.5, window_ms=10_000.0):
+    """An availability tracker whose budget is easy to burn in steps.
+
+    With ``target=0.5`` the allowed bad fraction is 0.5, so after ten
+    observations each incomplete one burns 20% of the budget.
+    """
+    return SloTracker(
+        clock,
+        policies=[SloPolicy("avail", "availability", target,
+                            window_ms=window_ms)],
+    )
+
+
+def burn(tracker, good, bad):
+    """Feed ``good`` complete and ``bad`` incomplete observations."""
+    for _ in range(good):
+        tracker.observe_query("q", 1.0, Completeness())
+    for _ in range(bad):
+        failed = Completeness()
+        failed.record_skip("s")
+        tracker.observe_query("q", 1.0, failed)
+
+
+def make_shedder(clock, bad_of_ten=0, **kwargs):
+    """A shedder whose tracker has ``bad_of_ten`` bad observations."""
+    tracker = make_tracker(clock)
+    burn(tracker, 10 - bad_of_ten, bad_of_ten)
+    shedder = LoadShedder(tracker, min_window_queries=1, **kwargs)
+    shedder.refresh()
+    return shedder
+
+
+# -- the error taxonomy --------------------------------------------------------
+
+
+class TestErrorTaxonomy:
+    def test_rejection_is_an_overload_and_repro_error(self):
+        error = QueryRejected("queue full", retry_after_ms=120.0,
+                              priority=int(Priority.LOW), brownout_level=4)
+        assert isinstance(error, OverloadError)
+        assert isinstance(error, ReproError)
+        assert error.retry_after_ms == 120.0
+        assert error.priority == int(Priority.LOW)
+        assert error.brownout_level == 4
+        assert error.reason == "queue full"
+        assert "retry after 120 ms" in str(error)
+
+    def test_exported_at_top_level(self):
+        import repro
+
+        assert repro.QueryRejected is QueryRejected
+        assert repro.OverloadError is OverloadError
+        assert repro.Priority is Priority
+
+
+# -- admission control ---------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_token_pool_bounds_concurrency(self):
+        controller = AdmissionController(SimClock(), max_concurrent=2)
+        a = controller.admit(Priority.NORMAL)
+        b = controller.admit(Priority.NORMAL)
+        assert controller.in_flight == 2
+        with pytest.raises(QueryRejected) as excinfo:
+            controller.admit(Priority.NORMAL)
+        assert "no free slot" in str(excinfo.value)
+        controller.complete(a)
+        c = controller.admit(Priority.NORMAL)
+        controller.complete(b)
+        controller.complete(c)
+        assert controller.in_flight == 0
+        assert controller.admitted_total == 3
+        assert controller.rejected_total == 1
+
+    def test_queue_wait_bounds_are_inverted_by_priority(self):
+        controller = AdmissionController(SimClock())
+        # 100 ms of projected queueing is too much for BACKGROUND
+        # (bound 60 ms) but fine for HIGH (bound 800 ms)
+        with pytest.raises(QueryRejected) as excinfo:
+            controller.admit(Priority.BACKGROUND, projected_wait_ms=100.0)
+        assert excinfo.value.retry_after_ms == 100.0
+        admission = controller.admit(Priority.HIGH, projected_wait_ms=100.0)
+        controller.started(admission)
+        controller.complete(admission)
+        assert controller.rejected_by_priority["BACKGROUND"] == 1
+        assert controller.rejected_by_priority["HIGH"] == 0
+
+    def test_critical_never_sheds_on_queue_wait(self):
+        controller = AdmissionController(SimClock())
+        admission = controller.admit(Priority.CRITICAL,
+                                     projected_wait_ms=1e9)
+        controller.complete(admission)
+
+    def test_deadline_on_queue_rejects_up_front(self):
+        controller = AdmissionController(SimClock())
+        with pytest.raises(QueryRejected) as excinfo:
+            controller.admit(Priority.NORMAL, projected_wait_ms=50.0,
+                             deadline_ms=40.0)
+        assert "deadline" in str(excinfo.value)
+        assert controller.queue_timeouts == 1
+
+    def test_queue_capacity_bounds_waiters(self):
+        controller = AdmissionController(SimClock(), queue_capacity=1)
+        first = controller.admit(Priority.NORMAL, projected_wait_ms=10.0)
+        assert controller.queue_depth == 1
+        with pytest.raises(QueryRejected) as excinfo:
+            controller.admit(Priority.NORMAL, projected_wait_ms=10.0)
+        assert "queue full" in str(excinfo.value)
+        # a different priority has its own queue
+        other = controller.admit(Priority.HIGH, projected_wait_ms=10.0)
+        controller.started(first)
+        assert controller.queue_depth == 1  # only HIGH still waiting
+        controller.complete(first)
+        controller.complete(other)
+        assert controller.queue_depth == 0
+
+    def test_cancel_and_complete_are_idempotent(self):
+        controller = AdmissionController(SimClock(), max_concurrent=1)
+        admission = controller.admit(Priority.NORMAL)
+        controller.cancel(admission)
+        controller.cancel(admission)
+        controller.complete(admission)
+        assert controller.in_flight == 0
+        assert controller.cancelled_total == 1
+        controller.complete(controller.admit(Priority.NORMAL))
+
+    def test_snapshot_shape(self):
+        controller = AdmissionController(SimClock())
+        snapshot = controller.snapshot()
+        assert snapshot["in_flight"] == 0
+        assert snapshot["queue_depth"] == 0
+        assert set(snapshot["rejected_by_priority"]) == {
+            p.name for p in Priority
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(SimClock(), max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(SimClock(), queue_capacity=-1)
+
+
+# -- the brownout ladder -------------------------------------------------------
+
+
+class TestLoadShedder:
+    LADDER = [
+        (0, BrownoutLevel.NORMAL),
+        (2, BrownoutLevel.NO_HEDGING),   # 60% budget left  (< 0.75)
+        (3, BrownoutLevel.SERVE_STALE),  # 40%              (< 0.5)
+        (4, BrownoutLevel.SHED_LENSES),  # 20%              (< 0.25)
+        (5, BrownoutLevel.REJECT_LOW),   # 0%               (< 0.1)
+    ]
+
+    def test_budget_maps_to_ladder_rungs(self):
+        for bad, expected in self.LADDER:
+            shedder = make_shedder(SimClock(), bad_of_ten=bad)
+            assert shedder.level is expected, f"{bad} bad of 10"
+
+    def test_rungs_are_cumulative(self):
+        shedder = make_shedder(SimClock(), bad_of_ten=5)
+        assert not shedder.allows_hedging
+        assert shedder.allow_stale
+        assert shedder.shedding_lenses
+        assert shedder.rejecting
+
+    def test_normal_level_enables_everything(self):
+        shedder = make_shedder(SimClock(), bad_of_ten=0)
+        assert shedder.allows_hedging
+        assert not shedder.allow_stale
+        assert not shedder.shedding_lenses
+        assert not shedder.rejecting
+
+    def test_too_few_window_queries_stays_normal(self):
+        clock = SimClock()
+        tracker = make_tracker(clock)
+        burn(tracker, 0, 3)  # all bad, but below the confidence floor
+        shedder = LoadShedder(tracker, min_window_queries=8)
+        assert shedder.refresh() is BrownoutLevel.NORMAL
+
+    def test_check_admit_rejects_only_at_or_below_ceiling(self):
+        shedder = make_shedder(SimClock(), bad_of_ten=5)
+        with pytest.raises(QueryRejected):
+            shedder.check_admit(Priority.BACKGROUND)
+        with pytest.raises(QueryRejected) as excinfo:
+            shedder.check_admit(Priority.LOW)
+        shedder.check_admit(Priority.NORMAL)  # above the ceiling: admitted
+        shedder.check_admit(Priority.CRITICAL)
+        assert excinfo.value.brownout_level == int(BrownoutLevel.REJECT_LOW)
+        assert excinfo.value.retry_after_ms == pytest.approx(2_500.0)
+        assert shedder.shed_queries == 2
+        assert shedder.shed_by_priority["LOW"] == 1
+
+    def test_retry_after_defaults_to_quarter_window(self):
+        shedder = make_shedder(SimClock(), bad_of_ten=5)
+        assert shedder.retry_after_ms() == pytest.approx(2_500.0)
+        explicit = make_shedder(SimClock(), bad_of_ten=5,
+                                retry_after_ms=42.0)
+        assert explicit.retry_after_ms() == 42.0
+
+    def test_should_shed_source_respects_priority_and_set(self):
+        shedder = make_shedder(SimClock(), bad_of_ten=4,
+                               sheddable_sources={"scores"})
+        assert shedder.shedding_lenses
+        assert shedder.should_shed_source("scores", Priority.NORMAL)
+        assert shedder.should_shed_source("scores", Priority.BACKGROUND)
+        assert not shedder.should_shed_source("scores", Priority.HIGH)
+        assert not shedder.should_shed_source("crm", Priority.NORMAL)
+
+    def test_recovery_walks_back_down(self):
+        clock = SimClock()
+        tracker = make_tracker(clock, window_ms=1_000.0)
+        burn(tracker, 5, 5)
+        shedder = LoadShedder(tracker, min_window_queries=1)
+        assert shedder.refresh() is BrownoutLevel.REJECT_LOW
+        clock.advance(2_000.0)  # the bad window ages out entirely
+        burn(tracker, 10, 0)
+        assert shedder.refresh() is BrownoutLevel.NORMAL
+        assert shedder.level_changes == 2
+
+    def test_threshold_validation(self):
+        tracker = make_tracker(SimClock())
+        with pytest.raises(ValueError):
+            LoadShedder(tracker, thresholds=(0.1, 0.5, 0.25, 0.1))
+        with pytest.raises(ValueError):
+            LoadShedder(tracker, thresholds=(0.75, 0.5, 0.25))
+        with pytest.raises(ValueError):
+            LoadShedder(tracker, thresholds=(1.5, 0.5, 0.25, 0.1))
+
+
+# -- hedging policy ------------------------------------------------------------
+
+
+class TestHedgePolicy:
+    def test_infinite_until_enough_samples(self):
+        policy = HedgePolicy(min_samples=3)
+        metrics = MetricsRegistry()
+        assert policy.delay_ms(metrics, "feed") == math.inf
+        histogram = metrics.histogram("source.feed.fetch_virtual_ms")
+        histogram.observe(100.0)
+        histogram.observe(100.0)
+        assert policy.delay_ms(metrics, "feed") == math.inf
+        histogram.observe(100.0)
+        assert policy.delay_ms(metrics, "feed") == pytest.approx(100.0)
+
+    def test_delay_is_p95_scaled_and_clamped(self):
+        metrics = MetricsRegistry()
+        histogram = metrics.histogram("source.feed.fetch_virtual_ms")
+        for sample in [10.0] * 19 + [1_000.0]:
+            histogram.observe(sample)
+        policy = HedgePolicy(delay_factor=2.0, min_samples=1,
+                             max_delay_ms=500.0)
+        # p95 of the samples is 10 ms -> 20 ms scaled
+        assert policy.delay_ms(metrics, "feed") == pytest.approx(20.0)
+        floor = HedgePolicy(delay_factor=0.001, min_samples=1,
+                            min_delay_ms=5.0)
+        assert floor.delay_ms(metrics, "feed") == 5.0
+
+    def test_disabled_or_unwired_is_infinite(self):
+        assert HedgePolicy(enabled=False).delay_ms(MetricsRegistry(),
+                                                   "feed") == math.inf
+        assert HedgePolicy().delay_ms(None, "feed") == math.inf
+
+    def test_probe_never_creates_the_histogram(self):
+        metrics = MetricsRegistry()
+        HedgePolicy(min_samples=1).delay_ms(metrics, "feed")
+        assert metrics.histograms() == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(delay_factor=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_delay_ms=10.0, max_delay_ms=5.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_samples=0)
+
+
+# -- engine integration --------------------------------------------------------
+
+
+class TestEngineOverload:
+    def test_reject_low_sheds_background_but_serves_normal(self):
+        clock, catalog, source = build_feed()
+        shedder = make_shedder(clock, bad_of_ten=5)
+        metrics = MetricsRegistry()
+        engine = NimbleEngine(catalog, shedder=shedder, metrics=metrics)
+        with pytest.raises(QueryRejected) as excinfo:
+            engine.query(ITEMS_QUERY, priority=Priority.LOW)
+        assert excinfo.value.retry_after_ms > 0
+        assert source.network.calls == 0  # rejected before any work
+        result = engine.query(ITEMS_QUERY, priority=Priority.NORMAL)
+        assert len(result.elements) == 3
+        snap = metrics.snapshot()
+        assert snap["counters"]["queries_rejected"] == 1
+        assert snap["gauges"]["overload.brownout_level"] == int(
+            BrownoutLevel.REJECT_LOW
+        )
+
+    def test_admission_token_released_on_success_and_rejection(self):
+        clock, catalog, source = build_feed()
+        controller = AdmissionController(clock, max_concurrent=1)
+        engine = NimbleEngine(catalog, admission=controller)
+        for _ in range(3):  # tokens recycle: serial queries never exhaust
+            engine.query(ITEMS_QUERY)
+        assert controller.in_flight == 0
+        assert controller.admitted_total == 3
+
+    def test_brownout_serves_expired_cache_entries(self):
+        clock, catalog, source = build_feed()
+        tracker = make_tracker(clock)
+        shedder = LoadShedder(tracker, min_window_queries=1)
+        engine = NimbleEngine(catalog, shedder=shedder,
+                              fragment_cache_bytes=100_000,
+                              fragment_cache_ttl_ms=100.0)
+        first = engine.query(ITEMS_QUERY)
+        assert first.stats.fragments_executed == 1
+        clock.advance(10_000.0)  # entry now well past its TTL
+        # healthy: the expired entry is NOT served; the source is re-read
+        healthy = engine.query(ITEMS_QUERY)
+        assert healthy.stats.stale_cache_served == 0
+        assert healthy.stats.fragments_executed == 1
+        clock.advance(10_000.0)
+        burn(tracker, 7, 3)  # 40% budget left -> SERVE_STALE
+        browned = engine.query(ITEMS_QUERY)
+        assert browned.stats.stale_cache_served == 1
+        assert browned.stats.fragments_executed == 0
+        assert browned.stats.stale_served == 1
+        assert browned.completeness.complete  # present, just old
+        assert browned.completeness.stale_sources == ["feed"]
+        assert engine.fragment_cache.stale_hits == 1
+
+    def test_shed_lenses_skips_optional_source_with_annotation(self, catalog):
+        clock = catalog.registry.clock
+        shedder = make_shedder(clock, bad_of_ten=4,
+                               sheddable_sources={"scores"})
+        engine = NimbleEngine(catalog, shedder=shedder)
+        query = (
+            'WHERE <c><name>$n</name></c> IN "customers",'
+            '      <s><name>$n</name><score>$sc</score></s>'
+            '      IN "credit_scores"'
+            " CONSTRUCT <row><name>$n</name><score>$sc</score></row>"
+        )
+        shed = engine.query(query, priority=Priority.NORMAL)
+        assert shed.stats.fragments_shed >= 1
+        assert not shed.completeness.complete
+        assert shed.completeness.missing_sources == ["scores"]
+        scores = catalog.registry.get("scores")
+        assert scores.network.calls == 0
+        # HIGH priority rides above the lens-shed ceiling: full answer
+        served = engine.query(query, priority=Priority.HIGH)
+        assert served.completeness.complete
+        assert served.stats.fragments_shed == 0
+        assert scores.network.calls > 0
+
+    def test_required_sources_are_never_shed(self, catalog):
+        clock = catalog.registry.clock
+        shedder = make_shedder(clock, bad_of_ten=4,
+                               sheddable_sources={"scores"})
+        engine = NimbleEngine(catalog, shedder=shedder)
+        query = (
+            'WHERE <c><name>$n</name></c> IN "customers",'
+            '      <s><name>$n</name><score>$sc</score></s>'
+            '      IN "credit_scores"'
+            " CONSTRUCT <row>$sc</row>"
+        )
+        result = engine.query(query, required_sources={"scores"})
+        assert result.completeness.complete
+        assert result.stats.fragments_shed == 0
+
+    def test_lens_priority_flows_into_admission(self):
+        clock, catalog, source = build_feed()
+        shedder = make_shedder(clock, bad_of_ten=5)
+        engine = NimbleEngine(catalog, shedder=shedder)
+        server = LensServer(engine)
+        server.register(Lens("report", {"items": ITEMS_QUERY},
+                             priority=Priority.BACKGROUND))
+        server.register(Lens("dashboard", {"items": ITEMS_QUERY},
+                             priority=Priority.HIGH))
+        from repro.core.auth import User
+
+        user = User("ops", roles=frozenset())
+        with pytest.raises(QueryRejected):
+            server.invoke("report", "items", user)
+        invocation = server.invoke("dashboard", "items", user)
+        assert invocation.result.completeness.complete
+
+    def test_flwor_rejects_and_releases_token(self):
+        clock, catalog, source = build_feed()
+        shedder = make_shedder(clock, bad_of_ten=5)
+        controller = AdmissionController(clock)
+        engine = NimbleEngine(catalog, shedder=shedder,
+                              admission=controller)
+        flwor = 'FOR $i IN "feed.data" RETURN <o>{$i/v}</o>'
+        with pytest.raises(QueryRejected):
+            engine.flwor_query(flwor, priority=Priority.BACKGROUND)
+        result = engine.flwor_query(flwor, priority=Priority.HIGH)
+        assert len(result.elements) == 3
+        assert controller.in_flight == 0
+
+
+class TestEngineHedging:
+    def build_hedged(self, latency_ms=50.0, hedging=None, shedder=None):
+        clock, catalog, source = build_feed(latency_ms=latency_ms)
+        fragment = items_fragment(catalog)
+        admin = DataAdministrator(clock)
+        admin.add_job("copy", source, fragment, "replica_items",
+                      period_ms=60_000.0)
+        assert admin.run_job("copy") == 3
+        fallbacks = FallbackRegistry()
+        admin.register_fallbacks(fallbacks)
+        engine = NimbleEngine(
+            catalog,
+            fallbacks=fallbacks,
+            metrics=MetricsRegistry(),
+            hedging=hedging or HedgePolicy(min_samples=1, delay_factor=0.5),
+            shedder=shedder,
+        )
+        return clock, engine, source
+
+    def test_hedge_fires_and_backup_wins(self):
+        clock, engine, source = self.build_hedged()
+        first = engine.query(ITEMS_QUERY)  # no latency history: no hedge
+        assert first.stats.hedges_launched == 0
+        second = engine.query(ITEMS_QUERY)
+        assert second.stats.hedges_launched == 1
+        assert second.stats.hedges_won == 1
+        assert second.completeness.hedged_sources == ["feed"]
+        assert second.completeness.complete
+        assert not second.completeness.stale_sources  # hedge rows are fresh
+        assert sorted(e.text_content() for e in second.elements) == [
+            "a", "b", "c",
+        ]
+        # the winner finished at the hedge trigger, not the primary's end
+        assert (second.stats.elapsed_virtual_ms
+                < first.stats.elapsed_virtual_ms)
+
+    def test_histogram_fed_by_primary_not_winner(self):
+        clock, engine, source = self.build_hedged()
+        engine.query(ITEMS_QUERY)
+        engine.query(ITEMS_QUERY)  # hedged
+        samples = engine.metrics.histograms()[
+            "source.feed.fetch_virtual_ms"
+        ].samples
+        # both samples are full primary fetches (~latency), within 50%
+        # of each other: the shortened hedged completion never landed
+        assert len(samples) == 2
+        assert max(samples) < 1.5 * min(samples)
+
+    def test_no_hedging_rung_disables_hedging(self):
+        clock, engine, source = self.build_hedged()
+        tracker = make_tracker(clock)
+        shedder = LoadShedder(tracker, min_window_queries=1)
+        engine.shedder = shedder
+        engine.query(ITEMS_QUERY)
+        burn(tracker, 8, 2)  # 60% left -> NO_HEDGING
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.hedges_launched == 0
+        assert result.completeness.hedged_sources == []
+
+    def test_fast_primary_never_hedges(self):
+        clock, engine, source = self.build_hedged(
+            hedging=HedgePolicy(min_samples=1, delay_factor=3.0),
+        )
+        engine.query(ITEMS_QUERY)
+        result = engine.query(ITEMS_QUERY)
+        # the hedge would fire at 3x p95; the primary always beats it
+        assert result.stats.hedges_launched == 0
+        assert result.stats.fragments_executed == 1
+
+    def test_no_replica_means_no_hedge(self):
+        clock, catalog, source = build_feed(latency_ms=50.0)
+        engine = NimbleEngine(
+            catalog, fallbacks=FallbackRegistry(), metrics=MetricsRegistry(),
+            hedging=HedgePolicy(min_samples=1, delay_factor=0.5),
+        )
+        engine.query(ITEMS_QUERY)
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.hedges_launched == 0
+
+
+# -- cluster dispatch ----------------------------------------------------------
+
+
+class TestClusterOverload:
+    def build_cluster(self, instances=1, latency_ms=100.0, **kwargs):
+        clock, catalog, source = build_feed(latency_ms=latency_ms)
+        engine = NimbleEngine(catalog)
+        cluster = EngineCluster(engine, instances=instances, **kwargs)
+        return clock, cluster
+
+    def test_projected_queue_wait_sheds_background_first(self):
+        clock, cluster = self.build_cluster(
+            admission=AdmissionController(SimClock()),
+        )
+        head = cluster.submit(ITEMS_QUERY, arrival_ms=0.0)
+        assert head.completion_ms > 60.0  # backlog now exceeds BG bound
+        rejected = cluster.offer(ITEMS_QUERY, arrival_ms=0.0,
+                                 priority=Priority.BACKGROUND)
+        assert isinstance(rejected, RejectedQuery)
+        assert rejected.rejected
+        assert rejected.retry_after_ms == pytest.approx(head.completion_ms)
+        served = cluster.offer(ITEMS_QUERY, arrival_ms=0.0,
+                               priority=Priority.HIGH)
+        assert not served.rejected
+        assert served.queue_ms == pytest.approx(head.completion_ms)
+        assert [r.priority for r in cluster.rejected] == [
+            Priority.BACKGROUND
+        ]
+
+    def test_round_robin_routes_around_backlogged_instance(self):
+        clock, cluster = self.build_cluster(
+            instances=2, strategy="round_robin",
+            admission=AdmissionController(SimClock()),
+        )
+        cluster.instances[0].free_at_ms = 1_000.0  # deep backlog
+        chosen = cluster._choose(arrival_ms=0.0,
+                                 priority=Priority.BACKGROUND)
+        assert chosen is cluster.instances[1]
+        assert cluster.rerouted == 1
+        # no admission gate -> the strategy's pick stands
+        bare = EngineCluster(cluster.engine, instances=2,
+                             strategy="round_robin")
+        bare.instances[0].free_at_ms = 1_000.0
+        assert bare._choose(arrival_ms=0.0) is bare.instances[0]
+
+    def test_shedder_gate_rejects_before_dispatch(self):
+        clock, cluster = self.build_cluster()
+        tracker = make_tracker(clock)
+        burn(tracker, 5, 5)
+        cluster.shedder = LoadShedder(tracker, min_window_queries=1)
+        record = cluster.offer(ITEMS_QUERY, arrival_ms=0.0,
+                               priority=Priority.LOW)
+        assert record.rejected
+        assert cluster.engine.queries_run == 0
+        assert len(cluster.completed) == 0
+
+    def test_cluster_feeds_slo_with_end_to_end_latency(self):
+        clock, cluster = self.build_cluster()
+        tracker = make_tracker(clock)
+        cluster.slo = tracker
+        first = cluster.submit(ITEMS_QUERY, arrival_ms=0.0)
+        queued = cluster.submit(ITEMS_QUERY, arrival_ms=0.0)
+        assert tracker.total_observed == 2
+        observed = [o.virtual_ms for o in tracker._observations]
+        assert observed[0] == pytest.approx(first.latency_ms)
+        # the queued query's observation includes its queueing delay
+        assert observed[1] == pytest.approx(queued.latency_ms)
+        assert queued.latency_ms > first.latency_ms
+
+    def test_overload_snapshot_counts_everything(self):
+        clock, cluster = self.build_cluster(
+            admission=AdmissionController(SimClock()),
+        )
+        tracker = make_tracker(clock)
+        burn(tracker, 5, 5)
+        cluster.shedder = LoadShedder(tracker, min_window_queries=1)
+        cluster.offer(ITEMS_QUERY, arrival_ms=0.0, priority=Priority.HIGH)
+        cluster.offer(ITEMS_QUERY, arrival_ms=0.0, priority=Priority.LOW)
+        snapshot = cluster.overload_snapshot(now_ms=0.0)
+        assert snapshot["completed"] == 1
+        assert snapshot["rejected"] == 1
+        assert snapshot["queue_depth"] == 1
+        assert snapshot["queue_wait_ms"] > 0
+        assert snapshot["admission"]["admitted_total"] == 1
+        assert snapshot["shedder"]["shed_queries"] == 1
+
+
+# -- alerting and the console --------------------------------------------------
+
+
+class TestOverloadObservability:
+    def test_overload_shedding_rule_fires_and_resolves(self):
+        clock = SimClock()
+        manager = AlertManager(clock)
+        manager.add_rule(overload_shedding_rule())
+        tracker = make_tracker(clock, window_ms=1_000.0)
+        burn(tracker, 5, 5)
+        shedder = LoadShedder(tracker, min_window_queries=1)
+        shedder.refresh()
+        fired = manager.evaluate({"overload": shedder.snapshot()})
+        assert [a.state for a in fired] == ["firing"]
+        assert fired[0].rule == "overload_shedding"
+        assert fired[0].context["level_name"] == "REJECT_LOW"
+        clock.advance(2_000.0)
+        burn(tracker, 10, 0)
+        shedder.refresh()
+        resolved = manager.evaluate({"overload": shedder.snapshot()})
+        assert [a.state for a in resolved] == ["resolved"]
+
+    def test_default_rules_include_overload_shedding(self):
+        assert "overload_shedding" in {r.name for r in default_rules()}
+
+    def test_slo_monitor_context_carries_overload(self):
+        clock, catalog, source = build_feed()
+        tracker = make_tracker(clock)
+        shedder = make_shedder(clock, bad_of_ten=5)
+        engine = NimbleEngine(catalog, slo=tracker, shedder=shedder)
+        monitor = SloMonitor(engine)
+        context = monitor.evaluation_context()
+        assert context["overload"]["level_name"] == "REJECT_LOW"
+        transitions = monitor.evaluate()
+        assert any(t.rule == "overload_shedding" for t in transitions)
+
+    def test_overload_monitor_and_console_section(self):
+        from repro.admin.console import ManagementConsole
+
+        clock, catalog, source = build_feed()
+        shedder = make_shedder(clock, bad_of_ten=5)
+        engine = NimbleEngine(
+            catalog,
+            shedder=shedder,
+            admission=AdmissionController(clock),
+            hedging=HedgePolicy(),
+            metrics=MetricsRegistry(),
+        )
+        with pytest.raises(QueryRejected):
+            engine.query(ITEMS_QUERY, priority=Priority.LOW)
+        cluster = EngineCluster(engine)
+        monitor = OverloadMonitor(engine, cluster=cluster)
+        snapshot = monitor.snapshot()
+        assert snapshot["shedder"]["level_name"] == "REJECT_LOW"
+        assert snapshot["admission"]["in_flight"] == 0
+        assert snapshot["hedging"]["enabled"] is True
+        assert snapshot["queries_rejected"] == 1
+        assert snapshot["brownout_level_gauge"] == 4
+        assert snapshot["cluster"]["completed"] == 0
+        console = ManagementConsole(engine, overload_monitor=monitor)
+        text = console.render()
+        assert "brownout REJECT_LOW" in text
+        assert "admission:" in text
+        assert "hedging: on" in text
+        assert "fleet:" in text
+
+
+# -- the never-trigger equivalence property ------------------------------------
+
+
+def run_workload(with_controller, seed, queries=6):
+    """One deployment run; returns every determinism-relevant output."""
+    faults = FaultModel(failure_rate=0.2, slow_rate=0.2, drop_rate=0.1,
+                        seed=seed)
+    clock, catalog, source = build_feed(faults=faults)
+    kwargs = {}
+    if with_controller:
+        tracker = SloTracker(
+            clock,
+            policies=[SloPolicy("avail", "availability", 0.5,
+                                window_ms=1e9)],
+        )
+        kwargs = dict(
+            admission=AdmissionController(clock, max_concurrent=10_000,
+                                          queue_capacity=10_000),
+            # thresholds of 0 can never exceed a non-negative remaining
+            # budget: the ladder is provably stuck at NORMAL
+            shedder=LoadShedder(tracker, thresholds=(0.0, 0.0, 0.0, 0.0),
+                                min_window_queries=1,
+                                sheddable_sources={"feed"}),
+            hedging=HedgePolicy(enabled=False),
+        )
+    engine = NimbleEngine(
+        catalog,
+        fragment_cache_bytes=50_000,
+        fragment_cache_ttl_ms=200.0,
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, base_backoff_ms=20.0, seed=9),
+        ),
+        **kwargs,
+    )
+    outputs = []
+    for index in range(queries):
+        result = engine.query(ITEMS_QUERY,
+                              priority=Priority(index % len(Priority)))
+        outputs.append((
+            tuple(e.text_content() for e in result.elements),
+            result.completeness.complete,
+            tuple(result.completeness.missing_sources),
+            tuple(result.completeness.stale_sources),
+            tuple(result.completeness.hedged_sources),
+            tuple(sorted(result.stats.as_dict().items())),
+        ))
+        clock.advance(50.0)
+    return outputs, clock.now
+
+
+class TestNeverTriggerEquivalence:
+    def test_disabled_ladder_is_bit_equivalent_under_faults(self):
+        baseline = run_workload(False, seed=77)
+        guarded = run_workload(True, seed=77)
+        assert guarded == baseline
+
+    def test_overload_counters_all_zero_when_never_triggered(self):
+        outputs, _ = run_workload(True, seed=5)
+        for _, _, _, _, _, counters in outputs:
+            stats = dict(counters)
+            assert stats["hedges_launched"] == 0
+            assert stats["hedges_won"] == 0
+            assert stats["fragments_shed"] == 0
+            assert stats["stale_cache_served"] == 0
+
+    if HAVE_HYPOTHESIS:
+
+        @given(seed=st.integers(min_value=0, max_value=2**16))
+        @settings(max_examples=20, deadline=None)
+        def test_equivalence_holds_for_any_fault_seed(self, seed):
+            assert run_workload(True, seed=seed) == run_workload(False,
+                                                                 seed=seed)

@@ -147,6 +147,68 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_mode="gaussian")
+
+    def test_legacy_equal_schedule_is_pinned(self):
+        # the shared-RNG draw sequence existing deployments replay on;
+        # "equal" must stay the default and keep producing exactly this
+        policy = RetryPolicy(base_backoff_ms=100.0, multiplier=2.0,
+                             max_backoff_ms=400.0, jitter=0.5, seed=9)
+        assert policy.jitter_mode == "equal"
+        import random
+
+        rng = random.Random(9)
+        expected = [
+            min(100.0 * 2.0 ** i, 400.0) * (1.0 + rng.uniform(-0.5, 0.5))
+            for i in range(6)
+        ]
+        assert [policy.backoff_ms(i) for i in range(6)] == expected
+
+    def test_decorrelated_jitter_is_order_independent(self):
+        policy = RetryPolicy(jitter=0.5, seed=9, jitter_mode="decorrelated")
+        forward = [policy.backoff_ms(i, source="a") for i in range(5)]
+        backward = [policy.backoff_ms(i, source="a")
+                    for i in reversed(range(5))]
+        assert forward == list(reversed(backward))
+        # a second policy instance agrees draw for draw: no shared state
+        twin = RetryPolicy(jitter=0.5, seed=9, jitter_mode="decorrelated")
+        assert [twin.backoff_ms(i, source="a") for i in range(5)] == forward
+
+    def test_decorrelated_jitter_separates_sources(self):
+        policy = RetryPolicy(jitter=0.5, seed=9, jitter_mode="decorrelated")
+        a = [policy.backoff_ms(i, source="a") for i in range(5)]
+        b = [policy.backoff_ms(i, source="b") for i in range(5)]
+        assert a != b  # the whole point: per-source decorrelation
+        # interleaving callers changes nothing for either source
+        mixed_a, mixed_b = [], []
+        for i in range(5):
+            mixed_a.append(policy.backoff_ms(i, source="a"))
+            mixed_b.append(policy.backoff_ms(i, source="b"))
+        assert mixed_a == a
+        assert mixed_b == b
+
+    def test_decorrelated_engine_run_is_deterministic(self):
+        def run():
+            clock, catalog, source = build_feed(
+                faults=FaultModel(failure_rate=0.5, seed=11)
+            )
+            engine = NimbleEngine(
+                catalog,
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=3, jitter=0.4, seed=5,
+                                      jitter_mode="decorrelated"),
+                ),
+            )
+            totals = {}
+            for _ in range(20):
+                stats = engine.query(ITEMS_QUERY).stats
+                for key, value in stats.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            totals["clock"] = clock.now
+            return totals
+
+        assert run() == run()
 
 
 class TestCircuitBreaker:
@@ -426,6 +488,92 @@ class TestDegradedReads:
         source.force_offline()
         result = engine.query(ITEMS_QUERY)
         assert result.stats.stale_served == 0
+        assert result.stats.fragments_skipped == 1
+
+
+class TestFallbackCacheInterplay:
+    """The fragment cache as a degraded-read rung under breaker pressure."""
+
+    def build_cached(self, **resilience_overrides):
+        clock, catalog, source = build_feed()
+        settings = dict(
+            retry=RetryPolicy(max_attempts=2, base_backoff_ms=10.0,
+                              jitter=0.0),
+            breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                  min_calls=2, cooldown_ms=1e9),
+        )
+        settings.update(resilience_overrides)
+        engine = NimbleEngine(
+            catalog,
+            fragment_cache_bytes=100_000,
+            fragment_cache_ttl_ms=100.0,
+            resilience=ResiliencePolicy(**settings),
+        )
+        return clock, engine, source
+
+    def test_expired_cache_entry_serves_terminal_failure(self):
+        clock, engine, source = self.build_cached()
+        warm = engine.query(ITEMS_QUERY)  # populates the fragment cache
+        assert warm.stats.fragments_executed == 1
+        clock.advance(10_000.0)  # the entry is now past its TTL
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert [e.text_content() for e in result.elements] == ["a", "b", "c"]
+        assert result.stats.stale_cache_served == 1
+        assert result.stats.stale_served == 1
+        assert result.stats.fragments_skipped == 0
+        assert result.completeness.complete  # rows present, just old
+        assert result.completeness.stale_sources == ["feed"]
+        assert result.completeness.degraded
+
+    def test_open_breaker_serves_stale_without_burning_retries(self):
+        clock, engine, source = self.build_cached()
+        engine.query(ITEMS_QUERY)
+        clock.advance(10_000.0)
+        source.force_offline()
+        opener = engine.query(ITEMS_QUERY)  # failures here open the breaker
+        assert opener.stats.retries > 0
+        assert opener.stats.breaker_trips == 1
+        breaker = engine.resilient.breakers["feed"]
+        assert breaker.state is BreakerState.OPEN
+        fast = engine.query(ITEMS_QUERY)
+        # fail-fast path: no source call, no retry budget spent — and the
+        # expired cache entry still answers with the stale annotation
+        assert fast.stats.retries == 0
+        assert fast.stats.remote_calls == 0
+        assert fast.stats.stale_cache_served == 1
+        assert fast.completeness.stale_sources == ["feed"]
+        assert fast.completeness.complete
+
+    def test_fresh_entry_preempts_the_whole_ladder(self):
+        clock, engine, source = self.build_cached()
+        engine.query(ITEMS_QUERY)
+        source.force_offline()  # entry still fresh: failure never seen
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.fragment_cache_hits == 1
+        assert result.stats.stale_cache_served == 0
+        assert result.stats.retries == 0
+        assert not result.completeness.stale_sources
+
+    def test_allow_stale_false_blocks_the_cache_rung_too(self):
+        clock, engine, source = self.build_cached(allow_stale=False)
+        engine.query(ITEMS_QUERY)
+        clock.advance(10_000.0)
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.stale_cache_served == 0
+        assert result.stats.fragments_skipped == 1
+        assert result.completeness.missing_sources == ["feed"]
+
+    def test_epoch_bump_invalidates_stale_serving(self):
+        clock, engine, source = self.build_cached()
+        engine.query(ITEMS_QUERY)
+        clock.advance(10_000.0)
+        # any catalog change moves the version epoch: old rows are wrong
+        engine.catalog.map_relation("items_again", "feed", "data")
+        source.force_offline()
+        result = engine.query(ITEMS_QUERY)
+        assert result.stats.stale_cache_served == 0
         assert result.stats.fragments_skipped == 1
 
 

@@ -399,10 +399,11 @@ class TestAlertManager:
         )
         assert sorted(a.key for a in fired) == ["erp", "log"]
 
-    def test_default_rules_cover_the_four_signals(self):
+    def test_default_rules_cover_the_five_signals(self):
         names = {rule.name for rule in default_rules()}
         assert names == {"slo_breach", "error_budget_low",
-                         "latency_regression", "breaker_open"}
+                         "latency_regression", "breaker_open",
+                         "overload_shedding"}
 
 
 # -- aggregation -------------------------------------------------------------
