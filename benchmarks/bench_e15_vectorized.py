@@ -1,0 +1,260 @@
+"""E15 — vectorized columnar execution and projection pushdown.
+
+The claims under test:
+
+1. **Throughput**: the batched column path runs a scan-filter-project
+   pipeline at >= 3x the rows/sec of the tuple-at-a-time path once
+   ``batch_rows`` reaches 256 (the per-row Python interpreter overhead
+   — one generator resume, one predicate call, one dict copy per row —
+   is amortised over whole-column operations on selection masks).
+2. **Bytes moved**: end-to-end projection pushdown (``Fragment.columns``
+   -> wrapper SELECT lists -> the SQL layer's ``columns_read``) shrinks
+   ``bytes_transferred`` / ``values_transferred`` without changing a
+   single output element.
+3. **Bit-identity**: every swept configuration (cache / fan-out /
+   pushdown x batch sizes) returns byte-identical results and identical
+   determinism counters with ``vectorized`` on and off.
+
+Wall-clock numbers come from genuine ``time.perf_counter`` timing over
+an in-process fragment context (no network simulation in the hot loop),
+so the measured ratio is pure executor overhead.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.algebra import ColumnPredicate, Project, Select
+from repro.core import NimbleEngine
+from repro.mediator.catalog import Catalog
+from repro.optimizer.planner import FragmentScan
+from repro.simtime import SimClock
+from repro.sources import NetworkModel, SourceRegistry, XMLSource
+from repro.xmldm import Record, serialize
+
+N_ROWS = 120_000
+BATCH_SIZES = (64, 256, 1024)
+TARGET_SPEEDUP = 3.0
+
+
+# -- throughput: scan-filter-project over an in-process fragment --------------
+
+
+class _LocalUnit:
+    """Stand-in FragmentUnit: FragmentScan only calls ``describe()``."""
+
+    def describe(self) -> str:
+        return "local"
+
+
+class _LocalContext:
+    """Execution-context stub whose ``fetch_fragment`` returns prefetched
+    records — keeps the source/network layers out of the timed loop."""
+
+    def __init__(self, records: list[Record]):
+        self.records = records
+
+    def fetch_fragment(self, unit, params) -> list[Record]:
+        return self.records
+
+
+def make_records(n: int = N_ROWS) -> list[Record]:
+    return [
+        Record({"k": i % 97, "v": i, "w": f"pad-{i:06d}"}) for i in range(n)
+    ]
+
+
+def build_pipeline(context: _LocalContext):
+    root = FragmentScan(_LocalUnit(), context)
+    root = Select(root, ColumnPredicate("v", ">=", N_ROWS // 2))
+    return Project(root, ("k", "v"))
+
+
+def run_row_path(context: _LocalContext) -> tuple[int, float]:
+    root = build_pipeline(context)
+    started = time.perf_counter()
+    count = sum(1 for _ in root)
+    return count, time.perf_counter() - started
+
+
+def run_vectorized(context: _LocalContext, batch_rows: int) -> tuple[int, float]:
+    root = build_pipeline(context)
+    root.bind_vectorized(batch_rows)
+    started = time.perf_counter()
+    # consume batches natively: downstream columnar consumers (shipping,
+    # re-shredding into a cache) never pay the per-row materialisation
+    count = sum(batch.live_count for batch in root.batches())
+    return count, time.perf_counter() - started
+
+
+def throughput_sweep() -> tuple[list[list], dict[str, float]]:
+    records = make_records()
+    context = _LocalContext(records)
+    # warm up allocators / code paths once before timing
+    run_row_path(context)
+    row_count, row_seconds = run_row_path(context)
+    row_rate = N_ROWS / row_seconds
+    rows = [["row-at-a-time", "-", row_count,
+             round(row_rate), 1.0]]
+    speedups: dict[str, float] = {}
+    for batch_rows in BATCH_SIZES:
+        vec_count, vec_seconds = run_vectorized(context, batch_rows)
+        assert vec_count == row_count, "vectorized count diverged"
+        rate = N_ROWS / vec_seconds
+        speedup = rate / row_rate
+        speedups[str(batch_rows)] = round(speedup, 2)
+        rows.append([
+            "vectorized", batch_rows, vec_count, round(rate),
+            round(speedup, 2),
+        ])
+    return rows, speedups
+
+
+# -- pushdown: bytes moved, and bit-identity across configurations ------------
+
+ITEMS_XML = "<r>" + "".join(
+    f"<item><k>{i % 7}</k><v>{i}</v><w>pad-{i:04d}</w></item>"
+    for i in range(400)
+) + "</r>"
+NARROW_QUERY = (
+    'WHERE <item><k>$k</k><v>$v</v><w>$w</w></item> IN "feed.data", '
+    '$v > 99 CONSTRUCT <out>$k</out>'
+)
+FEED_QUERY = (
+    'WHERE <item><k>$k</k><v>$v</v><w>$w</w></item> IN "feed.data", '
+    '$v > 99 CONSTRUCT <out><k>$k</k><v>$v</v></out> ORDER BY $v'
+)
+
+
+def build_feed_engine(**engine_kw) -> NimbleEngine:
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    registry.register(XMLSource(
+        "feed", {"data": ITEMS_XML},
+        network=NetworkModel(latency_ms=10.0, per_row_ms=0.1),
+    ))
+    return NimbleEngine(Catalog(registry), **engine_kw)
+
+
+def pushdown_bytes(bench_stats) -> list[list]:
+    rows = []
+    wide = bench_stats.absorb(build_feed_engine().query(NARROW_QUERY))
+    narrow = bench_stats.absorb(
+        build_feed_engine(projection_pushdown=True).query(NARROW_QUERY)
+    )
+    assert ([serialize(e) for e in narrow.elements]
+            == [serialize(e) for e in wide.elements]), "pushdown changed output"
+    for label, result in (("pushdown off", wide), ("pushdown on", narrow)):
+        rows.append([
+            label,
+            result.stats.rows_transferred,
+            result.stats.values_transferred,
+            result.stats.bytes_transferred,
+        ])
+    assert narrow.stats.bytes_transferred < wide.stats.bytes_transferred
+    return rows
+
+
+def bit_identity_sweep(bench_stats) -> int:
+    """Return the number of (config x batch size) cells verified."""
+    configs = [
+        dict(),
+        dict(fragment_cache_bytes=500_000),
+        dict(max_parallel_fetches=1),
+        dict(projection_pushdown=True),
+        dict(projection_pushdown=True, fragment_cache_bytes=500_000),
+    ]
+    checked = 0
+    for config in configs:
+        def run(**extra):
+            engine = build_feed_engine(**config, **extra)
+            outputs = []
+            for _ in range(2):
+                result = bench_stats.absorb(engine.query(FEED_QUERY))
+                outputs.append(
+                    ([serialize(e) for e in result.elements],
+                     result.stats.counters())
+                )
+            return outputs
+
+        base = run()
+        for batch_rows in (1, 8, 1024):
+            assert run(vectorized=True, batch_rows=batch_rows) == base, (
+                config, batch_rows)
+            checked += 1
+    return checked
+
+
+def report():
+    from common import BenchStats, print_table, write_bench_json
+
+    bench_stats = BenchStats()
+    bench_stats.reset()
+
+    throughput_rows, speedups = throughput_sweep()
+    print_table(
+        f"E15: scan-filter-project throughput ({N_ROWS:,} rows)",
+        ["path", "batch_rows", "rows out", "rows/sec", "speedup"],
+        throughput_rows,
+    )
+    transfer_rows = pushdown_bytes(bench_stats)
+    print_table(
+        "E15: projection pushdown, bytes moved (400-row feed, 1 of 3 cols)",
+        ["config", "rows moved", "values moved", "bytes moved"],
+        transfer_rows,
+    )
+    cells = bit_identity_sweep(bench_stats)
+    print(f"\nbit-identity sweep: {cells} config x batch-size cells verified")
+
+    best = max(speedups.values())
+    at_256 = speedups.get("256", 0.0)
+    assert at_256 >= TARGET_SPEEDUP, (
+        f"vectorized speedup {at_256}x at batch_rows=256 "
+        f"is below the {TARGET_SPEEDUP}x target"
+    )
+    write_bench_json(
+        "e15_vectorized",
+        ["path", "batch_rows", "rows out", "rows/sec", "speedup"],
+        throughput_rows,
+        headline={
+            "speedup_at_256": at_256,
+            "best_speedup": best,
+            "bit_identity_cells": cells,
+            "pushdown_bytes_off": transfer_rows[0][3],
+            "pushdown_bytes_on": transfer_rows[1][3],
+        },
+        extra_tables={
+            "pushdown_transfer": (
+                ["config", "rows moved", "values moved", "bytes moved"],
+                transfer_rows,
+            ),
+        },
+        stats=bench_stats,
+    )
+    return throughput_rows
+
+
+def test_e15_vectorized_speedup(benchmark):
+    records = make_records(20_000)
+    context = _LocalContext(records)
+
+    def vectorized():
+        root = build_pipeline(context)
+        root.bind_vectorized(1024)
+        return sum(batch.live_count for batch in root.batches())
+
+    assert benchmark(vectorized) == 10_000
+
+
+def test_e15_row_baseline(benchmark):
+    records = make_records(20_000)
+    context = _LocalContext(records)
+    assert benchmark(lambda: run_row_path(context)[0]) == 10_000
+
+
+if __name__ == "__main__":
+    report()

@@ -125,9 +125,7 @@ def write_bench_json(
         "headline": {k: _jsonable(v) for k, v in (headline or {}).items()},
     }
     if stats is not None:
-        payload["engine_stats"] = {
-            k: _jsonable(v) for k, v in stats.as_dict().items()
-        }
+        payload["engine_stats"] = _stats_union(stats.as_dict())
     if extra_tables:
         payload["tables"] = {
             table: {"headers": list(t_headers), "rows": _row_dicts(t_headers, t_rows)}
@@ -136,6 +134,21 @@ def write_bench_json(
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {path}")
     return path
+
+
+def _stats_union(counters: dict[str, Any]) -> dict[str, Any]:
+    """Zero-fill ``counters`` to the full ``EngineStats`` counter union.
+
+    Every ``BENCH_*.json`` then carries the same ``engine_stats`` key
+    set regardless of which counters a given bench exercised — so
+    cross-PR diff tooling never sees keys appear and vanish when new
+    counter groups (e.g. the per-column transfer counters) are added.
+    """
+    from repro.core.engine import EngineStats
+
+    union = {name: 0 for name in EngineStats().as_dict()}
+    union.update(counters)
+    return {k: _jsonable(v) for k, v in union.items()}
 
 
 def _row_dicts(

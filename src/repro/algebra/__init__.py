@@ -36,7 +36,19 @@ from repro.algebra.operators import (
     Project,
     Select,
     Sort,
+    TopK,
     Union,
+    fuse_sort_limit,
+)
+from repro.algebra.vector import (
+    MISSING,
+    BatchCursor,
+    ColumnPredicate,
+    ColumnVector,
+    RecordBatch,
+    batches_from_rows,
+    from_tuples,
+    shred_records,
 )
 from repro.algebra.grouping import Aggregate, AggregateSpec, GroupBy
 from repro.algebra.pattern import AttributePattern, TreePattern
@@ -50,11 +62,14 @@ __all__ = [
     "Aggregate",
     "AggregateSpec",
     "AttributePattern",
+    "BatchCursor",
     "BatchedDependentJoin",
     "BindingTuple",
     "BindingsSource",
     "CallbackScan",
     "CollectionScan",
+    "ColumnPredicate",
+    "ColumnVector",
     "Compute",
     "Construct",
     "ConstructTemplate",
@@ -65,17 +80,24 @@ __all__ = [
     "GroupBy",
     "HashJoin",
     "Limit",
+    "MISSING",
     "Navigate",
     "NestedLoopJoin",
     "Operator",
     "PatternMatch",
     "Plan",
     "Project",
+    "RecordBatch",
     "Select",
     "Sort",
     "TemplateText",
     "TemplateVar",
+    "TopK",
     "TreePattern",
     "Union",
+    "batches_from_rows",
     "build_elements",
+    "from_tuples",
+    "fuse_sort_limit",
+    "shred_records",
 ]

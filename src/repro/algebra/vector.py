@@ -1,0 +1,462 @@
+"""Columnar batches for the vectorized execution path.
+
+The row path streams one :class:`~repro.algebra.tuples.BindingTuple` at
+a time through the operator tree, paying Python dispatch per tuple per
+operator.  The vectorized path instead moves a :class:`RecordBatch` —
+a small column store: one value list per variable plus a *selection
+mask* (a list of live row indices) — through the tree, so each operator
+call amortizes its dispatch over ``batch_rows`` tuples.
+
+Filters never copy columns: they produce a new batch sharing the same
+column lists with a narrower ``live`` list (see the DESIGN.md decision
+entry on selection masks vs copy-on-filter).
+
+Binding tuples are heterogeneous — a variable may be absent from some
+rows — so columns use the :data:`MISSING` sentinel for "no binding".
+``MISSING`` is distinct from the model's NULL: NULL is a bound value,
+MISSING means the variable does not appear in that row at all (and so
+must not survive materialization back into tuples).
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.algebra.tuples import BindingTuple
+from repro.xmldm.values import NULL, Null, atomize, compare_values
+
+
+class _Missing:
+    """Sentinel for "variable absent in this row" (not the same as NULL)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+#: default batch width when an operator falls back without a bound size
+DEFAULT_BATCH_ROWS = 1024
+
+
+class ColumnVector:
+    """One named column: a full-length value list, possibly with MISSING."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: list[Any]):
+        self.name = name
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __repr__(self) -> str:
+        return f"ColumnVector({self.name}, n={len(self.values)})"
+
+
+class RecordBatch:
+    """A batch of binding tuples stored column-wise with a selection mask.
+
+    ``columns`` maps variable name to a list of ``length`` values
+    (:data:`MISSING` where the row has no binding).  ``live`` is the
+    ascending list of selected row indices, or None meaning *all* rows —
+    filters narrow ``live`` without touching the columns.
+    """
+
+    __slots__ = ("columns", "live", "length")
+
+    def __init__(
+        self,
+        columns: dict[str, list[Any]],
+        live: list[int] | None = None,
+        length: int | None = None,
+    ):
+        if length is None:
+            if columns:
+                length = len(next(iter(columns.values())))
+            elif live:
+                length = (max(live) + 1) if live else 0
+            else:
+                length = 0
+        self.columns = columns
+        self.live = live
+        self.length = length
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self.columns)
+
+    def vectors(self) -> list[ColumnVector]:
+        return [ColumnVector(name, values) for name, values in self.columns.items()]
+
+    def live_indices(self) -> Sequence[int]:
+        return range(self.length) if self.live is None else self.live
+
+    @property
+    def live_count(self) -> int:
+        return self.length if self.live is None else len(self.live)
+
+    def with_live(self, live: list[int]) -> "RecordBatch":
+        """Same columns, narrower selection (the mask-based filter)."""
+        return RecordBatch(self.columns, live, self.length)
+
+    def project(self, variables: Iterable[str]) -> "RecordBatch":
+        """Keep only the named columns (absent names are dropped)."""
+        columns = {
+            var: self.columns[var] for var in variables if var in self.columns
+        }
+        return RecordBatch(columns, self.live, self.length)
+
+    def row_items(self, index: int) -> list[tuple[str, Any]]:
+        """Present (variable, value) pairs of one row, skipping MISSING."""
+        items = []
+        for var, values in self.columns.items():
+            value = values[index]
+            if value is not MISSING:
+                items.append((var, value))
+        return items
+
+    def row_dict(self, index: int) -> dict[str, Any]:
+        """One row as a plain dict of its present bindings."""
+        out = {}
+        for var, values in self.columns.items():
+            value = values[index]
+            if value is not MISSING:
+                out[var] = value
+        return out
+
+    def to_tuples(self) -> Iterator[BindingTuple]:
+        """Materialize the live rows back into binding tuples."""
+        items = list(self.columns.items())
+        for index in self.live_indices():
+            row = {}
+            for var, values in items:
+                value = values[index]
+                if value is not MISSING:
+                    row[var] = value
+            yield BindingTuple(row)
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordBatch(vars={list(self.columns)}, rows={self.live_count}"
+            f"/{self.length})"
+        )
+
+
+def from_tuples(rows: Sequence[BindingTuple]) -> RecordBatch:
+    """Shred binding tuples into a batch (union of variables, MISSING-padded)."""
+    length = len(rows)
+    columns: dict[str, list[Any]] = {}
+    for position, row in enumerate(rows):
+        for var, value in row.as_dict().items():
+            column = columns.get(var)
+            if column is None:
+                column = [MISSING] * length
+                columns[var] = column
+            column[position] = value
+    return RecordBatch(columns, None, length)
+
+
+def shred_records(records: Sequence[Any]) -> RecordBatch:
+    """Shred source Records straight into columns (no tuple detour).
+
+    This is the source-boundary shredding step: fragment results arrive
+    as :class:`~repro.xmldm.values.Record` lists and become one column
+    per field.  Heterogeneous records (legal in semi-structured data)
+    pad absent fields with MISSING, matching the row path where
+    ``BindingTuple(record.as_dict())`` simply lacks the binding.
+    """
+    length = len(records)
+    columns: dict[str, list[Any]]
+    if length and getattr(records[0], "field_map", None) is not None:
+        # homogeneous fast path: when every record binds the same field
+        # set (the overwhelmingly common source-result shape), each
+        # column is one C-speed comprehension over the raw field maps
+        maps = [record.field_map for record in records]
+        names = list(maps[0])
+        width = len(names)
+        if all(len(field_map) == width for field_map in maps):
+            try:
+                columns = {
+                    name: [field_map[name] for field_map in maps]
+                    for name in names
+                }
+                return RecordBatch(columns, None, length)
+            except KeyError:
+                pass  # same width, different names: heterogeneous after all
+    columns = {}
+    for position, record in enumerate(records):
+        for name, value in record.items():
+            column = columns.get(name)
+            if column is None:
+                column = [MISSING] * length
+                columns[name] = column
+            column[position] = value
+    return RecordBatch(columns, None, length)
+
+
+def batches_from_rows(
+    rows: Iterable[BindingTuple], batch_rows: int
+) -> Iterator[RecordBatch]:
+    """Chunk a tuple stream into batches (the row-path fallback bridge)."""
+    if batch_rows < 1:
+        raise ValueError("batch_rows must be >= 1")
+    buffer: list[BindingTuple] = []
+    for row in rows:
+        buffer.append(row)
+        if len(buffer) >= batch_rows:
+            yield from_tuples(buffer)
+            buffer = []
+    if buffer:
+        yield from_tuples(buffer)
+
+
+class RowBuffer:
+    """Accumulates row dicts and flushes them as full batches.
+
+    Used by vectorized operators whose output cardinality differs from
+    their input (joins, grouping): merged rows land here as plain dicts
+    and leave as column batches of ``batch_rows``.
+    """
+
+    __slots__ = ("batch_rows", "_rows")
+
+    def __init__(self, batch_rows: int):
+        self.batch_rows = max(1, batch_rows)
+        self._rows: list[dict[str, Any]] = []
+
+    def append(self, row: dict[str, Any]) -> None:
+        self._rows.append(row)
+
+    @property
+    def full(self) -> bool:
+        return len(self._rows) >= self.batch_rows
+
+    def drain(self) -> Iterator[RecordBatch]:
+        """Yield completed batches, keeping any partial tail buffered."""
+        while len(self._rows) >= self.batch_rows:
+            chunk = self._rows[: self.batch_rows]
+            del self._rows[: self.batch_rows]
+            yield _batch_from_dicts(chunk)
+
+    def flush(self) -> Iterator[RecordBatch]:
+        """Yield everything buffered, including the partial tail."""
+        yield from self.drain()
+        if self._rows:
+            chunk = self._rows
+            self._rows = []
+            yield _batch_from_dicts(chunk)
+
+
+def _batch_from_dicts(rows: Sequence[dict[str, Any]]) -> RecordBatch:
+    length = len(rows)
+    columns: dict[str, list[Any]] = {}
+    for position, row in enumerate(rows):
+        for var, value in row.items():
+            column = columns.get(var)
+            if column is None:
+                column = [MISSING] * length
+                columns[var] = column
+            column[position] = value
+    return RecordBatch(columns, None, length)
+
+
+def gather(
+    sources: Sequence[tuple[RecordBatch, int]],
+    order: Sequence[int],
+    batch_rows: int,
+) -> Iterator[RecordBatch]:
+    """Re-emit (batch, row) pairs in ``order`` as fresh dense batches.
+
+    Used by vectorized Sort: after computing a global permutation over
+    buffered input batches, gather copies the selected rows out in
+    sorted order, ``batch_rows`` at a time.
+    """
+    batch_rows = max(1, batch_rows)
+    for start in range(0, len(order), batch_rows):
+        chunk = order[start : start + batch_rows]
+        rows = [sources[position] for position in chunk]
+        length = len(rows)
+        columns: dict[str, list[Any]] = {}
+        for out_index, (batch, row_index) in enumerate(rows):
+            for var, values in batch.columns.items():
+                value = values[row_index]
+                if value is MISSING:
+                    continue
+                column = columns.get(var)
+                if column is None:
+                    column = [MISSING] * length
+                    columns[var] = column
+                column[out_index] = value
+        yield RecordBatch(columns, None, length)
+
+
+class BatchCursor:
+    """A movable row view over a batch, duck-typed like a BindingTuple.
+
+    Compiled predicates and value functions only need ``get`` /
+    ``__getitem__`` / ``__contains__``; pointing one cursor at
+    successive live rows lets them run on the columnar path without a
+    BindingTuple allocation per row.
+    """
+
+    __slots__ = ("batch", "index")
+
+    def __init__(self, batch: RecordBatch | None = None, index: int = 0):
+        self.batch = batch
+        self.index = index
+
+    def get(self, var: str, default: Any = None) -> Any:
+        column = self.batch.columns.get(var)
+        if column is None:
+            return default
+        value = column[self.index]
+        return default if value is MISSING else value
+
+    def __getitem__(self, var: str) -> Any:
+        column = self.batch.columns.get(var)
+        if column is not None:
+            value = column[self.index]
+            if value is not MISSING:
+                return value
+        raise KeyError(var)
+
+    def __contains__(self, var: str) -> bool:
+        column = self.batch.columns.get(var)
+        return column is not None and column[self.index] is not MISSING
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(var for var, values in self.batch.columns.items()
+                     if values[self.index] is not MISSING)
+
+    def as_dict(self) -> dict[str, Any]:
+        return self.batch.row_dict(self.index)
+
+
+def _flex_compare(a: Any, b: Any) -> int | None:
+    """The query layer's flexible comparison (numeric string coercion).
+
+    Mirrors ``repro.query.exprs.flex_compare`` — duplicated here rather
+    than imported because the algebra package must not depend on the
+    query package (the query translator already imports the algebra).
+    """
+    a = atomize(a)
+    b = atomize(b)
+    if isinstance(a, Null) or isinstance(b, Null) or a is None or b is None:
+        return None
+    if isinstance(a, (int, float)) and isinstance(b, str):
+        try:
+            b = float(b)
+        except ValueError:
+            pass
+    elif isinstance(b, (int, float)) and isinstance(a, str):
+        try:
+            a = float(a)
+        except ValueError:
+            pass
+    return compare_values(a, b)
+
+
+_FLEX_OPS: dict[str, Callable[[int], bool]] = {
+    "=": lambda c: c == 0,
+    "!=": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+_DIRECT_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+
+class ColumnPredicate:
+    """A single-column comparison usable on both execution paths.
+
+    Called with a row (BindingTuple or cursor) it behaves like a
+    compiled predicate; on the vectorized path, :meth:`batch_eval` runs
+    the comparison as one tight loop over the column and returns the
+    surviving row indices.  Comparison semantics follow the query
+    layer's flexible compare (numeric strings compare numerically);
+    rows lacking the variable never match.
+    """
+
+    __slots__ = ("var", "op", "literal", "_test", "_plain_number", "_direct")
+
+    def __init__(self, var: str, op: str, literal: Any):
+        if op not in _FLEX_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.var = var
+        self.op = op
+        self.literal = literal
+        accept = _FLEX_OPS[op]
+        direct = _DIRECT_OPS[op]
+        literal_value = literal
+        plain_number = isinstance(literal_value, (int, float)) and not isinstance(
+            literal_value, bool
+        )
+        self._plain_number = plain_number
+        self._direct = direct
+
+        def test(value: Any) -> bool:
+            if plain_number and value.__class__ in (int, float):
+                # plain-number fast path; identical ordering to the
+                # flexible compare below, without the atomize round trip
+                return direct(value, literal_value)
+            compared = _flex_compare(value, literal_value)
+            if compared is None:
+                return False
+            return accept(compared)
+
+        self._test = test
+
+    def __call__(self, row: Any) -> bool:
+        value = row.get(self.var, NULL)
+        return self._test(value)
+
+    def batch_eval(self, batch: RecordBatch) -> list[int]:
+        column = batch.columns.get(self.var)
+        if column is None:
+            return []
+        indices = batch.live_indices()
+        if self._plain_number:
+            # inline the numeric fast path: one C-level comparison per
+            # value, no per-row closure call on the hot loop
+            direct = self._direct
+            literal = self.literal
+            test = self._test
+            return [
+                index
+                for index in indices
+                if (
+                    direct(value, literal)
+                    if (value := column[index]).__class__ in (int, float)
+                    else value is not MISSING and test(value)
+                )
+            ]
+        test = self._test
+        return [
+            index
+            for index in indices
+            if (value := column[index]) is not MISSING and test(value)
+        ]
+
+    def __repr__(self) -> str:
+        return f"ColumnPredicate(${self.var} {self.op} {self.literal!r})"

@@ -27,7 +27,7 @@ from typing import Any, Mapping
 
 from repro.algebra.tuples import BindingTuple
 from repro.cache.keys import result_key
-from repro.materialize.matching import access_key, matches
+from repro.materialize.matching import access_key, matches, project_records
 from repro.materialize.policy import RefreshPolicy
 from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.optimizer.costs import CostModel
@@ -229,6 +229,9 @@ class FragmentResultCache:
                     for record in records
                     if all(p(BindingTuple(record.as_dict())) for p in predicates)
                 ]
+            # a broader entry answering a projected fragment must look
+            # exactly like a source-side projection
+            records = project_records(records, fragment)
             self._entries.move_to_end(key)
             entry.hits += 1
             self.containment_hits += 1

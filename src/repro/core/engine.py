@@ -70,6 +70,8 @@ class EngineStats:
     hedges_won: int = 0
     fragments_shed: int = 0
     stale_cache_served: int = 0
+    bytes_transferred: int = 0
+    values_transferred: int = 0
     plan_text: str = ""
 
     #: integer counters folded into a parent query's stats (sub-queries
@@ -100,11 +102,17 @@ class EngineStats:
         "hedges_launched", "hedges_won", "fragments_shed",
         "stale_cache_served",
     )
+    #: per-column transfer volume (estimated payload bytes / field
+    #: values moved from sources); excluded from ``counters()`` because
+    #: cache residency and projection pushdown legitimately change how
+    #: much is transferred while results stay identical
+    _TRANSFER_COUNTERS = ("bytes_transferred", "values_transferred")
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a sub-execution's counters into this one."""
         for name in (self._COUNTERS + self._SCHEDULE_COUNTERS
-                     + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS):
+                     + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
+                     + self._TRANSFER_COUNTERS):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def counters(self) -> dict[str, int]:
@@ -119,16 +127,21 @@ class EngineStats:
         """The overload-protection counters as a dict (storm experiments)."""
         return {name: getattr(self, name) for name in self._OVERLOAD_COUNTERS}
 
+    def transfer_counters(self) -> dict[str, int]:
+        """The per-column transfer counters (projection experiments)."""
+        return {name: getattr(self, name) for name in self._TRANSFER_COUNTERS}
+
     def as_dict(self) -> dict[str, int]:
         """Union of every counter group.
 
-        Key order is the declaration order of the four tuples — stable
+        Key order is the declaration order of the five tuples — stable
         across runs, so JSON emissions diff cleanly between PRs.
         """
         return {
             name: getattr(self, name)
             for name in self._COUNTERS + self._SCHEDULE_COUNTERS
             + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
+            + self._TRANSFER_COUNTERS
         }
 
 
@@ -207,16 +220,22 @@ class _ExecutionContext:
         )
 
     def charge_network(self, network: NetworkModel,
-                       calls_before: int, rows_before: int) -> None:
+                       before: tuple[int, int, int, int]) -> None:
         """Derive remote-call accounting from the network model's counters.
 
-        This is the one place ``remote_calls``/``rows_transferred`` are
-        computed, as deltas of the source's :class:`NetworkModel` — so
-        retried attempts and partially transferred (dropped) streams are
-        each counted exactly once, never re-derived at the call sites.
+        ``before`` is a :meth:`NetworkModel.snapshot` taken before the
+        call.  This is the one place ``remote_calls``/
+        ``rows_transferred``/``bytes_transferred``/``values_transferred``
+        are computed, as deltas of the source's :class:`NetworkModel` —
+        so retried attempts and partially transferred (dropped) streams
+        are each counted exactly once, never re-derived at the call
+        sites.
         """
-        self.stats.remote_calls += network.calls - calls_before
-        self.stats.rows_transferred += network.rows_transferred - rows_before
+        calls, rows, payload_bytes, values = before
+        self.stats.remote_calls += network.calls - calls
+        self.stats.rows_transferred += network.rows_transferred - rows
+        self.stats.bytes_transferred += network.bytes_transferred - payload_bytes
+        self.stats.values_transferred += network.values_transferred - values
 
     def give_up(self, fragment: Fragment | None, source_name: str,
                 error: SourceUnavailableError,
@@ -393,16 +412,16 @@ class _ExecutionContext:
                 if math.isfinite(delay):
                     return self._hedged_fetch(unit, span, delay)
             network = source.network
-            calls_before, rows_before = network.calls, network.rows_transferred
+            before = network.snapshot()
             started = engine.clock.now
             try:
                 records = self.call_source(
                     source, lambda: source.execute(fragment, params)
                 )
             except SourceUnavailableError as error:
-                self.charge_network(network, calls_before, rows_before)
+                self.charge_network(network, before)
                 return self.give_up(fragment, source.name, error, params)
-            self.charge_network(network, calls_before, rows_before)
+            self.charge_network(network, before)
             cost = engine.clock.now - started
             self.stats.fragments_executed += 1
             if engine.metrics is not None:
@@ -476,7 +495,7 @@ class _ExecutionContext:
         source, fragment = unit.source, unit.fragment
         clock = engine.clock
         network = source.network
-        calls_before, rows_before = network.calls, network.rows_transferred
+        before = network.snapshot()
         start = clock.now
         primary = Timeline(start, f"primary:{source.name}")
         primary_error: SourceUnavailableError | None = None
@@ -501,7 +520,7 @@ class _ExecutionContext:
         if primary_done <= hedge_at:
             # the primary settled (either way) before the hedge fired
             clock.advance_to(primary_done)
-            self.charge_network(network, calls_before, rows_before)
+            self.charge_network(network, before)
             if primary_error is not None:
                 return self.give_up(fragment, source.name, primary_error)
             return self._finish_remote(unit, records, elapsed, span)
@@ -517,7 +536,7 @@ class _ExecutionContext:
             self.completeness.record_hedged(source.name)
             engine.tracer.event("hedge_won", source=source.name)
             clock.advance_to(hedge_at)
-            self.charge_network(network, calls_before, rows_before)
+            self.charge_network(network, before)
             self._observe(fragment, len(backup))
             cache = self._cache_for(source)
             if cache is not None:
@@ -529,7 +548,7 @@ class _ExecutionContext:
             return backup
         # the registered provider had nothing after all: wait it out
         clock.advance_to(primary_done)
-        self.charge_network(network, calls_before, rows_before)
+        self.charge_network(network, before)
         if primary_error is not None:
             return self.give_up(fragment, source.name, primary_error)
         return self._finish_remote(unit, records, elapsed, span)
@@ -621,18 +640,18 @@ class _ExecutionContext:
             self._shed_fragment(source.name, probes=len(param_sets))
             return None
         network = source.network
-        calls_before, rows_before = network.calls, network.rows_transferred
+        before = network.snapshot()
         started = self.engine.clock.now
         try:
             results = self.call_source(
                 source, lambda: source.execute_batch(unit.fragment, param_sets)
             )
         except SourceUnavailableError as error:
-            self.charge_network(network, calls_before, rows_before)
+            self.charge_network(network, before)
             self.give_up(unit.fragment, source.name, error,
                          params=param_sets[0])
             return None
-        self.charge_network(network, calls_before, rows_before)
+        self.charge_network(network, before)
         if self.engine.metrics is not None:
             self.engine.metrics.histogram(
                 f"source.{source.name}.fetch_virtual_ms"
@@ -714,6 +733,14 @@ class NimbleEngine:
     cardinalities.  Cache hits never touch the resilience ladder: no
     retry budget is spent and no breaker is consulted.
 
+    ``vectorized=True`` switches plan execution to the batched columnar
+    path (``batch_rows`` rows per :class:`~repro.algebra.RecordBatch`);
+    ``projection_pushdown=True`` prunes each fragment's transferred
+    columns to the variables the rest of the query consumes.  Both are
+    off by default and bit-identical to the row path — they change only
+    throughput and the ``bytes_transferred``/``values_transferred``
+    transfer counters.
+
     Observability: pass a :class:`~repro.observability.Tracer` to
     record a span tree per query (fetches, waves, batched probes, view
     sub-queries, with retry/breaker/cache events), a
@@ -750,6 +777,9 @@ class NimbleEngine:
         admission: AdmissionController | None = None,
         shedder: LoadShedder | None = None,
         hedging: HedgePolicy | None = None,
+        vectorized: bool = False,
+        batch_rows: int = 1024,
+        projection_pushdown: bool = False,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -773,6 +803,14 @@ class NimbleEngine:
         if max_parallel_fetches < 1:
             raise ValueError("max_parallel_fetches must be >= 1")
         self.max_parallel_fetches = max_parallel_fetches
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        #: columnar execution knobs — off by default; the vectorized
+        #: path is bit-identical to the row path, batch_rows only
+        #: trades peak memory against per-batch dispatch overhead
+        self.vectorized = vectorized
+        self.batch_rows = batch_rows
+        self.projection_pushdown = projection_pushdown
         if fragment_cache_bytes < 0:
             raise ValueError("fragment_cache_bytes must be >= 0")
         self.fragment_cache = (
@@ -907,8 +945,7 @@ class NimbleEngine:
                 source = self.catalog.registry.get(resolved.source_name)
                 relation = resolved.relation
             network = source.network
-            calls_before = network.calls
-            rows_before = network.rows_transferred
+            before = network.snapshot()
             with self.tracer.span("fetch", name=source.name,
                                   source=source.name, wholesale=True) as span:
                 try:
@@ -916,11 +953,11 @@ class NimbleEngine:
                         source, lambda: source.fetch_all(relation)
                     )
                 except SourceUnavailableError as error:
-                    context.charge_network(network, calls_before, rows_before)
+                    context.charge_network(network, before)
                     # wholesale fetches are not fragment-keyed, so there is
                     # no stale fallback here — skip or raise per policy
                     return context.give_up(None, source.name, error)
-                context.charge_network(network, calls_before, rows_before)
+                context.charge_network(network, before)
                 context.stats.fragments_executed += 1
                 if span.recording:
                     span.set(rows=len(items))
@@ -1155,7 +1192,8 @@ class NimbleEngine:
         with tracer.span("bind"):
             bound = bind_query(query)
         with tracer.span("decompose"):
-            decomposed = decompose(bound, self.catalog, self.pushdown)
+            decomposed = decompose(bound, self.catalog, self.pushdown,
+                                   projection=self.projection_pushdown)
         if caching:
             self.plan_cache_misses += 1
             self._plan_cache[text] = (epoch, decomposed)
@@ -1189,6 +1227,10 @@ class NimbleEngine:
                 plan = self.builder.build(decomposed, context)
             if analyze:
                 plan.bind_analyze(self.clock)
+            elif self.vectorized:
+                # EXPLAIN ANALYZE keeps the row path: per-operator row
+                # clocks are the whole point of that mode
+                plan.bind_vectorized(self.batch_rows)
             started_virtual = self.clock.now
             started_wall = time.perf_counter()
             with tracer.span("execute"):

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import MaterializationError
-from repro.materialize.matching import fragment_key, matches
+from repro.materialize.matching import fragment_key, matches, project_records
 from repro.materialize.policy import RefreshPolicy
 from repro.materialize.selection import SelectionResult, greedy_select
 from repro.materialize.statistics import WorkloadStats
@@ -102,16 +102,21 @@ class MaterializationManager:
                 continue
             self.hits += 1
             view.hits += 1
-            return self._filtered(view.records, residual)
+            return self._filtered(view.records, residual, fragment)
         if stale_match is not None:
             view, residual = stale_match
             self.stale_hits += 1
             view.hits += 1
-            return self._filtered(view.records, residual)
+            return self._filtered(view.records, residual, fragment)
         self.misses += 1
         return None
 
-    def _filtered(self, records: list[Record], residual: list) -> list[Record]:
+    def _filtered(
+        self,
+        records: list[Record],
+        residual: list,
+        fragment: Fragment | None = None,
+    ) -> list[Record]:
         if residual:
             predicates = [compile_predicate(c) for c in residual]
             records = [
@@ -119,6 +124,10 @@ class MaterializationManager:
                 for record in records
                 if all(p(BindingTuple(record.as_dict())) for p in predicates)
             ]
+        if fragment is not None:
+            # broader stored view answering a projected fragment: narrow
+            # the served records as the source would have
+            records = project_records(list(records), fragment)
         self.clock.advance(self.cost_model.local_cost(len(records)))
         return list(records)
 

@@ -58,7 +58,12 @@ def fragment_key(fragment: Fragment) -> str:
     )
     conditions = "&".join(sorted(condition_text(c) for c in fragment.conditions))
     inputs = ",".join(fragment.input_vars)
-    return f"{fragment.source}|{accesses}|{conditions}|{inputs}"
+    key = f"{fragment.source}|{accesses}|{conditions}|{inputs}"
+    if fragment.columns:
+        # projection pushdown narrows identity; unprojected fragments
+        # keep their legacy keys
+        key += f"|cols={','.join(sorted(fragment.columns))}"
+    return key
 
 
 def access_key(fragment: Fragment) -> str:
@@ -173,9 +178,52 @@ def conditions_subsumed(
 
 
 def matches(view_fragment: Fragment, query_fragment: Fragment) -> tuple[bool, list[qast.Expr]]:
-    """Full containment test; returns (answers?, residual conditions)."""
+    """Full containment test; returns (answers?, residual conditions).
+
+    Column-aware: a view projected to a column subset only answers a
+    query whose (effective) columns it covers, and only when every
+    residual condition can still be evaluated over the view's stored
+    columns.  A broader (unprojected) view answers any narrower query —
+    the caller projects the served records down (see
+    :func:`project_records`).
+    """
     if view_fragment.input_vars or query_fragment.input_vars:
         return False, []  # parameterized fragments are not materialized
     if access_key(view_fragment) != access_key(query_fragment):
         return False, []
-    return conditions_subsumed(view_fragment.conditions, query_fragment.conditions)
+    if view_fragment.columns:
+        view_columns = set(view_fragment.columns)
+        query_columns = set(
+            query_fragment.columns or query_fragment.variables()
+        )
+        if not query_columns <= view_columns:
+            return False, []
+    answers, residual = conditions_subsumed(
+        view_fragment.conditions, query_fragment.conditions
+    )
+    if answers and view_fragment.columns and residual:
+        residual_vars: set[str] = set()
+        for condition in residual:
+            residual_vars |= qast.expr_variables(condition)
+        if not residual_vars <= set(view_fragment.columns):
+            return False, []
+    return answers, residual
+
+
+def project_records(records: list, query_fragment: Fragment) -> list:
+    """Narrow served records to the query fragment's column subset.
+
+    Containment can serve a projected query from a broader entry; the
+    result must look exactly as if the source had projected.  Records
+    already at (or below) the requested width pass through untouched.
+    """
+    columns = query_fragment.columns
+    if not columns or not records:
+        return records
+    wanted = set(columns)
+    if all(name in wanted for name in records[0].fields):
+        return records
+    order = [
+        var for var in query_fragment.variables() if var in wanted
+    ] or list(columns)
+    return [record.project(order) for record in records]

@@ -70,12 +70,19 @@ class DecomposedQuery:
         return "\n".join(lines)
 
 
-def decompose(bound: BoundQuery, catalog: Catalog, pushdown: bool = True) -> DecomposedQuery:
+def decompose(
+    bound: BoundQuery,
+    catalog: Catalog,
+    pushdown: bool = True,
+    projection: bool = False,
+) -> DecomposedQuery:
     """Decompose ``bound`` against ``catalog``.
 
     ``pushdown=False`` disables both condition pushdown and same-source
     fragment merging — the naive-compilation baseline benchmark E5
-    measures against.
+    measures against.  ``projection=True`` additionally prunes each
+    fragment's transferred columns to the variables the rest of the
+    query actually consumes (projection pushdown).
     """
     query = bound.query
     raw_units: list[Unit] = []
@@ -102,8 +109,46 @@ def decompose(bound: BoundQuery, catalog: Catalog, pushdown: bool = True) -> Dec
     pushed: list[qast.Expr] = []
     if pushdown:
         residual = _push_conditions(units, residual, pushed)
+    if projection:
+        _prune_columns(units, bound, residual)
     _check_dependencies(units, bound)
     return DecomposedQuery(bound, units, residual, pushed)
+
+
+def _prune_columns(
+    units: list[Unit], bound: BoundQuery, residual: list[qast.Expr]
+) -> None:
+    """Projection pushdown: restrict fragments to the consumed columns.
+
+    A variable must survive transfer when anything downstream of the
+    scan reads it: the CONSTRUCT template, a residual (engine-side)
+    condition, an ORDER BY key, a join with another unit, or a
+    dependent unit's input parameters.  Pushed conditions do *not* keep
+    a column alive — the source evaluates them before projecting.
+    """
+    query = bound.query
+    needed: set[str] = set(query.construct.variables())
+    for condition in residual:
+        needed |= qast.expr_variables(condition)
+    for spec in query.order_by:
+        needed |= qast.expr_variables(spec.expr)
+    for unit in units:
+        if isinstance(unit, FragmentUnit) and unit.fragment.input_vars:
+            needed |= set(unit.fragment.input_vars)
+    for unit in units:
+        if not isinstance(unit, FragmentUnit) or unit.dependent:
+            continue
+        if not unit.source.capabilities.projections:
+            continue
+        shared: set[str] = set()
+        for other in units:
+            if other is not unit:
+                shared |= set(unit.variables) & set(other.variables)
+        keep = tuple(
+            var for var in unit.variables if var in needed or var in shared
+        )
+        if keep and len(keep) < len(unit.variables):
+            unit.fragment = replace(unit.fragment, columns=keep)
 
 
 def _mark_dependent(unit: FragmentUnit) -> None:

@@ -16,8 +16,9 @@ from repro.algebra import (
     Sort,
 )
 from repro.algebra.joins import BatchedDependentJoin, DependentJoin
-from repro.algebra.operators import Limit
+from repro.algebra.operators import Limit, fuse_sort_limit
 from repro.algebra.tuples import BindingTuple
+from repro.algebra.vector import RecordBatch, shred_records
 from repro.errors import PlanningError
 from repro.mediator.schema import ViewDef
 from repro.optimizer.costs import CostModel
@@ -67,6 +68,14 @@ class FragmentScan(Operator):
     def _produce(self) -> Iterator[BindingTuple]:
         for record in self.context.fetch_fragment(self.unit, self.params):
             yield BindingTuple(record.as_dict())
+
+    def _produce_batches(self) -> Iterator[RecordBatch]:
+        """Shred the fetched records into column batches at the source
+        boundary — the one row->column transposition in the plan."""
+        records = self.context.fetch_fragment(self.unit, self.params)
+        step = self._batch_rows
+        for start in range(0, len(records), step):
+            yield shred_records(records[start:start + step])
 
     def describe(self) -> str:
         return f"FragmentScan({self.unit.describe()})"
@@ -134,6 +143,7 @@ class PlanBuilder:
         root = Construct(root, template_to_construct(query.construct), output_var)
         if query.limit is not None:
             root = Limit(root, query.limit)
+        root = fuse_sort_limit(root)
         return Plan(root, output_var)
 
     def build_binding_tree(

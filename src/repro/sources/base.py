@@ -38,13 +38,18 @@ class Fragment:
       accesses denote an equi-join evaluated *at the source*;
     * ``conditions`` — pushed selections over the fragment's variables;
     * ``input_vars`` — variables that will be supplied as parameters at
-      execution time (dependent/parameterized access).
+      execution time (dependent/parameterized access);
+    * ``columns`` — projection pushdown: the subset of the fragment's
+      variables the caller actually needs.  Empty means *all* variables.
+      Conditions may still reference pruned variables (they are
+      evaluated at the source, before projection).
     """
 
     source: str
     accesses: tuple[Access, ...]
     conditions: tuple[qast.Expr, ...] = ()
     input_vars: tuple[str, ...] = ()
+    columns: tuple[str, ...] = ()
 
     def variables(self) -> tuple[str, ...]:
         names: list[str] = []
@@ -52,15 +57,28 @@ class Fragment:
             names.extend(access.pattern.variables())
         return tuple(dict.fromkeys(names))
 
+    def output_variables(self) -> tuple[str, ...]:
+        """The variables results actually carry (after projection)."""
+        if not self.columns:
+            return self.variables()
+        keep = set(self.columns)
+        return tuple(var for var in self.variables() if var in keep)
+
     def with_conditions(self, conditions: Iterable[qast.Expr]) -> "Fragment":
         return replace(self, conditions=tuple(conditions))
 
+    def with_columns(self, columns: Iterable[str]) -> "Fragment":
+        return replace(self, columns=tuple(columns))
+
     def describe(self) -> str:
         accesses = ", ".join(a.relation for a in self.accesses)
-        return (
+        text = (
             f"Fragment({self.source}: {accesses}; "
-            f"{len(self.conditions)} conds; vars={','.join(self.variables())})"
+            f"{len(self.conditions)} conds; vars={','.join(self.variables())}"
         )
+        if self.columns:
+            text += f"; cols={','.join(self.columns)}"
+        return text + ")"
 
 
 @dataclass(frozen=True)
@@ -103,19 +121,35 @@ class CapabilityProfile:
         return False  # function calls stay at the engine
 
 
+def _wire_bytes(value: Any) -> int:
+    """Deterministic wire-size estimate of one field value."""
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    return len(str(value))
+
+
 @dataclass
 class NetworkModel:
     """Per-source network cost model, charged to the shared clock.
 
     ``latency_ms`` is paid once per remote call; ``per_row_ms`` per
     transferred row.  ``calls``/``rows_transferred`` accumulate for the
-    benchmarks.
+    benchmarks.  ``bytes_transferred``/``values_transferred`` estimate
+    payload size per column — they measure what projection pushdown
+    saves, and deliberately do **not** advance the clock (virtual time
+    stays bit-identical whether or not the estimate runs).
     """
 
     latency_ms: float = 0.0
     per_row_ms: float = 0.0
     calls: int = 0
     rows_transferred: int = 0
+    bytes_transferred: int = 0
+    values_transferred: int = 0
 
     def charge_call(self, clock: SimClock) -> None:
         self.calls += 1
@@ -125,9 +159,36 @@ class NetworkModel:
         self.rows_transferred += count
         clock.advance(self.per_row_ms * count)
 
+    def account_payload(self, rows: Iterable[Any]) -> None:
+        """Accumulate per-column byte/value counts for a result payload."""
+        for item in rows:
+            if isinstance(item, Record):
+                total = 24  # per-row framing
+                count = 0
+                for name, value in item.items():
+                    total += 8 + len(name) + _wire_bytes(value)
+                    count += 1
+                self.bytes_transferred += total
+                self.values_transferred += count
+            else:
+                # documents and other wholesale payloads: flat estimate
+                self.bytes_transferred += 64
+                self.values_transferred += 1
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        """Counter snapshot for delta-based accounting by the engine."""
+        return (
+            self.calls,
+            self.rows_transferred,
+            self.bytes_transferred,
+            self.values_transferred,
+        )
+
     def reset_counters(self) -> None:
         self.calls = 0
         self.rows_transferred = 0
+        self.bytes_transferred = 0
+        self.values_transferred = 0
 
 
 class DataSource:
@@ -251,11 +312,13 @@ class DataSource:
             cut = self.faults.drop_point(len(rows))
             if cut is not None:
                 self.network.charge_rows(self.clock, cut)
+                self.network.account_payload(rows[:cut])
                 raise TransientSourceError(
                     self.name,
                     f"stream dropped after {cut} of {len(rows)} rows",
                 )
         self.network.charge_rows(self.clock, len(rows))
+        self.network.account_payload(rows)
 
     def validate_fragment(self, fragment: Fragment) -> None:
         profile = self.capabilities
@@ -275,6 +338,10 @@ class DataSource:
         if fragment.input_vars and not profile.parameterized:
             raise CapabilityError(
                 f"source {self.name!r} does not accept parameters"
+            )
+        if fragment.columns and not profile.projections:
+            raise CapabilityError(
+                f"source {self.name!r} cannot project a column subset"
             )
         if profile.requires_parameters and not fragment.input_vars:
             raise CapabilityError(

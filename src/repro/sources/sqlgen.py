@@ -55,9 +55,14 @@ class _Generator:
             alias = f"t{index}"
             from_parts.append(f"{access.relation} {alias}")
             self._bind_pattern(access.pattern, alias)
+        # projection pushdown: SELECT only the requested columns; the
+        # full var map stays so joins and conditions may still reference
+        # pruned variables (they are evaluated before projection)
+        wanted = set(self.fragment.columns)
         select_parts = [
             f"{alias}.{column} AS {var}"
             for var, (alias, column) in self.var_columns.items()
+            if not wanted or var in wanted
         ]
         if not select_parts:
             raise CapabilityError("fragment binds no variables")

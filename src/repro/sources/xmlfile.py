@@ -80,6 +80,13 @@ class XMLSource(DataSource):
             )
         predicates = [compile_predicate(c) for c in fragment.conditions]
         variables = access.pattern.variables()
+        if fragment.columns:
+            # projection pushdown: conditions still see the full match,
+            # only the transferred record narrows
+            keep = set(fragment.columns)
+            output_vars = [var for var in variables if var in keep]
+        else:
+            output_vars = list(variables)
         pattern = access.pattern
         seed = BindingTuple()
         tag = None if pattern.tag == "*" else pattern.tag
@@ -87,5 +94,5 @@ class XMLSource(DataSource):
             for match in match_pattern(pattern, candidate, seed):
                 if all(predicate(match) for predicate in predicates):
                     yield Record(
-                        {var: match.get(var, NULL) for var in variables}
+                        {var: match.get(var, NULL) for var in output_vars}
                     )

@@ -50,15 +50,20 @@ class Database:
     >>> db.execute("SELECT name FROM t WHERE id = 1").scalar()
     'Ann'
 
-    ``counters`` tracks ``rows_scanned`` and ``statements`` so callers
-    (the wrapper layer, benchmark E5) can observe how much physical work
-    each statement did.
+    ``counters`` tracks ``rows_scanned``, ``columns_read`` (how many
+    columns each scan materialized — projection pushdown shrinks it)
+    and ``statements`` so callers (the wrapper layer, benchmark E5) can
+    observe how much physical work each statement did.
     """
 
     def __init__(self, name: str = "db"):
         self.name = name
         self.tables: dict[str, Table] = {}
-        self.counters: dict[str, int] = {"rows_scanned": 0, "statements": 0}
+        self.counters: dict[str, int] = {
+            "rows_scanned": 0,
+            "columns_read": 0,
+            "statements": 0,
+        }
 
     # -- catalog -------------------------------------------------------------
 

@@ -231,21 +231,49 @@ class PlanNode:
         return ()
 
 
-class SeqScanNode(PlanNode):
-    """Full scan of a table; counts rows for the engine's statistics."""
+def _selected_positions(
+    table: Table, columns: tuple[str, ...] | None
+) -> list[tuple[str, int]]:
+    """(name, position) pairs a scan materializes; None = every column."""
+    schema = table.schema
+    if columns is None:
+        return [(name, position)
+                for position, name in enumerate(schema.column_names)]
+    return [(name, schema.column_index(name)) for name in columns]
 
-    def __init__(self, table: Table, binding: str, counters: dict[str, int]):
+
+class SeqScanNode(PlanNode):
+    """Full scan of a table; counts rows for the engine's statistics.
+
+    ``columns`` restricts the scan to a subset (projection pushdown):
+    only those positions are materialized into the row environment, and
+    ``columns_read`` counts the subset width once per scan.
+    """
+
+    def __init__(self, table: Table, binding: str, counters: dict[str, int],
+                 columns: tuple[str, ...] | None = None):
         self.table = table
         self.binding = binding
         self.counters = counters
+        self.columns = columns
 
     def rows(self, evaluator: Evaluator) -> Iterator[Row]:
-        names = self.table.schema.column_names
+        selected = _selected_positions(self.table, self.columns)
+        self.counters["columns_read"] += len(selected)
         for _, values in self.table.scan():
             self.counters["rows_scanned"] += 1
-            yield Row({self.binding: dict(zip(names, values))})
+            yield Row({
+                self.binding: {
+                    name: values[position] for name, position in selected
+                }
+            })
 
     def describe(self) -> str:
+        if self.columns is not None:
+            return (
+                f"SeqScan({self.table.name} AS {self.binding} "
+                f"cols={','.join(self.columns)})"
+            )
         return f"SeqScan({self.table.name} AS {self.binding})"
 
 
@@ -263,6 +291,7 @@ class IndexScanNode(PlanNode):
         high: ast.Expr | None = None,
         low_inclusive: bool = True,
         high_inclusive: bool = True,
+        columns: tuple[str, ...] | None = None,
     ):
         self.table = table
         self.binding = binding
@@ -273,6 +302,7 @@ class IndexScanNode(PlanNode):
         self.high = high
         self.low_inclusive = low_inclusive
         self.high_inclusive = high_inclusive
+        self.columns = columns
 
     def rows(self, evaluator: Evaluator) -> Iterator[Row]:
         index = self.table.indexes[self.index_name]
@@ -285,19 +315,27 @@ class IndexScanNode(PlanNode):
             low = None if self.low is None else evaluator.evaluate(self.low, empty)
             high = None if self.high is None else evaluator.evaluate(self.high, empty)
             rowids = index.range_scan(low, high, self.low_inclusive, self.high_inclusive)
-        names = self.table.schema.column_names
+        selected = _selected_positions(self.table, self.columns)
+        self.counters["columns_read"] += len(selected)
         for rowid in rowids:
             values = self.table.get(rowid)
             if values is None:
                 continue
             self.counters["rows_scanned"] += 1
-            yield Row({self.binding: dict(zip(names, values))})
+            yield Row({
+                self.binding: {
+                    name: values[position] for name, position in selected
+                }
+            })
 
     def describe(self) -> str:
         kind = "eq" if self.equals is not None else "range"
+        suffix = (
+            f" cols={','.join(self.columns)}" if self.columns is not None else ""
+        )
         return (
             f"IndexScan({self.table.name} AS {self.binding} "
-            f"USING {self.index_name} [{kind}])"
+            f"USING {self.index_name} [{kind}]{suffix})"
         )
 
 

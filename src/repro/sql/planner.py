@@ -104,6 +104,41 @@ def referenced_bindings(expr: ast.Expr, default_binding: str | None = None) -> s
     return found
 
 
+def collect_column_refs(expr: ast.Expr | None) -> list[ast.ColumnRef]:
+    """All ColumnRef nodes inside ``expr`` (depth-first)."""
+    if expr is None:
+        return []
+    refs: list[ast.ColumnRef] = []
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.ColumnRef):
+            refs.append(node)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+
+    walk(expr)
+    return refs
+
+
 def find_aggregate_calls(expr: ast.Expr | None) -> list[ast.FuncCall]:
     """All aggregate FuncCall nodes inside ``expr`` (depth-first)."""
     if expr is None:
@@ -156,11 +191,12 @@ class Planner:
         bindings, binding_tables = self._resolve_from(stmt)
         conjuncts = split_conjuncts(stmt.where)
 
-        root = self._plan_joins(stmt, bindings, binding_tables, conjuncts)
+        items = self._expand_stars(stmt.items, bindings, binding_tables)
+        needed = self._needed_columns(stmt, items, bindings, binding_tables)
+        root = self._plan_joins(stmt, bindings, binding_tables, conjuncts, needed)
         if conjuncts:
             root = FilterNode(root, conjoin(conjuncts))  # type: ignore[arg-type]
 
-        items = self._expand_stars(stmt.items, bindings, binding_tables)
         output_exprs = tuple(item.expr for item in items)
         column_names = tuple(self._output_name(item, i) for i, item in enumerate(items))
         alias_map = {
@@ -221,18 +257,22 @@ class Planner:
         bindings: list[str],
         binding_tables: dict[str, Table],
         conjuncts: list[ast.Expr],
+        needed: dict[str, tuple[str, ...] | None],
     ) -> PlanNode:
         assert stmt.table is not None
         first = stmt.table.binding
-        root = self._plan_scan(first, binding_tables[first], conjuncts, bindings)
+        root = self._plan_scan(first, binding_tables[first], conjuncts, bindings,
+                               needed.get(first))
         joined = {first}
         for join in stmt.joins:
             binding = join.table.binding
             if join.kind == "LEFT":
                 # LEFT joins keep their full ON condition at the join.
-                right = self._plan_scan(binding, binding_tables[binding], [], bindings)
+                right = self._plan_scan(binding, binding_tables[binding], [],
+                                        bindings, needed.get(binding))
                 root = self._make_join(
-                    root, right, join.condition, "LEFT", binding, binding_tables
+                    root, right, join.condition, "LEFT", binding,
+                    binding_tables, needed,
                 )
             else:
                 join_conjuncts = split_conjuncts(join.condition)
@@ -254,17 +294,69 @@ class Planner:
                 ]
                 cross = [c for c in all_conjuncts if c not in local]
                 right = self._plan_scan(
-                    binding, binding_tables[binding], local, bindings
+                    binding, binding_tables[binding], local, bindings,
+                    needed.get(binding),
                 )
                 if local:
                     residual_local = conjoin(local)
                     if residual_local is not None:
                         right = FilterNode(right, residual_local)
                 root = self._make_join(
-                    root, right, conjoin(cross), "INNER", binding, binding_tables
+                    root, right, conjoin(cross), "INNER", binding,
+                    binding_tables, needed,
                 )
             joined.add(binding)
         return root
+
+    def _needed_columns(
+        self,
+        stmt: ast.SelectStmt,
+        items: list[ast.SelectItem],
+        bindings: list[str],
+        binding_tables: dict[str, Table],
+    ) -> dict[str, tuple[str, ...] | None]:
+        """Per-binding column subsets the query actually reads.
+
+        None means "all columns" (no projection determined) — the
+        conservative answer whenever an unqualified reference cannot be
+        attributed, or a binding is never referenced (COUNT(*) style).
+        Values keep schema order so scan output is deterministic.
+        """
+        refs: list[ast.ColumnRef] = []
+        for item in items:
+            refs.extend(collect_column_refs(item.expr))
+        refs.extend(collect_column_refs(stmt.where))
+        refs.extend(collect_column_refs(stmt.having))
+        for expr in stmt.group_by:
+            refs.extend(collect_column_refs(expr))
+        for order in stmt.order_by:
+            refs.extend(collect_column_refs(order.expr))
+        for join in stmt.joins:
+            refs.extend(collect_column_refs(join.condition))
+        wanted: dict[str, set[str]] = {binding: set() for binding in bindings}
+        for ref in refs:
+            if ref.table is not None:
+                if ref.table in wanted:
+                    wanted[ref.table].add(ref.column)
+                continue
+            owners = [
+                binding for binding in bindings
+                if ref.column in binding_tables[binding].schema.column_names
+            ]
+            # 0 owners: a select alias (its underlying expression is
+            # already collected) or an unknown column (errors later
+            # either way).  >1 owners: keep the column everywhere so
+            # the ambiguity error surfaces unchanged at evaluation.
+            for owner in owners:
+                wanted[owner].add(ref.column)
+        needed: dict[str, tuple[str, ...] | None] = {}
+        for binding in bindings:
+            names = binding_tables[binding].schema.column_names
+            columns = tuple(name for name in names if name in wanted[binding])
+            needed[binding] = (
+                columns if columns and len(columns) < len(names) else None
+            )
+        return needed
 
     def _make_join(
         self,
@@ -274,9 +366,15 @@ class Planner:
         kind: str,
         right_binding: str,
         binding_tables: dict[str, Table],
+        needed: dict[str, tuple[str, ...] | None],
     ) -> PlanNode:
+        # the LEFT-join null side must mirror the scan's (possibly
+        # projected) width, or matched and unmatched rows would disagree
         right_columns = {
-            right_binding: binding_tables[right_binding].schema.column_names
+            right_binding: (
+                needed.get(right_binding)
+                or binding_tables[right_binding].schema.column_names
+            )
         }
         equi, residual = self._extract_equi_key(condition, right_binding)
         if equi is not None:
@@ -323,6 +421,7 @@ class Planner:
         table: Table,
         conjuncts: list[ast.Expr],
         all_bindings: list[str],
+        columns: tuple[str, ...] | None = None,
     ) -> PlanNode:
         """Scan ``table``, consuming applicable conjuncts from the list."""
         single_binding = len(all_bindings) == 1
@@ -334,14 +433,18 @@ class Planner:
             if refs <= {binding}:
                 local.append(conjunct)
                 conjuncts.remove(conjunct)
-        scan = self._choose_scan(binding, table, local)
+        scan = self._choose_scan(binding, table, local, columns)
         predicate = conjoin(local)
         if predicate is not None:
             scan = FilterNode(scan, predicate)
         return scan
 
     def _choose_scan(
-        self, binding: str, table: Table, local: list[ast.Expr]
+        self,
+        binding: str,
+        table: Table,
+        local: list[ast.Expr],
+        columns: tuple[str, ...] | None,
     ) -> PlanNode:
         """Upgrade to an index scan when a local conjunct allows it.
 
@@ -349,13 +452,17 @@ class Planner:
         correctness never depends on the index, only speed.
         """
         for conjunct in local:
-            access = self._index_access(binding, table, conjunct)
+            access = self._index_access(binding, table, conjunct, columns)
             if access is not None:
                 return access
-        return SeqScanNode(table, binding, self.counters)
+        return SeqScanNode(table, binding, self.counters, columns=columns)
 
     def _index_access(
-        self, binding: str, table: Table, conjunct: ast.Expr
+        self,
+        binding: str,
+        table: Table,
+        conjunct: ast.Expr,
+        columns: tuple[str, ...] | None,
     ) -> PlanNode | None:
         if not isinstance(conjunct, ast.BinaryOp):
             return None
@@ -372,7 +479,8 @@ class Planner:
         if op == "=":
             index = indexes[0]
             return IndexScanNode(
-                table, binding, index.name, self.counters, equals=constant
+                table, binding, index.name, self.counters, equals=constant,
+                columns=columns,
             )
         ordered = [ix for ix in indexes if isinstance(ix, SortedIndex)]
         if not ordered:
@@ -386,6 +494,7 @@ class Planner:
                 self.counters,
                 low=constant,
                 low_inclusive=(op == ">="),
+                columns=columns,
             )
         return IndexScanNode(
             table,
@@ -394,6 +503,7 @@ class Planner:
             self.counters,
             high=constant,
             high_inclusive=(op == "<="),
+            columns=columns,
         )
 
     def _column_vs_constant(

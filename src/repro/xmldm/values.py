@@ -70,6 +70,16 @@ class Record:
     def fields(self) -> tuple[str, ...]:
         return tuple(self._fields)
 
+    @property
+    def field_map(self) -> Mapping[str, Any]:
+        """The underlying name->value mapping, zero-copy.
+
+        Callers must treat it as read-only; it exists so bulk consumers
+        (columnar shredding) can skip the per-record dict copy that
+        :meth:`as_dict` makes.
+        """
+        return self._fields
+
     def get(self, name: str, default: Any = NULL) -> Any:
         return self._fields.get(name, default)
 

@@ -517,6 +517,7 @@ class TestEngineStatsFolding:
         + EngineStats._SCHEDULE_COUNTERS
         + EngineStats._CACHE_COUNTERS
         + EngineStats._OVERLOAD_COUNTERS
+        + EngineStats._TRANSFER_COUNTERS
     )
 
     def test_every_counter_folds_exactly_once(self):

@@ -1,0 +1,330 @@
+"""Vectorized columnar execution: bit-equivalence with the row path.
+
+The contract under test: ``vectorized=True`` (and any ``batch_rows``)
+changes *throughput only*.  Results are bit-identical to the row path
+and the determinism-checked ``counters()`` are unchanged — under
+faults, retries, fetch fan-out, fragment caching, and projection
+pushdown.  The algebra-level properties drive the operators directly
+over heterogeneous rows (records that bind different variable subsets);
+the engine-level properties sweep whole configurations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    MISSING,
+    ColumnPredicate,
+    Compute,
+    Distinct,
+    HashJoin,
+    Limit,
+    Operator,
+    RecordBatch,
+    Select,
+    Sort,
+    batches_from_rows,
+    fuse_sort_limit,
+)
+from repro.algebra.operators import TopK
+from repro.algebra.grouping import AggregateSpec, GroupBy
+from repro.algebra.tuples import BindingTuple
+from repro.core import NimbleEngine
+from repro.mediator.catalog import Catalog
+from repro.query.exprs import flex_compare
+from repro.resilience import FaultModel, ResiliencePolicy, RetryPolicy
+from repro.simtime import SimClock
+from repro.sources import (
+    AvailabilityModel,
+    FlakySource,
+    NetworkModel,
+    SourceRegistry,
+    XMLSource,
+)
+from repro.sources.relational import RelationalSource
+from repro.sql import Database
+from repro.xmldm import serialize
+
+
+class RowSource(Operator):
+    """Leaf yielding fixed dict rows; no native batch path (exercises
+    the row->batch fallback bridge under every vectorized consumer)."""
+
+    def __init__(self, rows):
+        super().__init__()
+        self._rows = rows
+
+    def _produce(self):
+        for row in self._rows:
+            yield BindingTuple(dict(row))
+
+
+def materialize(root):
+    """Rows as order-insensitive (var, value) item tuples."""
+    return [tuple(sorted(row.as_dict().items())) for row in root]
+
+
+# -- strategies ---------------------------------------------------------------
+
+value_st = st.one_of(
+    st.integers(-20, 20),
+    st.sampled_from(["ada", "bob", "cy", "", "7"]),
+    st.booleans(),
+)
+
+# heterogeneous rows: each row binds a subset of {a, b, c}
+row_st = st.fixed_dictionaries(
+    {"a": value_st},
+    optional={"b": value_st, "c": st.integers(0, 5)},
+)
+rows_st = st.lists(row_st, max_size=40)
+batch_rows_st = st.sampled_from([1, 2, 3, 7, 64])
+
+
+def sort_keys():
+    def key(row):
+        return row.get("c", -1)
+
+    return [(key, False)]
+
+
+def build_pipeline(rows, threshold, limit):
+    root = RowSource(rows)
+    root = Select(root, ColumnPredicate("a", ">=", threshold))
+    root = Compute(root, "d", lambda row: row.get("c", 0))
+    root = Distinct(root)
+    root = Sort(root, sort_keys())
+    if limit is not None:
+        root = Limit(root, limit)
+    return root
+
+
+class TestAlgebraBitEquivalence:
+    @given(rows_st, st.integers(-20, 20), st.one_of(st.none(), st.integers(0, 10)),
+           batch_rows_st)
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_matches_row_path(self, rows, threshold, limit, batch_rows):
+        expected = materialize(build_pipeline(rows, threshold, limit))
+        vectorized = build_pipeline(rows, threshold, limit)
+        vectorized.bind_vectorized(batch_rows)
+        assert materialize(vectorized) == expected
+
+    @given(rows_st, batch_rows_st)
+    @settings(max_examples=40, deadline=None)
+    def test_rows_out_counters_match(self, rows, batch_rows):
+        row_root = build_pipeline(rows, 0, None)
+        list(row_root)
+        vec_root = build_pipeline(rows, 0, None)
+        vec_root.bind_vectorized(batch_rows)
+        list(vec_root)
+        row_counts = [op.rows_out for op in row_root.walk()]
+        vec_counts = [op.rows_out for op in vec_root.walk()]
+        assert vec_counts == row_counts
+
+    @given(rows_st, rows_st, batch_rows_st)
+    @settings(max_examples=40, deadline=None)
+    def test_hash_join_matches_row_path(self, left, right, batch_rows):
+        expected = materialize(
+            HashJoin(RowSource(left), RowSource(right), ("a",))
+        )
+        join = HashJoin(RowSource(left), RowSource(right), ("a",))
+        join.bind_vectorized(batch_rows)
+        assert materialize(join) == expected
+
+    @given(rows_st, batch_rows_st)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_matches_row_path(self, rows, batch_rows):
+        def build():
+            return GroupBy(
+                RowSource(rows),
+                ("c",),
+                [AggregateSpec("n", "count", lambda row: row.get("a")),
+                 AggregateSpec("lo", "min", lambda row: row.get("a"))],
+            )
+
+        expected = materialize(build())
+        grouped = build()
+        grouped.bind_vectorized(batch_rows)
+        assert materialize(grouped) == expected
+
+
+class TestShredding:
+    @given(rows_st, batch_rows_st)
+    @settings(max_examples=40, deadline=None)
+    def test_batches_round_trip_rows(self, rows, batch_rows):
+        tuples = [BindingTuple(dict(row)) for row in rows]
+        rebuilt = [
+            tuple(sorted(row.as_dict().items()))
+            for batch in batches_from_rows(iter(tuples), batch_rows)
+            for row in batch.to_tuples()
+        ]
+        assert rebuilt == [tuple(sorted(row.as_dict().items())) for row in tuples]
+
+    def test_missing_is_not_a_value(self):
+        batch = RecordBatch({"a": [1, MISSING], "b": [MISSING, 2]})
+        rows = [row.as_dict() for row in batch.to_tuples()]
+        assert rows == [{"a": 1}, {"b": 2}]
+
+
+class TestColumnPredicate:
+    @given(st.lists(value_st, max_size=30), value_st)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_eval_matches_flex_compare(self, values, literal):
+        predicate = ColumnPredicate("a", ">", literal)
+        batch = RecordBatch({"a": list(values)})
+        live = set(predicate.batch_eval(batch))
+        for index, value in enumerate(values):
+            cmp = flex_compare(value, literal)
+            assert (index in live) == (cmp is not None and cmp > 0)
+
+
+class TestTopKFusion:
+    @given(rows_st, st.integers(0, 10), batch_rows_st)
+    @settings(max_examples=60, deadline=None)
+    def test_fused_topk_pins_order_and_ties(self, rows, limit, batch_rows):
+        # duplicate sort keys galore ("c" has 6 distinct values): the
+        # fused TopK must keep the stable sort's tie order exactly
+        unfused = Limit(Sort(RowSource(rows), sort_keys()), limit)
+        expected = materialize(unfused)
+        fused = fuse_sort_limit(
+            Limit(Sort(RowSource(rows), sort_keys()), limit)
+        )
+        assert isinstance(fused, TopK)
+        assert materialize(fused) == expected
+        vectorized = fuse_sort_limit(
+            Limit(Sort(RowSource(rows), sort_keys()), limit)
+        )
+        vectorized.bind_vectorized(batch_rows)
+        assert materialize(vectorized) == expected
+
+    def test_fusion_only_rewrites_adjacent_pairs(self):
+        source = RowSource([{"a": 1}])
+        root = Limit(Select(Sort(source, sort_keys()), lambda row: True), 1)
+        assert fuse_sort_limit(root) is root  # Select in between: no fusion
+
+
+# -- engine-level sweeps ------------------------------------------------------
+
+ITEMS_XML = "<r>" + "".join(
+    f"<item><k>{i % 7}</k><v>{i}</v><w>pad-{i:04d}</w></item>"
+    for i in range(60)
+) + "</r>"
+FEED_QUERY = (
+    'WHERE <item><k>$k</k><v>$v</v><w>$w</w></item> IN "feed.data", '
+    '$v > 14 CONSTRUCT <out><k>$k</k><v>$v</v></out> ORDER BY $v'
+)
+NARROW_QUERY = (
+    'WHERE <item><k>$k</k><v>$v</v><w>$w</w></item> IN "feed.data", '
+    '$v > 14 CONSTRUCT <out>$k</out>'
+)
+
+
+def build_feed_engine(faults=None, **engine_kw):
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    source = XMLSource(
+        "feed", {"data": ITEMS_XML},
+        network=NetworkModel(latency_ms=10.0, per_row_ms=0.1),
+    )
+    if faults is not None:
+        source = FlakySource(source, AvailabilityModel(availability=1.0, seed=3),
+                             faults=faults)
+    registry.register(source)
+    return NimbleEngine(Catalog(registry), **engine_kw), clock
+
+
+def run_feed(query, repeats=1, faults=None, **engine_kw):
+    engine, clock = build_feed_engine(faults=faults, **engine_kw)
+    outputs, counters = [], []
+    for _ in range(repeats):
+        result = engine.query(query)
+        outputs.append([serialize(element) for element in result.elements])
+        counters.append(result.stats.counters())
+    return outputs, counters, clock.now
+
+
+class TestEngineBitEquivalence:
+    def test_vectorized_sweep_is_bit_identical(self):
+        # vectorized on/off compared *within* each configuration: the
+        # cache changes counters legitimately, vectorization never does
+        configs = [
+            dict(),
+            dict(fragment_cache_bytes=500_000),
+            dict(max_parallel_fetches=1),
+            dict(projection_pushdown=True),
+            dict(projection_pushdown=True, fragment_cache_bytes=500_000),
+        ]
+        for config in configs:
+            base = run_feed(FEED_QUERY, repeats=2, **config)
+            for batch_rows in (1, 8, 1024):
+                vec = run_feed(FEED_QUERY, repeats=2, vectorized=True,
+                               batch_rows=batch_rows, **config)
+                assert vec == base, (config, batch_rows)
+
+    def test_vectorized_under_faults_matches_row_path(self):
+        def sweep(vectorized):
+            return run_feed(
+                FEED_QUERY,
+                repeats=6,
+                faults=FaultModel(failure_rate=0.4, slow_rate=0.2, seed=11),
+                resilience=ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=3, base_backoff_ms=5.0),
+                    breaker=None,
+                ),
+                vectorized=vectorized,
+            )
+
+        row_outputs, row_counters, row_clock = sweep(False)
+        vec_outputs, vec_counters, vec_clock = sweep(True)
+        assert vec_outputs == row_outputs
+        assert vec_counters == row_counters
+        assert vec_clock == row_clock
+
+    @given(st.sampled_from([1, 2, 5, 16, 1024]))
+    @settings(max_examples=5, deadline=None)
+    def test_batch_size_never_changes_answers(self, batch_rows):
+        baseline = run_feed(FEED_QUERY)
+        outputs, counters, _ = run_feed(
+            FEED_QUERY, vectorized=True, batch_rows=batch_rows
+        )
+        assert (outputs, counters) == (baseline[0], baseline[1])
+
+    def test_pushdown_reduces_transfer_not_answers(self):
+        wide_outputs, _, _ = run_feed(NARROW_QUERY)
+        engine_wide, _ = build_feed_engine()
+        engine_narrow, _ = build_feed_engine(projection_pushdown=True)
+        wide = engine_wide.query(NARROW_QUERY)
+        narrow = engine_narrow.query(NARROW_QUERY)
+        assert ([serialize(e) for e in narrow.elements]
+                == [serialize(e) for e in wide.elements])
+        assert narrow.stats.bytes_transferred < wide.stats.bytes_transferred
+        assert narrow.stats.values_transferred < wide.stats.values_transferred
+        # the determinism contract is unaffected by the transfer counters
+        assert narrow.stats.counters() == wide.stats.counters()
+
+
+class TestSqlColumnsRead:
+    def build(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "city TEXT, tier INTEGER)"
+        )
+        db.insert_rows("t", [
+            (i, f"n{i}", f"c{i % 3}", i % 4) for i in range(12)
+        ])
+        return db
+
+    def test_projected_scan_reads_only_projected_columns(self):
+        db = self.build()
+        db.execute("SELECT name FROM t")
+        assert db.counters["columns_read"] == 1
+
+    def test_where_columns_count_too(self):
+        db = self.build()
+        db.execute("SELECT name FROM t WHERE tier = 2")
+        assert db.counters["columns_read"] == 2
+
+    def test_star_reads_everything(self):
+        db = self.build()
+        db.execute("SELECT * FROM t")
+        assert db.counters["columns_read"] == 4
