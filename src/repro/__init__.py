@@ -32,6 +32,7 @@ from repro.core import (
     NimbleEngine,
     PartialResultPolicy,
     QueryResult,
+    ShardRouter,
     User,
     format_result,
 )
@@ -74,9 +75,12 @@ from repro.sources import (
     HierarchicalSource,
     NetworkModel,
     RelationalSource,
+    ShardMap,
+    ShardedDeployment,
     SourceRegistry,
     WebServiceSource,
     XMLSource,
+    partition_registry,
 )
 from repro.sql import Database
 from repro.xmldm import Document, Element, Record, parse_document, serialize
@@ -96,11 +100,11 @@ __all__ = [
     "Completeness",
     "CostModel",
     "Database",
-    "FallbackRegistry",
-    "FaultModel",
     "Document",
     "Element",
     "EngineCluster",
+    "FallbackRegistry",
+    "FaultModel",
     "FlakySource",
     "FragmentResultCache",
     "HedgePolicy",
@@ -126,6 +130,9 @@ __all__ = [
     "RelationalSource",
     "ResiliencePolicy",
     "RetryPolicy",
+    "ShardMap",
+    "ShardRouter",
+    "ShardedDeployment",
     "SimClock",
     "SloPolicy",
     "SloTracker",
@@ -136,13 +143,14 @@ __all__ = [
     "ViewDef",
     "WebServiceSource",
     "XMLSource",
+    "__version__",
     "default_rules",
     "format_result",
     "format_trace",
     "merge_registries",
     "parse_document",
+    "partition_registry",
     "prometheus_exposition",
     "serialize",
     "write_slo_report",
-    "__version__",
 ]

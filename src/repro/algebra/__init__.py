@@ -44,11 +44,21 @@ from repro.algebra.vector import (
     MISSING,
     BatchCursor,
     ColumnPredicate,
+    ColumnStats,
+    ColumnStatsRepository,
     ColumnVector,
     RecordBatch,
+    TableStats,
     batches_from_rows,
     from_tuples,
     shred_records,
+)
+from repro.algebra.merge import (
+    PartialGroups,
+    dedup_rows,
+    merge_sorted,
+    sort_rows,
+    topk_rows,
 )
 from repro.algebra.grouping import Aggregate, AggregateSpec, GroupBy
 from repro.algebra.pattern import AttributePattern, TreePattern
@@ -69,6 +79,8 @@ __all__ = [
     "CallbackScan",
     "CollectionScan",
     "ColumnPredicate",
+    "ColumnStats",
+    "ColumnStatsRepository",
     "ColumnVector",
     "Compute",
     "Construct",
@@ -84,12 +96,14 @@ __all__ = [
     "Navigate",
     "NestedLoopJoin",
     "Operator",
+    "PartialGroups",
     "PatternMatch",
     "Plan",
     "Project",
     "RecordBatch",
     "Select",
     "Sort",
+    "TableStats",
     "TemplateText",
     "TemplateVar",
     "TopK",
@@ -97,7 +111,11 @@ __all__ = [
     "Union",
     "batches_from_rows",
     "build_elements",
+    "dedup_rows",
     "from_tuples",
     "fuse_sort_limit",
+    "merge_sorted",
     "shred_records",
+    "sort_rows",
+    "topk_rows",
 ]

@@ -24,7 +24,13 @@ import operator as _operator
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.algebra.tuples import BindingTuple
-from repro.xmldm.values import NULL, Null, atomize, compare_values
+from repro.xmldm.values import (
+    NULL,
+    Null,
+    _comparison_key,
+    atomize,
+    compare_values,
+)
 
 
 class _Missing:
@@ -167,7 +173,9 @@ def from_tuples(rows: Sequence[BindingTuple]) -> RecordBatch:
     return RecordBatch(columns, None, length)
 
 
-def shred_records(records: Sequence[Any]) -> RecordBatch:
+def shred_records(
+    records: Sequence[Any], stats: "TableStats | None" = None
+) -> RecordBatch:
     """Shred source Records straight into columns (no tuple detour).
 
     This is the source-boundary shredding step: fragment results arrive
@@ -175,8 +183,13 @@ def shred_records(records: Sequence[Any]) -> RecordBatch:
     per field.  Heterogeneous records (legal in semi-structured data)
     pad absent fields with MISSING, matching the row path where
     ``BindingTuple(record.as_dict())`` simply lacks the binding.
+
+    ``stats`` (when given) observes the shredded batch — column
+    statistics ride along with the work shredding already does, the
+    "ANALYZE for free" of the vectorized path.
     """
     length = len(records)
+    batch: RecordBatch | None = None
     columns: dict[str, list[Any]]
     if length and getattr(records[0], "field_map", None) is not None:
         # homogeneous fast path: when every record binds the same field
@@ -191,18 +204,148 @@ def shred_records(records: Sequence[Any]) -> RecordBatch:
                     name: [field_map[name] for field_map in maps]
                     for name in names
                 }
-                return RecordBatch(columns, None, length)
+                batch = RecordBatch(columns, None, length)
             except KeyError:
                 pass  # same width, different names: heterogeneous after all
-    columns = {}
-    for position, record in enumerate(records):
-        for name, value in record.items():
-            column = columns.get(name)
+    if batch is None:
+        columns = {}
+        for position, record in enumerate(records):
+            for name, value in record.items():
+                column = columns.get(name)
+                if column is None:
+                    column = [MISSING] * length
+                    columns[name] = column
+                column[position] = value
+        batch = RecordBatch(columns, None, length)
+    if stats is not None:
+        stats.observe_batch(batch)
+    return batch
+
+
+# -- column statistics --------------------------------------------------------
+
+
+class ColumnStats:
+    """Observed min/max/distinct-count/null-count of one column.
+
+    Fed by :func:`shred_records` during batch shredding; consumed by the
+    cost model (selectivity from real value distributions instead of
+    folklore constants) and the shard router (skip a shard whose
+    observed key bounds contradict the query's predicates).  Bounds and
+    distinct counts only ever widen, so re-observing the same rows is
+    idempotent and observing more rows stays sound.
+    """
+
+    __slots__ = ("rows", "nulls", "minimum", "maximum", "_distinct")
+
+    def __init__(self):
+        self.rows = 0
+        self.nulls = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self._distinct: set = set()
+
+    def observe(self, value: Any) -> None:
+        self.rows += 1
+        if isinstance(value, Null) or value is None:
+            self.nulls += 1
+            return
+        self._distinct.add(_comparison_key(value))
+        if self.minimum is None or compare_values(value, self.minimum) < 0:
+            self.minimum = value
+        if self.maximum is None or compare_values(value, self.maximum) > 0:
+            self.maximum = value
+
+    @property
+    def distinct(self) -> int:
+        return len(self._distinct)
+
+    def bounds(self) -> tuple[Any, Any] | None:
+        """Closed [minimum, maximum] over non-null values, or None."""
+        if self.minimum is None:
+            return None
+        return self.minimum, self.maximum
+
+    def selectivity(self, op: str, literal: Any) -> float | None:
+        """Estimated fraction of rows satisfying ``column OP literal``.
+
+        Equality uses the uniform-distinct model (1/NDV); ranges use the
+        linear-interpolation model over numeric [min, max].  None means
+        the statistics cannot price this predicate (empty column,
+        non-numeric range, literal of another family) — callers fall
+        back to their folklore constants.
+        """
+        if self.rows == 0 or self.minimum is None:
+            return None
+        if op in ("=", "!="):
+            fraction = 1.0 / max(self.distinct, 1)
+            return fraction if op == "=" else 1.0 - fraction
+        if op not in ("<", "<=", ">", ">="):
+            return None
+        if not isinstance(literal, (int, float)) or isinstance(literal, bool):
+            return None
+        if not isinstance(self.minimum, (int, float)):
+            return None
+        low, high = float(self.minimum), float(self.maximum)
+        if literal <= low:
+            below = 0.0
+        elif literal >= high:
+            below = 1.0
+        else:
+            below = (float(literal) - low) / (high - low)
+        if op in ("<", "<="):
+            return max(below, 1.0 / max(self.rows, 1))
+        return max(1.0 - below, 1.0 / max(self.rows, 1))
+
+
+class TableStats:
+    """Per-column statistics of one fragment access shape."""
+
+    __slots__ = ("columns", "batches")
+
+    def __init__(self):
+        self.columns: dict[str, ColumnStats] = {}
+        self.batches = 0
+
+    def observe_batch(self, batch: RecordBatch) -> None:
+        self.batches += 1
+        for name, values in batch.columns.items():
+            column = self.columns.get(name)
             if column is None:
-                column = [MISSING] * length
-                columns[name] = column
-            column[position] = value
-    return RecordBatch(columns, None, length)
+                column = ColumnStats()
+                self.columns[name] = column
+            for index in batch.live_indices():
+                value = values[index]
+                if value is not MISSING:
+                    column.observe(value)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+
+class ColumnStatsRepository:
+    """All statistics one engine has gathered, keyed by access shape.
+
+    The key is :func:`repro.materialize.matching.access_key` — accesses
+    only, conditions excluded — computed by the caller so this module
+    stays free of planner imports.
+    """
+
+    __slots__ = ("tables",)
+
+    def __init__(self):
+        self.tables: dict[str, TableStats] = {}
+
+    def table(self, key: str) -> TableStats:
+        stats = self.tables.get(key)
+        if stats is None:
+            stats = TableStats()
+            self.tables[key] = stats
+        return stats
+
+    def column(self, key: str, name: str) -> ColumnStats | None:
+        stats = self.tables.get(key)
+        return stats.column(name) if stats is not None else None
 
 
 def batches_from_rows(

@@ -115,10 +115,15 @@ class FragmentResultCache:
         policies: Mapping[str, RefreshPolicy] | None = None,
         containment: bool = True,
         keep_expired: bool = False,
+        scope: str = "",
     ):
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.clock = clock
+        #: key namespace prefix: shard-local engines run over sources
+        #: whose *names* coincide across shards, so each shard's cache
+        #: scopes its keys to keep fragment identities disjoint
+        self.scope = scope
         self.cost_model = cost_model or CostModel()
         self.max_bytes = max_bytes
         self.default_policy = default_policy or RefreshPolicy.ttl(60_000.0)
@@ -144,6 +149,17 @@ class FragmentResultCache:
         #: land as events on the enclosing fetch span
         self.tracer: Tracer = NULL_TRACER
 
+    # -- keys ----------------------------------------------------------------
+
+    def _key(self, fragment: Fragment,
+             params: Mapping[str, Any] | None = None) -> str:
+        key = result_key(fragment, params)
+        return f"{self.scope}::{key}" if self.scope else key
+
+    def _akey(self, fragment: Fragment) -> str:
+        key = access_key(fragment)
+        return f"{self.scope}::{key}" if self.scope else key
+
     # -- serving -------------------------------------------------------------
 
     def lookup(
@@ -157,7 +173,7 @@ class FragmentResultCache:
         Exact key first; then, for parameter-free fragments, a
         containment scan over entries with the same accesses.
         """
-        key = result_key(fragment, params)
+        key = self._key(fragment, params)
         entry = self._entries.get(key)
         if entry is not None:
             if not self._live(entry, epoch):
@@ -194,7 +210,7 @@ class FragmentResultCache:
         ``hits``/``misses``, so cache-efficiency accounting is
         undisturbed by brownout serving.
         """
-        key = result_key(fragment, params)
+        key = self._key(fragment, params)
         entry = self._entries.get(key)
         if entry is None or entry.epoch != epoch:
             return None
@@ -210,7 +226,7 @@ class FragmentResultCache:
     def _serve_by_containment(
         self, fragment: Fragment, epoch: Any
     ) -> CachedResult | None:
-        for key in list(self._by_access.get(access_key(fragment), ())):
+        for key in list(self._by_access.get(self._akey(fragment), ())):
             entry = self._entries.get(key)
             if entry is None:
                 continue
@@ -248,7 +264,7 @@ class FragmentResultCache:
         Read-only: does not touch LRU order or hit counters, so cost
         estimation never perturbs eviction behaviour.
         """
-        entry = self._entries.get(result_key(fragment))
+        entry = self._entries.get(self._key(fragment))
         if entry is None or not self._live(entry, epoch):
             return None
         return len(entry.records)
@@ -268,7 +284,7 @@ class FragmentResultCache:
         if size > self.max_bytes:
             self.oversize_rejects += 1
             return 0
-        key = result_key(fragment, params)
+        key = self._key(fragment, params)
         if key in self._entries:
             self._drop(key)
         entry = CacheEntry(
@@ -285,7 +301,7 @@ class FragmentResultCache:
         self.current_bytes += size
         self.insertions += 1
         if not entry.parameterized:
-            self._by_access.setdefault(access_key(fragment), []).append(key)
+            self._by_access.setdefault(self._akey(fragment), []).append(key)
         evicted = 0
         while self.current_bytes > self.max_bytes:
             oldest_key = next(iter(self._entries))
@@ -322,14 +338,14 @@ class FragmentResultCache:
             return
         self.current_bytes -= entry.size_bytes
         if not entry.parameterized:
-            siblings = self._by_access.get(access_key(entry.fragment))
+            siblings = self._by_access.get(self._akey(entry.fragment))
             if siblings is not None:
                 try:
                     siblings.remove(key)
                 except ValueError:
                     pass
                 if not siblings:
-                    del self._by_access[access_key(entry.fragment)]
+                    del self._by_access[self._akey(entry.fragment)]
 
     def _charge_local(self, rows: int) -> None:
         self.clock.advance(self.cost_model.local_cost(rows))

@@ -19,8 +19,12 @@ from repro.core.lens import Lens, LensServer
 from repro.core.auth import AccessController, User
 from repro.core.formatting import DeviceFormatter, format_result
 
+from repro.core.sharding import ShardRouter, retarget
+from repro.core.engine import BindingResult
+
 __all__ = [
     "AccessController",
+    "BindingResult",
     "CompletedQuery",
     "Completeness",
     "DeviceFormatter",
@@ -33,6 +37,8 @@ __all__ = [
     "PartialResultPolicy",
     "QueryResult",
     "RejectedQuery",
+    "ShardRouter",
     "User",
     "format_result",
+    "retarget",
 ]

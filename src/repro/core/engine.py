@@ -18,7 +18,10 @@ from repro.errors import (
     QueryRejected,
     SourceUnavailableError,
 )
+from repro.algebra.tuples import BindingTuple
+from repro.algebra.vector import ColumnStatsRepository
 from repro.materialize.manager import MaterializationManager
+from repro.materialize.matching import access_key
 from repro.materialize.policy import RefreshPolicy
 from repro.mediator.catalog import Catalog
 from repro.mediator.schema import ViewDef
@@ -72,6 +75,12 @@ class EngineStats:
     stale_cache_served: int = 0
     bytes_transferred: int = 0
     values_transferred: int = 0
+    shards_executed: int = 0
+    shards_pruned: int = 0
+    shards_stats_skipped: int = 0
+    scatter_queries: int = 0
+    coordinator_fallbacks: int = 0
+    gather_rows: int = 0
     plan_text: str = ""
 
     #: integer counters folded into a parent query's stats (sub-queries
@@ -107,12 +116,21 @@ class EngineStats:
     #: cache residency and projection pushdown legitimately change how
     #: much is transferred while results stay identical
     _TRANSFER_COUNTERS = ("bytes_transferred", "values_transferred")
+    #: scatter-gather routing accounting (shards visited, shards pruned
+    #: by range or statistics, coordinator fallbacks); excluded from
+    #: ``counters()`` because shard count is a deployment choice — the
+    #: determinism checks compare sharded against unsharded runs whose
+    #: routing counters legitimately differ while results are identical
+    _SHARD_COUNTERS = (
+        "shards_executed", "shards_pruned", "shards_stats_skipped",
+        "scatter_queries", "coordinator_fallbacks", "gather_rows",
+    )
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a sub-execution's counters into this one."""
         for name in (self._COUNTERS + self._SCHEDULE_COUNTERS
                      + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
-                     + self._TRANSFER_COUNTERS):
+                     + self._TRANSFER_COUNTERS + self._SHARD_COUNTERS):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def counters(self) -> dict[str, int]:
@@ -131,17 +149,21 @@ class EngineStats:
         """The per-column transfer counters (projection experiments)."""
         return {name: getattr(self, name) for name in self._TRANSFER_COUNTERS}
 
+    def shard_counters(self) -> dict[str, int]:
+        """The scatter-gather routing counters (sharding experiments)."""
+        return {name: getattr(self, name) for name in self._SHARD_COUNTERS}
+
     def as_dict(self) -> dict[str, int]:
         """Union of every counter group.
 
-        Key order is the declaration order of the five tuples — stable
+        Key order is the declaration order of the six tuples — stable
         across runs, so JSON emissions diff cleanly between PRs.
         """
         return {
             name: getattr(self, name)
             for name in self._COUNTERS + self._SCHEDULE_COUNTERS
             + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
-            + self._TRANSFER_COUNTERS
+            + self._TRANSFER_COUNTERS + self._SHARD_COUNTERS
         }
 
 
@@ -182,6 +204,20 @@ class QueryResult:
 
     def first(self) -> Element | None:
         return self.elements[0] if self.elements else None
+
+
+@dataclass
+class BindingResult:
+    """A shard-local execution's output: binding rows, not elements.
+
+    The scatter-gather router consumes these — construction, ordering
+    and limiting happen after the gather merge, so shards ship rows (or
+    reductions of rows) rather than rendered XML.
+    """
+
+    rows: list[BindingTuple]
+    completeness: Completeness
+    stats: EngineStats
 
 
 class _ExecutionContext:
@@ -679,6 +715,23 @@ class _ExecutionContext:
         self.engine.feedback.observe(fragment, rows)
         self.stats.estimate_feedback_updates += 1
 
+    def column_stats_for(self, unit: FragmentUnit):
+        """The stats table batch shredding should populate, or None.
+
+        Only unconditioned, non-parameterized fragments contribute: a
+        conditioned fetch observes a filtered subset whose bounds
+        under-cover the relation, which would make stats-based shard
+        skipping unsound.  Keying by access shape lets any later query
+        over the same accesses reuse the full-scan statistics.
+        """
+        repo = self.engine.column_stats
+        if repo is None:
+            return None
+        fragment = unit.fragment
+        if fragment.conditions or fragment.input_vars:
+            return None
+        return repo.table(access_key(fragment))
+
     def fetch_view(self, view: ViewDef) -> list[Element]:
         if view.name in self._view_memo:
             return self._view_memo[view.name]
@@ -780,6 +833,8 @@ class NimbleEngine:
         vectorized: bool = False,
         batch_rows: int = 1024,
         projection_pushdown: bool = False,
+        fragment_cache_scope: str = "",
+        column_statistics: bool = False,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -824,9 +879,18 @@ class NimbleEngine:
                 # expired entries stay resident so brownout serve-stale
                 # and the degraded-read ladder can answer from them
                 keep_expired=True,
+                # shard-local engines share nothing: a scope prefix keeps
+                # their keys disjoint even if a cache were ever shared
+                scope=fragment_cache_scope,
             )
             if fragment_cache_bytes > 0 else None
         )
+        #: per-column min/max/distinct statistics observed during batch
+        #: shredding (vectorized path), keyed by fragment access shape;
+        #: feeds cost-model selectivity and stats-based shard skipping
+        self.column_stats = ColumnStatsRepository() if column_statistics else None
+        if self.column_stats is not None:
+            self.cost_model.bind_column_stats(self._column_stats_lookup)
         use_feedback = (
             statistics_feedback if statistics_feedback is not None
             else self.fragment_cache is not None
@@ -1159,6 +1223,18 @@ class NimbleEngine:
             return None
         return self.fragment_cache.resident_rows(fragment, self.catalog.version)
 
+    def _column_stats_lookup(self, fragment: Fragment, var: str):
+        """Observed column statistics for a fragment's variable, if any.
+
+        Statistics are keyed by access shape (conditions excluded), so
+        a conditioned fragment reuses the statistics its unconditioned
+        scan gathered — the sound direction: full-scan statistics cover
+        any filtered subset.
+        """
+        if self.column_stats is None:
+            return None
+        return self.column_stats.column(access_key(fragment), var)
+
     def _compile(self, query: str | qast.Query,
                  stats: EngineStats | None = None) -> DecomposedQuery:
         """Parse→bind→decompose, cached per query text + catalog epoch.
@@ -1251,6 +1327,50 @@ class NimbleEngine:
         else:
             self._record_query(text, root.trace_id, context)
         return QueryResult(elements, context.completeness, context.stats)
+
+    def execute_bindings(
+        self,
+        decomposed: DecomposedQuery,
+        policy: PartialResultPolicy | None = None,
+        required_sources: frozenset[str] = frozenset(),
+        priority: Priority = Priority.NORMAL,
+    ) -> BindingResult:
+        """Run a compiled query's binding tree: rows out, no construct.
+
+        The scatter-gather router calls this on shard-local engines —
+        the coordinator compiled once, each shard executes the join/
+        select shape over its slice and returns binding rows for the
+        gather merge.  Ordering, grouping, construction and LIMIT are
+        the merge's job (or the shard-side reducer's), not this path's.
+        """
+        self.queries_run += 1
+        effective = policy or self.default_policy
+        if required_sources and effective is not PartialResultPolicy.FAIL:
+            effective = PartialResultPolicy.REQUIRE
+        context = _ExecutionContext(self, effective, required_sources,
+                                    priority=priority)
+        tracer = self.tracer
+        with tracer.span("bindings", policy=effective.name) as root:
+            with tracer.span("plan"):
+                tree = self.builder.build_binding_tree(decomposed, context)
+            if self.vectorized:
+                tree.bind_vectorized(self.batch_rows)
+            started_virtual = self.clock.now
+            started_wall = time.perf_counter()
+            with tracer.span("execute"):
+                context.prefetch(independent_fragment_units(decomposed))
+                tree.reset_counters()
+                rows = list(tree)
+            context.stats.elapsed_virtual_ms = self.clock.now - started_virtual
+            context.stats.elapsed_wall_ms = (
+                (time.perf_counter() - started_wall) * 1000
+            )
+            context.stats.plan_text = tree.explain()
+            if root.recording:
+                root.set(elapsed_virtual_ms=context.stats.elapsed_virtual_ms,
+                         rows=len(rows),
+                         complete=context.completeness.complete)
+        return BindingResult(rows, context.completeness, context.stats)
 
     def _record_query(self, text: str | None, trace_id: str,
                       context: _ExecutionContext) -> None:

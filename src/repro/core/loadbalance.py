@@ -85,7 +85,7 @@ class EngineCluster:
     virtual execution time on the shared engine.
     """
 
-    STRATEGIES = ("round_robin", "least_loaded", "random")
+    STRATEGIES = ("round_robin", "least_loaded", "random", "consistent_hash")
 
     def __init__(self, engine: NimbleEngine, instances: int = 1,
                  strategy: str = "least_loaded", seed: int = 11,
@@ -120,12 +120,23 @@ class EngineCluster:
     # -- dispatch -------------------------------------------------------------
 
     def _choose(self, arrival_ms: float | None = None,
-                priority: Priority = Priority.NORMAL) -> EngineInstance:
+                priority: Priority = Priority.NORMAL,
+                query_text: str | None = None) -> EngineInstance:
         if self.strategy == "round_robin":
             instance = self.instances[self._next % len(self.instances)]
             self._next += 1
         elif self.strategy == "random":
             instance = self._rng.choice(self.instances)
+        elif self.strategy == "consistent_hash":
+            # same query text -> same instance, every time: repeated
+            # queries land where their plan/fragment caches are warm.
+            # Unkeyed dispatches (no text) degrade to round-robin.
+            if query_text is None:
+                instance = self.instances[self._next % len(self.instances)]
+                self._next += 1
+            else:
+                bucket = int(query_hash(query_text), 16) % len(self.instances)
+                instance = self.instances[bucket]
         else:
             return min(self.instances, key=lambda i: (i.free_at_ms, i.name))
         if arrival_ms is not None and self.admission is not None:
@@ -160,7 +171,7 @@ class EngineCluster:
         if self.shedder is not None:
             self.shedder.refresh()
             self.shedder.check_admit(priority)
-        instance = self._choose(arrival_ms, priority)
+        instance = self._choose(arrival_ms, priority, query_text)
         projected_wait = max(0.0, instance.free_at_ms - arrival_ms)
         admission = None
         if self.admission is not None:

@@ -75,8 +75,30 @@ def access_key(fragment: Fragment) -> str:
     return f"{fragment.source}|{accesses}"
 
 
-def _range_bound(expr: qast.Expr) -> tuple[str, str, float] | None:
-    """Decompose ``$v OP number`` to (var, op, bound) when possible."""
+def _bound_literal(value) -> float | str | None:
+    """A literal usable as a one-dimensional bound: number or string.
+
+    Numbers and strings each form a totally ordered family under the
+    model order (strings compare lexicographically, exactly like
+    ``compare_values``), so range implication is sound within a family.
+    Cross-family comparisons are never attempted — the model ranks whole
+    types against each other, which the callers conservatively skip.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    return None
+
+
+def _same_family(a: float | str, b: float | str) -> bool:
+    return isinstance(a, str) == isinstance(b, str)
+
+
+def _range_bound(expr: qast.Expr) -> tuple[str, str, float | str] | None:
+    """Decompose ``$v OP literal`` to (var, op, bound) when possible."""
     if not isinstance(expr, qast.BinOp) or expr.op not in ("<", "<=", ">", ">="):
         return None
     left, right, op = expr.left, expr.right, expr.op
@@ -84,25 +106,29 @@ def _range_bound(expr: qast.Expr) -> tuple[str, str, float] | None:
     if isinstance(right, qast.Var) and isinstance(left, qast.Literal):
         left, right, op = right, left, flipped[op]
     if isinstance(left, qast.Var) and isinstance(right, qast.Literal):
-        if isinstance(right.value, (int, float)) and not isinstance(right.value, bool):
-            return left.name, op, float(right.value)
+        bound = _bound_literal(right.value)
+        if bound is not None:
+            return left.name, op, bound
     return None
 
 
-def _eq_bound(expr: qast.Expr) -> tuple[str, float] | None:
-    """Decompose ``$v = number`` to (var, value) when possible."""
+def _eq_bound(expr: qast.Expr) -> tuple[str, float | str] | None:
+    """Decompose ``$v = literal`` to (var, value) when possible."""
     if not isinstance(expr, qast.BinOp) or expr.op != "=":
         return None
     left, right = expr.left, expr.right
     if isinstance(right, qast.Var) and isinstance(left, qast.Literal):
         left, right = right, left
     if isinstance(left, qast.Var) and isinstance(right, qast.Literal):
-        if isinstance(right.value, (int, float)) and not isinstance(right.value, bool):
-            return left.name, float(right.value)
+        value = _bound_literal(right.value)
+        if value is not None:
+            return left.name, value
     return None
 
 
-def _satisfies(value: float, op: str, bound: float) -> bool:
+def _satisfies(value: float | str, op: str, bound: float | str) -> bool:
+    if not _same_family(value, bound):
+        return False
     if op == "<":
         return value < bound
     if op == "<=":
@@ -146,7 +172,7 @@ def implies(stronger: qast.Expr, weaker: qast.Expr) -> bool:
     if strong is None:
         return False
     var_s, op_s, bound_s = strong
-    if var_s != var_w:
+    if var_s != var_w or not _same_family(bound_s, bound_w):
         return False
     if op_s in (">", ">=") and op_w in (">", ">="):
         if bound_s > bound_w:

@@ -8,7 +8,10 @@ tools" (section 2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.sources
+    from repro.sources.sharding import ShardMap
 
 from repro.errors import MediationError
 from repro.mediator.mapping import RelationMapping
@@ -41,6 +44,9 @@ class Catalog:
         self.registry = registry
         self.mappings: dict[str, RelationMapping] = {}
         self.schemas: list[MediatedSchema] = []
+        #: source name -> ShardMap (key -> range -> shard); consulted by
+        #: the scatter-gather router for pruning and key routing
+        self.shard_maps: dict[str, "ShardMap"] = {}
         self._epoch = 0
 
     @property
@@ -92,6 +98,21 @@ class Catalog:
         self._check_cycles()
         self._epoch += 1
         return schema
+
+    def register_shard_map(self, shard_map: "ShardMap") -> "ShardMap":
+        """Declare how one source's data is key-range partitioned.
+
+        Routing metadata changes which physical shards answer a query,
+        so registration bumps the epoch like any other catalog change —
+        compiled-plan cache entries carrying stale routing are dropped.
+        """
+        if shard_map.source not in self.registry:
+            raise MediationError(
+                f"shard map targets unknown source {shard_map.source!r}"
+            )
+        self.shard_maps[shard_map.source] = shard_map
+        self._epoch += 1
+        return shard_map
 
     # -- resolution --------------------------------------------------------------
 

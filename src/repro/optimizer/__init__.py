@@ -25,12 +25,17 @@ from repro.optimizer.decomposer import (
 )
 from repro.optimizer.planner import PlanBuilder
 
+from repro.optimizer.routing import RoutingDecision, merge_strategy, route
+
 __all__ = [
     "CostModel",
     "DecomposedQuery",
     "FragmentEstimate",
     "FragmentUnit",
     "PlanBuilder",
+    "RoutingDecision",
     "ViewUnit",
     "decompose",
+    "merge_strategy",
+    "route",
 ]

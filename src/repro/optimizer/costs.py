@@ -45,6 +45,26 @@ def condition_selectivity(expr: qast.Expr) -> float:
     return 0.5
 
 
+def _var_literal(expr: qast.Expr) -> tuple[str, str, object] | None:
+    """Decompose ``$v OP literal`` to (var, op, literal) when possible.
+
+    Literal-on-the-left comparisons are flipped so statistics always see
+    the column on the left.
+    """
+    if not isinstance(expr, qast.BinOp):
+        return None
+    if expr.op not in ("=", "!=", "<", "<=", ">", ">="):
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    flipped = {"=": "=", "!=": "!=", "<": ">", "<=": ">=",
+               ">": "<", ">=": "<="}
+    if isinstance(right, qast.Var) and isinstance(left, qast.Literal):
+        left, right, op = right, left, flipped[op]
+    if isinstance(left, qast.Var) and isinstance(right, qast.Literal):
+        return left.name, op, right.value
+    return None
+
+
 @dataclass(frozen=True)
 class FragmentEstimate:
     """Estimated rows and virtual-time cost of executing one fragment."""
@@ -74,6 +94,10 @@ class CostModel:
         #: cache-residency probe (``fragment -> row count | None``) —
         #: when bound, resident fragments cost local scans, not network
         self.residency = None
+        #: column-statistics probe (``(fragment, var) -> ColumnStats |
+        #: None``) — when bound, observed value distributions price
+        #: simple predicates instead of the folklore constants
+        self.column_stats = None
 
     def bind_feedback(self, feedback) -> None:
         """Prefer observed row counts from ``feedback`` over guesses."""
@@ -82,6 +106,24 @@ class CostModel:
     def bind_residency(self, residency) -> None:
         """Consult ``residency(fragment)`` for cached row counts."""
         self.residency = residency
+
+    def bind_column_stats(self, lookup) -> None:
+        """Consult ``lookup(fragment, var)`` for observed column stats."""
+        self.column_stats = lookup
+
+    def _stats_selectivity(self, fragment: Fragment,
+                           condition: qast.Expr) -> float | None:
+        """Statistics-based selectivity of one condition, or None."""
+        if self.column_stats is None:
+            return None
+        decomposed = _var_literal(condition)
+        if decomposed is None:
+            return None
+        var, op, literal = decomposed
+        stats = self.column_stats(fragment, var)
+        if stats is None:
+            return None
+        return stats.selectivity(op, literal)
 
     def estimate_rows(self, fragment: Fragment, source: DataSource) -> float:
         if self.feedback is not None:
@@ -99,7 +141,11 @@ class CostModel:
             # bounds the result.
             rows = float(max(cardinalities))
         for condition in fragment.conditions:
-            rows *= condition_selectivity(condition)
+            from_stats = self._stats_selectivity(fragment, condition)
+            rows *= (
+                from_stats if from_stats is not None
+                else condition_selectivity(condition)
+            )
         if fragment.input_vars:
             rows = max(1.0, rows * 0.01)  # parameterized calls are selective
         return max(rows, 0.01)

@@ -73,9 +73,14 @@ class FragmentScan(Operator):
         """Shred the fetched records into column batches at the source
         boundary — the one row->column transposition in the plan."""
         records = self.context.fetch_fragment(self.unit, self.params)
+        # the engine's column-statistics hook (None when the context
+        # doesn't carry statistics, or this fragment is filtered/
+        # parameterized and so under-covers its relation)
+        stats_for = getattr(self.context, "column_stats_for", None)
+        stats = stats_for(self.unit) if stats_for is not None else None
         step = self._batch_rows
         for start in range(0, len(records), step):
-            yield shred_records(records[start:start + step])
+            yield shred_records(records[start:start + step], stats)
 
     def describe(self) -> str:
         return f"FragmentScan({self.unit.describe()})"

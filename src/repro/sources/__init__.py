@@ -29,6 +29,14 @@ from repro.sources.relational import RelationalSource
 from repro.sources.webservice import WebServiceSource
 from repro.sources.xmlfile import XMLSource
 
+from repro.sources.sharding import (
+    KeyRange,
+    ShardMap,
+    ShardedDeployment,
+    make_ranges,
+    partition_registry,
+)
+
 __all__ = [
     "Access",
     "AvailabilityModel",
@@ -38,9 +46,14 @@ __all__ = [
     "FlakySource",
     "Fragment",
     "HierarchicalSource",
+    "KeyRange",
     "NetworkModel",
     "RelationalSource",
+    "ShardMap",
+    "ShardedDeployment",
     "SourceRegistry",
     "WebServiceSource",
     "XMLSource",
+    "make_ranges",
+    "partition_registry",
 ]

@@ -1,0 +1,411 @@
+"""Key-range partitioning: one logical source, N shard-local sources.
+
+The paper's load-balancing story ("multiple instances of the
+integration engine can be run simultaneously", section 2.1) only goes
+horizontal when the *data* goes horizontal with it.  This module splits
+a source's records by key range into N shard-local sources that share
+one catalog schema, producing a :class:`ShardMap` (key -> range ->
+shard) the mediator catalog registers for routing:
+
+* relational tables carrying the shard-key column are range-partitioned
+  row-by-row; tables without the column are broadcast (replicated) so
+  shard-local joins against them stay complete;
+* XML documents are split on the root's child elements, keyed by an
+  attribute or a flat child element named after the key;
+* call-only sources (web services) are replicated per shard — dependent
+  probes are per-key, so each shard answers exactly its own keys.
+
+All shards share one :class:`~repro.simtime.SimClock`, so a scatter
+wave across shard engines composes on virtual time exactly like the
+engine's own prefetch waves.
+
+The partitioning contract for bit-identical ordering: base data is
+clustered by the shard key (the natural physical layout for
+key-partitioned data), so concatenating shard outputs in range order
+reproduces the unsharded row order.  Unclustered data still yields the
+same result *multiset* — only the interleave differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import SourceError
+from repro.simtime import SimClock
+from repro.sources.base import DataSource, Fragment, NetworkModel
+from repro.sources.registry import SourceRegistry
+from repro.sources.relational import RelationalSource
+from repro.sources.webservice import WebServiceSource
+from repro.sources.xmlfile import XMLSource
+from repro.sql.database import Database
+from repro.xmldm.document import Document
+from repro.xmldm.nodes import Element
+from repro.xmldm.values import compare_values
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A half-open key interval ``[low, high)``; ``None`` = unbounded."""
+
+    low: Any = None
+    high: Any = None
+
+    def contains(self, value: Any) -> bool:
+        if self.low is not None and compare_values(value, self.low) < 0:
+            return False
+        if self.high is not None and compare_values(value, self.high) >= 0:
+            return False
+        return True
+
+    def describe(self) -> str:
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        return f"[{low}, {high})"
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """key -> range -> shard for one partitioned source.
+
+    ``relations`` names the relations/documents actually split by the
+    key; anything else the source exports was broadcast to every shard,
+    which the router must treat as unpartitioned.
+    """
+
+    source: str
+    key: str
+    ranges: tuple[KeyRange, ...]
+    relations: tuple[str, ...] = ()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.ranges)
+
+    def shard_for(self, value: Any) -> int:
+        for index, key_range in enumerate(self.ranges):
+            if key_range.contains(value):
+                return index
+        raise SourceError(
+            f"shard map for {self.source!r} has no range for {value!r}"
+        )
+
+    def partitions(self, relation: str) -> bool:
+        return relation in self.relations
+
+    def describe(self) -> str:
+        spans = ", ".join(r.describe() for r in self.ranges)
+        return f"ShardMap({self.source}.{self.key}: {spans})"
+
+
+def make_ranges(keys: Iterable[Any], n_shards: int) -> tuple[KeyRange, ...]:
+    """Split the observed key population into N contiguous ranges.
+
+    Boundaries land on actual key values (quantiles of the sorted
+    distinct keys), the first/last ranges are unbounded so unseen keys
+    still map somewhere.  Fewer distinct keys than shards leaves the
+    tail ranges empty — harmless, those shards just hold nothing.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    from repro.xmldm.values import _comparison_key
+
+    distinct = sorted(set(keys), key=_comparison_key)
+    if n_shards == 1 or len(distinct) < 2:
+        return (KeyRange(),)
+    boundaries: list[Any] = []
+    for index in range(1, n_shards):
+        position = (index * len(distinct)) // n_shards
+        boundary = distinct[min(position, len(distinct) - 1)]
+        if not boundaries or compare_values(boundary, boundaries[-1]) > 0:
+            boundaries.append(boundary)
+    ranges: list[KeyRange] = []
+    previous: Any = None
+    for boundary in boundaries:
+        ranges.append(KeyRange(previous, boundary))
+        previous = boundary
+    ranges.append(KeyRange(previous, None))
+    while len(ranges) < n_shards:
+        ranges.append(KeyRange(ranges[-1].high, ranges[-1].high))
+    return tuple(ranges)
+
+
+def access_key_var(access, key: str) -> str | None:
+    """The query variable one access binds to the shard-key field.
+
+    Looks at attribute bindings (``@key=$v``) and flat child bindings
+    (``<key>$v</key>``) — the two shapes relational/XML rewrites
+    produce.  ``None`` when the access never binds the key.
+    """
+    pattern = access.pattern
+    for attribute in pattern.attributes:
+        if attribute.name == key and attribute.var is not None:
+            return attribute.var
+    for child in pattern.children:
+        if child.tag == key and child.text_var is not None:
+            return child.text_var
+    return None
+
+
+def shard_key_var(fragment: Fragment, key: str) -> str | None:
+    """The query variable a fragment binds to the shard-key field.
+
+    First binding across the fragment's access patterns; ``None`` when
+    the fragment never binds the key (it cannot be pruned, only
+    scattered).
+    """
+    for access in fragment.accesses:
+        var = access_key_var(access, key)
+        if var is not None:
+            return var
+    return None
+
+
+def range_admits(key_range: KeyRange, key_var: str, conditions) -> bool:
+    """Can any row with the key inside ``key_range`` satisfy ``conditions``?
+
+    Sound pruning via :func:`repro.materialize.matching.implies`: a
+    shard is skippable when some condition *implies* the key lies
+    entirely below the range's low bound or at/above its high bound.
+    Incompleteness only costs a wasted (empty) shard visit.
+    """
+    from repro.materialize.matching import implies
+    from repro.query import ast as qast
+
+    var = qast.Var(key_var)
+    for condition in conditions:
+        if key_range.low is not None and implies(
+            condition, qast.BinOp("<", var, qast.Literal(key_range.low))
+        ):
+            return False
+        if key_range.high is not None and implies(
+            condition, qast.BinOp(">=", var, qast.Literal(key_range.high))
+        ):
+            return False
+    return True
+
+
+# -- physical partitioning ---------------------------------------------------
+
+
+def _clone_network(network: NetworkModel) -> NetworkModel:
+    return NetworkModel(latency_ms=network.latency_ms,
+                        per_row_ms=network.per_row_ms)
+
+
+def partition_relational(
+    source: RelationalSource, key: str, ranges: tuple[KeyRange, ...]
+) -> tuple[list[RelationalSource], tuple[str, ...]]:
+    """Range-partition a relational source's tables on the key column.
+
+    Tables without the key column are broadcast to every shard (the
+    dimension-table treatment); returns the shard sources plus the
+    names of the relations that were genuinely partitioned.
+    """
+    shards: list[RelationalSource] = []
+    partitioned: list[str] = []
+    databases = [
+        Database(f"{source.database.name}") for _ in ranges
+    ]
+    for table_name in source.database.table_names():
+        table = source.database.table(table_name)
+        schema = table.schema
+        for database in databases:
+            database.create_table(schema)
+        names = schema.column_names
+        if key in names:
+            partitioned.append(table_name)
+            position = schema.column_index(key)
+            for _, values in table.scan():
+                shard = _range_index(ranges, values[position])
+                databases[shard].table(table_name).insert(list(values))
+        else:
+            for _, values in table.scan():
+                for database in databases:
+                    database.table(table_name).insert(list(values))
+    for database in databases:
+        shards.append(
+            RelationalSource(
+                source.name,
+                database,
+                network=_clone_network(source.network),
+            )
+        )
+    return shards, tuple(partitioned)
+
+
+def partition_xml(
+    source: XMLSource, key: str, ranges: tuple[KeyRange, ...]
+) -> tuple[list[XMLSource], tuple[str, ...]]:
+    """Split each document's root children by key into N documents.
+
+    A child element's key is its ``key`` attribute, or the text of a
+    flat ``<key>`` child.  Documents whose children never carry the key
+    are broadcast whole (and excluded from the partitioned relations).
+    """
+    shard_docs: list[dict[str, Document]] = [dict() for _ in ranges]
+    partitioned: list[str] = []
+    for doc_name, document in source.documents.items():
+        keyed = [
+            _element_key(child, key)
+            for child in document.root.child_elements()
+        ]
+        if not any(value is not None for value in keyed):
+            for docs in shard_docs:
+                docs[doc_name] = Document(document.root.copy(), name=doc_name)
+            continue
+        partitioned.append(doc_name)
+        roots = [
+            Element(document.root.tag, dict(document.root.attributes))
+            for _ in ranges
+        ]
+        for child, value in zip(document.root.child_elements(), keyed):
+            shard = 0 if value is None else _range_index(ranges, value)
+            roots[shard].append(child.copy())
+        for docs, root in zip(shard_docs, roots):
+            docs[doc_name] = Document(root, name=doc_name)
+    shards = [
+        XMLSource(source.name, docs, network=_clone_network(source.network))
+        for docs in shard_docs
+    ]
+    return shards, tuple(partitioned)
+
+
+def replicate_source(source: DataSource, count: int) -> list[DataSource]:
+    """One copy of a call-only/unpartitionable source per shard.
+
+    Web services are rebuilt around the same endpoint handlers;
+    anything else shares the wrapper object across shards (safe because
+    every shard registry runs on the same clock).
+    """
+    if isinstance(source, WebServiceSource):
+        copies: list[DataSource] = []
+        for _ in range(count):
+            copy = WebServiceSource(
+                source.name, network=_clone_network(source.network)
+            )
+            copy.faults = source.faults
+            for endpoint in source.endpoints.values():
+                copy.add_endpoint(
+                    endpoint.name,
+                    endpoint.required_inputs,
+                    endpoint.record_type,
+                    endpoint.handler,
+                    endpoint.estimated_rows,
+                )
+            copies.append(copy)
+        return copies
+    return [source for _ in range(count)]
+
+
+def partition_source(
+    source: DataSource, key: str, ranges: tuple[KeyRange, ...]
+) -> tuple[list[DataSource], tuple[str, ...]]:
+    """Type-dispatched partitioning; falls back to replication."""
+    if isinstance(source, RelationalSource):
+        shards, relations = partition_relational(source, key, ranges)
+        for shard in shards:
+            shard.faults = source.faults
+        return list(shards), relations
+    if isinstance(source, XMLSource):
+        shards, relations = partition_xml(source, key, ranges)
+        for shard in shards:
+            shard.faults = source.faults
+        return list(shards), relations
+    return replicate_source(source, len(ranges)), ()
+
+
+def _range_index(ranges: tuple[KeyRange, ...], value: Any) -> int:
+    for index, key_range in enumerate(ranges):
+        if key_range.contains(value):
+            return index
+    raise SourceError(f"no shard range covers key {value!r}")
+
+
+def _element_key(element: Element, key: str) -> Any:
+    if key in element.attributes:
+        return element.attributes[key]
+    child = element.first_child(key)
+    if child is not None:
+        return child.text_content().strip()
+    return None
+
+
+def _source_keys(source: DataSource, key: str) -> list[Any]:
+    """Every shard-key value a source holds (for boundary selection)."""
+    values: list[Any] = []
+    if isinstance(source, RelationalSource):
+        for table_name in source.database.table_names():
+            table = source.database.table(table_name)
+            if key not in table.schema.column_names:
+                continue
+            position = table.schema.column_index(key)
+            for _, row in table.scan():
+                values.append(row[position])
+    elif isinstance(source, XMLSource):
+        for document in source.documents.values():
+            for child in document.root.child_elements():
+                value = _element_key(child, key)
+                if value is not None:
+                    values.append(value)
+    return values
+
+
+# -- deployment assembly -----------------------------------------------------
+
+
+@dataclass
+class ShardedDeployment:
+    """N shard-local registries sharing one clock, plus the shard maps."""
+
+    clock: SimClock
+    registries: list[SourceRegistry]
+    shard_maps: dict[str, ShardMap] = field(default_factory=dict)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.registries)
+
+
+def partition_registry(
+    registry: SourceRegistry,
+    keys: dict[str, str],
+    n_shards: int,
+    ranges: tuple[KeyRange, ...] | None = None,
+) -> ShardedDeployment:
+    """Split a deployment's keyed sources into N shard-local registries.
+
+    ``keys`` maps source name -> shard-key field.  All keyed sources
+    are co-partitioned on one shared range vector (computed from the
+    union of their key populations unless ``ranges`` is given), so
+    shard-local joins on the key stay aligned.  Unkeyed sources are
+    replicated.  Every shard registry shares the original registry's
+    clock — a scatter wave across shard engines then composes on
+    virtual time like any other parallel wave.
+    """
+    for name in keys:
+        if name not in registry:
+            raise SourceError(f"shard key names unknown source {name!r}")
+    if ranges is None:
+        population: list[Any] = []
+        for name, key in keys.items():
+            population.extend(_source_keys(registry.get(name), key))
+        ranges = make_ranges(population, n_shards)
+    if len(ranges) != n_shards:
+        raise ValueError("ranges length must equal n_shards")
+    registries = [SourceRegistry(registry.clock) for _ in range(n_shards)]
+    shard_maps: dict[str, ShardMap] = {}
+    for source in registry:
+        key = keys.get(source.name)
+        if key is None:
+            copies = replicate_source(source, n_shards)
+            relations: tuple[str, ...] = ()
+        else:
+            copies, relations = partition_source(source, key, ranges)
+        if key is not None:
+            shard_maps[source.name] = ShardMap(
+                source.name, key, ranges, relations
+            )
+        for shard_registry, copy in zip(registries, copies):
+            shard_registry.register(copy)
+    return ShardedDeployment(registry.clock, registries, shard_maps)

@@ -518,6 +518,7 @@ class TestEngineStatsFolding:
         + EngineStats._CACHE_COUNTERS
         + EngineStats._OVERLOAD_COUNTERS
         + EngineStats._TRANSFER_COUNTERS
+        + EngineStats._SHARD_COUNTERS
     )
 
     def test_every_counter_folds_exactly_once(self):
