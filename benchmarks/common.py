@@ -142,7 +142,11 @@ def _stats_union(counters: dict[str, Any]) -> dict[str, Any]:
     Every ``BENCH_*.json`` then carries the same ``engine_stats`` key
     set regardless of which counters a given bench exercised — so
     cross-PR diff tooling never sees keys appear and vanish when new
-    counter groups (e.g. the per-column transfer counters) are added.
+    counter groups are added.  The union is derived from
+    ``EngineStats().as_dict()``, so it tracks new groups (per-column
+    transfer, scatter-gather routing, CDC maintenance) automatically:
+    a bench that never syncs a change feed still emits every
+    ``cdc_counters()`` key as zero.
     """
     from repro.core.engine import EngineStats
 

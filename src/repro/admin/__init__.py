@@ -21,6 +21,7 @@ understand, the system."
 from repro.admin.console import ManagementConsole
 from repro.admin.monitor import (
     CacheMonitor,
+    FreshnessMonitor,
     HealthMonitor,
     OverloadMonitor,
     SloMonitor,
@@ -32,6 +33,7 @@ from repro.admin.replication import DataAdministrator, ReplicationJob
 __all__ = [
     "CacheMonitor",
     "DataAdministrator",
+    "FreshnessMonitor",
     "HealthMonitor",
     "ManagementConsole",
     "OverloadMonitor",

@@ -13,6 +13,7 @@ from typing import Any
 
 from repro.admin.monitor import (
     CacheMonitor,
+    FreshnessMonitor,
     HealthMonitor,
     OverloadMonitor,
     SloMonitor,
@@ -37,6 +38,7 @@ class ManagementConsole:
         trace_monitor: TraceMonitor | None = None,
         slo_monitor: SloMonitor | None = None,
         overload_monitor: OverloadMonitor | None = None,
+        freshness_monitor: FreshnessMonitor | None = None,
     ):
         self.engine = engine
         self.monitor = monitor
@@ -45,6 +47,7 @@ class ManagementConsole:
         self.trace_monitor = trace_monitor
         self.slo_monitor = slo_monitor
         self.overload_monitor = overload_monitor
+        self.freshness_monitor = freshness_monitor
 
     # -- structured report ---------------------------------------------------
 
@@ -141,6 +144,8 @@ class ManagementConsole:
             report["slo"] = self.slo_monitor.snapshot()
         if self.overload_monitor is not None:
             report["overload"] = self.overload_monitor.snapshot()
+        if self.freshness_monitor is not None:
+            report["freshness"] = self.freshness_monitor.snapshot()
         return report
 
     # -- text rendering ---------------------------------------------------------
@@ -292,4 +297,24 @@ class ManagementConsole:
                     f"backlog {cluster['queue_wait_ms']:.0f} ms "
                     f"across {cluster['queue_depth']} instances"
                 )
+        if "freshness" in report:
+            info = report["freshness"]
+            lines.append("")
+            state = "on" if info["enabled"] else "off"
+            counters = info["counters"]
+            lines.append(
+                f"incremental maintenance: {state} "
+                f"({counters['views_delta_refreshed']} delta refreshes / "
+                f"{counters['views_full_rebuilt']} full rebuilds, "
+                f"{counters['delta_rows_applied']} delta rows)"
+            )
+            for name, view in info["views"].items():
+                synced = (
+                    "in sync" if view["seq_lag"] == 0
+                    else f"lag {view['seq_lag']} changes, "
+                         f"stale {view['staleness_ms']:.0f} ms"
+                )
+                lines.append(f"  {name} [{view['mode']}]: {synced}")
+            for source, seq in info["feeds"].items():
+                lines.append(f"  feed {source}: seq {seq}")
         return "\n".join(lines)

@@ -327,3 +327,39 @@ class OverloadMonitor:
         if self.cluster is not None:
             report["cluster"] = self.cluster.overload_snapshot()
         return report
+
+
+class FreshnessMonitor:
+    """Per-view refresh lag of the incremental maintenance layer.
+
+    Two complementary lag measures per maintained view: ``seq_lag``, how
+    many change records its sources have emitted past the view's
+    high-water marks (work pending), and ``staleness_ms``, the
+    virtual-time age of the oldest unapplied change (how long the view
+    has been behind).  Both are zero for a view in sync with its feeds.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def snapshot(self) -> dict[str, Any]:
+        engine = self.engine
+        report: dict[str, Any] = {
+            "enabled": engine.incremental is not None,
+            "views": {},
+            "feeds": {},
+            "counters": engine.cdc_stats.cdc_counters(),
+        }
+        for source in engine.catalog.registry:
+            if source.changelog is not None:
+                report["feeds"][source.name] = source.changelog.latest_seq
+        if engine.incremental is not None:
+            report["views"] = engine.incremental.lag(engine.clock.now)
+        return report
+
+    def worst_staleness_ms(self) -> float:
+        """The most stale any maintained view currently is."""
+        views = self.snapshot()["views"]
+        return max(
+            (entry["staleness_ms"] for entry in views.values()), default=0.0
+        )

@@ -322,6 +322,78 @@ class FragmentResultCache:
             self._drop(key)
         return len(doomed)
 
+    def apply_change(self, change, key_field: str | None,
+                     patch: bool = True) -> tuple[int, int, int]:
+        """Scoped invalidation: touch only entries the change can reach.
+
+        Replaces the old epoch-bump story (every write killed every
+        entry) with a per-entry decision:
+
+        * a different relation, or pushed conditions that provably
+          exclude the changed key (:func:`repro.cdc.scope.key_affected`)
+          — **retained**, untouched;
+        * a patchable shape (:func:`repro.cdc.scope.fragment_patch`) —
+          records **patched** in place, sizes and ``loaded_at``
+          refreshed;
+        * everything else (resets, parameterized entries, flip-ins) —
+          **evicted**.
+
+        Returns ``(patched, evicted, retained)`` entry counts.
+        """
+        from repro.cdc.scope import (
+            change_key_var,
+            fragment_patch,
+            key_affected,
+            patch_records,
+        )
+
+        patched = evicted = retained = 0
+        for key in list(self._entries):
+            entry = self._entries.get(key)
+            if entry is None or entry.fragment.source != change.source:
+                continue
+            fragment = entry.fragment
+            if all(
+                access.relation != change.relation
+                for access in fragment.accesses
+            ):
+                retained += 1
+                continue
+            if change.op != "reset" and key_field is not None:
+                key_var = change_key_var(fragment, change.relation, key_field)
+                if key_var is not None and not key_affected(
+                    fragment.conditions, key_var, change.key
+                ):
+                    retained += 1
+                    self.tracer.event("cache_change_excluded",
+                                      source=change.source, key=change.key)
+                    continue
+            applied = None
+            if patch and change.op != "reset" and key_field is not None:
+                plan = fragment_patch(fragment, change, key_field)
+                if plan is not None:
+                    applied = patch_records(entry.records, plan)
+            if applied is not None:
+                size = estimate_result_bytes(applied)
+                self.current_bytes += size - entry.size_bytes
+                entry.records = applied
+                entry.size_bytes = size
+                entry.loaded_at = self.clock.now
+                patched += 1
+                self.tracer.event("cache_change_patched",
+                                  source=change.source, key=change.key,
+                                  rows=len(applied))
+                continue
+            self._drop(key)
+            evicted += 1
+            self.tracer.event("cache_change_evicted", source=change.source,
+                              key=change.key)
+        while self.current_bytes > self.max_bytes and self._entries:
+            oldest_key = next(iter(self._entries))
+            self._drop(oldest_key)
+            self.evictions += 1
+        return patched, evicted, retained
+
     def clear(self) -> None:
         self._entries.clear()
         self._by_access.clear()

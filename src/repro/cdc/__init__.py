@@ -1,0 +1,64 @@
+"""Change data capture: feeds, diffing, delta algebra, change scoping.
+
+The subsystem that turns the warehouse tier from "fast but stale" into
+"fast and fresh" (paper §3.3's compound architecture under writes):
+
+* :mod:`changelog` — per-source append-only change feeds with
+  monotonically increasing sequence numbers;
+* :mod:`differ` — subtree-hash document diffing for snapshot-only
+  sources (hash every node, recurse only into changed hashes);
+* :mod:`delta` — delta counterparts of the algebra operators, including
+  grouped aggregation with retraction;
+* :mod:`scope` — mapping one change to the fragments it can affect:
+  key-range exclusion, in-place record patches.
+
+Consumers: :class:`repro.materialize.incremental.IncrementalMaterializer`
+drains feeds into materialized views; the engine's ``sync_changes``
+drives scoped cache/store invalidation.
+"""
+
+from repro.cdc.changelog import CHANGE_OPS, ChangeLog, ChangeRecord
+from repro.cdc.delta import (
+    DeltaCompute,
+    DeltaDistinct,
+    DeltaGroups,
+    DeltaJoin,
+    DeltaProject,
+    DeltaSelect,
+    DeltaUnsupported,
+    RowDelta,
+    select_deltas,
+)
+from repro.cdc.differ import NodeChange, diff_documents, row_key
+from repro.cdc.scope import (
+    FragmentPatch,
+    change_key_var,
+    fragment_patch,
+    key_affected,
+    pattern_bindings,
+    patch_records,
+)
+
+__all__ = [
+    "CHANGE_OPS",
+    "ChangeLog",
+    "ChangeRecord",
+    "DeltaCompute",
+    "DeltaDistinct",
+    "DeltaGroups",
+    "DeltaJoin",
+    "DeltaProject",
+    "DeltaSelect",
+    "DeltaUnsupported",
+    "FragmentPatch",
+    "NodeChange",
+    "RowDelta",
+    "change_key_var",
+    "diff_documents",
+    "fragment_patch",
+    "key_affected",
+    "pattern_bindings",
+    "patch_records",
+    "row_key",
+    "select_deltas",
+]

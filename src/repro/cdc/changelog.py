@@ -1,0 +1,134 @@
+"""Per-source change feeds: the capture half of CDC.
+
+Each CDC-enabled source owns one :class:`ChangeLog`.  Mutations append
+:class:`ChangeRecord`s with a per-source monotonically increasing
+sequence number; consumers (the incremental materializer, the scoped
+cache invalidator) remember a high-water sequence per source and drain
+``since(high_water)`` on refresh — never a full re-read.
+
+Four operations cover the delta algebra:
+
+* ``insert`` — a new keyed row appeared (``row`` is the after-image);
+* ``update`` — an existing key's row changed (``before`` + ``row``);
+* ``delete`` — a key's row disappeared (``before`` is the last image);
+* ``reset`` — the relation changed in a way deltas cannot describe
+  (rows reordered, duplicate keys, no key at all): consumers must fall
+  back to a full rebuild of anything derived from the relation.
+
+For XML sources the records also carry the raw :class:`Element`
+subtrees (``node``/``before_node``) so pattern-matching consumers can
+re-derive bindings bit-identically to a fresh scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.simtime import SimClock
+from repro.xmldm.nodes import Element
+from repro.xmldm.values import Record
+
+#: the change operations a record may carry
+CHANGE_OPS = ("insert", "update", "delete", "reset")
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One captured mutation on one source relation.
+
+    ``key`` is the value of the relation's declared key field; ``row``
+    is the after-image (None for deletes), ``before`` the before-image
+    (None for inserts).  ``seq`` is unique and monotonically increasing
+    *per source*, across all of that source's relations.
+    """
+
+    seq: int
+    op: str
+    source: str
+    relation: str
+    key: Any = None
+    row: Record | None = None
+    before: Record | None = None
+    #: raw subtrees for XML relations (None for relational rows)
+    node: Element | None = None
+    before_node: Element | None = None
+    at_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in CHANGE_OPS:
+            raise ValueError(f"unknown change op {self.op!r}")
+
+
+@dataclass
+class ChangeLog:
+    """The append-only change feed of one source.
+
+    ``declare_key(relation, field)`` names the field whose value keys
+    rows of that relation; emission and all delta consumers use it.
+    ``since(seq)`` yields records strictly after ``seq`` in order.
+    """
+
+    source_name: str
+    clock: SimClock
+    _records: list[ChangeRecord] = field(default_factory=list)
+    _keys: dict[str, str] = field(default_factory=dict)
+    _seq: int = 0
+
+    # -- key declarations -------------------------------------------------
+
+    def declare_key(self, relation: str, key_field: str) -> None:
+        self._keys[relation] = key_field
+
+    def key_field(self, relation: str) -> str | None:
+        return self._keys.get(relation)
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(
+        self,
+        op: str,
+        relation: str,
+        key: Any = None,
+        row: Record | None = None,
+        before: Record | None = None,
+        node: Element | None = None,
+        before_node: Element | None = None,
+    ) -> ChangeRecord:
+        self._seq += 1
+        record = ChangeRecord(
+            seq=self._seq,
+            op=op,
+            source=self.source_name,
+            relation=relation,
+            key=key,
+            row=row,
+            before=before,
+            node=node,
+            before_node=before_node,
+            at_ms=self.clock.now,
+        )
+        self._records.append(record)
+        return record
+
+    def emit_reset(self, relation: str) -> ChangeRecord:
+        """The blunt record: derived state over ``relation`` must rebuild."""
+        return self.emit("reset", relation)
+
+    # -- consumption ------------------------------------------------------
+
+    @property
+    def latest_seq(self) -> int:
+        return self._seq
+
+    def since(self, seq: int) -> list[ChangeRecord]:
+        """Records with ``record.seq > seq``, oldest first."""
+        # sequence numbers are dense (1, 2, ...), so slice directly
+        start = max(0, min(seq, self._seq))
+        return self._records[start:]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+__all__ = ["CHANGE_OPS", "ChangeLog", "ChangeRecord"]

@@ -1,0 +1,115 @@
+"""Subtree-hash differ: synthesizing deltas from snapshot-only sources.
+
+Some sources cannot emit change records — they only hand over a new
+snapshot of a document.  The differ turns two document versions into
+insert/update/delete records by the xml2db idiom: hash every node over
+its subtree (memoized on the node, see
+:meth:`repro.xmldm.nodes.Node.subtree_hash`) and recurse only into
+children whose hashes changed.  Equal root hashes short-circuit the
+whole comparison to one string equality.
+
+The unit of change is a **row element**: a direct element child of the
+document root, keyed by the relation's declared key field (an attribute
+or a flat child element's text).  Shapes deltas cannot describe map to
+a single ``reset``:
+
+* a row without a key value, or two rows sharing one;
+* surviving rows whose relative order changed (scans emit document
+  order, and delta consumers preserve positions, not reorderings);
+* inserts anywhere but after every surviving row (consumers append).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmldm.nodes import Element
+
+
+@dataclass(frozen=True)
+class NodeChange:
+    """One row-level difference between two document versions."""
+
+    op: str  # insert | update | delete | reset
+    key: object = None
+    node: Element | None = None         # after-image subtree
+    before_node: Element | None = None  # before-image subtree
+
+
+def row_key(element: Element, key_field: str) -> object | None:
+    """A row element's key: attribute first, else flat child text."""
+    value = element.attributes.get(key_field)
+    if value is not None:
+        return value
+    child = element.first_child(key_field)
+    if child is not None:
+        return child.text_content()
+    return None
+
+
+def diff_documents(
+    old_root: Element, new_root: Element, key_field: str
+) -> list[NodeChange]:
+    """Row-level changes turning ``old_root`` into ``new_root``.
+
+    Returns ``[]`` when the trees are identical, ``[NodeChange('reset')]``
+    when the difference has no delta shape, and otherwise deletes (old
+    document order), then updates, then inserts (both new document
+    order) — the order consumers apply them in.
+    """
+    if old_root.subtree_hash() == new_root.subtree_hash():
+        return []
+    if old_root.tag != new_root.tag:
+        return [NodeChange("reset")]
+
+    old_rows = list(old_root.child_elements())
+    new_rows = list(new_root.child_elements())
+    old_keys = [row_key(row, key_field) for row in old_rows]
+    new_keys = [row_key(row, key_field) for row in new_rows]
+    if (
+        None in old_keys
+        or None in new_keys
+        or len(set(old_keys)) != len(old_keys)
+        or len(set(new_keys)) != len(new_keys)
+    ):
+        return [NodeChange("reset")]
+
+    old_by_key = dict(zip(old_keys, old_rows))
+    new_key_set = set(new_keys)
+    surviving_old = [key for key in old_keys if key in new_key_set]
+    surviving_new = [key for key in new_keys if key in old_by_key]
+    if surviving_old != surviving_new:
+        return [NodeChange("reset")]  # surviving rows were reordered
+    last_surviving = (
+        max(
+            index
+            for index, key in enumerate(new_keys)
+            if key in old_by_key
+        )
+        if surviving_new
+        else -1
+    )
+    if any(
+        index < last_surviving
+        for index, key in enumerate(new_keys)
+        if key not in old_by_key
+    ):
+        return [NodeChange("reset")]  # insert before a surviving row
+
+    changes: list[NodeChange] = []
+    for key, row in zip(old_keys, old_rows):
+        if key not in new_key_set:
+            changes.append(NodeChange("delete", key, before_node=row))
+    for key, row in zip(new_keys, new_rows):
+        before = old_by_key.get(key)
+        if before is None:
+            changes.append(NodeChange("insert", key, node=row))
+        elif before.subtree_hash() != row.subtree_hash():
+            # the only recursion the differ needs: hashes gate which
+            # row subtrees are even looked at
+            changes.append(NodeChange("update", key, node=row,
+                                      before_node=before))
+    return changes
+
+
+__all__ = ["NodeChange", "diff_documents", "row_key"]

@@ -20,6 +20,7 @@ from repro.errors import (
 )
 from repro.algebra.tuples import BindingTuple
 from repro.algebra.vector import ColumnStatsRepository
+from repro.materialize.incremental import IncrementalMaterializer
 from repro.materialize.manager import MaterializationManager
 from repro.materialize.matching import access_key
 from repro.materialize.policy import RefreshPolicy
@@ -81,6 +82,13 @@ class EngineStats:
     scatter_queries: int = 0
     coordinator_fallbacks: int = 0
     gather_rows: int = 0
+    changes_applied: int = 0
+    delta_rows_applied: int = 0
+    views_delta_refreshed: int = 0
+    views_full_rebuilt: int = 0
+    cache_entries_patched: int = 0
+    cache_entries_evicted: int = 0
+    cache_entries_retained: int = 0
     plan_text: str = ""
 
     #: integer counters folded into a parent query's stats (sub-queries
@@ -125,12 +133,23 @@ class EngineStats:
         "shards_executed", "shards_pruned", "shards_stats_skipped",
         "scatter_queries", "coordinator_fallbacks", "gather_rows",
     )
+    #: change-data-capture accounting (deltas drained into maintained
+    #: views, scoped cache invalidation outcomes); excluded from
+    #: ``counters()`` because maintenance activity depends on the write
+    #: schedule and cache configuration — when CDC is off (the
+    #: determinism-checked configuration) every one of these is zero
+    _CDC_COUNTERS = (
+        "changes_applied", "delta_rows_applied", "views_delta_refreshed",
+        "views_full_rebuilt", "cache_entries_patched",
+        "cache_entries_evicted", "cache_entries_retained",
+    )
 
     def absorb(self, other: "EngineStats") -> None:
         """Fold a sub-execution's counters into this one."""
         for name in (self._COUNTERS + self._SCHEDULE_COUNTERS
                      + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
-                     + self._TRANSFER_COUNTERS + self._SHARD_COUNTERS):
+                     + self._TRANSFER_COUNTERS + self._SHARD_COUNTERS
+                     + self._CDC_COUNTERS):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def counters(self) -> dict[str, int]:
@@ -153,10 +172,14 @@ class EngineStats:
         """The scatter-gather routing counters (sharding experiments)."""
         return {name: getattr(self, name) for name in self._SHARD_COUNTERS}
 
+    def cdc_counters(self) -> dict[str, int]:
+        """The change-data-capture counters (incremental experiments)."""
+        return {name: getattr(self, name) for name in self._CDC_COUNTERS}
+
     def as_dict(self) -> dict[str, int]:
         """Union of every counter group.
 
-        Key order is the declaration order of the six tuples — stable
+        Key order is the declaration order of the seven tuples — stable
         across runs, so JSON emissions diff cleanly between PRs.
         """
         return {
@@ -164,6 +187,7 @@ class EngineStats:
             for name in self._COUNTERS + self._SCHEDULE_COUNTERS
             + self._CACHE_COUNTERS + self._OVERLOAD_COUNTERS
             + self._TRANSFER_COUNTERS + self._SHARD_COUNTERS
+            + self._CDC_COUNTERS
         }
 
 
@@ -835,6 +859,7 @@ class NimbleEngine:
         projection_pushdown: bool = False,
         fragment_cache_scope: str = "",
         column_statistics: bool = False,
+        incremental: bool = False,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -916,6 +941,24 @@ class NimbleEngine:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.queries_run = 0
+        if incremental and materializer is None:
+            raise ValueError(
+                "incremental maintenance requires a materializer to publish "
+                "maintained views through"
+            )
+        #: incremental view maintenance (ISSUE 9): maintained views and
+        #: their per-source high-water marks live here; refresh happens
+        #: inside sync_changes()
+        self.incremental = (
+            IncrementalMaterializer().bind(self) if incremental else None
+        )
+        #: CDC accounting is engine-lifetime, not per-query: maintenance
+        #: runs between queries, so its counters never belong to any one
+        #: query's stats
+        self.cdc_stats = EngineStats()
+        #: per-source cursor of the last change sequence already applied
+        #: to the fragment cache and materialized store
+        self._cdc_cache_seq: dict[str, int] = {}
         self.tracer: Tracer = NULL_TRACER
         self.use_tracer(tracer or NULL_TRACER)
 
@@ -1175,6 +1218,106 @@ class NimbleEngine:
             ).elements
 
         return self.materializer.refresh_stale_views(fetch)
+
+    # -- incremental maintenance (CDC) ---------------------------------------------
+
+    def maintain_view(self, name: str):
+        """Start maintaining a mediated view incrementally.
+
+        The view is loaded once from the sources, published into the
+        materialization manager under a *manual* refresh policy, and
+        thereafter kept fresh by :meth:`sync_changes` draining the
+        sources' change feeds — refresh cost is proportional to the
+        delta, not the view.
+        """
+        if self.incremental is None:
+            raise MediationError(
+                "engine was not built with incremental=True"
+            )
+        return self.incremental.maintain(name)
+
+    def sync_changes(self, patch: bool = True) -> dict[str, Any]:
+        """Drain every source change feed: caches first, then views.
+
+        For each change past this engine's per-source cursor the
+        fragment cache and the materialized store make a *scoped*
+        decision — retain entries the change provably misses, patch
+        entries whose records can be fixed in place, evict only the
+        rest.  This replaces the old catalog-epoch bump that evicted
+        everything on any write.  Maintained views then refresh off the
+        same feeds.  Cache sync deliberately runs *before* view
+        refresh: local view rebuilds consult cost-model residency, so
+        residency must settle first for refreshed output to be
+        bit-identical with a fresh execution planned afterwards.
+        """
+        report: dict[str, Any] = {
+            "changes": 0, "cache_patched": 0, "cache_evicted": 0,
+            "cache_retained": 0, "store_patched": 0, "store_invalidated": 0,
+            "store_retained": 0, "views": {},
+        }
+        with self.tracer.span("cdc_sync"):
+            for source in self.catalog.registry:
+                log = source.changelog
+                if log is None:
+                    continue
+                cursor = self._cdc_cache_seq.get(source.name, 0)
+                for change in log.since(cursor):
+                    key_field = log.key_field(change.relation)
+                    report["changes"] += 1
+                    if self.fragment_cache is not None:
+                        patched, evicted, retained = (
+                            self.fragment_cache.apply_change(
+                                change, key_field, patch=patch
+                            )
+                        )
+                        report["cache_patched"] += patched
+                        report["cache_evicted"] += evicted
+                        report["cache_retained"] += retained
+                        self.cdc_stats.cache_entries_patched += patched
+                        self.cdc_stats.cache_entries_evicted += evicted
+                        self.cdc_stats.cache_entries_retained += retained
+                    if self.materializer is not None:
+                        patched, invalidated, retained = (
+                            self.materializer.store.apply_change(
+                                change, key_field, now_ms=self.clock.now,
+                                patch=patch,
+                            )
+                        )
+                        report["store_patched"] += patched
+                        report["store_invalidated"] += invalidated
+                        report["store_retained"] += retained
+                    if self.metrics is not None:
+                        self.metrics.histogram("cdc.refresh_lag_ms").observe(
+                            self.clock.now - change.at_ms
+                        )
+                self._cdc_cache_seq[source.name] = log.latest_seq
+                if self.metrics is not None:
+                    self.metrics.gauge(f"cdc.{source.name}.seq").set(
+                        log.latest_seq
+                    )
+            if self.incremental is not None:
+                report["views"] = self.incremental.refresh()
+        return report
+
+    def _cdc_fetch_context(self) -> _ExecutionContext:
+        """A fresh context for CDC-driven fragment fetches.
+
+        Maintenance fetches fail hard (a partially loaded maintained
+        view would silently serve wrong answers) and never appear in
+        the query log — their stats are absorbed into ``cdc_stats``.
+        """
+        return _ExecutionContext(
+            self, PartialResultPolicy.FAIL, frozenset()
+        )
+
+    def _cdc_execute(self, query: qast.Query) -> list[Element]:
+        """Run a full view query for maintenance, outside the query log."""
+        context = self._cdc_fetch_context()
+        result = self._execute(
+            query, PartialResultPolicy.FAIL, frozenset(), parent=context
+        )
+        self.cdc_stats.absorb(context.stats)
+        return result.elements
 
     # -- internals ----------------------------------------------------------------
 

@@ -82,6 +82,57 @@ class LocalStore:
                 count += 1
         return count
 
+    def apply_change(self, change, key_field: str | None,
+                     now_ms: float, patch: bool = True) -> tuple[int, int, int]:
+        """Scoped invalidation over materialized fragments.
+
+        The same per-entry decision as
+        :meth:`repro.cache.fragmentcache.FragmentResultCache.apply_change`
+        — retain when the change provably misses the fragment, patch the
+        records in place when the shape allows, otherwise mark the view
+        invalidated (its next serve falls through to the source).
+        Returns ``(patched, invalidated, retained)``.
+        """
+        from repro.cdc.scope import (
+            change_key_var,
+            fragment_patch,
+            key_affected,
+            patch_records,
+        )
+
+        patched = invalidated = retained = 0
+        for view in self._views.values():
+            fragment = view.fragment
+            if fragment.source != change.source:
+                continue
+            if all(
+                access.relation != change.relation
+                for access in fragment.accesses
+            ):
+                retained += 1
+                continue
+            if change.op != "reset" and key_field is not None:
+                key_var = change_key_var(fragment, change.relation, key_field)
+                if key_var is not None and not key_affected(
+                    fragment.conditions, key_var, change.key
+                ):
+                    retained += 1
+                    continue
+            applied = None
+            if patch and change.op != "reset" and key_field is not None:
+                plan = fragment_patch(fragment, change, key_field)
+                if plan is not None:
+                    applied = patch_records(view.records, plan)
+            if applied is not None:
+                view.records = applied
+                view.loaded_at = now_ms
+                view.invalidated = False
+                patched += 1
+            else:
+                view.invalidated = True
+                invalidated += 1
+        return patched, invalidated, retained
+
     @property
     def total_rows(self) -> int:
         return sum(view.row_count for view in self._views.values())

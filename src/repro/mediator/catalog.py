@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.sources
+    from repro.cdc.changelog import ChangeLog
     from repro.sources.sharding import ShardMap
 
 from repro.errors import MediationError
@@ -57,6 +58,14 @@ class Catalog:
         source registration, a relation mapping, a schema addition, or a
         view defined on an already-added schema (the view count term
         catches late ``define_view`` calls the catalog never sees).
+
+        *Data* changes never move the epoch.  An epoch bump evicts every
+        compiled plan and cached fragment — the right hammer for schema
+        drift, a disastrous one for a row update.  Row-level changes
+        flow through the sources' change feeds (:meth:`changefeeds`) and
+        are applied with per-fragment scope by the engine's
+        ``sync_changes``: retained where the change provably misses,
+        patched in place where reconstructable, evicted only otherwise.
         """
         return (
             self._epoch,
@@ -64,6 +73,14 @@ class Catalog:
             len(self.mappings),
             sum(len(schema.views) for schema in self.schemas),
         )
+
+    def changefeeds(self) -> dict[str, "ChangeLog"]:
+        """Every CDC-enabled source's change feed, keyed by source name."""
+        return {
+            source.name: source.changelog
+            for source in self.registry
+            if source.changelog is not None
+        }
 
     # -- registration -------------------------------------------------------
 

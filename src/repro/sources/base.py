@@ -212,6 +212,26 @@ class DataSource:
         #: claimed by an engine's ``use_tracer``; every remote call
         #: emits a ``remote_call`` event onto the open span
         self.tracer: Tracer = NULL_TRACER
+        #: the source's change feed, or None until :meth:`enable_cdc`
+        self.changelog = None
+
+    # -- change data capture ----------------------------------------------
+
+    def enable_cdc(self, keys: Mapping[str, str] | None = None):
+        """Attach a :class:`~repro.cdc.changelog.ChangeLog` to this source.
+
+        ``keys`` maps relation names to the field whose value keys rows
+        of that relation (primary key, id attribute, ...).  Mutation
+        helpers on concrete sources emit change records once a feed is
+        attached; without one they mutate silently, as before.
+        """
+        from repro.cdc.changelog import ChangeLog  # deferred: cdc imports us
+
+        if self.changelog is None:
+            self.changelog = ChangeLog(self.name, self.clock)
+        for relation, key_field in (keys or {}).items():
+            self.changelog.declare_key(relation, key_field)
+        return self.changelog
 
     # -- metadata ---------------------------------------------------------
 

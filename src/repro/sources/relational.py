@@ -87,3 +87,98 @@ class RelationalSource(DataSource):
                     for name, value in zip(result.columns, row)
                 }
             )
+
+    # -- mutation (the capture half of CDC) --------------------------------
+
+    def enable_cdc(self, keys=None):
+        """Attach a change feed; primary keys are declared automatically.
+
+        Consumers of the feed (scoped cache invalidation, incremental
+        view maintenance) decide what they can do by asking the
+        changelog for a relation's key field, so every table with a
+        primary key declares it up front; explicit ``keys`` override.
+        """
+        log = super().enable_cdc(keys)
+        for relation in self.database.table_names():
+            if log.key_field(relation) is None:
+                pk = self.database.table(relation).schema.primary_key
+                if pk is not None:
+                    log.declare_key(relation, pk.name)
+        return log
+
+    def _key_field(self, relation: str) -> str | None:
+        """CDC-declared key first, else the table's primary key."""
+        if self.changelog is not None:
+            declared = self.changelog.key_field(relation)
+            if declared is not None:
+                return declared
+        pk = self.database.table(relation).schema.primary_key
+        return pk.name if pk is not None else None
+
+    def _row_record(self, relation: str, row: tuple) -> Record:
+        names = self.database.table(relation).schema.column_names
+        return Record(
+            {
+                name: (NULL if value is None else value)
+                for name, value in zip(names, row)
+            }
+        )
+
+    def _find_rowid(self, relation: str, key: Any) -> tuple[int, tuple] | None:
+        table = self.database.table(relation)
+        key_field = self._key_field(relation)
+        if key_field is None:
+            return None
+        index = table.schema.column_index(key_field)
+        for rowid, row in table.scan():
+            if row[index] == key:
+                return rowid, row
+        return None
+
+    def insert_row(self, relation: str, values: dict[str, Any]) -> None:
+        """Insert one named row, emitting an ``insert`` change record."""
+        table = self.database.table(relation)
+        rowid = table.insert_named(values)
+        if self.changelog is None:
+            return
+        key_field = self._key_field(relation)
+        if key_field is None:
+            self.changelog.emit_reset(relation)
+            return
+        row = self._row_record(relation, table.get(rowid))
+        self.changelog.emit("insert", relation, key=row.get(key_field),
+                            row=row)
+
+    def update_row(self, relation: str, key: Any,
+                   changes: dict[str, Any]) -> None:
+        """Update the row keyed ``key``, emitting an ``update`` record."""
+        found = self._find_rowid(relation, key)
+        if found is None:
+            raise KeyError(f"{relation!r} has no row with key {key!r}")
+        rowid, old_row = found
+        table = self.database.table(relation)
+        table.update(rowid, changes)
+        if self.changelog is None:
+            return
+        before = self._row_record(relation, old_row)
+        after = self._row_record(relation, table.get(rowid))
+        key_field = self._key_field(relation)
+        if after.get(key_field) != before.get(key_field):
+            # a key change is a delete plus an insert in delta terms;
+            # keep it simple and force derived state to rebuild
+            self.changelog.emit_reset(relation)
+            return
+        self.changelog.emit("update", relation, key=key, row=after,
+                            before=before)
+
+    def delete_row(self, relation: str, key: Any) -> None:
+        """Delete the row keyed ``key``, emitting a ``delete`` record."""
+        found = self._find_rowid(relation, key)
+        if found is None:
+            raise KeyError(f"{relation!r} has no row with key {key!r}")
+        rowid, old_row = found
+        self.database.table(relation).delete(rowid)
+        if self.changelog is None:
+            return
+        before = self._row_record(relation, old_row)
+        self.changelog.emit("delete", relation, key=key, before=before)

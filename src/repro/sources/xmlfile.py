@@ -51,6 +51,39 @@ class XMLSource(DataSource):
             document = parse_document(document, name=name)
         self.documents[name] = document
 
+    def replace_document(self, name: str, document: Document | str) -> None:
+        """Swap in a new snapshot of a document, synthesizing deltas.
+
+        XML feeds rarely emit change records — they hand over a fresh
+        file.  When CDC is enabled and the relation has a declared key,
+        the subtree-hash differ turns the old and new versions into
+        insert/update/delete records (reset when the difference has no
+        delta shape); otherwise a single ``reset`` is emitted.
+        """
+        if isinstance(document, str):
+            document = parse_document(document, name=name)
+        old = self.documents.get(name)
+        self.documents[name] = document
+        if self.changelog is None:
+            return
+        key_field = self.changelog.key_field(name)
+        if old is None or key_field is None:
+            self.changelog.emit_reset(name)
+            return
+        from repro.cdc.differ import diff_documents
+
+        for change in diff_documents(old.root, document.root, key_field):
+            if change.op == "reset":
+                self.changelog.emit_reset(name)
+            else:
+                self.changelog.emit(
+                    change.op,
+                    name,
+                    key=change.key,
+                    node=change.node,
+                    before_node=change.before_node,
+                )
+
     def relations(self) -> dict[str, RecordType]:
         # Documents are semi-structured: exported with an open record type.
         return {name: RecordType(name) for name in self.documents}

@@ -8,7 +8,17 @@ down and sideways" (section 4).
 
 from __future__ import annotations
 
+from hashlib import blake2b
 from typing import Any, Iterable, Iterator
+
+
+def _digest(*parts: str) -> str:
+    """16-byte blake2b digest over NUL-separated parts (hex)."""
+    h = blake2b(digest_size=16)
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
 
 
 class Node:
@@ -17,13 +27,41 @@ class Node:
     ``document_order`` is the node's pre-order position in its document;
     it is assigned by :meth:`repro.xmldm.document.Document.renumber` and
     is ``-1`` for nodes not (yet) attached to a document.
+
+    Every node memoizes a deterministic **subtree hash** (hashlib-based,
+    stable across processes — unlike built-in ``hash``, which is
+    per-process randomized for strings).  The CDC differ compares two
+    document versions by root hash and recurses only into children whose
+    hashes changed; future dedup work shares the same cached hash.  The
+    cache is invalidated up the parent chain by the mutator methods
+    (``append``/``insert``/``remove``/``set_attribute``/
+    ``remove_attribute``/``set_value``); mutating ``attributes`` or
+    ``children`` directly bypasses the cache and is unsupported once a
+    hash has been taken.
     """
 
-    __slots__ = ("parent", "document_order")
+    __slots__ = ("parent", "document_order", "_subtree_hash")
 
     def __init__(self) -> None:
         self.parent: Element | None = None
         self.document_order: int = -1
+        self._subtree_hash: str | None = None
+
+    def subtree_hash(self) -> str:
+        """Deterministic digest of this node's entire subtree."""
+        raise NotImplementedError
+
+    def _invalidate_subtree_hash(self) -> None:
+        """Drop cached hashes from here up to the root.
+
+        Stops at the first node with no cached hash: a parent's hash can
+        only have been computed after its children's, so an uncached
+        node can never have a cached ancestor.
+        """
+        node: Node | None = self
+        while node is not None and node._subtree_hash is not None:
+            node._subtree_hash = None
+            node = node.parent
 
     # -- navigation -------------------------------------------------------
 
@@ -77,6 +115,20 @@ class Text(Node):
         super().__init__()
         self.value = value
 
+    def set_value(self, value: str) -> None:
+        """Replace the text, invalidating cached subtree hashes."""
+        if value == self.value:
+            return
+        self.value = value
+        self._invalidate_subtree_hash()
+
+    def subtree_hash(self) -> str:
+        cached = self._subtree_hash
+        if cached is None:
+            cached = _digest("text", self.value)
+            self._subtree_hash = cached
+        return cached
+
     def text_content(self) -> str:
         return self.value
 
@@ -100,6 +152,13 @@ class Comment(Node):
     def __init__(self, value: str):
         super().__init__()
         self.value = value
+
+    def subtree_hash(self) -> str:
+        cached = self._subtree_hash
+        if cached is None:
+            cached = _digest("comment", self.value)
+            self._subtree_hash = cached
+        return cached
 
     def text_content(self) -> str:
         return ""
@@ -125,6 +184,13 @@ class ProcessingInstruction(Node):
         super().__init__()
         self.target = target
         self.value = value
+
+    def subtree_hash(self) -> str:
+        cached = self._subtree_hash
+        if cached is None:
+            cached = _digest("pi", self.target, self.value)
+            self._subtree_hash = cached
+        return cached
 
     def text_content(self) -> str:
         return ""
@@ -166,17 +232,33 @@ class Element(Node):
         node = Text(child) if isinstance(child, str) else child
         node.parent = self
         self.children.append(node)
+        self._invalidate_subtree_hash()
         return node
 
     def insert(self, index: int, child: "Node | str") -> "Node":
         node = Text(child) if isinstance(child, str) else child
         node.parent = self
         self.children.insert(index, node)
+        self._invalidate_subtree_hash()
         return node
 
     def remove(self, child: "Node") -> None:
         self.children.remove(child)
         child.parent = None
+        self._invalidate_subtree_hash()
+
+    def set_attribute(self, name: str, value: str) -> None:
+        """Set one attribute, invalidating cached subtree hashes."""
+        if self.attributes.get(name) == value:
+            return
+        self.attributes[name] = value
+        self._invalidate_subtree_hash()
+
+    def remove_attribute(self, name: str) -> None:
+        if name not in self.attributes:
+            return
+        del self.attributes[name]
+        self._invalidate_subtree_hash()
 
     # -- navigation -------------------------------------------------------
 
@@ -215,6 +297,30 @@ class Element(Node):
                 yield child
 
     # -- content ----------------------------------------------------------
+
+    def subtree_hash(self) -> str:
+        """Memoized digest over tag, sorted attributes and child hashes.
+
+        Children contribute in document order, so reordering changes the
+        hash; attributes are order-insensitive (matching ``__eq__``).
+        """
+        cached = self._subtree_hash
+        if cached is not None:
+            return cached
+        h = blake2b(digest_size=16)
+        h.update(b"elem\x00")
+        h.update(self.tag.encode("utf-8"))
+        for name in sorted(self.attributes):
+            h.update(b"\x00a\x00")
+            h.update(name.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(str(self.attributes[name]).encode("utf-8"))
+        for child in self.children:
+            h.update(b"\x00c\x00")
+            h.update(child.subtree_hash().encode("ascii"))
+        cached = h.hexdigest()
+        self._subtree_hash = cached
+        return cached
 
     def text_content(self) -> str:
         return "".join(child.text_content() for child in self.children)

@@ -69,3 +69,20 @@ class TestWriteBenchJson:
         payload = json.loads(path.read_text())
         assert payload["rows"][0]["v"] == "inf"
         assert payload["rows"][1]["v"] == "('a', 'b')"
+
+
+class TestStatsUnion:
+    def test_zero_fills_cdc_counters(self):
+        # a bench that never touched CDC still emits every cdc counter
+        union = common._stats_union({"remote_calls": 3})
+        from repro.core.engine import EngineStats
+
+        for name in EngineStats._CDC_COUNTERS:
+            assert union[name] == 0
+        assert union["remote_calls"] == 3
+
+    def test_union_tracks_as_dict(self):
+        from repro.core.engine import EngineStats
+
+        union = common._stats_union({})
+        assert set(union) == set(EngineStats().as_dict())

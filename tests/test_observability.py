@@ -519,6 +519,7 @@ class TestEngineStatsFolding:
         + EngineStats._OVERLOAD_COUNTERS
         + EngineStats._TRANSFER_COUNTERS
         + EngineStats._SHARD_COUNTERS
+        + EngineStats._CDC_COUNTERS
     )
 
     def test_every_counter_folds_exactly_once(self):
