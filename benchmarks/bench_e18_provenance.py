@@ -1,0 +1,318 @@
+"""E18 — answer provenance and freshness lineage.
+
+The claims under test:
+
+1. **Provenance is free**: the same mixed workload (cache warm-up, CDC
+   churn, incremental sync, sharded scatter) runs in *identical*
+   virtual time with ``provenance=True`` and ``provenance=False``, and
+   produces byte-identical elements — lineage is annotation, never
+   extra work on the simulated clock.
+2. **The "why" chain is causal**: with a warmed-then-expired fragment
+   cache, a lagging CDC feed, and a breaker tripped open by injected
+   faults, ``explain_answer`` attributes the stale serve to the open
+   breaker and quantifies the feed lag (applied seq vs head seq).
+3. **Maintenance is visible**: ``sync_changes`` / view refresh spans
+   land on the dedicated maintenance lane of the exported Chrome
+   trace (``tid`` 999 with a ``thread_name`` metadata record).
+
+Artifacts: ``BENCH_e18_provenance.json`` (tables + headline),
+``PROVENANCE_e18.json`` (a full ``Provenance.as_dict()`` plus the
+rendered why-chain), ``TRACE_e18_provenance.json`` (Chrome trace with
+the maintenance lane).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RESULTS_DIR, BenchStats, print_table, write_bench_json
+
+from repro.core.engine import NimbleEngine
+from repro.core.sharding import ShardRouter
+from repro.materialize import MaterializationManager
+from repro.mediator.catalog import Catalog
+from repro.mediator.schema import MediatedSchema, ViewDef
+from repro.observability import Tracer, write_chrome_trace
+from repro.observability.export import MAINTENANCE_TID, chrome_trace_events
+from repro.resilience import (
+    BreakerConfig,
+    FaultModel,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.simtime import SimClock
+from repro.sources import NetworkModel, SourceRegistry
+from repro.sources.relational import RelationalSource
+from repro.sources.sharding import partition_registry
+from repro.sql.database import Database
+from repro.xmldm import serialize
+
+N_ROWS = 2_000
+NETWORK = dict(latency_ms=10.0, per_row_ms=0.1)
+
+ITEMS_QUERY = (
+    'WHERE <i><k>$k</k><grp>$g</grp><v>$v</v></i> IN "items" '
+    "CONSTRUCT <r><k>$k</k><v>$v</v></r> ORDER BY $k"
+)
+RANGE_QUERY = (
+    'WHERE <i><k>$k</k><grp>$g</grp><v>$v</v></i> IN "items", '
+    f"$k < {N_ROWS // 4} CONSTRUCT <r><k>$k</k><v>$v</v></r> ORDER BY $k"
+)
+
+VIEWS = {
+    "big_items": (
+        'WHERE <i><k>$k</k><grp>$g</grp><v>$v</v></i> IN "items", $v > 500 '
+        "CONSTRUCT <r><k>$k</k><v>$v</v></r>"
+    ),
+    "by_group": (
+        'WHERE <i><k>$k</k><grp>$g</grp><v>$v</v></i> IN "items" '
+        "CONSTRUCT <g id=$g><n>count($v)</n><total>sum($v)</total></g>"
+    ),
+}
+
+
+def make_rows(n: int = N_ROWS) -> list[tuple[int, int, int]]:
+    return [(k, (k * 13) % 24, (k * k * 7) % 1000) for k in range(n)]
+
+
+def build_deployment(rows, faults=None, **engine_kw):
+    db = Database()
+    db.execute(
+        "CREATE TABLE t (k INTEGER PRIMARY KEY, grp INTEGER, v INTEGER)"
+    )
+    db.insert_rows("t", rows)
+    clock = SimClock()
+    registry = SourceRegistry(clock)
+    source = RelationalSource("s", db, network=NetworkModel(**NETWORK))
+    if faults is not None:
+        source.faults = faults
+    registry.register(source)
+    source.enable_cdc()
+    catalog = Catalog(registry)
+    catalog.map_relation("items", "s", "t")
+    schema = MediatedSchema("m")
+    for name, text in VIEWS.items():
+        schema.define(ViewDef.from_text(name, text))
+    catalog.add_schema(schema)
+    engine = NimbleEngine(
+        catalog, materializer=MaterializationManager(clock),
+        incremental=True, **engine_kw,
+    )
+    return engine, source
+
+
+def insert_rows(source, rows):
+    for k, grp, v in rows:
+        source.insert_row("t", {"k": k, "grp": grp, "v": v})
+
+
+def rendered(result) -> list[str]:
+    return [serialize(element) for element in result.elements]
+
+
+# -- claim 1: bit-identity and zero virtual-time overhead ---------------------
+
+
+def run_workload(provenance: bool, bench_stats=None):
+    """The mixed workload: warm cache, churn + sync, re-query, scatter."""
+    engine, source = build_deployment(
+        make_rows(), provenance=provenance, fragment_cache_bytes=2_000_000
+    )
+    started_wall = time.perf_counter()
+    for name in VIEWS:
+        engine.maintain_view(name)
+    outputs = [rendered(engine.query(ITEMS_QUERY))]
+    outputs.append(rendered(engine.query(RANGE_QUERY)))  # cache hit
+    insert_rows(
+        source, [(N_ROWS + i, i % 24, (i * 11) % 1000) for i in range(20)]
+    )
+    engine.sync_changes()
+    outputs.append(rendered(engine.query(ITEMS_QUERY)))
+    deployment = partition_registry(engine.catalog.registry, {"s": "k"}, 4)
+    router = ShardRouter(engine, deployment)
+    scattered = router.query(RANGE_QUERY)
+    outputs.append(rendered(scattered))
+    wall_ms = (time.perf_counter() - started_wall) * 1000.0
+    if bench_stats is not None:
+        bench_stats.stats.absorb(engine.cdc_stats)
+    last_provenance = scattered.provenance
+    return {
+        "outputs": outputs,
+        "virtual_ms": engine.clock.now,
+        "wall_ms": wall_ms,
+        "provenance": last_provenance,
+    }
+
+
+# -- claim 2: explain_answer attributes the stale serve -----------------------
+
+
+def staleness_injection():
+    """Warm cache -> feed moves -> TTL expires -> breaker trips ->
+    the stale rung serves, and the why-chain names both causes."""
+    engine, source = build_deployment(
+        make_rows(200),
+        provenance=True,
+        fragment_cache_bytes=500_000,
+        fragment_cache_ttl_ms=1_000.0,
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, base_backoff_ms=10.0),
+            breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                  min_calls=2, cooldown_ms=60_000.0),
+        ),
+    )
+    engine.query(ITEMS_QUERY)  # warm (live)
+    insert_rows(source, [(900 + i, 1, 9) for i in range(5)])  # feed moves
+    engine.clock.advance(5_000.0)  # cached entry expires (kept resident)
+    source.faults = FaultModel(failure_rate=1.0, seed=3)
+    stale = engine.query(ITEMS_QUERY)
+    chain = engine.explain_answer(stale)
+    breaker = engine.resilient.breakers["s"]
+    assert stale.provenance.origin_counts() == {"stale_cache": 1}, (
+        stale.provenance.origin_counts()
+    )
+    assert breaker.state.value == "open"
+    assert "because breaker 's' is OPEN" in chain, chain
+    assert "feed 's' is 5 changes ahead of this answer" in chain, chain
+    return stale.provenance, chain
+
+
+# -- claim 3: maintenance lane in the Chrome export ---------------------------
+
+
+def maintenance_trace():
+    engine, source = build_deployment(make_rows(200))
+    for name in VIEWS:
+        engine.maintain_view(name)
+    tracer = Tracer(engine.clock)
+    engine.use_tracer(tracer)
+    engine.query(ITEMS_QUERY)
+    insert_rows(source, [(900 + i, i % 24, i * 7) for i in range(10)])
+    engine.sync_changes()
+    payload = chrome_trace_events(tracer.traces)
+    lane_events = [
+        event for event in payload["traceEvents"]
+        if event["tid"] == MAINTENANCE_TID and event.get("ph") == "X"
+    ]
+    named_lane = any(
+        event.get("ph") == "M" and event["args"]["name"] == "maintenance"
+        for event in payload["traceEvents"]
+    )
+    assert lane_events, "no maintenance spans landed on the dedicated lane"
+    assert named_lane, "maintenance lane has no thread_name metadata"
+    kinds = sorted({event["cat"] for event in lane_events})
+    return tracer, len(lane_events), kinds
+
+
+# -- report -------------------------------------------------------------------
+
+
+def run_experiment():
+    bench_stats = BenchStats()
+    bench_stats.reset()
+
+    off = run_workload(False, bench_stats)
+    on = run_workload(True, bench_stats)
+
+    assert on["outputs"] == off["outputs"], (
+        "provenance=True changed the answer bytes"
+    )
+    virtual_overhead = on["virtual_ms"] - off["virtual_ms"]
+    assert virtual_overhead == 0.0, (
+        f"provenance perturbed virtual time by {virtual_overhead} ms"
+    )
+    provenance = on["provenance"]
+    assert provenance is not None and provenance.shards
+
+    lineage_provenance, chain = staleness_injection()
+    tracer, lane_spans, lane_kinds = maintenance_trace()
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    trace_path = RESULTS_DIR / "TRACE_e18_provenance.json"
+    write_chrome_trace(trace_path, tracer.traces)
+    print(f"[bench] wrote {trace_path}")
+
+    provenance_path = RESULTS_DIR / "PROVENANCE_e18.json"
+    provenance_path.write_text(json.dumps({
+        "workload_answer": provenance.as_dict(),
+        "stale_answer": lineage_provenance.as_dict(),
+        "why_chain": chain.splitlines(),
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {provenance_path}")
+
+    result_rows = sum(len(fragment) for fragment in on["outputs"])
+    rows = [
+        ["provenance off", off["virtual_ms"], round(off["wall_ms"], 2), 0],
+        ["provenance on", on["virtual_ms"], round(on["wall_ms"], 2),
+         len(provenance.origins)],
+        ["overhead", virtual_overhead,
+         round(on["wall_ms"] - off["wall_ms"], 2), 0],
+        ["(result rows)", 0.0, 0.0, result_rows],
+    ]
+    lineage_rows = [
+        [origin.source, origin.kind, origin.rows,
+         round(origin.staleness_ms, 1),
+         origin.shard if origin.shard is not None else "-"]
+        for origin in lineage_provenance.origins + provenance.origins
+    ]
+    return rows, lineage_rows, chain, lane_spans, lane_kinds, bench_stats
+
+
+def report():
+    rows, lineage_rows, chain, lane_spans, lane_kinds, bench_stats = (
+        run_experiment()
+    )
+    print_table(
+        f"E18: provenance overhead on the mixed workload ({N_ROWS:,} rows, "
+        "cache + CDC sync + 4-shard scatter)",
+        ["config", "virtual ms", "wall ms", "origins"],
+        rows,
+    )
+    print_table(
+        "E18: fragment lineage (stale-injection answer + sharded answer)",
+        ["source", "origin", "rows", "staleness ms", "shard"],
+        lineage_rows,
+    )
+    print("\nwhy-chain for the stale answer:")
+    for line in chain.splitlines():
+        print(f"  {line}")
+    print(f"\nmaintenance lane: {lane_spans} spans ({', '.join(lane_kinds)})")
+
+    by_config = {row[0]: row for row in rows}
+    write_bench_json(
+        "e18_provenance",
+        ["config", "virtual ms", "wall ms", "origins"],
+        rows,
+        headline={
+            "virtual_overhead_ms": by_config["overhead"][1],
+            "wall_overhead_ms": by_config["overhead"][2],
+            "origins_annotated": by_config["provenance on"][3],
+            "maintenance_lane_spans": lane_spans,
+            "why_chain_lines": len(chain.splitlines()),
+        },
+        extra_tables={
+            "lineage": (
+                ["source", "origin", "rows", "staleness ms", "shard"],
+                lineage_rows,
+            ),
+        },
+        stats=bench_stats,
+    )
+    return rows
+
+
+def test_e18_provenance(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)[0]
+    by_config = {row[0]: row for row in rows}
+    # the load-bearing claim: zero virtual-time perturbation
+    assert by_config["overhead"][1] == 0.0
+    assert by_config["provenance on"][3] > 0  # origins were annotated
+
+
+if __name__ == "__main__":
+    report()

@@ -41,13 +41,16 @@ from repro.mediator import Catalog, MediatedSchema, RelationMapping, ViewDef
 from repro.observability import (
     AlertManager,
     AlertRule,
+    FragmentOrigin,
     MetricsRegistry,
+    Provenance,
     QueryLog,
     RegressionDetector,
     SloPolicy,
     SloTracker,
     Tracer,
     default_rules,
+    explain_provenance,
     format_trace,
     merge_registries,
     prometheus_exposition,
@@ -106,6 +109,7 @@ __all__ = [
     "FallbackRegistry",
     "FaultModel",
     "FlakySource",
+    "FragmentOrigin",
     "FragmentResultCache",
     "HedgePolicy",
     "HierarchicalSource",
@@ -120,6 +124,7 @@ __all__ = [
     "OverloadError",
     "PartialResultPolicy",
     "Priority",
+    "Provenance",
     "QueryLog",
     "QueryRejected",
     "QueryResult",
@@ -145,6 +150,7 @@ __all__ = [
     "XMLSource",
     "__version__",
     "default_rules",
+    "explain_provenance",
     "format_result",
     "format_trace",
     "merge_registries",

@@ -24,6 +24,7 @@ from repro.core.engine import NimbleEngine
 from repro.mediator.catalog import DocumentTarget
 from repro.mediator.mapping import RelationMapping
 from repro.mediator.schema import ViewDef
+from repro.observability.provenance import render_origin_counts
 
 
 class ManagementConsole:
@@ -231,6 +232,13 @@ class ManagementConsole:
                     f"  query log: {log['retained']} retained, "
                     f"{log['total_slow']} slow, "
                     f"{log['total_incomplete']} incomplete"
+                )
+            for record in info.get("slow", []):
+                origins = render_origin_counts(record["origins"])
+                lines.append(
+                    f"  slow {record['query_hash']}: "
+                    f"{record['elapsed_virtual_ms']:.1f} ms virtual, "
+                    f"origins[{origins or '-'}]"
                 )
         if "slo" in report:
             info = report["slo"]

@@ -145,6 +145,14 @@ class TraceMonitor:
         report["query_log"] = (
             engine.query_log.summary() if engine.query_log is not None else None
         )
+        report["slow"] = [
+            {
+                "query_hash": record.query_hash,
+                "elapsed_virtual_ms": record.elapsed_virtual_ms,
+                "origins": dict(record.origins),
+            }
+            for record in self.slow_queries()[-5:]
+        ]
         return report
 
     def recent_queries(self, last: int = 10) -> list[Any]:
@@ -363,3 +371,44 @@ class FreshnessMonitor:
         return max(
             (entry["staleness_ms"] for entry in views.values()), default=0.0
         )
+
+    def export_gauges(self, registry=None):
+        """Publish freshness lineage as gauges; returns the registry.
+
+        Per maintained view: ``freshness.view.<name>.seq_lag`` and
+        ``.staleness_ms``; per CDC feed: ``cdc.<source>.head_seq`` and
+        ``.applied_seq`` (the engine's version-vector entry); plus
+        ``freshness.worst_staleness_ms`` and engine-lifetime
+        ``provenance.origin.<kind>`` serve counts.  Defaults to the
+        engine's own metrics registry (a fresh one when the engine has
+        none), so the gauges flow through the Prometheus exposition and
+        round-trip via ``parse_exposition``.
+        """
+        from repro.observability.metrics import MetricsRegistry
+
+        engine = self.engine
+        if registry is None:
+            registry = (engine.metrics if engine.metrics is not None
+                        else MetricsRegistry())
+        report = self.snapshot()
+        registry.gauge("freshness.worst_staleness_ms").set(
+            max((entry["staleness_ms"]
+                 for entry in report["views"].values()), default=0.0)
+        )
+        for name, entry in sorted(report["views"].items()):
+            registry.gauge(f"freshness.view.{name}.seq_lag").set(
+                entry["seq_lag"]
+            )
+            registry.gauge(f"freshness.view.{name}.staleness_ms").set(
+                entry["staleness_ms"]
+            )
+        for source, head in sorted(report["feeds"].items()):
+            registry.gauge(f"cdc.{source}.head_seq").set(head)
+            registry.gauge(f"cdc.{source}.applied_seq").set(
+                engine._cdc_cache_seq.get(source, 0)
+            )
+        for kind, count in sorted(
+            getattr(engine, "origin_totals", {}).items()
+        ):
+            registry.gauge(f"provenance.origin.{kind}").set(count)
+        return registry

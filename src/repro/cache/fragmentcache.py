@@ -94,6 +94,9 @@ class CachedResult:
     residual_conditions: int = 0
     #: the entry had outlived its TTL and was served anyway (brownout)
     stale: bool = False
+    #: virtual-time age of the served entry (now - loaded_at); feeds
+    #: the provenance layer's per-origin staleness annotation
+    age_ms: float = 0.0
 
 
 class FragmentResultCache:
@@ -186,7 +189,10 @@ class FragmentResultCache:
                 self._charge_local(len(entry.records))
                 self.tracer.event("cache_hit", source=fragment.source,
                                   rows=len(entry.records))
-                return CachedResult(list(entry.records))
+                return CachedResult(
+                    list(entry.records),
+                    age_ms=self.clock.now - entry.loaded_at,
+                )
         if self.containment and not params and not fragment.input_vars:
             served = self._serve_by_containment(fragment, epoch)
             if served is not None:
@@ -221,7 +227,8 @@ class FragmentResultCache:
         self.tracer.event("cache_stale_serve", source=fragment.source,
                           rows=len(entry.records))
         return CachedResult(list(entry.records),
-                            stale=not entry.is_fresh(self.clock.now))
+                            stale=not entry.is_fresh(self.clock.now),
+                            age_ms=self.clock.now - entry.loaded_at)
 
     def _serve_by_containment(
         self, fragment: Fragment, epoch: Any
@@ -255,7 +262,8 @@ class FragmentResultCache:
             self.tracer.event("containment_serve", source=fragment.source,
                               rows=len(records), residual=len(residual))
             return CachedResult(records, containment=True,
-                                residual_conditions=len(residual))
+                                residual_conditions=len(residual),
+                                age_ms=self.clock.now - entry.loaded_at)
         return None
 
     def resident_rows(self, fragment: Fragment, epoch: Any) -> int | None:

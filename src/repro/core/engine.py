@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 import time
 from collections import OrderedDict
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any
 
@@ -27,6 +27,23 @@ from repro.materialize.policy import RefreshPolicy
 from repro.mediator.catalog import Catalog
 from repro.mediator.schema import ViewDef
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.provenance import (
+    ORIGIN_CACHE,
+    ORIGIN_CONTAINMENT,
+    ORIGIN_HEDGED,
+    ORIGIN_LIVE,
+    ORIGIN_MATERIALIZED,
+    ORIGIN_REPLICA,
+    ORIGIN_SHED,
+    ORIGIN_SKIPPED,
+    ORIGIN_STALE_CACHE,
+    ORIGIN_STALE_MATERIALIZED,
+    ORIGIN_VIEW,
+    FragmentOrigin,
+    Provenance,
+    explain_provenance,
+    origin_counts,
+)
 from repro.observability.querylog import QueryLog, query_hash
 from repro.observability.slo import SloTracker
 from repro.observability.tracing import NULL_TRACER, Span, Tracer, format_trace
@@ -219,6 +236,9 @@ class QueryResult:
     elements: list[Element]
     completeness: Completeness
     stats: EngineStats
+    #: answer lineage (version vector, per-fragment origins); attached
+    #: only when the engine runs with ``provenance=True``
+    provenance: Provenance | None = None
 
     def __iter__(self):
         return iter(self.elements)
@@ -242,6 +262,9 @@ class BindingResult:
     rows: list[BindingTuple]
     completeness: Completeness
     stats: EngineStats
+    #: shard-local lineage, folded into the coordinator's record by the
+    #: gather; attached only under ``provenance=True``
+    provenance: Provenance | None = None
 
 
 class _ExecutionContext:
@@ -257,6 +280,11 @@ class _ExecutionContext:
         self.priority = Priority(priority)
         self.completeness = Completeness()
         self.stats = EngineStats()
+        #: per-fragment origin annotations (the provenance layer).
+        #: Always collected — appends never advance the clock and never
+        #: touch the determinism-checked counters, so results stay
+        #: bit-identical whether or not a Provenance record is built.
+        self.origins: list[FragmentOrigin] = []
         self._view_memo: dict[str, list[Element]] = {}
         #: results fetched ahead of plan execution by the scheduler,
         #: keyed by unit identity; consumed (popped) by fetch_fragment
@@ -268,6 +296,15 @@ class _ExecutionContext:
             self.deadline_at = engine.clock.now + resilience.query_deadline_ms
         else:
             self.deadline_at = None
+
+    # -- provenance ----------------------------------------------------------
+
+    def record_origin(self, source: str, kind: str, rows: int = 0,
+                      staleness_ms: float = 0.0, detail: str = "") -> None:
+        """Annotate one served fragment's lineage (observational only)."""
+        self.origins.append(
+            FragmentOrigin(source, kind, rows, staleness_ms, detail)
+        )
 
     # -- the resilient call path ---------------------------------------------
 
@@ -305,11 +342,13 @@ class _ExecutionContext:
         if self.policy is not PartialResultPolicy.FAIL and params is None:
             fallback = self._degraded_read(fragment)
             if fallback is not None:
+                records, origin, age_ms = fallback
                 self.stats.stale_served += 1
                 self.completeness.record_stale(source_name)
+                self.record_origin(source_name, origin, len(records), age_ms)
                 tracer.event("stale_served", source=source_name,
-                             rows=len(fallback))
-                return fallback
+                             rows=len(records), via=origin)
+                return records
         if self.policy is PartialResultPolicy.FAIL:
             raise error
         if (
@@ -319,12 +358,17 @@ class _ExecutionContext:
             raise error
         self.completeness.record_skip(source_name)
         self.stats.fragments_skipped += 1
+        self.record_origin(source_name, ORIGIN_SKIPPED)
         tracer.event("fragment_skipped", source=source_name)
         return []
 
-    def _degraded_read(self, fragment: Fragment | None) -> list[Record] | None:
+    def _degraded_read(
+        self, fragment: Fragment | None
+    ) -> tuple[list[Record], str, float] | None:
         """Stale materialized fragment, then an expired fragment-cache
-        entry, then a registered replica, or None."""
+        entry, then a registered replica, or None.  Returns the served
+        records plus which rung answered and the data's virtual age —
+        the inputs the provenance annotation and trace events need."""
         engine = self.engine
         if fragment is None:
             return None
@@ -333,16 +377,21 @@ class _ExecutionContext:
         if engine.materializer is not None:
             served = engine.materializer.serve(fragment, allow_stale=True)
             if served is not None:
-                return served
+                info = engine.materializer.last_serve
+                age = (engine.clock.now - info["loaded_at"]
+                       if info is not None else 0.0)
+                return served, ORIGIN_STALE_MATERIALIZED, age
         if engine.fragment_cache is not None:
             hit = engine.fragment_cache.lookup_stale(
                 fragment, None, engine.catalog.version
             )
             if hit is not None:
                 self.stats.stale_cache_served += 1
-                return hit.records
+                return hit.records, ORIGIN_STALE_CACHE, hit.age_ms
         if engine.fallbacks is not None:
-            return engine.fallbacks.resolve(fragment)
+            resolved = engine.fallbacks.resolve(fragment)
+            if resolved is not None:
+                return resolved, ORIGIN_REPLICA, 0.0
         return None
 
     # -- the concurrent fetch scheduler --------------------------------------
@@ -442,6 +491,11 @@ class _ExecutionContext:
                     if hit.stale:
                         self.stats.stale_served += 1
                         self.completeness.record_stale(source.name)
+                    self.record_origin(
+                        source.name,
+                        ORIGIN_STALE_CACHE if hit.stale else ORIGIN_CACHE,
+                        len(hit.records), hit.age_ms,
+                    )
                     if span.recording:
                         span.set(served_from="fragment_cache_stale",
                                  rows=len(hit.records))
@@ -452,6 +506,12 @@ class _ExecutionContext:
                     self.stats.fragment_cache_hits += 1
                     if hit.containment:
                         self.stats.containment_hits += 1
+                    self.record_origin(
+                        source.name,
+                        ORIGIN_CONTAINMENT if hit.containment
+                        else ORIGIN_CACHE,
+                        len(hit.records), hit.age_ms,
+                    )
                     if span.recording:
                         span.set(served_from="fragment_cache",
                                  rows=len(hit.records))
@@ -461,6 +521,14 @@ class _ExecutionContext:
                 served = engine.materializer.serve(fragment)
                 if served is not None:
                     self.stats.fragments_from_cache += 1
+                    info = engine.materializer.last_serve
+                    self.record_origin(
+                        source.name, ORIGIN_MATERIALIZED, len(served),
+                        (engine.clock.now - info["loaded_at"]
+                         if info is not None else 0.0),
+                        detail=(str(info["key"])
+                                if info is not None else ""),
+                    )
                     if span.recording:
                         span.set(served_from="materialized", rows=len(served))
                     return served
@@ -484,6 +552,7 @@ class _ExecutionContext:
             self.charge_network(network, before)
             cost = engine.clock.now - started
             self.stats.fragments_executed += 1
+            self.record_origin(source.name, ORIGIN_LIVE, len(records))
             if engine.metrics is not None:
                 engine.metrics.histogram(
                     f"source.{source.name}.fetch_virtual_ms"
@@ -518,6 +587,8 @@ class _ExecutionContext:
         self.stats.fragments_shed += probes
         self.stats.fragments_skipped += 1
         self.completeness.record_skip(source_name)
+        self.record_origin(source_name, ORIGIN_SHED,
+                           detail=f"{probes} probes" if probes > 1 else "")
         self.engine.tracer.event("lens_shed", source=source_name)
         if span is not None and span.recording:
             span.set(served_from="shed")
@@ -594,6 +665,8 @@ class _ExecutionContext:
             # charges stand — the bytes were already in flight)
             self.stats.hedges_won += 1
             self.completeness.record_hedged(source.name)
+            self.record_origin(source.name, ORIGIN_HEDGED, len(backup),
+                               detail=f"hedge fired at +{delay_ms:.1f} ms")
             engine.tracer.event("hedge_won", source=source.name)
             clock.advance_to(hedge_at)
             self.charge_network(network, before)
@@ -618,6 +691,7 @@ class _ExecutionContext:
         """Post-remote bookkeeping shared by the hedged fetch path."""
         engine = self.engine
         self.stats.fragments_executed += 1
+        self.record_origin(unit.source.name, ORIGIN_LIVE, len(records))
         self._observe(unit.fragment, len(records))
         if engine.materializer is not None:
             engine.materializer.record_remote(unit.fragment, unit.source,
@@ -667,6 +741,12 @@ class _ExecutionContext:
                 hit = cache.lookup(unit.fragment, params, epoch)
                 if hit is not None:
                     self.stats.fragment_cache_hits += 1
+                    self.record_origin(
+                        unit.source.name,
+                        ORIGIN_CONTAINMENT if hit.containment
+                        else ORIGIN_CACHE,
+                        len(hit.records), hit.age_ms,
+                    )
                     results[index] = hit.records
                     continue
                 self.stats.fragment_cache_misses += 1
@@ -719,6 +799,8 @@ class _ExecutionContext:
         self.stats.fragments_executed += len(param_sets)
         self.stats.batch_calls += 1
         for records in results:
+            self.record_origin(unit.source.name, ORIGIN_LIVE, len(records),
+                               detail="batched probe")
             self._observe(unit.fragment, len(records))
         return results
 
@@ -765,6 +847,23 @@ class _ExecutionContext:
                 if served is not None:
                     self.stats.fragments_from_cache += 1
                     self._view_memo[view.name] = served
+                    info = self.engine.materializer.last_serve
+                    detail = ""
+                    maintained = (
+                        self.engine.incremental.views.get(view.name)
+                        if self.engine.incremental is not None else None
+                    )
+                    if maintained is not None:
+                        detail = "high-water " + ", ".join(
+                            f"{src}@{seq}" for src, seq
+                            in sorted(maintained.high_water.items())
+                        )
+                    self.record_origin(
+                        view.name, ORIGIN_VIEW, len(served),
+                        (self.engine.clock.now - info["loaded_at"]
+                         if info is not None else 0.0),
+                        detail=detail,
+                    )
                     if span.recording:
                         span.set(served_from="materialized",
                                  rows=len(served))
@@ -860,6 +959,7 @@ class NimbleEngine:
         fragment_cache_scope: str = "",
         column_statistics: bool = False,
         incremental: bool = False,
+        provenance: bool = False,
     ):
         self.catalog = catalog
         self.clock: SimClock = catalog.registry.clock
@@ -959,6 +1059,13 @@ class NimbleEngine:
         #: per-source cursor of the last change sequence already applied
         #: to the fragment cache and materialized store
         self._cdc_cache_seq: dict[str, int] = {}
+        #: attach a Provenance record (version vector + per-fragment
+        #: origins) to every top-level answer; strictly observational —
+        #: results and counters are bit-identical either way
+        self.provenance = provenance
+        #: engine-lifetime serve counts per origin kind (feeds the
+        #: freshness gauges regardless of the per-answer knob)
+        self.origin_totals: dict[str, int] = {}
         self.tracer: Tracer = NULL_TRACER
         self.use_tracer(tracer or NULL_TRACER)
 
@@ -1066,6 +1173,8 @@ class NimbleEngine:
                     return context.give_up(None, source.name, error)
                 context.charge_network(network, before)
                 context.stats.fragments_executed += 1
+                context.record_origin(source.name, ORIGIN_LIVE, len(items),
+                                      detail="wholesale")
                 if span.recording:
                     span.set(rows=len(items))
                 return items
@@ -1101,7 +1210,11 @@ class NimbleEngine:
         if admission is not None:
             self.admission.complete(admission)
         self._record_query(text, root.trace_id, context)
-        return QueryResult(elements, context.completeness, context.stats)
+        return QueryResult(
+            elements, context.completeness, context.stats,
+            provenance=self._build_provenance(root.trace_id,
+                                              context.origins),
+        )
 
     def explain(self, text: str | qast.Query) -> str:
         """The physical plan the engine would run, as indented text.
@@ -1255,41 +1368,47 @@ class NimbleEngine:
             "cache_retained": 0, "store_patched": 0, "store_invalidated": 0,
             "store_retained": 0, "views": {},
         }
-        with self.tracer.span("cdc_sync"):
+        with self.tracer.span("cdc_sync") as sync_span:
             for source in self.catalog.registry:
                 log = source.changelog
                 if log is None:
                     continue
                 cursor = self._cdc_cache_seq.get(source.name, 0)
-                for change in log.since(cursor):
-                    key_field = log.key_field(change.relation)
-                    report["changes"] += 1
-                    if self.fragment_cache is not None:
-                        patched, evicted, retained = (
-                            self.fragment_cache.apply_change(
-                                change, key_field, patch=patch
+                pending = list(log.since(cursor))
+                with self.tracer.span(
+                    "cdc_feed", name=source.name, source=source.name,
+                    from_seq=cursor, to_seq=log.latest_seq,
+                    changes=len(pending),
+                ) if pending else nullcontext():
+                    for change in pending:
+                        key_field = log.key_field(change.relation)
+                        report["changes"] += 1
+                        if self.fragment_cache is not None:
+                            patched, evicted, retained = (
+                                self.fragment_cache.apply_change(
+                                    change, key_field, patch=patch
+                                )
                             )
-                        )
-                        report["cache_patched"] += patched
-                        report["cache_evicted"] += evicted
-                        report["cache_retained"] += retained
-                        self.cdc_stats.cache_entries_patched += patched
-                        self.cdc_stats.cache_entries_evicted += evicted
-                        self.cdc_stats.cache_entries_retained += retained
-                    if self.materializer is not None:
-                        patched, invalidated, retained = (
-                            self.materializer.store.apply_change(
-                                change, key_field, now_ms=self.clock.now,
-                                patch=patch,
+                            report["cache_patched"] += patched
+                            report["cache_evicted"] += evicted
+                            report["cache_retained"] += retained
+                            self.cdc_stats.cache_entries_patched += patched
+                            self.cdc_stats.cache_entries_evicted += evicted
+                            self.cdc_stats.cache_entries_retained += retained
+                        if self.materializer is not None:
+                            patched, invalidated, retained = (
+                                self.materializer.store.apply_change(
+                                    change, key_field, now_ms=self.clock.now,
+                                    patch=patch,
+                                )
                             )
-                        )
-                        report["store_patched"] += patched
-                        report["store_invalidated"] += invalidated
-                        report["store_retained"] += retained
-                    if self.metrics is not None:
-                        self.metrics.histogram("cdc.refresh_lag_ms").observe(
-                            self.clock.now - change.at_ms
-                        )
+                            report["store_patched"] += patched
+                            report["store_invalidated"] += invalidated
+                            report["store_retained"] += retained
+                        if self.metrics is not None:
+                            self.metrics.histogram(
+                                "cdc.refresh_lag_ms"
+                            ).observe(self.clock.now - change.at_ms)
                 self._cdc_cache_seq[source.name] = log.latest_seq
                 if self.metrics is not None:
                     self.metrics.gauge(f"cdc.{source.name}.seq").set(
@@ -1297,6 +1416,14 @@ class NimbleEngine:
                     )
             if self.incremental is not None:
                 report["views"] = self.incremental.refresh()
+            if sync_span.recording:
+                sync_span.set(
+                    changes=report["changes"],
+                    cache_patched=report["cache_patched"],
+                    cache_evicted=report["cache_evicted"],
+                    cache_retained=report["cache_retained"],
+                    views_refreshed=len(report["views"]),
+                )
         return report
 
     def _cdc_fetch_context(self) -> _ExecutionContext:
@@ -1467,9 +1594,14 @@ class NimbleEngine:
         if parent is not None:
             parent.completeness.merge(context.completeness)
             parent.stats.absorb(context.stats)
+            parent.origins.extend(context.origins)
+            provenance = None
         else:
             self._record_query(text, root.trace_id, context)
-        return QueryResult(elements, context.completeness, context.stats)
+            provenance = self._build_provenance(root.trace_id,
+                                                context.origins)
+        return QueryResult(elements, context.completeness, context.stats,
+                           provenance=provenance)
 
     def execute_bindings(
         self,
@@ -1513,12 +1645,84 @@ class NimbleEngine:
                 root.set(elapsed_virtual_ms=context.stats.elapsed_virtual_ms,
                          rows=len(rows),
                          complete=context.completeness.complete)
-        return BindingResult(rows, context.completeness, context.stats)
+        return BindingResult(
+            rows, context.completeness, context.stats,
+            provenance=self._build_provenance(root.trace_id,
+                                              context.origins),
+        )
+
+    def _build_provenance(
+        self, trace_id: str, origins: list[FragmentOrigin]
+    ) -> Provenance | None:
+        """The lineage record for one answer (None with the knob off).
+
+        The version vector reads the engine's applied-CDC cursors; the
+        feed heads read each source's changelog head — both plain dict
+        and attribute reads, so building the record never advances the
+        virtual clock.
+        """
+        if not self.provenance:
+            return None
+        vector: dict[str, int] = {}
+        heads: dict[str, int] = {}
+        for source in self.catalog.registry:
+            log = source.changelog
+            if log is None:
+                continue
+            vector[source.name] = self._cdc_cache_seq.get(source.name, 0)
+            heads[source.name] = log.latest_seq
+        return Provenance(
+            trace_id=trace_id,
+            version_vector=vector,
+            feed_heads=heads,
+            snapshot_epoch=self.catalog.version,
+            origins=list(origins),
+        )
+
+    def explain_answer(self, result) -> str:
+        """Render the causal chain behind one answer's lineage.
+
+        Accepts a :class:`QueryResult` or :class:`BindingResult` that
+        carries provenance and explains *why* each piece was served the
+        way it was: a stale rung is attributed to its open breaker
+        (with the virtual instant it opened), a behind answer to the
+        lagging CDC feed, a stale maintained view to its seq lag.
+        Raises :class:`MediationError` when the result carries no
+        provenance (engine built without ``provenance=True``).
+        """
+        provenance = getattr(result, "provenance", None)
+        if provenance is None:
+            raise MediationError(
+                "result carries no provenance — construct the engine with "
+                "provenance=True"
+            )
+        breakers: dict[str, dict[str, Any]] = {}
+        if self.resilient is not None:
+            for name, breaker in self.resilient.breakers.items():
+                breakers[name] = {
+                    "state": breaker.state.value,
+                    "opened_at_ms": breaker.opened_at_ms,
+                    "times_opened": breaker.times_opened,
+                }
+        view_lag = (
+            self.incremental.lag(self.clock.now)
+            if self.incremental is not None else {}
+        )
+        return explain_provenance(
+            provenance,
+            completeness=getattr(result, "completeness", None),
+            breakers=breakers,
+            view_lag=view_lag,
+            now_ms=self.clock.now,
+        )
 
     def _record_query(self, text: str | None, trace_id: str,
                       context: _ExecutionContext) -> None:
         """Top-level bookkeeping: the query log and the metrics registry."""
         stats = context.stats
+        origins = origin_counts(context.origins)
+        for kind, count in origins.items():
+            self.origin_totals[kind] = self.origin_totals.get(kind, 0) + count
         if self.query_log is not None:
             self.query_log.record(
                 text if text is not None else stats.plan_text,
@@ -1527,6 +1731,7 @@ class NimbleEngine:
                 context.completeness,
                 trace_id=trace_id,
                 counters=stats.counters(),
+                origins=origins,
             )
         if self.metrics is not None:
             metrics = self.metrics
@@ -1542,6 +1747,8 @@ class NimbleEngine:
             for name, value in stats.as_dict().items():
                 if value:
                     metrics.counter(name).inc(value)
+            for kind, count in origins.items():
+                metrics.counter(f"origin.{kind}").inc(count)
         if self.slo is not None:
             self.slo.observe_query(
                 query_hash(text if text is not None else stats.plan_text),

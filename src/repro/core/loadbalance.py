@@ -20,6 +20,7 @@ from repro.observability.aggregate import merge_registries
 from repro.observability.metrics import MetricsRegistry, percentile
 from repro.observability.querylog import query_hash
 from repro.observability.slo import SloTracker
+from repro.observability.tracing import NULL_TRACER
 from repro.resilience.admission import AdmissionController, Priority
 from repro.resilience.overload import LoadShedder
 
@@ -183,9 +184,15 @@ class EngineCluster:
                              if resilience is not None else None),
             )
         start = max(arrival_ms, instance.free_at_ms)
+        tracer = getattr(self.engine, "tracer", None) or NULL_TRACER
         try:
-            result = self.engine.query(query_text, policy=policy,
-                                       priority=priority)
+            # the dispatch span parents the engine's query span, so one
+            # trace stitches cluster routing to shard/source fetches
+            with tracer.span("dispatch", name=instance.name,
+                             instance=instance.name,
+                             queue_ms=projected_wait):
+                result = self.engine.query(query_text, policy=policy,
+                                           priority=priority)
         except BaseException:
             if admission is not None:
                 self.admission.cancel(admission)

@@ -44,6 +44,7 @@ from repro.core.engine import (
 )
 from repro.core.partial import Completeness, PartialResultPolicy
 from repro.materialize.matching import access_key
+from repro.observability.provenance import Provenance
 from repro.mediator.catalog import Catalog
 from repro.optimizer.decomposer import DecomposedQuery, FragmentUnit
 from repro.optimizer.routing import (
@@ -148,6 +149,14 @@ class ShardRouter:
     def name(self) -> str:
         return self.engine.name
 
+    @property
+    def tracer(self):
+        return self.engine.tracer
+
+    @property
+    def provenance(self) -> bool:
+        return self.engine.provenance
+
     def use_tracer(self, tracer) -> None:
         """Wire one tracer through the coordinator and every shard."""
         self.engine.use_tracer(tracer)
@@ -181,6 +190,9 @@ class ShardRouter:
             batch_rows=coordinator.batch_rows,
             projection_pushdown=coordinator.projection_pushdown,
             column_statistics=coordinator.column_stats is not None,
+            # shard answers carry their own lineage; the gather folds
+            # them into one coordinator-level Provenance
+            provenance=coordinator.provenance,
         )
         kwargs.update(overrides)
         return NimbleEngine(catalog, **kwargs)
@@ -242,14 +254,22 @@ class ShardRouter:
         started_virtual = self.clock.now
         partials: list[Any] = []
         selected = list(decision.selected)
+        shard_lineage: list[tuple[int, Provenance]] = []
         with tracer.span("scatter", shards=len(selected),
                          merge=decision.merge) as span:
+            for entry in decision.pruned:
+                tracer.event("shard_pruned", shard_index=entry.shard,
+                             reason=entry.reason)
             for start in range(0, len(selected), self.max_parallel_shards):
                 wave = selected[start:start + self.max_parallel_shards]
                 group = TaskGroup(self.clock)
                 for index in wave:
                     with group.task(f"shard-{index}"):
-                        with tracer.span("shard", name=f"shard-{index}"):
+                        with tracer.span(
+                            "shard", name=f"shard-{index}",
+                            shard_index=index,
+                            key_range=self._key_ranges(index),
+                        ):
                             binding = self._execute_shard(
                                 index, decomposed, policy, required, priority
                             )
@@ -260,6 +280,8 @@ class ShardRouter:
                         completeness.merge(binding.completeness)
                         stats.absorb(binding.stats)
                         stats.shards_executed += 1
+                        if binding.provenance is not None:
+                            shard_lineage.append((index, binding.provenance))
                 group.join()
                 stats.parallel_waves += 1
             elements = self._gather(decision.merge, partials, template,
@@ -268,7 +290,17 @@ class ShardRouter:
                 span.set(rows=len(elements), waves=stats.parallel_waves)
         stats.elapsed_virtual_ms = self.clock.now - started_virtual
         stats.plan_text = decomposed.describe() + "\n" + decision.describe()
-        return QueryResult(elements, completeness, stats)
+        provenance = None
+        if self.engine.provenance:
+            provenance = Provenance(
+                trace_id=getattr(span, "trace_id", ""),
+                snapshot_epoch=self.engine.catalog.version,
+                shards=list(selected),
+            )
+            for index, lineage in shard_lineage:
+                provenance.absorb(lineage, shard=index)
+        return QueryResult(elements, completeness, stats,
+                           provenance=provenance)
 
     def _execute_shard(
         self,
@@ -351,6 +383,22 @@ class ShardRouter:
         if limit is not None:
             elements = elements[:limit]
         return elements
+
+    def _key_ranges(self, index: int) -> str:
+        """One shard's key-range coverage across shard maps, rendered.
+
+        Attached to the shard span (satellite: ``shard_index`` and
+        ``key_range`` as *attributes*, not just the span name) so trace
+        analysis can correlate shard latency with key coverage.
+        """
+        parts = []
+        for shard_map in self.shard_maps.values():
+            if index < len(shard_map.ranges):
+                parts.append(
+                    f"{shard_map.source}:"
+                    f"{shard_map.ranges[index].describe()}"
+                )
+        return "; ".join(parts)
 
     # -- statistics-based skipping --------------------------------------------
 

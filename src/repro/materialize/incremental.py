@@ -163,11 +163,23 @@ class IncrementalMaterializer:
         actually moved; in-sync views are skipped at the cost of one
         sequence comparison.
         """
+        engine = self._engine()
         outcomes: dict[str, str] = {}
-        for view in self.views.values():
-            outcome = self._refresh_one(view)
-            if outcome is not None:
-                outcomes[view.name] = outcome
+        with engine.tracer.span(
+            "maintenance", views=len(self.views)
+        ) as span:
+            for view in self.views.values():
+                with engine.tracer.span(
+                    "view_refresh", name=view.name, view=view.name,
+                    mode=view.mode,
+                ) as view_span:
+                    outcome = self._refresh_one(view)
+                    if view_span.recording:
+                        view_span.set(outcome=outcome or "in_sync")
+                if outcome is not None:
+                    outcomes[view.name] = outcome
+            if span.recording:
+                span.set(refreshed=len(outcomes))
         return outcomes
 
     def lag(self, now_ms: float) -> dict[str, dict[str, Any]]:
@@ -398,6 +410,8 @@ class IncrementalMaterializer:
         stats.changes_applied += changes
         stats.delta_rows_applied += delta_rows
         self._publish(view)
+        engine.tracer.event("delta_applied", view=view.name,
+                            changes=changes, rows=delta_rows)
         return "delta"
 
     def _full_rebuild(self, view: MaintainedView) -> str:
@@ -415,6 +429,7 @@ class IncrementalMaterializer:
         self.views[view.name] = fresh
         self._publish(fresh)
         engine.cdc_stats.views_full_rebuilt += 1
+        engine.tracer.event("full_rebuild", view=view.name, mode=fresh.mode)
         return "rebuild"
 
     # -- internals --------------------------------------------------------

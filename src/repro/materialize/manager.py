@@ -77,6 +77,11 @@ class MaterializationManager:
         self.stale_hits = 0
         #: materialized mediated views, by view name
         self.views: dict[str, MaterializedViewResult] = {}
+        #: lineage of the most recent *hit* from :meth:`serve` /
+        #: :meth:`serve_view` — ``{"key", "loaded_at", "stale"}``; the
+        #: provenance layer reads it right after a successful serve
+        #: (the virtual-time world is single-threaded), None after a miss
+        self.last_serve: dict[str, Any] | None = None
 
     # -- serving -------------------------------------------------------------
 
@@ -102,13 +107,18 @@ class MaterializationManager:
                 continue
             self.hits += 1
             view.hits += 1
+            self.last_serve = {"key": view.key,
+                               "loaded_at": view.loaded_at, "stale": False}
             return self._filtered(view.records, residual, fragment)
         if stale_match is not None:
             view, residual = stale_match
             self.stale_hits += 1
             view.hits += 1
+            self.last_serve = {"key": view.key,
+                               "loaded_at": view.loaded_at, "stale": True}
             return self._filtered(view.records, residual, fragment)
         self.misses += 1
+        self.last_serve = None
         return None
 
     def _filtered(
@@ -135,14 +145,20 @@ class MaterializationManager:
         """Answer a mediated view from its materialized elements."""
         cached = self.views.get(name)
         if cached is None:
+            self.last_serve = None
             return None
         if not cached.is_fresh(self.clock.now):
             if not allow_stale:
+                self.last_serve = None
                 return None
             self.stale_hits += 1
+            stale = True
         else:
             self.hits += 1
+            stale = False
         cached.hits += 1
+        self.last_serve = {"key": name, "loaded_at": cached.loaded_at,
+                           "stale": stale}
         self.clock.advance(self.cost_model.local_cost(len(cached.elements)))
         return cached.elements
 

@@ -22,7 +22,10 @@ understand, the system".  This package is the *understand* part:
 * :mod:`aggregate` — fleet-level registry merging and the JSON SLO
   report artifact;
 * :mod:`exposition` — Prometheus-style text exposition (and a parser
-  that round-trips it).
+  that round-trips it);
+* :mod:`provenance` — per-answer lineage: version vectors over CDC
+  feeds, per-fragment origins with virtual-time staleness, and the
+  rendered "why" causal chain behind degraded serves.
 """
 
 from repro.observability.aggregate import (
@@ -61,6 +64,15 @@ from repro.observability.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.observability.provenance import (
+    ORIGIN_KINDS,
+    STALE_ORIGINS,
+    FragmentOrigin,
+    Provenance,
+    explain_provenance,
+    origin_counts,
+    render_origin_counts,
+)
 from repro.observability.querylog import QueryLog, QueryLogRecord, query_hash
 from repro.observability.slo import (
     OBJECTIVES,
@@ -86,6 +98,7 @@ __all__ = [
     "AlertManager",
     "AlertRule",
     "Counter",
+    "FragmentOrigin",
     "Gauge",
     "Histogram",
     "LatencyBaseline",
@@ -94,10 +107,13 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "OBJECTIVES",
+    "ORIGIN_KINDS",
+    "Provenance",
     "QueryLog",
     "QueryLogRecord",
     "RegressionDetector",
     "SEVERITIES",
+    "STALE_ORIGINS",
     "SloObservation",
     "SloPolicy",
     "SloStatus",
@@ -109,15 +125,18 @@ __all__ = [
     "chrome_trace_events",
     "default_rules",
     "error_budget_rule",
+    "explain_provenance",
     "fleet_snapshot",
     "format_trace",
     "latency_regression_rule",
     "merge_histograms",
     "merge_registries",
+    "origin_counts",
     "parse_exposition",
     "percentile",
     "prometheus_exposition",
     "query_hash",
+    "render_origin_counts",
     "sanitize_metric_name",
     "slo_breach_rule",
     "slo_report",

@@ -18,6 +18,16 @@ from typing import Any, Iterable
 
 from repro.observability.tracing import Span
 
+#: span kinds that belong to the maintenance lane: CDC draining,
+#: incremental view refresh, and the XML snapshot differ
+MAINTENANCE_KINDS = frozenset(
+    {"cdc_sync", "cdc_feed", "maintenance", "view_refresh", "snapshot_diff"}
+)
+
+#: the dedicated ``tid`` maintenance work renders on — far above any
+#: wave lane so background upkeep never interleaves with query fan-out
+MAINTENANCE_TID = 999
+
 
 def trace_to_dict(trace: Span) -> dict[str, Any]:
     """One trace as a plain nested dict."""
@@ -41,11 +51,23 @@ def chrome_trace_events(traces: Iterable[Span]) -> dict[str, Any]:
     """
     events: list[dict[str, Any]] = []
     for pid, trace in enumerate(traces):
+        before = len(events)
         _emit(trace, pid, tid=0, events=events)
+        if any(event["tid"] == MAINTENANCE_TID
+               for event in events[before:]):
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": MAINTENANCE_TID,
+                "args": {"name": "maintenance"},
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def _emit(span: Span, pid: int, tid: int, events: list[dict[str, Any]]) -> None:
+    if span.kind in MAINTENANCE_KINDS:
+        tid = MAINTENANCE_TID
     events.append({
         "name": f"{span.kind}:{span.name}" if span.name else span.kind,
         "cat": span.kind,

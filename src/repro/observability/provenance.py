@@ -1,0 +1,307 @@
+"""Answer provenance: where each piece of a result actually came from.
+
+Nimble's promise is answers assembled from autonomous, partially
+available, possibly stale sources — which means "here are your rows"
+is only half an answer.  The other half is lineage: which fragment was
+served live, which from the fragment cache (exact or by containment),
+which from a stale rung of the degraded-read ladder, which from a
+materialized view and at what high-water mark, and how far behind its
+feeds each piece was in virtual time.
+
+A :class:`Provenance` record carries that lineage per query result:
+
+* a **version vector** — per CDC-enabled source, the last change
+  sequence this engine has applied to its local state
+  (``engine._cdc_cache_seq``), next to the feed's head sequence, so
+  ``feed_lag()`` is the exact number of unapplied changes;
+* one :class:`FragmentOrigin` per served fragment — the source (or
+  view) name, the origin kind, rows served, and the virtual-time age
+  of the data at serve time;
+* the ``snapshot_epoch`` (catalog version) the answer was planned
+  under, and the ``trace_id`` linking it to the span tree.
+
+Recording is strictly observational: building these records never
+advances the virtual clock and never touches the determinism-checked
+counters, so results are bit-identical with provenance on or off —
+the same contract tracing and the SLO layer honour, enforced by the
+hypothesis suite in ``tests/test_provenance.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+#: origin kinds a fragment (or view) serve can carry
+ORIGIN_LIVE = "live"                 #: fresh remote fetch
+ORIGIN_CACHE = "cache"               #: exact fragment-cache hit
+ORIGIN_CONTAINMENT = "containment"   #: broader cached entry, filtered
+ORIGIN_STALE_CACHE = "stale_cache"   #: expired cache entry (brownout/degraded)
+ORIGIN_STALE_MATERIALIZED = "stale_materialized"  #: stale local view (degraded)
+ORIGIN_REPLICA = "replica"           #: registered replica fallback
+ORIGIN_HEDGED = "hedged"             #: hedge backup beat the primary
+ORIGIN_MATERIALIZED = "materialized"  #: fresh materialized fragment
+ORIGIN_VIEW = "view"                 #: materialized mediated view
+ORIGIN_SHED = "shed"                 #: brownout shed the optional source
+ORIGIN_SKIPPED = "skipped"           #: source failed, SKIP policy applied
+
+ORIGIN_KINDS = (
+    ORIGIN_LIVE, ORIGIN_CACHE, ORIGIN_CONTAINMENT, ORIGIN_STALE_CACHE,
+    ORIGIN_STALE_MATERIALIZED, ORIGIN_REPLICA, ORIGIN_HEDGED,
+    ORIGIN_MATERIALIZED, ORIGIN_VIEW, ORIGIN_SHED, ORIGIN_SKIPPED,
+)
+
+#: origins whose rows are known (or suspected) to be behind the source
+STALE_ORIGINS = frozenset(
+    {ORIGIN_STALE_CACHE, ORIGIN_STALE_MATERIALIZED, ORIGIN_REPLICA}
+)
+
+
+@dataclass(frozen=True)
+class FragmentOrigin:
+    """Where one served fragment's rows came from."""
+
+    source: str
+    kind: str
+    rows: int = 0
+    #: virtual-time age of the served data (0 for a live fetch)
+    staleness_ms: float = 0.0
+    #: kind-specific context: view key, high-water marks, probe counts
+    detail: str = ""
+    #: which shard served it, for scatter-gather answers
+    shard: int | None = None
+
+    def describe(self) -> str:
+        parts = [f"{self.source}: {self.kind}", f"{self.rows} rows"]
+        if self.staleness_ms > 0:
+            parts.append(f"{self.staleness_ms:.1f} ms old")
+        if self.shard is not None:
+            parts.append(f"shard {self.shard}")
+        if self.detail:
+            parts.append(self.detail)
+        return ", ".join(parts)
+
+
+def origin_counts(origins: list[FragmentOrigin]) -> dict[str, int]:
+    """Serve counts per origin kind, e.g. ``{"cache": 3, "live": 1}``."""
+    counts: dict[str, int] = {}
+    for origin in origins:
+        counts[origin.kind] = counts.get(origin.kind, 0) + 1
+    return counts
+
+
+def render_origin_counts(counts: dict[str, int]) -> str:
+    """``{"cache": 3, "live": 1}`` as the stable ``cache=3 live=1`` form."""
+    return " ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
+
+
+@dataclass
+class Provenance:
+    """The lineage record attached to a query answer."""
+
+    trace_id: str = ""
+    #: source -> last CDC sequence this engine has applied locally
+    version_vector: dict[str, int] = field(default_factory=dict)
+    #: source -> the feed's head sequence at answer time
+    feed_heads: dict[str, int] = field(default_factory=dict)
+    #: the catalog version epoch the answer was planned under
+    snapshot_epoch: Any = None
+    origins: list[FragmentOrigin] = field(default_factory=list)
+    #: shard coverage of a scatter-gather answer (empty when unsharded)
+    shards: list[int] = field(default_factory=list)
+
+    # -- reading -------------------------------------------------------------
+
+    def origin_counts(self) -> dict[str, int]:
+        return origin_counts(self.origins)
+
+    def stale_origins(self) -> list[FragmentOrigin]:
+        """The origins whose data was behind the source when served."""
+        return [o for o in self.origins if o.kind in STALE_ORIGINS]
+
+    def worst_staleness_ms(self) -> float:
+        return max((o.staleness_ms for o in self.origins), default=0.0)
+
+    def feed_lag(self) -> dict[str, int]:
+        """Per source, how many emitted changes this answer predates."""
+        return {
+            source: max(0, head - self.version_vector.get(source, 0))
+            for source, head in self.feed_heads.items()
+        }
+
+    # -- merging (sub-queries, shard gather) ---------------------------------
+
+    def absorb(self, other: "Provenance", shard: int | None = None) -> None:
+        """Fold another execution's lineage into this one.
+
+        Version vectors merge pessimistically (the *least* applied
+        sequence wins — the answer is only as fresh as its most
+        behind contributor); feed heads merge optimistically (the
+        furthest head observed).  ``shard`` tags the absorbed origins
+        with the shard that served them.
+        """
+        for source, seq in other.version_vector.items():
+            mine = self.version_vector.get(source)
+            self.version_vector[source] = (
+                seq if mine is None else min(mine, seq)
+            )
+        for source, seq in other.feed_heads.items():
+            self.feed_heads[source] = max(
+                self.feed_heads.get(source, 0), seq
+            )
+        if shard is None:
+            self.origins.extend(other.origins)
+        else:
+            self.origins.extend(
+                replace(origin, shard=shard) for origin in other.origins
+            )
+        self.shards.extend(other.shards)
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (the ``PROVENANCE_*.json`` artifact shape)."""
+        return {
+            "trace_id": self.trace_id,
+            "version_vector": dict(self.version_vector),
+            "feed_heads": dict(self.feed_heads),
+            "feed_lag": self.feed_lag(),
+            "snapshot_epoch": (
+                self.snapshot_epoch
+                if isinstance(self.snapshot_epoch, (int, str, float,
+                                                    type(None)))
+                else str(self.snapshot_epoch)
+            ),
+            "shards": list(self.shards),
+            "origin_counts": self.origin_counts(),
+            "origins": [
+                {
+                    "source": o.source,
+                    "kind": o.kind,
+                    "rows": o.rows,
+                    "staleness_ms": o.staleness_ms,
+                    "detail": o.detail,
+                    "shard": o.shard,
+                }
+                for o in self.origins
+            ],
+        }
+
+    def describe(self) -> str:
+        """One compact line per lineage fact."""
+        lines = [f"provenance trace={self.trace_id or '-'} "
+                 f"epoch={self.snapshot_epoch}"]
+        counts = self.origin_counts()
+        if counts:
+            lines.append(f"  origins: {render_origin_counts(counts)}")
+        for source in sorted(self.version_vector):
+            head = self.feed_heads.get(source, self.version_vector[source])
+            lag = head - self.version_vector[source]
+            suffix = f" (lag {lag})" if lag > 0 else ""
+            lines.append(
+                f"  feed {source}: applied @{self.version_vector[source]}, "
+                f"head @{head}{suffix}"
+            )
+        if self.shards:
+            lines.append(
+                "  shards: " + ", ".join(str(s) for s in self.shards)
+            )
+        return "\n".join(lines)
+
+
+def explain_provenance(
+    provenance: Provenance,
+    completeness: Any = None,
+    breakers: dict[str, dict[str, Any]] | None = None,
+    view_lag: dict[str, dict[str, Any]] | None = None,
+    now_ms: float = 0.0,
+) -> str:
+    """Render the causal chain behind an answer's lineage.
+
+    ``breakers`` maps source name to ``{"state", "opened_at_ms",
+    "times_opened"}`` (the engine's resilient executor's view);
+    ``view_lag`` is :meth:`IncrementalMaterializer.lag` output.  The
+    chain names the *reason* for each degraded serve: an open breaker
+    explains a stale rung, a lagging feed explains a behind view.
+    """
+    breakers = breakers or {}
+    view_lag = view_lag or {}
+    lines = [provenance.describe()]
+    why: list[str] = []
+    for origin in provenance.origins:
+        if origin.kind not in STALE_ORIGINS:
+            continue
+        line = f"  - {origin.describe()}"
+        breaker = breakers.get(origin.source)
+        if breaker is not None and breaker.get("state") in ("open",
+                                                           "half-open"):
+            opened = breaker.get("opened_at_ms")
+            since = f" since virtual t={opened:.1f} ms" if opened is not None \
+                else ""
+            line += (
+                f" — because breaker '{origin.source}' is "
+                f"{breaker['state'].upper()}{since} "
+                f"({breaker.get('times_opened', 0)} trips)"
+            )
+        why.append(line)
+    for source, lag in sorted(provenance.feed_lag().items()):
+        if lag <= 0:
+            continue
+        why.append(
+            f"  - feed '{source}' is {lag} changes ahead of this answer "
+            f"(applied @{provenance.version_vector.get(source, 0)}, "
+            f"head @{provenance.feed_heads.get(source, 0)})"
+        )
+    for name, entry in sorted(view_lag.items()):
+        if entry.get("seq_lag", 0) <= 0:
+            continue
+        feeds = ", ".join(
+            source for source, lag in sorted(provenance.feed_lag().items())
+            if lag > 0
+        ) or "its feeds"
+        why.append(
+            f"  - view '{name}' [{entry.get('mode', '?')}] lags feed "
+            f"{feeds} by {entry['seq_lag']} seqs "
+            f"(stale {entry.get('staleness_ms', 0.0):.1f} ms)"
+        )
+    if why:
+        lines.append("why:")
+        lines.extend(why)
+    else:
+        lines.append("why: every fragment served fresh and in sync")
+    if completeness is not None:
+        verdict = "complete" if completeness.complete else "INCOMPLETE"
+        extras = []
+        if completeness.missing_sources:
+            extras.append(
+                "missing: " + ", ".join(completeness.missing_sources)
+            )
+        if completeness.stale_sources:
+            extras.append("stale: " + ", ".join(completeness.stale_sources))
+        if completeness.hedged_sources:
+            extras.append("hedged: " + ", ".join(completeness.hedged_sources))
+        suffix = f" ({'; '.join(extras)})" if extras else ""
+        lines.append(f"completeness: {verdict}{suffix}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FragmentOrigin",
+    "ORIGIN_CACHE",
+    "ORIGIN_CONTAINMENT",
+    "ORIGIN_HEDGED",
+    "ORIGIN_KINDS",
+    "ORIGIN_LIVE",
+    "ORIGIN_MATERIALIZED",
+    "ORIGIN_REPLICA",
+    "ORIGIN_SHED",
+    "ORIGIN_SKIPPED",
+    "ORIGIN_STALE_CACHE",
+    "ORIGIN_STALE_MATERIALIZED",
+    "ORIGIN_VIEW",
+    "Provenance",
+    "STALE_ORIGINS",
+    "explain_provenance",
+    "origin_counts",
+    "render_origin_counts",
+]

@@ -36,6 +36,10 @@ class QueryLogRecord:
     stale_sources: tuple[str, ...] = ()
     slow: bool = False
     counters: dict[str, int] = field(default_factory=dict)
+    #: serve counts per origin kind, e.g. ``{"cache": 3, "live": 1}`` —
+    #: the provenance summary (populated whether or not the engine
+    #: attaches full Provenance records to answers)
+    origins: dict[str, int] = field(default_factory=dict)
 
 
 class QueryLog:
@@ -71,6 +75,7 @@ class QueryLog:
         completeness: Any,
         trace_id: str = "",
         counters: dict[str, int] | None = None,
+        origins: dict[str, int] | None = None,
     ) -> QueryLogRecord:
         """Log one execution; returns the stored record."""
         digest = query_hash(text)
@@ -88,6 +93,7 @@ class QueryLog:
             stale_sources=tuple(completeness.stale_sources),
             slow=slow,
             counters=dict(counters or {}),
+            origins=dict(origins or {}),
         )
         self._records.append(entry)
         self.total_logged += 1

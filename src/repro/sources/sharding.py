@@ -112,7 +112,9 @@ def make_ranges(keys: Iterable[Any], n_shards: int) -> tuple[KeyRange, ...]:
 
     distinct = sorted(set(keys), key=_comparison_key)
     if n_shards == 1 or len(distinct) < 2:
-        return (KeyRange(),)
+        # fewer distinct keys than boundaries need: shard 0 takes the
+        # whole axis, the tail shards hold nothing (first match wins)
+        return tuple(KeyRange() for _ in range(n_shards))
     boundaries: list[Any] = []
     for index in range(1, n_shards):
         position = (index * len(distinct)) // n_shards

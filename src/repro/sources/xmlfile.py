@@ -69,20 +69,28 @@ class XMLSource(DataSource):
         key_field = self.changelog.key_field(name)
         if old is None or key_field is None:
             self.changelog.emit_reset(name)
+            self.tracer.event("snapshot_reset", source=self.name,
+                              document=name)
             return
         from repro.cdc.differ import diff_documents
 
-        for change in diff_documents(old.root, document.root, key_field):
-            if change.op == "reset":
-                self.changelog.emit_reset(name)
-            else:
-                self.changelog.emit(
-                    change.op,
-                    name,
-                    key=change.key,
-                    node=change.node,
-                    before_node=change.before_node,
-                )
+        with self.tracer.span("snapshot_diff", name=name, source=self.name,
+                              document=name) as span:
+            counts = {"insert": 0, "update": 0, "delete": 0, "reset": 0}
+            for change in diff_documents(old.root, document.root, key_field):
+                counts[change.op] = counts.get(change.op, 0) + 1
+                if change.op == "reset":
+                    self.changelog.emit_reset(name)
+                else:
+                    self.changelog.emit(
+                        change.op,
+                        name,
+                        key=change.key,
+                        node=change.node,
+                        before_node=change.before_node,
+                    )
+            if span.recording:
+                span.set(**counts)
 
     def relations(self) -> dict[str, RecordType]:
         # Documents are semi-structured: exported with an open record type.

@@ -426,7 +426,8 @@ class TestEngineTracing:
         fetch = tracer.last_trace.find("fetch")[0]
         stale = [e for e in fetch.events if e.name == "stale_served"]
         assert len(stale) == 1
-        assert stale[0].attrs == {"source": "feed", "rows": 3}
+        assert stale[0].attrs == {"source": "feed", "rows": 3,
+                                  "via": "stale_materialized"}
 
     def test_use_tracer_claims_and_releases_sources(self):
         engine, tracer = make_traced_engine()
